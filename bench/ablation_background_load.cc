@@ -1,0 +1,112 @@
+// Extension bench: interactive latency under background batch load.
+//
+// The methodology's selling point is measuring events *in context*.  Here
+// the context is a CPU-bound batch job (50% duty-cycle indexer) sharing
+// the machine with Notepad.  At lower priority the job soaks up idle time
+// without touching interactive latency; at the GUI thread's priority it
+// competes for every quantum and keystroke latency degrades -- a case
+// where a throughput benchmark would rate both configurations the same.
+//
+// The last row shows an honest limitation of the idle-loop methodology:
+// a *saturating* batch job leaves no idle time at all, so the instrument
+// starves and extracts nothing -- the paper's technique assumes the CPU
+// is mostly idle between events (2.3).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/batch_thread.h"
+#include "src/apps/notepad.h"
+
+namespace ilat {
+namespace {
+
+struct LoadResult {
+  SummaryStats latency;
+  double batch_done_s = 0.0;
+  std::size_t trace_records = 0;
+};
+
+LoadResult RunWithBatch(int batch_priority, double duty_cycle, int wake_boost = 2) {
+  OsProfile os = MakeNt40();
+  os.wake_priority_boost = wake_boost;
+  MeasurementSession session(os);
+  session.AttachApp(std::make_unique<NotepadApp>());
+
+  std::unique_ptr<BatchThread> batch;
+  if (batch_priority >= 0) {
+    WorkProfile indexer;
+    indexer.ipc = 0.9;
+    BatchThread::Options opts;
+    opts.duty_cycle = duty_cycle;
+    batch = std::make_unique<BatchThread>("indexer", batch_priority, indexer, opts,
+                                          &session.system().sim().queue(),
+                                          &session.system().sim().scheduler());
+    session.system().sim().scheduler().AddThread(batch.get());
+  }
+
+  Random rng(5);
+  TypistParams tp;
+  Typist typist(tp, &rng);
+  const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 400)));
+
+  LoadResult out;
+  for (const EventRecord& e : r.events) {
+    out.latency.Add(e.latency_ms());
+  }
+  out.batch_done_s = batch ? CyclesToSeconds(batch->executed()) : 0.0;
+  out.trace_records = r.trace.size();
+  return out;
+}
+
+void Run() {
+  Banner("Extension -- interactive latency under background batch load",
+         "Notepad typing beside a 50%-duty CPU-bound indexer");
+
+  const LoadResult none = RunWithBatch(-1, 1.0);
+  const LoadResult low = RunWithBatch(1, 0.5);
+  const LoadResult equal_no_boost = RunWithBatch(10, 0.5, /*wake_boost=*/0);
+  const LoadResult equal_boost = RunWithBatch(10, 0.5, /*wake_boost=*/2);
+  const LoadResult saturating = RunWithBatch(1, 1.0);
+
+  TextTable t({"configuration", "mean latency (ms)", "max (ms)", "batch CPU-s",
+               "trace records"});
+  t.AddRow({"no batch job", TextTable::Num(none.latency.mean(), 2),
+            TextTable::Num(none.latency.max(), 2), "-", std::to_string(none.trace_records)});
+  t.AddRow({"50% indexer, low priority", TextTable::Num(low.latency.mean(), 2),
+            TextTable::Num(low.latency.max(), 2), TextTable::Num(low.batch_done_s, 1),
+            std::to_string(low.trace_records)});
+  t.AddRow({"50% indexer, GUI prio, no boost", TextTable::Num(equal_no_boost.latency.mean(), 2),
+            TextTable::Num(equal_no_boost.latency.max(), 2),
+            TextTable::Num(equal_no_boost.batch_done_s, 1),
+            std::to_string(equal_no_boost.trace_records)});
+  t.AddRow({"50% indexer, GUI prio, NT boost", TextTable::Num(equal_boost.latency.mean(), 2),
+            TextTable::Num(equal_boost.latency.max(), 2),
+            TextTable::Num(equal_boost.batch_done_s, 1),
+            std::to_string(equal_boost.trace_records)});
+  t.AddRow({"saturating job (limitation)", TextTable::Num(saturating.latency.mean(), 2),
+            TextTable::Num(saturating.latency.max(), 2),
+            TextTable::Num(saturating.batch_done_s, 1),
+            std::to_string(saturating.trace_records)});
+  std::printf("\n%s", t.ToString().c_str());
+
+  std::printf(
+      "\nThe low-priority indexer got %.1f CPU-seconds through with keystroke\n"
+      "latency unchanged (%.2f vs %.2f ms); at the GUI thread's priority the\n"
+      "same job inflates latency %.1fx unless the OS applies NT's wake-time\n"
+      "priority boost, which restores %.2f ms.  A throughput benchmark scores\n"
+      "all of these configurations identically.  The saturating job leaves no\n"
+      "idle time: the instrument starves (trace stops) and per-event\n"
+      "extraction collapses -- the idle-loop methodology requires a mostly-\n"
+      "idle CPU, as the paper's own model assumes (2.3).\n",
+      low.batch_done_s, low.latency.mean(), none.latency.mean(),
+      equal_no_boost.latency.mean() / none.latency.mean(), equal_boost.latency.mean());
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation (paper §2.3): the idle-loop sample period N trades measurement
+// resolution against trace-buffer size.
+//
+// "The larger we make N, the coarser the accuracy of our measurements;
+// the smaller we make N, the finer the resolution ... but the larger the
+// trace buffer required for a given benchmark run."
+//
+// Demonstration: pairs of keystrokes 25 ms apart.  A trace-only analysis
+// (no message-API log -- just busy runs separated by calm records) can
+// distinguish the two events of a pair only while the sample period is
+// finer than their separation; coarse periods merge them into one blob.
+// Trace size falls in proportion.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/commands.h"
+#include "src/apps/desktop.h"
+
+namespace ilat {
+namespace {
+
+// Count busy episodes: maximal runs of elongated samples bounded by calm
+// records (the purist idle-loop-only event detector).
+int CountBusyEpisodes(const BusyProfile& busy, Cycles min_busy) {
+  int episodes = 0;
+  bool in_episode = false;
+  for (const auto& s : busy.samples()) {
+    if (s.busy > min_busy) {
+      if (!in_episode) {
+        ++episodes;
+        in_episode = true;
+      }
+    } else {
+      in_episode = false;
+    }
+  }
+  return episodes;
+}
+
+void Run() {
+  Banner("Ablation -- idle-loop sample period (2.3)",
+         "20 keystroke pairs 25 ms apart; trace-only event detection");
+
+  // 20 pairs: 25 ms within a pair, 600 ms between pairs.
+  Script script;
+  for (int i = 0; i < 20; ++i) {
+    script.push_back(ScriptItem::Key(kVkDown, 600.0));
+    script.push_back(ScriptItem::Key(kVkDown, 25.0));
+  }
+
+  TextTable t({"period (ms)", "trace records", "busy episodes found", "expected", "merged?"});
+
+  for (double period_ms : {0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0}) {
+    SessionOptions opts;
+    opts.idle_period = MillisecondsToCycles(period_ms);
+    MeasurementSession session(MakeNt40(), opts);
+    session.AttachApp(std::make_unique<DesktopApp>());
+    const SessionResult r = session.Run(script);
+    const BusyProfile busy = r.MakeBusyProfile();
+    const int episodes = CountBusyEpisodes(busy, MicrosecondsToCycles(300));
+    t.AddRow({TextTable::Num(period_ms, 2), std::to_string(r.trace.size()),
+              std::to_string(episodes), "40",
+              episodes < 40 ? "yes -- pairs blur together" : "no"});
+  }
+  std::printf("\n%s", t.ToString().c_str());
+  std::printf(
+      "\nFiner periods resolve the 25 ms-separated pairs as distinct events at\n"
+      "the cost of a proportionally larger trace; beyond the separation the\n"
+      "events merge -- exactly the accuracy/buffer trade-off the paper\n"
+      "describes for choosing N.\n");
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::Run();
+  return 0;
+}

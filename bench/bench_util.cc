@@ -1,0 +1,213 @@
+#include "bench/bench_util.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "src/apps/powerpoint.h"
+
+namespace ilat {
+
+std::string BenchOutDir() {
+  static const std::string dir = [] {
+    ::mkdir("bench_out", 0755);
+    return std::string("bench_out");
+  }();
+  return dir;
+}
+
+void Banner(const std::string& experiment, const std::string& description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n%s\n", experiment.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+SessionResult RunWorkload(const OsProfile& os, std::unique_ptr<GuiApplication> app,
+                          const Script& script, DriverKind driver, SessionOptions opts) {
+  opts.driver = driver;
+  MeasurementSession session(os, opts);
+  session.AttachApp(std::move(app));
+  return session.Run(script);
+}
+
+void PrintLatencySummary(const std::string& stem, const std::string& os_name,
+                         const SessionResult& result, double min_latency_ms) {
+  std::vector<EventRecord> events = result.events;
+  if (min_latency_ms > 0.0) {
+    events = EventsAbove(events, min_latency_ms);
+  }
+
+  std::printf("\n--- %s on %s: %zu events, elapsed [%.1f s] ---\n", stem.c_str(),
+              os_name.c_str(), events.size(), result.elapsed_seconds());
+
+  Histogram hist = Histogram::Log2(1.0, 14);
+  hist.AddLatencies(events);
+  ChartOptions hopts;
+  hopts.title = "Event latency histogram (ms bins, log counts)";
+  hopts.log_y = true;
+  std::printf("%s", RenderHistogram(hist, hopts).c_str());
+
+  const auto by_latency = CumulativeLatencyByLatency(events);
+  ChartOptions copts;
+  copts.title = "Cumulative latency vs event latency";
+  copts.x_label = "latency (ms)";
+  copts.y_label = "cumulative latency (ms)";
+  copts.height = 10;
+  std::printf("%s", RenderCurve(by_latency, copts).c_str());
+
+  const auto by_count = CumulativeLatencyByCount(events);
+  ChartOptions kopts;
+  kopts.title = "Cumulative latency vs event count (sorted by duration)";
+  kopts.x_label = "events";
+  kopts.y_label = "cumulative latency (ms)";
+  kopts.height = 10;
+  std::printf("%s", RenderCurve(by_count, kopts).c_str());
+
+  std::printf("total latency: %.1f ms; fraction from <10 ms events: %.1f%%\n",
+              TotalLatencyMs(events), 100.0 * LatencyFractionBelow(events, 10.0));
+
+  const std::string base = BenchOutDir() + "/" + stem + "-" + os_name;
+  WriteEventsCsv(base + "-events.csv", events);
+  WriteCurveCsv(base + "-cumlat.csv", by_latency);
+  WriteCurveCsv(base + "-cumcount.csv", by_count);
+  WriteGnuplotScript(base + ".gp",
+                     {{base + "-events.csv", os_name + " events", "with impulses", 1, 2}},
+                     GnuplotOptions{stem + " (" + os_name + ")", "time (s)", "latency (ms)",
+                                    false, base + ".png"});
+}
+
+SummaryStats StatsForLabel(const SessionResult& r, const std::string& label) {
+  SummaryStats s;
+  for (const EventRecord& e : r.events) {
+    if (e.label == label) {
+      s.Add(e.latency_ms());
+    }
+  }
+  return s;
+}
+
+SummaryStats StatsWhere(const SessionResult& r,
+                        const std::function<bool(const EventRecord&)>& pred) {
+  SummaryStats s;
+  for (const EventRecord& e : r.events) {
+    if (pred(e)) {
+      s.Add(e.latency_ms());
+    }
+  }
+  return s;
+}
+
+namespace {
+
+// Records the exact handling span of command messages.
+class SpanObserver : public MessagePumpObserver {
+ public:
+  void OnHandleStart(Cycles t, const Message& m) override {
+    if (m.type == MessageType::kCommand) {
+      begin_ = t;
+    }
+  }
+  void OnHandleEnd(Cycles t, const Message& m) override {
+    if (m.type == MessageType::kCommand) {
+      last_span = t - begin_;
+    }
+  }
+  Cycles last_span = 0;
+
+ private:
+  Cycles begin_ = 0;
+};
+
+}  // namespace
+
+OpCounterResult MeasurePowerpointOp(const OsProfile& os, int command,
+                                    const std::vector<int>& warm_commands, int repeats) {
+  SystemUnderTest sys(os, 1);
+  auto app = std::make_unique<PowerpointApp>();
+  GuiThread thread(&sys, app.get());
+  SpanObserver span;
+  thread.AddObserver(&span);
+  sys.sim().scheduler().AddThread(&thread);
+  sys.Boot();
+
+  // Returns the exact handling span of the command.
+  auto run_command = [&](int cmd) {
+    const auto handled = thread.handled_count();
+    Message m;
+    m.type = MessageType::kCommand;
+    m.param = cmd;
+    thread.PostMessageToQueue(m);
+    while (thread.handled_count() == handled) {
+      sys.sim().RunFor(MillisecondsToCycles(5));
+    }
+    // Settle to idle so the next measurement starts clean.
+    sys.sim().RunFor(MillisecondsToCycles(5));
+    return span.last_span;
+  };
+
+  for (int cmd : warm_commands) {
+    run_command(cmd);
+  }
+  // One uncounted execution of the op itself (warm cache, like the paper).
+  run_command(command);
+
+  // Three counter pairs cover the six events of interest; the cycle
+  // counter is free.  `repeats` runs per pair, exactly like the paper's
+  // "repeated the test 10 times for each performance counter".
+  struct Pair {
+    HwEvent a;
+    HwEvent b;
+  };
+  const Pair pairs[] = {
+      {HwEvent::kInstructions, HwEvent::kDataRefs},
+      {HwEvent::kItlbMiss, HwEvent::kDtlbMiss},
+      {HwEvent::kSegmentLoads, HwEvent::kUnalignedAccess},
+  };
+
+  OpCounterResult out;
+  SummaryStats cycles;
+  for (const Pair& p : pairs) {
+    SummaryStats a;
+    SummaryStats b;
+    for (int i = 0; i < repeats; ++i) {
+      CounterSession cs(&sys.sim(), p.a, p.b);
+      cs.Begin();
+      const Cycles op_span = run_command(command);
+      cs.End();
+      a.Add(static_cast<double>(cs.CountA()));
+      b.Add(static_cast<double>(cs.CountB()));
+      cycles.Add(static_cast<double>(op_span));
+    }
+    auto assign = [&](HwEvent e, double v) {
+      switch (e) {
+        case HwEvent::kInstructions:
+          out.instructions = v;
+          break;
+        case HwEvent::kDataRefs:
+          out.data_refs = v;
+          break;
+        case HwEvent::kItlbMiss:
+          out.itlb_miss = v;
+          break;
+        case HwEvent::kDtlbMiss:
+          out.dtlb_miss = v;
+          break;
+        case HwEvent::kSegmentLoads:
+          out.seg_loads = v;
+          break;
+        case HwEvent::kUnalignedAccess:
+          out.unaligned = v;
+          break;
+        default:
+          break;
+      }
+    };
+    assign(p.a, a.mean());
+    assign(p.b, b.mean());
+  }
+  out.tlb_miss = out.itlb_miss + out.dtlb_miss;
+  out.mean_ms = CyclesToMilliseconds(static_cast<Cycles>(cycles.mean()));
+  return out;
+}
+
+}  // namespace ilat

@@ -1,0 +1,77 @@
+// Shared helpers for the reproduction benches.
+//
+// Every bench regenerates one of the paper's tables or figures: it runs
+// the workload through the measurement toolkit, prints the paper's
+// reference numbers next to the measured ones, renders the figure in
+// ASCII, and drops CSVs (plus gnuplot scripts) into ./bench_out/.
+
+#ifndef ILAT_BENCH_BENCH_UTIL_H_
+#define ILAT_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cumulative.h"
+#include "src/analysis/histogram.h"
+#include "src/analysis/interarrival.h"
+#include "src/analysis/stats.h"
+#include "src/core/counter_session.h"
+#include "src/core/measurement.h"
+#include "src/input/typist.h"
+#include "src/input/workloads.h"
+#include "src/viz/ascii_chart.h"
+#include "src/viz/csv.h"
+#include "src/viz/gnuplot.h"
+#include "src/viz/table.h"
+
+namespace ilat {
+
+// Directory for CSV/gnuplot artifacts; created on demand.
+std::string BenchOutDir();
+
+// Print a standard bench banner.
+void Banner(const std::string& experiment, const std::string& description);
+
+// Run `app` under `os` with the given script/driver and return the result.
+SessionResult RunWorkload(const OsProfile& os, std::unique_ptr<GuiApplication> app,
+                          const Script& script, DriverKind driver = DriverKind::kTest,
+                          SessionOptions opts = {});
+
+// Latency summary in the paper's Fig. 7/8/11 format: log-histogram,
+// cumulative-latency curve, cumulative-by-count curve, bracketed elapsed
+// time.  Optionally filter to events >= min_latency_ms (Fig. 8 drops
+// <50 ms events).  Writes CSVs under BenchOutDir()/<stem>-<os>.csv.
+void PrintLatencySummary(const std::string& stem, const std::string& os_name,
+                         const SessionResult& result, double min_latency_ms = 0.0);
+
+// Per-event mean/stddev for events matching a label.
+SummaryStats StatsForLabel(const SessionResult& r, const std::string& label);
+
+// Mean busy-latency (ms) of events matching a predicate.
+SummaryStats StatsWhere(const SessionResult& r,
+                        const std::function<bool(const EventRecord&)>& pred);
+
+// Counter measurement of one repeated application operation, mimicking the
+// paper's procedure (§5.3): configure two counters at a time, repeat the
+// operation `repeats` times per pair, report totals per operation.
+struct OpCounterResult {
+  double mean_ms = 0.0;
+  double instructions = 0.0;
+  double data_refs = 0.0;
+  double itlb_miss = 0.0;
+  double dtlb_miss = 0.0;
+  double tlb_miss = 0.0;  // i + d
+  double seg_loads = 0.0;
+  double unaligned = 0.0;
+};
+
+// Measure `command` on a PowerPoint-like app.  `warm` commands run first
+// (uncounted) to reach the steady state the paper measures.
+OpCounterResult MeasurePowerpointOp(const OsProfile& os, int command,
+                                    const std::vector<int>& warm_commands, int repeats);
+
+}  // namespace ilat
+
+#endif  // ILAT_BENCH_BENCH_UTIL_H_

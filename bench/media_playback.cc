@@ -1,0 +1,77 @@
+// Extension bench: continuous-media playback quality (VuSystem-class
+// workload, paper ref [6]).
+//
+// A 30 fps player decodes and renders 300 frames on each OS, idle and
+// beside a heavy batch job.  The deadline metrics (misses, drops, jitter)
+// are the continuous-media analogue of per-event latency: a throughput
+// number ("frames decoded") cannot distinguish smooth playback from a
+// stuttering mess that decodes the same frames late.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/deadlines.h"
+#include "src/apps/batch_thread.h"
+#include "src/apps/media_player.h"
+
+namespace ilat {
+namespace {
+
+DeadlineReport Run(OsProfile os, double batch_duty, int wake_boost = 2) {
+  os.wake_priority_boost = wake_boost;
+  SessionOptions so;
+  so.drain_after = SecondsToCycles(12.0);  // playback outlives the script
+  MeasurementSession session(os, so);
+  auto app = std::make_unique<MediaPlayerApp>();
+  MediaPlayerApp* player = app.get();
+  session.AttachApp(std::move(app));
+  std::unique_ptr<BatchThread> batch;
+  if (batch_duty > 0.0) {
+    BatchOptions bo;
+    bo.duty_cycle = batch_duty;
+    bo.quantum = MillisecondsToCycles(20);  // coarse-grained job
+    batch = std::make_unique<BatchThread>("job", 10, WorkProfile{}, bo,
+                                          &session.system().sim().queue(),
+                                          &session.system().sim().scheduler());
+    session.system().sim().scheduler().AddThread(batch.get());
+  }
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdMediaPlay + 300, 100.0, "play"));
+  session.Run(s);
+  return AnalyzeDeadlines(player->frames(), MediaPlayerParams{}.period());
+}
+
+void RunBench() {
+  Banner("Extension -- 30 fps media playback (VuSystem-class workload)",
+         "300 frames; deadline misses/drops/jitter, idle and under load");
+
+  TextTable t({"configuration", "fps", "missed", "dropped", "max late (ms)", "jitter (ms)"});
+  for (const OsProfile& os : AllPersonalities()) {
+    const DeadlineReport r = Run(os, 0.0);
+    t.AddRow({os.name + " (idle)", TextTable::Num(r.achieved_fps, 1),
+              std::to_string(r.missed), std::to_string(r.dropped),
+              TextTable::Num(r.max_lateness_ms, 1), TextTable::Num(r.jitter_ms, 2)});
+  }
+  for (int boost : {0, 2}) {
+    const DeadlineReport r = Run(MakeNt40(), 0.9, boost);
+    t.AddRow({std::string("nt40 + 90% batch, ") + (boost ? "NT boost" : "no boost"),
+              TextTable::Num(r.achieved_fps, 1), std::to_string(r.missed),
+              std::to_string(r.dropped), TextTable::Num(r.max_lateness_ms, 1),
+              TextTable::Num(r.jitter_ms, 2)});
+  }
+  std::printf("\n%s", t.ToString().c_str());
+
+  std::printf(
+      "\nAll three systems sustain 30 fps when idle.  A coarse-quantum batch\n"
+      "hog at the player's priority causes visible stutter unless the OS\n"
+      "applies NT's wake boost, letting the woken player preempt it -- the\n"
+      "paper's latency-vs-throughput argument extended to continuous media.\n");
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::RunBench();
+  return 0;
+}

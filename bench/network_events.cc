@@ -1,0 +1,89 @@
+// Extension bench: latency of network-packet events.
+//
+// The paper's definition of event-handling latency explicitly covers
+// events "that result from interactive user input or network packet
+// arrival" (1); this bench applies the identical methodology to the
+// packet class: a telnet-style terminal renders remote output delivered
+// as WM_SOCKET messages.  The rate sweep shows the queueing knee when
+// arrivals outpace rendering -- invisible to a throughput metric, which
+// only improves as the pipe fills.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/irritation.h"
+#include "src/apps/terminal.h"
+#include "src/input/network.h"
+
+namespace ilat {
+namespace {
+
+struct TrafficResult {
+  SummaryStats latency;
+  SummaryStats queue_delay;
+  SummaryStats wall;
+  double throughput_kbps = 0.0;
+};
+
+TrafficResult Run(const OsProfile& os, double interarrival_ms) {
+  MeasurementSession session(os);
+  session.AttachApp(std::make_unique<TerminalApp>());
+  NetworkTrafficParams params;
+  params.packets = 300;
+  params.mean_interarrival_ms = interarrival_ms;
+  params.seed = 3;
+  NetworkTrafficDriver driver(&session.system(), &session.thread(), params);
+  const SessionResult r = session.RunWithDriver(&driver);
+
+  TrafficResult out;
+  double bytes = 0.0;
+  for (const EventRecord& e : r.events) {
+    out.latency.Add(e.latency_ms());
+    out.queue_delay.Add(e.queue_delay_ms());
+    out.wall.Add(e.wall_ms());
+    bytes += static_cast<double>(e.param);
+  }
+  out.throughput_kbps = bytes / 1024.0 / std::max(1e-9, r.elapsed_seconds());
+  return out;
+}
+
+void RunBench() {
+  Banner("Extension -- network packet events (terminal rendering)",
+         "300 Poisson packets; per-packet latency via the same methodology");
+
+  // Cross-OS comparison at an interactive rate.
+  TextTable t({"system", "mean latency (ms)", "p-max (ms)", "mean queue delay (ms)"});
+  for (const OsProfile& os : AllPersonalities()) {
+    const TrafficResult r = Run(os, 40.0);
+    t.AddRow({os.name, TextTable::Num(r.latency.mean(), 2),
+              TextTable::Num(r.latency.max(), 1), TextTable::Num(r.queue_delay.mean(), 2)});
+  }
+  std::printf("\n%s", t.ToString().c_str());
+
+  // Rate sweep on NT 4.0: the queueing knee.
+  TextTable sweep({"mean interarrival (ms)", "offered (pkt/s)", "idle-loop latency (ms)",
+                   "wall latency (ms)", "queue delay (ms)", "throughput (KB/s)"});
+  for (double ia : {200.0, 50.0, 20.0, 10.0, 5.0, 2.0, 1.0}) {
+    const TrafficResult r = Run(MakeNt40(), ia);
+    sweep.AddRow({TextTable::Num(ia, 0), TextTable::Num(1'000.0 / ia, 0),
+                  TextTable::Num(r.latency.mean(), 2), TextTable::Num(r.wall.mean(), 1),
+                  TextTable::Num(r.queue_delay.mean(), 1),
+                  TextTable::Num(r.throughput_kbps, 0)});
+  }
+  std::printf("\n%s", sweep.ToString().c_str());
+  std::printf(
+      "\nThroughput keeps rising as the pipe fills while per-packet wall\n"
+      "latency explodes past the service rate -- the same throughput-vs-\n"
+      "latency divergence the paper demonstrates for user input (1.1).\n"
+      "Note the idle-loop column collapsing at saturation: with no idle time\n"
+      "left, the instrument starves and sees nothing (its stated assumption,\n"
+      "2.3) -- the message-log wall/queue columns remain trustworthy.\n");
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::RunBench();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// google-benchmark microbenchmarks of the toolkit itself: how fast the
+// simulator and the analysis pipeline run on the host.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/apps/notepad.h"
+#include "src/core/busy_profile.h"
+#include "src/core/measurement.h"
+#include "src/input/typist.h"
+#include "src/input/workloads.h"
+
+namespace ilat {
+namespace {
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1'000; ++i) {
+      q.ScheduleAt(i * 100, [] {});
+    }
+    q.RunUntil(1'000 * 100);
+    benchmark::DoNotOptimize(q.fired_count());
+  }
+  state.SetItemsProcessed(state.iterations() * 1'000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_IdleSimulatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    MeasurementSession session(MakeNt40());
+    const SessionResult r = session.RunIdle(SecondsToCycles(1.0));
+    benchmark::DoNotOptimize(r.trace.size());
+  }
+}
+BENCHMARK(BM_IdleSimulatedSecond);
+
+void BM_TraceBufferAppend(benchmark::State& state) {
+  TraceBuffer buf(1 << 22);
+  Cycles t = 0;
+  for (auto _ : state) {
+    if (buf.Full()) {
+      state.PauseTiming();
+      buf.Clear();
+      state.ResumeTiming();
+    }
+    buf.Append(t += 100'000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceBufferAppend);
+
+void BM_BusyProfileConstruct(benchmark::State& state) {
+  std::vector<TraceRecord> trace;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  trace.reserve(n);
+  Cycles t = 0;
+  Random rng(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    t += kCyclesPerMillisecond + (rng.Bernoulli(0.05) ? 500'000 : 0);
+    trace.push_back(TraceRecord{t});
+  }
+  for (auto _ : state) {
+    BusyProfile p(trace, kCyclesPerMillisecond);
+    benchmark::DoNotOptimize(p.TotalBusy());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BusyProfileConstruct)->Arg(10'000)->Arg(100'000);
+
+void BM_NotepadSessionPerSimSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    MeasurementSession session(MakeNt40());
+    session.AttachApp(std::make_unique<NotepadApp>());
+    Random rng(3);
+    TypistParams tp;
+    Typist typist(tp, &rng);
+    const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 120)));
+    benchmark::DoNotOptimize(r.events.size());
+  }
+}
+BENCHMARK(BM_NotepadSessionPerSimSecond);
+
+void BM_FullNotepadBenchmark(benchmark::State& state) {
+  for (auto _ : state) {
+    MeasurementSession session(MakeNt40());
+    session.AttachApp(std::make_unique<NotepadApp>());
+    Random rng(42);
+    const SessionResult r = session.Run(NotepadWorkload(&rng));
+    benchmark::DoNotOptimize(r.events.size());
+  }
+}
+BENCHMARK(BM_FullNotepadBenchmark)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ilat
+
+BENCHMARK_MAIN();

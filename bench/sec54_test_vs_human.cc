@@ -1,0 +1,88 @@
+// Section 5.4: the Test-vs-manual discrepancy for Microsoft Word on
+// Windows NT 3.51.
+//
+// Paper: under MS Test most events had latency between 80 and 100 ms with
+// a 140 ms maximum, while hand-generated input showed ~32 ms typical
+// latency, carriage returns longer than 200 ms, and a higher level of
+// background activity.  The message-API log revealed Test's WM_QUEUESYNC
+// after every keystroke; the paper hypothesises those messages change
+// Word's behaviour (deferred work completes synchronously).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/apps/word.h"
+
+namespace ilat {
+namespace {
+
+struct ModeResult {
+  SummaryStats chars;
+  SummaryStats crs;
+  double background_ms = 0.0;
+  double fg_drain_ms = 0.0;
+  double max_ms = 0.0;
+  double elapsed_s = 0.0;
+};
+
+ModeResult RunMode(DriverKind kind) {
+  SessionOptions opts;
+  opts.driver = kind;
+  MeasurementSession session(MakeNt351(), opts);
+  auto word = std::make_unique<WordApp>();
+  WordApp* word_ptr = word.get();
+  session.AttachApp(std::move(word));
+  Random rng(11);
+  const SessionResult r = session.Run(WordWorkload(&rng));
+
+  ModeResult out;
+  for (const EventRecord& e : r.events) {
+    out.max_ms = std::max(out.max_ms, e.latency_ms());
+    if (e.type == MessageType::kChar && e.param != '\n') {
+      out.chars.Add(e.latency_ms());
+    } else if (e.type == MessageType::kChar && e.param == '\n') {
+      out.crs.Add(e.latency_ms());
+    }
+  }
+  out.background_ms = word_ptr->background_ms_executed();
+  out.fg_drain_ms = word_ptr->foreground_drain_ms_executed();
+  out.elapsed_s = r.elapsed_seconds();
+  return out;
+}
+
+void Run() {
+  Banner("Section 5.4 -- Word: Microsoft Test vs hand-generated input (NT 3.51)",
+         "Identical keystroke sequence; only the driver differs");
+
+  const ModeResult test = RunMode(DriverKind::kTest);
+  const ModeResult human = RunMode(DriverKind::kHuman);
+
+  TextTable t({"quantity", "paper Test", "ours Test", "paper manual", "ours manual"});
+  t.AddRow({"typical keystroke (ms)", "80-100", TextTable::Num(test.chars.mean(), 1), "32",
+            TextTable::Num(human.chars.mean(), 1)});
+  t.AddRow({"longest event (ms)", "140", TextTable::Num(test.max_ms, 1), ">200 (CRs)",
+            TextTable::Num(human.max_ms, 1)});
+  t.AddRow({"carriage return (ms)", "<=140", TextTable::Num(test.crs.mean(), 1), ">200",
+            TextTable::Num(human.crs.mean(), 1)});
+  t.AddRow({"background activity (ms)", "low", TextTable::Num(test.background_ms, 0),
+            "higher", TextTable::Num(human.background_ms, 0)});
+  t.AddRow({"work drained in foreground (ms)", "(hypothesised)",
+            TextTable::Num(test.fg_drain_ms, 0), "", TextTable::Num(human.fg_drain_ms, 0)});
+  std::printf("\n%s", t.ToString().c_str());
+
+  std::printf(
+      "\nMechanism (the paper's hypothesis, implemented): when a WM_QUEUESYNC\n"
+      "is pending in the queue, Word completes its deferred spell/repagination\n"
+      "work synchronously inside the keystroke handler instead of in the\n"
+      "background -- so Test inflates foreground latency by %.1fx while manual\n"
+      "input runs %.0f ms of spell work in the background (Test: %.0f ms).\n",
+      test.chars.mean() / human.chars.mean(), human.background_ms, test.background_ms);
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::Run();
+  return 0;
+}

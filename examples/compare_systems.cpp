@@ -1,0 +1,53 @@
+// Compare the interactive responsiveness of the three OS personalities on
+// the same workload -- the paper's central use case.
+//
+//   $ ./compare_systems
+
+#include <cstdio>
+#include <memory>
+
+#include "src/analysis/cumulative.h"
+#include "src/analysis/responsiveness.h"
+#include "src/analysis/stats.h"
+#include "src/apps/notepad.h"
+#include "src/core/measurement.h"
+#include "src/input/workloads.h"
+#include "src/viz/table.h"
+
+using namespace ilat;
+
+int main() {
+  TextTable table({"system", "events", "mean (ms)", "p95 (ms)", "max (ms)",
+                   "cumulative (ms)", "elapsed (s)", "responsiveness penalty"});
+
+  for (const OsProfile& os : AllPersonalities()) {
+    MeasurementSession session(os);
+    session.AttachApp(std::make_unique<NotepadApp>());
+    Random rng(42);  // identical input on every system
+    const SessionResult r = session.Run(NotepadWorkload(&rng));
+
+    std::vector<double> ms;
+    double total = 0.0;
+    double max = 0.0;
+    for (const EventRecord& e : r.events) {
+      ms.push_back(e.latency_ms());
+      total += e.latency_ms();
+      max = std::max(max, e.latency_ms());
+    }
+    const ResponsivenessReport rr = ScoreResponsiveness(r.events);
+
+    table.AddRow({os.name, std::to_string(r.events.size()),
+                  TextTable::Num(total / static_cast<double>(ms.size()), 2),
+                  TextTable::Num(Percentile(ms, 95.0), 2), TextTable::Num(max, 1),
+                  TextTable::Num(total, 0), TextTable::Num(r.elapsed_seconds(), 1),
+                  TextTable::Num(rr.penalty, 1)});
+  }
+
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nNote how the ranking depends on the metric: Windows 95 has the\n"
+      "smallest cumulative latency here yet the largest elapsed time (driver\n"
+      "overhead), and a throughput benchmark would have hidden all of it --\n"
+      "the paper's core argument for measuring latency directly.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Measure a user-defined application: implement GuiApplication, return a
+// Job from each message handler, and the whole toolkit (idle-loop
+// instrument, message monitor, extractor, FSM) works unchanged.
+//
+// The example models a small image editor: brush strokes are cheap,
+// applying a filter is compute-heavy, saving is disk-bound.
+//
+//   $ ./custom_app
+
+#include <cstdio>
+#include <memory>
+
+#include "src/core/measurement.h"
+#include "src/viz/table.h"
+
+using namespace ilat;
+
+namespace {
+
+constexpr int kCmdBrush = 1;
+constexpr int kCmdFilter = 2;
+constexpr int kCmdSave = 3;
+
+class ImageEditorApp : public GuiApplication {
+ public:
+  std::string_view name() const override { return "image-editor"; }
+
+  void OnStart(AppContext* ctx) override {
+    GuiApplication::OnStart(ctx);
+    image_file_ = ctx_->fs->Create("picture.img", 2 * 1024 * 1024);
+  }
+
+  Job HandleMessage(const Message& m) override {
+    JobBuilder b = ctx_->Build();
+    if (m.type != MessageType::kCommand) {
+      return b.Build();
+    }
+    switch (m.param) {
+      case kCmdBrush:
+        // Update a small region and redraw it.
+        b.AppWork(120.0);
+        b.GuiText(250.0, 4);
+        break;
+      case kCmdFilter:
+        // Whole-image convolution plus full redraw.
+        b.AppWork(28'000.0);
+        b.GuiGraphics(3'000.0, 20);
+        break;
+      case kCmdSave:
+        // Compress, then write the file synchronously.
+        b.AppWork(9'000.0);
+        b.WriteFile(image_file_, 0, 2 * 1024 * 1024);
+        break;
+      default:
+        break;
+    }
+    return b.Build();
+  }
+
+ private:
+  FileId image_file_ = -1;
+};
+
+Script EditingSession() {
+  Script s;
+  for (int stroke = 0; stroke < 25; ++stroke) {
+    s.push_back(ScriptItem::Command(kCmdBrush, 180.0, "brush"));
+  }
+  s.push_back(ScriptItem::Command(kCmdFilter, 1'500.0, "filter"));
+  for (int stroke = 0; stroke < 10; ++stroke) {
+    s.push_back(ScriptItem::Command(kCmdBrush, 180.0, "brush"));
+  }
+  s.push_back(ScriptItem::Command(kCmdSave, 2'000.0, "save"));
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<ImageEditorApp>());
+  const SessionResult r = session.Run(EditingSession());
+
+  TextTable t({"operation", "count", "mean latency (ms)", "wait incl. disk (ms)"});
+  for (const char* label : {"brush", "filter", "save"}) {
+    double total = 0.0;
+    double wall = 0.0;
+    int n = 0;
+    for (const EventRecord& e : r.events) {
+      if (e.label == label) {
+        total += e.latency_ms();
+        wall += e.wall_ms();
+        ++n;
+      }
+    }
+    t.AddRow({label, std::to_string(n), TextTable::Num(total / n, 2),
+              TextTable::Num(wall / n, 2)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nBrush strokes stay imperceptible, the filter is a perceptible pause,\n"
+      "and the save's latency is dominated by synchronous disk I/O -- which\n"
+      "the extractor counts as wait time even though the CPU is idle.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Measure playback smoothness: the deadline-analysis extension.
+//
+// Plays 30 fps video on each OS personality while a coarse-grained batch
+// job runs at the player's priority, and reports misses/drops/jitter --
+// metrics a throughput benchmark cannot see.
+//
+//   $ ./media_smoothness
+
+#include <cstdio>
+#include <memory>
+
+#include "src/analysis/deadlines.h"
+#include "src/apps/batch_thread.h"
+#include "src/apps/media_player.h"
+#include "src/core/measurement.h"
+#include "src/viz/table.h"
+
+using namespace ilat;
+
+namespace {
+
+DeadlineReport Play(const OsProfile& base, bool with_batch) {
+  OsProfile os = base;
+  SessionOptions opts;
+  opts.drain_after = SecondsToCycles(8.0);
+  MeasurementSession session(os, opts);
+  auto app = std::make_unique<MediaPlayerApp>();
+  MediaPlayerApp* player = app.get();
+  session.AttachApp(std::move(app));
+
+  std::unique_ptr<BatchThread> batch;
+  if (with_batch) {
+    BatchOptions bo;
+    bo.duty_cycle = 0.9;
+    bo.quantum = MillisecondsToCycles(20);
+    batch = std::make_unique<BatchThread>("indexer", 10, WorkProfile{}, bo,
+                                          &session.system().sim().queue(),
+                                          &session.system().sim().scheduler());
+    session.system().sim().scheduler().AddThread(batch.get());
+  }
+
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdMediaPlay + 150, 100.0, "play"));
+  session.Run(s);
+  return AnalyzeDeadlines(player->frames(), MediaPlayerParams{}.period());
+}
+
+}  // namespace
+
+int main() {
+  TextTable t({"system", "load", "fps", "missed", "dropped", "jitter (ms)"});
+  for (const OsProfile& os : AllPersonalities()) {
+    for (bool load : {false, true}) {
+      const DeadlineReport r = Play(os, load);
+      t.AddRow({os.name, load ? "90% batch hog" : "idle", TextTable::Num(r.achieved_fps, 1),
+                std::to_string(r.missed), std::to_string(r.dropped),
+                TextTable::Num(r.jitter_ms, 2)});
+    }
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nNT's wake boost keeps playback smooth under load; Windows 95 (no\n"
+      "boost) stutters -- the same per-event methodology, applied to frames.\n");
+  return 0;
+}

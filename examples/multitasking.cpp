@@ -1,0 +1,86 @@
+// Multi-window measurement: type in Notepad while a video plays.
+//
+// The session monitors the focused application (Notepad); the media
+// player runs in a second window as part of the system's context.  Both
+// sides are reported: keystroke latency and playback smoothness.
+//
+//   $ ./multitasking
+
+#include <cstdio>
+#include <memory>
+
+#include "src/analysis/deadlines.h"
+#include "src/analysis/stats.h"
+#include "src/apps/media_player.h"
+#include "src/apps/notepad.h"
+#include "src/core/measurement.h"
+#include "src/input/typist.h"
+#include "src/input/workloads.h"
+#include "src/viz/table.h"
+
+using namespace ilat;
+
+namespace {
+
+struct Row {
+  double key_mean = 0.0;
+  double key_max = 0.0;
+  DeadlineReport media;
+};
+
+Row RunOn(const OsProfile& os, bool with_media) {
+  SessionOptions opts;
+  opts.drain_after = SecondsToCycles(3.0);
+  MeasurementSession session(os, opts);
+  session.AttachApp(std::make_unique<NotepadApp>());
+
+  MediaPlayerApp* player = nullptr;
+  if (with_media) {
+    auto media = std::make_unique<MediaPlayerApp>();
+    player = media.get();
+    GuiThread& media_thread = session.AttachBackgroundApp(std::move(media));
+    Message play;
+    play.type = MessageType::kCommand;
+    play.param = kCmdMediaPlay + 600;  // ~20 s of video
+    media_thread.PostMessageToQueue(play);
+  }
+
+  Random rng(3);
+  TypistParams tp;
+  Typist typist(tp, &rng);
+  const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 400)));
+
+  Row out;
+  SummaryStats keys;
+  for (const EventRecord& e : r.events) {
+    keys.Add(e.latency_ms());
+  }
+  out.key_mean = keys.mean();
+  out.key_max = keys.max();
+  if (player != nullptr) {
+    out.media = AnalyzeDeadlines(player->frames(), MediaPlayerParams{}.period());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  TextTable t({"system", "video", "key mean (ms)", "key max (ms)", "fps", "missed+dropped"});
+  for (const OsProfile& os : AllPersonalities()) {
+    const Row alone = RunOn(os, false);
+    t.AddRow({os.name, "off", TextTable::Num(alone.key_mean, 2),
+              TextTable::Num(alone.key_max, 1), "-", "-"});
+    const Row beside = RunOn(os, true);
+    t.AddRow({os.name, "on", TextTable::Num(beside.key_mean, 2),
+              TextTable::Num(beside.key_max, 1), TextTable::Num(beside.media.achieved_fps, 1),
+              std::to_string(beside.media.missed + beside.media.dropped)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\nThe same methodology measures the focused window in a multi-tasking\n"
+      "context: keystrokes absorb the decoder's bursts while playback itself\n"
+      "stays smooth -- per-event latency shows exactly how much each side\n"
+      "pays, where a throughput benchmark would show nothing at all.\n");
+  return 0;
+}

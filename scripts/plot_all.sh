@@ -1,0 +1,16 @@
+#!/bin/sh
+# Render every gnuplot script the benches dropped into bench_out/ to PNG.
+# Usage: scripts/plot_all.sh [bench_out_dir]
+set -e
+dir="${1:-bench_out}"
+if ! command -v gnuplot >/dev/null 2>&1; then
+  echo "gnuplot not found; install it to render PNGs" >&2
+  exit 1
+fi
+cd "$dir"
+for gp in *.gp; do
+  [ -f "$gp" ] || continue
+  echo "rendering $gp"
+  gnuplot "$gp"
+done
+echo "PNGs written to $dir/"

@@ -1,0 +1,98 @@
+#include "src/analysis/classifier.h"
+
+#include <algorithm>
+
+#include "src/apps/commands.h"
+
+namespace ilat {
+
+std::string_view EventClassName(EventClass c) {
+  switch (c) {
+    case EventClass::kKeystroke:
+      return "keystroke";
+    case EventClass::kMouse:
+      return "mouse";
+    case EventClass::kNavigation:
+      return "navigation";
+    case EventClass::kCommand:
+      return "command";
+    case EventClass::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+EventClass ClassifyEvent(const EventRecord& e) {
+  switch (e.type) {
+    case MessageType::kChar:
+      return EventClass::kKeystroke;
+    case MessageType::kKeyDown:
+    case MessageType::kKeyUp:
+      switch (e.param) {
+        case kVkPageDown:
+        case kVkPageUp:
+        case kVkHome:
+        case kVkEnd:
+          return EventClass::kNavigation;
+        default:
+          return EventClass::kKeystroke;
+      }
+    case MessageType::kMouseDown:
+    case MessageType::kMouseUp:
+    case MessageType::kMouseMove:
+      return EventClass::kMouse;
+    case MessageType::kCommand:
+      return (e.param == kCmdPptPageDown) ? EventClass::kNavigation : EventClass::kCommand;
+    default:
+      return EventClass::kCommand;
+  }
+}
+
+double DefaultThresholdMs(EventClass c) {
+  switch (c) {
+    case EventClass::kKeystroke:
+      return 100.0;  // below perception (paper §3.1)
+    case EventClass::kMouse:
+      return 100.0;
+    case EventClass::kNavigation:
+      return 300.0;
+    case EventClass::kCommand:
+      return 2'000.0;  // 2-4 s range "invariably irritates users"
+    case EventClass::kCount:
+      break;
+  }
+  return 100.0;
+}
+
+std::vector<ClassSummary> SummarizeByClass(const std::vector<EventRecord>& events) {
+  std::vector<ClassSummary> out(static_cast<std::size_t>(EventClass::kCount));
+  std::vector<double> totals(out.size(), 0.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].event_class = static_cast<EventClass>(i);
+  }
+  for (const EventRecord& e : events) {
+    const auto c = static_cast<std::size_t>(ClassifyEvent(e));
+    ClassSummary& s = out[c];
+    ++s.count;
+    totals[c] += e.latency_ms();
+    s.max_ms = std::max(s.max_ms, e.latency_ms());
+    if (e.latency_ms() > DefaultThresholdMs(s.event_class)) {
+      ++s.over_threshold;
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].count > 0) {
+      out[i].mean_ms = totals[i] / static_cast<double>(out[i].count);
+    }
+  }
+  // Drop empty classes.
+  std::vector<ClassSummary> filtered;
+  for (const ClassSummary& s : out) {
+    if (s.count > 0) {
+      filtered.push_back(s);
+    }
+  }
+  return filtered;
+}
+
+}  // namespace ilat

@@ -1,0 +1,50 @@
+// Event classification.
+//
+// The paper argues that the latency threshold a user tolerates is a
+// function of event type ("users probably expect keystroke event latency
+// to be imperceptible while they may expect that a print command will
+// impose some delay", §3.1).  The classifier maps extracted events onto
+// coarse classes with default expectation thresholds drawn from
+// Shneiderman's guidance as cited by the paper: 0.1 s imperceptible,
+// 2-4 s invariably irritating.
+
+#ifndef ILAT_SRC_ANALYSIS_CLASSIFIER_H_
+#define ILAT_SRC_ANALYSIS_CLASSIFIER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/core/event_extractor.h"
+
+namespace ilat {
+
+enum class EventClass : int {
+  kKeystroke = 0,  // expectation: imperceptible (0.1 s)
+  kMouse,          // expectation: imperceptible (0.1 s)
+  kNavigation,     // page/scroll movement: short but perceptible allowed
+  kCommand,        // open/save/start: seconds-scale expectation
+  kCount,
+};
+
+std::string_view EventClassName(EventClass c);
+
+EventClass ClassifyEvent(const EventRecord& e);
+
+// Default user-expectation threshold per class, milliseconds.
+double DefaultThresholdMs(EventClass c);
+
+// Per-class latency summary (count, mean, max, and how many exceeded the
+// class's own expectation threshold).
+struct ClassSummary {
+  EventClass event_class = EventClass::kKeystroke;
+  std::size_t count = 0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t over_threshold = 0;
+};
+
+std::vector<ClassSummary> SummarizeByClass(const std::vector<EventRecord>& events);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_CLASSIFIER_H_

@@ -1,0 +1,75 @@
+#include "src/analysis/cumulative.h"
+
+#include <algorithm>
+
+namespace ilat {
+
+namespace {
+
+std::vector<double> SortedLatencies(const std::vector<EventRecord>& events) {
+  std::vector<double> ms;
+  ms.reserve(events.size());
+  for (const EventRecord& e : events) {
+    ms.push_back(e.latency_ms());
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms;
+}
+
+}  // namespace
+
+std::vector<CurvePoint> CumulativeLatencyByLatency(const std::vector<EventRecord>& events) {
+  std::vector<CurvePoint> out;
+  double cum = 0.0;
+  for (double v : SortedLatencies(events)) {
+    cum += v;
+    out.push_back(CurvePoint{v, cum});
+  }
+  return out;
+}
+
+std::vector<CurvePoint> CumulativeLatencyByCount(const std::vector<EventRecord>& events) {
+  std::vector<CurvePoint> out;
+  double cum = 0.0;
+  std::size_t i = 0;
+  for (double v : SortedLatencies(events)) {
+    cum += v;
+    out.push_back(CurvePoint{static_cast<double>(++i), cum});
+  }
+  return out;
+}
+
+double TotalLatencyMs(const std::vector<EventRecord>& events) {
+  double total = 0.0;
+  for (const EventRecord& e : events) {
+    total += e.latency_ms();
+  }
+  return total;
+}
+
+double LatencyFractionBelow(const std::vector<EventRecord>& events, double threshold_ms) {
+  const double total = TotalLatencyMs(events);
+  if (total <= 0.0) {
+    return 0.0;
+  }
+  double below = 0.0;
+  for (const EventRecord& e : events) {
+    if (e.latency_ms() < threshold_ms) {
+      below += e.latency_ms();
+    }
+  }
+  return below / total;
+}
+
+std::vector<EventRecord> EventsAbove(const std::vector<EventRecord>& events,
+                                     double threshold_ms) {
+  std::vector<EventRecord> out;
+  for (const EventRecord& e : events) {
+    if (e.latency_ms() >= threshold_ms) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace ilat

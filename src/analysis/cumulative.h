@@ -1,0 +1,41 @@
+// Cumulative latency curves (the middle and bottom panels of the paper's
+// Figs. 7, 8, 11).
+//
+// Events are sorted by duration, not by time of occurrence (paper §3.2):
+// the cumulative-latency-vs-latency curve shows how events of a given
+// duration contribute to the total, and cumulative-latency-vs-event-count
+// exposes variance in response time.
+
+#ifndef ILAT_SRC_ANALYSIS_CUMULATIVE_H_
+#define ILAT_SRC_ANALYSIS_CUMULATIVE_H_
+
+#include <vector>
+
+#include "src/core/event_extractor.h"
+
+namespace ilat {
+
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// (latency_ms, cumulative latency_ms of all events with latency <= x).
+std::vector<CurvePoint> CumulativeLatencyByLatency(const std::vector<EventRecord>& events);
+
+// (event index after sorting by latency ascending, cumulative latency_ms).
+std::vector<CurvePoint> CumulativeLatencyByCount(const std::vector<EventRecord>& events);
+
+// Total latency across events, ms.
+double TotalLatencyMs(const std::vector<EventRecord>& events);
+
+// Fraction of total latency contributed by events with latency < threshold.
+double LatencyFractionBelow(const std::vector<EventRecord>& events, double threshold_ms);
+
+// Events with latency >= threshold, preserving time order.
+std::vector<EventRecord> EventsAbove(const std::vector<EventRecord>& events,
+                                     double threshold_ms);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_CUMULATIVE_H_

@@ -1,0 +1,44 @@
+#include "src/analysis/deadlines.h"
+
+#include <algorithm>
+
+#include "src/analysis/stats.h"
+
+namespace ilat {
+
+DeadlineReport AnalyzeDeadlines(const std::vector<FrameRecord>& frames, Cycles period) {
+  DeadlineReport out;
+  out.frames_completed = static_cast<int>(frames.size());
+  if (frames.empty() || period <= 0) {
+    return out;
+  }
+
+  SummaryStats gaps;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const FrameRecord& f = frames[i];
+    const Cycles deadline = f.scheduled + period;
+    if (f.completed > deadline) {
+      ++out.missed;
+      out.max_lateness_ms =
+          std::max(out.max_lateness_ms, CyclesToMilliseconds(f.completed - deadline));
+    }
+    if (i > 0) {
+      gaps.Add(CyclesToMilliseconds(frames[i].completed - frames[i - 1].completed));
+      // Boundaries between this frame's slot and the previous one's.
+      const Cycles slots = (frames[i].scheduled - frames[i - 1].scheduled) / period;
+      if (slots > 1) {
+        out.dropped += static_cast<int>(slots - 1);
+      }
+    }
+  }
+  out.miss_rate = static_cast<double>(out.missed) / static_cast<double>(frames.size());
+  out.jitter_ms = gaps.stddev();
+
+  const Cycles span = frames.back().completed - frames.front().scheduled;
+  if (span > 0) {
+    out.achieved_fps = static_cast<double>(frames.size()) / CyclesToSeconds(span);
+  }
+  return out;
+}
+
+}  // namespace ilat

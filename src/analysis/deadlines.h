@@ -1,0 +1,38 @@
+// Deadline analysis for continuous (periodic) workloads.
+//
+// For media playback the per-event mean hides what matters: how many
+// frames finished after their deadline, how many periods were skipped
+// outright, and how uneven presentation times are.  This module computes
+// those from the (scheduled, completed) pairs a periodic application
+// records.
+
+#ifndef ILAT_SRC_ANALYSIS_DEADLINES_H_
+#define ILAT_SRC_ANALYSIS_DEADLINES_H_
+
+#include <vector>
+
+#include "src/apps/media_player.h"
+
+namespace ilat {
+
+struct DeadlineReport {
+  int frames_completed = 0;
+  // Frame finished after its period ended (scheduled + period).
+  int missed = 0;
+  double miss_rate = 0.0;
+  // Period boundaries skipped between consecutive frames (the player
+  // could not even start a frame).
+  int dropped = 0;
+  // Worst completion lateness beyond the deadline, ms (0 if none missed).
+  double max_lateness_ms = 0.0;
+  // Standard deviation of inter-completion gaps, ms (presentation jitter).
+  double jitter_ms = 0.0;
+  // Achieved frame rate over the covered interval.
+  double achieved_fps = 0.0;
+};
+
+DeadlineReport AnalyzeDeadlines(const std::vector<FrameRecord>& frames, Cycles period);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_DEADLINES_H_

@@ -1,0 +1,62 @@
+#include "src/analysis/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ilat {
+
+Histogram Histogram::Linear(double width, double max_value) {
+  Histogram h;
+  for (double lo = 0.0; lo < max_value; lo += width) {
+    h.bins_.push_back(Bin{lo, lo + width, 0, 0.0});
+  }
+  h.bins_.push_back(Bin{max_value, std::numeric_limits<double>::infinity(), 0, 0.0});
+  return h;
+}
+
+Histogram Histogram::Log2(double min_value, int num_bins) {
+  Histogram h;
+  h.bins_.push_back(Bin{0.0, min_value, 0, 0.0});
+  double lo = min_value;
+  for (int i = 0; i < num_bins; ++i) {
+    h.bins_.push_back(Bin{lo, lo * 2.0, 0, 0.0});
+    lo *= 2.0;
+  }
+  h.bins_.push_back(Bin{lo, std::numeric_limits<double>::infinity(), 0, 0.0});
+  return h;
+}
+
+void Histogram::Add(double value) {
+  ++total_count_;
+  total_value_ += value;
+  raw_.push_back(value);
+  for (Bin& b : bins_) {
+    if (value >= b.lo && value < b.hi) {
+      ++b.count;
+      b.total += value;
+      return;
+    }
+  }
+}
+
+void Histogram::AddLatencies(const std::vector<EventRecord>& events) {
+  for (const EventRecord& e : events) {
+    Add(e.latency_ms());
+  }
+}
+
+double Histogram::ValueFractionBelow(double threshold) const {
+  if (total_value_ <= 0.0) {
+    return 0.0;
+  }
+  double below = 0.0;
+  for (double v : raw_) {
+    if (v < threshold) {
+      below += v;
+    }
+  }
+  return below / total_value_;
+}
+
+}  // namespace ilat

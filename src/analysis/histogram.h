@@ -1,0 +1,48 @@
+// Latency histograms (the top panel of the paper's Figs. 7, 8, 11).
+
+#ifndef ILAT_SRC_ANALYSIS_HISTOGRAM_H_
+#define ILAT_SRC_ANALYSIS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/event_extractor.h"
+
+namespace ilat {
+
+class Histogram {
+ public:
+  struct Bin {
+    double lo = 0.0;  // inclusive
+    double hi = 0.0;  // exclusive
+    std::uint64_t count = 0;
+    double total = 0.0;  // sum of values in the bin
+  };
+
+  // Linear bins of `width` covering [0, max_value); one overflow bin.
+  static Histogram Linear(double width, double max_value);
+  // Log2 bins: [min_value*2^k, min_value*2^(k+1)), k = 0..num_bins-1.
+  static Histogram Log2(double min_value, int num_bins);
+
+  void Add(double value);
+  void AddLatencies(const std::vector<EventRecord>& events);
+
+  const std::vector<Bin>& bins() const { return bins_; }
+  std::uint64_t total_count() const { return total_count_; }
+  double total_value() const { return total_value_; }
+
+  // Fraction of the summed value contributed by values < threshold
+  // ("over 80% of the latency of Notepad is due to low-latency events").
+  double ValueFractionBelow(double threshold) const;
+
+ private:
+  std::vector<Bin> bins_;
+  std::uint64_t total_count_ = 0;
+  double total_value_ = 0.0;
+  std::vector<double> raw_;  // kept for exact fraction queries
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_HISTOGRAM_H_

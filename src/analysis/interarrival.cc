@@ -1,0 +1,36 @@
+#include "src/analysis/interarrival.h"
+
+#include <algorithm>
+
+namespace ilat {
+
+InterarrivalSummary InterarrivalAbove(const std::vector<EventRecord>& events,
+                                      double threshold_ms) {
+  std::vector<double> starts_s;
+  for (const EventRecord& e : events) {
+    if (e.latency_ms() > threshold_ms) {
+      starts_s.push_back(CyclesToSeconds(e.start));
+    }
+  }
+  std::sort(starts_s.begin(), starts_s.end());
+
+  InterarrivalSummary out;
+  out.threshold_ms = threshold_ms;
+  out.events_above = starts_s.size();
+  const SummaryStats s = DiffStats(starts_s);
+  out.mean_interarrival_s = s.mean();
+  out.stddev_interarrival_s = s.stddev();
+  return out;
+}
+
+std::vector<InterarrivalSummary> InterarrivalSweep(const std::vector<EventRecord>& events,
+                                                   const std::vector<double>& thresholds_ms) {
+  std::vector<InterarrivalSummary> out;
+  out.reserve(thresholds_ms.size());
+  for (double t : thresholds_ms) {
+    out.push_back(InterarrivalAbove(events, t));
+  }
+  return out;
+}
+
+}  // namespace ilat

@@ -1,0 +1,34 @@
+// Interarrival analysis of above-threshold events (paper §6, Table 2).
+//
+// "One factor that contributes to user dissatisfaction is the frequency of
+// long-latency events."  For a threshold T, collect the events with
+// latency above T and summarise the distribution of gaps between their
+// start times.
+
+#ifndef ILAT_SRC_ANALYSIS_INTERARRIVAL_H_
+#define ILAT_SRC_ANALYSIS_INTERARRIVAL_H_
+
+#include <vector>
+
+#include "src/analysis/stats.h"
+#include "src/core/event_extractor.h"
+
+namespace ilat {
+
+struct InterarrivalSummary {
+  double threshold_ms = 0.0;
+  std::size_t events_above = 0;
+  double mean_interarrival_s = 0.0;
+  double stddev_interarrival_s = 0.0;
+};
+
+InterarrivalSummary InterarrivalAbove(const std::vector<EventRecord>& events,
+                                      double threshold_ms);
+
+// Table-2-style sweep over several thresholds.
+std::vector<InterarrivalSummary> InterarrivalSweep(const std::vector<EventRecord>& events,
+                                                   const std::vector<double>& thresholds_ms);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_INTERARRIVAL_H_

@@ -1,0 +1,57 @@
+#include "src/analysis/irritation.h"
+
+#include <algorithm>
+
+#include "src/analysis/stats.h"
+
+namespace ilat {
+
+IrritationReport AnalyzeIrritation(const std::vector<EventRecord>& events,
+                                   double threshold_ms, Cycles span) {
+  IrritationReport out;
+  out.threshold_ms = threshold_ms;
+  out.events_total = events.size();
+  if (events.empty()) {
+    return out;
+  }
+
+  std::vector<double> latencies;
+  latencies.reserve(events.size());
+  Cycles first = events.front().start;
+  Cycles last = events.front().start;
+  std::vector<Cycles> above_starts;
+  for (const EventRecord& e : events) {
+    latencies.push_back(e.latency_ms());
+    first = std::min(first, e.start);
+    last = std::max(last, e.start);
+    out.max_ms = std::max(out.max_ms, e.latency_ms());
+    if (e.latency_ms() > threshold_ms) {
+      ++out.events_above;
+      above_starts.push_back(e.start);
+    }
+  }
+
+  const Cycles window = span > 0 ? span : (last - first);
+  const double minutes = CyclesToSeconds(window) / 60.0;
+  out.rate_per_minute =
+      minutes > 0.0 ? static_cast<double>(out.events_above) / minutes : 0.0;
+
+  // Longest calm stretch: between consecutive irritating events, plus the
+  // leading and trailing stretches of the window.
+  std::sort(above_starts.begin(), above_starts.end());
+  Cycles calm = 0;
+  Cycles prev = first;
+  for (Cycles t : above_starts) {
+    calm = std::max(calm, t - prev);
+    prev = t;
+  }
+  calm = std::max(calm, (first + window) - prev);
+  out.longest_calm_s = CyclesToSeconds(calm);
+
+  out.p50_ms = Percentile(latencies, 50.0);
+  out.p95_ms = Percentile(latencies, 95.0);
+  out.p99_ms = Percentile(latencies, 99.0);
+  return out;
+}
+
+}  // namespace ilat

@@ -1,0 +1,40 @@
+// Irritation report: the questions the paper's §6 poses about long-latency
+// events, answered from an event trace.
+//
+// "One factor that contributes to user dissatisfaction is the frequency of
+// long-latency events."  The report summarises, for a threshold: how often
+// irritating events occur, how they cluster, and the longest calm stretch
+// a user enjoyed.
+
+#ifndef ILAT_SRC_ANALYSIS_IRRITATION_H_
+#define ILAT_SRC_ANALYSIS_IRRITATION_H_
+
+#include <vector>
+
+#include "src/core/event_extractor.h"
+
+namespace ilat {
+
+struct IrritationReport {
+  double threshold_ms = 0.0;
+  std::size_t events_total = 0;
+  std::size_t events_above = 0;
+  // Irritating events per minute of elapsed time.
+  double rate_per_minute = 0.0;
+  // Longest stretch without an above-threshold event, seconds.
+  double longest_calm_s = 0.0;
+  // Latency percentiles across all events (ms).
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+// `span` is the observation window; if zero it is inferred from the first
+// and last event.
+IrritationReport AnalyzeIrritation(const std::vector<EventRecord>& events,
+                                   double threshold_ms = 100.0, Cycles span = 0);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_IRRITATION_H_

@@ -1,0 +1,26 @@
+#include "src/analysis/responsiveness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ilat {
+
+ResponsivenessReport ScoreResponsiveness(const std::vector<EventRecord>& events,
+                                         const ResponsivenessOptions& opts) {
+  ResponsivenessReport r;
+  r.events_total = events.size();
+  for (const EventRecord& e : events) {
+    const double latency = e.latency_ms();
+    r.worst_latency_ms = std::max(r.worst_latency_ms, latency);
+    const double threshold = opts.threshold_ms >= 0.0
+                                 ? opts.threshold_ms
+                                 : DefaultThresholdMs(ClassifyEvent(e));
+    if (latency > threshold) {
+      ++r.events_over_threshold;
+      r.penalty += std::pow(latency - threshold, opts.exponent);
+    }
+  }
+  return r;
+}
+
+}  // namespace ilat

@@ -1,0 +1,41 @@
+// Responsiveness metric (paper §3.1).
+//
+// The paper sketches -- but deliberately does not finalise -- a scalar
+// user-responsiveness metric: a summation over events of a penalty that is
+// zero below a per-event-type threshold T and grows with latency above it,
+// leaving the exact human-factors calibration to specialists.  This module
+// implements that proposal with pluggable penalty shape so the metric can
+// be explored (see bench/ablation benches), while the library's primary
+// outputs remain the graphical representations the paper trusts.
+
+#ifndef ILAT_SRC_ANALYSIS_RESPONSIVENESS_H_
+#define ILAT_SRC_ANALYSIS_RESPONSIVENESS_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/analysis/classifier.h"
+#include "src/core/event_extractor.h"
+
+namespace ilat {
+
+struct ResponsivenessOptions {
+  // Penalty exponent: 1 = excess latency, 2 = quadratic irritation growth.
+  double exponent = 1.0;
+  // Threshold override; if negative, per-class defaults are used.
+  double threshold_ms = -1.0;
+};
+
+struct ResponsivenessReport {
+  double penalty = 0.0;          // summed penalty (ms^exponent units)
+  std::size_t events_total = 0;
+  std::size_t events_over_threshold = 0;
+  double worst_latency_ms = 0.0;
+};
+
+ResponsivenessReport ScoreResponsiveness(const std::vector<EventRecord>& events,
+                                         const ResponsivenessOptions& opts = {});
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_RESPONSIVENESS_H_

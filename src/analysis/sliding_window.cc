@@ -1,0 +1,67 @@
+#include "src/analysis/sliding_window.h"
+
+#include <algorithm>
+
+#include "src/analysis/stats.h"
+
+namespace ilat {
+
+namespace {
+
+// Shared window walk: events must be start-sorted (the extractor's output
+// order).  Calls `emit(window_end, first_index, last_index)` for each
+// window containing at least one event.
+template <typename Emit>
+void WalkWindows(const std::vector<EventRecord>& events, Cycles window, Cycles step,
+                 Emit emit) {
+  if (events.empty() || window <= 0 || step <= 0) {
+    return;
+  }
+  const Cycles begin = events.front().start;
+  const Cycles end = events.back().start;
+  std::size_t lo = 0;
+  for (Cycles w_end = begin + window; w_end <= end + window; w_end += step) {
+    const Cycles w_begin = w_end - window;
+    while (lo < events.size() && events[lo].start < w_begin) {
+      ++lo;
+    }
+    std::size_t hi = lo;
+    while (hi < events.size() && events[hi].start < w_end) {
+      ++hi;
+    }
+    if (hi > lo) {
+      emit(w_end, lo, hi);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CurvePoint> WindowedLatencyPercentile(const std::vector<EventRecord>& events,
+                                                  Cycles window, Cycles step, double p) {
+  std::vector<CurvePoint> out;
+  WalkWindows(events, window, step,
+              [&](Cycles w_end, std::size_t lo, std::size_t hi) {
+                std::vector<double> ms;
+                ms.reserve(hi - lo);
+                for (std::size_t i = lo; i < hi; ++i) {
+                  ms.push_back(events[i].latency_ms());
+                }
+                out.push_back(CurvePoint{CyclesToSeconds(w_end), Percentile(ms, p)});
+              });
+  return out;
+}
+
+std::vector<CurvePoint> WindowedEventRate(const std::vector<EventRecord>& events,
+                                          Cycles window, Cycles step) {
+  std::vector<CurvePoint> out;
+  const double window_s = CyclesToSeconds(window);
+  WalkWindows(events, window, step,
+              [&](Cycles w_end, std::size_t lo, std::size_t hi) {
+                out.push_back(CurvePoint{CyclesToSeconds(w_end),
+                                         static_cast<double>(hi - lo) / window_s});
+              });
+  return out;
+}
+
+}  // namespace ilat

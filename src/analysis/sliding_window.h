@@ -1,0 +1,32 @@
+// Sliding-window latency statistics.
+//
+// The paper's raw profile (Fig. 5) shows *when* latency happens; a
+// windowed percentile compresses that into "how bad were the worst events
+// around time t" -- useful for spotting degradation over a long run
+// (cache pollution, background accumulation) that whole-run histograms
+// average away.
+
+#ifndef ILAT_SRC_ANALYSIS_SLIDING_WINDOW_H_
+#define ILAT_SRC_ANALYSIS_SLIDING_WINDOW_H_
+
+#include <vector>
+
+#include "src/analysis/cumulative.h"
+#include "src/core/event_extractor.h"
+
+namespace ilat {
+
+// Latency percentile `p` (0..100) over a sliding window of `window`
+// cycles, sampled every `step` cycles.  Each output point is
+// (window-end time in seconds, percentile latency in ms); windows with no
+// events are skipped.
+std::vector<CurvePoint> WindowedLatencyPercentile(const std::vector<EventRecord>& events,
+                                                  Cycles window, Cycles step, double p);
+
+// Events per second over the same sliding window (event-rate profile).
+std::vector<CurvePoint> WindowedEventRate(const std::vector<EventRecord>& events,
+                                          Cycles window, Cycles step);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_SLIDING_WINDOW_H_

@@ -1,0 +1,51 @@
+#include "src/analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ilat {
+
+void SummaryStats::Add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double SummaryStats::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double SummaryStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+SummaryStats DiffStats(const std::vector<double>& sorted_points) {
+  SummaryStats s;
+  for (std::size_t i = 1; i < sorted_points.size(); ++i) {
+    s.Add(sorted_points[i] - sorted_points[i - 1]);
+  }
+  return s;
+}
+
+}  // namespace ilat

@@ -1,0 +1,41 @@
+// Summary statistics (Welford online algorithm) and percentile helpers.
+
+#ifndef ILAT_SRC_ANALYSIS_STATS_H_
+#define ILAT_SRC_ANALYSIS_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ilat {
+
+class SummaryStats {
+ public:
+  void Add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Sample variance / standard deviation (n-1 denominator).
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Percentile by linear interpolation on a copy of `values`.  p in [0, 100].
+double Percentile(std::vector<double> values, double p);
+
+// Mean / standard deviation of adjacent differences (interarrival times).
+SummaryStats DiffStats(const std::vector<double>& sorted_points);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_ANALYSIS_STATS_H_

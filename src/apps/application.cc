@@ -1,0 +1,234 @@
+#include "src/apps/application.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ilat {
+
+GuiThread::GuiThread(SystemUnderTest* system, GuiApplication* app, int priority)
+    : SimThread(std::string(app->name()), priority),
+      system_(system),
+      app_(app),
+      queue_(std::make_unique<MessageQueue>(&system->sim().queue())),
+      busy_wait_quantum_(MillisecondsToCycles(0.2)) {
+  ctx_.system = system_;
+  ctx_.win32 = &system_->win32();
+  ctx_.fs = &system_->fs();
+  ctx_.sim = &system_->sim();
+  ctx_.queue = queue_.get();
+  queue_->SetWakeCallback([this] {
+    system_->sim().scheduler().Wake(this, system_->profile().wake_priority_boost);
+  });
+  app_->OnStart(&ctx_);
+}
+
+void GuiThread::PopStep() {
+  job_.pop_front();
+  FinishJobIfDone();
+}
+
+void GuiThread::FinishJobIfDone() {
+  if (job_.empty() && handling_foreground_) {
+    handling_foreground_ = false;
+    ++handled_;
+    const Cycles now = system_->sim().now();
+    for (MessagePumpObserver* o : observers_) {
+      o->OnHandleEnd(now, current_msg_);
+    }
+  }
+}
+
+void GuiThread::BeginDispatch(const Message& m) {
+  current_msg_ = m;
+  handling_foreground_ = true;
+  const Cycles now = system_->sim().now();
+  for (MessagePumpObserver* o : observers_) {
+    o->OnHandleStart(now, m);
+  }
+
+  const OsProfile& os = system_->profile();
+  Job job;
+
+  switch (m.type) {
+    case MessageType::kQuit:
+      quit_ = true;
+      break;
+    case MessageType::kQueueSync: {
+      // System-side handling of the driver's sync message, plus whatever
+      // Test-induced behaviour the application models.
+      JobBuilder b(ctx_.win32);
+      b.Raw(ctx_.win32->QueueSyncWork());
+      job = b.Build();
+      Job extra = app_->OnQueueSync();
+      for (JobStep& s : extra) {
+        job.push_back(std::move(s));
+      }
+      break;
+    }
+    default: {
+      JobBuilder b(ctx_.win32);
+      if (m.IsUserInput()) {
+        b.Raw(ctx_.win32->InputDispatchWork());
+      }
+      if (m.type == MessageType::kMouseDown && os.mouse_busy_wait) {
+        // Windows 95 quirk: the system spins between mouse-down and
+        // mouse-up (paper Fig. 6), so the measured "latency" of a click is
+        // however long the user held the button.
+        b.BusyWaitFor(MessageType::kMouseUp);
+      }
+      job = b.Build();
+      Job app_job = app_->HandleMessage(m);
+      for (JobStep& s : app_job) {
+        job.push_back(std::move(s));
+      }
+      break;
+    }
+  }
+
+  job_ = std::move(job);
+  FinishJobIfDone();
+}
+
+void GuiThread::DrainImmediateSteps() {
+  while (!job_.empty()) {
+    JobStep& s = job_.front();
+    if (s.kind == JobStep::Kind::kSetTimer) {
+      const int id = s.timer_id;
+      Cycles delay = s.timer_delay;
+      if (s.timer_align > 0) {
+        const Cycles now = system_->sim().queue().now();
+        delay = ((now / s.timer_align) + 1) * s.timer_align - now;
+      }
+      system_->sim().queue().ScheduleAfter(delay, [this, id] {
+        // Timer expiry: a short kernel interrupt posts WM_TIMER.
+        system_->RaiseInputInterrupt(800, [this, id] {
+          Message t;
+          t.type = MessageType::kTimer;
+          t.param = id;
+          queue_->Post(t);
+        });
+      });
+      PopStep();
+    } else if (s.kind == JobStep::Kind::kDiskWriteAsync) {
+      IoTracker& io = system_->sim().io();
+      io.BeginAsync();
+      ctx_.fs->Write(s.file, s.offset, s.bytes, [&io] { io.EndAsync(); });
+      PopStep();
+    } else if (s.kind == JobStep::Kind::kCallback) {
+      auto fn = std::move(s.callback);
+      PopStep();
+      if (fn) {
+        fn();
+      }
+    } else if (s.kind == JobStep::Kind::kBusyWaitForMessage &&
+               queue_->ContainsType(s.wait_for)) {
+      PopStep();
+    } else {
+      break;
+    }
+  }
+}
+
+ThreadAction GuiThread::ActionForFrontStep() {
+  JobStep& s = job_.front();
+  switch (s.kind) {
+    case JobStep::Kind::kWork: {
+      auto retire = s.on_retire;
+      return ThreadAction::Compute(s.work, [this, retire] {
+        if (retire) {
+          retire();
+        }
+        PopStep();
+      });
+    }
+    case JobStep::Kind::kDiskRead:
+    case JobStep::Kind::kDiskWrite: {
+      // Synchronous I/O: the thread blocks; the user is waiting even
+      // though the CPU may be idle (paper Fig. 2).
+      IoTracker& io = system_->sim().io();
+      io.BeginSync();
+      auto done = [this, &io] {
+        io.EndSync();
+        PopStep();
+        system_->sim().scheduler().Wake(this);
+      };
+      if (s.kind == JobStep::Kind::kDiskRead) {
+        ctx_.fs->Read(s.file, s.offset, s.bytes, done);
+      } else {
+        ctx_.fs->Write(s.file, s.offset, s.bytes, done);
+      }
+      return ThreadAction::Block();
+    }
+    case JobStep::Kind::kBusyWaitForMessage: {
+      // Spin in quanta, re-checking the queue after each.
+      return ThreadAction::Compute(
+          Work{busy_wait_quantum_, system_->profile().kernel_code}, [] {});
+    }
+    case JobStep::Kind::kDiskWriteAsync:
+    case JobStep::Kind::kSetTimer:
+    case JobStep::Kind::kCallback:
+      break;  // handled by DrainImmediateSteps
+  }
+  assert(false && "unreachable job step");
+  return ThreadAction::Block();
+}
+
+ThreadAction GuiThread::NextAction() {
+  if (quit_ && job_.empty()) {
+    return ThreadAction::Finish();
+  }
+
+  DrainImmediateSteps();
+  if (!job_.empty()) {
+    return ActionForFrontStep();
+  }
+  if (quit_) {
+    return ThreadAction::Finish();
+  }
+
+  // Message pump.
+  const Cycles now = system_->sim().now();
+  if (app_->HasBackgroundWork()) {
+    // PeekMessage path: poll for input between background units.
+    return ThreadAction::Compute(ctx_.win32->PeekMessageWork(), [this] {
+      ctx_.win32->ChargePeekMessage();
+      const Cycles t = system_->sim().now();
+      Message m;
+      const bool got = queue_->TryPop(&m);
+      for (MessagePumpObserver* o : observers_) {
+        o->OnApiCall(t, /*peek=*/true, /*blocked=*/false);
+      }
+      if (got) {
+        for (MessagePumpObserver* o : observers_) {
+          o->OnMessageRetrieved(t, m, queue_->Size());
+        }
+        BeginDispatch(m);
+      } else {
+        job_ = app_->NextBackgroundUnit();
+      }
+    });
+  }
+
+  if (queue_->Empty()) {
+    for (MessagePumpObserver* o : observers_) {
+      o->OnApiCall(now, /*peek=*/false, /*blocked=*/true);
+    }
+    return ThreadAction::Block();
+  }
+
+  return ThreadAction::Compute(ctx_.win32->GetMessageWork(), [this] {
+    ctx_.win32->ChargeGetMessage();
+    const Cycles t = system_->sim().now();
+    Message m;
+    const bool got = queue_->TryPop(&m);
+    assert(got);
+    (void)got;
+    for (MessagePumpObserver* o : observers_) {
+      o->OnApiCall(t, /*peek=*/false, /*blocked=*/false);
+      o->OnMessageRetrieved(t, m, queue_->Size());
+    }
+    BeginDispatch(m);
+  });
+}
+
+}  // namespace ilat

@@ -1,0 +1,148 @@
+// GuiApplication and GuiThread: the Win32-style message pump.
+//
+// GuiApplication is the interface application models implement: handle a
+// message by returning a Job, optionally supply background work units when
+// the queue is empty (Word's spell checker works this way, via
+// PeekMessage -- paper §5.4).
+//
+// GuiThread is the executor: a SimThread that pumps the message queue the
+// way Win32 applications do (GetMessage when purely event-driven,
+// PeekMessage when background work is pending), interprets Jobs, and
+// exposes the observation points the paper's methodology relies on:
+// every GetMessage/PeekMessage call is observable (paper §2.4), as are
+// ground-truth handling boundaries used to validate the event extractor.
+
+#ifndef ILAT_SRC_APPS_APPLICATION_H_
+#define ILAT_SRC_APPS_APPLICATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/job.h"
+#include "src/os/system.h"
+#include "src/sim/message_queue.h"
+#include "src/sim/thread.h"
+
+namespace ilat {
+
+class GuiThread;
+
+// Everything an application model may touch.
+struct AppContext {
+  SystemUnderTest* system = nullptr;
+  Win32Subsystem* win32 = nullptr;
+  FileSystem* fs = nullptr;
+  Simulation* sim = nullptr;
+  MessageQueue* queue = nullptr;
+
+  JobBuilder Build() const { return JobBuilder(win32); }
+};
+
+class GuiApplication {
+ public:
+  virtual ~GuiApplication() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Called once the thread is attached, before any message.
+  virtual void OnStart(AppContext* ctx) { ctx_ = ctx; }
+
+  // Handle one dequeued message.
+  virtual Job HandleMessage(const Message& m) = 0;
+
+  // True if the application has deferred background work; the pump then
+  // uses PeekMessage and calls NextBackgroundUnit() when no input is
+  // queued.
+  virtual bool HasBackgroundWork() const { return false; }
+
+  // One unit of background work (should be small, e.g. one word of spell
+  // checking) so input stays responsive.
+  virtual Job NextBackgroundUnit() { return {}; }
+
+  // Extra handling when the driver's WM_QUEUESYNC is processed (the Word
+  // model uses this to model Test-induced synchronous behaviour).
+  virtual Job OnQueueSync() { return {}; }
+
+ protected:
+  AppContext* ctx_ = nullptr;
+};
+
+// Observation hooks: the measurement toolkit (core/) attaches here.
+class MessagePumpObserver {
+ public:
+  virtual ~MessagePumpObserver() = default;
+
+  // A GetMessage/PeekMessage call retired.  `blocked` is true when a
+  // GetMessage found the queue empty and parked the thread.
+  virtual void OnApiCall(Cycles t, bool peek, bool blocked) {
+    (void)t;
+    (void)peek;
+    (void)blocked;
+  }
+  // A message was retrieved from the queue.
+  virtual void OnMessageRetrieved(Cycles t, const Message& m, std::size_t queue_len_after) {
+    (void)t;
+    (void)m;
+    (void)queue_len_after;
+  }
+  // Ground truth (not available to the paper's methodology; used by tests
+  // and for validating the extractor): handling of `m` began/ended.
+  virtual void OnHandleStart(Cycles t, const Message& m) {
+    (void)t;
+    (void)m;
+  }
+  virtual void OnHandleEnd(Cycles t, const Message& m) {
+    (void)t;
+    (void)m;
+  }
+};
+
+class GuiThread : public SimThread {
+ public:
+  // `priority` is a normal interactive priority (> 0; 0 is idle).
+  GuiThread(SystemUnderTest* system, GuiApplication* app, int priority = 10);
+
+  ThreadAction NextAction() override;
+
+  MessageQueue& queue() { return *queue_; }
+  AppContext& context() { return ctx_; }
+  GuiApplication& app() { return *app_; }
+
+  void AddObserver(MessagePumpObserver* obs) { observers_.push_back(obs); }
+
+  // Post an input message as if delivered by an interrupt handler; caller
+  // is responsible for interrupt costs (see SystemUnderTest helpers).
+  void PostMessageToQueue(Message m) { queue_->Post(m); }
+
+  // Number of foreground messages fully handled.
+  std::uint64_t handled_count() const { return handled_; }
+
+ private:
+  // Execute zero-time steps at the job front; returns when front is a
+  // timed step or the job is empty.
+  void DrainImmediateSteps();
+  void BeginDispatch(const Message& m);
+  void FinishJobIfDone();
+  ThreadAction ActionForFrontStep();
+  void PopStep();
+
+  SystemUnderTest* system_;
+  GuiApplication* app_;
+  std::unique_ptr<MessageQueue> queue_;
+  AppContext ctx_;
+  std::vector<MessagePumpObserver*> observers_;
+
+  Job job_;
+  Message current_msg_;
+  bool handling_foreground_ = false;
+  bool quit_ = false;
+  std::uint64_t handled_ = 0;
+
+  // Busy-wait quantum for kBusyWaitForMessage (0.2 ms).
+  Cycles busy_wait_quantum_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_APPS_APPLICATION_H_

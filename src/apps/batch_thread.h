@@ -1,0 +1,97 @@
+// BatchThread: a non-interactive CPU-bound job (a compile, an indexer)
+// running alongside the interactive application.
+//
+// The paper's methodology measures event latency *in context*; a batch
+// job at lower priority should soak up idle time without touching
+// interactive latency, while one at equal priority degrades it.  A duty
+// cycle below 1.0 makes the job intermittent (it sleeps between bursts),
+// which also keeps the idle-loop instrument alive: a *saturating* batch
+// job starves the instrument completely -- a genuine limitation of the
+// idle-loop methodology that bench/ablation_background_load demonstrates.
+
+#ifndef ILAT_SRC_APPS_BATCH_THREAD_H_
+#define ILAT_SRC_APPS_BATCH_THREAD_H_
+
+#include <algorithm>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/thread.h"
+
+namespace ilat {
+
+struct BatchOptions {
+  // Total computation; 0 = run forever.
+  Cycles total_work = 0;
+  // Work per burst.
+  Cycles quantum = kCyclesPerMillisecond;
+  // Fraction of wall time spent computing (1.0 = saturate the CPU).
+  // Below 1.0 the thread sleeps between bursts, which requires `queue`
+  // and `scheduler` for self-wakeup.
+  double duty_cycle = 1.0;
+};
+
+class BatchThread : public SimThread {
+ public:
+  using Options = BatchOptions;
+
+  // `queue`/`scheduler` may be null when duty_cycle == 1.0.
+  BatchThread(std::string name, int priority, WorkProfile profile,
+              BatchOptions options = BatchOptions(), EventQueue* queue = nullptr,
+              Scheduler* scheduler = nullptr)
+      : SimThread(std::move(name), priority),
+        profile_(profile),
+        options_(options),
+        queue_(queue),
+        scheduler_(scheduler),
+        remaining_(options.total_work),
+        infinite_(options.total_work == 0) {}
+
+  ThreadAction NextAction() override {
+    if (sleeping_) {
+      return ThreadAction::Block();
+    }
+    if (!infinite_ && remaining_ <= 0) {
+      return ThreadAction::Finish();
+    }
+    const Cycles step = infinite_ ? options_.quantum : std::min(options_.quantum, remaining_);
+    if (!infinite_) {
+      remaining_ -= step;
+    }
+    executed_ += step;
+    return ThreadAction::Compute(Work{step, profile_}, [this, step] {
+      if (options_.duty_cycle < 1.0 && queue_ != nullptr && scheduler_ != nullptr) {
+        // Sleep so that step / (step + sleep) == duty_cycle.
+        const auto sleep = static_cast<Cycles>(
+            static_cast<double>(step) * (1.0 - options_.duty_cycle) / options_.duty_cycle);
+        if (sleep > 0) {
+          sleeping_ = true;
+          queue_->ScheduleAfter(sleep, [this] {
+            sleeping_ = false;
+            scheduler_->Wake(this);
+          });
+        }
+      }
+    });
+  }
+
+  // A batch job is real work, not idle time, regardless of priority.
+  bool IsIdleThread() const override { return false; }
+
+  Cycles executed() const { return executed_; }
+  bool finished() const { return !infinite_ && remaining_ <= 0; }
+
+ private:
+  WorkProfile profile_;
+  BatchOptions options_;
+  EventQueue* queue_;
+  Scheduler* scheduler_;
+  Cycles remaining_;
+  bool infinite_;
+  bool sleeping_ = false;
+  Cycles executed_ = 0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_APPS_BATCH_THREAD_H_

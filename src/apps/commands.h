@@ -1,0 +1,37 @@
+// Shared virtual-key and command identifiers (Message::param values).
+
+#ifndef ILAT_SRC_APPS_COMMANDS_H_
+#define ILAT_SRC_APPS_COMMANDS_H_
+
+namespace ilat {
+
+// Virtual keys (param for kKeyDown of non-printing keys).
+inline constexpr int kVkPageDown = 1001;
+inline constexpr int kVkPageUp = 1002;
+inline constexpr int kVkLeft = 1003;
+inline constexpr int kVkRight = 1004;
+inline constexpr int kVkUp = 1005;
+inline constexpr int kVkDown = 1006;
+inline constexpr int kVkBackspace = 1007;
+inline constexpr int kVkHome = 1008;
+inline constexpr int kVkEnd = 1009;
+
+// Window-manager commands.
+inline constexpr int kCmdWmMaximize = 1;
+
+// PowerPoint commands.
+inline constexpr int kCmdPptStartApp = 100;
+inline constexpr int kCmdPptOpenDocument = 101;
+inline constexpr int kCmdPptPageDown = 102;
+inline constexpr int kCmdPptStartOleEdit = 103;
+inline constexpr int kCmdPptEditCell = 104;
+inline constexpr int kCmdPptEndOleEdit = 105;
+inline constexpr int kCmdPptSave = 106;
+inline constexpr int kCmdPptPrint = 107;
+
+// Media player: play (param - kCmdMediaPlay) frames; bare id = default.
+inline constexpr int kCmdMediaPlay = 200;
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_APPS_COMMANDS_H_

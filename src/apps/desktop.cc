@@ -1,0 +1,26 @@
+#include "src/apps/desktop.h"
+
+namespace ilat {
+
+Job DesktopApp::HandleMessage(const Message& m) {
+  const OsProfile& os = ctx_->win32->profile();
+  JobBuilder b = ctx_->Build();
+  switch (m.type) {
+    case MessageType::kKeyDown:
+      // Unbound keystroke: window-system processing only.
+      b.Raw(Work::FromInstructions(os.unbound_key_kinstr * 1000.0, os.gui_code));
+      break;
+    case MessageType::kKeyUp:
+      b.Raw(Work::FromInstructions(os.unbound_key_kinstr * 300.0, os.gui_code));
+      break;
+    case MessageType::kMouseDown:
+    case MessageType::kMouseUp:
+      b.Raw(Work::FromInstructions(os.mouse_click_kinstr * 1000.0, os.gui_code));
+      break;
+    default:
+      break;
+  }
+  return b.Build();
+}
+
+}  // namespace ilat

@@ -1,0 +1,26 @@
+// DesktopApp: the simple-interactive-event microbenchmarks of Fig. 6.
+//
+// Models the desktop/background window: an unbound keystroke is processed
+// (hotkey search, DefWindowProc) and discarded; a mouse click on the
+// background likewise.  On Windows 95 the mouse-down handler busy-waits
+// until mouse-up (inserted by the GuiThread executor from the OS profile),
+// so the measured latency is the user's hold time -- "off the scale" in
+// the paper's Fig. 6.
+
+#ifndef ILAT_SRC_APPS_DESKTOP_H_
+#define ILAT_SRC_APPS_DESKTOP_H_
+
+#include "src/apps/application.h"
+
+namespace ilat {
+
+class DesktopApp : public GuiApplication {
+ public:
+  std::string_view name() const override { return "desktop"; }
+
+  Job HandleMessage(const Message& m) override;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_APPS_DESKTOP_H_

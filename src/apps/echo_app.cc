@@ -1,0 +1,17 @@
+#include "src/apps/echo_app.h"
+
+namespace ilat {
+
+Job EchoApp::HandleMessage(const Message& m) {
+  if (m.type != MessageType::kChar) {
+    return {};
+  }
+  JobBuilder b = ctx_->Build();
+  // "performs some computation" ...
+  b.Raw(Work::FromMilliseconds(params_.compute_ms, ctx_->win32->profile().app_code));
+  // ... "echoes the character to the screen".
+  b.GuiText(params_.echo_kinstr, params_.echo_gui_calls);
+  return b.Build();
+}
+
+}  // namespace ilat

@@ -1,0 +1,182 @@
+// Jobs: declarative handler bodies for simulated applications.
+//
+// A message handler returns a Job -- a sequence of steps (compute, disk
+// read/write, set timer, busy-wait, callback).  The GuiThread executor in
+// application.h interprets the steps, so preemption, blocking, interrupt
+// stealing and counter accrual are modelled in exactly one place and
+// applications stay declarative.
+
+#ifndef ILAT_SRC_APPS_JOB_H_
+#define ILAT_SRC_APPS_JOB_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "src/os/filesystem.h"
+#include "src/os/win32.h"
+#include "src/sim/message.h"
+#include "src/sim/work.h"
+
+namespace ilat {
+
+struct JobStep {
+  enum class Kind {
+    kWork,               // compute `work`, then run on_retire
+    kDiskRead,           // synchronous read: thread blocks until resident
+    kDiskWrite,          // synchronous write-through
+    kDiskWriteAsync,     // background write: thread continues immediately
+    kSetTimer,           // arm a one-shot timer posting WM_TIMER (zero time)
+    kBusyWaitForMessage, // spin until a message of `wait_for` is queued
+    kCallback,           // run `callback` (zero time)
+  };
+
+  Kind kind = Kind::kWork;
+  Work work;
+  std::function<void()> on_retire;  // for kWork: counter side effects etc.
+
+  FileId file = -1;
+  std::int64_t offset = 0;
+  std::int64_t bytes = 0;
+
+  int timer_id = 0;
+  Cycles timer_delay = 0;
+  // If non-zero, the timer fires at the next multiple of this alignment
+  // after the step executes (used for clock-tick-paced animation).
+  Cycles timer_align = 0;
+
+  MessageType wait_for = MessageType::kQuit;
+
+  std::function<void()> callback;
+};
+
+using Job = std::deque<JobStep>;
+
+// Fluent builder producing Jobs with the right cost model attached.
+class JobBuilder {
+ public:
+  explicit JobBuilder(Win32Subsystem* win32) : win32_(win32) {}
+
+  JobBuilder& AppWork(double kinstr) {
+    return Raw(win32_->AppWork(kinstr));
+  }
+
+  JobBuilder& KernelWork(double kinstr) {
+    return Raw(win32_->KernelWork(kinstr));
+  }
+
+  // GUI work charges the TLB flushes of its domain crossings when the
+  // step retires.
+  JobBuilder& GuiText(double kinstr, int calls = 1) {
+    JobStep s;
+    s.kind = JobStep::Kind::kWork;
+    s.work = win32_->GuiTextWork(kinstr, calls);
+    s.on_retire = [w = win32_, calls] { w->ChargeGuiCalls(calls); };
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  JobBuilder& GuiGraphics(double kinstr, int calls = 1) {
+    JobStep s;
+    s.kind = JobStep::Kind::kWork;
+    s.work = win32_->GuiGraphicsWork(kinstr, calls);
+    s.on_retire = [w = win32_, calls] { w->ChargeGuiCalls(calls); };
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  JobBuilder& Raw(Work w, std::function<void()> on_retire = nullptr) {
+    JobStep s;
+    s.kind = JobStep::Kind::kWork;
+    s.work = w;
+    s.on_retire = std::move(on_retire);
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  JobBuilder& ReadFile(FileId f, std::int64_t offset, std::int64_t bytes) {
+    JobStep s;
+    s.kind = JobStep::Kind::kDiskRead;
+    s.file = f;
+    s.offset = offset;
+    s.bytes = bytes;
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  JobBuilder& WriteFile(FileId f, std::int64_t offset, std::int64_t bytes) {
+    // CPU-side write-path work scales with the data and the personality's
+    // write-path multiplier (NTFS journalling vs FAT).
+    const double kinstr_per_kb = 2.0 * win32_->profile().write_path_multiplier;
+    KernelWork(kinstr_per_kb * static_cast<double>(bytes) / 1024.0);
+    JobStep s;
+    s.kind = JobStep::Kind::kDiskWrite;
+    s.file = f;
+    s.offset = offset;
+    s.bytes = bytes;
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  // Background (asynchronous) write: the thread does not wait, and the
+  // I/O tracker records it as async -- the think/wait FSM treats it as
+  // background activity, not user wait time (paper Fig. 2).
+  JobBuilder& WriteFileAsync(FileId f, std::int64_t offset, std::int64_t bytes) {
+    const double kinstr_per_kb = 0.8 * win32_->profile().write_path_multiplier;
+    KernelWork(kinstr_per_kb * static_cast<double>(bytes) / 1024.0);
+    JobStep s;
+    s.kind = JobStep::Kind::kDiskWriteAsync;
+    s.file = f;
+    s.offset = offset;
+    s.bytes = bytes;
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  JobBuilder& SetTimer(int id, Cycles delay) {
+    JobStep s;
+    s.kind = JobStep::Kind::kSetTimer;
+    s.timer_id = id;
+    s.timer_delay = delay;
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  // Arm a timer for the next multiple of `align` after this step runs
+  // (evaluated at execution time, so preceding work does not skew it).
+  JobBuilder& SetTimerAligned(int id, Cycles align) {
+    JobStep s;
+    s.kind = JobStep::Kind::kSetTimer;
+    s.timer_id = id;
+    s.timer_align = align;
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  JobBuilder& BusyWaitFor(MessageType t) {
+    JobStep s;
+    s.kind = JobStep::Kind::kBusyWaitForMessage;
+    s.wait_for = t;
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  JobBuilder& Call(std::function<void()> fn) {
+    JobStep s;
+    s.kind = JobStep::Kind::kCallback;
+    s.callback = std::move(fn);
+    job_.push_back(std::move(s));
+    return *this;
+  }
+
+  Job Build() { return std::move(job_); }
+
+ private:
+  Win32Subsystem* win32_;
+  Job job_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_APPS_JOB_H_

@@ -1,0 +1,51 @@
+#include "src/apps/media_player.h"
+
+namespace ilat {
+
+void MediaPlayerApp::ArmFrameTimer(Job* job) {
+  JobBuilder b = ctx_->Build();
+  b.SetTimerAligned(kCmdMediaPlay, params_.period());
+  Job j = b.Build();
+  for (JobStep& s : j) {
+    job->push_back(std::move(s));
+  }
+}
+
+Job MediaPlayerApp::HandleMessage(const Message& m) {
+  Job job;
+
+  if (m.type == MessageType::kCommand && m.param >= kCmdMediaPlay) {
+    // param carries the frame count when > the command id sentinel; the
+    // CLI/scripts pass kCmdMediaPlay and a default length.
+    frames_remaining_ = (m.param > kCmdMediaPlay) ? m.param - kCmdMediaPlay : 300;
+    frames_.clear();
+    frames_.reserve(static_cast<std::size_t>(frames_remaining_));
+    ArmFrameTimer(&job);
+    return job;
+  }
+
+  if (m.type == MessageType::kTimer && m.param == kCmdMediaPlay) {
+    if (frames_remaining_ <= 0) {
+      return job;
+    }
+    --frames_remaining_;
+    const Cycles scheduled = ctx_->sim->now();
+    const double decode =
+        rng_.Uniform(params_.decode_kinstr_min, params_.decode_kinstr_max);
+    JobBuilder b = ctx_->Build();
+    b.AppWork(decode);
+    b.GuiGraphics(params_.render_kinstr, params_.render_gui_calls);
+    b.Call([this, scheduled] {
+      frames_.push_back(FrameRecord{scheduled, ctx_->sim->now()});
+    });
+    job = b.Build();
+    if (frames_remaining_ > 0) {
+      ArmFrameTimer(&job);
+    }
+    return job;
+  }
+
+  return job;
+}
+
+}  // namespace ilat

@@ -1,0 +1,64 @@
+// MediaPlayerApp: timer-paced continuous media playback.
+//
+// The paper cites the VuSystem (compute-intensive multimedia) among the
+// workloads motivating latency-centric evaluation.  A media player is the
+// continuous counterpart of keystroke handling: a frame must be decoded
+// and rendered every period, so the interesting metrics are missed
+// deadlines, dropped frames, and completion jitter rather than per-event
+// means.  The player paces itself with period-aligned timers exactly like
+// the window-maximize animation (Fig. 4), so frames drop naturally when
+// the machine cannot keep up.
+
+#ifndef ILAT_SRC_APPS_MEDIA_PLAYER_H_
+#define ILAT_SRC_APPS_MEDIA_PLAYER_H_
+
+#include <vector>
+
+#include "src/apps/application.h"
+#include "src/apps/commands.h"
+
+namespace ilat {
+
+struct MediaPlayerParams {
+  double fps = 30.0;
+  // Decode cost varies per frame (I/P frame mix).
+  double decode_kinstr_min = 500.0;
+  double decode_kinstr_max = 1'400.0;
+  // Blit to screen.
+  double render_kinstr = 450.0;
+  int render_gui_calls = 6;
+  std::uint64_t seed = 17;
+
+  Cycles period() const { return SecondsToCycles(1.0 / fps); }
+};
+
+struct FrameRecord {
+  Cycles scheduled = 0;  // the timer boundary that triggered the frame
+  Cycles completed = 0;  // decode+render finished
+};
+
+class MediaPlayerApp : public GuiApplication {
+ public:
+  explicit MediaPlayerApp(MediaPlayerParams params = {})
+      : params_(params), rng_(params.seed) {}
+
+  std::string_view name() const override { return "media-player"; }
+
+  // Play `param` frames on kCmdMediaPlay.
+  Job HandleMessage(const Message& m) override;
+
+  const std::vector<FrameRecord>& frames() const { return frames_; }
+  bool playing() const { return frames_remaining_ > 0; }
+
+ private:
+  void ArmFrameTimer(Job* job);
+
+  MediaPlayerParams params_;
+  Random rng_;
+  int frames_remaining_ = 0;
+  std::vector<FrameRecord> frames_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_APPS_MEDIA_PLAYER_H_

@@ -1,0 +1,91 @@
+#include "src/apps/notepad.h"
+
+namespace ilat {
+
+void NotepadApp::OnStart(AppContext* ctx) {
+  GuiApplication::OnStart(ctx);
+  if (params_.blink_cursor) {
+    // Arm the first blink directly (no handler is running yet); each
+    // WM_TIMER then re-arms the next through the normal job plumbing.
+    ctx_->sim->queue().ScheduleAfter(
+        MillisecondsToCycles(params_.blink_period_ms), [this] {
+          ctx_->system->RaiseInputInterrupt(800, [this] {
+            Message t;
+            t.type = MessageType::kTimer;
+            t.param = kBlinkTimerId;
+            ctx_->queue->Post(t);
+          });
+        });
+  }
+}
+
+Job NotepadApp::HandleMessage(const Message& m) {
+  JobBuilder b = ctx_->Build();
+  if (m.type == MessageType::kTimer && m.param == kBlinkTimerId) {
+    ++blinks_;
+    b.GuiText(params_.blink_kinstr, 1);
+    b.SetTimer(kBlinkTimerId, MillisecondsToCycles(params_.blink_period_ms));
+    return b.Build();
+  }
+  switch (m.type) {
+    case MessageType::kChar: {
+      const char c = static_cast<char>(m.param);
+      if (c == '\n') {
+        // Newline scrolls/refreshes part of the window.
+        b.AppWork(params_.refresh_app_kinstr);
+        b.GuiText(params_.refresh_kinstr, params_.refresh_gui_calls);
+      } else {
+        ++chars_;
+        b.AppWork(params_.insert_kinstr);
+        if (params_.coalesce_paint && ctx_->queue->ContainsType(MessageType::kChar)) {
+          // More input already queued: defer the paint (batching).
+          ++pending_paints_;
+          ++coalesced_;
+        } else {
+          b.GuiText(params_.echo_kinstr, params_.echo_gui_calls);
+        }
+      }
+      break;
+    }
+    case MessageType::kKeyDown:
+      switch (m.param) {
+        case kVkPageDown:
+        case kVkPageUp:
+          b.AppWork(params_.refresh_app_kinstr);
+          b.GuiText(params_.refresh_kinstr, params_.refresh_gui_calls);
+          break;
+        case kVkLeft:
+        case kVkRight:
+        case kVkUp:
+        case kVkDown:
+        case kVkHome:
+        case kVkEnd:
+          b.GuiText(params_.cursor_kinstr, params_.cursor_gui_calls);
+          break;
+        case kVkBackspace:
+          b.AppWork(params_.insert_kinstr);
+          b.GuiText(params_.echo_kinstr, params_.echo_gui_calls);
+          break;
+        default:
+          break;
+      }
+      break;
+    default:
+      break;
+  }
+  return b.Build();
+}
+
+Job NotepadApp::NextBackgroundUnit() {
+  // Deferred paint: render everything that was coalesced in one pass (a
+  // batch costs one screen update, not one per character).
+  JobBuilder b = ctx_->Build();
+  if (pending_paints_ > 0) {
+    b.GuiText(params_.echo_kinstr * 1.5, params_.echo_gui_calls);
+    pending_paints_ = 0;
+  }
+  return b.Build();
+}
+
+}  // namespace ilat
+

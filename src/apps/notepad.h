@@ -1,0 +1,75 @@
+// NotepadApp: model of Microsoft Notepad for the paper's §5.1 benchmark.
+//
+// Notepad is a simple synchronous ASCII editor: every keystroke is handled
+// to completion before the next.  Printable characters insert-and-echo
+// (a few ms); newline and page-down refresh all or part of the window
+// (the paper's ">= 28 ms" events).  The paper ran the same (Windows 95)
+// Notepad binary on all three systems, so per-OS differences come
+// entirely from the OS cost model.
+
+#ifndef ILAT_SRC_APPS_NOTEPAD_H_
+#define ILAT_SRC_APPS_NOTEPAD_H_
+
+#include "src/apps/application.h"
+#include "src/apps/commands.h"
+
+namespace ilat {
+
+struct NotepadParams {
+  // Blinking text cursor (paper S1.1: UI features that consume CPU yet
+  // have no impact on perceived latency -- throughput metrics cannot
+  // tell them apart from real work).  Off by default.
+  bool blink_cursor = false;
+  double blink_period_ms = 530.0;
+  double blink_kinstr = 120.0;
+
+  // Paint coalescing (paper S1.1's batching): when more input is already
+  // queued, defer the echo rendering and paint once when the queue
+  // drains.  Improves throughput under saturated input while making
+  // per-event measurements meaningless -- which is the paper's point.
+  // Off by default so events stay synchronous like the real Notepad.
+  bool coalesce_paint = false;
+
+  // Buffer insert per printable character.
+  double insert_kinstr = 5.0;
+  // Echoing one character (GDI text path).
+  double echo_kinstr = 140.0;
+  int echo_gui_calls = 6;
+  // Caret movement (arrow keys): redraw caret, maybe scroll a line.
+  double cursor_kinstr = 60.0;
+  int cursor_gui_calls = 3;
+  // Newline / page-down: refresh all or part of the window.
+  double refresh_app_kinstr = 20.0;
+  double refresh_kinstr = 2'600.0;
+  int refresh_gui_calls = 40;
+};
+
+class NotepadApp : public GuiApplication {
+ public:
+  explicit NotepadApp(NotepadParams params = {}) : params_(params) {}
+
+  std::string_view name() const override { return "notepad"; }
+
+  void OnStart(AppContext* ctx) override;
+  Job HandleMessage(const Message& m) override;
+
+  bool HasBackgroundWork() const override { return pending_paints_ > 0; }
+  Job NextBackgroundUnit() override;
+
+  std::uint64_t chars_inserted() const { return chars_; }
+  std::uint64_t cursor_blinks() const { return blinks_; }
+  std::uint64_t coalesced_paints() const { return coalesced_; }
+
+ private:
+  static constexpr int kBlinkTimerId = 99;
+
+  NotepadParams params_;
+  std::uint64_t chars_ = 0;
+  std::uint64_t blinks_ = 0;
+  std::uint64_t coalesced_ = 0;
+  int pending_paints_ = 0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_APPS_NOTEPAD_H_

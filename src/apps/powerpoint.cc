@@ -1,0 +1,152 @@
+#include "src/apps/powerpoint.h"
+
+#include <algorithm>
+
+namespace ilat {
+
+PowerpointApp::PowerpointApp(PowerpointParams params) : params_(params) {}
+
+void PowerpointApp::OnStart(AppContext* ctx) {
+  GuiApplication::OnStart(ctx);
+  exe_file_ = ctx_->fs->Create("powerpnt.exe", params_.exe_bytes);
+  ole_exe_file_ = ctx_->fs->Create("excel-graph.exe", params_.ole_exe_bytes);
+  doc_file_ = ctx_->fs->Create("presentation.ppt", params_.doc_bytes);
+  // Shared resources (fonts, templates, system DLLs) demand-loaded during
+  // open, plus the save target (document rewrite + backup copies).
+  save_file_ = ctx_->fs->Create("save-area", 16 * 1024 * 1024);
+}
+
+void PowerpointApp::AppendScatteredReads(Job* job, FileId file, double kb,
+                                         std::int64_t* cursor_bytes) {
+  const double mult = ctx_->win32->profile().app_load_read_multiplier;
+  const std::int64_t chunk = static_cast<std::int64_t>(params_.io_chunk_kb) * 1024;
+  // Stride 1.5x chunk so consecutive reads are never disk-sequential
+  // (application start-up is seek-bound).
+  const std::int64_t stride = chunk + chunk / 2;
+  const std::int64_t total = static_cast<std::int64_t>(kb * mult * 1024.0);
+  const std::int64_t size = ctx_->fs->SizeOf(file);
+  JobBuilder b = ctx_->Build();
+  for (std::int64_t done = 0; done < total; done += chunk) {
+    if (*cursor_bytes + chunk > size) {
+      *cursor_bytes = 0;
+    }
+    b.ReadFile(file, *cursor_bytes, chunk);
+    // Small per-chunk fix-up work (relocation, header parse).
+    b.KernelWork(8.0);
+    *cursor_bytes += stride;
+  }
+  Job j = b.Build();
+  for (JobStep& s : j) {
+    job->push_back(std::move(s));
+  }
+}
+
+void PowerpointApp::AppendScatteredWrites(Job* job, FileId file, double kb) {
+  const double mult = ctx_->win32->profile().write_path_multiplier;
+  const std::int64_t chunk = static_cast<std::int64_t>(params_.io_chunk_kb) * 1024;
+  const std::int64_t stride = chunk + chunk / 2;
+  const std::int64_t total = static_cast<std::int64_t>(kb * mult * 1024.0);
+  const std::int64_t size = ctx_->fs->SizeOf(file);
+  std::int64_t cursor = 0;
+  JobBuilder b = ctx_->Build();
+  for (std::int64_t done = 0; done < total; done += chunk) {
+    if (cursor + chunk > size) {
+      cursor = 0;
+    }
+    b.WriteFile(file, cursor, chunk);
+    cursor += stride;
+  }
+  Job j = b.Build();
+  for (JobStep& s : j) {
+    job->push_back(std::move(s));
+  }
+}
+
+Job PowerpointApp::HandleMessage(const Message& m) {
+  if (m.type != MessageType::kCommand) {
+    return {};
+  }
+
+  Job job;
+  JobBuilder b = ctx_->Build();
+
+  switch (m.param) {
+    case kCmdPptStartApp: {
+      AppendScatteredReads(&job, exe_file_, params_.start_read_kb, &exe_cursor_);
+      b.AppWork(params_.start_app_kinstr);
+      b.GuiGraphics(params_.start_gui_kinstr, 30);
+      break;
+    }
+    case kCmdPptOpenDocument: {
+      // The document itself plus demand-loaded import filters and fonts.
+      AppendScatteredReads(&job, doc_file_, static_cast<double>(params_.doc_bytes) / 1024.0,
+                           &doc_cursor_);
+      AppendScatteredReads(&job, save_file_,
+                           params_.open_read_kb - static_cast<double>(params_.doc_bytes) / 1024.0,
+                           &exe_cursor_);
+      b.AppWork(params_.open_parse_kinstr_per_page * params_.pages);
+      b.GuiGraphics(params_.open_gui_kinstr, 25);
+      break;
+    }
+    case kCmdPptPageDown: {
+      b.AppWork(params_.pagedown_app_kinstr);
+      b.GuiGraphics(params_.pagedown_gui_kinstr, params_.pagedown_gui_calls);
+      break;
+    }
+    case kCmdPptStartOleEdit: {
+      const int session = std::min(ole_sessions_, 2);
+      double kb = params_.ole_session_read_kb[session];
+      if (session > 0) {
+        kb += ctx_->win32->profile().ole_resession_extra_kb;
+      }
+      if (ole_sessions_ == 2) {
+        ole_steady_cursor_ = ole_cursor_;
+      } else if (ole_sessions_ > 2) {
+        // Steady state: the editor's working set is established; further
+        // sessions re-touch the same pages (hot once cached).
+        ole_cursor_ = ole_steady_cursor_;
+      }
+      ++ole_sessions_;
+      AppendScatteredReads(&job, ole_exe_file_, kb, &ole_cursor_);
+      b.AppWork(params_.ole_init_app_kinstr);
+      b.GuiGraphics(params_.ole_init_gui_kinstr, params_.ole_init_gui_calls);
+      break;
+    }
+    case kCmdPptEditCell: {
+      b.AppWork(params_.cell_edit_app_kinstr);
+      b.GuiGraphics(params_.cell_edit_gui_kinstr, params_.cell_edit_gui_calls);
+      break;
+    }
+    case kCmdPptEndOleEdit: {
+      b.GuiGraphics(params_.ole_end_gui_kinstr, 15);
+      break;
+    }
+    case kCmdPptPrint: {
+      // Rasterise/spool in the foreground, hand the bytes to the spooler.
+      b.AppWork(params_.print_spool_app_kinstr);
+      b.WriteFileAsync(save_file_, 8 * 1024 * 1024,
+                       static_cast<std::int64_t>(params_.print_spool_write_kb) * 1024);
+      break;
+    }
+    case kCmdPptSave: {
+      b.AppWork(params_.save_app_kinstr);
+      Job pre = b.Build();
+      for (JobStep& s : pre) {
+        job.push_back(std::move(s));
+      }
+      b = ctx_->Build();
+      AppendScatteredWrites(&job, save_file_, params_.save_write_kb);
+      break;
+    }
+    default:
+      break;
+  }
+
+  Job tail = b.Build();
+  for (JobStep& s : tail) {
+    job.push_back(std::move(s));
+  }
+  return job;
+}
+
+}  // namespace ilat

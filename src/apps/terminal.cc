@@ -1,0 +1,44 @@
+#include "src/apps/terminal.h"
+
+#include <algorithm>
+
+namespace ilat {
+
+Job TerminalApp::HandleMessage(const Message& m) {
+  JobBuilder b = ctx_->Build();
+  if (m.type != MessageType::kSocket) {
+    return b.Build();
+  }
+
+  const int bytes = std::max(1, m.param);
+  const int new_lines = std::max(1, bytes / params_.bytes_per_line);
+
+  // Parse the payload.
+  b.AppWork(params_.parse_kinstr_per_byte * static_cast<double>(bytes));
+
+  // Render the appended lines, scrolling whenever the screen fills.
+  int to_render = new_lines;
+  while (to_render > 0) {
+    const int fit = std::min(to_render, params_.rows - row_cursor_);
+    if (fit > 0) {
+      b.GuiText(params_.render_kinstr_per_line * fit,
+                params_.render_gui_calls_per_line * fit);
+      row_cursor_ += fit;
+      lines_ += static_cast<std::uint64_t>(fit);
+      to_render -= fit;
+    }
+    if (row_cursor_ >= params_.rows && to_render > 0) {
+      b.GuiText(params_.scroll_kinstr, params_.scroll_gui_calls);
+      ++scrolls_;
+      row_cursor_ = 0;
+    } else if (fit == 0) {
+      // Screen full but nothing left to render after the scroll.
+      b.GuiText(params_.scroll_kinstr, params_.scroll_gui_calls);
+      ++scrolls_;
+      row_cursor_ = 0;
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace ilat

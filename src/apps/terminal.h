@@ -1,0 +1,49 @@
+// TerminalApp: a network terminal (telnet-style) rendering remote output.
+//
+// Exercises the paper's second event class -- network packet arrival.
+// Each WM_SOCKET message carries a payload (bytes in Message::param); the
+// terminal parses it, appends to the screen buffer, and redraws the
+// affected lines.  Scrolling a full screen is the long-latency event
+// class, analogous to Notepad's page refresh.
+
+#ifndef ILAT_SRC_APPS_TERMINAL_H_
+#define ILAT_SRC_APPS_TERMINAL_H_
+
+#include "src/apps/application.h"
+
+namespace ilat {
+
+struct TerminalParams {
+  // Parse cost per byte of payload (escape-sequence scanning).
+  double parse_kinstr_per_byte = 0.12;
+  // Rendering the appended text (per ~80-char line).
+  double render_kinstr_per_line = 120.0;
+  int render_gui_calls_per_line = 2;
+  int bytes_per_line = 80;
+  // Scroll: redraw the whole window every `rows` rendered lines.
+  int rows = 24;
+  double scroll_kinstr = 1'800.0;
+  int scroll_gui_calls = 30;
+};
+
+class TerminalApp : public GuiApplication {
+ public:
+  explicit TerminalApp(TerminalParams params = {}) : params_(params) {}
+
+  std::string_view name() const override { return "terminal"; }
+
+  Job HandleMessage(const Message& m) override;
+
+  std::uint64_t lines_rendered() const { return lines_; }
+  std::uint64_t scrolls() const { return scrolls_; }
+
+ private:
+  TerminalParams params_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t scrolls_ = 0;
+  int row_cursor_ = 0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_APPS_TERMINAL_H_

@@ -1,0 +1,61 @@
+#include "src/apps/window_manager.h"
+
+namespace ilat {
+
+void WindowManagerApp::ArmStepTimer(Job* job) {
+  // The paper observed animation bursts aligned on 10 ms boundaries,
+  // "suggesting that they are scheduled by clock interrupts".  The
+  // alignment is evaluated when the step executes, after this job's
+  // rendering work has retired.
+  JobBuilder b = ctx_->Build();
+  b.SetTimerAligned(/*id=*/kCmdWmMaximize, MillisecondsToCycles(10));
+  Job j = b.Build();
+  for (JobStep& s : j) {
+    job->push_back(std::move(s));
+  }
+}
+
+Job WindowManagerApp::HandleMessage(const Message& m) {
+  const OsProfile& os = ctx_->win32->profile();
+  Job job;
+
+  if (m.type == MessageType::kCommand && m.param == kCmdWmMaximize) {
+    done_ = false;
+    steps_remaining_ = params_.animation_steps;
+    JobBuilder b = ctx_->Build();
+    b.Raw(Work::FromMilliseconds(params_.input_processing_ms, os.gui_code));
+    job = b.Build();
+    ArmStepTimer(&job);
+    return job;
+  }
+
+  if (m.type == MessageType::kTimer && m.param == kCmdWmMaximize) {
+    if (steps_remaining_ <= 0) {
+      return job;
+    }
+    const int step_index = params_.animation_steps - steps_remaining_;
+    const double step_ms =
+        params_.first_step_ms + params_.step_growth_ms * static_cast<double>(step_index);
+    JobBuilder b = ctx_->Build();
+    b.Raw(Work::FromMilliseconds(step_ms, os.gui_code));
+    job = b.Build();
+    --steps_remaining_;
+    if (steps_remaining_ > 0) {
+      ArmStepTimer(&job);
+    } else {
+      // Animation finished: the full-window redraw runs to completion.
+      JobBuilder redraw = ctx_->Build();
+      redraw.Raw(Work::FromMilliseconds(params_.redraw_ms, os.gui_code));
+      redraw.Call([this] { done_ = true; });
+      Job r = redraw.Build();
+      for (JobStep& s : r) {
+        job.push_back(std::move(s));
+      }
+    }
+    return job;
+  }
+
+  return job;
+}
+
+}  // namespace ilat

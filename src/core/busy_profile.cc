@@ -1,0 +1,102 @@
+#include "src/core/busy_profile.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ilat {
+
+BusyProfile::BusyProfile(const std::vector<TraceRecord>& trace, Cycles period,
+                         Cycles trace_start)
+    : period_(period) {
+  if (trace.empty()) {
+    return;
+  }
+  begin_ = trace_start >= 0 ? trace_start : trace.front().timestamp - period;
+  end_ = trace.back().timestamp;
+  samples_.reserve(trace.size());
+  busy_prefix_.reserve(trace.size() + 1);
+  busy_prefix_.push_back(0);
+
+  Cycles prev = begin_;
+  for (const TraceRecord& r : trace) {
+    Sample s;
+    s.end = r.timestamp;
+    s.gap = r.timestamp - prev;
+    s.busy = std::max<Cycles>(0, s.gap - period);
+    s.busy_begin = s.end - s.busy;
+    total_busy_ += s.busy;
+    busy_prefix_.push_back(total_busy_);
+    samples_.push_back(s);
+    prev = r.timestamp;
+  }
+}
+
+Cycles BusyProfile::BusyIn(Cycles a, Cycles b) const {
+  if (samples_.empty() || b <= a) {
+    return 0;
+  }
+  // A gap's busy time lies somewhere inside the gap; its exact placement
+  // is below the instrument's resolution.  Attribute to the query whatever
+  // part of the gap it overlaps, capped at the gap's busy amount: for an
+  // event window [enqueue, back-in-pump) this is exact, because the busy
+  // run is contained in the window and the window never extends past the
+  // gap's end by more than the residual idle.
+  auto lo = std::upper_bound(samples_.begin(), samples_.end(), a,
+                             [](Cycles t, const Sample& s) { return t < s.end; });
+  Cycles sum = 0;
+  for (auto it = lo; it != samples_.end(); ++it) {
+    const Cycles gap_begin = it->end - it->gap;
+    if (gap_begin >= b) {
+      break;
+    }
+    const Cycles s0 = std::max(gap_begin, a);
+    const Cycles s1 = std::min(it->end, b);
+    if (s1 > s0) {
+      sum += std::min(s1 - s0, it->busy);
+    }
+  }
+  return sum;
+}
+
+double BusyProfile::UtilizationIn(Cycles a, Cycles b) const {
+  if (b <= a) {
+    return 0.0;
+  }
+  return static_cast<double>(BusyIn(a, b)) / static_cast<double>(b - a);
+}
+
+Cycles BusyProfile::FirstCalmRecordAfter(Cycles t, double calm_factor) const {
+  const Cycles calm = static_cast<Cycles>(static_cast<double>(period_) * calm_factor);
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), t,
+                             [](Cycles v, const Sample& s) { return v < s.end; });
+  for (; it != samples_.end(); ++it) {
+    if (it->gap <= calm) {
+      return it->end;
+    }
+  }
+  return kNever;
+}
+
+std::vector<BusyProfile::UtilPoint> BusyProfile::UtilizationSamples() const {
+  std::vector<UtilPoint> out;
+  out.reserve(samples_.size());
+  for (const Sample& s : samples_) {
+    out.push_back(UtilPoint{s.end, s.gap > 0
+                                       ? static_cast<double>(s.busy) / static_cast<double>(s.gap)
+                                       : 0.0});
+  }
+  return out;
+}
+
+std::vector<BusyProfile::UtilPoint> BusyProfile::UtilizationBuckets(Cycles bucket) const {
+  std::vector<UtilPoint> out;
+  if (samples_.empty() || bucket <= 0) {
+    return out;
+  }
+  for (Cycles t = begin_; t < end_; t += bucket) {
+    out.push_back(UtilPoint{t + bucket, UtilizationIn(t, std::min(t + bucket, end_))});
+  }
+  return out;
+}
+
+}  // namespace ilat

@@ -1,0 +1,78 @@
+// BusyProfile: CPU busy/idle structure inferred from an idle-loop trace.
+//
+// Implements the paper's gap analysis: a record pair (r_{i-1}, r_i) with
+// gap g carries g - period of non-idle time ("the difference represents
+// the time required to handle the event", Fig. 1).  Busy time within a gap
+// is assumed contiguous and is placed at the end of the gap (the idle loop
+// finishes its interrupted pass right after preemption ends); the
+// placement error is bounded by one period, which is the methodology's
+// resolution.
+
+#ifndef ILAT_SRC_CORE_BUSY_PROFILE_H_
+#define ILAT_SRC_CORE_BUSY_PROFILE_H_
+
+#include <vector>
+
+#include "src/core/trace_buffer.h"
+
+namespace ilat {
+
+class BusyProfile {
+ public:
+  struct Sample {
+    Cycles end = 0;       // record timestamp
+    Cycles gap = 0;       // distance from previous record
+    Cycles busy = 0;      // max(0, gap - period)
+    Cycles busy_begin = 0;  // assumed start of the busy part of the gap
+  };
+
+  // `trace_start`: when the instrument began its first pass.  If negative,
+  // it is inferred as (first record - period), which assumes the first
+  // pass ran unpreempted -- wrong if the system was busy at trace start,
+  // so sessions pass the real value.
+  BusyProfile(const std::vector<TraceRecord>& trace, Cycles period, Cycles trace_start = -1);
+
+  Cycles period() const { return period_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  // Total busy cycles inferred over the whole trace.
+  Cycles TotalBusy() const { return total_busy_; }
+
+  // Busy cycles within [a, b).
+  Cycles BusyIn(Cycles a, Cycles b) const;
+
+  // Fraction of [a, b) that was busy.
+  double UtilizationIn(Cycles a, Cycles b) const;
+
+  // Timestamp of the first record strictly after `t` whose gap is "calm"
+  // (<= period * calm_factor), i.e. the system has returned to idle.
+  // Returns kNever if the trace ends first.
+  Cycles FirstCalmRecordAfter(Cycles t, double calm_factor = 1.3) const;
+
+  // Per-sample utilization series (time, utilization in that gap) -- the
+  // raw 1 ms resolution view of the paper's Figs. 3 and 4a.
+  struct UtilPoint {
+    Cycles t;
+    double utilization;
+  };
+  std::vector<UtilPoint> UtilizationSamples() const;
+
+  // Utilization averaged over fixed buckets (Fig. 4b's 10 ms view).
+  std::vector<UtilPoint> UtilizationBuckets(Cycles bucket) const;
+
+  Cycles trace_begin() const { return begin_; }
+  Cycles trace_end() const { return end_; }
+
+ private:
+  Cycles period_;
+  Cycles begin_ = 0;
+  Cycles end_ = 0;
+  Cycles total_busy_ = 0;
+  std::vector<Sample> samples_;
+  // Prefix sums of busy cycles for O(log n) BusyIn queries.
+  std::vector<Cycles> busy_prefix_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_BUSY_PROFILE_H_

@@ -1,0 +1,65 @@
+// CounterSession: Pentium performance-counter measurement (paper §2.2).
+//
+// The Pentium has one 64-bit cycle counter (always available) and two
+// 40-bit configurable event counters.  The simulator tracks every event as
+// ground truth; this class models the programming restriction -- pick two
+// events, read deltas, 40-bit wrap-around -- so experiments that need more
+// than two events must do repeated runs per counter pair, exactly as the
+// paper did ("We repeated the test 10 times for each performance
+// counter").
+
+#ifndef ILAT_SRC_CORE_COUNTER_SESSION_H_
+#define ILAT_SRC_CORE_COUNTER_SESSION_H_
+
+#include <cstdint>
+
+#include "src/sim/simulation.h"
+
+namespace ilat {
+
+class CounterSession {
+ public:
+  static constexpr std::uint64_t kCounterMask = (1ull << 40) - 1;  // 40-bit counters
+
+  CounterSession(Simulation* sim, HwEvent a, HwEvent b)
+      : sim_(sim), event_a_(a), event_b_(b) {}
+
+  void Begin() {
+    start_counts_ = sim_->counters().Snapshot();
+    start_cycles_ = sim_->now();
+    running_ = true;
+  }
+
+  void End() {
+    end_counts_ = sim_->counters().Snapshot();
+    end_cycles_ = sim_->now();
+    running_ = false;
+  }
+
+  // Deltas, wrapped to 40 bits like the hardware.
+  std::uint64_t CountA() const { return Delta(event_a_); }
+  std::uint64_t CountB() const { return Delta(event_b_); }
+  Cycles ElapsedCycles() const { return end_cycles_ - start_cycles_; }
+
+  HwEvent event_a() const { return event_a_; }
+  HwEvent event_b() const { return event_b_; }
+
+ private:
+  std::uint64_t Delta(HwEvent e) const {
+    const std::uint64_t d = end_counts_[e] - start_counts_[e];
+    return d & kCounterMask;
+  }
+
+  Simulation* sim_;
+  HwEvent event_a_;
+  HwEvent event_b_;
+  HwCounts start_counts_;
+  HwCounts end_counts_;
+  Cycles start_cycles_ = 0;
+  Cycles end_cycles_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_COUNTER_SESSION_H_

@@ -1,0 +1,101 @@
+#include "src/core/event_extractor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ilat {
+
+namespace {
+
+// First API call strictly after `t`, or `fallback`.
+Cycles NextApiCallAfter(const std::vector<MessageMonitor::ApiCall>& api, Cycles t,
+                        Cycles fallback) {
+  auto it = std::upper_bound(api.begin(), api.end(), t,
+                             [](Cycles v, const MessageMonitor::ApiCall& c) { return v < c.t; });
+  return it == api.end() ? fallback : it->t;
+}
+
+Cycles IoOverlap(const std::vector<IoPendingInterval>& io, Cycles a, Cycles b) {
+  Cycles sum = 0;
+  for (const IoPendingInterval& iv : io) {
+    if (iv.begin >= b) {
+      break;
+    }
+    const Cycles s0 = std::max(iv.begin, a);
+    const Cycles s1 = std::min(iv.end, b);
+    if (s1 > s0) {
+      sum += s1 - s0;
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<EventRecord> ExtractEvents(const BusyProfile& busy, const MessageMonitor& monitor,
+                                       const std::vector<PostedEvent>& posted,
+                                       const std::vector<IoPendingInterval>& io_pending,
+                                       const ExtractorOptions& opts) {
+  const auto& api = monitor.api_calls();
+  const auto& ret = monitor.retrievals();
+
+  std::unordered_map<std::uint64_t, std::size_t> seq_to_retrieval;
+  seq_to_retrieval.reserve(ret.size());
+  for (std::size_t i = 0; i < ret.size(); ++i) {
+    seq_to_retrieval.emplace(ret[i].msg.seq, i);
+  }
+
+  const Cycles trace_end = busy.trace_end();
+
+  std::vector<EventRecord> events;
+  events.reserve(posted.size());
+
+  for (const PostedEvent& p : posted) {
+    auto it = seq_to_retrieval.find(p.msg_seq);
+    if (it == seq_to_retrieval.end()) {
+      continue;  // message never retrieved (e.g. trace ended first)
+    }
+    const std::size_t idx = it->second;
+    const MessageMonitor::Retrieval& r = ret[idx];
+
+    Cycles window_end = NextApiCallAfter(api, r.t, trace_end);
+    // If the trace ended before the pump returned (buffer capacity), clamp
+    // the window so records stay well-formed.
+    window_end = std::max(window_end, r.t);
+
+    if (opts.merge_timer_cascades) {
+      // Extend the window through WM_TIMER retrievals that follow
+      // immediately (no intervening user input) -- animation continuations
+      // of this event (paper §2.6).
+      std::size_t j = idx + 1;
+      while (j < ret.size() && (ret[j].msg.type == MessageType::kTimer ||
+                                ret[j].msg.type == MessageType::kQueueSync)) {
+        if (ret[j].msg.type == MessageType::kTimer) {
+          window_end = NextApiCallAfter(api, ret[j].t, trace_end);
+        }
+        ++j;
+      }
+    }
+
+    EventRecord e;
+    e.msg_seq = p.msg_seq;
+    e.type = r.msg.type;
+    e.param = p.param;
+    e.label = p.label;
+    e.start = p.posted_at;  // physical input time: includes ISR + delivery
+    e.retrieved = r.t;
+    e.end = window_end;
+    e.busy = busy.BusyIn(e.start, window_end);
+    if (opts.include_io_wait) {
+      e.io_wait = IoOverlap(io_pending, e.start, window_end);
+    }
+    e.wall = e.end - e.start;
+    events.push_back(std::move(e));
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const EventRecord& a, const EventRecord& b) { return a.start < b.start; });
+  return events;
+}
+
+}  // namespace ilat

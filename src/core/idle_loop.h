@@ -1,0 +1,65 @@
+// The idle-loop instrument (paper §2.3).
+//
+// A lowest-priority thread that repeatedly executes a calibrated busy loop
+// sized to take `period` when the CPU is otherwise idle, logging a trace
+// record after each pass:
+//
+//   while (space_left_in_the_buffer) {
+//     for (i = 0; i < N; i++) ;
+//     generate_trace_record;
+//   }
+//
+// Any time stolen by interrupts or higher-priority threads elongates the
+// interval between consecutive records; the elongation *is* the
+// measurement.  Larger N (longer period) coarsens resolution but shrinks
+// the trace; the trade-off is explored in bench/ablation_idle_resolution.
+
+#ifndef ILAT_SRC_CORE_IDLE_LOOP_H_
+#define ILAT_SRC_CORE_IDLE_LOOP_H_
+
+#include "src/core/trace_buffer.h"
+#include "src/sim/simulation.h"
+#include "src/sim/thread.h"
+
+namespace ilat {
+
+class IdleLoopInstrument : public SimThread {
+ public:
+  // Priority 0 marks it as the idle thread: its execution counts as idle
+  // time in the scheduler's ground truth, exactly like replacing the
+  // system idle loop.
+  explicit IdleLoopInstrument(Simulation* sim, Cycles period = kCyclesPerMillisecond,
+                              std::size_t max_records = 4'000'000)
+      : SimThread("idle-loop", /*priority=*/0),
+        sim_(sim),
+        period_(period),
+        buffer_(max_records) {
+    // The busy-wait loop is trivial register arithmetic: IPC high, no
+    // memory traffic worth modelling.
+    loop_profile_.ipc = 1.0;
+    loop_profile_.data_refs_per_instr = 0.01;
+    loop_profile_.itlb_miss_per_kinstr = 0.0;
+    loop_profile_.dtlb_miss_per_kinstr = 0.0;
+  }
+
+  ThreadAction NextAction() override {
+    if (buffer_.Full()) {
+      return ThreadAction::Finish();
+    }
+    return ThreadAction::Compute(Work{period_, loop_profile_},
+                                 [this] { buffer_.Append(sim_->now()); });
+  }
+
+  const TraceBuffer& trace() const { return buffer_; }
+  Cycles period() const { return period_; }
+
+ private:
+  Simulation* sim_;
+  Cycles period_;
+  TraceBuffer buffer_;
+  WorkProfile loop_profile_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_IDLE_LOOP_H_

@@ -1,0 +1,183 @@
+#include "src/core/measurement.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ilat {
+
+// Wiring: adapts simulator ground-truth signals (CPU busy/idle, queue
+// transitions, sync-I/O transitions, foreground handling) into the
+// think/wait FSM and the I/O-pending interval list.
+class MeasurementSession::Wiring : public CpuObserver, public MessagePumpObserver {
+ public:
+  explicit Wiring(Cycles start) : fsm_(start) {}
+
+  // CpuObserver.
+  void OnCpuBusy(Cycles t) override { fsm_.OnCpu(t, true); }
+  void OnCpuIdle(Cycles t) override { fsm_.OnCpu(t, false); }
+
+  // MessagePumpObserver (foreground = handling a user-input message).
+  void OnHandleStart(Cycles t, const Message& m) override {
+    if (m.IsUserInput()) {
+      fsm_.OnForeground(t, true);
+    }
+  }
+  void OnHandleEnd(Cycles t, const Message& m) override {
+    if (m.IsUserInput()) {
+      fsm_.OnForeground(t, false);
+    }
+  }
+
+  void OnQueueTransition(Cycles t, bool non_empty) { fsm_.OnQueue(t, non_empty); }
+
+  void OnIoTransition(Cycles t, bool pending) {
+    fsm_.OnSyncIo(t, pending);
+    if (pending) {
+      io_open_ = t;
+    } else {
+      io_intervals_.push_back(IoPendingInterval{io_open_, t});
+    }
+  }
+
+  ThinkWaitFsm& fsm() { return fsm_; }
+  std::vector<IoPendingInterval>& io_intervals() { return io_intervals_; }
+
+ private:
+  ThinkWaitFsm fsm_;
+  Cycles io_open_ = 0;
+  std::vector<IoPendingInterval> io_intervals_;
+};
+
+MeasurementSession::MeasurementSession(OsProfile profile, SessionOptions opts)
+    : profile_(std::move(profile)), opts_(opts) {
+  system_ = std::make_unique<SystemUnderTest>(profile_, opts_.seed);
+  wiring_ = std::make_unique<Wiring>(system_->sim().now());
+  system_->sim().scheduler().AddCpuObserver(wiring_.get());
+  system_->sim().io().SetTransitionObserver(
+      [this](Cycles t, bool pending) { wiring_->OnIoTransition(t, pending); });
+}
+
+MeasurementSession::~MeasurementSession() = default;
+
+GuiThread& MeasurementSession::AttachApp(std::unique_ptr<GuiApplication> app) {
+  assert(app_ == nullptr && "only one application per session");
+  app_ = std::move(app);
+  thread_ = std::make_unique<GuiThread>(system_.get(), app_.get());
+  thread_->AddObserver(&monitor_);
+  thread_->AddObserver(wiring_.get());
+  thread_->queue().SetTransitionObserver(
+      [this](Cycles t, bool non_empty) { wiring_->OnQueueTransition(t, non_empty); });
+  system_->sim().scheduler().AddThread(thread_.get());
+  return *thread_;
+}
+
+GuiThread& MeasurementSession::AttachBackgroundApp(std::unique_ptr<GuiApplication> app,
+                                                   int priority) {
+  background_apps_.push_back(std::move(app));
+  background_threads_.push_back(std::make_unique<GuiThread>(
+      system_.get(), background_apps_.back().get(), priority));
+  system_->sim().scheduler().AddThread(background_threads_.back().get());
+  return *background_threads_.back();
+}
+
+void MeasurementSession::InstallInstrument() {
+  if (instrument_ != nullptr) {
+    return;
+  }
+  instrument_ = std::make_unique<IdleLoopInstrument>(&system_->sim(), opts_.idle_period,
+                                                     opts_.trace_capacity);
+  instrument_start_ = system_->sim().now();
+  system_->sim().scheduler().AddThread(instrument_.get());
+}
+
+SessionResult MeasurementSession::Run(const Script& script) {
+  assert(thread_ != nullptr && "AttachApp before Run");
+  system_->Boot();
+  InstallInstrument();
+  if (!counters_started_) {
+    counters_at_start_ = system_->sim().counters().Snapshot();
+    counters_started_ = true;
+  }
+
+  std::unique_ptr<InputDriver> driver;
+  switch (opts_.driver) {
+    case DriverKind::kTest:
+      driver = std::make_unique<TestDriver>(system_.get(), thread_.get(), script,
+                                            /*inject_queuesync=*/true);
+      break;
+    case DriverKind::kTestNoSync:
+      driver = std::make_unique<TestDriver>(system_.get(), thread_.get(), script,
+                                            /*inject_queuesync=*/false);
+      break;
+    case DriverKind::kHuman:
+      driver = std::make_unique<HumanDriver>(system_.get(), thread_.get(), script);
+      break;
+  }
+
+  return RunWithDriver(driver.get());
+}
+
+SessionResult MeasurementSession::RunWithDriver(InputDriver* driver) {
+  assert(thread_ != nullptr && "AttachApp before RunWithDriver");
+  system_->Boot();
+  InstallInstrument();
+  if (!counters_started_) {
+    counters_at_start_ = system_->sim().counters().Snapshot();
+    counters_started_ = true;
+  }
+  driver->Start();
+  const Cycles deadline = system_->sim().now() + opts_.max_run;
+  while (!driver->done() && system_->sim().now() < deadline) {
+    system_->sim().RunFor(MillisecondsToCycles(100));
+  }
+  system_->sim().RunFor(opts_.drain_after);
+
+  return Finalize(driver);
+}
+
+SessionResult MeasurementSession::RunIdle(Cycles duration) {
+  system_->Boot();
+  InstallInstrument();
+  counters_at_start_ = system_->sim().counters().Snapshot();
+  system_->sim().RunFor(duration);
+  return Finalize(nullptr);
+}
+
+SessionResult MeasurementSession::Finalize(InputDriver* driver) {
+  SessionResult result;
+  result.trace = instrument_->trace().records();
+  result.trace_period = instrument_->period();
+  result.trace_start = instrument_start_;
+  result.run_end = system_->sim().now();
+  result.counters = system_->sim().counters().Snapshot() - counters_at_start_;
+
+  wiring_->fsm().Finish(result.run_end);
+  for (int i = 0; i < static_cast<int>(UserState::kCount); ++i) {
+    result.user_state_totals[static_cast<std::size_t>(i)] =
+        wiring_->fsm().TotalIn(static_cast<UserState>(i));
+  }
+  result.user_state_intervals = wiring_->fsm().intervals();
+  result.io_pending = wiring_->io_intervals();
+
+  Scheduler& sched = system_->sim().scheduler();
+  result.gt_busy_cycles = sched.busy_thread_cycles() + sched.interrupt_cycles();
+  result.gt_handles = monitor_.ground_truth_handles();
+
+  if (driver != nullptr) {
+    result.posted = driver->posted();
+    if (!result.posted.empty()) {
+      result.first_input_at = result.posted.front().posted_at;
+    }
+    result.last_input_done_at = driver->finished_at();
+
+    const BusyProfile busy(result.trace, result.trace_period, result.trace_start);
+    ExtractorOptions xopts;
+    xopts.calm_factor = opts_.calm_factor;
+    xopts.merge_timer_cascades = opts_.merge_timer_cascades;
+    xopts.include_io_wait = opts_.include_io_wait;
+    result.events = ExtractEvents(busy, monitor_, result.posted, result.io_pending, xopts);
+  }
+  return result;
+}
+
+}  // namespace ilat

@@ -1,0 +1,158 @@
+// MeasurementSession: the toolkit's top-level public API.
+//
+// Wires together everything the paper's methodology needs -- a booted
+// simulated system with an OS personality, the application under test, an
+// input driver (scripted Test-style or human-style), the idle-loop
+// instrument, the message-API monitor, the I/O tracker, and the think/wait
+// FSM -- runs the workload, and returns per-event latency records plus the
+// raw traces.
+//
+// Quickstart:
+//
+//   MeasurementSession session(MakeNt40());
+//   session.AttachApp(std::make_unique<NotepadApp>());
+//   Random rng(42);
+//   SessionResult result = session.Run(NotepadWorkload(&rng));
+//   for (const EventRecord& e : result.events) { ... }
+
+#ifndef ILAT_SRC_CORE_MEASUREMENT_H_
+#define ILAT_SRC_CORE_MEASUREMENT_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/busy_profile.h"
+#include "src/core/event_extractor.h"
+#include "src/core/idle_loop.h"
+#include "src/core/message_monitor.h"
+#include "src/core/think_wait_fsm.h"
+#include "src/input/driver.h"
+#include "src/os/personalities.h"
+#include "src/os/system.h"
+
+namespace ilat {
+
+enum class DriverKind {
+  kTest,          // Microsoft-Test-like: pauses + WM_QUEUESYNC serialisation
+  kTestNoSync,    // scripted but without WM_QUEUESYNC (ablation)
+  kHuman,         // wall-clock pacing, no sync messages
+};
+
+struct SessionOptions {
+  Cycles idle_period = kCyclesPerMillisecond;
+  std::size_t trace_capacity = 4'000'000;
+  double calm_factor = 1.3;
+  bool merge_timer_cascades = false;
+  bool include_io_wait = true;
+  DriverKind driver = DriverKind::kTest;
+  // Keep simulating after the driver finishes so trailing work drains.
+  Cycles drain_after = SecondsToCycles(2.0);
+  // Safety cap on simulated time.
+  Cycles max_run = SecondsToCycles(3'600.0);
+  std::uint64_t seed = 1;
+};
+
+struct SessionResult {
+  // Extracted per-event latency records (user-input events only).
+  std::vector<EventRecord> events;
+
+  // Raw idle-loop trace + its period (build a BusyProfile to analyse).
+  std::vector<TraceRecord> trace;
+  Cycles trace_period = 0;
+  Cycles trace_start = 0;  // when the instrument began tracing
+
+  // Wall-clock bookkeeping.
+  Cycles first_input_at = 0;
+  Cycles last_input_done_at = 0;  // driver finished (incl. final sync)
+  Cycles run_end = 0;
+
+  // Elapsed time of the benchmark run, as the paper brackets it in
+  // Figs. 7/8/11: first input to driver completion.
+  Cycles elapsed() const { return last_input_done_at - first_input_at; }
+  double elapsed_seconds() const { return CyclesToSeconds(elapsed()); }
+
+  // Hardware counters over the whole run.
+  HwCounts counters;
+
+  // Think/wait classification totals (ground-truth-driven FSM).
+  std::array<Cycles, static_cast<int>(UserState::kCount)> user_state_totals{};
+  std::vector<ThinkWaitFsm::Interval> user_state_intervals;
+
+  // Synchronous-I/O pending intervals (also fed to the extractor).
+  std::vector<IoPendingInterval> io_pending;
+
+  // Ground truth for validation: scheduler-measured busy cycles and the
+  // executor's exact handling boundaries.
+  Cycles gt_busy_cycles = 0;
+  std::vector<MessageMonitor::HandleRecord> gt_handles;
+
+  // The input events as posted (labels, sequence numbers).
+  std::vector<PostedEvent> posted;
+
+  BusyProfile MakeBusyProfile() const {
+    return BusyProfile(trace, trace_period, trace_start);
+  }
+};
+
+class MeasurementSession {
+ public:
+  explicit MeasurementSession(OsProfile profile, SessionOptions opts = {});
+  ~MeasurementSession();
+
+  MeasurementSession(const MeasurementSession&) = delete;
+  MeasurementSession& operator=(const MeasurementSession&) = delete;
+
+  SystemUnderTest& system() { return *system_; }
+  const SessionOptions& options() const { return opts_; }
+
+  // Attach the application under test.  Must be called before Run.
+  // Returns the created GUI thread (for custom wiring).
+  GuiThread& AttachApp(std::unique_ptr<GuiApplication> app);
+
+  // Attach an additional application in another "window": it shares the
+  // CPU and gets its own message queue/thread, but is not monitored --
+  // its activity is simply part of the measured system's context
+  // (multi-tasking measurement).  Post to its queue via the returned
+  // thread.
+  GuiThread& AttachBackgroundApp(std::unique_ptr<GuiApplication> app, int priority = 10);
+
+  GuiThread& thread() { return *thread_; }
+  GuiApplication& app() { return *app_; }
+  MessageMonitor& monitor() { return monitor_; }
+
+  // Run a script to completion (plus drain) and extract all results.
+  SessionResult Run(const Script& script);
+
+  // Run with a caller-supplied driver (e.g. a network-traffic source).
+  // The driver must target this session's thread.
+  SessionResult RunWithDriver(InputDriver* driver);
+
+  // Run an idle system for `duration` (no app input) -- Fig. 3.
+  SessionResult RunIdle(Cycles duration);
+
+ private:
+  class Wiring;  // FSM + I/O interval recording
+
+  void InstallInstrument();
+  SessionResult Finalize(InputDriver* driver);
+
+  OsProfile profile_;
+  SessionOptions opts_;
+  std::unique_ptr<SystemUnderTest> system_;
+  std::unique_ptr<GuiApplication> app_;
+  std::unique_ptr<GuiThread> thread_;
+  std::vector<std::unique_ptr<GuiApplication>> background_apps_;
+  std::vector<std::unique_ptr<GuiThread>> background_threads_;
+  std::unique_ptr<IdleLoopInstrument> instrument_;
+  Cycles instrument_start_ = 0;
+  MessageMonitor monitor_;
+  std::unique_ptr<Wiring> wiring_;
+  HwCounts counters_at_start_;
+  bool counters_started_ = false;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_MEASUREMENT_H_

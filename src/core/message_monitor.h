@@ -1,0 +1,78 @@
+// MessageMonitor: the GetMessage/PeekMessage interception log (paper §2.4).
+//
+// "We can monitor use of these API entries by intercepting the USER32.DLL
+// calls...  We correlate the trace of GetMessage() and PeekMessage() calls
+// with our CPU profile to determine when the application begins handling a
+// new request and when it completes a request."
+//
+// The monitor also records the executor's ground-truth handling
+// boundaries, which the *extractor never uses* -- they exist so tests can
+// validate what the faithful method infers.
+
+#ifndef ILAT_SRC_CORE_MESSAGE_MONITOR_H_
+#define ILAT_SRC_CORE_MESSAGE_MONITOR_H_
+
+#include <iterator>
+#include <vector>
+
+#include "src/apps/application.h"
+
+namespace ilat {
+
+class MessageMonitor : public MessagePumpObserver {
+ public:
+  struct ApiCall {
+    Cycles t = 0;
+    bool peek = false;
+    bool blocked = false;  // GetMessage found the queue empty and parked
+  };
+
+  struct Retrieval {
+    Cycles t = 0;
+    Message msg;
+    std::size_t queue_len_after = 0;
+  };
+
+  struct HandleRecord {  // ground truth, for validation only
+    Cycles begin = 0;
+    Cycles end = 0;
+    Message msg;
+  };
+
+  void OnApiCall(Cycles t, bool peek, bool blocked) override {
+    api_calls_.push_back(ApiCall{t, peek, blocked});
+  }
+
+  void OnMessageRetrieved(Cycles t, const Message& m, std::size_t queue_len_after) override {
+    retrievals_.push_back(Retrieval{t, m, queue_len_after});
+  }
+
+  void OnHandleStart(Cycles t, const Message& m) override {
+    open_handles_.push_back(HandleRecord{t, 0, m});
+  }
+
+  void OnHandleEnd(Cycles t, const Message& m) override {
+    for (auto it = open_handles_.rbegin(); it != open_handles_.rend(); ++it) {
+      if (it->msg.seq == m.seq) {
+        it->end = t;
+        handles_.push_back(*it);
+        open_handles_.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+
+  const std::vector<ApiCall>& api_calls() const { return api_calls_; }
+  const std::vector<Retrieval>& retrievals() const { return retrievals_; }
+  const std::vector<HandleRecord>& ground_truth_handles() const { return handles_; }
+
+ private:
+  std::vector<ApiCall> api_calls_;
+  std::vector<Retrieval> retrievals_;
+  std::vector<HandleRecord> handles_;
+  std::vector<HandleRecord> open_handles_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_MESSAGE_MONITOR_H_

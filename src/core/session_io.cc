@@ -1,0 +1,149 @@
+#include "src/core/session_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ilat {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+MessageType TypeFromInt(int v) {
+  if (v < 0 || v > static_cast<int>(MessageType::kQuit)) {
+    return MessageType::kQuit;
+  }
+  return static_cast<MessageType>(v);
+}
+
+}  // namespace
+
+bool SaveSessionResult(const std::string& path, const SessionResult& result) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  out << "ilat-session " << kFormatVersion << '\n';
+  out << "meta " << result.trace_period << ' ' << result.trace_start << ' '
+      << result.first_input_at << ' ' << result.last_input_done_at << ' ' << result.run_end
+      << '\n';
+
+  out << "counters " << kNumHwEvents;
+  for (int i = 0; i < kNumHwEvents; ++i) {
+    out << ' ' << HwEventName(static_cast<HwEvent>(i)) << '='
+        << result.counters.counts[static_cast<std::size_t>(i)];
+  }
+  out << '\n';
+
+  out << "trace " << result.trace.size() << '\n';
+  for (const TraceRecord& r : result.trace) {
+    out << r.timestamp << '\n';
+  }
+
+  out << "events " << result.events.size() << '\n';
+  for (const EventRecord& e : result.events) {
+    out << e.msg_seq << ' ' << static_cast<int>(e.type) << ' ' << e.param << ' ' << e.start
+        << ' ' << e.retrieved << ' ' << e.end << ' ' << e.busy << ' ' << e.io_wait << ' '
+        << e.label << '\n';
+  }
+
+  out << "io " << result.io_pending.size() << '\n';
+  for (const IoPendingInterval& iv : result.io_pending) {
+    out << iv.begin << ' ' << iv.end << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadSessionResult(const std::string& path, SessionResult* out_result) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "ilat-session" || version != kFormatVersion) {
+    return false;
+  }
+
+  SessionResult r;
+  if (!(in >> tag) || tag != "meta") {
+    return false;
+  }
+  if (!(in >> r.trace_period >> r.trace_start >> r.first_input_at >> r.last_input_done_at >>
+        r.run_end)) {
+    return false;
+  }
+
+  int ncounters = 0;
+  if (!(in >> tag >> ncounters) || tag != "counters") {
+    return false;
+  }
+  for (int i = 0; i < ncounters; ++i) {
+    std::string pair;
+    if (!(in >> pair)) {
+      return false;
+    }
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return false;
+    }
+    const std::string name = pair.substr(0, eq);
+    const std::uint64_t value = std::stoull(pair.substr(eq + 1));
+    for (int e = 0; e < kNumHwEvents; ++e) {
+      if (HwEventName(static_cast<HwEvent>(e)) == name) {
+        r.counters.counts[static_cast<std::size_t>(e)] = value;
+        break;
+      }
+    }
+  }
+
+  std::size_t n = 0;
+  if (!(in >> tag >> n) || tag != "trace") {
+    return false;
+  }
+  r.trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord rec;
+    if (!(in >> rec.timestamp)) {
+      return false;
+    }
+    r.trace.push_back(rec);
+  }
+
+  if (!(in >> tag >> n) || tag != "events") {
+    return false;
+  }
+  r.events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EventRecord e;
+    int type = 0;
+    if (!(in >> e.msg_seq >> type >> e.param >> e.start >> e.retrieved >> e.end >> e.busy >>
+          e.io_wait)) {
+      return false;
+    }
+    e.type = TypeFromInt(type);
+    std::getline(in, e.label);
+    if (!e.label.empty() && e.label.front() == ' ') {
+      e.label.erase(0, 1);
+    }
+    e.wall = e.end - e.start;
+    r.events.push_back(std::move(e));
+  }
+
+  if (!(in >> tag >> n) || tag != "io") {
+    return false;
+  }
+  r.io_pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    IoPendingInterval iv;
+    if (!(in >> iv.begin >> iv.end)) {
+      return false;
+    }
+    r.io_pending.push_back(iv);
+  }
+
+  *out_result = std::move(r);
+  return true;
+}
+
+}  // namespace ilat

@@ -1,0 +1,38 @@
+// Persistence for measurement results.
+//
+// Saves/loads the durable parts of a SessionResult (events, idle-loop
+// trace, bookkeeping) in a line-oriented text format, so expensive runs
+// can be archived and re-analysed offline -- the workflow the paper's
+// authors used with their trace buffers.
+//
+// Format (version 1):
+//   ilat-session 1
+//   meta <trace_period> <trace_start> <first_input> <last_input_done> <run_end>
+//   counters <n> <name>=<value> ...
+//   trace <n>
+//   <timestamp> ... (one per line)
+//   events <n>
+//   <seq> <type> <param> <start> <retrieved> <end> <busy> <io_wait> <label...>
+//   io <n>
+//   <begin> <end>
+
+#ifndef ILAT_SRC_CORE_SESSION_IO_H_
+#define ILAT_SRC_CORE_SESSION_IO_H_
+
+#include <string>
+
+#include "src/core/measurement.h"
+
+namespace ilat {
+
+// Write `result` to `path`.  Returns false on I/O failure.
+bool SaveSessionResult(const std::string& path, const SessionResult& result);
+
+// Read a session back.  Returns false on I/O or format errors; `out` is
+// untouched on failure.  Fields not persisted (ground-truth handles, FSM
+// intervals, posted list) come back empty.
+bool LoadSessionResult(const std::string& path, SessionResult* out);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_SESSION_IO_H_

@@ -1,0 +1,88 @@
+#include "src/core/think_wait_fsm.h"
+
+#include <cassert>
+
+namespace ilat {
+
+std::string_view UserStateName(UserState s) {
+  switch (s) {
+    case UserState::kThink:
+      return "think";
+    case UserState::kWaitCpu:
+      return "wait-cpu";
+    case UserState::kWaitIo:
+      return "wait-io";
+    case UserState::kBackground:
+      return "background";
+    case UserState::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+UserState ThinkWaitFsm::Classify() const {
+  if (io_pending_) {
+    return UserState::kWaitIo;
+  }
+  if (queue_non_empty_ || foreground_) {
+    return UserState::kWaitCpu;
+  }
+  if (cpu_busy_) {
+    return UserState::kBackground;
+  }
+  return UserState::kThink;
+}
+
+void ThinkWaitFsm::PushInterval(Cycles begin, Cycles end, UserState state) {
+  totals_[static_cast<int>(state)] += end - begin;
+  // Merge with the previous interval when a zero-length flicker collapsed
+  // and left two adjacent intervals of the same state.
+  if (!intervals_.empty() && intervals_.back().end == begin &&
+      intervals_.back().state == state) {
+    intervals_.back().end = end;
+    return;
+  }
+  intervals_.push_back(Interval{begin, end, state});
+}
+
+void ThinkWaitFsm::Advance(Cycles t) {
+  assert(t >= last_change_ && "FSM inputs must arrive in time order");
+  const UserState s = Classify();
+  if (s == open_state_) {
+    return;
+  }
+  if (t > last_change_) {
+    PushInterval(last_change_, t, open_state_);
+  }
+  last_change_ = t;
+  open_state_ = s;
+}
+
+void ThinkWaitFsm::OnCpu(Cycles t, bool busy) {
+  cpu_busy_ = busy;
+  Advance(t);
+}
+
+void ThinkWaitFsm::OnQueue(Cycles t, bool non_empty) {
+  queue_non_empty_ = non_empty;
+  Advance(t);
+}
+
+void ThinkWaitFsm::OnSyncIo(Cycles t, bool pending) {
+  io_pending_ = pending;
+  Advance(t);
+}
+
+void ThinkWaitFsm::OnForeground(Cycles t, bool handling) {
+  foreground_ = handling;
+  Advance(t);
+}
+
+void ThinkWaitFsm::Finish(Cycles t) {
+  if (t > last_change_) {
+    PushInterval(last_change_, t, open_state_);
+    last_change_ = t;
+  }
+}
+
+}  // namespace ilat

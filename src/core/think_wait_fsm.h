@@ -1,0 +1,82 @@
+// Think-time / wait-time state machine (paper Fig. 2).
+//
+// Classifies time using three inputs -- CPU state (busy/idle), message
+// queue state (empty/non-empty), synchronous-I/O state (pending/none) --
+// plus the assumption the paper makes explicit: the user waits for every
+// event to complete.  A fourth input, foreground-handling, distinguishes
+// post-event background computation from handling the user is waiting on;
+// the paper notes real systems lacked the APIs for a full implementation,
+// while the simulator provides the signals as ground truth.
+//
+// State priority (highest first): synchronous I/O pending -> kWaitIo;
+// queue non-empty or foreground handling in progress -> kWaitCpu;
+// CPU busy otherwise -> kBackground; else kThink.
+
+#ifndef ILAT_SRC_CORE_THINK_WAIT_FSM_H_
+#define ILAT_SRC_CORE_THINK_WAIT_FSM_H_
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ilat {
+
+enum class UserState : int {
+  kThink = 0,       // CPU idle, queue empty, no sync I/O: user is thinking
+  kWaitCpu,         // user waiting on computation
+  kWaitIo,          // user waiting on synchronous I/O
+  kBackground,      // CPU busy but user not (known to be) waiting
+  kCount,
+};
+
+std::string_view UserStateName(UserState s);
+
+class ThinkWaitFsm {
+ public:
+  struct Interval {
+    Cycles begin = 0;
+    Cycles end = 0;
+    UserState state = UserState::kThink;
+  };
+
+  explicit ThinkWaitFsm(Cycles start_time = 0) : last_change_(start_time) {}
+
+  // Input transitions (times must be non-decreasing).
+  void OnCpu(Cycles t, bool busy);
+  void OnQueue(Cycles t, bool non_empty);
+  void OnSyncIo(Cycles t, bool pending);
+  void OnForeground(Cycles t, bool handling);
+
+  // Close the open interval at `t`.
+  void Finish(Cycles t);
+
+  UserState current() const { return Classify(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  Cycles TotalIn(UserState s) const { return totals_[static_cast<int>(s)]; }
+  // Total wait time (CPU + I/O).
+  Cycles TotalWait() const {
+    return TotalIn(UserState::kWaitCpu) + TotalIn(UserState::kWaitIo);
+  }
+
+ private:
+  UserState Classify() const;
+  void Advance(Cycles t);
+  void PushInterval(Cycles begin, Cycles end, UserState state);
+
+  bool cpu_busy_ = false;
+  bool queue_non_empty_ = false;
+  bool io_pending_ = false;
+  bool foreground_ = false;
+
+  Cycles last_change_ = 0;
+  UserState open_state_ = UserState::kThink;
+  std::vector<Interval> intervals_;
+  std::array<Cycles, static_cast<int>(UserState::kCount)> totals_{};
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_THINK_WAIT_FSM_H_

@@ -1,0 +1,57 @@
+// Idle-loop trace records and their buffer.
+//
+// The instrument generates one record per `period` of idle time (paper
+// §2.3: "one trace record per millisecond of idle time").  Records are a
+// single timestamp; all derived quantities (gaps, busy time, utilization)
+// are computed by BusyProfile.  The buffer is preallocated -- the paper's
+// pseudo-code loops "while (space_left_in_the_buffer)" -- so tracing stops
+// rather than perturbing the system when full.
+
+#ifndef ILAT_SRC_CORE_TRACE_BUFFER_H_
+#define ILAT_SRC_CORE_TRACE_BUFFER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ilat {
+
+struct TraceRecord {
+  // Completion time of one idle-loop pass.
+  Cycles timestamp = 0;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 4'000'000) : capacity_(capacity) {
+    records_.reserve(std::min<std::size_t>(capacity, 1 << 20));
+  }
+
+  bool Full() const { return records_.size() >= capacity_; }
+
+  // Returns false (and drops the record) when full.
+  bool Append(Cycles timestamp) {
+    if (Full()) {
+      return false;
+    }
+    records_.push_back(TraceRecord{timestamp});
+    return true;
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return records_.empty(); }
+
+  void Clear() { records_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_TRACE_BUFFER_H_

@@ -1,0 +1,217 @@
+#include "src/input/driver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ilat {
+
+namespace {
+
+Message InputMessage(const ScriptItem& it, bool mouse_up = false) {
+  Message m;
+  switch (it.kind) {
+    case ScriptItem::Kind::kChar:
+      m.type = MessageType::kChar;
+      break;
+    case ScriptItem::Kind::kKeyDown:
+      m.type = MessageType::kKeyDown;
+      break;
+    case ScriptItem::Kind::kMouseClick:
+      m.type = mouse_up ? MessageType::kMouseUp : MessageType::kMouseDown;
+      break;
+    case ScriptItem::Kind::kCommand:
+      m.type = MessageType::kCommand;
+      break;
+  }
+  m.param = it.param;
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TestDriver
+
+TestDriver::TestDriver(SystemUnderTest* system, GuiThread* target, Script script,
+                       bool inject_queuesync)
+    : system_(system),
+      target_(target),
+      script_(std::move(script)),
+      inject_queuesync_(inject_queuesync) {
+  target_->AddObserver(this);
+}
+
+void TestDriver::Start() {
+  if (script_.empty()) {
+    done_ = true;
+    finished_at_ = system_->sim().now();
+    return;
+  }
+  ScheduleNext(system_->sim().now());
+}
+
+void TestDriver::ScheduleNext(Cycles base) {
+  assert(next_item_ < script_.size());
+  const ScriptItem& it = script_[next_item_];
+  // Test paces from the completion of the previous event's processing
+  // (its WM_QUEUESYNC), so slow sync handling stretches elapsed time --
+  // the Fig. 7 Windows 95 artifact.
+  const Cycles when = base + MillisecondsToCycles(it.pause_before_ms);
+  system_->sim().queue().ScheduleAt(std::max(when, system_->sim().now()),
+                                    [this] { InjectCurrent(); });
+}
+
+void TestDriver::InjectCurrent() {
+  const ScriptItem it = script_[next_item_];
+  ++next_item_;
+
+  const Cycles injected_at = system_->sim().now();
+  auto record = [this, it, injected_at](const Message& stamped) {
+    posted_.push_back(PostedEvent{stamped.seq, it.kind, it.param, it.label, injected_at});
+  };
+
+  auto post_sync_and_continue = [this] {
+    last_post_time_ = system_->sim().now();
+    if (inject_queuesync_) {
+      Message sync;
+      sync.type = MessageType::kQueueSync;
+      const Message stamped = target_->queue().Post(sync);
+      awaited_sync_seq_ = stamped.seq;
+      // Next item is scheduled when this sync is handled (OnHandleEnd).
+    } else {
+      if (next_item_ >= script_.size()) {
+        done_ = true;
+        finished_at_ = system_->sim().now();
+      } else {
+        ScheduleNext(system_->sim().now());
+      }
+    }
+  };
+
+  switch (it.kind) {
+    case ScriptItem::Kind::kMouseClick: {
+      system_->RaiseMouseInterrupt([this, record] {
+        Message down;
+        down.type = MessageType::kMouseDown;
+        record(target_->queue().Post(down));
+      });
+      system_->sim().queue().ScheduleAfter(
+          MillisecondsToCycles(it.hold_ms), [this, post_sync_and_continue] {
+            system_->RaiseMouseInterrupt([this, post_sync_and_continue] {
+              Message up;
+              up.type = MessageType::kMouseUp;
+              target_->queue().Post(up);
+              post_sync_and_continue();
+            });
+          });
+      break;
+    }
+    case ScriptItem::Kind::kCommand: {
+      system_->RaiseInputInterrupt(600, [this, it, record, post_sync_and_continue] {
+        record(target_->queue().Post(InputMessage(it)));
+        post_sync_and_continue();
+      });
+      break;
+    }
+    default: {
+      system_->RaiseKeyboardInterrupt([this, it, record, post_sync_and_continue] {
+        record(target_->queue().Post(InputMessage(it)));
+        post_sync_and_continue();
+      });
+      break;
+    }
+  }
+}
+
+void TestDriver::OnHandleEnd(Cycles t, const Message& m) {
+  if (m.type != MessageType::kQueueSync || m.seq != awaited_sync_seq_) {
+    return;
+  }
+  awaited_sync_seq_ = 0;
+  if (next_item_ >= script_.size()) {
+    done_ = true;
+    finished_at_ = t;
+  } else {
+    ScheduleNext(t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HumanDriver
+
+HumanDriver::HumanDriver(SystemUnderTest* system, GuiThread* target, Script script)
+    : system_(system), target_(target), script_(std::move(script)) {
+  remaining_ = script_.size();
+}
+
+void HumanDriver::Start() {
+  if (script_.empty()) {
+    done_ = true;
+    finished_at_ = system_->sim().now();
+    return;
+  }
+  // Lay every item out on the wall clock up front: a human's pacing does
+  // not depend on how fast the system responds.
+  Cycles t = system_->sim().now();
+  for (std::size_t i = 0; i < script_.size(); ++i) {
+    t += MillisecondsToCycles(script_[i].pause_before_ms);
+    system_->sim().queue().ScheduleAt(t, [this, i] { InjectItem(i); });
+    if (script_[i].kind == ScriptItem::Kind::kMouseClick) {
+      t += MillisecondsToCycles(script_[i].hold_ms);
+    }
+  }
+}
+
+void HumanDriver::InjectItem(std::size_t index) {
+  const ScriptItem& it = script_[index];
+
+  const Cycles injected_at = system_->sim().now();
+  auto record = [this, &it, injected_at](const Message& stamped) {
+    posted_.push_back(PostedEvent{stamped.seq, it.kind, it.param, it.label, injected_at});
+  };
+
+  auto finish_one = [this] {
+    if (--remaining_ == 0) {
+      done_ = true;
+      finished_at_ = system_->sim().now();
+    }
+  };
+
+  switch (it.kind) {
+    case ScriptItem::Kind::kMouseClick: {
+      system_->RaiseMouseInterrupt([this, record] {
+        Message down;
+        down.type = MessageType::kMouseDown;
+        record(target_->queue().Post(down));
+      });
+      system_->sim().queue().ScheduleAfter(
+          MillisecondsToCycles(it.hold_ms), [this, finish_one] {
+            system_->RaiseMouseInterrupt([this, finish_one] {
+              Message up;
+              up.type = MessageType::kMouseUp;
+              target_->queue().Post(up);
+              finish_one();
+            });
+          });
+      break;
+    }
+    case ScriptItem::Kind::kCommand: {
+      ScriptItem copy = it;
+      system_->RaiseInputInterrupt(600, [this, copy, record, finish_one] {
+        record(target_->queue().Post(InputMessage(copy)));
+        finish_one();
+      });
+      break;
+    }
+    default: {
+      ScriptItem copy = it;
+      system_->RaiseKeyboardInterrupt([this, copy, record, finish_one] {
+        record(target_->queue().Post(InputMessage(copy)));
+        finish_one();
+      });
+      break;
+    }
+  }
+}
+
+}  // namespace ilat

@@ -1,0 +1,104 @@
+// Input drivers: deliver a Script to an application as hardware input.
+//
+// TestDriver models Microsoft Visual Test (paper §3): it injects each
+// event through the input interrupt path, posts a WM_QUEUESYNC after it,
+// and does not inject the next event until the sync message has been
+// processed (which is why slow WM_QUEUESYNC handling inflates elapsed time
+// on Windows 95 -- Fig. 7 caption -- without touching event latencies).
+//
+// HumanDriver models hand-generated input: events arrive at wall-clock
+// times determined solely by the script's pauses, with no sync messages --
+// the system's speed does not change what the "user" does.
+
+#ifndef ILAT_SRC_INPUT_DRIVER_H_
+#define ILAT_SRC_INPUT_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/apps/application.h"
+#include "src/input/script.h"
+
+namespace ilat {
+
+// Record of an input message the driver posted, keyed by the message
+// sequence number the queue assigned (used to join extracted events back
+// to script labels).
+struct PostedEvent {
+  std::uint64_t msg_seq = 0;
+  ScriptItem::Kind kind = ScriptItem::Kind::kChar;
+  int param = 0;
+  std::string label;
+  Cycles posted_at = 0;
+};
+
+class InputDriver {
+ public:
+  virtual ~InputDriver() = default;
+  // Begin delivering the script.  Items are injected as simulation events;
+  // run the simulation to make progress.
+  virtual void Start() = 0;
+  virtual bool done() const = 0;
+  // Time the last script action (and, for TestDriver, its sync) finished.
+  virtual Cycles finished_at() const = 0;
+  virtual const std::vector<PostedEvent>& posted() const = 0;
+};
+
+class TestDriver : public InputDriver, public MessagePumpObserver {
+ public:
+  // If `inject_queuesync` is false the driver still serialises on its own
+  // posts but sends no WM_QUEUESYNC (the ablation in
+  // bench/ablation_queuesync).
+  TestDriver(SystemUnderTest* system, GuiThread* target, Script script,
+             bool inject_queuesync = true);
+
+  void Start() override;
+  bool done() const override { return done_; }
+  Cycles finished_at() const override { return finished_at_; }
+  const std::vector<PostedEvent>& posted() const override { return posted_; }
+
+  // MessagePumpObserver: watch for our sync message completing.
+  void OnHandleEnd(Cycles t, const Message& m) override;
+
+ private:
+  void ScheduleNext(Cycles not_before);
+  void InjectCurrent();
+
+  SystemUnderTest* system_;
+  GuiThread* target_;
+  Script script_;
+  bool inject_queuesync_;
+
+  std::size_t next_item_ = 0;
+  Cycles last_post_time_ = 0;
+  std::uint64_t awaited_sync_seq_ = 0;
+  bool done_ = false;
+  Cycles finished_at_ = 0;
+  std::vector<PostedEvent> posted_;
+};
+
+class HumanDriver : public InputDriver {
+ public:
+  HumanDriver(SystemUnderTest* system, GuiThread* target, Script script);
+
+  void Start() override;
+  bool done() const override { return done_; }
+  Cycles finished_at() const override { return finished_at_; }
+  const std::vector<PostedEvent>& posted() const override { return posted_; }
+
+ private:
+  void InjectItem(std::size_t index);
+
+  SystemUnderTest* system_;
+  GuiThread* target_;
+  Script script_;
+  std::size_t remaining_ = 0;
+  bool done_ = false;
+  Cycles finished_at_ = 0;
+  std::vector<PostedEvent> posted_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_INPUT_DRIVER_H_

@@ -1,0 +1,41 @@
+#include "src/input/network.h"
+
+namespace ilat {
+
+NetworkTrafficDriver::NetworkTrafficDriver(SystemUnderTest* system, GuiThread* target,
+                                           NetworkTrafficParams params)
+    : system_(system), target_(target), params_(params), rng_(params.seed) {}
+
+void NetworkTrafficDriver::Start() {
+  if (params_.packets <= 0) {
+    done_ = true;
+    finished_at_ = system_->sim().now();
+    return;
+  }
+  remaining_ = params_.packets;
+  // Lay out the whole arrival process: packets do not care how fast the
+  // receiver drains them.
+  Cycles t = system_->sim().now();
+  for (int i = 0; i < params_.packets; ++i) {
+    t += MillisecondsToCycles(rng_.Exponential(params_.mean_interarrival_ms));
+    const int bytes = static_cast<int>(rng_.UniformInt(params_.min_bytes, params_.max_bytes));
+    system_->sim().queue().ScheduleAt(t, [this, t, bytes] { Deliver(t, bytes); });
+  }
+}
+
+void NetworkTrafficDriver::Deliver(Cycles arrival, int bytes) {
+  system_->RaiseInputInterrupt(params_.nic_isr_cycles, [this, arrival, bytes] {
+    Message m;
+    m.type = MessageType::kSocket;
+    m.param = bytes;
+    const Message stamped = target_->queue().Post(m);
+    posted_.push_back(PostedEvent{stamped.seq, ScriptItem::Kind::kCommand, bytes, "packet",
+                                  arrival});
+    if (--remaining_ == 0) {
+      done_ = true;
+      finished_at_ = system_->sim().now();
+    }
+  });
+}
+
+}  // namespace ilat

@@ -1,0 +1,55 @@
+// Network traffic source.
+//
+// The paper's opening definition of event-handling latency covers "an
+// asynchronous stream of independent and diverse events that result from
+// interactive user input or network packet arrival".  This driver is the
+// packet half: arrivals (Poisson by default) raise a NIC interrupt whose
+// handler posts a WM_SOCKET message to the target application --
+// WSAAsyncSelect-style delivery, contemporary with the paper.  Each packet
+// becomes a measurable latency event exactly like a keystroke.
+
+#ifndef ILAT_SRC_INPUT_NETWORK_H_
+#define ILAT_SRC_INPUT_NETWORK_H_
+
+#include "src/input/driver.h"
+
+namespace ilat {
+
+struct NetworkTrafficParams {
+  // Exponential interarrival mean (Poisson process).
+  double mean_interarrival_ms = 40.0;
+  int packets = 200;
+  // Payload range; Message::param carries the byte count.
+  int min_bytes = 64;
+  int max_bytes = 1'460;
+  // NIC interrupt handler cost.
+  Cycles nic_isr_cycles = 3'000;
+  std::uint64_t seed = 1;
+};
+
+class NetworkTrafficDriver : public InputDriver {
+ public:
+  NetworkTrafficDriver(SystemUnderTest* system, GuiThread* target,
+                       NetworkTrafficParams params);
+
+  void Start() override;
+  bool done() const override { return done_; }
+  Cycles finished_at() const override { return finished_at_; }
+  const std::vector<PostedEvent>& posted() const override { return posted_; }
+
+ private:
+  void Deliver(Cycles arrival, int bytes);
+
+  SystemUnderTest* system_;
+  GuiThread* target_;
+  NetworkTrafficParams params_;
+  Random rng_;
+  int remaining_ = 0;
+  bool done_ = false;
+  Cycles finished_at_ = 0;
+  std::vector<PostedEvent> posted_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_INPUT_NETWORK_H_

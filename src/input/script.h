@@ -1,0 +1,75 @@
+// Input scripts.
+//
+// A Script is an ordered list of user actions with pauses, playable by
+// either driver in driver.h: the TestDriver (models Microsoft Visual Test,
+// §3: specified pauses, WM_QUEUESYNC after every event) or the HumanDriver
+// (hand-generated input: pure wall-clock pacing, no sync messages).
+
+#ifndef ILAT_SRC_INPUT_SCRIPT_H_
+#define ILAT_SRC_INPUT_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+namespace ilat {
+
+struct ScriptItem {
+  enum class Kind {
+    kChar,        // printable character or '\n' (param = character)
+    kKeyDown,     // virtual key (param = kVk*)
+    kMouseClick,  // button press + release after hold_ms
+    kCommand,     // application command (param = kCmd*)
+  };
+
+  Kind kind = Kind::kChar;
+  int param = 0;
+  // Pause before this action, relative to the previous action.
+  double pause_before_ms = 150.0;
+  // For kMouseClick: how long the button is held.
+  double hold_ms = 150.0;
+  // Optional annotation, carried through to the extracted event (used to
+  // name Table 1's long-latency events).
+  std::string label;
+
+  static ScriptItem Char(char c, double pause_ms, std::string label = {}) {
+    ScriptItem it;
+    it.kind = Kind::kChar;
+    it.param = c;
+    it.pause_before_ms = pause_ms;
+    it.label = std::move(label);
+    return it;
+  }
+
+  static ScriptItem Key(int vk, double pause_ms, std::string label = {}) {
+    ScriptItem it;
+    it.kind = Kind::kKeyDown;
+    it.param = vk;
+    it.pause_before_ms = pause_ms;
+    it.label = std::move(label);
+    return it;
+  }
+
+  static ScriptItem Click(double pause_ms, double hold_ms, std::string label = {}) {
+    ScriptItem it;
+    it.kind = Kind::kMouseClick;
+    it.pause_before_ms = pause_ms;
+    it.hold_ms = hold_ms;
+    it.label = std::move(label);
+    return it;
+  }
+
+  static ScriptItem Command(int cmd, double pause_ms, std::string label = {}) {
+    ScriptItem it;
+    it.kind = Kind::kCommand;
+    it.param = cmd;
+    it.pause_before_ms = pause_ms;
+    it.label = std::move(label);
+    return it;
+  }
+};
+
+using Script = std::vector<ScriptItem>;
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_INPUT_SCRIPT_H_

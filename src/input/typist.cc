@@ -1,0 +1,54 @@
+#include "src/input/typist.h"
+
+#include <algorithm>
+
+#include "src/apps/commands.h"
+
+namespace ilat {
+
+Script Typist::Type(const std::string& text) const {
+  Script out;
+  out.reserve(text.size() + 16);
+
+  const double mean_gap = MeanGapMs();
+  // Extra pause to fold into the next keystroke (think pauses).
+  double carry_ms = 0.0;
+
+  auto gap = [this, mean_gap, &carry_ms](double scale) {
+    const double jitter =
+        1.0 + params_.key_jitter_fraction * (2.0 * rng_->NextDouble() - 1.0);
+    const double g = std::max(params_.min_gap_ms, mean_gap * scale * jitter) + carry_ms;
+    carry_ms = 0.0;
+    return g;
+  };
+
+  for (char c : text) {
+    if (c == '\n') {
+      // Enter is struck promptly after the sentence ends; the think pause
+      // (carry) lands on the first keystroke of the next paragraph.
+      out.push_back(ScriptItem::Char(c, rng_->Uniform(150.0, 300.0)));
+      continue;
+    }
+    double pause = gap(1.0);
+    if (c == ' ') {
+      pause += params_.word_boundary_extra_ms * rng_->NextDouble();
+    }
+    if (rng_->Bernoulli(params_.typo_probability) && c != '\n') {
+      // Type a wrong character, notice, backspace, retype.
+      const char wrong = (c == 'z') ? 'x' : static_cast<char>(c + 1);
+      out.push_back(ScriptItem::Char(wrong, pause));
+      out.push_back(ScriptItem::Key(
+          kVkBackspace,
+          params_.typo_notice_delay_ms * (0.7 + 0.6 * rng_->NextDouble())));
+      out.push_back(ScriptItem::Char(c, gap(1.2)));
+    } else {
+      out.push_back(ScriptItem::Char(c, pause));
+    }
+    if (c == '.' || c == '!' || c == '?') {
+      carry_ms += rng_->Exponential(params_.sentence_pause_mean_ms);
+    }
+  }
+  return out;
+}
+
+}  // namespace ilat

@@ -1,0 +1,51 @@
+// Stochastic human-typist model.
+//
+// Converts text into a Script with realistic timing: ~N words per minute
+// with per-keystroke variation, longer pauses at word boundaries, think
+// pauses at sentence ends, and occasional typos corrected with backspace.
+// The paper stresses that driving a system with an "infinitely fast user"
+// distorts measurements (§1.1); this model is the realistic alternative,
+// and the same Script can be replayed by TestDriver or HumanDriver.
+
+#ifndef ILAT_SRC_INPUT_TYPIST_H_
+#define ILAT_SRC_INPUT_TYPIST_H_
+
+#include <string>
+
+#include "src/input/script.h"
+#include "src/sim/random.h"
+
+namespace ilat {
+
+struct TypistParams {
+  double words_per_minute = 100.0;  // even the best typists need ~120 ms/key
+  double key_jitter_fraction = 0.25;
+  double min_gap_ms = 60.0;
+  double word_boundary_extra_ms = 60.0;
+  double sentence_pause_mean_ms = 1'800.0;
+  double typo_probability = 0.01;
+  double typo_notice_delay_ms = 350.0;
+};
+
+class Typist {
+ public:
+  Typist(TypistParams params, Random* rng) : params_(params), rng_(rng) {}
+
+  // Produce the keystroke script for `text`.  '\n' becomes a carriage
+  // return; '.' '!' '?' trigger think pauses.
+  Script Type(const std::string& text) const;
+
+  // Expected mean inter-keystroke gap, ms (ignoring sentence pauses).
+  double MeanGapMs() const {
+    // words/min * ~5.5 chars/word -> chars/sec.
+    return 60'000.0 / (params_.words_per_minute * 5.5);
+  }
+
+ private:
+  TypistParams params_;
+  Random* rng_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_INPUT_TYPIST_H_

@@ -1,0 +1,176 @@
+#include "src/input/workloads.h"
+
+#include <array>
+
+#include "src/apps/commands.h"
+#include "src/input/typist.h"
+
+namespace ilat {
+
+std::string GenerateProse(Random* rng, int approx_chars, int newline_every_sentences) {
+  static constexpr std::array<const char*, 24> kLexicon = {
+      "the",     "system",  "measures", "latency",  "of",      "events",
+      "users",   "perceive", "response", "time",    "when",    "input",
+      "arrives", "and",     "handlers", "run",      "quickly", "under",
+      "load",    "idle",    "loops",    "detect",   "lost",    "cycles",
+  };
+
+  std::string out;
+  out.reserve(static_cast<std::size_t>(approx_chars) + 32);
+  int words_in_sentence = 0;
+  int sentence_target = static_cast<int>(rng->UniformInt(7, 13));
+  int sentences_since_newline = 0;
+
+  while (static_cast<int>(out.size()) < approx_chars) {
+    const char* word = kLexicon[static_cast<std::size_t>(
+        rng->UniformInt(0, static_cast<std::int64_t>(kLexicon.size()) - 1))];
+    out += word;
+    ++words_in_sentence;
+    if (words_in_sentence >= sentence_target) {
+      out += '.';
+      words_in_sentence = 0;
+      sentence_target = static_cast<int>(rng->UniformInt(7, 13));
+      ++sentences_since_newline;
+      if (newline_every_sentences > 0 &&
+          sentences_since_newline >= newline_every_sentences) {
+        out += '\n';
+        sentences_since_newline = 0;
+        continue;
+      }
+    }
+    out += ' ';
+  }
+  return out;
+}
+
+Script NotepadWorkload(Random* rng) {
+  TypistParams tp;
+  tp.words_per_minute = 100.0;
+  tp.sentence_pause_mean_ms = 900.0;
+  Typist typist(tp, rng);
+
+  Script script;
+  // Five editing rounds: type a block, move the cursor around, page
+  // through the file.  ~1300 characters total.
+  for (int round = 0; round < 5; ++round) {
+    const std::string block = GenerateProse(rng, 252, /*newline_every_sentences=*/2);
+    Script typed = typist.Type(block);
+    script.insert(script.end(), typed.begin(), typed.end());
+
+    for (int i = 0; i < 30; ++i) {
+      const int vk = rng->Bernoulli(0.5) ? kVkLeft : (rng->Bernoulli(0.5) ? kVkRight : kVkUp);
+      script.push_back(ScriptItem::Key(vk, rng->Uniform(90.0, 160.0)));
+    }
+    for (int i = 0; i < 2; ++i) {
+      script.push_back(ScriptItem::Key(rng->Bernoulli(0.7) ? kVkPageDown : kVkPageUp,
+                                       rng->Uniform(600.0, 1'200.0), "page-move"));
+    }
+  }
+  return script;
+}
+
+Script PowerpointWorkload(Random* rng) {
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdPptStartApp, 3'000.0, "Start Powerpoint"));
+  s.push_back(ScriptItem::Command(kCmdPptOpenDocument, 2'500.0, "Open document"));
+
+  auto page_downs = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      s.push_back(
+          ScriptItem::Command(kCmdPptPageDown, rng->Uniform(1'200.0, 3'000.0), "Page down"));
+    }
+  };
+  auto edit_cells = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      s.push_back(
+          ScriptItem::Command(kCmdPptEditCell, rng->Uniform(800.0, 1'800.0), "Excel op"));
+    }
+  };
+
+  page_downs(12);
+  s.push_back(ScriptItem::Command(kCmdPptStartOleEdit, 2'000.0,
+                                  "Start OLE edit session (first time)"));
+  edit_cells(3);
+  s.push_back(ScriptItem::Command(kCmdPptEndOleEdit, 1'200.0, "End OLE edit"));
+
+  page_downs(9);
+  s.push_back(ScriptItem::Command(kCmdPptStartOleEdit, 2'000.0,
+                                  "Start OLE edit session (second object)"));
+  edit_cells(3);
+  s.push_back(ScriptItem::Command(kCmdPptEndOleEdit, 1'200.0, "End OLE edit"));
+
+  page_downs(8);
+  s.push_back(ScriptItem::Command(kCmdPptStartOleEdit, 2'000.0,
+                                  "Start OLE edit session (third object)"));
+  edit_cells(3);
+  s.push_back(ScriptItem::Command(kCmdPptEndOleEdit, 1'200.0, "End OLE edit"));
+
+  page_downs(4);
+  s.push_back(ScriptItem::Command(kCmdPptSave, 2'500.0, "Save document"));
+  return s;
+}
+
+Script WordWorkload(Random* rng) {
+  TypistParams tp;
+  tp.words_per_minute = 80.0;  // composing, not transcribing
+  tp.key_jitter_fraction = 0.35;
+  tp.sentence_pause_mean_ms = 5'000.0;
+  tp.typo_probability = 0.015;
+  Typist typist(tp, rng);
+
+  // ~1000 characters across a few paragraph chunks (carriage returns).
+  const std::string text = GenerateProse(rng, 1'000, /*newline_every_sentences=*/3);
+  Script script = typist.Type(text);
+
+  // Cursor movement with arrow keys (re-reading / repositioning).
+  Script out;
+  out.reserve(script.size() + 120);
+  std::size_t i = 0;
+  for (const ScriptItem& item : script) {
+    out.push_back(item);
+    if (++i % 60 == 0) {
+      const int moves = static_cast<int>(rng->UniformInt(3, 8));
+      for (int k = 0; k < moves; ++k) {
+        out.push_back(ScriptItem::Key(rng->Bernoulli(0.5) ? kVkLeft : kVkRight,
+                                      rng->Uniform(110.0, 200.0)));
+      }
+    }
+    if (i % 200 == 0) {
+      // Re-reading pause: the user stops to read what they wrote.
+      out.back().pause_before_ms += rng->Uniform(5'000.0, 9'000.0);
+    }
+  }
+  return out;
+}
+
+Script MaximizeWorkload() {
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdWmMaximize, 100.0, "Maximize window"));
+  return s;
+}
+
+Script KeystrokeTrials(int n, double gap_ms) {
+  Script s;
+  for (int i = 0; i < n; ++i) {
+    s.push_back(ScriptItem::Key(kVkDown, gap_ms, "key stroke"));
+  }
+  return s;
+}
+
+Script ClickTrials(int n, double gap_ms, double hold_ms) {
+  Script s;
+  for (int i = 0; i < n; ++i) {
+    s.push_back(ScriptItem::Click(gap_ms, hold_ms, "mouse click"));
+  }
+  return s;
+}
+
+Script EchoTrials(int n, double gap_ms) {
+  Script s;
+  for (int i = 0; i < n; ++i) {
+    s.push_back(ScriptItem::Char('a', gap_ms, "echo"));
+  }
+  return s;
+}
+
+}  // namespace ilat

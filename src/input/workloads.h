@@ -1,0 +1,48 @@
+// The paper's benchmark workloads as input scripts.
+//
+// Each function builds the Script for one of the paper's benchmarks
+// (§5.1 Notepad, §5.2 PowerPoint, §5.4 Word) or microbenchmarks (Figs. 1,
+// 4, 6).  Scripts are deterministic given the PRNG seed.
+
+#ifndef ILAT_SRC_INPUT_WORKLOADS_H_
+#define ILAT_SRC_INPUT_WORKLOADS_H_
+
+#include <string>
+
+#include "src/input/script.h"
+#include "src/sim/random.h"
+
+namespace ilat {
+
+// Deterministic filler prose: lowercase words, sentences ended with '.',
+// approximately `approx_chars` characters.  `newline_every_sentences` > 0
+// inserts '\n' after that many sentences.
+std::string GenerateProse(Random* rng, int approx_chars, int newline_every_sentences = 0);
+
+// §5.1: editing session on a 56 KB text file -- 1300 characters typed at
+// ~100 wpm, plus cursor and page movement.
+Script NotepadWorkload(Random* rng);
+
+// §5.2: start PowerPoint cold, open a 46-page/530 KB presentation, page
+// through it, and find and modify three embedded OLE Excel graph objects,
+// then save.  Long-latency events carry the Table 1 labels.
+Script PowerpointWorkload(Random* rng);
+
+// §5.4: ~1000-character paragraph in Word with arrow-key movement and
+// backspace corrections, at realistic varied pacing.
+Script WordWorkload(Random* rng);
+
+// Fig. 4: one maximize gesture.
+Script MaximizeWorkload();
+
+// Fig. 6: n unbound-keystroke trials / background-click trials, spaced far
+// enough apart that events never overlap.
+Script KeystrokeTrials(int n, double gap_ms = 500.0);
+Script ClickTrials(int n, double gap_ms = 800.0, double hold_ms = 150.0);
+
+// Fig. 1: n echo keystrokes.
+Script EchoTrials(int n, double gap_ms = 400.0);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_INPUT_WORKLOADS_H_

@@ -1,0 +1,62 @@
+#include "src/os/filesystem.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ilat {
+
+FileSystem::FileSystem(BufferCache* cache, std::int64_t inter_file_gap_blocks)
+    : cache_(cache), gap_blocks_(inter_file_gap_blocks) {}
+
+FileId FileSystem::Create(std::string name, std::int64_t bytes) {
+  const std::int64_t nblocks = (bytes + block_size() - 1) / block_size();
+  Extent e{std::move(name), next_block_, bytes};
+  next_block_ += nblocks + gap_blocks_;
+  files_.push_back(std::move(e));
+  return static_cast<FileId>(files_.size() - 1);
+}
+
+std::pair<std::int64_t, int> FileSystem::BlockRange(FileId id, std::int64_t offset,
+                                                    std::int64_t bytes) const {
+  assert(id >= 0 && id < static_cast<FileId>(files_.size()));
+  const Extent& e = files_[id];
+  assert(offset >= 0 && offset + bytes <= ((e.bytes + block_size() - 1) / block_size()) *
+                                              static_cast<std::int64_t>(block_size()));
+  const std::int64_t first = e.start_block + offset / block_size();
+  const std::int64_t last = e.start_block + (offset + bytes - 1) / block_size();
+  return {first, static_cast<int>(last - first + 1)};
+}
+
+void FileSystem::Read(FileId id, std::int64_t offset, std::int64_t bytes,
+                      std::function<void()> done) {
+  if (bytes <= 0) {
+    done();
+    return;
+  }
+  const auto [first, nblocks] = BlockRange(id, offset, bytes);
+  cache_->Read(first, nblocks, std::move(done));
+}
+
+void FileSystem::ReadAll(FileId id, std::function<void()> done) {
+  Read(id, 0, files_[id].bytes, std::move(done));
+}
+
+void FileSystem::Write(FileId id, std::int64_t offset, std::int64_t bytes,
+                       std::function<void()> done) {
+  if (bytes <= 0) {
+    done();
+    return;
+  }
+  const auto [first, nblocks] = BlockRange(id, offset, bytes);
+  cache_->Write(first, nblocks, std::move(done));
+}
+
+void FileSystem::WriteAll(FileId id, std::function<void()> done) {
+  Write(id, 0, files_[id].bytes, std::move(done));
+}
+
+std::int64_t FileSystem::SizeOf(FileId id) const { return files_[id].bytes; }
+
+const std::string& FileSystem::NameOf(FileId id) const { return files_[id].name; }
+
+}  // namespace ilat

@@ -1,0 +1,66 @@
+// Minimal extent-based file system over the buffer cache.
+//
+// Files are contiguous block extents separated by gaps, so reads of
+// different files pay seeks while sequential reads within a file stream at
+// media rate.  This is all the structure the paper's workloads need: the
+// PowerPoint/Word/Notepad models read and write whole files or page-sized
+// chunks.
+
+#ifndef ILAT_SRC_OS_FILESYSTEM_H_
+#define ILAT_SRC_OS_FILESYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/buffer_cache.h"
+
+namespace ilat {
+
+using FileId = int;
+
+class FileSystem {
+ public:
+  // `cache` non-owning.  `inter_file_gap_blocks` forces a seek between
+  // files laid out consecutively.
+  explicit FileSystem(BufferCache* cache, std::int64_t inter_file_gap_blocks = 5'000);
+
+  // Create a file of the given size.  Returns its id.
+  FileId Create(std::string name, std::int64_t bytes);
+
+  // Read `bytes` starting at byte `offset`; `done` fires when all blocks
+  // are resident.
+  void Read(FileId id, std::int64_t offset, std::int64_t bytes, std::function<void()> done);
+
+  // Read the whole file.
+  void ReadAll(FileId id, std::function<void()> done);
+
+  // Write-through write of `bytes` at `offset`.
+  void Write(FileId id, std::int64_t offset, std::int64_t bytes, std::function<void()> done);
+
+  void WriteAll(FileId id, std::function<void()> done);
+
+  std::int64_t SizeOf(FileId id) const;
+  const std::string& NameOf(FileId id) const;
+  int block_size() const { return cache_->block_size_bytes(); }
+
+ private:
+  struct Extent {
+    std::string name;
+    std::int64_t start_block;
+    std::int64_t bytes;
+  };
+
+  std::pair<std::int64_t, int> BlockRange(FileId id, std::int64_t offset,
+                                          std::int64_t bytes) const;
+
+  BufferCache* cache_;
+  std::int64_t gap_blocks_;
+  std::int64_t next_block_ = 100;
+  std::vector<Extent> files_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_OS_FILESYSTEM_H_

@@ -1,0 +1,147 @@
+// OsProfile: every structural parameter that distinguishes the three
+// operating systems the paper compares.
+//
+// The paper attributes its cross-OS results to specific structural
+// differences (§2.1, §4, §5.3):
+//   * NT 3.51 implements the Win32 API in a user-level server, so GUI
+//     calls and message retrieval cross protection domains; each crossing
+//     flushes the Pentium TLB.
+//   * NT 4.0 moved those components into the kernel: fewer crossings,
+//     fewer TLB misses, shorter paths.
+//   * Windows 95 executes large 16-bit components (the graphics API), with
+//     heavy segment-register loads and unaligned accesses, busy-waits
+//     between mouse-down and mouse-up, and shows more idle-time background
+//     activity.
+// Every such difference is a field here, so the mapping from paper
+// observation to model constant is auditable.
+
+#ifndef ILAT_SRC_OS_OS_PROFILE_H_
+#define ILAT_SRC_OS_OS_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/disk.h"
+#include "src/sim/time.h"
+#include "src/sim/work.h"
+
+namespace ilat {
+
+// Cost of one protection-domain crossing.  The Pentium flushes its TLB on
+// every crossing (paper §5.3), so the cost has a direct component plus a
+// refill component that also shows up in the TLB-miss counters.
+struct CrossingCosts {
+  Cycles direct_cycles = 200;
+  int itlb_refill_misses = 10;
+  int dtlb_refill_misses = 20;
+  Cycles cycles_per_tlb_miss = 22;
+
+  Cycles TotalCycles() const {
+    return direct_cycles +
+           static_cast<Cycles>(itlb_refill_misses + dtlb_refill_misses) * cycles_per_tlb_miss;
+  }
+};
+
+// A periodic background activity (system housekeeping).  Windows 95 runs
+// noticeably more of this than NT (paper Fig. 3).
+struct BackgroundTask {
+  std::string name;
+  Cycles period = 0;
+  Cycles handler_cycles = 0;
+};
+
+struct OsProfile {
+  std::string name;
+
+  // -- Clock ---------------------------------------------------------------
+  Cycles clock_period = MillisecondsToCycles(10);
+  Cycles clock_isr_cycles = 400;  // NT 4.0 measured ~400 cycles (paper §2.5)
+
+  // -- Input interrupt handlers ---------------------------------------------
+  Cycles keyboard_isr_cycles = 1'500;
+  Cycles mouse_isr_cycles = 1'200;
+  Cycles disk_isr_cycles = 2'500;
+
+  // -- Message API (GetMessage / PeekMessage) -------------------------------
+  // Number of protection-domain crossings per call (client->server->client
+  // on NT 3.51, kernel entry/exit on NT 4.0 and Windows 95).
+  int get_message_crossings = 2;
+  Cycles get_message_base_cycles = 2'000;
+  int peek_message_crossings = 2;
+  Cycles peek_message_base_cycles = 1'200;
+
+  // TranslateMessage/DispatchMessage path per user-input message (runs
+  // through the 16-bit USER thunk on Windows 95).
+  Cycles input_dispatch_cycles = 3'000;
+
+  // Nominal kinstr of window-system processing for an unbound keystroke
+  // (hotkey search, DefWindowProc) and a background mouse click, executed
+  // as gui_code.  Windows 95's 16-bit USER path is both longer and slower,
+  // which is what makes its unbound keystroke "substantially worse" than
+  // NT 4.0 in Fig. 6 even though its GDI *text* path is fast.
+  double unbound_key_kinstr = 30.0;
+  double mouse_click_kinstr = 12.0;
+
+  // System-side handling of the WM_QUEUESYNC message that Microsoft Test
+  // injects after each event.  Windows 95 takes much longer here, which is
+  // why its Notepad run has the largest elapsed time despite the smallest
+  // cumulative event latency (paper Fig. 7 caption).
+  Cycles queuesync_cycles = 15'000;
+
+  // -- Code profiles ---------------------------------------------------------
+  WorkProfile app_code;     // 32-bit application code
+  WorkProfile kernel_code;  // kernel / interrupt-handler code
+  WorkProfile gui_code;     // window-system code (16-bit on Windows 95)
+
+  // -- GUI call model ---------------------------------------------------------
+  // Rendering work is issued in batches ("GUI calls"); each batch costs
+  // `gui_call_crossings` domain crossings plus a fixed per-call overhead,
+  // and the batch's nominal instruction count is scaled by a per-class
+  // path multiplier (longer code paths on some systems -- the paper
+  // concludes warm-cache differences are code-path-length differences,
+  // §4).  Text (2D GDI) and graphics (complex rendering) are scaled
+  // separately; see src/os/win32.h for why.
+  int gui_call_crossings = 1;
+  Cycles gui_call_overhead_cycles = 0;
+  double gui_text_multiplier = 1.0;
+  double gui_graphics_multiplier = 1.0;
+
+  CrossingCosts crossing;
+
+  // -- Storage ---------------------------------------------------------------
+  DiskParams disk;
+  int cache_blocks = 2'048;  // 8 MB file cache
+  Cycles cache_hit_copy_cycles = 3'000;
+  // Extra per-write-path overhead multiplier (NTFS journalling on NT; the
+  // paper's Table 1 shows document save got *slower* from NT 3.51 to 4.0).
+  double write_path_multiplier = 1.0;
+
+  // Scales the number of scattered demand-load reads applications issue
+  // while starting up / loading documents (NT 3.51 also pages in
+  // user-level-server resources).
+  double app_load_read_multiplier = 1.0;
+  // Extra KB re-read at the start of OLE edit sessions after the first
+  // (NT 3.51's server-side resources are not retained as effectively; see
+  // Table 1's flatter NT 3.51 curve across sessions).
+  double ole_resession_extra_kb = 0.0;
+
+  // Temporary priority boost applied when a GUI thread wakes for window
+  // input (the NT foreground boost); keeps interactive threads responsive
+  // beside equal-priority batch work.  Windows 95 lacks it.
+  int wake_priority_boost = 0;
+
+  // -- Quirks ------------------------------------------------------------------
+  // Windows 95 busy-waits between mouse-down and mouse-up (paper Fig. 6).
+  bool mouse_busy_wait = false;
+  // Windows 95 does not return to idle promptly after Word events (§5.4),
+  // which made Word unmeasurable there.
+  bool defers_idle_after_events = false;
+  Cycles defer_idle_cycles = 0;
+
+  // -- Idle-time background activity -------------------------------------------
+  std::vector<BackgroundTask> background_tasks;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_OS_OS_PROFILE_H_

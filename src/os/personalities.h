@@ -1,0 +1,36 @@
+// The three operating-system personalities the paper compares.
+//
+// Calibration constants live in personalities.cc; they are chosen so that
+// the reproduction benches match the *shape* of the paper's results (who
+// wins, by roughly what factor, which hardware events explain the gap) on
+// the simulated 100 MHz Pentium.  EXPERIMENTS.md records paper-vs-measured
+// for every table and figure.
+
+#ifndef ILAT_SRC_OS_PERSONALITIES_H_
+#define ILAT_SRC_OS_PERSONALITIES_H_
+
+#include <vector>
+
+#include "src/os/os_profile.h"
+
+namespace ilat {
+
+// Windows NT 3.51: Win32 API implemented by a user-level server; GUI calls
+// and message retrieval pay protection-domain crossings (TLB flushes).
+OsProfile MakeNt351();
+
+// Windows NT 4.0: Win32 server components moved into the kernel; fewer
+// crossings, better locality, the new (Windows 95-style) GUI.
+OsProfile MakeNt40();
+
+// Windows 95: large 16-bit components (segment-register loads, unaligned
+// accesses), fast 16-bit GDI text path, busy-wait between mouse down/up,
+// more idle-time background activity, FAT file system.
+OsProfile MakeWin95();
+
+// All three, in the paper's presentation order (NT 3.51, NT 4.0, W95).
+std::vector<OsProfile> AllPersonalities();
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_OS_PERSONALITIES_H_

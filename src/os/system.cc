@@ -1,0 +1,42 @@
+#include "src/os/system.h"
+
+#include <utility>
+
+namespace ilat {
+
+SystemUnderTest::SystemUnderTest(OsProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)),
+      sim_(seed),
+      win32_(&profile_, &sim_.counters()) {
+  sim_.ConfigureStorage(profile_.disk, Work{profile_.disk_isr_cycles, profile_.kernel_code},
+                        profile_.cache_blocks,
+                        Work{profile_.cache_hit_copy_cycles, profile_.kernel_code});
+  fs_ = std::make_unique<FileSystem>(&sim_.cache());
+}
+
+void SystemUnderTest::Boot() {
+  if (booted_) {
+    return;
+  }
+  booted_ = true;
+
+  // Hardware clock.
+  devices_.push_back(std::make_unique<PeriodicDevice>(
+      &sim_.queue(), &sim_.scheduler(), profile_.clock_period,
+      Work{profile_.clock_isr_cycles, profile_.kernel_code}));
+  // Personality background tasks.
+  for (const BackgroundTask& task : profile_.background_tasks) {
+    devices_.push_back(std::make_unique<PeriodicDevice>(
+        &sim_.queue(), &sim_.scheduler(), task.period,
+        Work{task.handler_cycles, profile_.kernel_code}));
+  }
+  for (auto& dev : devices_) {
+    dev->Start();
+  }
+}
+
+void SystemUnderTest::RaiseInputInterrupt(Cycles isr_cycles, std::function<void()> deliver) {
+  sim_.scheduler().QueueInterrupt(Work{isr_cycles, profile_.kernel_code}, std::move(deliver));
+}
+
+}  // namespace ilat

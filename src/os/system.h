@@ -1,0 +1,55 @@
+// SystemUnderTest: a booted simulated machine running one OS personality.
+//
+// Owns the Simulation, the Win32 cost model, the file system, the clock
+// device, and the personality's background tasks.  Applications and the
+// measurement toolkit attach to this.
+
+#ifndef ILAT_SRC_OS_SYSTEM_H_
+#define ILAT_SRC_OS_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/os/filesystem.h"
+#include "src/os/os_profile.h"
+#include "src/os/win32.h"
+#include "src/sim/interrupts.h"
+#include "src/sim/simulation.h"
+
+namespace ilat {
+
+class SystemUnderTest {
+ public:
+  explicit SystemUnderTest(OsProfile profile, std::uint64_t seed = 1);
+
+  // Start the clock device and background tasks.  Idempotent.
+  void Boot();
+
+  const OsProfile& profile() const { return profile_; }
+  Simulation& sim() { return sim_; }
+  Win32Subsystem& win32() { return win32_; }
+  FileSystem& fs() { return *fs_; }
+
+  // Deliver a hardware input interrupt whose handler runs `isr_cycles` of
+  // kernel work and then invokes `deliver` (typically: post a message).
+  void RaiseInputInterrupt(Cycles isr_cycles, std::function<void()> deliver);
+
+  void RaiseKeyboardInterrupt(std::function<void()> deliver) {
+    RaiseInputInterrupt(profile_.keyboard_isr_cycles, std::move(deliver));
+  }
+  void RaiseMouseInterrupt(std::function<void()> deliver) {
+    RaiseInputInterrupt(profile_.mouse_isr_cycles, std::move(deliver));
+  }
+
+ private:
+  OsProfile profile_;
+  Simulation sim_;
+  Win32Subsystem win32_;
+  std::unique_ptr<FileSystem> fs_;
+  std::vector<std::unique_ptr<PeriodicDevice>> devices_;
+  bool booted_ = false;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_OS_SYSTEM_H_

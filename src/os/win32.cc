@@ -1,0 +1,63 @@
+#include "src/os/win32.h"
+
+namespace ilat {
+
+Work Win32Subsystem::CrossingWork(int n) const {
+  const CrossingCosts& c = profile_->crossing;
+  return Work{static_cast<Cycles>(n) * c.TotalCycles(), profile_->kernel_code};
+}
+
+Work Win32Subsystem::GetMessageWork() const {
+  Work w = CrossingWork(profile_->get_message_crossings);
+  w.cycles += profile_->get_message_base_cycles;
+  return w;
+}
+
+Work Win32Subsystem::PeekMessageWork() const {
+  Work w = CrossingWork(profile_->peek_message_crossings);
+  w.cycles += profile_->peek_message_base_cycles;
+  return w;
+}
+
+Work Win32Subsystem::InputDispatchWork() const {
+  return Work{profile_->input_dispatch_cycles, profile_->gui_code};
+}
+
+Work Win32Subsystem::QueueSyncWork() const {
+  return Work{profile_->queuesync_cycles, profile_->kernel_code};
+}
+
+Work Win32Subsystem::GuiWorkInternal(double kinstr, double multiplier, int calls) const {
+  const double scaled_kinstr = kinstr * multiplier;
+  Work w = Work::FromInstructions(scaled_kinstr * 1000.0, profile_->gui_code);
+  w.cycles += CrossingWork(calls * profile_->gui_call_crossings).cycles;
+  w.cycles += static_cast<Cycles>(calls) * profile_->gui_call_overhead_cycles;
+  return w;
+}
+
+Work Win32Subsystem::GuiTextWork(double kinstr, int calls) const {
+  return GuiWorkInternal(kinstr, profile_->gui_text_multiplier, calls);
+}
+
+Work Win32Subsystem::GuiGraphicsWork(double kinstr, int calls) const {
+  return GuiWorkInternal(kinstr, profile_->gui_graphics_multiplier, calls);
+}
+
+Work Win32Subsystem::AppWork(double kinstr) const {
+  return Work::FromInstructions(kinstr * 1000.0, profile_->app_code);
+}
+
+Work Win32Subsystem::KernelWork(double kinstr) const {
+  return Work::FromInstructions(kinstr * 1000.0, profile_->kernel_code);
+}
+
+void Win32Subsystem::ChargeCrossings(int n) const {
+  if (n <= 0) {
+    return;
+  }
+  const CrossingCosts& c = profile_->crossing;
+  counters_->Add(HwEvent::kItlbMiss, static_cast<std::uint64_t>(n) * c.itlb_refill_misses);
+  counters_->Add(HwEvent::kDtlbMiss, static_cast<std::uint64_t>(n) * c.dtlb_refill_misses);
+}
+
+}  // namespace ilat

@@ -1,0 +1,80 @@
+// Win32 subsystem cost model.
+//
+// Translates OsProfile parameters into concrete Work quanta and hardware
+// counter side effects for the operations applications perform: message
+// retrieval and dispatch, GUI calls, application computation, and the
+// scripted driver's WM_QUEUESYNC handling.
+//
+// GUI work comes in two classes with separate per-OS path multipliers:
+//   * text work  -- 2D text/bitblt drawing.  Windows 95's 16-bit GDI is
+//     hand-tuned and *shorter* than NT's path (the paper's Fig. 7 shows
+//     Windows 95 with the smallest cumulative Notepad latency), while
+//     NT 3.51's user-level server inflates it.
+//   * graphics work -- complex rendering (PowerPoint slides, embedded
+//     charts), where 16-bit arithmetic and thunking make Windows 95 slower
+//     than NT 4.0 but still faster than NT 3.51 (paper Fig. 9 ordering).
+
+#ifndef ILAT_SRC_OS_WIN32_H_
+#define ILAT_SRC_OS_WIN32_H_
+
+#include "src/os/os_profile.h"
+#include "src/sim/hardware_counters.h"
+#include "src/sim/work.h"
+
+namespace ilat {
+
+class Win32Subsystem {
+ public:
+  Win32Subsystem(const OsProfile* profile, HardwareCounters* counters)
+      : profile_(profile), counters_(counters) {}
+
+  const OsProfile& profile() const { return *profile_; }
+
+  // ---- Work quanta ----------------------------------------------------------
+
+  // CPU cost of one GetMessage()/PeekMessage() call (base path plus domain
+  // crossings).
+  Work GetMessageWork() const;
+  Work PeekMessageWork() const;
+
+  // TranslateMessage/DispatchMessage path for one user-input message
+  // (includes the 16-bit USER thunk on Windows 95).
+  Work InputDispatchWork() const;
+
+  // System-side handling of WM_QUEUESYNC.
+  Work QueueSyncWork() const;
+
+  // `kinstr` thousand nominal instructions of GUI work issued as `calls`
+  // batched window-system calls.  Crossing and per-call costs included.
+  Work GuiTextWork(double kinstr, int calls = 1) const;
+  Work GuiGraphicsWork(double kinstr, int calls = 1) const;
+
+  // Plain 32-bit application computation.
+  Work AppWork(double kinstr) const;
+
+  // Kernel-mode computation.
+  Work KernelWork(double kinstr) const;
+
+  // Work representing `n` bare domain crossings.
+  Work CrossingWork(int n) const;
+
+  // ---- Counter side effects ---------------------------------------------------
+  // The TLB-refill misses caused by crossings are architectural events, not
+  // rate-derived ones, so they are charged explicitly when the
+  // corresponding work retires.
+
+  void ChargeCrossings(int n) const;
+  void ChargeGetMessage() const { ChargeCrossings(profile_->get_message_crossings); }
+  void ChargePeekMessage() const { ChargeCrossings(profile_->peek_message_crossings); }
+  void ChargeGuiCalls(int calls) const { ChargeCrossings(calls * profile_->gui_call_crossings); }
+
+ private:
+  Work GuiWorkInternal(double kinstr, double multiplier, int calls) const;
+
+  const OsProfile* profile_;
+  HardwareCounters* counters_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_OS_WIN32_H_

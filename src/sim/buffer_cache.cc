@@ -1,0 +1,96 @@
+#include "src/sim/buffer_cache.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace ilat {
+
+BufferCache::BufferCache(Disk* disk, Scheduler* scheduler, int capacity_blocks,
+                         Work hit_copy_work)
+    : disk_(disk), scheduler_(scheduler), capacity_(capacity_blocks),
+      hit_copy_work_(hit_copy_work) {}
+
+bool BufferCache::Contains(std::int64_t block) const { return index_.count(block) > 0; }
+
+void BufferCache::Touch(std::int64_t block) {
+  auto it = index_.find(block);
+  if (it == index_.end()) {
+    return;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void BufferCache::Insert(std::int64_t block) {
+  if (Contains(block)) {
+    Touch(block);
+    return;
+  }
+  lru_.push_front(block);
+  index_[block] = lru_.begin();
+  while (static_cast<int>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void BufferCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+void BufferCache::Read(std::int64_t block, int nblocks, std::function<void()> done) {
+  // Find maximal missing runs.
+  struct Run {
+    std::int64_t start;
+    int len;
+  };
+  std::vector<Run> missing;
+  for (std::int64_t b = block; b < block + nblocks; ++b) {
+    if (Contains(b)) {
+      ++hits_;
+      Touch(b);
+    } else {
+      ++misses_;
+      if (!missing.empty() && missing.back().start + missing.back().len == b) {
+        ++missing.back().len;
+      } else {
+        missing.push_back(Run{b, 1});
+      }
+    }
+  }
+
+  if (missing.empty()) {
+    // Fully cached: charge the kernel copy as stolen time, then complete.
+    scheduler_->QueueInterrupt(hit_copy_work_, std::move(done));
+    return;
+  }
+
+  // Mark missing blocks resident up front (they will be by the time `done`
+  // runs; no reader can observe the window because completion gates it).
+  for (const Run& r : missing) {
+    for (std::int64_t b = r.start; b < r.start + r.len; ++b) {
+      Insert(b);
+    }
+  }
+
+  // Issue one disk request per missing run; complete when the last lands.
+  auto remaining = std::make_shared<int>(static_cast<int>(missing.size()));
+  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  for (const Run& r : missing) {
+    disk_->SubmitRead(r.start, r.len, [remaining, shared_done]() {
+      if (--*remaining == 0 && *shared_done) {
+        (*shared_done)();
+      }
+    });
+  }
+}
+
+void BufferCache::Write(std::int64_t block, int nblocks, std::function<void()> done) {
+  for (std::int64_t b = block; b < block + nblocks; ++b) {
+    Insert(b);
+  }
+  disk_->SubmitWrite(block, nblocks, std::move(done));
+}
+
+}  // namespace ilat

@@ -1,0 +1,67 @@
+#include "src/sim/disk.h"
+
+#include <cmath>
+#include <utility>
+
+namespace ilat {
+
+Disk::Disk(EventQueue* queue, Scheduler* scheduler, Random* random, DiskParams params,
+           Work isr_work)
+    : queue_(queue),
+      scheduler_(scheduler),
+      random_(random),
+      params_(params),
+      isr_work_(isr_work) {}
+
+void Disk::SubmitRead(std::int64_t block, int nblocks, std::function<void()> done) {
+  Submit(Request{block, nblocks, /*is_write=*/false, std::move(done)});
+}
+
+void Disk::SubmitWrite(std::int64_t block, int nblocks, std::function<void()> done) {
+  Submit(Request{block, nblocks, /*is_write=*/true, std::move(done)});
+}
+
+void Disk::Submit(Request r) {
+  pending_.push_back(std::move(r));
+  if (!active_) {
+    StartNext();
+  }
+}
+
+Cycles Disk::ServiceTime(const Request& r) {
+  // Sequential if the request starts where the head ended up.
+  const bool sequential = (r.block == head_position_);
+  double seek_ms = sequential ? params_.track_to_track_ms : params_.avg_seek_ms;
+  seek_ms *= 1.0 + params_.seek_jitter * (2.0 * random_->NextDouble() - 1.0);
+
+  const double rotation_ms = sequential ? 0.0 : (60'000.0 / params_.rotational_rpm) / 2.0;
+  const double bytes = static_cast<double>(r.nblocks) * params_.block_size_bytes;
+  const double transfer_ms = bytes / (params_.transfer_mb_per_s * 1'000'000.0) * 1000.0;
+  const double total_ms = params_.controller_overhead_ms + seek_ms + rotation_ms + transfer_ms;
+  return MillisecondsToCycles(total_ms);
+}
+
+void Disk::StartNext() {
+  if (pending_.empty()) {
+    active_ = false;
+    return;
+  }
+  active_ = true;
+  // Move the front request out; it completes after its service time.
+  Request r = std::move(pending_.front());
+  pending_.pop_front();
+  const Cycles service = ServiceTime(r);
+  service_cycles_ += service;
+  head_position_ = r.block + r.nblocks;
+
+  queue_->ScheduleAfter(service, [this, r = std::move(r)]() mutable {
+    ++completed_;
+    blocks_ += static_cast<std::uint64_t>(r.nblocks);
+    // Completion interrupt: the handler runs as stolen time, then delivers
+    // the completion callback.
+    scheduler_->QueueInterrupt(isr_work_, std::move(r.done));
+    StartNext();
+  });
+}
+
+}  // namespace ilat

@@ -1,0 +1,79 @@
+// Disk model: seek + rotation + transfer, FIFO request queue.
+//
+// Models the paper's dedicated 1 GB Fujitsu M1606SAU SCSI disk.  Table 1's
+// long-latency PowerPoint events (application start, document open/save,
+// OLE edit start) are dominated by disk time, so the disk and the buffer
+// cache above it are the substrate for those experiments.
+
+#ifndef ILAT_SRC_SIM_DISK_H_
+#define ILAT_SRC_SIM_DISK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/work.h"
+
+namespace ilat {
+
+struct DiskParams {
+  double avg_seek_ms = 10.0;         // random-access seek
+  double track_to_track_ms = 2.0;    // sequential-ish access
+  double rotational_rpm = 5400.0;    // -> avg rotational delay = half turn
+  double transfer_mb_per_s = 4.0;    // media transfer rate
+  double controller_overhead_ms = 0.5;
+  int block_size_bytes = 4096;
+  // Fractional jitter applied to seek time (deterministic PRNG).
+  double seek_jitter = 0.15;
+};
+
+class Disk {
+ public:
+  // All pointers are non-owning and must outlive the disk.
+  Disk(EventQueue* queue, Scheduler* scheduler, Random* random, DiskParams params,
+       Work isr_work);
+
+  // Submit a read/write of `nblocks` starting at `block`.  `done` fires
+  // from the completion interrupt handler.
+  void SubmitRead(std::int64_t block, int nblocks, std::function<void()> done);
+  void SubmitWrite(std::int64_t block, int nblocks, std::function<void()> done);
+
+  const DiskParams& params() const { return params_; }
+
+  std::uint64_t completed_requests() const { return completed_; }
+  std::uint64_t blocks_transferred() const { return blocks_; }
+  Cycles total_service_cycles() const { return service_cycles_; }
+
+ private:
+  struct Request {
+    std::int64_t block;
+    int nblocks;
+    bool is_write;
+    std::function<void()> done;
+  };
+
+  void Submit(Request r);
+  void StartNext();
+  Cycles ServiceTime(const Request& r);
+
+  EventQueue* queue_;
+  Scheduler* scheduler_;
+  Random* random_;
+  DiskParams params_;
+  Work isr_work_;
+
+  std::deque<Request> pending_;
+  bool active_ = false;
+  std::int64_t head_position_ = 0;  // block number after the last transfer
+
+  std::uint64_t completed_ = 0;
+  std::uint64_t blocks_ = 0;
+  Cycles service_cycles_ = 0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_DISK_H_

@@ -1,0 +1,81 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ilat {
+
+EventQueue::EventId EventQueue::ScheduleAt(Cycles when, Callback fn) {
+  assert(when >= now_ && "cannot schedule events in the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventQueue::EventId EventQueue::ScheduleAfter(Cycles delay, Callback fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::SkimCancelled() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) {
+      break;
+    }
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+Cycles EventQueue::NextEventTime() const {
+  SkimCancelled();
+  return heap_.empty() ? kNever : heap_.top().when;
+}
+
+bool EventQueue::Empty() const {
+  SkimCancelled();
+  return heap_.empty();
+}
+
+void EventQueue::AdvanceTo(Cycles t) {
+  assert(t >= now_ && "time cannot go backwards");
+  assert(NextEventTime() >= t && "events due before AdvanceTo target");
+  now_ = t;
+}
+
+void EventQueue::RunNext() {
+  SkimCancelled();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  assert(it != callbacks_.end());
+  Callback fn = std::move(it->second);
+  callbacks_.erase(it);
+  assert(top.when >= now_);
+  now_ = top.when;
+  ++fired_;
+  fn();
+}
+
+void EventQueue::RunUntil(Cycles t) {
+  while (NextEventTime() <= t) {
+    RunNext();
+  }
+  if (t > now_) {
+    now_ = t;
+  }
+}
+
+}  // namespace ilat

@@ -1,0 +1,96 @@
+// The simulation clock and timed-event queue.
+//
+// EventQueue is the heart of the discrete-event simulator: it owns the
+// current simulated time (the Pentium cycle counter) and a min-heap of
+// scheduled callbacks.  The Scheduler advances time either by running
+// thread work up to the next due event, or by jumping straight to the next
+// event when the CPU would otherwise be idle.
+
+#ifndef ILAT_SRC_SIM_EVENT_QUEUE_H_
+#define ILAT_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ilat {
+
+class EventQueue {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  // Current simulated time (cycle-counter value).
+  Cycles now() const { return now_; }
+
+  // Schedule `fn` to run at absolute time `when` (>= now).  Returns an id
+  // usable with Cancel().
+  EventId ScheduleAt(Cycles when, Callback fn);
+
+  // Schedule `fn` to run `delay` cycles from now.
+  EventId ScheduleAfter(Cycles delay, Callback fn);
+
+  // Cancel a pending event.  Returns false if it already fired or was
+  // already cancelled.
+  bool Cancel(EventId id);
+
+  // Time of the next pending (non-cancelled) event, or kNever.
+  Cycles NextEventTime() const;
+
+  // True if no non-cancelled events are pending.
+  bool Empty() const;
+
+  // Number of pending (non-cancelled) events.
+  std::size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+
+  // Advance the clock to `t` without firing anything.  Requires that no
+  // event is due at or before `t` (the Scheduler maintains this invariant),
+  // and t >= now.
+  void AdvanceTo(Cycles t);
+
+  // Fire every event due at or before `t`, advancing the clock to each
+  // event's timestamp in order, and finally to `t`.  Callbacks may schedule
+  // further events, including ones due within the window; they fire too.
+  void RunUntil(Cycles t);
+
+  // Fire the single next event (advancing the clock to it).  Requires
+  // !Empty().
+  void RunNext();
+
+  // Total number of callbacks ever fired (for stats/tests).
+  std::uint64_t fired_count() const { return fired_; }
+
+ private:
+  struct Entry {
+    Cycles when;
+    EventId id;
+    // Heap orders by time, then by insertion id for FIFO among ties.
+    bool operator>(const Entry& rhs) const {
+      if (when != rhs.when) {
+        return when > rhs.when;
+      }
+      return id > rhs.id;
+    }
+  };
+
+  // Pop cancelled entries off the heap top.
+  void SkimCancelled() const;
+
+  Cycles now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+
+  // Lazy-deletion heap: cancelled ids stay in the heap but are skipped.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_EVENT_QUEUE_H_

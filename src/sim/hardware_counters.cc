@@ -1,0 +1,60 @@
+#include "src/sim/hardware_counters.h"
+
+#include <cmath>
+
+namespace ilat {
+
+std::string_view HwEventName(HwEvent e) {
+  switch (e) {
+    case HwEvent::kInstructions:
+      return "instructions";
+    case HwEvent::kDataRefs:
+      return "data_refs";
+    case HwEvent::kItlbMiss:
+      return "itlb_miss";
+    case HwEvent::kDtlbMiss:
+      return "dtlb_miss";
+    case HwEvent::kSegmentLoads:
+      return "segment_loads";
+    case HwEvent::kUnalignedAccess:
+      return "unaligned_access";
+    case HwEvent::kInterrupts:
+      return "interrupts";
+    case HwEvent::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+void HardwareCounters::AccrueWork(Cycles cycles, const WorkProfile& p) {
+  const double instr = p.InstructionsForCycles(cycles);
+  const double kinstr = instr / 1000.0;
+
+  const auto accrue = [this](HwEvent e, double amount) {
+    const int i = static_cast<int>(e);
+    residue_[i] += amount;
+    const double whole = std::floor(residue_[i]);
+    if (whole > 0) {
+      counts_.counts[i] += static_cast<std::uint64_t>(whole);
+      residue_[i] -= whole;
+    }
+  };
+
+  accrue(HwEvent::kInstructions, instr);
+  accrue(HwEvent::kDataRefs, instr * p.data_refs_per_instr);
+  accrue(HwEvent::kItlbMiss, kinstr * p.itlb_miss_per_kinstr);
+  accrue(HwEvent::kDtlbMiss, kinstr * p.dtlb_miss_per_kinstr);
+  accrue(HwEvent::kSegmentLoads, kinstr * p.seg_loads_per_kinstr);
+  accrue(HwEvent::kUnalignedAccess, kinstr * p.unaligned_per_kinstr);
+}
+
+std::uint64_t HardwareCounters::Get(HwEvent e) const { return counts_[e]; }
+
+HwCounts HardwareCounters::Snapshot() const { return counts_; }
+
+void HardwareCounters::Reset() {
+  counts_ = HwCounts{};
+  residue_ = {};
+}
+
+}  // namespace ilat

@@ -1,0 +1,51 @@
+#include "src/sim/interrupts.h"
+
+#include <cstdint>
+#include <utility>
+
+namespace ilat {
+
+PeriodicDevice::PeriodicDevice(EventQueue* queue, Scheduler* scheduler, Cycles period,
+                               Work handler_work, std::function<void()> on_tick, Cycles phase)
+    : queue_(queue),
+      scheduler_(scheduler),
+      period_(period),
+      handler_work_(handler_work),
+      on_tick_(std::move(on_tick)),
+      phase_(phase) {}
+
+PeriodicDevice::~PeriodicDevice() { Stop(); }
+
+void PeriodicDevice::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  // First tick lands on the next period boundary (plus phase).
+  const Cycles now = queue_->now();
+  Cycles first = ((now - phase_) / period_ + 1) * period_ + phase_;
+  if (first <= now) {
+    first += period_;
+  }
+  pending_ = queue_->ScheduleAt(first, [this] { ScheduleNext(); });
+}
+
+void PeriodicDevice::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  queue_->Cancel(pending_);
+  pending_ = 0;
+}
+
+void PeriodicDevice::ScheduleNext() {
+  if (!running_) {
+    return;
+  }
+  ++ticks_;
+  scheduler_->QueueInterrupt(handler_work_, on_tick_);
+  pending_ = queue_->ScheduleAfter(period_, [this] { ScheduleNext(); });
+}
+
+}  // namespace ilat

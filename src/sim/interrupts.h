@@ -1,0 +1,53 @@
+// Periodic devices.
+//
+// The hardware clock fires every 10 ms on Windows NT (paper Fig. 3: "bursts
+// of CPU activity at 10 ms intervals due to hardware clock interrupts");
+// Windows 95 shows additional background activity.  Both are modelled as
+// PeriodicDevice instances configured by the OS personality.
+
+#ifndef ILAT_SRC_SIM_INTERRUPTS_H_
+#define ILAT_SRC_SIM_INTERRUPTS_H_
+
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/scheduler.h"
+#include "src/sim/work.h"
+
+namespace ilat {
+
+// Fires interrupt work every `period` cycles, starting at `phase`.
+class PeriodicDevice {
+ public:
+  // `on_tick`, if set, runs after each tick's interrupt work completes
+  // (e.g. the clock tick callback that drives scheduled timers).
+  PeriodicDevice(EventQueue* queue, Scheduler* scheduler, Cycles period, Work handler_work,
+                 std::function<void()> on_tick = nullptr, Cycles phase = 0);
+  ~PeriodicDevice();
+
+  PeriodicDevice(const PeriodicDevice&) = delete;
+  PeriodicDevice& operator=(const PeriodicDevice&) = delete;
+
+  void Start();
+  void Stop();
+  bool running() const { return running_; }
+  std::uint64_t ticks() const { return ticks_; }
+  Cycles period() const { return period_; }
+
+ private:
+  void ScheduleNext();
+
+  EventQueue* queue_;
+  Scheduler* scheduler_;
+  Cycles period_;
+  Work handler_work_;
+  std::function<void()> on_tick_;
+  Cycles phase_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+  EventQueue::EventId pending_ = 0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_INTERRUPTS_H_

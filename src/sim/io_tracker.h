@@ -1,0 +1,60 @@
+// Outstanding-I/O bookkeeping.
+//
+// The think/wait state machine (paper Fig. 2) needs to know whether a
+// synchronous I/O request is outstanding: synchronous I/O is wait time for
+// the user even though the CPU is idle, while asynchronous I/O is assumed
+// to be background activity.  The paper notes that real systems lacked an
+// API for this; the simulator provides it as ground truth.
+
+#ifndef ILAT_SRC_SIM_IO_TRACKER_H_
+#define ILAT_SRC_SIM_IO_TRACKER_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+
+namespace ilat {
+
+class IoTracker {
+ public:
+  // Observer of (time, any_sync_io_pending) transitions.
+  using TransitionFn = std::function<void(Cycles, bool)>;
+
+  explicit IoTracker(EventQueue* clock) : clock_(clock) {}
+
+  void SetTransitionObserver(TransitionFn fn) { on_transition_ = std::move(fn); }
+
+  void BeginSync() {
+    if (sync_outstanding_++ == 0 && on_transition_) {
+      on_transition_(clock_->now(), true);
+    }
+  }
+
+  void EndSync() {
+    assert(sync_outstanding_ > 0);
+    if (--sync_outstanding_ == 0 && on_transition_) {
+      on_transition_(clock_->now(), false);
+    }
+  }
+
+  void BeginAsync() { ++async_outstanding_; }
+  void EndAsync() {
+    assert(async_outstanding_ > 0);
+    --async_outstanding_;
+  }
+
+  int sync_outstanding() const { return sync_outstanding_; }
+  int async_outstanding() const { return async_outstanding_; }
+
+ private:
+  EventQueue* clock_;
+  TransitionFn on_transition_;
+  int sync_outstanding_ = 0;
+  int async_outstanding_ = 0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_IO_TRACKER_H_

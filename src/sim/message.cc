@@ -1,0 +1,35 @@
+#include "src/sim/message.h"
+
+namespace ilat {
+
+std::string_view MessageTypeName(MessageType t) {
+  switch (t) {
+    case MessageType::kKeyDown:
+      return "WM_KEYDOWN";
+    case MessageType::kChar:
+      return "WM_CHAR";
+    case MessageType::kKeyUp:
+      return "WM_KEYUP";
+    case MessageType::kMouseMove:
+      return "WM_MOUSEMOVE";
+    case MessageType::kMouseDown:
+      return "WM_LBUTTONDOWN";
+    case MessageType::kMouseUp:
+      return "WM_LBUTTONUP";
+    case MessageType::kTimer:
+      return "WM_TIMER";
+    case MessageType::kPaint:
+      return "WM_PAINT";
+    case MessageType::kCommand:
+      return "WM_COMMAND";
+    case MessageType::kSocket:
+      return "WM_SOCKET";
+    case MessageType::kQueueSync:
+      return "WM_QUEUESYNC";
+    case MessageType::kQuit:
+      return "WM_QUIT";
+  }
+  return "WM_UNKNOWN";
+}
+
+}  // namespace ilat

@@ -1,0 +1,68 @@
+// Win32-flavoured message types.
+//
+// The paper measures Windows systems, whose applications receive all user
+// input through a per-thread message queue drained with GetMessage() /
+// PeekMessage().  The simulator models the same structure.  WM_QUEUESYNC is
+// the synchronisation message Microsoft Test injects after every simulated
+// input event -- an artifact the paper has to identify and strip (Figs. 7,
+// 11 and §5.4), so it is a first-class citizen here.
+
+#ifndef ILAT_SRC_SIM_MESSAGE_H_
+#define ILAT_SRC_SIM_MESSAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/sim/time.h"
+
+namespace ilat {
+
+enum class MessageType : int {
+  kKeyDown = 0,
+  kChar,
+  kKeyUp,
+  kMouseMove,
+  kMouseDown,
+  kMouseUp,
+  kTimer,
+  kPaint,
+  kCommand,    // menu/toolbar command (open, save, page-down, ...)
+  kSocket,     // network data ready (WSAAsyncSelect posts these as messages)
+  kQueueSync,  // WM_QUEUESYNC injected by the scripted test driver
+  kQuit,
+};
+
+std::string_view MessageTypeName(MessageType t);
+
+struct Message {
+  MessageType type = MessageType::kQuit;
+  // Meaning depends on type: character code for kChar, command id for
+  // kCommand, timer id for kTimer.
+  int param = 0;
+  // When the message entered the queue (stamped by MessageQueue::Post).
+  // This is when the user starts waiting (paper §2.3).
+  Cycles enqueue_time = 0;
+  // Global sequence number, for correlating monitor logs with events.
+  std::uint64_t seq = 0;
+
+  // User-initiated input for latency purposes.  kQueueSync is driver
+  // overhead, kTimer/kPaint are system-generated.
+  bool IsUserInput() const {
+    switch (type) {
+      case MessageType::kKeyDown:
+      case MessageType::kChar:
+      case MessageType::kKeyUp:
+      case MessageType::kMouseMove:
+      case MessageType::kMouseDown:
+      case MessageType::kMouseUp:
+      case MessageType::kCommand:
+        return true;
+      default:
+        return false;
+    }
+  }
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_MESSAGE_H_

@@ -1,0 +1,49 @@
+#include "src/sim/message_queue.h"
+
+namespace ilat {
+
+Message MessageQueue::Post(Message m) {
+  m.enqueue_time = clock_->now();
+  m.seq = next_seq_++;
+  const bool was_empty = messages_.empty();
+  messages_.push_back(m);
+  ++posted_;
+  if (was_empty && on_transition_) {
+    on_transition_(clock_->now(), /*non_empty=*/true);
+  }
+  if (wake_) {
+    wake_();
+  }
+  return m;
+}
+
+bool MessageQueue::TryPop(Message* out) {
+  if (messages_.empty()) {
+    return false;
+  }
+  *out = messages_.front();
+  messages_.pop_front();
+  if (messages_.empty() && on_transition_) {
+    on_transition_(clock_->now(), /*non_empty=*/false);
+  }
+  return true;
+}
+
+bool MessageQueue::PeekFront(Message* out) const {
+  if (messages_.empty()) {
+    return false;
+  }
+  *out = messages_.front();
+  return true;
+}
+
+bool MessageQueue::ContainsType(MessageType t) const {
+  for (const Message& m : messages_) {
+    if (m.type == t) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ilat

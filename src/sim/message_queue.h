@@ -1,0 +1,64 @@
+// Per-thread message queue, Win32 style.
+//
+// Input interrupts, timers, and the window system post messages here; the
+// owning application thread drains them through its message pump.  The
+// queue exposes an empty/non-empty transition observer because queue state
+// is one of the three inputs to the paper's think-time/wait-time state
+// machine (Fig. 2).
+
+#ifndef ILAT_SRC_SIM_MESSAGE_QUEUE_H_
+#define ILAT_SRC_SIM_MESSAGE_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/message.h"
+
+namespace ilat {
+
+class MessageQueue {
+ public:
+  using WakeFn = std::function<void()>;
+  // Observer of empty <-> non-empty transitions: (time, now_non_empty).
+  using TransitionFn = std::function<void(Cycles, bool)>;
+
+  explicit MessageQueue(EventQueue* clock) : clock_(clock) {}
+
+  // Called when a message arrives while the owner may be blocked.
+  void SetWakeCallback(WakeFn fn) { wake_ = std::move(fn); }
+
+  void SetTransitionObserver(TransitionFn fn) { on_transition_ = std::move(fn); }
+
+  // Append a message; stamps enqueue_time and seq, fires the wake callback.
+  // Returns the stamped message (for loggers).
+  Message Post(Message m);
+
+  // Remove the front message.  Returns false if empty.
+  bool TryPop(Message* out);
+
+  // Look at the front message without removing it.
+  bool PeekFront(Message* out) const;
+
+  bool Empty() const { return messages_.empty(); }
+  std::size_t Size() const { return messages_.size(); }
+
+  // True if any pending message has the given type.
+  bool ContainsType(MessageType t) const;
+
+  // Total messages ever posted.
+  std::uint64_t posted_count() const { return posted_; }
+
+ private:
+  EventQueue* clock_;
+  std::deque<Message> messages_;
+  WakeFn wake_;
+  TransitionFn on_transition_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t posted_ = 0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_MESSAGE_QUEUE_H_

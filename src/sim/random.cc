@@ -1,0 +1,67 @@
+#include "src/sim/random.h"
+
+#include <cmath>
+
+namespace ilat {
+
+Random::Random(std::uint64_t seed) { Seed(seed); }
+
+void Random::Seed(std::uint64_t seed) {
+  // Zero is a fixed point of xorshift; nudge it.
+  state_ = seed != 0 ? seed : 0x9E3779B97F4A7C15ull;
+  has_cached_gaussian_ = false;
+  cached_gaussian_ = 0.0;
+}
+
+std::uint64_t Random::NextU64() {
+  std::uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+double Random::NextDouble() {
+  // Use the top 53 bits for a uniform double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Random::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+std::int64_t Random::UniformInt(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextU64() % span);
+}
+
+double Random::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller.  Guard against log(0).
+  double u1 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Random::Gaussian(double mean, double stddev) { return mean + stddev * NextGaussian(); }
+
+double Random::Exponential(double mean) {
+  double u = NextDouble();
+  if (u < 1e-300) {
+    u = 1e-300;
+  }
+  return -mean * std::log(u);
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace ilat

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic element of the toolkit (human typist timing, disk seek
+// perturbation, application work jitter) draws from a seeded xorshift64*
+// generator so that experiments replay bit-for-bit.  We intentionally avoid
+// <random>'s distributions, whose outputs differ between standard library
+// implementations.
+
+#ifndef ILAT_SRC_SIM_RANDOM_H_
+#define ILAT_SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace ilat {
+
+// xorshift64* PRNG (Vigna 2016).  Small, fast, and statistically adequate
+// for workload generation.  Not cryptographic.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  // Uniform 64-bit value.
+  std::uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Box-Muller (one value per call; the pair's second
+  // value is cached).
+  double NextGaussian();
+
+  // Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with the given mean.  Useful for think-time models.
+  double Exponential(double mean);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Re-seed, resetting all cached state.
+  void Seed(std::uint64_t seed);
+
+ private:
+  std::uint64_t state_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_RANDOM_H_

@@ -1,0 +1,173 @@
+#include "src/sim/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace ilat {
+
+void Scheduler::AddThread(SimThread* t) {
+  assert(t != nullptr);
+  threads_.push_back(t);
+}
+
+void Scheduler::Wake(SimThread* t, int boost) {
+  if (t->state_ == ThreadState::kBlocked) {
+    t->state_ = ThreadState::kRunnable;
+  }
+  // Boosts do not stack; the largest pending boost wins and decays when
+  // the thread next blocks.
+  t->boost_ = std::max(t->boost_, boost);
+}
+
+void Scheduler::QueueInterrupt(Work w, std::function<void()> on_complete) {
+  counters_->Add(HwEvent::kInterrupts, 1);
+  interrupts_.push_back(InterruptWork{w, w.cycles, std::move(on_complete)});
+}
+
+SimThread* Scheduler::PickThread() {
+  SimThread* best = nullptr;
+  for (SimThread* t : threads_) {
+    if (t->state_ != ThreadState::kRunnable) {
+      continue;
+    }
+    if (best == nullptr || t->effective_priority() > best->effective_priority()) {
+      best = t;
+      continue;
+    }
+    if (t->effective_priority() == best->effective_priority()) {
+      // Prefer a thread with an action in flight (it was preempted and
+      // should continue); otherwise FIFO by last dispatch.
+      if (t->action_in_flight_ && !best->action_in_flight_) {
+        best = t;
+      } else if (t->action_in_flight_ == best->action_in_flight_ &&
+                 t->last_dispatch_seq_ < best->last_dispatch_seq_) {
+        best = t;
+      }
+    }
+  }
+  return best;
+}
+
+bool Scheduler::EnsureAction(SimThread* t) {
+  if (t->action_in_flight_) {
+    return true;
+  }
+  ThreadAction a = t->NextAction();
+  switch (a.kind) {
+    case ThreadAction::Kind::kCompute:
+      t->current_ = std::move(a);
+      t->remaining_ = t->current_.work.cycles;
+      t->action_in_flight_ = true;
+      return true;
+    case ThreadAction::Kind::kBlock:
+      t->state_ = ThreadState::kBlocked;
+      t->boost_ = 0;  // wake boosts decay when the thread blocks again
+      return false;
+    case ThreadAction::Kind::kFinish:
+      t->state_ = ThreadState::kFinished;
+      return false;
+  }
+  return false;
+}
+
+void Scheduler::SetBusy(bool busy) {
+  if (busy == busy_) {
+    return;
+  }
+  busy_ = busy;
+  const Cycles now = queue_->now();
+  for (CpuObserver* obs : observers_) {
+    if (busy) {
+      obs->OnCpuBusy(now);
+    } else {
+      obs->OnCpuIdle(now);
+    }
+  }
+}
+
+void Scheduler::RunUntil(Cycles until) {
+  // Fire anything already due.
+  while (queue_->NextEventTime() <= queue_->now()) {
+    queue_->RunNext();
+  }
+
+  while (queue_->now() < until) {
+    const Cycles now = queue_->now();
+
+    if (!interrupts_.empty()) {
+      const Cycles horizon = std::min(until, queue_->NextEventTime());
+      SetBusy(true);
+      InterruptWork& iw = interrupts_.front();
+      const Cycles step = std::min(iw.remaining, horizon - now);
+      if (step > 0) {
+        queue_->AdvanceTo(now + step);
+        counters_->AccrueWork(step, iw.work.profile);
+        interrupt_cycles_ += step;
+        iw.remaining -= step;
+      }
+      if (iw.remaining == 0) {
+        auto done = std::move(iw.on_complete);
+        interrupts_.pop_front();
+        if (done) {
+          done();
+        }
+      }
+    } else {
+      SimThread* t = nullptr;
+      while ((t = PickThread()) != nullptr) {
+        if (EnsureAction(t)) {
+          break;
+        }
+      }
+      if (!interrupts_.empty()) {
+        // Thread code run inside EnsureAction (NextAction) queued interrupt
+        // work (e.g. a buffer-cache hit completing as it blocked); that
+        // work runs before anything else.
+        continue;
+      }
+      if (t != nullptr) {
+        // Recompute the horizon: EnsureAction ran thread code (NextAction)
+        // that may have scheduled earlier events (e.g. SetTimer).
+        const Cycles horizon = std::min(until, queue_->NextEventTime());
+        t->last_dispatch_seq_ = ++dispatch_seq_;
+        const bool idle = t->IsIdleThread();
+        SetBusy(!idle);
+        const Cycles step = std::min(t->remaining_, horizon - now);
+        if (step > 0) {
+          queue_->AdvanceTo(now + step);
+          counters_->AccrueWork(step, t->current_.work.profile);
+          if (idle) {
+            idle_thread_cycles_ += step;
+          } else {
+            busy_thread_cycles_ += step;
+          }
+          t->remaining_ -= step;
+        }
+        if (t->remaining_ == 0) {
+          t->action_in_flight_ = false;
+          if (t->current_.on_complete) {
+            t->current_.on_complete();
+          }
+        }
+      } else {
+        // Nothing runnable: the CPU is architecturally idle until the next
+        // timed event.  Re-read the event time: blocking threads may have
+        // scheduled wake-ups while we were picking.
+        SetBusy(false);
+        if (queue_->NextEventTime() > until) {
+          queue_->AdvanceTo(until);
+          break;
+        }
+        queue_->RunNext();
+      }
+    }
+
+    // Fire everything that became due.
+    while (queue_->NextEventTime() <= queue_->now()) {
+      queue_->RunNext();
+    }
+  }
+}
+
+}  // namespace ilat

@@ -1,0 +1,15 @@
+#include "src/sim/simulation.h"
+
+namespace ilat {
+
+Simulation::Simulation(std::uint64_t seed)
+    : scheduler_(&queue_, &counters_), random_(seed), io_(&queue_) {}
+
+void Simulation::ConfigureStorage(DiskParams params, Work disk_isr_work, int cache_blocks,
+                                  Work cache_hit_copy_work) {
+  disk_ = std::make_unique<Disk>(&queue_, &scheduler_, &random_, params, disk_isr_work);
+  cache_ = std::make_unique<BufferCache>(disk_.get(), &scheduler_, cache_blocks,
+                                         cache_hit_copy_work);
+}
+
+}  // namespace ilat

@@ -1,0 +1,59 @@
+// Simulation facade: one simulated machine.
+//
+// Wires the clock/event queue, hardware counters, scheduler, PRNG, disk,
+// buffer cache, and I/O tracker into a single object.  OS personalities
+// (src/os) configure it; applications and the measurement toolkit run on
+// it.
+
+#ifndef ILAT_SRC_SIM_SIMULATION_H_
+#define ILAT_SRC_SIM_SIMULATION_H_
+
+#include <memory>
+
+#include "src/sim/buffer_cache.h"
+#include "src/sim/disk.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/hardware_counters.h"
+#include "src/sim/io_tracker.h"
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+
+namespace ilat {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1);
+
+  // Build the disk + buffer cache.  Must be called before disk()/cache().
+  void ConfigureStorage(DiskParams params, Work disk_isr_work, int cache_blocks,
+                        Work cache_hit_copy_work);
+
+  EventQueue& queue() { return queue_; }
+  Scheduler& scheduler() { return scheduler_; }
+  HardwareCounters& counters() { return counters_; }
+  Random& random() { return random_; }
+  IoTracker& io() { return io_; }
+  Disk& disk() { return *disk_; }
+  BufferCache& cache() { return *cache_; }
+  bool has_storage() const { return disk_ != nullptr; }
+
+  Cycles now() const { return queue_.now(); }
+
+  // Run the machine forward to an absolute time.
+  void RunUntil(Cycles t) { scheduler_.RunUntil(t); }
+  // Run the machine forward by a delta.
+  void RunFor(Cycles dt) { scheduler_.RunUntil(queue_.now() + dt); }
+
+ private:
+  EventQueue queue_;
+  HardwareCounters counters_;
+  Scheduler scheduler_;
+  Random random_;
+  IoTracker io_;
+  std::unique_ptr<Disk> disk_;
+  std::unique_ptr<BufferCache> cache_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_SIMULATION_H_

@@ -1,0 +1,108 @@
+// Simulated threads.
+//
+// A SimThread is a generator of actions: each time the scheduler needs to
+// know what a thread does next, it calls NextAction().  Actions are either
+// a quantum of work (which the scheduler may preempt and resume), a block
+// (the thread parks until something calls Scheduler::Wake on it), or exit.
+//
+// This inversion -- threads describe work, the scheduler executes it --
+// keeps preemption, interrupt stealing, and counter accrual in exactly one
+// place, which is essential for the idle-loop methodology: elongated idle
+// samples *are* the preemption bookkeeping.
+
+#ifndef ILAT_SRC_SIM_THREAD_H_
+#define ILAT_SRC_SIM_THREAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/sim/work.h"
+
+namespace ilat {
+
+enum class ThreadState {
+  kRunnable,
+  kBlocked,
+  kFinished,
+};
+
+struct ThreadAction {
+  enum class Kind {
+    kCompute,  // execute `work`, then call on_complete
+    kBlock,    // park until woken
+    kFinish,   // thread exits
+  };
+
+  Kind kind = Kind::kBlock;
+  Work work;
+  // Runs when the work quantum fully completes (not on preemption).
+  std::function<void()> on_complete;
+
+  static ThreadAction Compute(Work w, std::function<void()> done = nullptr) {
+    ThreadAction a;
+    a.kind = Kind::kCompute;
+    a.work = w;
+    a.on_complete = std::move(done);
+    return a;
+  }
+
+  static ThreadAction Block() {
+    ThreadAction a;
+    a.kind = Kind::kBlock;
+    return a;
+  }
+
+  static ThreadAction Finish() {
+    ThreadAction a;
+    a.kind = Kind::kFinish;
+    return a;
+  }
+};
+
+class SimThread {
+ public:
+  // `priority`: higher runs first.  Priority 0 is reserved for the idle
+  // instrument; the scheduler treats time spent there as idle time.
+  SimThread(std::string name, int priority)
+      : name_(std::move(name)), priority_(priority) {}
+  virtual ~SimThread() = default;
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  // Asked by the scheduler whenever the thread has no action in flight.
+  virtual ThreadAction NextAction() = 0;
+
+  const std::string& name() const { return name_; }
+  int priority() const { return priority_; }
+  // Base priority plus any wake boost (Windows NT temporarily boosts a
+  // thread's priority when it wakes for window input or I/O completion,
+  // which is what keeps interactive threads responsive beside
+  // equal-priority batch work).
+  int effective_priority() const { return priority_ + boost_; }
+  int boost() const { return boost_; }
+  ThreadState state() const { return state_; }
+
+  // A thread whose execution counts as idle time (the idle-loop
+  // instrument).  Defaults to priority == 0.
+  virtual bool IsIdleThread() const { return priority_ == 0; }
+
+ private:
+  friend class Scheduler;
+
+  std::string name_;
+  int priority_;
+
+  // Scheduler-managed state.
+  int boost_ = 0;
+  ThreadState state_ = ThreadState::kRunnable;
+  bool action_in_flight_ = false;
+  ThreadAction current_;
+  Cycles remaining_ = 0;
+  std::uint64_t last_dispatch_seq_ = 0;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_THREAD_H_

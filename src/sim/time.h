@@ -1,0 +1,55 @@
+// Time units for the simulated machine.
+//
+// The simulated processor is a 100 MHz Pentium-class CPU, matching the
+// testbed of Endo et al. (OSDI '96).  All simulation time is kept in CPU
+// cycles (10 ns each); helpers convert to and from wall-clock units.
+
+#ifndef ILAT_SRC_SIM_TIME_H_
+#define ILAT_SRC_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ilat {
+
+// A point in time or a duration, in CPU cycles.
+using Cycles = std::int64_t;
+
+// Clock rate of the simulated CPU (100 MHz Pentium).
+inline constexpr std::int64_t kCpuHz = 100'000'000;
+
+// Cycles per common wall-clock units.
+inline constexpr Cycles kCyclesPerSecond = kCpuHz;
+inline constexpr Cycles kCyclesPerMillisecond = kCpuHz / 1'000;
+inline constexpr Cycles kCyclesPerMicrosecond = kCpuHz / 1'000'000;
+
+// Sentinel "no event scheduled" time.
+inline constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+constexpr Cycles SecondsToCycles(double s) {
+  return static_cast<Cycles>(s * static_cast<double>(kCyclesPerSecond));
+}
+
+constexpr Cycles MillisecondsToCycles(double ms) {
+  return static_cast<Cycles>(ms * static_cast<double>(kCyclesPerMillisecond));
+}
+
+constexpr Cycles MicrosecondsToCycles(double us) {
+  return static_cast<Cycles>(us * static_cast<double>(kCyclesPerMicrosecond));
+}
+
+constexpr double CyclesToSeconds(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerSecond);
+}
+
+constexpr double CyclesToMilliseconds(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerMillisecond);
+}
+
+constexpr double CyclesToMicroseconds(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCyclesPerMicrosecond);
+}
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_TIME_H_

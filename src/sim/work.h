@@ -1,0 +1,70 @@
+// Characterisation of a block of computation.
+//
+// When a simulated thread executes, it executes *work* described by a
+// WorkProfile: how many instructions retire per cycle and which hardware
+// events (TLB misses, segment-register loads, unaligned accesses) accompany
+// them.  The profiles are how the toolkit reproduces the paper's
+// hardware-counter results (Figs. 9 and 10): Windows 95's 16-bit GUI code
+// has a high segment-load rate, NT 3.51's user-level Win32 server forces
+// protection-domain crossings that flush the TLB, and so on.
+
+#ifndef ILAT_SRC_SIM_WORK_H_
+#define ILAT_SRC_SIM_WORK_H_
+
+#include "src/sim/time.h"
+
+namespace ilat {
+
+// Hardware-event rates for a class of code.  Rates are per retired
+// instruction (or per thousand instructions where noted) so that profiles
+// compose naturally with work expressed in instructions.
+struct WorkProfile {
+  // Instructions retired per cycle.  The 100 MHz Pentium is dual-issue; in
+  // practice OS/GUI code achieved well under 1.0.
+  double ipc = 0.8;
+
+  // Data references per instruction.
+  double data_refs_per_instr = 0.35;
+
+  // Instruction-TLB misses per 1000 instructions.
+  double itlb_miss_per_kinstr = 0.05;
+
+  // Data-TLB misses per 1000 instructions.
+  double dtlb_miss_per_kinstr = 0.15;
+
+  // Segment-register loads per 1000 instructions.  Essentially zero for
+  // 32-bit flat-model code; large for 16-bit Windows code.
+  double seg_loads_per_kinstr = 0.0;
+
+  // Unaligned data accesses per 1000 instructions.  Large for 16-bit code.
+  double unaligned_per_kinstr = 0.0;
+
+  // Convert an instruction count into the cycles needed to retire it.
+  Cycles CyclesForInstructions(double instructions) const {
+    return static_cast<Cycles>(instructions / ipc);
+  }
+
+  // Convert a cycle budget into the instructions retired within it.
+  double InstructionsForCycles(Cycles cycles) const {
+    return static_cast<double>(cycles) * ipc;
+  }
+};
+
+// A quantum of work to execute: a cycle count plus the profile describing
+// what the hardware sees while it runs.
+struct Work {
+  Cycles cycles = 0;
+  WorkProfile profile;
+
+  static Work FromInstructions(double instructions, const WorkProfile& p) {
+    return Work{p.CyclesForInstructions(instructions), p};
+  }
+
+  static Work FromMilliseconds(double ms, const WorkProfile& p) {
+    return Work{MillisecondsToCycles(ms), p};
+  }
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_WORK_H_

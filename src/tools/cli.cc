@@ -1,0 +1,324 @@
+#include "src/tools/cli.h"
+
+#include <memory>
+
+#include "src/analysis/classifier.h"
+#include "src/analysis/cumulative.h"
+#include "src/analysis/histogram.h"
+#include "src/analysis/irritation.h"
+#include "src/apps/desktop.h"
+#include "src/apps/echo_app.h"
+#include "src/apps/media_player.h"
+#include "src/apps/notepad.h"
+#include "src/apps/powerpoint.h"
+#include "src/apps/terminal.h"
+#include "src/apps/word.h"
+#include "src/core/measurement.h"
+#include "src/core/session_io.h"
+#include "src/input/network.h"
+#include "src/input/workloads.h"
+#include "src/viz/ascii_chart.h"
+#include "src/viz/csv.h"
+#include "src/viz/table.h"
+
+namespace ilat {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::unique_ptr<GuiApplication> MakeApp(const std::string& name) {
+  if (name == "notepad") {
+    return std::make_unique<NotepadApp>();
+  }
+  if (name == "word") {
+    return std::make_unique<WordApp>();
+  }
+  if (name == "powerpoint") {
+    return std::make_unique<PowerpointApp>();
+  }
+  if (name == "desktop") {
+    return std::make_unique<DesktopApp>();
+  }
+  if (name == "echo") {
+    return std::make_unique<EchoApp>();
+  }
+  if (name == "terminal") {
+    return std::make_unique<TerminalApp>();
+  }
+  if (name == "media") {
+    return std::make_unique<MediaPlayerApp>();
+  }
+  return nullptr;
+}
+
+Script MakeWorkload(const std::string& name, Random* rng, const CliOptions& options) {
+  if (name == "notepad") {
+    return NotepadWorkload(rng);
+  }
+  if (name == "word") {
+    return WordWorkload(rng);
+  }
+  if (name == "powerpoint") {
+    return PowerpointWorkload(rng);
+  }
+  if (name == "keys") {
+    return KeystrokeTrials(30);
+  }
+  if (name == "clicks") {
+    return ClickTrials(30);
+  }
+  if (name == "echo") {
+    return EchoTrials(30);
+  }
+  if (name == "media") {
+    Script s;
+    s.push_back(ScriptItem::Command(kCmdMediaPlay + options.frames, 100.0, "play"));
+    return s;
+  }
+  return {};
+}
+
+std::string DefaultWorkloadFor(const std::string& app) {
+  if (app == "desktop") {
+    return "keys";
+  }
+  if (app == "echo") {
+    return "echo";
+  }
+  if (app == "terminal") {
+    return "network";
+  }
+  if (app == "media") {
+    return "media";
+  }
+  return app;  // notepad/word/powerpoint have same-named workloads
+}
+
+bool ParseDriver(const std::string& name, DriverKind* out) {
+  if (name == "test") {
+    *out = DriverKind::kTest;
+  } else if (name == "test-nosync") {
+    *out = DriverKind::kTestNoSync;
+  } else if (name == "human") {
+    *out = DriverKind::kHuman;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void PrintSummary(std::FILE* out, const std::string& os_name, const SessionResult& r,
+                  const CliOptions& options) {
+  const IrritationReport rep = AnalyzeIrritation(r.events, options.threshold_ms,
+                                                 r.elapsed() > 0 ? r.elapsed() : 0);
+  TextTable t({"metric", "value"});
+  t.AddRow({"system", os_name});
+  t.AddRow({"events", std::to_string(r.events.size())});
+  t.AddRow({"elapsed (s)", TextTable::Num(r.elapsed_seconds(), 2)});
+  t.AddRow({"cumulative latency (ms)", TextTable::Num(TotalLatencyMs(r.events), 1)});
+  t.AddRow({"p50 / p95 / p99 (ms)", TextTable::Num(rep.p50_ms, 2) + " / " +
+                                        TextTable::Num(rep.p95_ms, 2) + " / " +
+                                        TextTable::Num(rep.p99_ms, 2)});
+  t.AddRow({"max latency (ms)", TextTable::Num(rep.max_ms, 1)});
+  t.AddRow({"events > " + TextTable::Num(options.threshold_ms, 0) + " ms",
+            std::to_string(rep.events_above) + " (" + TextTable::Num(rep.rate_per_minute, 2) +
+                "/min)"});
+  t.AddRow({"longest calm stretch (s)", TextTable::Num(rep.longest_calm_s, 1)});
+  t.AddRow({"latency share of <10ms events",
+            TextTable::Num(100.0 * LatencyFractionBelow(r.events, 10.0), 1) + "%"});
+  std::fputs(t.ToString().c_str(), out);
+
+  if (!r.events.empty()) {
+    TextTable classes({"event class", "count", "mean (ms)", "max (ms)", "over expectation"});
+    for (const ClassSummary& c : SummarizeByClass(r.events)) {
+      classes.AddRow({std::string(EventClassName(c.event_class)), std::to_string(c.count),
+                      TextTable::Num(c.mean_ms, 2), TextTable::Num(c.max_ms, 1),
+                      std::to_string(c.over_threshold)});
+    }
+    std::fputs(classes.ToString().c_str(), out);
+  }
+
+  if (!r.events.empty()) {
+    Histogram hist = Histogram::Log2(1.0, 14);
+    hist.AddLatencies(r.events);
+    ChartOptions copts;
+    copts.title = "latency histogram (ms bins, log counts)";
+    copts.log_y = true;
+    std::fputs(RenderHistogram(hist, copts).c_str(), out);
+  }
+
+  if (options.dump_events) {
+    std::fprintf(out, "\n%-10s %-14s %-10s %-10s %s\n", "start_s", "type", "latency_ms",
+                 "queue_ms", "label");
+    for (const EventRecord& e : r.events) {
+      std::fprintf(out, "%-10.3f %-14s %-10.3f %-10.3f %s\n", CyclesToSeconds(e.start),
+                   std::string(MessageTypeName(e.type)).c_str(), e.latency_ms(),
+                   e.queue_delay_ms(), e.label.c_str());
+    }
+  }
+
+  if (!options.csv_prefix.empty()) {
+    WriteEventsCsv(options.csv_prefix + "-" + os_name + "-events.csv", r.events);
+    WriteCurveCsv(options.csv_prefix + "-" + os_name + "-cumlat.csv",
+                  CumulativeLatencyByLatency(r.events));
+    std::fprintf(out, "wrote %s-%s-{events,cumlat}.csv\n", options.csv_prefix.c_str(),
+                 os_name.c_str());
+  }
+}
+
+int RunOne(const OsProfile& os, const CliOptions& options, std::FILE* out) {
+  std::unique_ptr<GuiApplication> app = MakeApp(options.app);
+  if (app == nullptr) {
+    std::fprintf(out, "unknown app '%s'\n", options.app.c_str());
+    return 2;
+  }
+  const std::string workload_name =
+      options.workload.empty() ? DefaultWorkloadFor(options.app) : options.workload;
+
+  DriverKind driver = DriverKind::kTest;
+  if (!ParseDriver(options.driver, &driver)) {
+    std::fprintf(out, "unknown driver '%s'\n", options.driver.c_str());
+    return 2;
+  }
+
+  SessionOptions sopts;
+  sopts.driver = driver;
+  sopts.seed = options.seed;
+  sopts.idle_period = MillisecondsToCycles(options.idle_period_ms);
+  if (workload_name == "media") {
+    sopts.drain_after = SecondsToCycles(12.0);  // playback outlives the script
+  }
+  MeasurementSession session(os, sopts);
+  session.AttachApp(std::move(app));
+
+  SessionResult r;
+  if (workload_name == "network") {
+    NetworkTrafficParams nparams;
+    nparams.seed = options.seed;
+    nparams.packets = options.packets;
+    NetworkTrafficDriver ndriver(&session.system(), &session.thread(), nparams);
+    r = session.RunWithDriver(&ndriver);
+  } else {
+    Random rng(options.seed);
+    const Script script = MakeWorkload(workload_name, &rng, options);
+    if (script.empty()) {
+      std::fprintf(out, "unknown workload '%s'\n", workload_name.c_str());
+      return 2;
+    }
+    r = session.Run(script);
+  }
+
+  PrintSummary(out, os.name, r, options);
+
+  if (!options.save_path.empty()) {
+    const std::string path = options.os == "all"
+                                 ? options.save_path + "." + os.name
+                                 : options.save_path;
+    if (!SaveSessionResult(path, r)) {
+      std::fprintf(out, "failed to save session to %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "saved session to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::string* error) {
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      out->show_help = true;
+    } else if (StartsWith(arg, "--os=")) {
+      out->os = arg.substr(5);
+    } else if (StartsWith(arg, "--app=")) {
+      out->app = arg.substr(6);
+    } else if (StartsWith(arg, "--workload=")) {
+      out->workload = arg.substr(11);
+    } else if (StartsWith(arg, "--driver=")) {
+      out->driver = arg.substr(9);
+    } else if (StartsWith(arg, "--seed=")) {
+      out->seed = std::stoull(arg.substr(7));
+    } else if (StartsWith(arg, "--threshold=")) {
+      out->threshold_ms = std::stod(arg.substr(12));
+    } else if (StartsWith(arg, "--idle-period=")) {
+      out->idle_period_ms = std::stod(arg.substr(14));
+    } else if (StartsWith(arg, "--packets=")) {
+      out->packets = std::stoi(arg.substr(10));
+    } else if (StartsWith(arg, "--frames=")) {
+      out->frames = std::stoi(arg.substr(9));
+    } else if (StartsWith(arg, "--save=")) {
+      out->save_path = arg.substr(7);
+    } else if (StartsWith(arg, "--load=")) {
+      out->load_path = arg.substr(7);
+    } else if (StartsWith(arg, "--csv=")) {
+      out->csv_prefix = arg.substr(6);
+    } else if (arg == "--events") {
+      out->dump_events = true;
+    } else {
+      *error = "unknown argument: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string CliUsage() {
+  return
+      "ilat -- interactive latency measurement (Endo et al., OSDI '96)\n"
+      "\n"
+      "usage: ilat [options]\n"
+      "  --os=nt351|nt40|win95|all   operating-system personality (nt40)\n"
+      "  --app=notepad|word|powerpoint|desktop|echo|terminal|media   app model\n"
+      "  --workload=NAME             input script or 'network' (defaults per app)\n"
+      "  --driver=test|test-nosync|human   input driver (test)\n"
+      "  --seed=N                    workload/machine seed (42)\n"
+      "  --threshold=MS              irritation threshold (100)\n"
+      "  --idle-period=MS            idle-loop instrument period (1.0)\n"
+      "  --packets=N --frames=N      sizes for network/media workloads\n"
+      "  --events                    dump one line per event\n"
+      "  --csv=PREFIX                export events + cumulative curve CSVs\n"
+      "  --save=PATH                 archive the session for offline analysis\n"
+      "  --load=PATH                 analyse a saved session instead of running\n";
+}
+
+int RunCli(const CliOptions& options, std::FILE* out) {
+  if (options.show_help) {
+    std::fputs(CliUsage().c_str(), out);
+    return 0;
+  }
+
+  if (!options.load_path.empty()) {
+    SessionResult r;
+    if (!LoadSessionResult(options.load_path, &r)) {
+      std::fprintf(out, "failed to load %s\n", options.load_path.c_str());
+      return 1;
+    }
+    PrintSummary(out, "saved:" + options.load_path, r, options);
+    return 0;
+  }
+
+  if (options.os == "all") {
+    for (const OsProfile& os : AllPersonalities()) {
+      std::fprintf(out, "\n===== %s =====\n", os.name.c_str());
+      const int rc = RunOne(os, options, out);
+      if (rc != 0) {
+        return rc;
+      }
+    }
+    return 0;
+  }
+
+  for (const OsProfile& os : AllPersonalities()) {
+    if (os.name == options.os) {
+      return RunOne(os, options, out);
+    }
+  }
+  std::fprintf(out, "unknown os '%s'\n", options.os.c_str());
+  return 2;
+}
+
+}  // namespace ilat

@@ -1,0 +1,51 @@
+// The `ilat` command-line tool: run any OS/application/driver combination
+// from the shell, print a latency summary, and export artifacts.
+//
+//   ilat --os=nt40 --app=notepad                     # summary
+//   ilat --os=all --app=word --driver=human          # compare systems
+//   ilat --app=powerpoint --save=run.ilat            # archive the session
+//   ilat --load=run.ilat --threshold=50              # re-analyse offline
+//   ilat --app=notepad --events                      # dump per-event lines
+//
+// The parsing/execution logic lives in this library so it can be tested;
+// the binary is a thin main().
+
+#ifndef ILAT_SRC_TOOLS_CLI_H_
+#define ILAT_SRC_TOOLS_CLI_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ilat {
+
+struct CliOptions {
+  std::string os = "nt40";          // nt351 | nt40 | win95 | all
+  std::string app = "notepad";      // notepad | word | powerpoint | desktop | echo
+  std::string workload;             // defaults to the app's canonical workload
+  std::string driver = "test";      // test | test-nosync | human
+  std::uint64_t seed = 42;
+  double threshold_ms = 100.0;      // irritation threshold
+  double idle_period_ms = 1.0;      // idle-loop instrument period
+  int packets = 200;                // for --workload=network
+  int frames = 300;                 // for --workload=media
+  std::string save_path;            // write the session to this file
+  std::string load_path;            // analyse a saved session instead of running
+  std::string csv_prefix;           // export events/curves as CSV
+  bool dump_events = false;         // print one line per event
+  bool show_help = false;
+};
+
+// Parse argv.  On failure returns false and sets *error.
+bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::string* error);
+
+// Usage text.
+std::string CliUsage();
+
+// Execute.  Output goes to `out` (stdout in the binary).  Returns the
+// process exit code.
+int RunCli(const CliOptions& options, std::FILE* out);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_TOOLS_CLI_H_

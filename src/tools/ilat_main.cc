@@ -1,0 +1,18 @@
+// The `ilat` binary: see src/tools/cli.h.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  ilat::CliOptions options;
+  std::string error;
+  if (!ilat::ParseCliArgs(args, &options, &error)) {
+    std::fprintf(stderr, "%s\n\n%s", error.c_str(), ilat::CliUsage().c_str());
+    return 2;
+  }
+  return ilat::RunCli(options, stdout);
+}

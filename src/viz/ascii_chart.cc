@@ -1,0 +1,156 @@
+#include "src/viz/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ilat {
+
+namespace {
+
+std::string Header(const ChartOptions& opts, double ymax, double xmin, double xmax) {
+  std::ostringstream out;
+  if (!opts.title.empty()) {
+    out << opts.title << '\n';
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "y: %s (max %.3g)%s   x: %s [%.3g .. %.3g]\n",
+                opts.y_label.empty() ? "value" : opts.y_label.c_str(), ymax,
+                opts.log_y ? " [log]" : "", opts.x_label.empty() ? "x" : opts.x_label.c_str(),
+                xmin, xmax);
+  out << buf;
+  return out.str();
+}
+
+// Renders a grid where column heights are in `heights` (0..opts.height).
+std::string RenderGrid(const std::vector<int>& heights, int height) {
+  std::ostringstream out;
+  for (int row = height; row >= 1; --row) {
+    out << '|';
+    for (int h : heights) {
+      out << (h >= row ? '#' : ' ');
+    }
+    out << '\n';
+  }
+  out << '+' << std::string(heights.size(), '-') << '\n';
+  return out.str();
+}
+
+double ScaleY(double v, double ymax, bool log_y) {
+  if (ymax <= 0.0 || v <= 0.0) {
+    return 0.0;
+  }
+  if (log_y) {
+    return std::log10(1.0 + v) / std::log10(1.0 + ymax);
+  }
+  return v / ymax;
+}
+
+std::string RenderXY(const std::vector<CurvePoint>& points, const ChartOptions& opts,
+                     bool fill_between) {
+  if (points.empty()) {
+    return opts.title + "\n(no data)\n";
+  }
+  double xmin = points.front().x, xmax = points.front().x, ymax = 0.0;
+  for (const CurvePoint& p : points) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymax = std::max(ymax, p.y);
+  }
+  const double xspan = std::max(1e-12, xmax - xmin);
+
+  std::vector<double> colmax(static_cast<std::size_t>(opts.width), 0.0);
+  std::vector<bool> seen(static_cast<std::size_t>(opts.width), false);
+  for (const CurvePoint& p : points) {
+    int col = static_cast<int>((p.x - xmin) / xspan * (opts.width - 1));
+    col = std::clamp(col, 0, opts.width - 1);
+    colmax[static_cast<std::size_t>(col)] =
+        std::max(colmax[static_cast<std::size_t>(col)], p.y);
+    seen[static_cast<std::size_t>(col)] = true;
+  }
+  if (fill_between) {
+    // Carry the last seen value across empty columns (monotone curves).
+    double last = 0.0;
+    for (int c = 0; c < opts.width; ++c) {
+      if (seen[static_cast<std::size_t>(c)]) {
+        last = colmax[static_cast<std::size_t>(c)];
+      } else {
+        colmax[static_cast<std::size_t>(c)] = last;
+      }
+    }
+  }
+
+  std::vector<int> heights;
+  heights.reserve(colmax.size());
+  for (double v : colmax) {
+    heights.push_back(static_cast<int>(std::round(ScaleY(v, ymax, opts.log_y) * opts.height)));
+  }
+
+  std::ostringstream out;
+  out << Header(opts, ymax, xmin, xmax);
+  out << RenderGrid(heights, opts.height);
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderSeries(const std::vector<CurvePoint>& points, const ChartOptions& opts) {
+  return RenderXY(points, opts, /*fill_between=*/false);
+}
+
+std::string RenderCurve(const std::vector<CurvePoint>& points, const ChartOptions& opts) {
+  return RenderXY(points, opts, /*fill_between=*/true);
+}
+
+std::string RenderHistogram(const Histogram& h, const ChartOptions& opts) {
+  std::ostringstream out;
+  if (!opts.title.empty()) {
+    out << opts.title << '\n';
+  }
+  std::uint64_t cmax = 0;
+  for (const auto& b : h.bins()) {
+    cmax = std::max(cmax, b.count);
+  }
+  const int bar_width = 50;
+  for (const auto& b : h.bins()) {
+    if (b.count == 0) {
+      continue;
+    }
+    const double frac = ScaleY(static_cast<double>(b.count), static_cast<double>(cmax),
+                               opts.log_y);
+    char label[64];
+    if (std::isinf(b.hi)) {
+      std::snprintf(label, sizeof(label), ">=%-9.4g", b.lo);
+    } else {
+      std::snprintf(label, sizeof(label), "%8.4g-%-8.4g", b.lo, b.hi);
+    }
+    out << label << ' ' << std::string(static_cast<std::size_t>(frac * bar_width), '#')
+        << ' ' << b.count << '\n';
+  }
+  return out.str();
+}
+
+std::string RenderBars(const std::vector<NamedValue>& values, const ChartOptions& opts) {
+  std::ostringstream out;
+  if (!opts.title.empty()) {
+    out << opts.title << '\n';
+  }
+  double vmax = 0.0;
+  std::size_t name_w = 0;
+  for (const NamedValue& nv : values) {
+    vmax = std::max(vmax, nv.value);
+    name_w = std::max(name_w, nv.name.size());
+  }
+  const int bar_width = 50;
+  for (const NamedValue& nv : values) {
+    const double frac = vmax > 0.0 ? nv.value / vmax : 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %.4g", nv.value);
+    out << nv.name << std::string(name_w - nv.name.size(), ' ') << " |"
+        << std::string(static_cast<std::size_t>(frac * bar_width), '#') << buf << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ilat

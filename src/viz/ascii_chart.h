@@ -1,0 +1,45 @@
+// ASCII renderings of the paper's graphical representations (§3.2):
+// event-latency time series (Figs. 5, 12), CPU utilization profiles
+// (Figs. 3, 4), latency histograms and cumulative curves (Figs. 7, 8, 11),
+// and simple labelled bar charts (Figs. 6, 9, 10).
+
+#ifndef ILAT_SRC_VIZ_ASCII_CHART_H_
+#define ILAT_SRC_VIZ_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/cumulative.h"
+#include "src/analysis/histogram.h"
+
+namespace ilat {
+
+struct ChartOptions {
+  int width = 78;
+  int height = 16;
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_y = false;
+};
+
+// Scatter/impulse plot of (x, y) points: each point becomes a vertical
+// bar of height proportional to y (the paper's raw-data representation).
+std::string RenderSeries(const std::vector<CurvePoint>& points, const ChartOptions& opts);
+
+// Connected monotone curve (for cumulative plots).
+std::string RenderCurve(const std::vector<CurvePoint>& points, const ChartOptions& opts);
+
+// Histogram bins as labelled bars; log-scale counts if opts.log_y.
+std::string RenderHistogram(const Histogram& h, const ChartOptions& opts);
+
+// Horizontal bar chart of named values.
+struct NamedValue {
+  std::string name;
+  double value = 0.0;
+};
+std::string RenderBars(const std::vector<NamedValue>& values, const ChartOptions& opts);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_VIZ_ASCII_CHART_H_

@@ -1,0 +1,71 @@
+#include "src/viz/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/sim/message.h"
+
+namespace ilat {
+
+bool WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) {
+        out << ',';
+      }
+      out << cells[i];
+    }
+    out << '\n';
+  };
+  emit(header);
+  for (const auto& row : rows) {
+    emit(row);
+  }
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool WriteEventsCsv(const std::string& path, const std::vector<EventRecord>& events) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(events.size());
+  for (const EventRecord& e : events) {
+    rows.push_back({Fmt(CyclesToSeconds(e.start)), Fmt(e.latency_ms()), Fmt(e.wall_ms()),
+                    std::string(MessageTypeName(e.type)), e.label});
+  }
+  return WriteCsv(path, {"start_s", "latency_ms", "wall_ms", "type", "label"}, rows);
+}
+
+bool WriteUtilizationCsv(const std::string& path,
+                         const std::vector<BusyProfile::UtilPoint>& points) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points.size());
+  for (const auto& p : points) {
+    rows.push_back({Fmt(CyclesToSeconds(p.t)), Fmt(p.utilization)});
+  }
+  return WriteCsv(path, {"t_s", "utilization"}, rows);
+}
+
+bool WriteCurveCsv(const std::string& path, const std::vector<CurvePoint>& points) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(points.size());
+  for (const auto& p : points) {
+    rows.push_back({Fmt(p.x), Fmt(p.y)});
+  }
+  return WriteCsv(path, {"x", "y"}, rows);
+}
+
+}  // namespace ilat

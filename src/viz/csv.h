@@ -1,0 +1,32 @@
+// CSV export for offline plotting.
+
+#ifndef ILAT_SRC_VIZ_CSV_H_
+#define ILAT_SRC_VIZ_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/cumulative.h"
+#include "src/core/busy_profile.h"
+#include "src/core/event_extractor.h"
+
+namespace ilat {
+
+// Write rows of comma-joined cells (first row = header).  Returns false on
+// I/O failure.
+bool WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+// Event records: start_s, latency_ms, wall_ms, type, label.
+bool WriteEventsCsv(const std::string& path, const std::vector<EventRecord>& events);
+
+// Utilization samples: t_s, utilization.
+bool WriteUtilizationCsv(const std::string& path,
+                         const std::vector<BusyProfile::UtilPoint>& points);
+
+// Generic curve: x, y.
+bool WriteCurveCsv(const std::string& path, const std::vector<CurvePoint>& points);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_VIZ_CSV_H_

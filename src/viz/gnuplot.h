@@ -1,0 +1,35 @@
+// gnuplot script export: one self-contained .gp per figure, reading the
+// CSVs written by csv.h.  Optional convenience -- the ASCII renderings are
+// the primary output.
+
+#ifndef ILAT_SRC_VIZ_GNUPLOT_H_
+#define ILAT_SRC_VIZ_GNUPLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace ilat {
+
+struct GnuplotSeries {
+  std::string csv_path;
+  std::string title;
+  // gnuplot style, e.g. "with impulses", "with lines", "with boxes".
+  std::string style = "with lines";
+  int x_column = 1;
+  int y_column = 2;
+};
+
+struct GnuplotOptions {
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+  bool log_y = false;
+  std::string output_png;  // empty: interactive terminal
+};
+
+bool WriteGnuplotScript(const std::string& path, const std::vector<GnuplotSeries>& series,
+                        const GnuplotOptions& opts);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_VIZ_GNUPLOT_H_

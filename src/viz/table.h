@@ -1,0 +1,30 @@
+// Aligned plain-text tables for bench/example output.
+
+#ifndef ILAT_SRC_VIZ_TABLE_H_
+#define ILAT_SRC_VIZ_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace ilat {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Row cells; missing cells render empty, extras are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: format a double with `precision` decimals.
+  static std::string Num(double v, int precision = 3);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_VIZ_TABLE_H_

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/classifier.h"
+#include "src/analysis/cumulative.h"
+#include "src/analysis/histogram.h"
+#include "src/analysis/interarrival.h"
+#include "src/analysis/responsiveness.h"
+#include "src/analysis/stats.h"
+#include "src/apps/commands.h"
+
+namespace ilat {
+namespace {
+
+EventRecord Event(double start_s, double latency_ms, MessageType type = MessageType::kChar,
+                  int param = 'a') {
+  EventRecord e;
+  e.type = type;
+  e.param = param;
+  e.start = SecondsToCycles(start_s);
+  e.busy = MillisecondsToCycles(latency_ms);
+  e.end = e.start + e.busy;
+  e.wall = e.busy;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+
+TEST(StatsTest, WelfordMatchesClosedForm) {
+  SummaryStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(StatsTest, EmptyAndSingle) {
+  SummaryStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  s.Add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
+}
+
+TEST(StatsTest, DiffStatsComputesInterarrivals) {
+  const SummaryStats s = DiffStats({1.0, 3.0, 7.0, 8.0});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_NEAR(s.mean(), 7.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+
+TEST(HistogramTest, LinearBinning) {
+  Histogram h = Histogram::Linear(10.0, 50.0);
+  h.Add(5.0);
+  h.Add(15.0);
+  h.Add(15.5);
+  h.Add(200.0);  // overflow bin
+  EXPECT_EQ(h.total_count(), 4u);
+  EXPECT_EQ(h.bins()[0].count, 1u);
+  EXPECT_EQ(h.bins()[1].count, 2u);
+  EXPECT_EQ(h.bins().back().count, 1u);
+}
+
+TEST(HistogramTest, Log2Binning) {
+  Histogram h = Histogram::Log2(1.0, 8);  // [0,1),[1,2),[2,4),...,[128,256),[256,inf)
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(3.0);
+  h.Add(1'000.0);
+  EXPECT_EQ(h.bins()[0].count, 1u);
+  EXPECT_EQ(h.bins()[1].count, 1u);
+  EXPECT_EQ(h.bins()[2].count, 1u);
+  EXPECT_EQ(h.bins().back().count, 1u);
+}
+
+TEST(HistogramTest, ValueFractionBelow) {
+  Histogram h = Histogram::Linear(10.0, 100.0);
+  h.Add(5.0);
+  h.Add(5.0);
+  h.Add(90.0);
+  EXPECT_NEAR(h.ValueFractionBelow(10.0), 10.0 / 100.0, 1e-12);
+}
+
+TEST(HistogramTest, AddLatenciesFromEvents) {
+  Histogram h = Histogram::Linear(10.0, 100.0);
+  std::vector<EventRecord> events{Event(0, 5), Event(1, 15)};
+  h.AddLatencies(events);
+  EXPECT_EQ(h.total_count(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Cumulative.
+
+TEST(CumulativeTest, SortsByDurationNotTime) {
+  // Paper §3.2: "events are sorted by their duration, not by their actual
+  // time of occurrence".
+  std::vector<EventRecord> events{Event(0, 30), Event(1, 10), Event(2, 20)};
+  const auto curve = CumulativeLatencyByLatency(events);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].x, 10.0);
+  EXPECT_DOUBLE_EQ(curve[0].y, 10.0);
+  EXPECT_DOUBLE_EQ(curve[1].x, 20.0);
+  EXPECT_DOUBLE_EQ(curve[1].y, 30.0);
+  EXPECT_DOUBLE_EQ(curve[2].y, 60.0);
+}
+
+TEST(CumulativeTest, ByCountIsMonotone) {
+  std::vector<EventRecord> events{Event(0, 3), Event(1, 1), Event(2, 2)};
+  const auto curve = CumulativeLatencyByCount(events);
+  ASSERT_EQ(curve.size(), 3u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].y, curve[i - 1].y);
+    EXPECT_EQ(curve[i].x, curve[i - 1].x + 1.0);
+  }
+}
+
+TEST(CumulativeTest, FractionBelowThreshold) {
+  std::vector<EventRecord> events{Event(0, 5), Event(1, 5), Event(2, 90)};
+  EXPECT_NEAR(LatencyFractionBelow(events, 10.0), 0.1, 1e-9);
+  EXPECT_DOUBLE_EQ(TotalLatencyMs(events), 100.0);
+}
+
+TEST(CumulativeTest, EventsAboveFilters) {
+  std::vector<EventRecord> events{Event(0, 5), Event(1, 50), Event(2, 500)};
+  const auto above = EventsAbove(events, 50.0);
+  ASSERT_EQ(above.size(), 2u);
+  EXPECT_EQ(above[0].latency_ms(), 50.0);
+}
+
+// ---------------------------------------------------------------------------
+// Interarrival (Table 2 machinery).
+
+TEST(InterarrivalTest, CountsAndMoments) {
+  std::vector<EventRecord> events;
+  // Above-threshold events at t = 0, 2, 6 s; below-threshold noise between.
+  events.push_back(Event(0.0, 150));
+  events.push_back(Event(1.0, 50));
+  events.push_back(Event(2.0, 150));
+  events.push_back(Event(6.0, 150));
+  const auto s = InterarrivalAbove(events, 100.0);
+  EXPECT_EQ(s.events_above, 3u);
+  EXPECT_NEAR(s.mean_interarrival_s, 3.0, 1e-9);  // gaps 2 and 4
+  EXPECT_NEAR(s.stddev_interarrival_s, std::sqrt(2.0), 1e-9);
+}
+
+TEST(InterarrivalTest, SweepMonotoneCounts) {
+  std::vector<EventRecord> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(Event(i, 90.0 + i));  // latencies 90..189
+  }
+  const auto sweep = InterarrivalSweep(events, {100.0, 110.0, 120.0});
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_GT(sweep[0].events_above, sweep[1].events_above);
+  EXPECT_GT(sweep[1].events_above, sweep[2].events_above);
+}
+
+TEST(InterarrivalTest, ZeroOrOneEventHasNoMoments) {
+  std::vector<EventRecord> events{Event(0, 150)};
+  const auto s = InterarrivalAbove(events, 100.0);
+  EXPECT_EQ(s.events_above, 1u);
+  EXPECT_EQ(s.mean_interarrival_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Classifier + responsiveness.
+
+TEST(ClassifierTest, MapsTypesToClasses) {
+  EXPECT_EQ(ClassifyEvent(Event(0, 1, MessageType::kChar)), EventClass::kKeystroke);
+  EXPECT_EQ(ClassifyEvent(Event(0, 1, MessageType::kMouseDown)), EventClass::kMouse);
+  EXPECT_EQ(ClassifyEvent(Event(0, 1, MessageType::kKeyDown, kVkPageDown)),
+            EventClass::kNavigation);
+  EXPECT_EQ(ClassifyEvent(Event(0, 1, MessageType::kCommand, kCmdPptSave)),
+            EventClass::kCommand);
+  EXPECT_EQ(ClassifyEvent(Event(0, 1, MessageType::kCommand, kCmdPptPageDown)),
+            EventClass::kNavigation);
+}
+
+TEST(ClassifierTest, ThresholdsFollowShneiderman) {
+  // 0.1 s imperceptible; 2-4 s invariably irritating (paper §3.1).
+  EXPECT_DOUBLE_EQ(DefaultThresholdMs(EventClass::kKeystroke), 100.0);
+  EXPECT_DOUBLE_EQ(DefaultThresholdMs(EventClass::kCommand), 2'000.0);
+}
+
+TEST(ResponsivenessTest, ZeroPenaltyWhenAllFast) {
+  std::vector<EventRecord> events{Event(0, 10), Event(1, 20)};
+  const auto r = ScoreResponsiveness(events);
+  EXPECT_EQ(r.penalty, 0.0);
+  EXPECT_EQ(r.events_over_threshold, 0u);
+  EXPECT_EQ(r.events_total, 2u);
+}
+
+TEST(ResponsivenessTest, PenaltyGrowsAboveThreshold) {
+  std::vector<EventRecord> events{Event(0, 150), Event(1, 250)};
+  ResponsivenessOptions opts;
+  opts.threshold_ms = 100.0;
+  const auto r = ScoreResponsiveness(events, opts);
+  EXPECT_EQ(r.events_over_threshold, 2u);
+  EXPECT_DOUBLE_EQ(r.penalty, 50.0 + 150.0);
+  EXPECT_DOUBLE_EQ(r.worst_latency_ms, 250.0);
+}
+
+TEST(ResponsivenessTest, PerClassThresholdsApply) {
+  // A 1.5 s save command is acceptable; a 1.5 s keystroke is not.
+  std::vector<EventRecord> events{Event(0, 1'500, MessageType::kCommand, kCmdPptSave),
+                                  Event(1, 1'500, MessageType::kChar)};
+  const auto r = ScoreResponsiveness(events);
+  EXPECT_EQ(r.events_over_threshold, 1u);
+}
+
+TEST(ClassifierTest, SummarizeByClassAggregates) {
+  std::vector<EventRecord> events{
+      Event(0, 5, MessageType::kChar),
+      Event(1, 15, MessageType::kChar),
+      Event(2, 150, MessageType::kChar),  // over the keystroke threshold
+      Event(3, 900, MessageType::kCommand, kCmdPptSave),
+      Event(4, 3'000, MessageType::kCommand, kCmdPptSave),  // over command threshold
+  };
+  const auto summary = SummarizeByClass(events);
+  ASSERT_EQ(summary.size(), 2u);  // keystroke + command; empty classes dropped
+  const ClassSummary& keys = summary[0];
+  EXPECT_EQ(keys.event_class, EventClass::kKeystroke);
+  EXPECT_EQ(keys.count, 3u);
+  EXPECT_NEAR(keys.mean_ms, (5.0 + 15.0 + 150.0) / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(keys.max_ms, 150.0);
+  EXPECT_EQ(keys.over_threshold, 1u);
+  const ClassSummary& cmds = summary[1];
+  EXPECT_EQ(cmds.event_class, EventClass::kCommand);
+  EXPECT_EQ(cmds.count, 2u);
+  EXPECT_EQ(cmds.over_threshold, 1u);
+}
+
+TEST(ClassifierTest, SummarizeByClassEmptyInput) {
+  EXPECT_TRUE(SummarizeByClass({}).empty());
+}
+
+TEST(ResponsivenessTest, QuadraticExponent) {
+  std::vector<EventRecord> events{Event(0, 110)};
+  ResponsivenessOptions opts;
+  opts.threshold_ms = 100.0;
+  opts.exponent = 2.0;
+  const auto r = ScoreResponsiveness(events, opts);
+  EXPECT_DOUBLE_EQ(r.penalty, 100.0);
+}
+
+}  // namespace
+}  // namespace ilat

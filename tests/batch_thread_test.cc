@@ -1,0 +1,145 @@
+#include "src/apps/batch_thread.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/notepad.h"
+#include "src/core/measurement.h"
+#include "src/input/typist.h"
+#include "src/input/workloads.h"
+
+namespace ilat {
+namespace {
+
+TEST(BatchThreadTest, FiniteJobRunsToCompletion) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  BatchThread::Options opts;
+  opts.total_work = MillisecondsToCycles(50);
+  BatchThread batch("job", 5, WorkProfile{}, opts);
+  s.AddThread(&batch);
+  s.RunUntil(SecondsToCycles(1.0));
+  EXPECT_TRUE(batch.finished());
+  EXPECT_EQ(batch.executed(), MillisecondsToCycles(50));
+  EXPECT_EQ(s.busy_thread_cycles(), MillisecondsToCycles(50));
+}
+
+TEST(BatchThreadTest, CountsAsBusyEvenAtPriorityZero) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  BatchThread::Options opts;
+  opts.total_work = MillisecondsToCycles(10);
+  BatchThread batch("job", 0, WorkProfile{}, opts);
+  EXPECT_FALSE(batch.IsIdleThread());
+  s.AddThread(&batch);
+  s.RunUntil(SecondsToCycles(1.0));
+  EXPECT_EQ(s.busy_thread_cycles(), MillisecondsToCycles(10));
+  EXPECT_EQ(s.idle_thread_cycles(), 0);
+}
+
+TEST(BatchThreadTest, LowPriorityBatchDoesNotHurtInteractiveLatency) {
+  auto mean_latency = [](bool with_batch, int priority) {
+    MeasurementSession session(MakeNt40());
+    session.AttachApp(std::make_unique<NotepadApp>());
+    std::unique_ptr<BatchThread> batch;
+    if (with_batch) {
+      BatchThread::Options opts;
+      opts.duty_cycle = 0.5;
+      batch = std::make_unique<BatchThread>("compile", priority, WorkProfile{}, opts,
+                                            &session.system().sim().queue(),
+                                            &session.system().sim().scheduler());
+      session.system().sim().scheduler().AddThread(batch.get());
+    }
+    Random rng(3);
+    TypistParams tp;
+    Typist typist(tp, &rng);
+    const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 150)));
+    double total = 0.0;
+    for (const EventRecord& e : r.events) {
+      total += e.latency_ms();
+    }
+    return total / static_cast<double>(r.events.size());
+  };
+  const double baseline = mean_latency(false, 0);
+  const double with_low = mean_latency(true, 1);
+  EXPECT_NEAR(with_low, baseline, baseline * 0.05);
+}
+
+// Helper: mean keystroke latency with an equal-priority 50%-duty batch
+// job, under a configurable wake boost.
+double MeanLatencyWithEqualBatch(int wake_boost) {
+  OsProfile os = MakeNt40();
+  os.wake_priority_boost = wake_boost;
+  MeasurementSession session(os);
+  session.AttachApp(std::make_unique<NotepadApp>());
+  BatchThread::Options opts;
+  opts.duty_cycle = 0.5;
+  BatchThread batch("compile", /*priority=*/10, WorkProfile{}, opts,
+                    &session.system().sim().queue(), &session.system().sim().scheduler());
+  session.system().sim().scheduler().AddThread(&batch);
+  Random rng(3);
+  TypistParams tp;
+  Typist typist(tp, &rng);
+  const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 150)));
+  double total = 0.0;
+  for (const EventRecord& e : r.events) {
+    total += e.latency_ms();
+  }
+  return total / static_cast<double>(r.events.size());
+}
+
+TEST(BatchThreadTest, EqualPriorityBatchDegradesLatencyWithoutWakeBoost) {
+  // Round-robin with an equal-priority CPU hog roughly doubles latency
+  // when the OS has no wake boost.
+  EXPECT_GT(MeanLatencyWithEqualBatch(/*wake_boost=*/0), 3.2);  // baseline ~2.3 ms
+}
+
+TEST(BatchThreadTest, NtWakeBoostProtectsInteractivity) {
+  // The NT foreground wake boost lets the GUI thread preempt the
+  // equal-priority batch job, restoring near-baseline latency.
+  EXPECT_LT(MeanLatencyWithEqualBatch(/*wake_boost=*/2), 2.6);
+}
+
+TEST(BatchThreadTest, BatchWorkShowsUpInIdleLoopTrace) {
+  // The instrument attributes batch CPU as busy time -- the methodology
+  // sees all stolen time, whatever its source.
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<NotepadApp>());
+  BatchThread::Options opts;
+  opts.total_work = SecondsToCycles(0.5);
+  BatchThread batch("compile", 1, WorkProfile{}, opts);
+  session.system().sim().scheduler().AddThread(&batch);
+  const SessionResult r = session.RunIdle(SecondsToCycles(2.0));
+  const BusyProfile busy = r.MakeBusyProfile();
+  EXPECT_GT(busy.TotalBusy(), SecondsToCycles(0.45));
+}
+
+TEST(BatchThreadTest, SaturatingJobStarvesTheInstrument) {
+  // An honest limitation of the idle-loop methodology: with no idle time,
+  // the instrument cannot run and the trace stops growing.
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<NotepadApp>());
+  BatchThread batch("hog", 1, WorkProfile{});  // infinite, duty 1.0
+  session.system().sim().scheduler().AddThread(&batch);
+  const SessionResult r = session.RunIdle(SecondsToCycles(2.0));
+  EXPECT_LT(r.trace.size(), 10u);
+  EXPECT_GT(batch.executed(), SecondsToCycles(1.9));
+}
+
+TEST(BatchThreadTest, DutyCycleHoldsItsRatio) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  BatchThread::Options opts;
+  opts.duty_cycle = 0.25;
+  BatchThread batch("quarter", 5, WorkProfile{}, opts, &q, &s);
+  s.AddThread(&batch);
+  s.RunUntil(SecondsToCycles(2.0));
+  EXPECT_NEAR(CyclesToSeconds(batch.executed()), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ilat

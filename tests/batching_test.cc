@@ -1,0 +1,102 @@
+// Batching / saturation semantics: paint coalescing and overlapping-event
+// attribution.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/notepad.h"
+#include "src/core/measurement.h"
+#include "src/input/workloads.h"
+
+namespace ilat {
+namespace {
+
+Script Burst(int n, double pause_ms) {
+  Script s;
+  for (int i = 0; i < n; ++i) {
+    s.push_back(ScriptItem::Char('a', pause_ms));
+  }
+  return s;
+}
+
+TEST(PaintCoalescingTest, NoCoalescingUnderRealisticPacing) {
+  NotepadParams params;
+  params.coalesce_paint = true;
+  SessionOptions opts;
+  opts.driver = DriverKind::kHuman;
+  MeasurementSession session(MakeNt40(), opts);
+  auto app = std::make_unique<NotepadApp>(params);
+  NotepadApp* ptr = app.get();
+  session.AttachApp(std::move(app));
+  session.Run(Burst(30, 200.0));  // realistic spacing
+  // Input never queues behind handling, so nothing coalesces.
+  EXPECT_EQ(ptr->coalesced_paints(), 0u);
+}
+
+TEST(PaintCoalescingTest, SaturatedInputCoalescesAggressively) {
+  NotepadParams params;
+  params.coalesce_paint = true;
+  SessionOptions opts;
+  opts.driver = DriverKind::kHuman;
+  MeasurementSession session(MakeNt40(), opts);
+  auto app = std::make_unique<NotepadApp>(params);
+  NotepadApp* ptr = app.get();
+  session.AttachApp(std::move(app));
+  session.Run(Burst(30, 0.0));  // infinitely fast user
+  // Nearly every echo is deferred into batch paints.
+  EXPECT_GT(ptr->coalesced_paints(), 25u);
+}
+
+TEST(PaintCoalescingTest, BatchingCutsSaturatedEventLatency) {
+  auto mean_latency = [](bool coalesce) {
+    NotepadParams params;
+    params.coalesce_paint = coalesce;
+    SessionOptions opts;
+    opts.driver = DriverKind::kHuman;
+    MeasurementSession session(MakeNt40(), opts);
+    session.AttachApp(std::make_unique<NotepadApp>(params));
+    const SessionResult r = session.Run(Burst(40, 0.0));
+    double total = 0.0;
+    for (const EventRecord& e : r.events) {
+      total += e.latency_ms();
+    }
+    return total / static_cast<double>(r.events.size());
+  };
+  // Batching makes the saturated numbers look much better -- which is the
+  // distortion the paper warns about.
+  EXPECT_LT(mean_latency(true), 0.5 * mean_latency(false));
+}
+
+TEST(OverlapAttributionTest, QueuedEventsCarryQueueDelay) {
+  // Two keystrokes 1 ms apart: the second waits for the first's handler.
+  SessionOptions opts;
+  opts.driver = DriverKind::kHuman;
+  MeasurementSession session(MakeNt40(), opts);
+  session.AttachApp(std::make_unique<NotepadApp>());
+  const SessionResult r = session.Run(Burst(2, 1.0));
+  ASSERT_EQ(r.events.size(), 2u);
+  const EventRecord& first = r.events[0];
+  const EventRecord& second = r.events[1];
+  // First event: negligible queueing.  Second: waited for the first.
+  EXPECT_LT(first.queue_delay_ms(), 0.5);
+  EXPECT_GT(second.queue_delay_ms(), 1.0);
+  // The second event's latency covers its queueing (user-perceived).
+  EXPECT_GT(second.latency_ms(), first.latency_ms());
+  // Windows nest sanely.
+  EXPECT_GE(second.end, first.end);
+}
+
+TEST(OverlapAttributionTest, SerializedEventsDoNotOverlapWindows) {
+  // Under the Test driver, events serialise on WM_QUEUESYNC, so handling
+  // windows are disjoint.
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<NotepadApp>());
+  const SessionResult r = session.Run(Burst(10, 120.0));
+  for (std::size_t i = 1; i < r.events.size(); ++i) {
+    EXPECT_GE(r.events[i].retrieved, r.events[i - 1].end);
+  }
+}
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,147 @@
+#include "src/tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace ilat {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Run the CLI with output captured into a string.
+std::pair<int, std::string> Capture(const CliOptions& options) {
+  const std::string path = TempPath("cli-out.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  const int rc = RunCli(options, f);
+  std::fclose(f);
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return {rc, out.str()};
+}
+
+TEST(CliParseTest, DefaultsAreSane) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({}, &o, &error));
+  EXPECT_EQ(o.os, "nt40");
+  EXPECT_EQ(o.app, "notepad");
+  EXPECT_EQ(o.driver, "test");
+  EXPECT_EQ(o.seed, 42u);
+}
+
+TEST(CliParseTest, ParsesAllFlags) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--os=win95", "--app=word", "--workload=keys", "--driver=human",
+                            "--seed=7", "--threshold=50", "--save=a.ilat", "--load=b.ilat",
+                            "--csv=pre", "--events", "--help"},
+                           &o, &error));
+  EXPECT_EQ(o.os, "win95");
+  EXPECT_EQ(o.app, "word");
+  EXPECT_EQ(o.workload, "keys");
+  EXPECT_EQ(o.driver, "human");
+  EXPECT_EQ(o.seed, 7u);
+  EXPECT_DOUBLE_EQ(o.threshold_ms, 50.0);
+  EXPECT_EQ(o.save_path, "a.ilat");
+  EXPECT_EQ(o.load_path, "b.ilat");
+  EXPECT_EQ(o.csv_prefix, "pre");
+  EXPECT_TRUE(o.dump_events);
+  EXPECT_TRUE(o.show_help);
+}
+
+TEST(CliParseTest, RejectsUnknownFlag) {
+  CliOptions o;
+  std::string error;
+  EXPECT_FALSE(ParseCliArgs({"--bogus"}, &o, &error));
+  EXPECT_NE(error.find("--bogus"), std::string::npos);
+}
+
+TEST(CliRunTest, HelpPrintsUsage) {
+  CliOptions o;
+  o.show_help = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("usage: ilat"), std::string::npos);
+}
+
+TEST(CliRunTest, RunsDesktopKeys) {
+  CliOptions o;
+  o.app = "desktop";
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("| system"), std::string::npos);
+  EXPECT_NE(out.find("nt40"), std::string::npos);
+  EXPECT_NE(out.find("| events"), std::string::npos);
+}
+
+TEST(CliRunTest, UnknownAppFails) {
+  CliOptions o;
+  o.app = "emacs";
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("unknown app"), std::string::npos);
+}
+
+TEST(CliRunTest, UnknownOsFails) {
+  CliOptions o;
+  o.os = "beos";
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 2);
+}
+
+TEST(CliRunTest, AllOsRunsThreeSystems) {
+  CliOptions o;
+  o.os = "all";
+  o.app = "desktop";
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("===== nt351 ====="), std::string::npos);
+  EXPECT_NE(out.find("===== nt40 ====="), std::string::npos);
+  EXPECT_NE(out.find("===== win95 ====="), std::string::npos);
+}
+
+TEST(CliRunTest, SaveThenLoadRoundTrip) {
+  const std::string path = TempPath("cli-session.ilat");
+  CliOptions save;
+  save.app = "desktop";
+  save.save_path = path;
+  const auto [rc1, out1] = Capture(save);
+  EXPECT_EQ(rc1, 0);
+  EXPECT_NE(out1.find("saved session"), std::string::npos);
+
+  CliOptions load;
+  load.load_path = path;
+  const auto [rc2, out2] = Capture(load);
+  EXPECT_EQ(rc2, 0);
+  EXPECT_NE(out2.find("saved:"), std::string::npos);
+  EXPECT_NE(out2.find("| events"), std::string::npos);
+}
+
+TEST(CliRunTest, EventsFlagDumpsLines) {
+  CliOptions o;
+  o.app = "desktop";
+  o.dump_events = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("WM_KEYDOWN"), std::string::npos);
+  EXPECT_NE(out.find("queue_ms"), std::string::npos);
+}
+
+TEST(CliRunTest, CsvExportWritesFiles) {
+  CliOptions o;
+  o.app = "desktop";
+  o.csv_prefix = TempPath("cli-csv");
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  std::ifstream events(o.csv_prefix + "-nt40-events.csv");
+  EXPECT_TRUE(events.good());
+}
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,105 @@
+#include "src/core/busy_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace ilat {
+namespace {
+
+constexpr Cycles kMs = kCyclesPerMillisecond;
+
+std::vector<TraceRecord> MakeTrace(std::initializer_list<double> stamps_ms) {
+  std::vector<TraceRecord> t;
+  for (double ms : stamps_ms) {
+    t.push_back(TraceRecord{MillisecondsToCycles(ms)});
+  }
+  return t;
+}
+
+TEST(BusyProfileTest, AllIdleHasNoBusy) {
+  const auto trace = MakeTrace({1, 2, 3, 4, 5});
+  BusyProfile p(trace, kMs);
+  EXPECT_EQ(p.TotalBusy(), 0);
+  EXPECT_EQ(p.BusyIn(0, MillisecondsToCycles(5)), 0);
+}
+
+TEST(BusyProfileTest, ElongatedGapYieldsBusy) {
+  // Paper Fig. 1: samples at 1,2 then one at 12.76 (10.76 ms gap) -> the
+  // system performed 9.76 ms of work in that interval.
+  const auto trace = MakeTrace({1, 2, 12.76, 13.76});
+  BusyProfile p(trace, kMs);
+  EXPECT_NEAR(CyclesToMilliseconds(p.TotalBusy()), 9.76, 1e-6);
+  EXPECT_NEAR(CyclesToMilliseconds(p.BusyIn(MillisecondsToCycles(2), MillisecondsToCycles(13))),
+              9.76, 1e-6);
+}
+
+TEST(BusyProfileTest, BusyInClipsToWindow) {
+  const auto trace = MakeTrace({1, 2, 12, 13});
+  BusyProfile p(trace, kMs);
+  // Busy = 9 ms inside gap (2, 12].  A window covering only (2, 7) can
+  // claim at most 5 ms of it.
+  const Cycles claimed = p.BusyIn(MillisecondsToCycles(2), MillisecondsToCycles(7));
+  EXPECT_EQ(claimed, MillisecondsToCycles(5));
+}
+
+TEST(BusyProfileTest, DisjointWindowSeesNothing) {
+  const auto trace = MakeTrace({1, 2, 12, 13, 14, 15});
+  BusyProfile p(trace, kMs);
+  EXPECT_EQ(p.BusyIn(MillisecondsToCycles(13), MillisecondsToCycles(15)), 0);
+}
+
+TEST(BusyProfileTest, UtilizationMatchesPaperExample) {
+  // Paper §2.5: "if the system spends 10 ms collecting a sample, and the
+  // sample includes 1 ms of idle time, the CPU utilization for that time
+  // interval is (10-1)/10 = 90%".
+  const auto trace = MakeTrace({1, 11});
+  BusyProfile p(trace, kMs);
+  const auto samples = p.UtilizationSamples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_NEAR(samples[1].utilization, 0.9, 1e-9);
+}
+
+TEST(BusyProfileTest, FirstCalmRecordSkipsBusyGaps) {
+  const auto trace = MakeTrace({1, 2, 12, 22, 23});
+  BusyProfile p(trace, kMs);
+  const Cycles calm = p.FirstCalmRecordAfter(MillisecondsToCycles(2), 1.3);
+  EXPECT_EQ(calm, MillisecondsToCycles(23));
+}
+
+TEST(BusyProfileTest, FirstCalmRecordReturnsNeverPastEnd) {
+  const auto trace = MakeTrace({1, 2, 12});
+  BusyProfile p(trace, kMs);
+  EXPECT_EQ(p.FirstCalmRecordAfter(MillisecondsToCycles(2.5), 1.3), kNever);
+}
+
+TEST(BusyProfileTest, BucketsAverageUtilization) {
+  // 1 ms idle samples for 5 ms, then a 5 ms busy gap.
+  const auto trace = MakeTrace({1, 2, 3, 4, 5, 11});
+  BusyProfile p(trace, kMs);
+  const auto buckets = p.UtilizationBuckets(MillisecondsToCycles(5.5));
+  ASSERT_EQ(buckets.size(), 2u);
+  // Busy placement within a gap is ambiguous at sub-period scale; the
+  // first bucket may claim a sliver of the straddling gap.
+  EXPECT_LT(buckets[0].utilization, 0.15);
+  EXPECT_GT(buckets[1].utilization, 0.8);
+}
+
+TEST(BusyProfileTest, EmptyTraceIsSane) {
+  BusyProfile p({}, kMs);
+  EXPECT_EQ(p.TotalBusy(), 0);
+  EXPECT_EQ(p.BusyIn(0, 1'000'000), 0);
+  EXPECT_EQ(p.FirstCalmRecordAfter(0), kNever);
+  EXPECT_TRUE(p.UtilizationSamples().empty());
+}
+
+TEST(BusyProfileTest, TotalBusyEqualsSumOfWindows) {
+  const auto trace = MakeTrace({1, 3.5, 4.5, 9.25, 10.25});
+  BusyProfile p(trace, kMs);
+  const Cycles whole = p.BusyIn(0, MillisecondsToCycles(11));
+  EXPECT_EQ(whole, p.TotalBusy());
+  // Split at an arbitrary point: parts must sum to the whole.
+  const Cycles split = MillisecondsToCycles(4.0);
+  EXPECT_EQ(p.BusyIn(0, split) + p.BusyIn(split, MillisecondsToCycles(11)), whole);
+}
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,236 @@
+// Tests for the toolkit extensions: queue-delay decomposition, session
+// persistence, asynchronous I/O, the print path, and the blinking cursor.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+
+#include "src/analysis/irritation.h"
+#include "src/apps/commands.h"
+#include "src/apps/notepad.h"
+#include "src/apps/powerpoint.h"
+#include "src/core/measurement.h"
+#include "src/core/session_io.h"
+#include "src/input/typist.h"
+#include "src/input/workloads.h"
+
+namespace ilat {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Queue-delay decomposition.
+
+TEST(QueueDelayTest, SmallUnderRealisticPacing) {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<NotepadApp>());
+  Random rng(3);
+  TypistParams tp;
+  Typist typist(tp, &rng);
+  const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 120)));
+  for (const EventRecord& e : r.events) {
+    EXPECT_GE(e.queue_delay(), 0);
+    EXPECT_LT(e.queue_delay_ms(), 1.0);  // ISR + GetMessage only
+    EXPECT_LE(e.retrieved, e.end);
+  }
+}
+
+TEST(QueueDelayTest, GrowsUnderSaturatedInput) {
+  SessionOptions opts;
+  opts.driver = DriverKind::kHuman;
+  MeasurementSession session(MakeNt40(), opts);
+  session.AttachApp(std::make_unique<NotepadApp>());
+  Script s;
+  for (int i = 0; i < 50; ++i) {
+    s.push_back(ScriptItem::Char('a', 0.0));  // infinitely fast user
+  }
+  const SessionResult r = session.Run(s);
+  ASSERT_EQ(r.events.size(), 50u);
+  // Later events queue behind earlier handling.
+  double max_delay = 0.0;
+  for (const EventRecord& e : r.events) {
+    max_delay = std::max(max_delay, e.queue_delay_ms());
+  }
+  EXPECT_GT(max_delay, 50.0);
+}
+
+// ---------------------------------------------------------------------------
+// Session persistence.
+
+TEST(SessionIoTest, RoundTripPreservesEverything) {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<PowerpointApp>());
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdPptPageDown, 200.0, "Page down"));
+  s.push_back(ScriptItem::Command(kCmdPptSave, 500.0, "Save document"));
+  const SessionResult original = session.Run(s);
+
+  const std::string path = TempPath("session.ilat");
+  ASSERT_TRUE(SaveSessionResult(path, original));
+
+  SessionResult loaded;
+  ASSERT_TRUE(LoadSessionResult(path, &loaded));
+
+  EXPECT_EQ(loaded.trace_period, original.trace_period);
+  EXPECT_EQ(loaded.trace_start, original.trace_start);
+  EXPECT_EQ(loaded.run_end, original.run_end);
+  EXPECT_EQ(loaded.elapsed(), original.elapsed());
+  ASSERT_EQ(loaded.trace.size(), original.trace.size());
+  EXPECT_EQ(loaded.trace.back().timestamp, original.trace.back().timestamp);
+
+  ASSERT_EQ(loaded.events.size(), original.events.size());
+  for (std::size_t i = 0; i < loaded.events.size(); ++i) {
+    EXPECT_EQ(loaded.events[i].msg_seq, original.events[i].msg_seq);
+    EXPECT_EQ(loaded.events[i].type, original.events[i].type);
+    EXPECT_EQ(loaded.events[i].start, original.events[i].start);
+    EXPECT_EQ(loaded.events[i].busy, original.events[i].busy);
+    EXPECT_EQ(loaded.events[i].io_wait, original.events[i].io_wait);
+    EXPECT_EQ(loaded.events[i].label, original.events[i].label);
+  }
+
+  ASSERT_EQ(loaded.io_pending.size(), original.io_pending.size());
+  for (int i = 0; i < kNumHwEvents; ++i) {
+    EXPECT_EQ(loaded.counters.counts[static_cast<std::size_t>(i)],
+              original.counters.counts[static_cast<std::size_t>(i)]);
+  }
+
+  // Derived analyses work on the loaded copy.
+  const BusyProfile busy = loaded.MakeBusyProfile();
+  EXPECT_EQ(busy.TotalBusy(), original.MakeBusyProfile().TotalBusy());
+}
+
+TEST(SessionIoTest, RejectsGarbage) {
+  const std::string path = TempPath("garbage.ilat");
+  {
+    std::ofstream out(path);
+    out << "not an ilat file\n";
+  }
+  SessionResult r;
+  EXPECT_FALSE(LoadSessionResult(path, &r));
+  EXPECT_FALSE(LoadSessionResult("/nonexistent/nope", &r));
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous I/O (print path).
+
+TEST(PrintTest, PrintLatencyExcludesBackgroundSpool) {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<PowerpointApp>());
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdPptPrint, 200.0, "Print"));
+  const SessionResult r = session.Run(s);
+  ASSERT_EQ(r.events.size(), 1u);
+  // Foreground: spooling compute only; the disk write happens after the
+  // event completes.
+  EXPECT_LT(r.events[0].latency_ms(), 600.0);
+  EXPECT_GT(r.events[0].latency_ms(), 100.0);
+  // The spool file did get written.
+  EXPECT_GT(session.system().sim().disk().blocks_transferred(), 100u);
+  // And no synchronous I/O wait was charged.
+  EXPECT_EQ(r.events[0].io_wait, 0);
+}
+
+TEST(PrintTest, AsyncIoDoesNotCreateWaitIntervals) {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<PowerpointApp>());
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdPptPrint, 200.0, "Print"));
+  const SessionResult r = session.Run(s);
+  // io_pending records only synchronous I/O; the print spool is async.
+  EXPECT_TRUE(r.io_pending.empty());
+  EXPECT_EQ(r.user_state_totals[static_cast<int>(UserState::kWaitIo)], 0);
+}
+
+TEST(PrintTest, SaveByContrastWaitsOnIo) {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<PowerpointApp>());
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdPptSave, 200.0, "Save document"));
+  const SessionResult r = session.Run(s);
+  EXPECT_FALSE(r.io_pending.empty());
+  EXPECT_GT(r.user_state_totals[static_cast<int>(UserState::kWaitIo)], 0);
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_GT(r.events[0].io_wait, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Blinking cursor.
+
+TEST(BlinkingCursorTest, ConsumesCpuWithoutAffectingLatency) {
+  auto run = [](bool blink) {
+    NotepadParams params;
+    params.blink_cursor = blink;
+    MeasurementSession session(MakeNt40());
+    auto app = std::make_unique<NotepadApp>(params);
+    NotepadApp* ptr = app.get();
+    session.AttachApp(std::move(app));
+    Random rng(3);
+    TypistParams tp;
+    Typist typist(tp, &rng);
+    const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 150)));
+    double mean = 0.0;
+    for (const EventRecord& e : r.events) {
+      mean += e.latency_ms();
+    }
+    mean /= static_cast<double>(r.events.size());
+    return std::tuple<double, Cycles, std::uint64_t>{mean, r.gt_busy_cycles,
+                                                     ptr->cursor_blinks()};
+  };
+  const auto [mean_off, busy_off, blinks_off] = run(false);
+  const auto [mean_on, busy_on, blinks_on] = run(true);
+  EXPECT_EQ(blinks_off, 0u);
+  EXPECT_GT(blinks_on, 20u);
+  EXPECT_GT(busy_on, busy_off);                    // real CPU consumed
+  EXPECT_NEAR(mean_on, mean_off, mean_off * 0.1);  // latency unaffected
+}
+
+// ---------------------------------------------------------------------------
+// Irritation report.
+
+TEST(IrritationTest, EmptyEventsSafe) {
+  const IrritationReport r = AnalyzeIrritation({}, 100.0);
+  EXPECT_EQ(r.events_total, 0u);
+  EXPECT_EQ(r.rate_per_minute, 0.0);
+}
+
+TEST(IrritationTest, CountsAndPercentiles) {
+  std::vector<EventRecord> events;
+  for (int i = 0; i < 60; ++i) {
+    EventRecord e;
+    e.type = MessageType::kChar;
+    e.start = SecondsToCycles(static_cast<double>(i));
+    e.busy = MillisecondsToCycles(i < 54 ? 50.0 : 200.0);  // 6 slow events
+    e.end = e.start + e.busy;
+    e.wall = e.busy;
+    events.push_back(e);
+  }
+  const IrritationReport r = AnalyzeIrritation(events, 100.0);
+  EXPECT_EQ(r.events_total, 60u);
+  EXPECT_EQ(r.events_above, 6u);
+  // 6 events over ~59 s of observation.
+  EXPECT_NEAR(r.rate_per_minute, 6.0 / (59.0 / 60.0), 0.3);
+  EXPECT_DOUBLE_EQ(r.p50_ms, 50.0);
+  EXPECT_DOUBLE_EQ(r.max_ms, 200.0);
+  // Slow events are events 54..59; the calm stretch before them is 54 s.
+  EXPECT_NEAR(r.longest_calm_s, 54.0, 0.5);
+}
+
+TEST(IrritationTest, LiveSessionProducesSaneReport) {
+  MeasurementSession session(MakeNt351());
+  session.AttachApp(std::make_unique<NotepadApp>());
+  Random rng(42);
+  const SessionResult r = session.Run(NotepadWorkload(&rng));
+  const IrritationReport rep = AnalyzeIrritation(r.events, 10.0, r.elapsed());
+  EXPECT_EQ(rep.events_total, r.events.size());
+  EXPECT_GT(rep.events_above, 0u);  // page refreshes exceed 10 ms
+  EXPECT_GT(rep.p95_ms, rep.p50_ms - 1e-9);
+  EXPECT_GE(rep.max_ms, rep.p99_ms);
+  EXPECT_GT(rep.longest_calm_s, 1.0);
+}
+
+}  // namespace
+}  // namespace ilat

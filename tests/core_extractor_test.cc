@@ -1,0 +1,217 @@
+// Event-extractor tests on synthetic traces and logs, plus a live check on
+// the real pump.
+
+#include "src/core/event_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/notepad.h"
+#include "src/core/counter_session.h"
+#include "src/core/measurement.h"
+#include "src/input/workloads.h"
+#include "src/os/personalities.h"
+
+namespace ilat {
+namespace {
+
+constexpr Cycles kMs = kCyclesPerMillisecond;
+
+// Build a synthetic idle trace: records every 1 ms except a busy window
+// [busy_at, busy_at+busy_len) that elongates one gap.
+std::vector<TraceRecord> TraceWithBusy(double busy_at_ms, double busy_ms, double end_ms) {
+  std::vector<TraceRecord> t;
+  double clock = 0.0;
+  double credit = 0.0;  // idle progress toward the next record
+  while (clock < end_ms) {
+    // advance in idle; when we reach busy_at, insert the busy time.
+    double next_record = clock + (1.0 - credit);
+    if (clock <= busy_at_ms && busy_at_ms < next_record) {
+      next_record += busy_ms;
+    }
+    t.push_back(TraceRecord{MillisecondsToCycles(next_record)});
+    clock = next_record;
+    credit = 0.0;
+  }
+  return t;
+}
+
+TEST(EventExtractorTest, SingleEventLatencyFromSyntheticTrace) {
+  // Keystroke posted at 5.2 ms, handled in 9.76 ms of busy time; the app
+  // retrieves at 5.3 ms and is back in the pump at 15.0 ms.
+  const auto trace = TraceWithBusy(5.2, 9.76, 30.0);
+  BusyProfile busy(trace, kMs);
+
+  MessageMonitor monitor;
+  Message m;
+  m.type = MessageType::kChar;
+  m.seq = 1;
+  m.enqueue_time = MillisecondsToCycles(5.2);
+  monitor.OnMessageRetrieved(MillisecondsToCycles(5.3), m, 0);
+  monitor.OnApiCall(MillisecondsToCycles(15.0), false, true);
+
+  std::vector<PostedEvent> posted;
+  posted.push_back(PostedEvent{1, ScriptItem::Kind::kChar, 'a', "echo",
+                               MillisecondsToCycles(5.2)});
+
+  const auto events = ExtractEvents(busy, monitor, posted, {}, ExtractorOptions{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(events[0].latency_ms(), 9.76, 0.05);
+  EXPECT_EQ(events[0].label, "echo");
+}
+
+TEST(EventExtractorTest, QueueSyncWindowNotChargedToEvent) {
+  // Busy: event handling 3 ms at t=5, then WM_QUEUESYNC handling 4 ms at
+  // t=10.  The keystroke event must see only its 3 ms.
+  auto trace = TraceWithBusy(5.0, 3.0, 9.5);
+  {
+    auto tail = TraceWithBusy(0.5, 4.0, 10.0);
+    const Cycles base = trace.back().timestamp;
+    for (auto& r : tail) {
+      trace.push_back(TraceRecord{base + r.timestamp});
+    }
+  }
+  BusyProfile busy(trace, kMs);
+
+  MessageMonitor monitor;
+  Message key;
+  key.type = MessageType::kChar;
+  key.seq = 1;
+  monitor.OnMessageRetrieved(MillisecondsToCycles(5.1), key, 1);
+  // Pump returns and immediately retrieves the sync message.
+  monitor.OnApiCall(MillisecondsToCycles(8.2), false, false);
+  Message sync;
+  sync.type = MessageType::kQueueSync;
+  sync.seq = 2;
+  monitor.OnMessageRetrieved(MillisecondsToCycles(10.1), sync, 0);
+  monitor.OnApiCall(MillisecondsToCycles(14.5), false, true);
+
+  std::vector<PostedEvent> posted;
+  posted.push_back(PostedEvent{1, ScriptItem::Kind::kChar, 'a', "", MillisecondsToCycles(5.0)});
+
+  const auto events = ExtractEvents(busy, monitor, posted, {}, ExtractorOptions{});
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(events[0].latency_ms(), 3.0, 0.3);
+}
+
+TEST(EventExtractorTest, TimerCascadeMergedWhenRequested) {
+  auto trace = TraceWithBusy(5.0, 2.0, 40.0);
+  BusyProfile busy(trace, kMs);
+
+  MessageMonitor monitor;
+  Message cmd;
+  cmd.type = MessageType::kCommand;
+  cmd.seq = 1;
+  monitor.OnMessageRetrieved(MillisecondsToCycles(5.1), cmd, 0);
+  monitor.OnApiCall(MillisecondsToCycles(8.0), false, true);
+  Message timer;
+  timer.type = MessageType::kTimer;
+  timer.seq = 2;
+  monitor.OnMessageRetrieved(MillisecondsToCycles(20.0), timer, 0);
+  monitor.OnApiCall(MillisecondsToCycles(25.0), false, true);
+
+  std::vector<PostedEvent> posted;
+  posted.push_back(PostedEvent{1, ScriptItem::Kind::kCommand, 7, "maximize",
+                               MillisecondsToCycles(5.0)});
+
+  ExtractorOptions merge;
+  merge.merge_timer_cascades = true;
+  const auto merged = ExtractEvents(busy, monitor, posted, {}, merge);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].end, MillisecondsToCycles(25.0));
+
+  const auto unmerged = ExtractEvents(busy, monitor, posted, {}, ExtractorOptions{});
+  EXPECT_EQ(unmerged[0].end, MillisecondsToCycles(8.0));
+}
+
+TEST(EventExtractorTest, IoWaitCountedWhenRequested) {
+  const auto trace = TraceWithBusy(5.0, 1.0, 60.0);
+  BusyProfile busy(trace, kMs);
+
+  MessageMonitor monitor;
+  Message cmd;
+  cmd.type = MessageType::kCommand;
+  cmd.seq = 1;
+  monitor.OnMessageRetrieved(MillisecondsToCycles(5.1), cmd, 0);
+  monitor.OnApiCall(MillisecondsToCycles(40.0), false, true);
+
+  std::vector<PostedEvent> posted;
+  posted.push_back(PostedEvent{1, ScriptItem::Kind::kCommand, 1, "open",
+                               MillisecondsToCycles(5.0)});
+  std::vector<IoPendingInterval> io;
+  io.push_back(IoPendingInterval{MillisecondsToCycles(10.0), MillisecondsToCycles(30.0)});
+
+  ExtractorOptions with_io;
+  const auto events = ExtractEvents(busy, monitor, posted, io, with_io);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NEAR(CyclesToMilliseconds(events[0].io_wait), 20.0, 1e-6);
+  EXPECT_GT(events[0].latency_ms(), 20.0);
+
+  ExtractorOptions without_io;
+  without_io.include_io_wait = false;
+  const auto no_io = ExtractEvents(busy, monitor, posted, io, without_io);
+  EXPECT_EQ(no_io[0].io_wait, 0);
+}
+
+TEST(EventExtractorTest, UnretrievedMessagesSkipped) {
+  const auto trace = TraceWithBusy(5.0, 1.0, 10.0);
+  BusyProfile busy(trace, kMs);
+  MessageMonitor monitor;
+  std::vector<PostedEvent> posted;
+  posted.push_back(PostedEvent{99, ScriptItem::Kind::kChar, 'a', "", 0});
+  const auto events = ExtractEvents(busy, monitor, posted, {}, ExtractorOptions{});
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(EventExtractorTest, EventsSortedByStartTime) {
+  const auto trace = TraceWithBusy(5.0, 1.0, 100.0);
+  BusyProfile busy(trace, kMs);
+  MessageMonitor monitor;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    Message m;
+    m.type = MessageType::kChar;
+    m.seq = i + 1;
+    monitor.OnMessageRetrieved(MillisecondsToCycles(10.0 * (i + 1)), m, 0);
+    monitor.OnApiCall(MillisecondsToCycles(10.0 * (i + 1) + 2.0), false, true);
+  }
+  // Posted list deliberately shuffled.
+  std::vector<PostedEvent> posted;
+  posted.push_back(PostedEvent{3, ScriptItem::Kind::kChar, 'c', "", MillisecondsToCycles(30)});
+  posted.push_back(PostedEvent{1, ScriptItem::Kind::kChar, 'a', "", MillisecondsToCycles(10)});
+  posted.push_back(PostedEvent{2, ScriptItem::Kind::kChar, 'b', "", MillisecondsToCycles(20)});
+  const auto events = ExtractEvents(busy, monitor, posted, {}, ExtractorOptions{});
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_LT(events[0].start, events[1].start);
+  EXPECT_LT(events[1].start, events[2].start);
+}
+
+// ---------------------------------------------------------------------------
+// Counter session.
+
+TEST(CounterSessionTest, MeasuresDeltas) {
+  Simulation sim(1);
+  CounterSession cs(&sim, HwEvent::kItlbMiss, HwEvent::kSegmentLoads);
+  sim.counters().Add(HwEvent::kItlbMiss, 100);  // before Begin: excluded
+  cs.Begin();
+  sim.counters().Add(HwEvent::kItlbMiss, 42);
+  sim.counters().Add(HwEvent::kSegmentLoads, 7);
+  sim.queue().ScheduleAt(1'000, [] {});
+  sim.queue().RunNext();
+  cs.End();
+  EXPECT_EQ(cs.CountA(), 42u);
+  EXPECT_EQ(cs.CountB(), 7u);
+  EXPECT_EQ(cs.ElapsedCycles(), 1'000);
+}
+
+TEST(CounterSessionTest, FortyBitWrap) {
+  Simulation sim(1);
+  CounterSession cs(&sim, HwEvent::kDataRefs, HwEvent::kInstructions);
+  cs.Begin();
+  sim.counters().Add(HwEvent::kDataRefs, (1ull << 40) + 5);
+  cs.End();
+  EXPECT_EQ(cs.CountA(), 5u);  // wrapped like real 40-bit hardware
+}
+
+}  // namespace
+}  // namespace ilat

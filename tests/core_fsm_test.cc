@@ -1,0 +1,116 @@
+#include "src/core/think_wait_fsm.h"
+
+#include <gtest/gtest.h>
+
+namespace ilat {
+namespace {
+
+TEST(ThinkWaitFsmTest, StartsThinking) {
+  ThinkWaitFsm fsm(0);
+  EXPECT_EQ(fsm.current(), UserState::kThink);
+}
+
+TEST(ThinkWaitFsmTest, QueueNonEmptyMeansWaiting) {
+  // Paper §2.3: "when there are events queued, we can assume that the user
+  // is waiting".
+  ThinkWaitFsm fsm(0);
+  fsm.OnQueue(100, true);
+  EXPECT_EQ(fsm.current(), UserState::kWaitCpu);
+  fsm.OnQueue(200, false);
+  EXPECT_EQ(fsm.current(), UserState::kThink);
+  fsm.Finish(300);
+  EXPECT_EQ(fsm.TotalIn(UserState::kThink), 200);
+  EXPECT_EQ(fsm.TotalIn(UserState::kWaitCpu), 100);
+}
+
+TEST(ThinkWaitFsmTest, SyncIoOutranksEverything) {
+  // Synchronous I/O is wait time even though the CPU may be idle.
+  ThinkWaitFsm fsm(0);
+  fsm.OnSyncIo(50, true);
+  fsm.OnCpu(60, true);
+  EXPECT_EQ(fsm.current(), UserState::kWaitIo);
+  fsm.OnSyncIo(100, false);
+  // CPU still busy, queue empty, no foreground marker: background.
+  EXPECT_EQ(fsm.current(), UserState::kBackground);
+  fsm.OnCpu(120, false);
+  fsm.Finish(150);
+  EXPECT_EQ(fsm.TotalIn(UserState::kWaitIo), 50);
+}
+
+TEST(ThinkWaitFsmTest, BusyWithoutForegroundIsBackground) {
+  ThinkWaitFsm fsm(0);
+  fsm.OnCpu(10, true);
+  EXPECT_EQ(fsm.current(), UserState::kBackground);
+  fsm.OnForeground(20, true);
+  EXPECT_EQ(fsm.current(), UserState::kWaitCpu);
+  fsm.OnForeground(30, false);
+  EXPECT_EQ(fsm.current(), UserState::kBackground);
+  fsm.OnCpu(40, false);
+  fsm.Finish(50);
+  EXPECT_EQ(fsm.TotalIn(UserState::kBackground), 20);
+  EXPECT_EQ(fsm.TotalIn(UserState::kWaitCpu), 10);
+  EXPECT_EQ(fsm.TotalIn(UserState::kThink), 20);
+}
+
+TEST(ThinkWaitFsmTest, TotalsCoverElapsedExactly) {
+  ThinkWaitFsm fsm(0);
+  fsm.OnCpu(100, true);
+  fsm.OnQueue(150, true);
+  fsm.OnSyncIo(300, true);
+  fsm.OnSyncIo(500, false);
+  fsm.OnQueue(600, false);
+  fsm.OnCpu(700, false);
+  fsm.Finish(1'000);
+  Cycles total = 0;
+  for (int i = 0; i < static_cast<int>(UserState::kCount); ++i) {
+    total += fsm.TotalIn(static_cast<UserState>(i));
+  }
+  EXPECT_EQ(total, 1'000);
+}
+
+TEST(ThinkWaitFsmTest, IntervalsAreContiguousAndTyped) {
+  ThinkWaitFsm fsm(0);
+  fsm.OnCpu(100, true);
+  fsm.OnCpu(250, false);
+  fsm.Finish(400);
+  const auto& iv = fsm.intervals();
+  ASSERT_EQ(iv.size(), 3u);
+  EXPECT_EQ(iv[0].state, UserState::kThink);
+  EXPECT_EQ(iv[1].state, UserState::kBackground);
+  EXPECT_EQ(iv[2].state, UserState::kThink);
+  for (std::size_t i = 1; i < iv.size(); ++i) {
+    EXPECT_EQ(iv[i].begin, iv[i - 1].end);
+  }
+  EXPECT_EQ(iv.front().begin, 0);
+  EXPECT_EQ(iv.back().end, 400);
+}
+
+TEST(ThinkWaitFsmTest, RedundantInputsDoNotSplitIntervals) {
+  ThinkWaitFsm fsm(0);
+  fsm.OnCpu(100, true);
+  fsm.OnCpu(150, true);  // no state change
+  fsm.OnCpu(200, false);
+  fsm.Finish(300);
+  EXPECT_EQ(fsm.intervals().size(), 3u);
+  EXPECT_EQ(fsm.TotalIn(UserState::kBackground), 100);
+}
+
+TEST(ThinkWaitFsmTest, TotalWaitSumsCpuAndIo) {
+  ThinkWaitFsm fsm(0);
+  fsm.OnQueue(0, true);
+  fsm.OnQueue(100, false);
+  fsm.OnSyncIo(200, true);
+  fsm.OnSyncIo(450, false);
+  fsm.Finish(500);
+  EXPECT_EQ(fsm.TotalWait(), 100 + 250);
+}
+
+TEST(ThinkWaitFsmTest, StateNames) {
+  EXPECT_EQ(UserStateName(UserState::kThink), "think");
+  EXPECT_EQ(UserStateName(UserState::kWaitCpu), "wait-cpu");
+  EXPECT_EQ(UserStateName(UserState::kWaitIo), "wait-io");
+  EXPECT_EQ(UserStateName(UserState::kBackground), "background");
+}
+
+}  // namespace
+}  // namespace ilat

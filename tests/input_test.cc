@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/desktop.h"
+#include "src/apps/notepad.h"
+#include "src/input/driver.h"
+#include "src/input/typist.h"
+#include "src/input/workloads.h"
+#include "src/os/personalities.h"
+
+namespace ilat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Typist.
+
+TEST(TypistTest, ReproducesTextInOrder) {
+  Random rng(5);
+  TypistParams tp;
+  tp.typo_probability = 0.0;
+  Typist typist(tp, &rng);
+  const Script s = typist.Type("abc d");
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s[0].param, 'a');
+  EXPECT_EQ(s[4].param, 'd');
+  for (const auto& item : s) {
+    EXPECT_EQ(item.kind, ScriptItem::Kind::kChar);
+  }
+}
+
+TEST(TypistTest, PausesRespectMinimumGap) {
+  Random rng(5);
+  TypistParams tp;
+  tp.typo_probability = 0.0;
+  Typist typist(tp, &rng);
+  const Script s = typist.Type(GenerateProse(&rng, 400));
+  for (const auto& item : s) {
+    EXPECT_GE(item.pause_before_ms, tp.min_gap_ms);
+  }
+}
+
+TEST(TypistTest, MeanPaceMatchesWpm) {
+  Random rng(5);
+  TypistParams tp;
+  tp.words_per_minute = 100.0;
+  tp.typo_probability = 0.0;
+  tp.sentence_pause_mean_ms = 0.0;
+  Typist typist(tp, &rng);
+  // ~120 ms/char at 100 wpm ("even the best typists require approximately
+  // 120 ms per keystroke", paper §2).
+  EXPECT_NEAR(typist.MeanGapMs(), 109.0, 3.0);
+  const Script s = typist.Type(GenerateProse(&rng, 2'000));
+  double total = 0.0;
+  for (const auto& item : s) {
+    total += item.pause_before_ms;
+  }
+  EXPECT_NEAR(total / static_cast<double>(s.size()), typist.MeanGapMs(), 25.0);
+}
+
+TEST(TypistTest, TyposProduceBackspaceCorrections) {
+  Random rng(5);
+  TypistParams tp;
+  tp.typo_probability = 0.3;
+  Typist typist(tp, &rng);
+  const Script s = typist.Type(GenerateProse(&rng, 500));
+  int backspaces = 0;
+  for (const auto& item : s) {
+    if (item.kind == ScriptItem::Kind::kKeyDown && item.param == kVkBackspace) {
+      ++backspaces;
+    }
+  }
+  EXPECT_GT(backspaces, 20);
+}
+
+TEST(TypistTest, NewlineTypedPromptly) {
+  Random rng(5);
+  TypistParams tp;
+  tp.typo_probability = 0.0;
+  Typist typist(tp, &rng);
+  const Script s = typist.Type("ab.\ncd");
+  // Find the newline: pause must be small even after the sentence end.
+  for (const auto& item : s) {
+    if (item.param == '\n') {
+      EXPECT_LE(item.pause_before_ms, 300.0);
+      return;
+    }
+  }
+  FAIL() << "no newline in script";
+}
+
+TEST(TypistTest, DeterministicForSeed) {
+  TypistParams tp;
+  Random r1(99), r2(99);
+  Typist t1(tp, &r1), t2(tp, &r2);
+  const Script a = t1.Type("hello world this is text.");
+  const Script b = t2.Type("hello world this is text.");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].param, b[i].param);
+    EXPECT_DOUBLE_EQ(a[i].pause_before_ms, b[i].pause_before_ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+
+TEST(WorkloadsTest, ProseApproximatesLength) {
+  Random rng(1);
+  const std::string text = GenerateProse(&rng, 1'000);
+  EXPECT_GE(text.size(), 1'000u);
+  EXPECT_LT(text.size(), 1'100u);
+}
+
+TEST(WorkloadsTest, ProseNewlinesControlled) {
+  Random rng(1);
+  const std::string text = GenerateProse(&rng, 2'000, 2);
+  int newlines = 0;
+  for (char c : text) {
+    newlines += (c == '\n') ? 1 : 0;
+  }
+  EXPECT_GT(newlines, 3);
+}
+
+TEST(WorkloadsTest, NotepadWorkloadShape) {
+  Random rng(42);
+  const Script s = NotepadWorkload(&rng);
+  int chars = 0, pages = 0, arrows = 0;
+  for (const auto& item : s) {
+    if (item.kind == ScriptItem::Kind::kChar) {
+      ++chars;
+    } else if (item.param == kVkPageDown || item.param == kVkPageUp) {
+      ++pages;
+    } else {
+      ++arrows;
+    }
+  }
+  // ~1300 typed characters (paper §5.1) plus cursor/page movement.
+  EXPECT_GT(chars, 1'100);
+  EXPECT_LT(chars, 1'600);
+  EXPECT_EQ(pages, 10);
+  EXPECT_GE(arrows, 140);
+}
+
+TEST(WorkloadsTest, WordWorkloadShape) {
+  Random rng(42);
+  const Script s = WordWorkload(&rng);
+  int chars = 0;
+  for (const auto& item : s) {
+    chars += (item.kind == ScriptItem::Kind::kChar) ? 1 : 0;
+  }
+  // ~1000-character paragraph (paper §5.4).
+  EXPECT_GT(chars, 900);
+  EXPECT_LT(chars, 1'300);
+}
+
+TEST(WorkloadsTest, PowerpointWorkloadHasTable1Labels) {
+  Random rng(42);
+  const Script s = PowerpointWorkload(&rng);
+  auto has_label = [&](const std::string& label) {
+    for (const auto& item : s) {
+      if (item.label == label) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_label("Start Powerpoint"));
+  EXPECT_TRUE(has_label("Open document"));
+  EXPECT_TRUE(has_label("Start OLE edit session (first time)"));
+  EXPECT_TRUE(has_label("Start OLE edit session (second object)"));
+  EXPECT_TRUE(has_label("Start OLE edit session (third object)"));
+  EXPECT_TRUE(has_label("Save document"));
+  // Keystroke pacing "at least 150 ms" between events.
+  for (const auto& item : s) {
+    EXPECT_GE(item.pause_before_ms, 150.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers.
+
+struct DriverFixture {
+  DriverFixture() : sys(MakeNt40(), 1) {
+    app = std::make_unique<DesktopApp>();
+    thread = std::make_unique<GuiThread>(&sys, app.get());
+    sys.sim().scheduler().AddThread(thread.get());
+    sys.Boot();
+  }
+  SystemUnderTest sys;
+  std::unique_ptr<DesktopApp> app;
+  std::unique_ptr<GuiThread> thread;
+};
+
+TEST(TestDriverTest, PostsAllEventsAndFinishes) {
+  DriverFixture f;
+  TestDriver driver(&f.sys, f.thread.get(), KeystrokeTrials(5, 100.0));
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  EXPECT_TRUE(driver.done());
+  EXPECT_EQ(driver.posted().size(), 5u);
+  EXPECT_GT(driver.finished_at(), 0);
+}
+
+TEST(TestDriverTest, InjectsQueueSyncAfterEachEvent) {
+  DriverFixture f;
+  TestDriver driver(&f.sys, f.thread.get(), KeystrokeTrials(3, 100.0));
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  // 3 keystrokes + 3 syncs were posted to the queue.
+  EXPECT_EQ(f.thread->queue().posted_count(), 6u);
+}
+
+TEST(TestDriverTest, NoSyncModeOmitsQueueSync) {
+  DriverFixture f;
+  TestDriver driver(&f.sys, f.thread.get(), KeystrokeTrials(3, 100.0),
+                    /*inject_queuesync=*/false);
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  EXPECT_TRUE(driver.done());
+  EXPECT_EQ(f.thread->queue().posted_count(), 3u);
+}
+
+TEST(TestDriverTest, SerializesOnSyncCompletion) {
+  DriverFixture f;
+  Script s = KeystrokeTrials(2, 50.0);
+  TestDriver driver(&f.sys, f.thread.get(), s);
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  ASSERT_EQ(driver.posted().size(), 2u);
+  // Second injection happens at least pause after the first sync retired,
+  // which itself is after the first keystroke's processing.
+  const Cycles gap = driver.posted()[1].posted_at - driver.posted()[0].posted_at;
+  EXPECT_GT(gap, MillisecondsToCycles(50.0));
+}
+
+TEST(TestDriverTest, MouseClickPostsDownAndUp) {
+  DriverFixture f;
+  TestDriver driver(&f.sys, f.thread.get(), ClickTrials(1, 100.0, 80.0));
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  EXPECT_TRUE(driver.done());
+  // down + up + sync.
+  EXPECT_EQ(f.thread->queue().posted_count(), 3u);
+}
+
+TEST(HumanDriverTest, WallClockPacingIndependentOfSystem) {
+  DriverFixture f;
+  Script s;
+  for (int i = 0; i < 4; ++i) {
+    s.push_back(ScriptItem::Key(kVkDown, 250.0));
+  }
+  HumanDriver driver(&f.sys, f.thread.get(), s);
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  ASSERT_EQ(driver.posted().size(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    const Cycles gap = driver.posted()[i].posted_at - driver.posted()[i - 1].posted_at;
+    EXPECT_EQ(gap, MillisecondsToCycles(250.0));
+  }
+  EXPECT_TRUE(driver.done());
+}
+
+TEST(HumanDriverTest, NoQueueSyncEver) {
+  DriverFixture f;
+  HumanDriver driver(&f.sys, f.thread.get(), KeystrokeTrials(3, 100.0));
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  EXPECT_EQ(f.thread->queue().posted_count(), 3u);
+}
+
+TEST(DriverTest, EmptyScriptFinishesImmediately) {
+  DriverFixture f;
+  TestDriver td(&f.sys, f.thread.get(), Script{});
+  td.Start();
+  EXPECT_TRUE(td.done());
+  HumanDriver hd(&f.sys, f.thread.get(), Script{});
+  hd.Start();
+  EXPECT_TRUE(hd.done());
+}
+
+TEST(DriverTest, PostedLabelsSurvive) {
+  DriverFixture f;
+  Script s;
+  s.push_back(ScriptItem::Key(kVkDown, 10.0, "my-label"));
+  TestDriver driver(&f.sys, f.thread.get(), s);
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(2.0));
+  ASSERT_EQ(driver.posted().size(), 1u);
+  EXPECT_EQ(driver.posted()[0].label, "my-label");
+}
+
+}  // namespace
+}  // namespace ilat

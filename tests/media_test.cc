@@ -1,0 +1,126 @@
+// Media playback: frame pacing, deadline analysis, behaviour under load.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/analysis/deadlines.h"
+#include "src/apps/batch_thread.h"
+#include "src/apps/media_player.h"
+#include "src/core/measurement.h"
+
+namespace ilat {
+namespace {
+
+SessionResult Play(MeasurementSession& session, int frames) {
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdMediaPlay + frames, 100.0, "play"));
+  return session.Run(s);
+}
+
+SessionOptions LongDrain(double seconds) {
+  SessionOptions o;
+  o.drain_after = SecondsToCycles(seconds);  // playback outlives the script
+  return o;
+}
+
+TEST(DeadlineAnalysisTest, CleanPlaybackHasNoMisses) {
+  std::vector<FrameRecord> frames;
+  const Cycles period = MillisecondsToCycles(33.3);
+  for (int i = 0; i < 30; ++i) {
+    const Cycles t = i * period;
+    frames.push_back(FrameRecord{t, t + MillisecondsToCycles(10)});
+  }
+  const DeadlineReport r = AnalyzeDeadlines(frames, period);
+  EXPECT_EQ(r.frames_completed, 30);
+  EXPECT_EQ(r.missed, 0);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_NEAR(r.jitter_ms, 0.0, 1e-9);
+  EXPECT_NEAR(r.achieved_fps, 30.0 / CyclesToSeconds(29 * period + MillisecondsToCycles(10)),
+              0.1);
+}
+
+TEST(DeadlineAnalysisTest, DetectsMissesAndDrops) {
+  std::vector<FrameRecord> frames;
+  const Cycles period = MillisecondsToCycles(33.3);
+  // Frame 0 on time; frame at slot 1 finishes 20 ms late; slot 2 skipped
+  // (next frame scheduled at slot 3).
+  frames.push_back(FrameRecord{0, MillisecondsToCycles(10)});
+  frames.push_back(
+      FrameRecord{period, period + period + MillisecondsToCycles(20)});
+  frames.push_back(FrameRecord{3 * period, 3 * period + MillisecondsToCycles(5)});
+  const DeadlineReport r = AnalyzeDeadlines(frames, period);
+  EXPECT_EQ(r.missed, 1);
+  EXPECT_NEAR(r.max_lateness_ms, 20.0, 0.1);
+  EXPECT_EQ(r.dropped, 1);
+}
+
+TEST(DeadlineAnalysisTest, EmptyInputSafe) {
+  const DeadlineReport r = AnalyzeDeadlines({}, MillisecondsToCycles(33));
+  EXPECT_EQ(r.frames_completed, 0);
+  EXPECT_EQ(r.miss_rate, 0.0);
+}
+
+TEST(MediaPlayerTest, PlaysRequestedFramesAtPace) {
+  MeasurementSession session(MakeNt40(), LongDrain(5.0));
+  auto app = std::make_unique<MediaPlayerApp>();
+  MediaPlayerApp* player = app.get();
+  session.AttachApp(std::move(app));
+  Play(session, 90);  // 3 seconds at 30 fps
+  ASSERT_EQ(player->frames().size(), 90u);
+  const DeadlineReport r = AnalyzeDeadlines(player->frames(), MediaPlayerParams{}.period());
+  EXPECT_EQ(r.missed, 0);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_NEAR(r.achieved_fps, 30.0, 0.5);
+  EXPECT_LT(r.jitter_ms, 5.0);
+}
+
+TEST(MediaPlayerTest, FramesAlignToPeriodBoundaries) {
+  MeasurementSession session(MakeNt40(), LongDrain(3.0));
+  auto app = std::make_unique<MediaPlayerApp>();
+  MediaPlayerApp* player = app.get();
+  session.AttachApp(std::move(app));
+  Play(session, 30);
+  const Cycles period = MediaPlayerParams{}.period();
+  for (const FrameRecord& f : player->frames()) {
+    // Scheduled times land within the timer-ISR delivery cost of a
+    // boundary.
+    const Cycles phase = f.scheduled % period;
+    EXPECT_LT(phase, MillisecondsToCycles(0.5));
+  }
+}
+
+TEST(MediaPlayerTest, SaturatingLoadDropsFramesBoostCannotFullyHelp) {
+  auto report = [](bool with_batch, int boost) {
+    OsProfile os = MakeNt40();
+    os.wake_priority_boost = boost;
+    MeasurementSession session(os, LongDrain(8.0));
+    auto app = std::make_unique<MediaPlayerApp>();
+    MediaPlayerApp* player = app.get();
+    session.AttachApp(std::move(app));
+    std::unique_ptr<BatchThread> batch;
+    if (with_batch) {
+      BatchOptions bo;
+      bo.duty_cycle = 0.9;  // heavy load ...
+      bo.quantum = MillisecondsToCycles(20);  // ... with coarse quanta
+      batch = std::make_unique<BatchThread>("job", 10, WorkProfile{}, bo,
+                                            &session.system().sim().queue(),
+                                            &session.system().sim().scheduler());
+      session.system().sim().scheduler().AddThread(batch.get());
+    }
+    Play(session, 120);
+    return AnalyzeDeadlines(player->frames(), MediaPlayerParams{}.period());
+  };
+  const DeadlineReport clean = report(false, 0);
+  const DeadlineReport loaded = report(true, 0);
+  const DeadlineReport boosted = report(true, 2);
+  EXPECT_EQ(clean.missed + clean.dropped, 0);
+  // A coarse-quantum equal-priority hog degrades playback visibly ...
+  EXPECT_GT(loaded.missed + loaded.dropped, 10);
+  // ... and the NT wake boost (which lets the woken player preempt the
+  // hog mid-quantum) restores most of it.
+  EXPECT_LT(boosted.missed + boosted.dropped, (loaded.missed + loaded.dropped) / 4);
+}
+
+}  // namespace
+}  // namespace ilat

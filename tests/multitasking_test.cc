@@ -1,0 +1,133 @@
+// Multi-application sessions: measure the focused app while other
+// interactive applications share the machine.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/analysis/deadlines.h"
+#include "src/apps/media_player.h"
+#include "src/apps/notepad.h"
+#include "src/apps/word.h"
+#include "src/core/measurement.h"
+#include "src/input/typist.h"
+#include "src/input/workloads.h"
+
+namespace ilat {
+namespace {
+
+// Type in Notepad while a media player runs in another window.
+struct MultiResult {
+  double notepad_mean_ms = 0.0;
+  DeadlineReport media;
+  std::size_t events = 0;
+  std::size_t posted = 0;
+};
+
+MultiResult TypeBesideMedia(bool with_media) {
+  SessionOptions opts;
+  opts.drain_after = SecondsToCycles(3.0);
+  MeasurementSession session(MakeNt40(), opts);
+  session.AttachApp(std::make_unique<NotepadApp>());
+
+  MediaPlayerApp* player = nullptr;
+  if (with_media) {
+    auto media = std::make_unique<MediaPlayerApp>();
+    player = media.get();
+    GuiThread& media_thread = session.AttachBackgroundApp(std::move(media));
+    Message play;
+    play.type = MessageType::kCommand;
+    play.param = kCmdMediaPlay + 400;
+    media_thread.PostMessageToQueue(play);
+  }
+
+  Random rng(3);
+  TypistParams tp;
+  Typist typist(tp, &rng);
+  const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 200)));
+
+  MultiResult out;
+  out.events = r.events.size();
+  out.posted = r.posted.size();
+  double total = 0.0;
+  for (const EventRecord& e : r.events) {
+    total += e.latency_ms();
+  }
+  out.notepad_mean_ms = total / static_cast<double>(r.events.size());
+  if (player != nullptr) {
+    out.media = AnalyzeDeadlines(player->frames(), MediaPlayerParams{}.period());
+  }
+  return out;
+}
+
+TEST(MultitaskingTest, ForegroundEventsStillAllExtracted) {
+  const MultiResult r = TypeBesideMedia(true);
+  EXPECT_EQ(r.events, r.posted);
+  EXPECT_GT(r.events, 150u);
+}
+
+TEST(MultitaskingTest, MediaKeepsPlayingWhileUserTypes) {
+  const MultiResult r = TypeBesideMedia(true);
+  EXPECT_GT(r.media.frames_completed, 300);
+  // Both stay responsive on NT 4.0 (decode bursts are shorter than key
+  // gaps, and the wake boost arbitrates).
+  EXPECT_EQ(r.media.dropped, 0);
+  EXPECT_LT(r.media.miss_rate, 0.05);
+}
+
+TEST(MultitaskingTest, TypingLatencyDegradesOnlyModestly) {
+  const double alone = TypeBesideMedia(false).notepad_mean_ms;
+  const double beside = TypeBesideMedia(true).notepad_mean_ms;
+  EXPECT_GE(beside, alone - 0.01);  // cannot get faster
+  EXPECT_LT(beside, alone * 4.0);   // but stays interactive
+}
+
+TEST(MultitaskingTest, MediaWorkAppearsAsBackgroundNotWait) {
+  // With no input at all, the player's CPU time is background activity in
+  // the think/wait classification.
+  SessionOptions opts;
+  opts.drain_after = SecondsToCycles(1.0);
+  MeasurementSession session(MakeNt40(), opts);
+  session.AttachApp(std::make_unique<NotepadApp>());
+  auto media = std::make_unique<MediaPlayerApp>();
+  GuiThread& media_thread = session.AttachBackgroundApp(std::move(media));
+  Message play;
+  play.type = MessageType::kCommand;
+  play.param = kCmdMediaPlay + 60;
+  media_thread.PostMessageToQueue(play);
+  const SessionResult r = session.RunIdle(SecondsToCycles(3.0));
+  EXPECT_GT(r.user_state_totals[static_cast<int>(UserState::kBackground)],
+            SecondsToCycles(0.3));
+  EXPECT_EQ(r.user_state_totals[static_cast<int>(UserState::kWaitIo)], 0);
+}
+
+TEST(MultitaskingTest, TwoInteractiveAppsCoexist) {
+  // Word spell-checking in the background while the user types in
+  // Notepad: both make progress.
+  SessionOptions opts;
+  opts.drain_after = SecondsToCycles(3.0);
+  MeasurementSession session(MakeNt40(), opts);
+  session.AttachApp(std::make_unique<NotepadApp>());
+  auto word = std::make_unique<WordApp>();
+  WordApp* word_ptr = word.get();
+  GuiThread& word_thread = session.AttachBackgroundApp(std::move(word));
+  // Seed Word with keystrokes so it builds a spell backlog.
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.type = MessageType::kChar;
+    m.param = 'a' + i;
+    word_thread.PostMessageToQueue(m);
+  }
+
+  Random rng(4);
+  TypistParams tp;
+  Typist typist(tp, &rng);
+  const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 120)));
+  EXPECT_EQ(r.events.size(), r.posted.size());
+  // Word's deferred work drained in its own background time.
+  EXPECT_EQ(word_ptr->backlog_ms(), 0.0);
+  EXPECT_GT(word_ptr->background_ms_executed(), 0.0);
+}
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,142 @@
+// Network-packet event measurement (the paper's second event class).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/batch_thread.h"
+#include "src/apps/terminal.h"
+#include "src/core/measurement.h"
+#include "src/analysis/stats.h"
+#include "src/input/network.h"
+
+namespace ilat {
+namespace {
+
+SessionResult RunTraffic(MeasurementSession& session, NetworkTrafficParams params) {
+  NetworkTrafficDriver driver(&session.system(), &session.thread(), params);
+  return session.RunWithDriver(&driver);
+}
+
+TEST(NetworkTrafficTest, EveryPacketBecomesOneEvent) {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<TerminalApp>());
+  NetworkTrafficParams params;
+  params.packets = 50;
+  const SessionResult r = RunTraffic(session, params);
+  EXPECT_EQ(r.events.size(), 50u);
+  for (const EventRecord& e : r.events) {
+    EXPECT_EQ(e.type, MessageType::kSocket);
+    EXPECT_EQ(e.label, "packet");
+    EXPECT_GT(e.latency(), 0);
+  }
+}
+
+TEST(NetworkTrafficTest, PacketLatencyIsSmallAtModestRates) {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<TerminalApp>());
+  NetworkTrafficParams params;
+  params.packets = 100;
+  params.mean_interarrival_ms = 50.0;
+  params.min_bytes = 64;
+  params.max_bytes = 256;  // interactive output: a few lines per packet
+  const SessionResult r = RunTraffic(session, params);
+  SummaryStats lat;
+  for (const EventRecord& e : r.events) {
+    lat.Add(e.latency_ms());
+    EXPECT_LT(e.latency_ms(), 40.0);
+  }
+  EXPECT_LT(lat.mean(), 15.0);
+}
+
+TEST(NetworkTrafficTest, HighRateTrafficQueues) {
+  auto mean_queue_delay = [](double interarrival_ms) {
+    MeasurementSession session(MakeNt40());
+    session.AttachApp(std::make_unique<TerminalApp>());
+    NetworkTrafficParams params;
+    params.packets = 150;
+    params.mean_interarrival_ms = interarrival_ms;
+    params.min_bytes = 1'000;
+    params.max_bytes = 1'460;
+    NetworkTrafficDriver driver(&session.system(), &session.thread(), params);
+    const SessionResult r = session.RunWithDriver(&driver);
+    double total = 0.0;
+    for (const EventRecord& e : r.events) {
+      total += e.queue_delay_ms();
+    }
+    return total / static_cast<double>(r.events.size());
+  };
+  // A flood (packets arriving faster than rendering) queues; a trickle
+  // does not.
+  EXPECT_GT(mean_queue_delay(0.5), 4.0 * mean_queue_delay(50.0));
+}
+
+TEST(NetworkTrafficTest, TerminalRendersAndScrolls) {
+  MeasurementSession session(MakeNt40());
+  auto app = std::make_unique<TerminalApp>();
+  TerminalApp* term = app.get();
+  session.AttachApp(std::move(app));
+  NetworkTrafficParams params;
+  params.packets = 120;
+  params.min_bytes = 400;
+  params.max_bytes = 1'460;
+  RunTraffic(session, params);
+  EXPECT_GT(term->lines_rendered(), 400u);
+  EXPECT_GT(term->scrolls(), 10u);
+}
+
+TEST(NetworkTrafficTest, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    MeasurementSession session(MakeNt40());
+    session.AttachApp(std::make_unique<TerminalApp>());
+    NetworkTrafficParams params;
+    params.packets = 40;
+    params.seed = seed;
+    NetworkTrafficDriver driver(&session.system(), &session.thread(), params);
+    return session.RunWithDriver(&driver);
+  };
+  const SessionResult a = run(9);
+  const SessionResult b = run(9);
+  const SessionResult c = run(10);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].start, b.events[i].start);
+    EXPECT_EQ(a.events[i].busy, b.events[i].busy);
+  }
+  EXPECT_NE(a.events.front().start, c.events.front().start);
+}
+
+TEST(NetworkTrafficTest, BatchLoadInflatesPacketLatencyWithoutBoost) {
+  auto mean_latency = [](int wake_boost, bool with_batch) {
+    OsProfile os = MakeNt40();
+    os.wake_priority_boost = wake_boost;
+    MeasurementSession session(os);
+    session.AttachApp(std::make_unique<TerminalApp>());
+    std::unique_ptr<BatchThread> batch;
+    if (with_batch) {
+      BatchOptions bo;
+      bo.duty_cycle = 0.5;
+      batch = std::make_unique<BatchThread>("job", 10, WorkProfile{}, bo,
+                                            &session.system().sim().queue(),
+                                            &session.system().sim().scheduler());
+      session.system().sim().scheduler().AddThread(batch.get());
+    }
+    NetworkTrafficParams params;
+    params.packets = 80;
+    NetworkTrafficDriver driver(&session.system(), &session.thread(), params);
+    const SessionResult r = session.RunWithDriver(&driver);
+    double total = 0.0;
+    for (const EventRecord& e : r.events) {
+      total += e.latency_ms();
+    }
+    return total / static_cast<double>(r.events.size());
+  };
+  const double baseline = mean_latency(0, false);
+  const double loaded = mean_latency(0, true);
+  const double boosted = mean_latency(2, true);
+  EXPECT_GT(loaded, baseline * 1.3);
+  EXPECT_LT(boosted, baseline * 1.15);
+}
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include "src/os/filesystem.h"
+#include "src/os/personalities.h"
+#include "src/os/system.h"
+#include "src/os/win32.h"
+
+namespace ilat {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Personalities: structural invariants the paper attributes results to.
+
+TEST(PersonalitiesTest, ThreePersonalitiesWithDistinctNames) {
+  const auto all = AllPersonalities();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "nt351");
+  EXPECT_EQ(all[1].name, "nt40");
+  EXPECT_EQ(all[2].name, "win95");
+}
+
+TEST(PersonalitiesTest, Nt351CrossesMoreDomainsThanNt40) {
+  const OsProfile nt351 = MakeNt351();
+  const OsProfile nt40 = MakeNt40();
+  EXPECT_GT(nt351.get_message_crossings, nt40.get_message_crossings);
+  EXPECT_GT(nt351.gui_call_crossings, nt40.gui_call_crossings);
+}
+
+TEST(PersonalitiesTest, Win95Runs16BitGuiCode) {
+  const OsProfile w95 = MakeWin95();
+  const OsProfile nt40 = MakeNt40();
+  EXPECT_GT(w95.gui_code.seg_loads_per_kinstr, 10 * nt40.gui_code.seg_loads_per_kinstr);
+  EXPECT_GT(w95.gui_code.unaligned_per_kinstr, 10 * nt40.gui_code.unaligned_per_kinstr);
+  EXPECT_TRUE(w95.mouse_busy_wait);
+  EXPECT_TRUE(w95.defers_idle_after_events);
+  EXPECT_FALSE(nt40.mouse_busy_wait);
+}
+
+TEST(PersonalitiesTest, Nt40ClockInterruptMatchesPaper) {
+  // Paper §2.5: smallest clock interrupt handling overhead under NT 4.0
+  // was about 400 cycles, every 10 ms.
+  const OsProfile nt40 = MakeNt40();
+  EXPECT_EQ(nt40.clock_isr_cycles, 400);
+  EXPECT_EQ(nt40.clock_period, MillisecondsToCycles(10));
+}
+
+TEST(PersonalitiesTest, Win95HasMoreBackgroundActivity) {
+  double W95Cps = 0, Nt40Cps = 0;
+  for (const auto& t : MakeWin95().background_tasks) {
+    W95Cps += static_cast<double>(t.handler_cycles) / CyclesToSeconds(t.period);
+  }
+  for (const auto& t : MakeNt40().background_tasks) {
+    Nt40Cps += static_cast<double>(t.handler_cycles) / CyclesToSeconds(t.period);
+  }
+  EXPECT_GT(W95Cps, Nt40Cps);
+}
+
+TEST(PersonalitiesTest, SanityOfAllProfiles) {
+  for (const OsProfile& os : AllPersonalities()) {
+    EXPECT_GT(os.clock_period, 0) << os.name;
+    EXPECT_GT(os.app_code.ipc, 0.0) << os.name;
+    EXPECT_GT(os.gui_code.ipc, 0.0) << os.name;
+    EXPECT_GT(os.kernel_code.ipc, 0.0) << os.name;
+    EXPECT_GE(os.get_message_crossings, 0) << os.name;
+    EXPECT_GT(os.disk.transfer_mb_per_s, 0.0) << os.name;
+    EXPECT_GT(os.cache_blocks, 0) << os.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Win32 cost model.
+
+TEST(Win32Test, CrossingWorkIncludesTlbRefill) {
+  const OsProfile os = MakeNt40();
+  HardwareCounters c;
+  Win32Subsystem w(&os, &c);
+  const Work one = w.CrossingWork(1);
+  EXPECT_EQ(one.cycles, os.crossing.TotalCycles());
+  const Work four = w.CrossingWork(4);
+  EXPECT_EQ(four.cycles, 4 * one.cycles);
+}
+
+TEST(Win32Test, ChargeCrossingsAddsTlbMisses) {
+  const OsProfile os = MakeNt40();
+  HardwareCounters c;
+  Win32Subsystem w(&os, &c);
+  w.ChargeCrossings(3);
+  EXPECT_EQ(c.Get(HwEvent::kItlbMiss),
+            static_cast<std::uint64_t>(3 * os.crossing.itlb_refill_misses));
+  EXPECT_EQ(c.Get(HwEvent::kDtlbMiss),
+            static_cast<std::uint64_t>(3 * os.crossing.dtlb_refill_misses));
+}
+
+TEST(Win32Test, GetMessageCostReflectsArchitecture) {
+  HardwareCounters c;
+  const OsProfile nt351 = MakeNt351();
+  const OsProfile nt40 = MakeNt40();
+  Win32Subsystem w351(&nt351, &c);
+  Win32Subsystem w40(&nt40, &c);
+  // NT 3.51's LPC round trip through the user-level server costs more.
+  EXPECT_GT(w351.GetMessageWork().cycles, w40.GetMessageWork().cycles);
+}
+
+TEST(Win32Test, TextMultipliersOrderPerOs) {
+  HardwareCounters c;
+  const OsProfile nt351 = MakeNt351();
+  const OsProfile nt40 = MakeNt40();
+  const OsProfile w95 = MakeWin95();
+  Win32Subsystem s351(&nt351, &c);
+  Win32Subsystem s40(&nt40, &c);
+  Win32Subsystem s95(&w95, &c);
+  const double kinstr = 200.0;
+  // GDI text: W95 fastest (hand-tuned 16-bit), NT 3.51 slowest (server).
+  EXPECT_LT(s95.GuiTextWork(kinstr, 2).cycles, s40.GuiTextWork(kinstr, 2).cycles);
+  EXPECT_LT(s40.GuiTextWork(kinstr, 2).cycles, s351.GuiTextWork(kinstr, 2).cycles);
+  // Complex graphics: NT 4.0 fastest, then W95, then NT 3.51 (Fig. 9).
+  EXPECT_LT(s40.GuiGraphicsWork(kinstr, 2).cycles, s95.GuiGraphicsWork(kinstr, 2).cycles);
+  EXPECT_LT(s95.GuiGraphicsWork(kinstr, 2).cycles, s351.GuiGraphicsWork(kinstr, 2).cycles);
+}
+
+TEST(Win32Test, AppWorkUsesAppProfile) {
+  const OsProfile os = MakeNt40();
+  HardwareCounters c;
+  Win32Subsystem w(&os, &c);
+  const Work work = w.AppWork(100.0);
+  EXPECT_EQ(work.cycles, os.app_code.CyclesForInstructions(100'000.0));
+  EXPECT_DOUBLE_EQ(work.profile.ipc, os.app_code.ipc);
+}
+
+// ---------------------------------------------------------------------------
+// File system.
+
+struct FsFixture {
+  FsFixture() {
+    sys = std::make_unique<SystemUnderTest>(MakeNt40(), 1);
+  }
+  std::unique_ptr<SystemUnderTest> sys;
+};
+
+TEST(FileSystemTest, CreateAndSize) {
+  FsFixture f;
+  const FileId id = f.sys->fs().Create("test.dat", 100'000);
+  EXPECT_EQ(f.sys->fs().SizeOf(id), 100'000);
+  EXPECT_EQ(f.sys->fs().NameOf(id), "test.dat");
+}
+
+TEST(FileSystemTest, FilesDoNotShareBlocks) {
+  FsFixture f;
+  FileSystem& fs = f.sys->fs();
+  const FileId a = fs.Create("a", 8'192);
+  const FileId b = fs.Create("b", 8'192);
+  // Read both fully; all blocks must be distinct (4 misses).
+  bool done_a = false;
+  bool done_b = false;
+  fs.ReadAll(a, [&] { done_a = true; });
+  fs.ReadAll(b, [&] { done_b = true; });
+  f.sys->sim().RunFor(SecondsToCycles(2.0));
+  EXPECT_TRUE(done_a);
+  EXPECT_TRUE(done_b);
+  EXPECT_EQ(f.sys->sim().cache().misses(), 4u);
+}
+
+TEST(FileSystemTest, RereadHitsCache) {
+  FsFixture f;
+  FileSystem& fs = f.sys->fs();
+  const FileId a = fs.Create("a", 64 * 1024);
+  fs.ReadAll(a, [] {});
+  f.sys->sim().RunFor(SecondsToCycles(2.0));
+  const auto misses = f.sys->sim().cache().misses();
+  bool done = false;
+  fs.Read(a, 0, 64 * 1024, [&] { done = true; });
+  f.sys->sim().RunFor(SecondsToCycles(2.0));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.sys->sim().cache().misses(), misses);
+}
+
+TEST(FileSystemTest, WriteCompletesAndCaches) {
+  FsFixture f;
+  FileSystem& fs = f.sys->fs();
+  const FileId a = fs.Create("a", 64 * 1024);
+  bool done = false;
+  fs.Write(a, 0, 16 * 1024, [&] { done = true; });
+  f.sys->sim().RunFor(SecondsToCycles(2.0));
+  EXPECT_TRUE(done);
+  // Re-reading the written range hits the cache.
+  const auto misses = f.sys->sim().cache().misses();
+  fs.Read(a, 0, 16 * 1024, [] {});
+  f.sys->sim().RunFor(SecondsToCycles(2.0));
+  EXPECT_EQ(f.sys->sim().cache().misses(), misses);
+}
+
+TEST(FileSystemTest, ZeroByteReadCompletesInline) {
+  FsFixture f;
+  const FileId a = f.sys->fs().Create("a", 4'096);
+  bool done = false;
+  f.sys->fs().Read(a, 0, 0, [&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+// ---------------------------------------------------------------------------
+// SystemUnderTest.
+
+TEST(SystemUnderTestTest, BootStartsClock) {
+  SystemUnderTest sys(MakeNt40(), 1);
+  sys.Boot();
+  sys.sim().RunFor(SecondsToCycles(1.0));
+  // 100 clock ticks/s plus housekeeping.
+  EXPECT_GE(sys.sim().counters().Get(HwEvent::kInterrupts), 100u);
+}
+
+TEST(SystemUnderTestTest, InputInterruptRunsIsrThenDelivers) {
+  SystemUnderTest sys(MakeNt40(), 1);
+  Cycles delivered_at = -1;
+  sys.RaiseKeyboardInterrupt([&] { delivered_at = sys.sim().now(); });
+  sys.sim().RunFor(MillisecondsToCycles(1));
+  EXPECT_EQ(delivered_at, sys.profile().keyboard_isr_cycles);
+}
+
+}  // namespace
+}  // namespace ilat

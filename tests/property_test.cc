@@ -1,0 +1,220 @@
+// Property-style tests: invariants that must hold across OS personalities,
+// applications, drivers, and seeds (parameterized gtest sweeps).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "src/apps/notepad.h"
+#include "src/apps/word.h"
+#include "src/core/measurement.h"
+#include "src/input/typist.h"
+#include "src/input/workloads.h"
+
+namespace ilat {
+namespace {
+
+struct PropertyParam {
+  const char* os;
+  std::uint64_t seed;
+  DriverKind driver;
+};
+
+OsProfile ProfileByName(const std::string& name) {
+  for (OsProfile& os : AllPersonalities()) {
+    if (os.name == name) {
+      return os;
+    }
+  }
+  ADD_FAILURE() << "unknown OS " << name;
+  return MakeNt40();
+}
+
+class SessionInvariants : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  SessionResult RunNotepad() {
+    SessionOptions opts;
+    opts.driver = GetParam().driver;
+    MeasurementSession session(ProfileByName(GetParam().os), opts);
+    session.AttachApp(std::make_unique<NotepadApp>());
+    Random rng(GetParam().seed);
+    // Shortened Notepad-like workload for test speed.
+    Script s;
+    TypistParams tp;
+    Typist typist(tp, &rng);
+    Script typed = typist.Type(GenerateProse(&rng, 220, 2));
+    s.insert(s.end(), typed.begin(), typed.end());
+    s.push_back(ScriptItem::Key(kVkPageDown, 500.0, "page"));
+    return session.Run(s);
+  }
+};
+
+TEST_P(SessionInvariants, TraceStrictlyIncreasing) {
+  const SessionResult r = RunNotepad();
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    ASSERT_LT(r.trace[i - 1].timestamp, r.trace[i].timestamp);
+  }
+}
+
+TEST_P(SessionInvariants, EveryPostedInputBecomesOneEvent) {
+  const SessionResult r = RunNotepad();
+  EXPECT_EQ(r.events.size(), r.posted.size());
+}
+
+TEST_P(SessionInvariants, LatenciesPositiveAndBounded) {
+  const SessionResult r = RunNotepad();
+  for (const EventRecord& e : r.events) {
+    ASSERT_GT(e.latency(), 0);
+    ASSERT_LE(e.busy, e.wall + r.trace_period);
+    ASSERT_LT(e.latency_ms(), 1'000.0);  // nothing pathological in Notepad
+  }
+}
+
+TEST_P(SessionInvariants, EventWindowsNested) {
+  const SessionResult r = RunNotepad();
+  for (const EventRecord& e : r.events) {
+    ASSERT_LE(e.start, e.end);
+    ASSERT_EQ(e.wall, e.end - e.start);
+  }
+}
+
+TEST_P(SessionInvariants, InferredBusyNeverExceedsGroundTruth) {
+  const SessionResult r = RunNotepad();
+  const BusyProfile busy = r.MakeBusyProfile();
+  // The idle-loop instrument can only see busy time that actually
+  // happened; allow one period of edge slack.
+  EXPECT_LE(busy.TotalBusy(), r.gt_busy_cycles + r.trace_period);
+  // And it should account for almost all of it while the trace covers the
+  // run.
+  EXPECT_GT(busy.TotalBusy(), r.gt_busy_cycles * 8 / 10);
+}
+
+TEST_P(SessionInvariants, UserStateTotalsPartitionTime) {
+  const SessionResult r = RunNotepad();
+  Cycles total = 0;
+  for (Cycles c : r.user_state_totals) {
+    total += c;
+  }
+  EXPECT_EQ(total, r.run_end);
+}
+
+TEST_P(SessionInvariants, FsmIntervalsContiguous) {
+  const SessionResult r = RunNotepad();
+  for (std::size_t i = 1; i < r.user_state_intervals.size(); ++i) {
+    ASSERT_EQ(r.user_state_intervals[i].begin, r.user_state_intervals[i - 1].end);
+    ASSERT_NE(r.user_state_intervals[i].state, r.user_state_intervals[i - 1].state);
+  }
+}
+
+TEST_P(SessionInvariants, CountersMonotoneAndConsistent) {
+  const SessionResult r = RunNotepad();
+  EXPECT_GT(r.counters[HwEvent::kInstructions], 0u);
+  EXPECT_GT(r.counters[HwEvent::kInterrupts], 0u);
+  // Data refs accompany instructions.
+  EXPECT_GT(r.counters[HwEvent::kDataRefs], r.counters[HwEvent::kInstructions] / 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, SessionInvariants,
+    ::testing::Values(
+        PropertyParam{"nt351", 1, DriverKind::kTest},
+        PropertyParam{"nt351", 2, DriverKind::kHuman},
+        PropertyParam{"nt40", 1, DriverKind::kTest},
+        PropertyParam{"nt40", 3, DriverKind::kHuman},
+        PropertyParam{"win95", 1, DriverKind::kTest},
+        PropertyParam{"win95", 4, DriverKind::kHuman},
+        PropertyParam{"nt40", 5, DriverKind::kTestNoSync}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      std::string name = info.param.os;
+      name += "_seed";
+      name += std::to_string(info.param.seed);
+      switch (info.param.driver) {
+        case DriverKind::kTest:
+          name += "_test";
+          break;
+        case DriverKind::kTestNoSync:
+          name += "_nosync";
+          break;
+        case DriverKind::kHuman:
+          name += "_human";
+          break;
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Idle-period sweep: the instrument's resolution/trace-size trade-off
+// (paper §2.3: larger N = coarser accuracy, smaller N = bigger buffer).
+
+class IdlePeriodSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(IdlePeriodSweep, BusyInferenceDegradesGracefully) {
+  const double period_ms = GetParam();
+  SessionOptions opts;
+  opts.idle_period = MillisecondsToCycles(period_ms);
+  MeasurementSession session(MakeNt40(), opts);
+  session.AttachApp(std::make_unique<NotepadApp>());
+  Random rng(9);
+  TypistParams tp;
+  Typist typist(tp, &rng);
+  const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 150)));
+  const BusyProfile busy = r.MakeBusyProfile();
+  // Total inferred busy time is period-independent (gap arithmetic is
+  // exact in aggregate) ...
+  EXPECT_NEAR(static_cast<double>(busy.TotalBusy()),
+              static_cast<double>(r.gt_busy_cycles),
+              static_cast<double>(r.gt_busy_cycles) * 0.2 +
+                  static_cast<double>(opts.idle_period));
+  // ... while trace size shrinks with the period.
+  EXPECT_LT(r.trace.size(), static_cast<std::size_t>(
+                                CyclesToMilliseconds(r.run_end) / period_ms) +
+                                2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, IdlePeriodSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0, 5.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           const int us = static_cast<int>(info.param * 1'000);
+                           return "period_" + std::to_string(us) + "us";
+                         });
+
+// ---------------------------------------------------------------------------
+// Word driver-mode property: Test inflates keystroke latency, manual
+// shifts the same work to background (paper §5.4) -- on both NT systems.
+
+class WordDriverEffect : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(WordDriverEffect, TestDriverInflatesForegroundLatency) {
+  auto run = [&](DriverKind kind) {
+    SessionOptions opts;
+    opts.driver = kind;
+    MeasurementSession session(ProfileByName(GetParam()), opts);
+    auto word = std::make_unique<WordApp>();
+    WordApp* word_ptr = word.get();
+    session.AttachApp(std::move(word));
+    Random rng(21);
+    TypistParams tp;
+    Typist typist(tp, &rng);
+    const SessionResult r = session.Run(typist.Type(GenerateProse(&rng, 260)));
+    double mean = 0.0;
+    int n = 0;
+    for (const EventRecord& e : r.events) {
+      if (e.type == MessageType::kChar && e.param != '\n') {
+        mean += e.latency_ms();
+        ++n;
+      }
+    }
+    return std::pair<double, double>{mean / n, word_ptr->background_ms_executed()};
+  };
+  const auto [test_mean, test_bg] = run(DriverKind::kTest);
+  const auto [human_mean, human_bg] = run(DriverKind::kHuman);
+  EXPECT_GT(test_mean, 2.0 * human_mean);
+  EXPECT_GT(human_bg, test_bg);
+}
+
+INSTANTIATE_TEST_SUITE_P(NtSystems, WordDriverEffect,
+                         ::testing::Values("nt351", "nt40"));
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,195 @@
+// Robustness and edge-case coverage across modules: truncated session
+// files, extractor option interplay, filesystem boundaries, CLI media /
+// terminal paths, and Win32 charge bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "src/apps/media_player.h"
+#include "src/apps/powerpoint.h"
+#include "src/core/measurement.h"
+#include "src/core/session_io.h"
+#include "src/tools/cli.h"
+
+namespace ilat {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// ---------------------------------------------------------------------------
+// Session I/O robustness.
+
+TEST(SessionIoRobustnessTest, TruncatedFilesRejectedAtEveryStage) {
+  // Build a valid file, then truncate it at several byte counts; every
+  // prefix must be rejected cleanly (no crash, false return).
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<PowerpointApp>());
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdPptPageDown, 100.0, "pd"));
+  const SessionResult r = session.Run(s);
+  const std::string path = TempPath("full.ilat");
+  ASSERT_TRUE(SaveSessionResult(path, r));
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string full = buf.str();
+
+  for (std::size_t cut : {std::size_t{5}, full.size() / 10, full.size() / 3,
+                          full.size() / 2, full.size() - 3}) {
+    const std::string tpath = TempPath("truncated.ilat");
+    {
+      std::ofstream out(tpath);
+      out << full.substr(0, cut);
+    }
+    SessionResult loaded;
+    EXPECT_FALSE(LoadSessionResult(tpath, &loaded)) << "cut at " << cut;
+  }
+}
+
+TEST(SessionIoRobustnessTest, WrongVersionRejected) {
+  const std::string path = TempPath("version.ilat");
+  {
+    std::ofstream out(path);
+    out << "ilat-session 999\nmeta 1 0 0 0 0\n";
+  }
+  SessionResult r;
+  EXPECT_FALSE(LoadSessionResult(path, &r));
+}
+
+TEST(SessionIoRobustnessTest, EmptySessionRoundTrips) {
+  SessionResult empty;
+  empty.trace_period = kCyclesPerMillisecond;
+  const std::string path = TempPath("empty.ilat");
+  ASSERT_TRUE(SaveSessionResult(path, empty));
+  SessionResult loaded;
+  ASSERT_TRUE(LoadSessionResult(path, &loaded));
+  EXPECT_TRUE(loaded.events.empty());
+  EXPECT_TRUE(loaded.trace.empty());
+  EXPECT_EQ(loaded.trace_period, kCyclesPerMillisecond);
+}
+
+// ---------------------------------------------------------------------------
+// Extractor option interplay.
+
+TEST(ExtractorOptionsTest, MergeAndIoWaitCompose) {
+  // PowerPoint save: sync I/O wait counted; the merge flag must not
+  // disturb it (there are no timers in the save path).
+  SessionOptions opts;
+  opts.merge_timer_cascades = true;
+  MeasurementSession session(MakeNt40(), opts);
+  session.AttachApp(std::make_unique<PowerpointApp>());
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdPptSave, 100.0, "Save document"));
+  const SessionResult r = session.Run(s);
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_GT(r.events[0].io_wait, 0);
+  EXPECT_GT(r.events[0].latency_ms(), 5'000.0);
+}
+
+// ---------------------------------------------------------------------------
+// FileSystem boundaries.
+
+TEST(FileSystemEdgeTest, ReadAtExactExtentEnd) {
+  SystemUnderTest sys(MakeNt40(), 1);
+  FileSystem& fs = sys.fs();
+  const int bs = fs.block_size();
+  const FileId f = fs.Create("edge", 3 * bs);
+  bool done = false;
+  fs.Read(f, 2 * bs, bs, [&] { done = true; });  // the last block exactly
+  sys.sim().RunFor(SecondsToCycles(1.0));
+  EXPECT_TRUE(done);
+}
+
+TEST(FileSystemEdgeTest, NonBlockAlignedFileSizeRoundsUp) {
+  SystemUnderTest sys(MakeNt40(), 1);
+  FileSystem& fs = sys.fs();
+  const FileId f = fs.Create("odd", 5'000);  // 1.2 blocks
+  bool done = false;
+  fs.ReadAll(f, [&] { done = true; });
+  sys.sim().RunFor(SecondsToCycles(1.0));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sys.sim().cache().misses(), 2u);  // two blocks
+}
+
+// ---------------------------------------------------------------------------
+// CLI: the newer app paths.
+
+std::pair<int, std::string> Capture(const CliOptions& options) {
+  const std::string path = TempPath("cli-robust-out.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  const int rc = RunCli(options, f);
+  std::fclose(f);
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return {rc, out.str()};
+}
+
+TEST(CliAppsTest, TerminalRunsNetworkWorkload) {
+  CliOptions o;
+  o.app = "terminal";
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("| events"), std::string::npos);
+  EXPECT_NE(out.find("200"), std::string::npos);  // default packet count
+}
+
+TEST(CliAppsTest, MediaRunsPlayback) {
+  CliOptions o;
+  o.app = "media";
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  // Playback itself generates no user-input events; the command does.
+  EXPECT_NE(out.find("| events"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Win32 charge bookkeeping.
+
+TEST(Win32ChargeTest, GuiCallsChargeExactMissCounts) {
+  const OsProfile os = MakeNt351();  // 2 crossings per call
+  HardwareCounters c;
+  Win32Subsystem w(&os, &c);
+  w.ChargeGuiCalls(5);
+  EXPECT_EQ(c.Get(HwEvent::kItlbMiss),
+            static_cast<std::uint64_t>(10 * os.crossing.itlb_refill_misses));
+  w.ChargeCrossings(0);
+  w.ChargeCrossings(-3);  // no-ops
+  EXPECT_EQ(c.Get(HwEvent::kItlbMiss),
+            static_cast<std::uint64_t>(10 * os.crossing.itlb_refill_misses));
+}
+
+TEST(Win32ChargeTest, Win95GuiCallsChargeNothing) {
+  const OsProfile os = MakeWin95();  // same-context 16-bit GDI: 0 crossings
+  HardwareCounters c;
+  Win32Subsystem w(&os, &c);
+  w.ChargeGuiCalls(100);
+  EXPECT_EQ(c.Get(HwEvent::kItlbMiss), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Media player edge cases.
+
+TEST(MediaPlayerEdgeTest, ZeroFramesIsANoOp) {
+  SessionOptions opts;
+  opts.drain_after = SecondsToCycles(1.0);
+  MeasurementSession session(MakeNt40(), opts);
+  auto app = std::make_unique<MediaPlayerApp>();
+  MediaPlayerApp* player = app.get();
+  session.AttachApp(std::move(app));
+  Script s;
+  // param == kCmdMediaPlay exactly -> default length; +1 -> one frame.
+  s.push_back(ScriptItem::Command(kCmdMediaPlay + 1, 50.0, "play"));
+  session.Run(s);
+  EXPECT_EQ(player->frames().size(), 1u);
+  EXPECT_FALSE(player->playing());
+}
+
+}  // namespace
+}  // namespace ilat

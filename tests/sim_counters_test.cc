@@ -1,0 +1,102 @@
+#include "src/sim/hardware_counters.h"
+
+#include <gtest/gtest.h>
+
+namespace ilat {
+namespace {
+
+TEST(HardwareCountersTest, NamesAreStable) {
+  EXPECT_EQ(HwEventName(HwEvent::kInstructions), "instructions");
+  EXPECT_EQ(HwEventName(HwEvent::kItlbMiss), "itlb_miss");
+  EXPECT_EQ(HwEventName(HwEvent::kDtlbMiss), "dtlb_miss");
+  EXPECT_EQ(HwEventName(HwEvent::kSegmentLoads), "segment_loads");
+  EXPECT_EQ(HwEventName(HwEvent::kUnalignedAccess), "unaligned_access");
+  EXPECT_EQ(HwEventName(HwEvent::kInterrupts), "interrupts");
+}
+
+TEST(HardwareCountersTest, AddAccumulates) {
+  HardwareCounters c;
+  c.Add(HwEvent::kInterrupts, 3);
+  c.Add(HwEvent::kInterrupts, 4);
+  EXPECT_EQ(c.Get(HwEvent::kInterrupts), 7u);
+}
+
+TEST(HardwareCountersTest, AccrueWorkMatchesRates) {
+  HardwareCounters c;
+  WorkProfile p;
+  p.ipc = 0.5;
+  p.data_refs_per_instr = 0.4;
+  p.itlb_miss_per_kinstr = 2.0;
+  p.dtlb_miss_per_kinstr = 4.0;
+  p.seg_loads_per_kinstr = 10.0;
+  p.unaligned_per_kinstr = 6.0;
+  c.AccrueWork(2'000'000, p);  // 1M instructions
+  EXPECT_EQ(c.Get(HwEvent::kInstructions), 1'000'000u);
+  EXPECT_EQ(c.Get(HwEvent::kDataRefs), 400'000u);
+  EXPECT_EQ(c.Get(HwEvent::kItlbMiss), 2'000u);
+  EXPECT_EQ(c.Get(HwEvent::kDtlbMiss), 4'000u);
+  EXPECT_EQ(c.Get(HwEvent::kSegmentLoads), 10'000u);
+  EXPECT_EQ(c.Get(HwEvent::kUnalignedAccess), 6'000u);
+}
+
+TEST(HardwareCountersTest, ManySmallSlicesLoseNothing) {
+  // Accrual must be exact across fine-grained preemption: this is what the
+  // scheduler does when interrupts slice thread work.
+  HardwareCounters whole;
+  HardwareCounters sliced;
+  WorkProfile p;
+  p.ipc = 0.73;
+  p.data_refs_per_instr = 0.37;
+  p.itlb_miss_per_kinstr = 0.11;
+  p.dtlb_miss_per_kinstr = 0.29;
+  whole.AccrueWork(10'000'000, p);
+  for (int i = 0; i < 10'000; ++i) {
+    sliced.AccrueWork(1'000, p);
+  }
+  for (int e = 0; e < kNumHwEvents; ++e) {
+    const auto ev = static_cast<HwEvent>(e);
+    EXPECT_NEAR(static_cast<double>(whole.Get(ev)), static_cast<double>(sliced.Get(ev)), 1.0)
+        << HwEventName(ev);
+  }
+}
+
+TEST(HardwareCountersTest, SnapshotDeltaIsComponentwise) {
+  HardwareCounters c;
+  c.Add(HwEvent::kInterrupts, 5);
+  const HwCounts before = c.Snapshot();
+  c.Add(HwEvent::kInterrupts, 2);
+  c.Add(HwEvent::kSegmentLoads, 9);
+  const HwCounts delta = c.Snapshot() - before;
+  EXPECT_EQ(delta[HwEvent::kInterrupts], 2u);
+  EXPECT_EQ(delta[HwEvent::kSegmentLoads], 9u);
+  EXPECT_EQ(delta[HwEvent::kInstructions], 0u);
+}
+
+TEST(HardwareCountersTest, ResetClearsEverything) {
+  HardwareCounters c;
+  c.Add(HwEvent::kDataRefs, 10);
+  c.AccrueWork(1'000, WorkProfile{});
+  c.Reset();
+  for (int e = 0; e < kNumHwEvents; ++e) {
+    EXPECT_EQ(c.Get(static_cast<HwEvent>(e)), 0u);
+  }
+}
+
+TEST(WorkProfileTest, CyclesInstructionRoundTrip) {
+  WorkProfile p;
+  p.ipc = 0.8;
+  EXPECT_EQ(p.CyclesForInstructions(800.0), 1'000);
+  EXPECT_DOUBLE_EQ(p.InstructionsForCycles(1'000), 800.0);
+}
+
+TEST(WorkTest, FactoryHelpers) {
+  WorkProfile p;
+  p.ipc = 1.0;
+  const Work w1 = Work::FromInstructions(5'000, p);
+  EXPECT_EQ(w1.cycles, 5'000);
+  const Work w2 = Work::FromMilliseconds(2.0, p);
+  EXPECT_EQ(w2.cycles, MillisecondsToCycles(2.0));
+}
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,176 @@
+#include "src/sim/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/buffer_cache.h"
+
+namespace ilat {
+namespace {
+
+struct DiskFixture {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s{&q, &c};
+  Random rng{1};
+  DiskParams params;
+  Disk MakeDisk() {
+    DiskParams p = params;
+    p.seek_jitter = 0.0;  // deterministic service times for the tests
+    return Disk(&q, &s, &rng, p, Work{1'000, WorkProfile{}});
+  }
+};
+
+TEST(DiskTest, RandomReadCostsSeekPlusRotationPlusTransfer) {
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  Cycles done_at = 0;
+  d.SubmitRead(1'000, 4, [&] { done_at = f.q.now(); });
+  f.s.RunUntil(SecondsToCycles(1.0));
+  // 0.5 ctrl + 10 seek + 5.556 rotation + 16KB/4MBps = 4.096 ms transfer.
+  const double expect_ms = 0.5 + 10.0 + (60'000.0 / 5'400.0) / 2.0 + 16'384.0 / 4.0 / 1'000.0;
+  EXPECT_NEAR(CyclesToMilliseconds(done_at), expect_ms, 0.1);
+  EXPECT_EQ(d.completed_requests(), 1u);
+  EXPECT_EQ(d.blocks_transferred(), 4u);
+}
+
+TEST(DiskTest, SequentialReadSkipsSeekAndRotation) {
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  Cycles first = 0;
+  Cycles second = 0;
+  d.SubmitRead(100, 4, [&] { first = f.q.now(); });
+  d.SubmitRead(104, 4, [&] { second = f.q.now(); });  // starts where head ends
+  f.s.RunUntil(SecondsToCycles(1.0));
+  const double sequential_ms = CyclesToMilliseconds(second - first);
+  // 0.5 ctrl + 2.0 track-to-track + 4.096 transfer.
+  EXPECT_NEAR(sequential_ms, 0.5 + 2.0 + 4.096, 0.1);
+  EXPECT_LT(second - first, first);  // sequential much cheaper than random
+}
+
+TEST(DiskTest, RequestsCompleteFifo) {
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  std::vector<int> order;
+  d.SubmitRead(5'000, 1, [&] { order.push_back(1); });
+  d.SubmitRead(9'000, 1, [&] { order.push_back(2); });
+  d.SubmitWrite(2'000, 1, [&] { order.push_back(3); });
+  f.s.RunUntil(SecondsToCycles(1.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(DiskTest, CompletionRunsThroughInterrupt) {
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  bool done = false;
+  d.SubmitRead(1'000, 1, [&] { done = true; });
+  f.s.RunUntil(SecondsToCycles(1.0));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.c.Get(HwEvent::kInterrupts), 1u);
+  EXPECT_EQ(f.s.interrupt_cycles(), 1'000);
+}
+
+TEST(DiskTest, JitterIsDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    EventQueue q;
+    HardwareCounters c;
+    Scheduler s(&q, &c);
+    Random rng(seed);
+    DiskParams p;
+    Disk d(&q, &s, &rng, p, Work{1'000, WorkProfile{}});
+    Cycles done_at = 0;
+    d.SubmitRead(1'000, 4, [&] { done_at = q.now(); });
+    s.RunUntil(SecondsToCycles(1.0));
+    return done_at;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+// --------------------------------------------------------------------------
+// Buffer cache
+
+struct CacheFixture : DiskFixture {
+  CacheFixture() : disk(MakeDisk()), cache(&disk, &s, 8, Work{500, WorkProfile{}}) {}
+  Disk disk;
+  BufferCache cache;
+};
+
+TEST(BufferCacheTest, MissGoesToDiskThenHits) {
+  CacheFixture f;
+  int done = 0;
+  f.cache.Read(10, 2, [&] { ++done; });
+  f.s.RunUntil(SecondsToCycles(1.0));
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(f.cache.misses(), 2u);
+  EXPECT_EQ(f.disk.completed_requests(), 1u);
+
+  f.cache.Read(10, 2, [&] { ++done; });
+  f.s.RunUntil(SecondsToCycles(2.0));
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(f.cache.hits(), 2u);
+  EXPECT_EQ(f.disk.completed_requests(), 1u);  // no new disk traffic
+}
+
+TEST(BufferCacheTest, FullHitCostsOnlyCopyInterrupt) {
+  CacheFixture f;
+  f.cache.Read(0, 4, [] {});
+  f.s.RunUntil(SecondsToCycles(1.0));
+  const Cycles before = f.q.now();
+  Cycles done_at = 0;
+  f.cache.Read(0, 4, [&] { done_at = f.q.now(); });
+  f.s.RunUntil(SecondsToCycles(2.0));
+  EXPECT_EQ(done_at - before, 500);  // just the copy work
+}
+
+TEST(BufferCacheTest, PartialMissCoalescesRuns) {
+  CacheFixture f;
+  f.cache.Read(2, 2, [] {});  // blocks 2,3 resident
+  f.s.RunUntil(SecondsToCycles(1.0));
+  const auto disk_before = f.disk.completed_requests();
+  bool done = false;
+  f.cache.Read(0, 8, [&] { done = true; });  // misses 0-1 and 4-7: two runs
+  f.s.RunUntil(SecondsToCycles(2.0));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.disk.completed_requests() - disk_before, 2u);
+}
+
+TEST(BufferCacheTest, LruEvictsOldest) {
+  CacheFixture f;  // capacity 8 blocks
+  f.cache.Read(0, 8, [] {});
+  f.s.RunUntil(SecondsToCycles(1.0));
+  EXPECT_TRUE(f.cache.Contains(0));
+  // Touch 0-3 so 4-7 become the LRU victims, then read 4 new blocks.
+  f.cache.Read(0, 4, [] {});
+  f.s.RunUntil(SecondsToCycles(2.0));
+  f.cache.Read(100, 4, [] {});
+  f.s.RunUntil(SecondsToCycles(3.0));
+  EXPECT_TRUE(f.cache.Contains(0));
+  EXPECT_TRUE(f.cache.Contains(3));
+  EXPECT_FALSE(f.cache.Contains(4));
+  EXPECT_FALSE(f.cache.Contains(7));
+  EXPECT_TRUE(f.cache.Contains(100));
+  EXPECT_EQ(f.cache.ResidentBlocks(), 8u);
+}
+
+TEST(BufferCacheTest, WriteThroughPopulatesCache) {
+  CacheFixture f;
+  bool done = false;
+  f.cache.Write(20, 2, [&] { done = true; });
+  f.s.RunUntil(SecondsToCycles(1.0));
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(f.cache.Contains(20));
+  EXPECT_TRUE(f.cache.Contains(21));
+  EXPECT_EQ(f.disk.completed_requests(), 1u);
+}
+
+TEST(BufferCacheTest, ClearDropsEverything) {
+  CacheFixture f;
+  f.cache.Read(0, 4, [] {});
+  f.s.RunUntil(SecondsToCycles(1.0));
+  f.cache.Clear();
+  EXPECT_EQ(f.cache.ResidentBlocks(), 0u);
+  EXPECT_FALSE(f.cache.Contains(0));
+}
+
+}  // namespace
+}  // namespace ilat

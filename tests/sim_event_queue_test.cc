@@ -1,0 +1,114 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ilat {
+namespace {
+
+TEST(EventQueueTest, StartsAtTimeZeroEmpty) {
+  EventQueue q;
+  EXPECT_EQ(q.now(), 0);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.NextEventTime(), kNever);
+}
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(300, [&] { order.push_back(3); });
+  q.ScheduleAt(100, [&] { order.push_back(1); });
+  q.ScheduleAt(200, [&] { order.push_back(2); });
+  q.RunUntil(1'000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 1'000);
+}
+
+TEST(EventQueueTest, TiesFireFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  q.RunUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ClockAdvancesToEachEvent) {
+  EventQueue q;
+  Cycles seen = -1;
+  q.ScheduleAt(42, [&] { seen = q.now(); });
+  q.RunNext();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(q.now(), 42);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));  // double-cancel
+  q.RunUntil(100);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelledEventsSkippedInNextEventTime) {
+  EventQueue q;
+  const auto early = q.ScheduleAt(10, [] {});
+  q.ScheduleAt(20, [] {});
+  q.Cancel(early);
+  EXPECT_EQ(q.NextEventTime(), 20);
+}
+
+TEST(EventQueueTest, CallbackCanScheduleWithinWindow) {
+  EventQueue q;
+  std::vector<Cycles> times;
+  q.ScheduleAt(10, [&] {
+    times.push_back(q.now());
+    q.ScheduleAt(15, [&] { times.push_back(q.now()); });
+  });
+  q.RunUntil(20);
+  EXPECT_EQ(times, (std::vector<Cycles>{10, 15}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  q.ScheduleAt(100, [] {});
+  q.RunNext();
+  Cycles fired_at = 0;
+  q.ScheduleAfter(50, [&] { fired_at = q.now(); });
+  q.RunUntil(200);
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(EventQueueTest, AdvanceToMovesClockWithoutFiring) {
+  EventQueue q;
+  bool fired = false;
+  q.ScheduleAt(500, [&] { fired = true; });
+  q.AdvanceTo(400);
+  EXPECT_EQ(q.now(), 400);
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, FiredCountTracksCallbacks) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) {
+    q.ScheduleAt(i, [] {});
+  }
+  q.RunUntil(10);
+  EXPECT_EQ(q.fired_count(), 7u);
+}
+
+TEST(EventQueueTest, PendingCountExcludesCancelled) {
+  EventQueue q;
+  const auto a = q.ScheduleAt(10, [] {});
+  q.ScheduleAt(20, [] {});
+  q.Cancel(a);
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+}  // namespace
+}  // namespace ilat

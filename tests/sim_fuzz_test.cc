@@ -1,0 +1,195 @@
+// Randomized (fuzz-style) tests: the event queue against a reference
+// model, scheduler time accounting under random load, and the full
+// measurement pipeline on random scripts.  All seeds fixed -- failures
+// reproduce exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/apps/notepad.h"
+#include "src/core/measurement.h"
+#include "src/input/workloads.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+
+namespace ilat {
+namespace {
+
+TEST(EventQueueFuzzTest, MatchesReferenceModelOrder) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Random rng(seed);
+    EventQueue q;
+    // Reference: (time, insertion order) -> id, fired in that order.
+    std::multimap<std::pair<Cycles, int>, int> reference;
+    std::vector<int> fired;
+    std::map<int, EventQueue::EventId> live;
+    int next_tag = 0;
+
+    for (int op = 0; op < 2'000; ++op) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.55) {
+        // Schedule at a random future time.
+        const Cycles when = q.now() + rng.UniformInt(0, 10'000);
+        const int tag = next_tag++;
+        const auto id = q.ScheduleAt(when, [tag, &fired] { fired.push_back(tag); });
+        reference.emplace(std::make_pair(when, tag), tag);
+        live[tag] = id;
+      } else if (dice < 0.7 && !live.empty()) {
+        // Cancel a random live event.
+        auto it = live.begin();
+        std::advance(it, static_cast<long>(rng.UniformInt(
+                             0, static_cast<std::int64_t>(live.size()) - 1)));
+        ASSERT_TRUE(q.Cancel(it->second));
+        for (auto rit = reference.begin(); rit != reference.end(); ++rit) {
+          if (rit->second == it->first) {
+            reference.erase(rit);
+            break;
+          }
+        }
+        live.erase(it);
+      } else if (!q.Empty()) {
+        // Fire the next event.
+        q.RunNext();
+        ASSERT_FALSE(reference.empty());
+        const int expected = reference.begin()->second;
+        reference.erase(reference.begin());
+        live.erase(expected);
+        ASSERT_FALSE(fired.empty());
+        ASSERT_EQ(fired.back(), expected) << "seed " << seed << " op " << op;
+      }
+    }
+
+    // Drain everything; order must match the reference exactly.
+    while (!q.Empty()) {
+      q.RunNext();
+      ASSERT_FALSE(reference.empty());
+      ASSERT_EQ(fired.back(), reference.begin()->second);
+      reference.erase(reference.begin());
+    }
+    EXPECT_TRUE(reference.empty());
+  }
+}
+
+// Thread that randomly computes and blocks; wakes are scheduled externally.
+class ChaosThread : public SimThread {
+ public:
+  ChaosThread(std::string name, int priority, Random* rng, EventQueue* q, Scheduler* s)
+      : SimThread(std::move(name), priority), rng_(rng), queue_(q), scheduler_(s) {}
+
+  ThreadAction NextAction() override {
+    const double dice = rng_->NextDouble();
+    if (dice < 0.6) {
+      return ThreadAction::Compute(Work{rng_->UniformInt(0, 50'000), WorkProfile{}});
+    }
+    if (dice < 0.9) {
+      // Block with a scheduled wake.
+      queue_->ScheduleAfter(rng_->UniformInt(1, 100'000),
+                            [this] { scheduler_->Wake(this); });
+      return ThreadAction::Block();
+    }
+    return ThreadAction::Compute(Work{0, WorkProfile{}});  // zero-cycle action
+  }
+
+ private:
+  Random* rng_;
+  EventQueue* queue_;
+  Scheduler* scheduler_;
+};
+
+class IdleForever : public SimThread {
+ public:
+  IdleForever() : SimThread("idle", 0) {}
+  ThreadAction NextAction() override {
+    return ThreadAction::Compute(Work{kCyclesPerMillisecond, WorkProfile{}});
+  }
+};
+
+TEST(SchedulerFuzzTest, TimeAccountingAlwaysBalances) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Random rng(seed * 77);
+    EventQueue q;
+    HardwareCounters c;
+    Scheduler s(&q, &c);
+
+    IdleForever idle;
+    s.AddThread(&idle);
+    std::vector<std::unique_ptr<ChaosThread>> threads;
+    const int nthreads = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < nthreads; ++i) {
+      threads.push_back(std::make_unique<ChaosThread>(
+          "chaos" + std::to_string(i), static_cast<int>(rng.UniformInt(1, 12)), &rng, &q, &s));
+      s.AddThread(threads.back().get());
+    }
+    // Random interrupts.
+    for (int i = 0; i < 50; ++i) {
+      q.ScheduleAt(rng.UniformInt(0, SecondsToCycles(1.0)), [&s, &rng] {
+        s.QueueInterrupt(Work{rng.UniformInt(100, 20'000), WorkProfile{}});
+      });
+    }
+
+    const Cycles horizon = SecondsToCycles(1.0);
+    s.RunUntil(horizon);
+
+    // With an always-runnable idle thread, every cycle is accounted for.
+    EXPECT_EQ(s.idle_thread_cycles() + s.busy_thread_cycles() + s.interrupt_cycles(), horizon)
+        << "seed " << seed;
+    EXPECT_EQ(q.now(), horizon);
+    EXPECT_EQ(c.Get(HwEvent::kInterrupts), 50u);
+  }
+}
+
+TEST(SessionFuzzTest, RandomScriptsNeverBreakInvariants) {
+  for (std::uint64_t seed = 100; seed < 106; ++seed) {
+    Random rng(seed);
+    Script script;
+    const int n = static_cast<int>(rng.UniformInt(5, 60));
+    for (int i = 0; i < n; ++i) {
+      const double dice = rng.NextDouble();
+      const double pause = rng.Uniform(0.0, 400.0);  // including saturation
+      if (dice < 0.5) {
+        script.push_back(ScriptItem::Char(static_cast<char>(rng.UniformInt('a', 'z')), pause));
+      } else if (dice < 0.7) {
+        script.push_back(ScriptItem::Key(
+            static_cast<int>(rng.UniformInt(kVkPageDown, kVkEnd)), pause));
+      } else if (dice < 0.85) {
+        script.push_back(ScriptItem::Char('\n', pause));
+      } else {
+        script.push_back(ScriptItem::Click(pause, rng.Uniform(30.0, 200.0)));
+      }
+    }
+
+    const auto personalities = AllPersonalities();
+    const OsProfile& os =
+        personalities[static_cast<std::size_t>(rng.UniformInt(0, 2))];
+    SessionOptions opts;
+    opts.driver = rng.Bernoulli(0.5) ? DriverKind::kTest : DriverKind::kHuman;
+    MeasurementSession session(os, opts);
+    session.AttachApp(std::make_unique<NotepadApp>());
+    const SessionResult r = session.Run(script);
+
+    // Invariants.
+    for (std::size_t i = 1; i < r.trace.size(); ++i) {
+      ASSERT_LT(r.trace[i - 1].timestamp, r.trace[i].timestamp);
+    }
+    const BusyProfile busy = r.MakeBusyProfile();
+    ASSERT_LE(busy.TotalBusy(), r.gt_busy_cycles + r.trace_period);
+    for (const EventRecord& e : r.events) {
+      ASSERT_GE(e.latency(), 0) << os.name << " seed " << seed;
+      ASSERT_LE(e.start, e.retrieved);
+      ASSERT_LE(e.retrieved, e.end);
+      ASSERT_LE(e.busy, e.wall + r.trace_period);
+    }
+    Cycles fsm_total = 0;
+    for (Cycles t : r.user_state_totals) {
+      fsm_total += t;
+    }
+    ASSERT_EQ(fsm_total, r.run_end);
+  }
+}
+
+}  // namespace
+}  // namespace ilat

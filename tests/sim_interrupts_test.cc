@@ -1,0 +1,74 @@
+#include "src/sim/interrupts.h"
+
+#include <gtest/gtest.h>
+
+namespace ilat {
+namespace {
+
+struct Fixture {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s{&q, &c};
+};
+
+TEST(PeriodicDeviceTest, TicksAtPeriod) {
+  Fixture f;
+  int ticks = 0;
+  PeriodicDevice dev(&f.q, &f.s, MillisecondsToCycles(10), Work{400, WorkProfile{}},
+                     [&] { ++ticks; });
+  dev.Start();
+  // Run just past the last boundary so the final tick's handler retires.
+  f.s.RunUntil(MillisecondsToCycles(100) + 10'000);
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(dev.ticks(), 10u);
+  EXPECT_EQ(f.c.Get(HwEvent::kInterrupts), 10u);
+}
+
+TEST(PeriodicDeviceTest, TicksAlignToPeriodBoundaries) {
+  Fixture f;
+  std::vector<Cycles> at;
+  PeriodicDevice dev(&f.q, &f.s, MillisecondsToCycles(10), Work{0, WorkProfile{}},
+                     [&] { at.push_back(f.q.now()); });
+  // Start mid-period: first tick should land on the next boundary.
+  f.q.ScheduleAt(MillisecondsToCycles(3), [&] { dev.Start(); });
+  f.s.RunUntil(MillisecondsToCycles(35));
+  ASSERT_GE(at.size(), 3u);
+  EXPECT_EQ(at[0], MillisecondsToCycles(10));
+  EXPECT_EQ(at[1], MillisecondsToCycles(20));
+  EXPECT_EQ(at[2], MillisecondsToCycles(30));
+}
+
+TEST(PeriodicDeviceTest, HandlerWorkStealsCpuTime) {
+  Fixture f;
+  PeriodicDevice dev(&f.q, &f.s, MillisecondsToCycles(10), Work{400, WorkProfile{}});
+  dev.Start();
+  f.s.RunUntil(SecondsToCycles(1.0) + 10'000);
+  // 100 ticks x 400 cycles (the paper's NT 4.0 clock ISR cost).
+  EXPECT_EQ(f.s.interrupt_cycles(), 100 * 400);
+}
+
+TEST(PeriodicDeviceTest, StopCancelsFutureTicks) {
+  Fixture f;
+  int ticks = 0;
+  PeriodicDevice dev(&f.q, &f.s, MillisecondsToCycles(10), Work{0, WorkProfile{}},
+                     [&] { ++ticks; });
+  dev.Start();
+  f.q.ScheduleAt(MillisecondsToCycles(25), [&] { dev.Stop(); });
+  f.s.RunUntil(MillisecondsToCycles(100));
+  EXPECT_EQ(ticks, 2);
+  EXPECT_FALSE(dev.running());
+}
+
+TEST(PeriodicDeviceTest, StartIsIdempotent) {
+  Fixture f;
+  int ticks = 0;
+  PeriodicDevice dev(&f.q, &f.s, MillisecondsToCycles(10), Work{0, WorkProfile{}},
+                     [&] { ++ticks; });
+  dev.Start();
+  dev.Start();
+  f.s.RunUntil(MillisecondsToCycles(30) + 10'000);
+  EXPECT_EQ(ticks, 3);  // not doubled
+}
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,112 @@
+#include "src/sim/message_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ilat {
+namespace {
+
+TEST(MessageQueueTest, PostStampsTimeAndSequence) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  clock.ScheduleAt(123, [] {});
+  clock.RunNext();
+  Message m;
+  m.type = MessageType::kChar;
+  const Message stamped = q.Post(m);
+  EXPECT_EQ(stamped.enqueue_time, 123);
+  EXPECT_EQ(stamped.seq, 1u);
+  const Message second = q.Post(m);
+  EXPECT_EQ(second.seq, 2u);
+}
+
+TEST(MessageQueueTest, FifoOrder) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.type = MessageType::kChar;
+    m.param = i;
+    q.Post(m);
+  }
+  for (int i = 0; i < 5; ++i) {
+    Message out;
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out.param, i);
+  }
+  Message out;
+  EXPECT_FALSE(q.TryPop(&out));
+}
+
+TEST(MessageQueueTest, WakeCallbackFiresOnEveryPost) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  int wakes = 0;
+  q.SetWakeCallback([&] { ++wakes; });
+  Message m;
+  q.Post(m);
+  q.Post(m);
+  EXPECT_EQ(wakes, 2);
+}
+
+TEST(MessageQueueTest, TransitionObserverSeesEdgesOnly) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  std::vector<bool> edges;
+  q.SetTransitionObserver([&](Cycles, bool non_empty) { edges.push_back(non_empty); });
+  Message m;
+  q.Post(m);          // empty -> non-empty
+  q.Post(m);          // still non-empty: no edge
+  Message out;
+  q.TryPop(&out);     // still non-empty
+  q.TryPop(&out);     // -> empty
+  EXPECT_EQ(edges, (std::vector<bool>{true, false}));
+}
+
+TEST(MessageQueueTest, ContainsTypeScansPending) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  Message m;
+  m.type = MessageType::kChar;
+  q.Post(m);
+  EXPECT_TRUE(q.ContainsType(MessageType::kChar));
+  EXPECT_FALSE(q.ContainsType(MessageType::kQueueSync));
+  m.type = MessageType::kQueueSync;
+  q.Post(m);
+  EXPECT_TRUE(q.ContainsType(MessageType::kQueueSync));
+}
+
+TEST(MessageQueueTest, PeekFrontDoesNotRemove) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  Message m;
+  m.type = MessageType::kTimer;
+  q.Post(m);
+  Message peeked;
+  ASSERT_TRUE(q.PeekFront(&peeked));
+  EXPECT_EQ(peeked.type, MessageType::kTimer);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(MessageTest, UserInputClassification) {
+  Message m;
+  for (MessageType t : {MessageType::kKeyDown, MessageType::kChar, MessageType::kMouseDown,
+                        MessageType::kMouseUp, MessageType::kCommand}) {
+    m.type = t;
+    EXPECT_TRUE(m.IsUserInput()) << MessageTypeName(t);
+  }
+  for (MessageType t : {MessageType::kTimer, MessageType::kPaint, MessageType::kQueueSync,
+                        MessageType::kQuit}) {
+    m.type = t;
+    EXPECT_FALSE(m.IsUserInput()) << MessageTypeName(t);
+  }
+}
+
+TEST(MessageTest, TypeNames) {
+  EXPECT_EQ(MessageTypeName(MessageType::kQueueSync), "WM_QUEUESYNC");
+  EXPECT_EQ(MessageTypeName(MessageType::kChar), "WM_CHAR");
+}
+
+}  // namespace
+}  // namespace ilat

@@ -1,0 +1,116 @@
+#include "src/sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ilat {
+namespace {
+
+TEST(RandomTest, DeterministicAcrossInstances) {
+  Random a(123);
+  Random b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, ZeroSeedDoesNotLockUp) {
+  Random r(0);
+  EXPECT_NE(r.NextU64(), 0u);
+  EXPECT_NE(r.NextU64(), r.NextU64());
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, UniformRespectsBounds) {
+  Random r(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = r.Uniform(5.0, 12.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 12.0);
+  }
+}
+
+TEST(RandomTest, UniformIntInclusiveBoundsAndCoverage) {
+  Random r(11);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = r.UniformInt(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    hit_lo |= (v == 3);
+    hit_hi |= (v == 6);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random r(13);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.Gaussian(10.0, 2.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random r(17);
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.Exponential(5.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random r(19);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    hits += r.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RandomTest, SeedResetsSequence) {
+  Random r(23);
+  const std::uint64_t first = r.NextU64();
+  r.NextU64();
+  r.Seed(23);
+  EXPECT_EQ(r.NextU64(), first);
+}
+
+}  // namespace
+}  // namespace ilat

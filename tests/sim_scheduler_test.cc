@@ -1,0 +1,208 @@
+#include "src/sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/hardware_counters.h"
+
+namespace ilat {
+namespace {
+
+// Scripted thread: executes a fixed list of actions.
+class ScriptedThread : public SimThread {
+ public:
+  ScriptedThread(std::string name, int priority) : SimThread(std::move(name), priority) {}
+
+  void Push(ThreadAction a) { actions_.push_back(std::move(a)); }
+
+  ThreadAction NextAction() override {
+    if (next_ >= actions_.size()) {
+      return ThreadAction::Finish();
+    }
+    return actions_[next_++];
+  }
+
+ private:
+  std::vector<ThreadAction> actions_;
+  std::size_t next_ = 0;
+};
+
+Work Ms(double ms) {
+  WorkProfile p;
+  return Work::FromMilliseconds(ms, p);
+}
+
+class RecordingObserver : public CpuObserver {
+ public:
+  void OnCpuBusy(Cycles t) override { transitions.push_back({t, true}); }
+  void OnCpuIdle(Cycles t) override { transitions.push_back({t, false}); }
+  std::vector<std::pair<Cycles, bool>> transitions;
+};
+
+TEST(SchedulerTest, RunsComputeToCompletionAndAdvancesClock) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  ScriptedThread t("t", 5);
+  bool done = false;
+  t.Push(ThreadAction::Compute(Ms(2.0), [&] { done = true; }));
+  s.AddThread(&t);
+  s.RunUntil(MillisecondsToCycles(10));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(q.now(), MillisecondsToCycles(10));
+  EXPECT_EQ(s.busy_thread_cycles(), MillisecondsToCycles(2.0));
+}
+
+TEST(SchedulerTest, HigherPriorityRunsFirst) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  std::vector<int> order;
+  ScriptedThread lo("lo", 1);
+  ScriptedThread hi("hi", 9);
+  lo.Push(ThreadAction::Compute(Ms(1.0), [&] { order.push_back(1); }));
+  hi.Push(ThreadAction::Compute(Ms(1.0), [&] { order.push_back(9); }));
+  s.AddThread(&lo);
+  s.AddThread(&hi);
+  s.RunUntil(MillisecondsToCycles(5));
+  EXPECT_EQ(order, (std::vector<int>{9, 1}));
+}
+
+TEST(SchedulerTest, InterruptWorkPreemptsThreads) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  ScriptedThread t("t", 5);
+  Cycles thread_done_at = 0;
+  t.Push(ThreadAction::Compute(Ms(2.0), [&] { thread_done_at = q.now(); }));
+  s.AddThread(&t);
+  // Interrupt arrives at 1 ms and steals 0.5 ms.
+  Cycles isr_done_at = 0;
+  q.ScheduleAt(MillisecondsToCycles(1.0), [&] {
+    s.QueueInterrupt(Ms(0.5), [&] { isr_done_at = q.now(); });
+  });
+  s.RunUntil(MillisecondsToCycles(10));
+  EXPECT_EQ(isr_done_at, MillisecondsToCycles(1.5));
+  EXPECT_EQ(thread_done_at, MillisecondsToCycles(2.5));  // +0.5 ms stolen
+  EXPECT_EQ(c.Get(HwEvent::kInterrupts), 1u);
+}
+
+TEST(SchedulerTest, BlockedThreadResumesOnWake) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  ScriptedThread t("t", 5);
+  Cycles resumed_at = 0;
+  t.Push(ThreadAction::Block());
+  t.Push(ThreadAction::Compute(Ms(1.0), [&] { resumed_at = q.now(); }));
+  s.AddThread(&t);
+  q.ScheduleAt(MillisecondsToCycles(3.0), [&] { s.Wake(&t); });
+  s.RunUntil(MillisecondsToCycles(10));
+  EXPECT_EQ(resumed_at, MillisecondsToCycles(4.0));
+}
+
+TEST(SchedulerTest, IdleThreadTimeCountsAsIdle) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  ScriptedThread idle("idle", 0);
+  for (int i = 0; i < 100; ++i) {
+    idle.Push(ThreadAction::Compute(Ms(1.0)));
+  }
+  s.AddThread(&idle);
+  s.RunUntil(MillisecondsToCycles(10));
+  EXPECT_EQ(s.idle_thread_cycles(), MillisecondsToCycles(10));
+  EXPECT_EQ(s.busy_thread_cycles(), 0);
+  EXPECT_FALSE(s.cpu_busy());
+}
+
+TEST(SchedulerTest, CpuObserverSeesBusyIdleTransitions) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  RecordingObserver obs;
+  s.AddCpuObserver(&obs);
+  ScriptedThread t("t", 5);
+  t.Push(ThreadAction::Compute(Ms(1.0)));
+  s.AddThread(&t);
+  s.RunUntil(MillisecondsToCycles(5));
+  ASSERT_GE(obs.transitions.size(), 2u);
+  EXPECT_EQ(obs.transitions[0], (std::pair<Cycles, bool>{0, true}));
+  EXPECT_EQ(obs.transitions[1], (std::pair<Cycles, bool>{MillisecondsToCycles(1.0), false}));
+}
+
+TEST(SchedulerTest, PreemptedIdleLoopElongates) {
+  // The core phenomenon behind the paper's methodology: a higher-priority
+  // thread's work elongates the idle thread's pass.
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  ScriptedThread idle("idle", 0);
+  std::vector<Cycles> stamps;
+  for (int i = 0; i < 10; ++i) {
+    idle.Push(ThreadAction::Compute(Ms(1.0), [&] { stamps.push_back(q.now()); }));
+  }
+  s.AddThread(&idle);
+  ScriptedThread busy("busy", 5);
+  s.AddThread(&busy);  // no actions yet: finishes immediately
+  q.ScheduleAt(MillisecondsToCycles(2.5), [&] {
+    s.QueueInterrupt(Ms(3.0));
+  });
+  s.RunUntil(MillisecondsToCycles(20));
+  ASSERT_GE(stamps.size(), 6u);
+  // First two records at 1, 2 ms.  The third is delayed by the 3 ms ISR.
+  EXPECT_EQ(stamps[0], MillisecondsToCycles(1.0));
+  EXPECT_EQ(stamps[1], MillisecondsToCycles(2.0));
+  EXPECT_EQ(stamps[2], MillisecondsToCycles(6.0));  // 3 + 3 stolen
+  EXPECT_EQ(stamps[3], MillisecondsToCycles(7.0));
+}
+
+TEST(SchedulerTest, CountersAccrueFromWorkProfile) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  ScriptedThread t("t", 5);
+  WorkProfile p;
+  p.ipc = 1.0;
+  p.data_refs_per_instr = 0.5;
+  t.Push(ThreadAction::Compute(Work{1'000'000, p}));
+  s.AddThread(&t);
+  s.RunUntil(2'000'000);
+  EXPECT_EQ(c.Get(HwEvent::kInstructions), 1'000'000u);
+  EXPECT_EQ(c.Get(HwEvent::kDataRefs), 500'000u);
+}
+
+TEST(SchedulerTest, EqualPriorityRoundRobinByAction) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  std::vector<char> order;
+  ScriptedThread a("a", 5);
+  ScriptedThread b("b", 5);
+  a.Push(ThreadAction::Compute(Ms(1.0), [&] { order.push_back('a'); }));
+  a.Push(ThreadAction::Compute(Ms(1.0), [&] { order.push_back('a'); }));
+  b.Push(ThreadAction::Compute(Ms(1.0), [&] { order.push_back('b'); }));
+  b.Push(ThreadAction::Compute(Ms(1.0), [&] { order.push_back('b'); }));
+  s.AddThread(&a);
+  s.AddThread(&b);
+  s.RunUntil(MillisecondsToCycles(10));
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'a', 'b'}));
+}
+
+TEST(SchedulerTest, ZeroCycleComputeCompletesImmediately) {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s(&q, &c);
+  ScriptedThread t("t", 5);
+  bool done = false;
+  t.Push(ThreadAction::Compute(Work{0, WorkProfile{}}, [&] { done = true; }));
+  s.AddThread(&t);
+  s.RunUntil(100);
+  EXPECT_TRUE(done);
+}
+
+}  // namespace
+}  // namespace ilat

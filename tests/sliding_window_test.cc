@@ -1,0 +1,73 @@
+#include "src/analysis/sliding_window.h"
+
+#include <gtest/gtest.h>
+
+namespace ilat {
+namespace {
+
+EventRecord Ev(double start_s, double latency_ms) {
+  EventRecord e;
+  e.type = MessageType::kChar;
+  e.start = SecondsToCycles(start_s);
+  e.busy = MillisecondsToCycles(latency_ms);
+  e.end = e.start + e.busy;
+  e.wall = e.busy;
+  return e;
+}
+
+TEST(SlidingWindowTest, EmptyInputsSafe) {
+  EXPECT_TRUE(WindowedLatencyPercentile({}, SecondsToCycles(1), SecondsToCycles(1), 95).empty());
+  EXPECT_TRUE(WindowedEventRate({}, SecondsToCycles(1), SecondsToCycles(1)).empty());
+  EXPECT_TRUE(WindowedLatencyPercentile({Ev(0, 1)}, 0, SecondsToCycles(1), 95).empty());
+}
+
+TEST(SlidingWindowTest, PercentileTracksLocalRegime) {
+  // 10 s of 5 ms events, then 10 s of 50 ms events.
+  std::vector<EventRecord> events;
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(Ev(0.1 * i, 5.0));
+  }
+  for (int i = 0; i < 100; ++i) {
+    events.push_back(Ev(10.0 + 0.1 * i, 50.0));
+  }
+  const auto curve = WindowedLatencyPercentile(events, SecondsToCycles(2.0),
+                                               SecondsToCycles(1.0), 95.0);
+  ASSERT_FALSE(curve.empty());
+  // Early windows see the 5 ms regime, late windows the 50 ms regime.
+  EXPECT_NEAR(curve.front().y, 5.0, 0.5);
+  EXPECT_NEAR(curve.back().y, 50.0, 0.5);
+  // The transition is monotone in between.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].y, curve[i - 1].y - 1e-9);
+  }
+}
+
+TEST(SlidingWindowTest, RateCountsEventsPerSecond) {
+  std::vector<EventRecord> events;
+  for (int i = 0; i < 50; ++i) {
+    events.push_back(Ev(0.1 * i, 1.0));  // 10 events/s for 5 s
+  }
+  const auto rate = WindowedEventRate(events, SecondsToCycles(1.0), SecondsToCycles(1.0));
+  ASSERT_FALSE(rate.empty());
+  for (const CurvePoint& p : rate) {
+    EXPECT_NEAR(p.y, 10.0, 1.1);
+  }
+}
+
+TEST(SlidingWindowTest, WindowsWithoutEventsSkipped) {
+  // Two bursts separated by a 20 s gap.
+  std::vector<EventRecord> events{Ev(0.0, 1), Ev(0.5, 1), Ev(20.0, 1)};
+  const auto rate = WindowedEventRate(events, SecondsToCycles(1.0), SecondsToCycles(1.0));
+  for (const CurvePoint& p : rate) {
+    EXPECT_GT(p.y, 0.0);  // no zero-event windows emitted
+  }
+  // The gap is visible as missing samples between ~2 s and ~20 s.
+  bool has_gap = false;
+  for (std::size_t i = 1; i < rate.size(); ++i) {
+    has_gap |= (rate[i].x - rate[i - 1].x) > 10.0;
+  }
+  EXPECT_TRUE(has_gap);
+}
+
+}  // namespace
+}  // namespace ilat

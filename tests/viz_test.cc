@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/viz/ascii_chart.h"
+#include "src/viz/csv.h"
+#include "src/viz/gnuplot.h"
+#include "src/viz/table.h"
+
+namespace ilat {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// TextTable.
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer-name", "22"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(TextTableTest, MissingCellsRenderEmpty) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_NE(t.ToString().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Num(5.0, 0), "5");
+}
+
+// ---------------------------------------------------------------------------
+// ASCII charts.
+
+TEST(AsciiChartTest, SeriesRendersBars) {
+  std::vector<CurvePoint> pts{{0, 1}, {1, 5}, {2, 2}};
+  ChartOptions opts;
+  opts.title = "demo";
+  opts.width = 30;
+  opts.height = 5;
+  const std::string out = RenderSeries(pts, opts);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("max 5"), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptySeriesSafe) {
+  const std::string out = RenderSeries({}, ChartOptions{});
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(AsciiChartTest, CurveCarriesAcrossGaps) {
+  std::vector<CurvePoint> pts{{0, 6}, {100, 10}};
+  ChartOptions opts;
+  opts.width = 20;
+  opts.height = 4;
+  const std::string curve = RenderCurve(pts, opts);
+  const std::string series = RenderSeries(pts, opts);
+  // The filled curve has strictly more ink than the sparse scatter.
+  auto count_hash = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_GT(count_hash(curve), count_hash(series));
+}
+
+TEST(AsciiChartTest, HistogramShowsCountsAndSkipsEmpty) {
+  Histogram h = Histogram::Linear(10.0, 30.0);
+  h.Add(5.0);
+  h.Add(5.0);
+  h.Add(25.0);
+  ChartOptions opts;
+  const std::string out = RenderHistogram(h, opts);
+  EXPECT_NE(out.find(" 2"), std::string::npos);
+  // Empty bin [10,20) not rendered.
+  EXPECT_EQ(out.find("10-20"), std::string::npos);
+}
+
+TEST(AsciiChartTest, BarsScaleToMax) {
+  std::vector<NamedValue> vals{{"nt351", 2.0}, {"nt40", 1.0}, {"win95", 4.0}};
+  ChartOptions opts;
+  const std::string out = RenderBars(vals, opts);
+  EXPECT_NE(out.find("nt351"), std::string::npos);
+  EXPECT_NE(out.find("win95"), std::string::npos);
+  // The largest bar belongs to win95 (50 hashes).
+  const auto pos = out.find("win95");
+  const auto line_end = out.find('\n', pos);
+  const std::string line = out.substr(pos, line_end - pos);
+  EXPECT_GE(std::count(line.begin(), line.end(), '#'), 49);
+}
+
+// ---------------------------------------------------------------------------
+// CSV.
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = TempPath("t.csv");
+  ASSERT_TRUE(WriteCsv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}}));
+  EXPECT_EQ(Slurp(path), "a,b\n1,2\n3,4\n");
+}
+
+TEST(CsvTest, EventsCsvRoundTrip) {
+  const std::string path = TempPath("events.csv");
+  EventRecord e;
+  e.type = MessageType::kChar;
+  e.start = SecondsToCycles(1.5);
+  e.busy = MillisecondsToCycles(12.5);
+  e.wall = e.busy;
+  e.label = "echo";
+  ASSERT_TRUE(WriteEventsCsv(path, {e}));
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("start_s,latency_ms"), std::string::npos);
+  EXPECT_NE(content.find("1.5,12.5"), std::string::npos);
+  EXPECT_NE(content.find("WM_CHAR,echo"), std::string::npos);
+}
+
+TEST(CsvTest, CurveCsv) {
+  const std::string path = TempPath("curve.csv");
+  ASSERT_TRUE(WriteCurveCsv(path, {{1.0, 2.0}, {3.0, 4.0}}));
+  EXPECT_EQ(Slurp(path), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvTest, FailsOnBadPath) {
+  EXPECT_FALSE(WriteCsv("/nonexistent-dir/x.csv", {"a"}, {}));
+}
+
+// ---------------------------------------------------------------------------
+// gnuplot.
+
+TEST(GnuplotTest, EmitsPlotScript) {
+  const std::string path = TempPath("fig.gp");
+  GnuplotOptions opts;
+  opts.title = "Latency";
+  opts.log_y = true;
+  opts.output_png = "fig.png";
+  ASSERT_TRUE(WriteGnuplotScript(
+      path, {{"a.csv", "nt40", "with impulses", 1, 2}, {"b.csv", "w95", "with lines", 1, 2}},
+      opts));
+  const std::string content = Slurp(path);
+  EXPECT_NE(content.find("set logscale y"), std::string::npos);
+  EXPECT_NE(content.find("'a.csv' using 1:2"), std::string::npos);
+  EXPECT_NE(content.find("title 'w95'"), std::string::npos);
+  EXPECT_NE(content.find("set output 'fig.png'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ilat
