@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_background_load.dir/ablation_background_load.cc.o"
+  "CMakeFiles/ablation_background_load.dir/ablation_background_load.cc.o.d"
+  "ablation_background_load"
+  "ablation_background_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_background_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

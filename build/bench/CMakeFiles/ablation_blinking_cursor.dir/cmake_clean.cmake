@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_blinking_cursor.dir/ablation_blinking_cursor.cc.o"
+  "CMakeFiles/ablation_blinking_cursor.dir/ablation_blinking_cursor.cc.o.d"
+  "ablation_blinking_cursor"
+  "ablation_blinking_cursor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_blinking_cursor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

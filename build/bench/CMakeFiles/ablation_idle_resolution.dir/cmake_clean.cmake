@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idle_resolution.dir/ablation_idle_resolution.cc.o"
+  "CMakeFiles/ablation_idle_resolution.dir/ablation_idle_resolution.cc.o.d"
+  "ablation_idle_resolution"
+  "ablation_idle_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_queuesync.dir/ablation_queuesync.cc.o"
+  "CMakeFiles/ablation_queuesync.dir/ablation_queuesync.cc.o.d"
+  "ablation_queuesync"
+  "ablation_queuesync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_queuesync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tlb_flush.dir/ablation_tlb_flush.cc.o"
+  "CMakeFiles/ablation_tlb_flush.dir/ablation_tlb_flush.cc.o.d"
+  "ablation_tlb_flush"
+  "ablation_tlb_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tlb_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

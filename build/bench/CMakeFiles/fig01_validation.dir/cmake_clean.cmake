@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_validation.dir/fig01_validation.cc.o"
+  "CMakeFiles/fig01_validation.dir/fig01_validation.cc.o.d"
+  "fig01_validation"
+  "fig01_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

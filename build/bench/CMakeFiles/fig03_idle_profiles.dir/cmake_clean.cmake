@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_idle_profiles.dir/fig03_idle_profiles.cc.o"
+  "CMakeFiles/fig03_idle_profiles.dir/fig03_idle_profiles.cc.o.d"
+  "fig03_idle_profiles"
+  "fig03_idle_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_idle_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_window_maximize.dir/fig04_window_maximize.cc.o"
+  "CMakeFiles/fig04_window_maximize.dir/fig04_window_maximize.cc.o.d"
+  "fig04_window_maximize"
+  "fig04_window_maximize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_window_maximize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_window_maximize.
+# This may be replaced when dependencies are built.

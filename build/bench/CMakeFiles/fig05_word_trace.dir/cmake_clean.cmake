@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_word_trace.dir/fig05_word_trace.cc.o"
+  "CMakeFiles/fig05_word_trace.dir/fig05_word_trace.cc.o.d"
+  "fig05_word_trace"
+  "fig05_word_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_word_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

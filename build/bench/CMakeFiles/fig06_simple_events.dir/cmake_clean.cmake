@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_simple_events.dir/fig06_simple_events.cc.o"
+  "CMakeFiles/fig06_simple_events.dir/fig06_simple_events.cc.o.d"
+  "fig06_simple_events"
+  "fig06_simple_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_simple_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

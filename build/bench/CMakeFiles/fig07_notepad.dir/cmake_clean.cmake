@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_notepad.dir/fig07_notepad.cc.o"
+  "CMakeFiles/fig07_notepad.dir/fig07_notepad.cc.o.d"
+  "fig07_notepad"
+  "fig07_notepad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_notepad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_powerpoint.dir/fig08_powerpoint.cc.o"
+  "CMakeFiles/fig08_powerpoint.dir/fig08_powerpoint.cc.o.d"
+  "fig08_powerpoint"
+  "fig08_powerpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_powerpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

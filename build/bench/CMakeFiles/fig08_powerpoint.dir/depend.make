@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_powerpoint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pagedown_counters.dir/fig09_pagedown_counters.cc.o"
+  "CMakeFiles/fig09_pagedown_counters.dir/fig09_pagedown_counters.cc.o.d"
+  "fig09_pagedown_counters"
+  "fig09_pagedown_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pagedown_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

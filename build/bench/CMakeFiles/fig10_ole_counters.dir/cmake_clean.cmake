@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_ole_counters.dir/fig10_ole_counters.cc.o"
+  "CMakeFiles/fig10_ole_counters.dir/fig10_ole_counters.cc.o.d"
+  "fig10_ole_counters"
+  "fig10_ole_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_ole_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

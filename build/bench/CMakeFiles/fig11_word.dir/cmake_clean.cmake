@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_word.dir/fig11_word.cc.o"
+  "CMakeFiles/fig11_word.dir/fig11_word.cc.o.d"
+  "fig11_word"
+  "fig11_word.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_word.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

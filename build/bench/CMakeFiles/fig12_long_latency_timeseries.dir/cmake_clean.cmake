@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_long_latency_timeseries.dir/fig12_long_latency_timeseries.cc.o"
+  "CMakeFiles/fig12_long_latency_timeseries.dir/fig12_long_latency_timeseries.cc.o.d"
+  "fig12_long_latency_timeseries"
+  "fig12_long_latency_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_long_latency_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

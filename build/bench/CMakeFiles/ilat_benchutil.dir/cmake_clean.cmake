@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libilat_benchutil.a"
+  "../lib/libilat_benchutil.pdb"
+  "CMakeFiles/ilat_benchutil.dir/bench_util.cc.o"
+  "CMakeFiles/ilat_benchutil.dir/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

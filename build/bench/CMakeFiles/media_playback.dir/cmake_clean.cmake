@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_playback.dir/media_playback.cc.o"
+  "CMakeFiles/media_playback.dir/media_playback.cc.o.d"
+  "media_playback"
+  "media_playback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_playback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_events.dir/network_events.cc.o"
+  "CMakeFiles/network_events.dir/network_events.cc.o.d"
+  "network_events"
+  "network_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

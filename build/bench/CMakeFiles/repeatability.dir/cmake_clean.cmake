@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repeatability.dir/repeatability.cc.o"
+  "CMakeFiles/repeatability.dir/repeatability.cc.o.d"
+  "repeatability"
+  "repeatability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repeatability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_test_vs_human.dir/sec54_test_vs_human.cc.o"
+  "CMakeFiles/sec54_test_vs_human.dir/sec54_test_vs_human.cc.o.d"
+  "sec54_test_vs_human"
+  "sec54_test_vs_human.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_test_vs_human.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec54_test_vs_human.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_interarrival.dir/table2_interarrival.cc.o"
+  "CMakeFiles/table2_interarrival.dir/table2_interarrival.cc.o.d"
+  "table2_interarrival"
+  "table2_interarrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_interarrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_smoothness.dir/media_smoothness.cpp.o"
+  "CMakeFiles/media_smoothness.dir/media_smoothness.cpp.o.d"
+  "media_smoothness"
+  "media_smoothness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_smoothness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/think_wait_demo.dir/think_wait_demo.cpp.o"
+  "CMakeFiles/think_wait_demo.dir/think_wait_demo.cpp.o.d"
+  "think_wait_demo"
+  "think_wait_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/think_wait_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classifier.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/classifier.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/classifier.cc.o.d"
+  "/root/repo/src/analysis/cumulative.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/cumulative.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/cumulative.cc.o.d"
+  "/root/repo/src/analysis/deadlines.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/deadlines.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/deadlines.cc.o.d"
+  "/root/repo/src/analysis/histogram.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/histogram.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/histogram.cc.o.d"
+  "/root/repo/src/analysis/interarrival.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/interarrival.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/interarrival.cc.o.d"
+  "/root/repo/src/analysis/irritation.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/irritation.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/irritation.cc.o.d"
+  "/root/repo/src/analysis/responsiveness.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/responsiveness.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/responsiveness.cc.o.d"
+  "/root/repo/src/analysis/sliding_window.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/sliding_window.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/sliding_window.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/analysis/CMakeFiles/ilat_analysis.dir/stats.cc.o" "gcc" "src/analysis/CMakeFiles/ilat_analysis.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ilat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/ilat_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ilat_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ilat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

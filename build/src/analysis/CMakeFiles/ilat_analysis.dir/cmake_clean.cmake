@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat_analysis.dir/classifier.cc.o"
+  "CMakeFiles/ilat_analysis.dir/classifier.cc.o.d"
+  "CMakeFiles/ilat_analysis.dir/cumulative.cc.o"
+  "CMakeFiles/ilat_analysis.dir/cumulative.cc.o.d"
+  "CMakeFiles/ilat_analysis.dir/deadlines.cc.o"
+  "CMakeFiles/ilat_analysis.dir/deadlines.cc.o.d"
+  "CMakeFiles/ilat_analysis.dir/histogram.cc.o"
+  "CMakeFiles/ilat_analysis.dir/histogram.cc.o.d"
+  "CMakeFiles/ilat_analysis.dir/interarrival.cc.o"
+  "CMakeFiles/ilat_analysis.dir/interarrival.cc.o.d"
+  "CMakeFiles/ilat_analysis.dir/irritation.cc.o"
+  "CMakeFiles/ilat_analysis.dir/irritation.cc.o.d"
+  "CMakeFiles/ilat_analysis.dir/responsiveness.cc.o"
+  "CMakeFiles/ilat_analysis.dir/responsiveness.cc.o.d"
+  "CMakeFiles/ilat_analysis.dir/sliding_window.cc.o"
+  "CMakeFiles/ilat_analysis.dir/sliding_window.cc.o.d"
+  "CMakeFiles/ilat_analysis.dir/stats.cc.o"
+  "CMakeFiles/ilat_analysis.dir/stats.cc.o.d"
+  "libilat_analysis.a"
+  "libilat_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

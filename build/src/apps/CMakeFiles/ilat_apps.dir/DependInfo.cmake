@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/application.cc" "src/apps/CMakeFiles/ilat_apps.dir/application.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/application.cc.o.d"
+  "/root/repo/src/apps/desktop.cc" "src/apps/CMakeFiles/ilat_apps.dir/desktop.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/desktop.cc.o.d"
+  "/root/repo/src/apps/echo_app.cc" "src/apps/CMakeFiles/ilat_apps.dir/echo_app.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/echo_app.cc.o.d"
+  "/root/repo/src/apps/media_player.cc" "src/apps/CMakeFiles/ilat_apps.dir/media_player.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/media_player.cc.o.d"
+  "/root/repo/src/apps/notepad.cc" "src/apps/CMakeFiles/ilat_apps.dir/notepad.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/notepad.cc.o.d"
+  "/root/repo/src/apps/powerpoint.cc" "src/apps/CMakeFiles/ilat_apps.dir/powerpoint.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/powerpoint.cc.o.d"
+  "/root/repo/src/apps/terminal.cc" "src/apps/CMakeFiles/ilat_apps.dir/terminal.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/terminal.cc.o.d"
+  "/root/repo/src/apps/window_manager.cc" "src/apps/CMakeFiles/ilat_apps.dir/window_manager.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/window_manager.cc.o.d"
+  "/root/repo/src/apps/word.cc" "src/apps/CMakeFiles/ilat_apps.dir/word.cc.o" "gcc" "src/apps/CMakeFiles/ilat_apps.dir/word.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/ilat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

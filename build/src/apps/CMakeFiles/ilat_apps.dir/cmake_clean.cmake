@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat_apps.dir/application.cc.o"
+  "CMakeFiles/ilat_apps.dir/application.cc.o.d"
+  "CMakeFiles/ilat_apps.dir/desktop.cc.o"
+  "CMakeFiles/ilat_apps.dir/desktop.cc.o.d"
+  "CMakeFiles/ilat_apps.dir/echo_app.cc.o"
+  "CMakeFiles/ilat_apps.dir/echo_app.cc.o.d"
+  "CMakeFiles/ilat_apps.dir/media_player.cc.o"
+  "CMakeFiles/ilat_apps.dir/media_player.cc.o.d"
+  "CMakeFiles/ilat_apps.dir/notepad.cc.o"
+  "CMakeFiles/ilat_apps.dir/notepad.cc.o.d"
+  "CMakeFiles/ilat_apps.dir/powerpoint.cc.o"
+  "CMakeFiles/ilat_apps.dir/powerpoint.cc.o.d"
+  "CMakeFiles/ilat_apps.dir/terminal.cc.o"
+  "CMakeFiles/ilat_apps.dir/terminal.cc.o.d"
+  "CMakeFiles/ilat_apps.dir/window_manager.cc.o"
+  "CMakeFiles/ilat_apps.dir/window_manager.cc.o.d"
+  "CMakeFiles/ilat_apps.dir/word.cc.o"
+  "CMakeFiles/ilat_apps.dir/word.cc.o.d"
+  "libilat_apps.a"
+  "libilat_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

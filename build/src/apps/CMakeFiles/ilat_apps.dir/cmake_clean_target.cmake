@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libilat_apps.a"
+)

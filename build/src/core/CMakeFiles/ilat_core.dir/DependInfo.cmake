@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/busy_profile.cc" "src/core/CMakeFiles/ilat_core.dir/busy_profile.cc.o" "gcc" "src/core/CMakeFiles/ilat_core.dir/busy_profile.cc.o.d"
+  "/root/repo/src/core/event_extractor.cc" "src/core/CMakeFiles/ilat_core.dir/event_extractor.cc.o" "gcc" "src/core/CMakeFiles/ilat_core.dir/event_extractor.cc.o.d"
+  "/root/repo/src/core/measurement.cc" "src/core/CMakeFiles/ilat_core.dir/measurement.cc.o" "gcc" "src/core/CMakeFiles/ilat_core.dir/measurement.cc.o.d"
+  "/root/repo/src/core/session_io.cc" "src/core/CMakeFiles/ilat_core.dir/session_io.cc.o" "gcc" "src/core/CMakeFiles/ilat_core.dir/session_io.cc.o.d"
+  "/root/repo/src/core/think_wait_fsm.cc" "src/core/CMakeFiles/ilat_core.dir/think_wait_fsm.cc.o" "gcc" "src/core/CMakeFiles/ilat_core.dir/think_wait_fsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ilat_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/ilat_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ilat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat_core.dir/busy_profile.cc.o"
+  "CMakeFiles/ilat_core.dir/busy_profile.cc.o.d"
+  "CMakeFiles/ilat_core.dir/event_extractor.cc.o"
+  "CMakeFiles/ilat_core.dir/event_extractor.cc.o.d"
+  "CMakeFiles/ilat_core.dir/measurement.cc.o"
+  "CMakeFiles/ilat_core.dir/measurement.cc.o.d"
+  "CMakeFiles/ilat_core.dir/session_io.cc.o"
+  "CMakeFiles/ilat_core.dir/session_io.cc.o.d"
+  "CMakeFiles/ilat_core.dir/think_wait_fsm.cc.o"
+  "CMakeFiles/ilat_core.dir/think_wait_fsm.cc.o.d"
+  "libilat_core.a"
+  "libilat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

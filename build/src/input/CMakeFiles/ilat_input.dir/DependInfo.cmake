@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/input/driver.cc" "src/input/CMakeFiles/ilat_input.dir/driver.cc.o" "gcc" "src/input/CMakeFiles/ilat_input.dir/driver.cc.o.d"
+  "/root/repo/src/input/network.cc" "src/input/CMakeFiles/ilat_input.dir/network.cc.o" "gcc" "src/input/CMakeFiles/ilat_input.dir/network.cc.o.d"
+  "/root/repo/src/input/typist.cc" "src/input/CMakeFiles/ilat_input.dir/typist.cc.o" "gcc" "src/input/CMakeFiles/ilat_input.dir/typist.cc.o.d"
+  "/root/repo/src/input/workloads.cc" "src/input/CMakeFiles/ilat_input.dir/workloads.cc.o" "gcc" "src/input/CMakeFiles/ilat_input.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ilat_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ilat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat_input.dir/driver.cc.o"
+  "CMakeFiles/ilat_input.dir/driver.cc.o.d"
+  "CMakeFiles/ilat_input.dir/network.cc.o"
+  "CMakeFiles/ilat_input.dir/network.cc.o.d"
+  "CMakeFiles/ilat_input.dir/typist.cc.o"
+  "CMakeFiles/ilat_input.dir/typist.cc.o.d"
+  "CMakeFiles/ilat_input.dir/workloads.cc.o"
+  "CMakeFiles/ilat_input.dir/workloads.cc.o.d"
+  "libilat_input.a"
+  "libilat_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

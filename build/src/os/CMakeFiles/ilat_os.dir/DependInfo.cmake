@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/filesystem.cc" "src/os/CMakeFiles/ilat_os.dir/filesystem.cc.o" "gcc" "src/os/CMakeFiles/ilat_os.dir/filesystem.cc.o.d"
+  "/root/repo/src/os/personalities.cc" "src/os/CMakeFiles/ilat_os.dir/personalities.cc.o" "gcc" "src/os/CMakeFiles/ilat_os.dir/personalities.cc.o.d"
+  "/root/repo/src/os/system.cc" "src/os/CMakeFiles/ilat_os.dir/system.cc.o" "gcc" "src/os/CMakeFiles/ilat_os.dir/system.cc.o.d"
+  "/root/repo/src/os/win32.cc" "src/os/CMakeFiles/ilat_os.dir/win32.cc.o" "gcc" "src/os/CMakeFiles/ilat_os.dir/win32.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ilat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

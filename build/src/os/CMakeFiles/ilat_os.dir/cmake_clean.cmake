@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat_os.dir/filesystem.cc.o"
+  "CMakeFiles/ilat_os.dir/filesystem.cc.o.d"
+  "CMakeFiles/ilat_os.dir/personalities.cc.o"
+  "CMakeFiles/ilat_os.dir/personalities.cc.o.d"
+  "CMakeFiles/ilat_os.dir/system.cc.o"
+  "CMakeFiles/ilat_os.dir/system.cc.o.d"
+  "CMakeFiles/ilat_os.dir/win32.cc.o"
+  "CMakeFiles/ilat_os.dir/win32.cc.o.d"
+  "libilat_os.a"
+  "libilat_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/buffer_cache.cc" "src/sim/CMakeFiles/ilat_sim.dir/buffer_cache.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/sim/disk.cc" "src/sim/CMakeFiles/ilat_sim.dir/disk.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/disk.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/ilat_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/hardware_counters.cc" "src/sim/CMakeFiles/ilat_sim.dir/hardware_counters.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/hardware_counters.cc.o.d"
+  "/root/repo/src/sim/interrupts.cc" "src/sim/CMakeFiles/ilat_sim.dir/interrupts.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/interrupts.cc.o.d"
+  "/root/repo/src/sim/message.cc" "src/sim/CMakeFiles/ilat_sim.dir/message.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/message.cc.o.d"
+  "/root/repo/src/sim/message_queue.cc" "src/sim/CMakeFiles/ilat_sim.dir/message_queue.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/message_queue.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/sim/CMakeFiles/ilat_sim.dir/random.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/random.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/ilat_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/sim/CMakeFiles/ilat_sim.dir/simulation.cc.o" "gcc" "src/sim/CMakeFiles/ilat_sim.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

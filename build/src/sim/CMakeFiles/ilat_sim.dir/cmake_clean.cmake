@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat_sim.dir/buffer_cache.cc.o"
+  "CMakeFiles/ilat_sim.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/disk.cc.o"
+  "CMakeFiles/ilat_sim.dir/disk.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ilat_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/hardware_counters.cc.o"
+  "CMakeFiles/ilat_sim.dir/hardware_counters.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/interrupts.cc.o"
+  "CMakeFiles/ilat_sim.dir/interrupts.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/message.cc.o"
+  "CMakeFiles/ilat_sim.dir/message.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/message_queue.cc.o"
+  "CMakeFiles/ilat_sim.dir/message_queue.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/random.cc.o"
+  "CMakeFiles/ilat_sim.dir/random.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/scheduler.cc.o"
+  "CMakeFiles/ilat_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/ilat_sim.dir/simulation.cc.o"
+  "CMakeFiles/ilat_sim.dir/simulation.cc.o.d"
+  "libilat_sim.a"
+  "libilat_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

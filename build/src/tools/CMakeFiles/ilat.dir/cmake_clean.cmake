@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat.dir/ilat_main.cc.o"
+  "CMakeFiles/ilat.dir/ilat_main.cc.o.d"
+  "ilat"
+  "ilat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

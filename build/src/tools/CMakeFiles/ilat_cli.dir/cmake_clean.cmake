@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat_cli.dir/cli.cc.o"
+  "CMakeFiles/ilat_cli.dir/cli.cc.o.d"
+  "libilat_cli.a"
+  "libilat_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilat_viz.dir/ascii_chart.cc.o"
+  "CMakeFiles/ilat_viz.dir/ascii_chart.cc.o.d"
+  "CMakeFiles/ilat_viz.dir/csv.cc.o"
+  "CMakeFiles/ilat_viz.dir/csv.cc.o.d"
+  "CMakeFiles/ilat_viz.dir/gnuplot.cc.o"
+  "CMakeFiles/ilat_viz.dir/gnuplot.cc.o.d"
+  "CMakeFiles/ilat_viz.dir/table.cc.o"
+  "CMakeFiles/ilat_viz.dir/table.cc.o.d"
+  "libilat_viz.a"
+  "libilat_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilat_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libilat_viz.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_thread_test.dir/batch_thread_test.cc.o"
+  "CMakeFiles/batch_thread_test.dir/batch_thread_test.cc.o.d"
+  "batch_thread_test"
+  "batch_thread_test.pdb"
+  "batch_thread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/cli_test.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/cli_test.dir/cli_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tools/CMakeFiles/ilat_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/ilat_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ilat_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ilat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/ilat_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ilat_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/ilat_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ilat_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fsm_test.dir/core_fsm_test.cc.o"
+  "CMakeFiles/core_fsm_test.dir/core_fsm_test.cc.o.d"
+  "core_fsm_test"
+  "core_fsm_test.pdb"
+  "core_fsm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fsm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_measurement_test.dir/core_measurement_test.cc.o"
+  "CMakeFiles/core_measurement_test.dir/core_measurement_test.cc.o.d"
+  "core_measurement_test"
+  "core_measurement_test.pdb"
+  "core_measurement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_measurement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitasking_test.dir/multitasking_test.cc.o"
+  "CMakeFiles/multitasking_test.dir/multitasking_test.cc.o.d"
+  "multitasking_test"
+  "multitasking_test.pdb"
+  "multitasking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitasking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

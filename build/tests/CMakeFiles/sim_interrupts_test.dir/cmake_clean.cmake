@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_interrupts_test.dir/sim_interrupts_test.cc.o"
+  "CMakeFiles/sim_interrupts_test.dir/sim_interrupts_test.cc.o.d"
+  "sim_interrupts_test"
+  "sim_interrupts_test.pdb"
+  "sim_interrupts_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_interrupts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_counters_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_message_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_interrupts_test[1]_include.cmake")
+include("/root/repo/build/tests/os_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_application_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_models_test[1]_include.cmake")
+include("/root/repo/build/tests/input_test[1]_include.cmake")
+include("/root/repo/build/tests/core_busy_profile_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fsm_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extractor_test[1]_include.cmake")
+include("/root/repo/build/tests/core_measurement_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/core_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/batching_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_thread_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/network_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/sliding_window_test[1]_include.cmake")
+include("/root/repo/build/tests/multitasking_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
