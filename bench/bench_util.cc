@@ -70,6 +70,19 @@ void PrintLatencySummary(const std::string& stem, const std::string& os_name,
   WriteEventsCsv(base + "-events.csv", events);
   WriteCurveCsv(base + "-cumlat.csv", by_latency);
   WriteCurveCsv(base + "-cumcount.csv", by_count);
+  if (!result.metrics_json.empty()) {
+    std::FILE* f = std::fopen((base + "-metrics.json").c_str(), "wb");
+    if (f != nullptr) {
+      std::fputs(result.metrics_json.c_str(), f);
+      std::fclose(f);
+    }
+    std::printf(
+        "metrics: ctx-switches %.0f, interrupts %.0f, messages %.0f, idle gaps %.0f "
+        "(snapshot -> %s-metrics.json)\n",
+        result.metrics.Get("sched.context_switches"), result.metrics.Get("sched.interrupts"),
+        result.metrics.Get("app.messages_handled"), result.metrics.Get("idle.gaps"),
+        base.c_str());
+  }
   WriteGnuplotScript(base + ".gp",
                      {{base + "-events.csv", os_name + " events", "with impulses", 1, 2}},
                      GnuplotOptions{stem + " (" + os_name + ")", "time (s)", "latency (ms)",

@@ -13,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "src/apps/notepad.h"
+#include "src/viz/explain.h"
 
 namespace ilat {
 namespace {
@@ -26,9 +27,20 @@ void Run() {
 
   for (const OsProfile& os : AllPersonalities()) {
     Random rng(42);  // identical script on every system
+    SessionOptions sopts;
+    sopts.collect_trace = true;  // feeds the explain-latency report below
     const SessionResult r = RunWorkload(os, std::make_unique<NotepadApp>(),
-                                        NotepadWorkload(&rng), DriverKind::kTest);
+                                        NotepadWorkload(&rng), DriverKind::kTest, sopts);
     PrintLatencySummary("fig07", os.name, r);
+
+    if (os.name == "nt40" && r.trace_data != nullptr) {
+      ExplainOptions xopts;
+      xopts.threshold_ms = 25.0;  // catch the >=28 ms refresh events
+      xopts.top_n = 4;
+      xopts.max_events = 3;
+      std::printf("\nexplain (slowest nt40 events, from the structured trace):\n%s",
+                  ExplainLatencyReport(r.events, *r.trace_data, xopts).c_str());
+    }
 
     const SummaryStats chars = StatsWhere(r, [](const EventRecord& e) {
       return e.type == MessageType::kChar && e.param != '\n';

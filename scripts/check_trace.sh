@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Smoke-test the observability pipeline: run the CLI with trace + metrics
+# export and validate both files are well-formed JSON with the expected
+# structure.  Assumes a built tree (cmake -B build -S . && cmake --build
+# build); pass a different build dir as $1.
+set -euo pipefail
+
+build_dir="${1:-build}"
+ilat="$build_dir/src/tools/ilat"
+if [[ ! -x "$ilat" ]]; then
+  echo "error: $ilat not found -- build the project first" >&2
+  exit 2
+fi
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+trace="$out_dir/t.json"
+metrics="$out_dir/m.json"
+
+# Notepad exercises the scheduler, message queues, devices, and the idle
+# loop; PowerPoint (below) adds disk I/O.
+"$ilat" --os=nt40 --app=notepad --trace-out="$trace" --metrics-out="$metrics" >/dev/null
+
+python3 - "$trace" "$metrics" <<'EOF'
+import json, sys
+
+trace_path, metrics_path = sys.argv[1], sys.argv[2]
+
+with open(trace_path) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+phases = {e["ph"] for e in events}
+assert {"X", "i", "C", "M"} <= phases, f"missing phases: {phases}"
+tracks = {e["args"]["name"] for e in events if e["ph"] == "M" and e["name"] == "thread_name"}
+for want in ("cpu", "irq", "disk", "idle", "user-state", "dev:clock"):
+    assert want in tracks, f"missing track {want!r} in {sorted(tracks)}"
+assert any(t.startswith("mq:") for t in tracks), "no message-queue track"
+assert any(t.startswith("app:") for t in tracks), "no app track"
+cats = {e.get("cat") for e in events}
+for want in ("sched", "mq", "device", "dispatch", "state", "idle"):
+    assert want in cats, f"missing category {want!r} in {sorted(c for c in cats if c)}"
+
+with open(metrics_path) as f:
+    metrics = json.load(f)
+named = sorted(metrics["counters"]) + sorted(metrics["gauges"]) + sorted(metrics["histograms"])
+assert len(named) >= 8, f"only {len(named)} metrics: {named}"
+for want in ("sched.context_switches", "sched.interrupts", "mq.posted",
+             "app.messages_handled", "idle.records"):
+    assert want in named, f"missing metric {want!r}"
+print(f"notepad trace ok: {len(events)} events, {len(tracks)} tracks, {len(named)} metrics")
+EOF
+
+# Disk spans: PowerPoint's document open/save hit the disk model.
+"$ilat" --os=nt40 --app=powerpoint --trace-out="$trace" >/dev/null
+python3 - "$trace" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    events = json.load(f)["traceEvents"]
+disk = [e for e in events if e.get("cat") == "disk" and e["ph"] == "X"]
+assert disk, "powerpoint trace has no disk spans"
+names = {e["name"] for e in disk}
+assert "read" in names or "write" in names, f"unexpected disk span names: {names}"
+print(f"powerpoint trace ok: {len(disk)} disk spans")
+EOF
+
+echo "check_trace: all good"

@@ -19,6 +19,10 @@ GuiThread::GuiThread(SystemUnderTest* system, GuiApplication* app, int priority)
   queue_->SetWakeCallback([this] {
     system_->sim().scheduler().Wake(this, system_->profile().wake_priority_boost);
   });
+  tracer_ = &system_->sim().tracer();
+  app_track_ = tracer_->RegisterTrack("app:" + std::string(app_->name()));
+  m_handled_ = tracer_->metrics().GetCounter("app.messages_handled");
+  queue_->EnableTracing(tracer_, app_->name());
   app_->OnStart(&ctx_);
 }
 
@@ -31,7 +35,16 @@ void GuiThread::FinishJobIfDone() {
   if (job_.empty() && handling_foreground_) {
     handling_foreground_ = false;
     ++handled_;
+    if (m_handled_ != nullptr) {
+      m_handled_->Increment();
+    }
     const Cycles now = system_->sim().now();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      // One span per handled message: retrieval -> job drained.
+      tracer_->CompleteSpan(app_track_, MessageTypeName(current_msg_.type), "dispatch",
+                            dispatch_start_, now - dispatch_start_, "seq",
+                            static_cast<double>(current_msg_.seq));
+    }
     for (MessagePumpObserver* o : observers_) {
       o->OnHandleEnd(now, current_msg_);
     }
@@ -42,6 +55,7 @@ void GuiThread::BeginDispatch(const Message& m) {
   current_msg_ = m;
   handling_foreground_ = true;
   const Cycles now = system_->sim().now();
+  dispatch_start_ = now;
   for (MessagePumpObserver* o : observers_) {
     o->OnHandleStart(now, m);
   }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/apps/job.h"
+#include "src/obs/trace.h"
 #include "src/os/system.h"
 #include "src/sim/message_queue.h"
 #include "src/sim/thread.h"
@@ -132,6 +133,11 @@ class GuiThread : public SimThread {
   std::unique_ptr<MessageQueue> queue_;
   AppContext ctx_;
   std::vector<MessagePumpObserver*> observers_;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t app_track_ = 0;
+  obs::Counter* m_handled_ = nullptr;
+  Cycles dispatch_start_ = 0;
 
   Job job_;
   Message current_msg_;

@@ -40,6 +40,12 @@ class IdleLoopInstrument : public SimThread {
     loop_profile_.data_refs_per_instr = 0.01;
     loop_profile_.itlb_miss_per_kinstr = 0.0;
     loop_profile_.dtlb_miss_per_kinstr = 0.0;
+
+    tracer_ = &sim_->tracer();
+    track_ = tracer_->RegisterTrack("idle");
+    m_records_ = tracer_->metrics().GetCounter("idle.records");
+    m_gaps_ = tracer_->metrics().GetCounter("idle.gaps");
+    m_stolen_ms_ = tracer_->metrics().GetHistogram("idle.stolen_ms");
   }
 
   ThreadAction NextAction() override {
@@ -47,17 +53,42 @@ class IdleLoopInstrument : public SimThread {
       return ThreadAction::Finish();
     }
     return ThreadAction::Compute(Work{period_, loop_profile_},
-                                 [this] { buffer_.Append(sim_->now()); });
+                                 [this] { ObserveGap(sim_->now()); });
   }
 
   const TraceBuffer& trace() const { return buffer_; }
   Cycles period() const { return period_; }
 
  private:
+  void ObserveGap(Cycles now) {
+    buffer_.Append(now);
+    m_records_->Increment();
+    if (last_record_ >= 0) {
+      const Cycles gap = now - last_record_;
+      // An elongated interval means something stole the CPU (paper §2.3).
+      // 2x the loop period is the conventional detection threshold.
+      if (gap >= 2 * period_) {
+        m_gaps_->Increment();
+        const Cycles stolen = gap - period_;
+        m_stolen_ms_->Record(CyclesToMilliseconds(stolen));
+        tracer_->CompleteSpan(track_, "stolen", "idle", last_record_, gap, "stolen_ms",
+                              CyclesToMilliseconds(stolen));
+      }
+    }
+    last_record_ = now;
+  }
+
   Simulation* sim_;
   Cycles period_;
   TraceBuffer buffer_;
   WorkProfile loop_profile_;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  obs::Counter* m_records_ = nullptr;
+  obs::Counter* m_gaps_ = nullptr;
+  obs::LogHistogram* m_stolen_ms_ = nullptr;
+  Cycles last_record_ = -1;
 };
 
 }  // namespace ilat

@@ -52,12 +52,21 @@ MeasurementSession::MeasurementSession(OsProfile profile, SessionOptions opts)
     : profile_(std::move(profile)), opts_(opts) {
   system_ = std::make_unique<SystemUnderTest>(profile_, opts_.seed);
   wiring_ = std::make_unique<Wiring>(system_->sim().now());
+  wiring_->fsm().SetTracer(&system_->sim().tracer());
   system_->sim().scheduler().AddCpuObserver(wiring_.get());
   system_->sim().io().SetTransitionObserver(
       [this](Cycles t, bool pending) { wiring_->OnIoTransition(t, pending); });
+  if (opts_.collect_trace) {
+    trace_sink_ = std::make_unique<obs::TraceSink>(opts_.trace_event_capacity);
+    system_->sim().tracer().AttachSink(trace_sink_.get());
+  }
 }
 
-MeasurementSession::~MeasurementSession() = default;
+MeasurementSession::~MeasurementSession() {
+  if (trace_sink_ != nullptr) {
+    system_->sim().tracer().DetachSink();
+  }
+}
 
 GuiThread& MeasurementSession::AttachApp(std::unique_ptr<GuiApplication> app) {
   assert(app_ == nullptr && "only one application per session");
@@ -160,8 +169,17 @@ SessionResult MeasurementSession::Finalize(InputDriver* driver) {
   result.io_pending = wiring_->io_intervals();
 
   Scheduler& sched = system_->sim().scheduler();
+  sched.FlushTraceSpans();
   result.gt_busy_cycles = sched.busy_thread_cycles() + sched.interrupt_cycles();
   result.gt_handles = monitor_.ground_truth_handles();
+
+  obs::Tracer& tracer = system_->sim().tracer();
+  tracer.metrics().GetGauge("session.run_end_s")->Set(CyclesToSeconds(result.run_end));
+  result.metrics = tracer.metrics().Snapshot();
+  result.metrics_json = tracer.metrics().ToJson();
+  if (trace_sink_ != nullptr) {
+    result.trace_data = std::make_shared<obs::TraceData>(tracer.TakeData());
+  }
 
   if (driver != nullptr) {
     result.posted = driver->posted();

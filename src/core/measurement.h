@@ -43,6 +43,11 @@ enum class DriverKind {
 struct SessionOptions {
   Cycles idle_period = kCyclesPerMillisecond;
   std::size_t trace_capacity = 4'000'000;
+  // Buffer structured trace events (scheduler spans, message instants,
+  // disk I/O, ...) for export; off by default -- with no sink attached
+  // every instrumentation point is a null check.
+  bool collect_trace = false;
+  std::size_t trace_event_capacity = obs::TraceSink::kDefaultCapacity;
   double calm_factor = 1.3;
   bool merge_timer_cascades = false;
   bool include_io_wait = true;
@@ -90,6 +95,14 @@ struct SessionResult {
 
   // The input events as posted (labels, sequence numbers).
   std::vector<PostedEvent> posted;
+
+  // Metrics registry snapshot (always populated) and its JSON rendering.
+  obs::MetricsSnapshot metrics;
+  std::string metrics_json;
+
+  // Structured trace (only when SessionOptions::collect_trace was set).
+  // shared_ptr keeps SessionResult cheaply copyable.
+  std::shared_ptr<const obs::TraceData> trace_data;
 
   BusyProfile MakeBusyProfile() const {
     return BusyProfile(trace, trace_period, trace_start);
@@ -146,6 +159,7 @@ class MeasurementSession {
   std::vector<std::unique_ptr<GuiApplication>> background_apps_;
   std::vector<std::unique_ptr<GuiThread>> background_threads_;
   std::unique_ptr<IdleLoopInstrument> instrument_;
+  std::unique_ptr<obs::TraceSink> trace_sink_;
   Cycles instrument_start_ = 0;
   MessageMonitor monitor_;
   std::unique_ptr<Wiring> wiring_;

@@ -33,8 +33,23 @@ UserState ThinkWaitFsm::Classify() const {
   return UserState::kThink;
 }
 
+void ThinkWaitFsm::SetTracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    return;
+  }
+  track_ = tracer_->RegisterTrack("user-state");
+  m_intervals_ = tracer_->metrics().GetCounter("fsm.intervals");
+}
+
 void ThinkWaitFsm::PushInterval(Cycles begin, Cycles end, UserState state) {
   totals_[static_cast<int>(state)] += end - begin;
+  if (m_intervals_ != nullptr) {
+    m_intervals_->Increment();
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->CompleteSpan(track_, UserStateName(state), "state", begin, end - begin);
+  }
   // Merge with the previous interval when a zero-length flicker collapsed
   // and left two adjacent intervals of the same state.
   if (!intervals_.empty() && intervals_.back().end == begin &&

@@ -16,9 +16,11 @@
 #define ILAT_SRC_CORE_THINK_WAIT_FSM_H_
 
 #include <array>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/time.h"
 
 namespace ilat {
@@ -42,6 +44,10 @@ class ThinkWaitFsm {
   };
 
   explicit ThinkWaitFsm(Cycles start_time = 0) : last_change_(start_time) {}
+
+  // Attach tracing: every classified interval becomes a span on a
+  // "user-state" track, giving the trace viewer the paper's Fig. 2 bands.
+  void SetTracer(obs::Tracer* tracer);
 
   // Input transitions (times must be non-decreasing).
   void OnCpu(Cycles t, bool busy);
@@ -75,6 +81,10 @@ class ThinkWaitFsm {
   UserState open_state_ = UserState::kThink;
   std::vector<Interval> intervals_;
   std::array<Cycles, static_cast<int>(UserState::kCount)> totals_{};
+
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  obs::Counter* m_intervals_ = nullptr;
 };
 
 }  // namespace ilat

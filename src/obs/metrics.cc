@@ -1,0 +1,225 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ilat {
+namespace obs {
+
+namespace {
+
+// Shortest round-trippable-ish representation; %.6g keeps snapshots
+// compact and deterministic across platforms for the magnitudes we emit.
+std::string NumToJson(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(double first_upper, int num_buckets)
+    : first_upper_(first_upper > 0.0 ? first_upper : 1.0),
+      buckets_(static_cast<std::size_t>(num_buckets > 1 ? num_buckets : 2), 0) {}
+
+void LogHistogram::Record(double v) {
+  if (v < 0.0) {
+    v = 0.0;
+  }
+  if (count_ == 0 || v < min_) {
+    min_ = v;
+  }
+  if (v > max_) {
+    max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+
+  double upper = first_upper_;
+  std::size_t i = 0;
+  while (i + 1 < buckets_.size() && v > upper) {
+    upper *= 2.0;
+    ++i;
+  }
+  ++buckets_[i];
+}
+
+double LogHistogram::bucket_upper(int i) const {
+  if (i + 1 >= num_buckets()) {
+    return max_;  // overflow bucket: report the largest sample
+  }
+  double upper = first_upper_;
+  for (int k = 0; k < i; ++k) {
+    upper *= 2.0;
+  }
+  return upper;
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (static_cast<double>(seen) >= target) {
+      return bucket_upper(i);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+double MetricsSnapshot::Get(std::string_view name, double fallback) const {
+  for (const auto& [k, v] : values) {
+    if (k == name) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
+bool MetricsSnapshot::Has(std::string_view name) const {
+  for (const auto& [k, v] : values) {
+    if (k == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &counters_[name];
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) { return &gauges_[name]; }
+
+LogHistogram* MetricsRegistry::GetHistogram(const std::string& name, double first_upper,
+                                            int num_buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, LogHistogram(first_upper, num_buckets)).first;
+  }
+  return &it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.values.reserve(counters_.size() + 2 * gauges_.size() + 4 * histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.values.emplace_back(name, static_cast<double>(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.values.emplace_back(name, g.value());
+    snap.values.emplace_back(name + ".max", g.max());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.values.emplace_back(name + ".count", static_cast<double>(h.count()));
+    snap.values.emplace_back(name + ".mean", h.mean());
+    snap.values.emplace_back(name + ".p95", h.Percentile(0.95));
+    snap.values.emplace_back(name + ".max", h.max());
+  }
+  std::sort(snap.values.begin(), snap.values.end());
+  return snap;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + EscapeJson(name) + "\": " + std::to_string(c.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + EscapeJson(name) + "\": {\"value\": " + NumToJson(g.value()) +
+           ", \"max\": " + NumToJson(g.max()) + "}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + EscapeJson(name) + "\": {\"count\": " + std::to_string(h.count()) +
+           ", \"min\": " + NumToJson(h.min()) + ", \"max\": " + NumToJson(h.max()) +
+           ", \"mean\": " + NumToJson(h.mean()) + ", \"p50\": " + NumToJson(h.Percentile(0.5)) +
+           ", \"p95\": " + NumToJson(h.Percentile(0.95)) +
+           ", \"p99\": " + NumToJson(h.Percentile(0.99)) + ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i < h.num_buckets(); ++i) {
+      if (h.bucket_count(i) == 0) {
+        continue;  // omit empty buckets to keep snapshots compact
+      }
+      if (!first_bucket) {
+        out += ", ";
+      }
+      first_bucket = false;
+      out += "{\"le\": " + NumToJson(h.bucket_upper(i)) + ", \"n\": " +
+             std::to_string(h.bucket_count(i)) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) {
+    c.Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g.Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h.Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace ilat

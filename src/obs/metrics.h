@@ -1,0 +1,143 @@
+// MetricsRegistry: named counters, gauges, and log-scale histograms.
+//
+// The registry is the simulator-wide home for cheap always-on
+// instrumentation.  Components resolve a handle once (a pointer into the
+// registry, stable for the registry's lifetime) and update it with plain
+// arithmetic -- no lookups, no locks on the hot path.  The simulator is
+// single-threaded by construction, so updates need no synchronisation at
+// all; the design stays valid (one registry per simulated machine) if
+// machines are ever sharded across host threads.
+//
+// Snapshots are deterministic: metrics serialise in name order
+// (std::map), and every value derives from simulated -- not host -- time,
+// so identical seeds produce byte-identical JSON.
+
+#ifndef ILAT_SRC_OBS_METRICS_H_
+#define ILAT_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ilat {
+namespace obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Point-in-time level (queue depth, elapsed seconds).  Remembers the
+// high-water mark.
+class Gauge {
+ public:
+  void Set(double v) {
+    value_ = v;
+    if (v > max_) {
+      max_ = v;
+    }
+  }
+  void Add(double delta) { Set(value_ + delta); }
+  double value() const { return value_; }
+  double max() const { return max_; }
+  void Reset() {
+    value_ = 0.0;
+    max_ = 0.0;
+  }
+
+ private:
+  double value_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Histogram of non-negative samples in power-of-two buckets: bucket 0
+// holds samples <= first_upper, bucket i samples <= first_upper * 2^i,
+// and the last bucket is an overflow catch-all.  Log-scale buckets suit
+// latency-shaped data, whose interesting structure spans decades
+// (microsecond keystrokes to multi-second document opens).
+class LogHistogram {
+ public:
+  explicit LogHistogram(double first_upper = 1.0, int num_buckets = 20);
+
+  void Record(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return max_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+
+  int num_buckets() const { return static_cast<int>(buckets_.size()); }
+  std::uint64_t bucket_count(int i) const { return buckets_[static_cast<std::size_t>(i)]; }
+  // Inclusive upper bound of bucket i; the last bucket reports the largest
+  // sample seen.
+  double bucket_upper(int i) const;
+
+  // Upper bound of the bucket containing the p-th percentile (0 < p <= 1).
+  // Bucket-resolution estimate, exact enough for reporting.
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  double first_upper_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Flat, name-sorted view of a registry -- what sessions embed in their
+// results.  Histograms and gauges are flattened with dotted suffixes
+// (".count", ".mean", ".p95", ".max").
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> values;
+
+  double Get(std::string_view name, double fallback = 0.0) const;
+  bool Has(std::string_view name) const;
+  std::size_t size() const { return values.size(); }
+};
+
+class MetricsRegistry {
+ public:
+  // Handles are created on first use and remain valid for the registry's
+  // lifetime.  Re-requesting a name returns the same handle, so components
+  // sharing a name share the metric (e.g. every message queue feeds
+  // "mq.posted").
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LogHistogram* GetHistogram(const std::string& name, double first_upper = 1.0,
+                             int num_buckets = 20);
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  MetricsSnapshot Snapshot() const;
+
+  // Structured, deterministic JSON: {"counters":{...},"gauges":{...},
+  // "histograms":{...}}.  Empty histogram buckets are omitted.
+  std::string ToJson() const;
+
+  void Reset();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LogHistogram> histograms_;
+};
+
+}  // namespace obs
+}  // namespace ilat
+
+#endif  // ILAT_SRC_OBS_METRICS_H_

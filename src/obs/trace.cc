@@ -1,0 +1,25 @@
+#include "src/obs/trace.h"
+
+namespace ilat {
+namespace obs {
+
+void Tracer::Emit(Phase phase, std::uint32_t track, std::string_view name,
+                  const char* category, Cycles ts, Cycles dur, const char* k0, double v0,
+                  const char* k1, double v1, std::string_view detail) {
+  TraceEvent e;
+  e.phase = phase;
+  e.track = track;
+  e.name = std::string(name);
+  e.category = category != nullptr ? category : "";
+  e.ts = ts;
+  e.dur = dur;
+  e.arg0_key = k0;
+  e.arg0 = v0;
+  e.arg1_key = k1;
+  e.arg1 = v1;
+  e.detail = std::string(detail);
+  sink_->Append(std::move(e));
+}
+
+}  // namespace obs
+}  // namespace ilat

@@ -1,0 +1,299 @@
+// Structured tracing in simulated time.
+//
+// The paper's thesis is that latency must be *explained*, not just
+// measured: an idle-loop gap says an event was slow; the causal timeline
+// says why.  This module provides that timeline for the simulator itself:
+//
+//   * TraceSink   -- an append-only buffer of structured, timestamped
+//                    events (complete spans, instants, counter samples).
+//                    The simulator is single-threaded, so appends are
+//                    plain vector pushes -- cheaper than any lock.
+//   * Tracer      -- the emission facade each component holds.  It owns
+//                    the track (timeline-row) registry and the
+//                    MetricsRegistry, and forwards events to the attached
+//                    sink.  With no sink attached every emission is an
+//                    inline null check and nothing else, so instrumented
+//                    hot paths cost nothing in bench runs.
+//   * Span        -- RAII helper emitting a complete span over its scope,
+//                    plus the ILAT_TRACE_* convenience macros.
+//
+// Timestamps are simulated Cycles; exporters (trace_export.h) convert to
+// Chrome trace_event JSON (loadable in Perfetto / chrome://tracing) and
+// CSV.
+
+#ifndef ILAT_SRC_OBS_TRACE_H_
+#define ILAT_SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/sim/time.h"
+
+namespace ilat {
+namespace obs {
+
+// Something that can report the current simulated time.  The simulation's
+// EventQueue implements this; the indirection keeps obs/ free of
+// simulator dependencies (and lets tests drive a fake clock).
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  virtual Cycles TraceNow() const = 0;
+};
+
+// Chrome trace_event phases we emit.
+enum class Phase : char {
+  kComplete = 'X',  // span with explicit duration
+  kInstant = 'i',   // point event
+  kCounter = 'C',   // sampled counter value
+};
+
+struct TraceEvent {
+  Phase phase = Phase::kInstant;
+  std::uint32_t track = 0;  // exported as the Chrome tid; see Tracer tracks
+  std::string name;
+  const char* category = "";  // static-lifetime string
+  Cycles ts = 0;
+  Cycles dur = 0;  // kComplete only
+  // Up to two numeric args; keys are static-lifetime strings.
+  const char* arg0_key = nullptr;
+  double arg0 = 0.0;
+  const char* arg1_key = nullptr;
+  double arg1 = 0.0;
+  // Optional free-form string arg, exported under the key "detail".
+  std::string detail;
+};
+
+// A finished trace: events plus the track-id -> name mapping, detached
+// from the live simulator so results can outlive their session.
+struct TraceData {
+  std::vector<TraceEvent> events;
+  std::vector<std::string> tracks;  // index == TraceEvent::track
+
+  std::string_view TrackName(std::uint32_t track) const {
+    return track < tracks.size() ? std::string_view(tracks[track]) : std::string_view("?");
+  }
+};
+
+// Append-only event buffer with a hard capacity (events past the cap are
+// counted as dropped, never resized-into -- a runaway trace must not eat
+// the host).  Single-threaded by design; see file comment.
+class TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4'000'000;
+
+  explicit TraceSink(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
+
+  void Append(TraceEvent e) {
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(std::move(e));
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  std::size_t dropped() const { return dropped_; }
+  bool AtCapacity() const { return events_.size() >= capacity_; }
+
+  std::vector<TraceEvent> TakeEvents() {
+    std::vector<TraceEvent> out = std::move(events_);
+    events_.clear();
+    return out;
+  }
+
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+};
+
+// The emission facade.  One Tracer per simulated machine (owned by
+// Simulation); components keep a Tracer* and a track id.
+//
+// Null-sink fast path: every Emit* method begins with an inline
+// `sink_ == nullptr` check and takes only string_views, so a disabled
+// call site does no allocation, no clock read, and no work.
+class Tracer {
+ public:
+  Tracer() { tracks_.push_back("sim"); }  // track 0: default/global
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetClock(const TraceClock* clock) { clock_ = clock; }
+  Cycles now() const { return clock_ != nullptr ? clock_->TraceNow() : 0; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Register a named timeline row.  Tracks may be registered before any
+  // sink is attached (components register at construction); the registry
+  // travels with the exported TraceData.
+  std::uint32_t RegisterTrack(std::string_view name) {
+    tracks_.emplace_back(name);
+    return static_cast<std::uint32_t>(tracks_.size() - 1);
+  }
+  const std::vector<std::string>& tracks() const { return tracks_; }
+
+  void AttachSink(TraceSink* sink) { sink_ = sink; }
+  void DetachSink() { sink_ = nullptr; }
+  TraceSink* sink() const { return sink_; }
+  bool enabled() const { return sink_ != nullptr; }
+
+  void CompleteSpan(std::uint32_t track, std::string_view name, const char* category,
+                    Cycles start, Cycles dur, const char* k0 = nullptr, double v0 = 0.0,
+                    const char* k1 = nullptr, double v1 = 0.0, std::string_view detail = {}) {
+    if (sink_ == nullptr) {
+      return;
+    }
+    Emit(Phase::kComplete, track, name, category, start, dur, k0, v0, k1, v1, detail);
+  }
+
+  void Instant(std::uint32_t track, std::string_view name, const char* category, Cycles ts,
+               const char* k0 = nullptr, double v0 = 0.0, const char* k1 = nullptr,
+               double v1 = 0.0, std::string_view detail = {}) {
+    if (sink_ == nullptr) {
+      return;
+    }
+    Emit(Phase::kInstant, track, name, category, ts, 0, k0, v0, k1, v1, detail);
+  }
+
+  void CounterValue(std::uint32_t track, std::string_view name, Cycles ts, double value) {
+    if (sink_ == nullptr) {
+      return;
+    }
+    Emit(Phase::kCounter, track, name, "counter", ts, 0, "value", value, nullptr, 0.0, {});
+  }
+
+  // Move the buffered events out, paired with the track names.  The sink
+  // stays attached and keeps recording.
+  TraceData TakeData() {
+    TraceData d;
+    d.tracks = tracks_;
+    if (sink_ != nullptr) {
+      d.events = sink_->TakeEvents();
+    }
+    return d;
+  }
+
+ private:
+  void Emit(Phase phase, std::uint32_t track, std::string_view name, const char* category,
+            Cycles ts, Cycles dur, const char* k0, double v0, const char* k1, double v1,
+            std::string_view detail);
+
+  const TraceClock* clock_ = nullptr;
+  TraceSink* sink_ = nullptr;
+  std::vector<std::string> tracks_;
+  MetricsRegistry metrics_;
+};
+
+// RAII span: stamps the start on construction, emits a complete span on
+// destruction (or an explicit End()).  When tracing is disabled the
+// constructor is a null check and the destructor a no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(Tracer* tracer, std::uint32_t track, std::string_view name, const char* category = "")
+      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+    if (tracer_ != nullptr) {
+      track_ = track;
+      name_ = name;
+      category_ = category;
+      start_ = tracer_->now();
+    }
+  }
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept {
+    End();
+    tracer_ = other.tracer_;
+    track_ = other.track_;
+    name_ = std::move(other.name_);
+    category_ = other.category_;
+    start_ = other.start_;
+    k0_ = other.k0_;
+    v0_ = other.v0_;
+    k1_ = other.k1_;
+    v1_ = other.v1_;
+    other.tracer_ = nullptr;
+    return *this;
+  }
+
+  // Attach up to two numeric args to the span-to-be.
+  void AddArg(const char* key, double value) {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    if (k0_ == nullptr) {
+      k0_ = key;
+      v0_ = value;
+    } else {
+      k1_ = key;
+      v1_ = value;
+    }
+  }
+
+  void End() {
+    if (tracer_ == nullptr) {
+      return;
+    }
+    const Cycles end = tracer_->now();
+    tracer_->CompleteSpan(track_, name_, category_, start_, end - start_, k0_, v0_, k1_, v1_);
+    tracer_ = nullptr;
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  std::string name_;
+  const char* category_ = "";
+  Cycles start_ = 0;
+  const char* k0_ = nullptr;
+  double v0_ = 0.0;
+  const char* k1_ = nullptr;
+  double v1_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace ilat
+
+// Convenience macros.  `tracer` may be nullptr; everything degrades to a
+// null check.
+#define ILAT_OBS_CONCAT_INNER(a, b) a##b
+#define ILAT_OBS_CONCAT(a, b) ILAT_OBS_CONCAT_INNER(a, b)
+
+// Scope-shaped span on `track` named `name` (string literal / string_view).
+#define ILAT_TRACE_SPAN(tracer, track, name, category) \
+  ::ilat::obs::Span ILAT_OBS_CONCAT(ilat_obs_span_, __LINE__)((tracer), (track), (name), (category))
+
+#define ILAT_TRACE_INSTANT(tracer, track, name, category, ts)            \
+  do {                                                                   \
+    ::ilat::obs::Tracer* ilat_obs_t = (tracer);                          \
+    if (ilat_obs_t != nullptr && ilat_obs_t->enabled()) {                \
+      ilat_obs_t->Instant((track), (name), (category), (ts));            \
+    }                                                                    \
+  } while (0)
+
+#define ILAT_TRACE_COUNTER(tracer, track, name, ts, value)               \
+  do {                                                                   \
+    ::ilat::obs::Tracer* ilat_obs_t = (tracer);                          \
+    if (ilat_obs_t != nullptr && ilat_obs_t->enabled()) {                \
+      ilat_obs_t->CounterValue((track), (name), (ts), (value));          \
+    }                                                                    \
+  } while (0)
+
+#endif  // ILAT_SRC_OBS_TRACE_H_

@@ -1,0 +1,188 @@
+#include "src/obs/trace_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ilat {
+namespace obs {
+
+namespace {
+
+// Simulated cycles -> trace microseconds.  The simulated CPU runs at
+// 100 MHz, so one cycle is 0.01 us; two decimals preserve full precision.
+std::string CyclesToUs(Cycles c) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.2f", static_cast<double>(c) / 100.0);
+  return buf;
+}
+
+std::string NumToJson(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendArgs(std::string* out, const TraceEvent& e) {
+  *out += ",\"args\":{";
+  bool first = true;
+  if (e.arg0_key != nullptr) {
+    *out += "\"" + EscapeJson(e.arg0_key) + "\":" + NumToJson(e.arg0);
+    first = false;
+  }
+  if (e.arg1_key != nullptr) {
+    if (!first) {
+      *out += ",";
+    }
+    *out += "\"" + EscapeJson(e.arg1_key) + "\":" + NumToJson(e.arg1);
+    first = false;
+  }
+  if (!e.detail.empty()) {
+    if (!first) {
+      *out += ",";
+    }
+    *out += "\"detail\":\"" + EscapeJson(e.detail) + "\"";
+  }
+  *out += "}";
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const TraceData& data) {
+  std::string out;
+  // ~160 bytes per event is a good pre-size for our span/instant mix.
+  out.reserve(data.events.size() * 160 + 4096);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"generator\":\"ilat\"},\"traceEvents\":[\n";
+
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+  };
+
+  sep();
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"ilat simulated machine\"}}";
+  for (std::size_t i = 0; i < data.tracks.size(); ++i) {
+    sep();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(i) +
+           ",\"args\":{\"name\":\"" + EscapeJson(data.tracks[i]) + "\"}}";
+    sep();
+    out += "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(i) + ",\"args\":{\"sort_index\":" + std::to_string(i) + "}}";
+  }
+
+  for (const TraceEvent& e : data.events) {
+    sep();
+    out += "{\"name\":\"" + EscapeJson(e.name) + "\",\"cat\":\"" +
+           EscapeJson(e.category[0] != '\0' ? e.category : "sim") + "\",\"ph\":\"" +
+           static_cast<char>(e.phase) + "\",\"pid\":1,\"tid\":" + std::to_string(e.track) +
+           ",\"ts\":" + CyclesToUs(e.ts);
+    switch (e.phase) {
+      case Phase::kComplete:
+        out += ",\"dur\":" + CyclesToUs(e.dur);
+        AppendArgs(&out, e);
+        break;
+      case Phase::kInstant:
+        out += ",\"s\":\"t\"";  // thread-scoped instant
+        AppendArgs(&out, e);
+        break;
+      case Phase::kCounter:
+        out += ",\"args\":{\"" + EscapeJson(e.arg0_key != nullptr ? e.arg0_key : "value") +
+               "\":" + NumToJson(e.arg0) + "}";
+        break;
+    }
+    out += "}";
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string TraceToCsv(const TraceData& data) {
+  std::string out = "ts_us,dur_us,phase,track,category,name,arg0_key,arg0,arg1_key,arg1,detail\n";
+  out.reserve(out.size() + data.events.size() * 80);
+  auto csv_field = [](std::string_view s) {
+    std::string f;
+    const bool quote = s.find_first_of(",\"\n") != std::string_view::npos;
+    if (!quote) {
+      return std::string(s);
+    }
+    f += '"';
+    for (char c : s) {
+      if (c == '"') {
+        f += '"';
+      }
+      f += c;
+    }
+    f += '"';
+    return f;
+  };
+  for (const TraceEvent& e : data.events) {
+    out += CyclesToUs(e.ts) + "," + CyclesToUs(e.dur) + "," + static_cast<char>(e.phase) + "," +
+           csv_field(data.TrackName(e.track)) + "," + csv_field(e.category) + "," +
+           csv_field(e.name) + ",";
+    out += (e.arg0_key != nullptr ? csv_field(e.arg0_key) : "") + ",";
+    out += (e.arg0_key != nullptr ? NumToJson(e.arg0) : "") + ",";
+    out += (e.arg1_key != nullptr ? csv_field(e.arg1_key) : "") + ",";
+    out += (e.arg1_key != nullptr ? NumToJson(e.arg1) : "") + ",";
+    out += csv_field(e.detail) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f.good()) {
+    return false;
+  }
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return f.good();
+}
+
+}  // namespace
+
+bool WriteChromeTraceJson(const std::string& path, const TraceData& data) {
+  return WriteFile(path, TraceToChromeJson(data));
+}
+
+bool WriteTraceCsv(const std::string& path, const TraceData& data) {
+  return WriteFile(path, TraceToCsv(data));
+}
+
+}  // namespace obs
+}  // namespace ilat

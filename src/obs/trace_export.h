@@ -1,0 +1,36 @@
+// Trace exporters: Chrome trace_event JSON (Perfetto / chrome://tracing)
+// and CSV.
+//
+// The JSON format is the "JSON Array Format" documented in the Chrome
+// trace-event spec: one object per event, `ph` selecting the phase,
+// timestamps in microseconds.  Tracks map to Chrome thread ids inside a
+// single synthetic process, with `thread_name` metadata carrying the
+// track names, so a trace opened in Perfetto shows one labelled row per
+// simulator component (cpu, irq, disk, mq:<app>, app:<app>, idle,
+// user-state, ...).
+
+#ifndef ILAT_SRC_OBS_TRACE_EXPORT_H_
+#define ILAT_SRC_OBS_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/trace.h"
+
+namespace ilat {
+namespace obs {
+
+// Render the whole trace as Chrome trace_event JSON.
+std::string TraceToChromeJson(const TraceData& data);
+
+// Render as CSV: ts_us,dur_us,phase,track,category,name,arg0_key,arg0,
+// arg1_key,arg1,detail.
+std::string TraceToCsv(const TraceData& data);
+
+// File variants.  Return false on I/O failure.
+bool WriteChromeTraceJson(const std::string& path, const TraceData& data);
+bool WriteTraceCsv(const std::string& path, const TraceData& data);
+
+}  // namespace obs
+}  // namespace ilat
+
+#endif  // ILAT_SRC_OBS_TRACE_EXPORT_H_

@@ -24,11 +24,13 @@ void SystemUnderTest::Boot() {
   devices_.push_back(std::make_unique<PeriodicDevice>(
       &sim_.queue(), &sim_.scheduler(), profile_.clock_period,
       Work{profile_.clock_isr_cycles, profile_.kernel_code}));
+  devices_.back()->EnableTracing(&sim_.tracer(), "clock");
   // Personality background tasks.
   for (const BackgroundTask& task : profile_.background_tasks) {
     devices_.push_back(std::make_unique<PeriodicDevice>(
         &sim_.queue(), &sim_.scheduler(), task.period,
         Work{task.handler_cycles, profile_.kernel_code}));
+    devices_.back()->EnableTracing(&sim_.tracer(), task.name);
   }
   for (auto& dev : devices_) {
     dev->Start();

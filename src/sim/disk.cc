@@ -6,12 +6,34 @@
 namespace ilat {
 
 Disk::Disk(EventQueue* queue, Scheduler* scheduler, Random* random, DiskParams params,
-           Work isr_work)
+           Work isr_work, obs::Tracer* tracer)
     : queue_(queue),
       scheduler_(scheduler),
       random_(random),
       params_(params),
-      isr_work_(isr_work) {}
+      isr_work_(isr_work),
+      tracer_(tracer) {
+  if (tracer_ != nullptr) {
+    disk_track_ = tracer_->RegisterTrack("disk");
+    auto& m = tracer_->metrics();
+    m_reads_ = m.GetCounter("disk.reads");
+    m_writes_ = m.GetCounter("disk.writes");
+    m_blocks_ = m.GetCounter("disk.blocks");
+    m_queue_depth_ = m.GetGauge("disk.queue_depth");
+    m_queue_ms_ = m.GetHistogram("disk.queue_ms");
+    m_service_ms_ = m.GetHistogram("disk.service_ms");
+  }
+}
+
+void Disk::TraceQueueDepth() {
+  const double depth = static_cast<double>(pending_.size()) + (active_ ? 1.0 : 0.0);
+  if (m_queue_depth_ != nullptr) {
+    m_queue_depth_->Set(depth);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->CounterValue(disk_track_, "disk queue", queue_->now(), depth);
+  }
+}
 
 void Disk::SubmitRead(std::int64_t block, int nblocks, std::function<void()> done) {
   Submit(Request{block, nblocks, /*is_write=*/false, std::move(done)});
@@ -22,7 +44,12 @@ void Disk::SubmitWrite(std::int64_t block, int nblocks, std::function<void()> do
 }
 
 void Disk::Submit(Request r) {
+  r.submitted = queue_->now();
+  if (m_reads_ != nullptr) {
+    (r.is_write ? m_writes_ : m_reads_)->Increment();
+  }
   pending_.push_back(std::move(r));
+  TraceQueueDepth();
   if (!active_) {
     StartNext();
   }
@@ -54,12 +81,34 @@ void Disk::StartNext() {
   service_cycles_ += service;
   head_position_ = r.block + r.nblocks;
 
+  const Cycles start = queue_->now();
+  const Cycles waited = start - r.submitted;
+  if (m_queue_ms_ != nullptr) {
+    m_queue_ms_->Record(CyclesToMilliseconds(waited));
+    m_service_ms_->Record(CyclesToMilliseconds(service));
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    if (waited > 0) {
+      tracer_->CompleteSpan(disk_track_, "queued", "disk", r.submitted, waited, "block",
+                            static_cast<double>(r.block));
+    }
+    // Service time is known up front, so the span can be emitted at start.
+    tracer_->CompleteSpan(disk_track_, r.is_write ? "write" : "read", "disk", start, service,
+                          "block", static_cast<double>(r.block), "nblocks",
+                          static_cast<double>(r.nblocks));
+  }
+
   queue_->ScheduleAfter(service, [this, r = std::move(r)]() mutable {
     ++completed_;
     blocks_ += static_cast<std::uint64_t>(r.nblocks);
+    if (m_blocks_ != nullptr) {
+      m_blocks_->Increment(static_cast<std::uint64_t>(r.nblocks));
+    }
     // Completion interrupt: the handler runs as stolen time, then delivers
     // the completion callback.
     scheduler_->QueueInterrupt(isr_work_, std::move(r.done));
+    active_ = false;
+    TraceQueueDepth();
     StartNext();
   });
 }

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
@@ -34,7 +35,7 @@ class Disk {
  public:
   // All pointers are non-owning and must outlive the disk.
   Disk(EventQueue* queue, Scheduler* scheduler, Random* random, DiskParams params,
-       Work isr_work);
+       Work isr_work, obs::Tracer* tracer = nullptr);
 
   // Submit a read/write of `nblocks` starting at `block`.  `done` fires
   // from the completion interrupt handler.
@@ -53,17 +54,30 @@ class Disk {
     int nblocks;
     bool is_write;
     std::function<void()> done;
+    Cycles submitted = 0;
   };
 
   void Submit(Request r);
   void StartNext();
   Cycles ServiceTime(const Request& r);
 
+  // Queue-depth = pending + in-service requests; traced as a counter track.
+  void TraceQueueDepth();
+
   EventQueue* queue_;
   Scheduler* scheduler_;
   Random* random_;
   DiskParams params_;
   Work isr_work_;
+
+  obs::Tracer* tracer_;
+  std::uint32_t disk_track_ = 0;
+  obs::Counter* m_reads_ = nullptr;
+  obs::Counter* m_writes_ = nullptr;
+  obs::Counter* m_blocks_ = nullptr;
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::LogHistogram* m_queue_ms_ = nullptr;
+  obs::LogHistogram* m_service_ms_ = nullptr;
 
   std::deque<Request> pending_;
   bool active_ = false;

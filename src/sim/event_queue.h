@@ -16,17 +16,21 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/time.h"
 
 namespace ilat {
 
-class EventQueue {
+// EventQueue doubles as the observability clock (obs::TraceClock) so the
+// Tracer can stamp events without a simulator dependency.
+class EventQueue : public obs::TraceClock {
  public:
   using EventId = std::uint64_t;
   using Callback = std::function<void()>;
 
   // Current simulated time (cycle-counter value).
   Cycles now() const { return now_; }
+  Cycles TraceNow() const override { return now_; }
 
   // Schedule `fn` to run at absolute time `when` (>= now).  Returns an id
   // usable with Cancel().

@@ -39,11 +39,27 @@ void PeriodicDevice::Stop() {
   pending_ = 0;
 }
 
+void PeriodicDevice::EnableTracing(obs::Tracer* tracer, std::string_view name) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    return;
+  }
+  trace_name_ = std::string(name);
+  track_ = tracer_->RegisterTrack("dev:" + trace_name_);
+  m_ticks_ = tracer_->metrics().GetCounter("sim.device_ticks");
+}
+
 void PeriodicDevice::ScheduleNext() {
   if (!running_) {
     return;
   }
   ++ticks_;
+  if (m_ticks_ != nullptr) {
+    m_ticks_->Increment();
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(track_, trace_name_, "device", queue_->now());
+  }
   scheduler_->QueueInterrupt(handler_work_, on_tick_);
   pending_ = queue_->ScheduleAfter(period_, [this] { ScheduleNext(); });
 }

@@ -9,7 +9,10 @@
 #define ILAT_SRC_SIM_INTERRUPTS_H_
 
 #include <functional>
+#include <string>
+#include <string_view>
 
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/work.h"
@@ -34,6 +37,9 @@ class PeriodicDevice {
   std::uint64_t ticks() const { return ticks_; }
   Cycles period() const { return period_; }
 
+  // Attach tracing: each tick becomes an instant on a "dev:<name>" track.
+  void EnableTracing(obs::Tracer* tracer, std::string_view name);
+
  private:
   void ScheduleNext();
 
@@ -46,6 +52,11 @@ class PeriodicDevice {
   bool running_ = false;
   std::uint64_t ticks_ = 0;
   EventQueue::EventId pending_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  std::string trace_name_;
+  obs::Counter* m_ticks_ = nullptr;
 };
 
 }  // namespace ilat

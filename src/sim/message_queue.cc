@@ -2,12 +2,33 @@
 
 namespace ilat {
 
+void MessageQueue::EnableTracing(obs::Tracer* tracer, std::string_view owner) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    return;
+  }
+  track_ = tracer_->RegisterTrack("mq:" + std::string(owner));
+  auto& m = tracer_->metrics();
+  m_posted_ = m.GetCounter("mq.posted");
+  m_depth_ = m.GetGauge("mq.depth");
+  m_wait_ms_ = m.GetHistogram("mq.wait_ms");
+}
+
 Message MessageQueue::Post(Message m) {
   m.enqueue_time = clock_->now();
   m.seq = next_seq_++;
   const bool was_empty = messages_.empty();
   messages_.push_back(m);
   ++posted_;
+  if (m_posted_ != nullptr) {
+    m_posted_->Increment();
+    m_depth_->Set(static_cast<double>(messages_.size()));
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(track_, MessageTypeName(m.type), "mq", m.enqueue_time, "seq",
+                     static_cast<double>(m.seq));
+    tracer_->CounterValue(track_, "depth", m.enqueue_time, static_cast<double>(messages_.size()));
+  }
   if (was_empty && on_transition_) {
     on_transition_(clock_->now(), /*non_empty=*/true);
   }
@@ -23,6 +44,17 @@ bool MessageQueue::TryPop(Message* out) {
   }
   *out = messages_.front();
   messages_.pop_front();
+  const Cycles now = clock_->now();
+  if (m_wait_ms_ != nullptr) {
+    m_wait_ms_->Record(CyclesToMilliseconds(now - out->enqueue_time));
+    m_depth_->Set(static_cast<double>(messages_.size()));
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The span covers the message's time *in* the queue (post -> pop).
+    tracer_->CompleteSpan(track_, MessageTypeName(out->type), "mq", out->enqueue_time,
+                          now - out->enqueue_time, "seq", static_cast<double>(out->seq));
+    tracer_->CounterValue(track_, "depth", now, static_cast<double>(messages_.size()));
+  }
   if (messages_.empty() && on_transition_) {
     on_transition_(clock_->now(), /*non_empty=*/false);
   }

@@ -12,7 +12,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
+#include <string_view>
 
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/message.h"
 
@@ -30,6 +33,10 @@ class MessageQueue {
   void SetWakeCallback(WakeFn fn) { wake_ = std::move(fn); }
 
   void SetTransitionObserver(TransitionFn fn) { on_transition_ = std::move(fn); }
+
+  // Attach tracing: posts become instants, pops become queue-wait spans,
+  // and depth is sampled on every change, all on a "mq:<owner>" track.
+  void EnableTracing(obs::Tracer* tracer, std::string_view owner);
 
   // Append a message; stamps enqueue_time and seq, fires the wake callback.
   // Returns the stamped message (for loggers).
@@ -57,6 +64,12 @@ class MessageQueue {
   TransitionFn on_transition_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t posted_ = 0;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t track_ = 0;
+  obs::Counter* m_posted_ = nullptr;
+  obs::Gauge* m_depth_ = nullptr;
+  obs::LogHistogram* m_wait_ms_ = nullptr;
 };
 
 }  // namespace ilat

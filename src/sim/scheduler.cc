@@ -6,6 +6,16 @@
 
 namespace ilat {
 
+Scheduler::Scheduler(EventQueue* queue, HardwareCounters* counters, obs::Tracer* tracer)
+    : queue_(queue), counters_(counters), tracer_(tracer) {
+  if (tracer_ != nullptr) {
+    cpu_track_ = tracer_->RegisterTrack("cpu");
+    irq_track_ = tracer_->RegisterTrack("irq");
+    m_ctx_switches_ = tracer_->metrics().GetCounter("sched.context_switches");
+    m_interrupts_ = tracer_->metrics().GetCounter("sched.interrupts");
+  }
+}
+
 void Scheduler::AddThread(SimThread* t) {
   assert(t != nullptr);
   threads_.push_back(t);
@@ -22,8 +32,57 @@ void Scheduler::Wake(SimThread* t, int boost) {
 
 void Scheduler::QueueInterrupt(Work w, std::function<void()> on_complete) {
   counters_->Add(HwEvent::kInterrupts, 1);
+  if (m_interrupts_ != nullptr) {
+    m_interrupts_->Increment();
+  }
   interrupts_.push_back(InterruptWork{w, w.cycles, std::move(on_complete)});
 }
+
+void Scheduler::NoteRunSlice(const void* key, std::uint32_t track, std::string_view name,
+                             Cycles t0, Cycles t1) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  if (key != last_run_key_) {
+    last_run_key_ = key;
+    if (m_ctx_switches_ != nullptr) {
+      m_ctx_switches_->Increment();
+    }
+  }
+  if (!tracer_->enabled()) {
+    return;
+  }
+  // Idle-thread slices carry no span (the idle row would dominate the
+  // trace); the empty name marks them.
+  if (name.empty()) {
+    FlushRunSpan();
+    return;
+  }
+  if (key == span_key_ && track == span_track_ && t0 == span_end_) {
+    span_end_ = t1;  // contiguous continuation: coalesce
+    return;
+  }
+  FlushRunSpan();
+  span_key_ = key;
+  span_track_ = track;
+  span_name_.assign(name);
+  span_start_ = t0;
+  span_end_ = t1;
+}
+
+void Scheduler::FlushRunSpan() {
+  if (span_key_ == nullptr) {
+    return;
+  }
+  if (tracer_ != nullptr && span_end_ > span_start_) {
+    tracer_->CompleteSpan(span_track_, span_name_, "sched", span_start_,
+                          span_end_ - span_start_);
+  }
+  span_key_ = nullptr;
+  span_name_.clear();
+}
+
+void Scheduler::FlushTraceSpans() { FlushRunSpan(); }
 
 SimThread* Scheduler::PickThread() {
   SimThread* best = nullptr;
@@ -105,6 +164,7 @@ void Scheduler::RunUntil(Cycles until) {
         counters_->AccrueWork(step, iw.work.profile);
         interrupt_cycles_ += step;
         iw.remaining -= step;
+        NoteRunSlice(&interrupts_, irq_track_, "irq", now, now + step);
       }
       if (iw.remaining == 0) {
         auto done = std::move(iw.on_complete);
@@ -143,6 +203,8 @@ void Scheduler::RunUntil(Cycles until) {
             busy_thread_cycles_ += step;
           }
           t->remaining_ -= step;
+          NoteRunSlice(t, cpu_track_, idle ? std::string_view() : std::string_view(t->name()),
+                       now, now + step);
         }
         if (t->remaining_ == 0) {
           t->action_in_flight_ = false;

@@ -17,8 +17,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/hardware_counters.h"
 #include "src/sim/thread.h"
@@ -36,8 +39,8 @@ class CpuObserver {
 
 class Scheduler {
  public:
-  Scheduler(EventQueue* queue, HardwareCounters* counters)
-      : queue_(queue), counters_(counters) {}
+  Scheduler(EventQueue* queue, HardwareCounters* counters,
+            obs::Tracer* tracer = nullptr);
 
   // Register a thread.  Non-owning; the thread must outlive the scheduler's
   // use of it.  Threads start Runnable.
@@ -67,6 +70,10 @@ class Scheduler {
   Cycles busy_thread_cycles() const { return busy_thread_cycles_; }
   Cycles idle_thread_cycles() const { return idle_thread_cycles_; }
 
+  // Emit any run span still being coalesced.  Call before exporting a
+  // trace so the tail of the timeline is not lost.
+  void FlushTraceSpans();
+
  private:
   struct InterruptWork {
     Work work;
@@ -84,8 +91,16 @@ class Scheduler {
 
   void SetBusy(bool busy);
 
+  // Record that `key` (a thread, or &interrupts_ for interrupt work) ran
+  // over [t0, t1) on `track`.  Contiguous slices with the same key coalesce
+  // into one trace span; a change of key counts a context switch.
+  void NoteRunSlice(const void* key, std::uint32_t track, std::string_view name,
+                    Cycles t0, Cycles t1);
+  void FlushRunSpan();
+
   EventQueue* queue_;
   HardwareCounters* counters_;
+  obs::Tracer* tracer_;
   std::vector<SimThread*> threads_;
   std::deque<InterruptWork> interrupts_;
   std::vector<CpuObserver*> observers_;
@@ -94,6 +109,18 @@ class Scheduler {
   Cycles interrupt_cycles_ = 0;
   Cycles busy_thread_cycles_ = 0;
   Cycles idle_thread_cycles_ = 0;
+
+  // Observability state.
+  std::uint32_t cpu_track_ = 0;
+  std::uint32_t irq_track_ = 0;
+  obs::Counter* m_ctx_switches_ = nullptr;
+  obs::Counter* m_interrupts_ = nullptr;
+  const void* last_run_key_ = nullptr;  // context-switch detection (incl. idle)
+  const void* span_key_ = nullptr;      // open coalesced span, nullptr if none
+  std::uint32_t span_track_ = 0;
+  std::string span_name_;
+  Cycles span_start_ = 0;
+  Cycles span_end_ = 0;
 };
 
 }  // namespace ilat

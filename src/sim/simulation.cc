@@ -3,11 +3,14 @@
 namespace ilat {
 
 Simulation::Simulation(std::uint64_t seed)
-    : scheduler_(&queue_, &counters_), random_(seed), io_(&queue_) {}
+    : scheduler_(&queue_, &counters_, &tracer_), random_(seed), io_(&queue_) {
+  tracer_.SetClock(&queue_);
+}
 
 void Simulation::ConfigureStorage(DiskParams params, Work disk_isr_work, int cache_blocks,
                                   Work cache_hit_copy_work) {
-  disk_ = std::make_unique<Disk>(&queue_, &scheduler_, &random_, params, disk_isr_work);
+  disk_ = std::make_unique<Disk>(&queue_, &scheduler_, &random_, params, disk_isr_work,
+                                 &tracer_);
   cache_ = std::make_unique<BufferCache>(disk_.get(), &scheduler_, cache_blocks,
                                          cache_hit_copy_work);
 }

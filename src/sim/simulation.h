@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "src/obs/trace.h"
 #include "src/sim/buffer_cache.h"
 #include "src/sim/disk.h"
 #include "src/sim/event_queue.h"
@@ -29,6 +30,7 @@ class Simulation {
                         Work cache_hit_copy_work);
 
   EventQueue& queue() { return queue_; }
+  obs::Tracer& tracer() { return tracer_; }
   Scheduler& scheduler() { return scheduler_; }
   HardwareCounters& counters() { return counters_; }
   Random& random() { return random_; }
@@ -46,6 +48,9 @@ class Simulation {
 
  private:
   EventQueue queue_;
+  // Declared after queue_ (its clock) and before the components that hold a
+  // pointer to it.
+  obs::Tracer tracer_;
   HardwareCounters counters_;
   Scheduler scheduler_;
   Random random_;

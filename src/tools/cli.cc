@@ -17,8 +17,10 @@
 #include "src/core/session_io.h"
 #include "src/input/network.h"
 #include "src/input/workloads.h"
+#include "src/obs/trace_export.h"
 #include "src/viz/ascii_chart.h"
 #include "src/viz/csv.h"
+#include "src/viz/explain.h"
 #include "src/viz/table.h"
 
 namespace ilat {
@@ -188,6 +190,8 @@ int RunOne(const OsProfile& os, const CliOptions& options, std::FILE* out) {
   sopts.driver = driver;
   sopts.seed = options.seed;
   sopts.idle_period = MillisecondsToCycles(options.idle_period_ms);
+  sopts.collect_trace =
+      !options.trace_out.empty() || options.explain;
   if (workload_name == "media") {
     sopts.drain_after = SecondsToCycles(12.0);  // playback outlives the script
   }
@@ -212,6 +216,38 @@ int RunOne(const OsProfile& os, const CliOptions& options, std::FILE* out) {
   }
 
   PrintSummary(out, os.name, r, options);
+
+  // Under --os=all, per-file outputs get a personality suffix so three
+  // runs do not clobber each other.
+  auto per_os_path = [&](const std::string& base) {
+    return options.os == "all" ? base + "." + os.name : base;
+  };
+
+  if (options.explain && r.trace_data != nullptr) {
+    ExplainOptions xopts;
+    xopts.threshold_ms = options.threshold_ms;
+    std::fputs(ExplainLatencyReport(r.events, *r.trace_data, xopts).c_str(), out);
+  }
+  if (!options.trace_out.empty()) {
+    const std::string path = per_os_path(options.trace_out);
+    if (r.trace_data == nullptr || !obs::WriteChromeTraceJson(path, *r.trace_data)) {
+      std::fprintf(out, "failed to write trace to %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "wrote trace (%zu events) to %s\n", r.trace_data->events.size(),
+                 path.c_str());
+  }
+  if (!options.metrics_out.empty()) {
+    const std::string path = per_os_path(options.metrics_out);
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(out, "failed to write metrics to %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(r.metrics_json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(out, "wrote %zu metrics to %s\n", r.metrics.size(), path.c_str());
+  }
 
   if (!options.save_path.empty()) {
     const std::string path = options.os == "all"
@@ -256,8 +292,18 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
       out->load_path = arg.substr(7);
     } else if (StartsWith(arg, "--csv=")) {
       out->csv_prefix = arg.substr(6);
+    } else if (StartsWith(arg, "--trace-out=")) {
+      out->trace_out = arg.substr(12);
+    } else if (StartsWith(arg, "--metrics-out=")) {
+      out->metrics_out = arg.substr(14);
+    } else if (arg == "--explain") {
+      out->explain = true;
     } else if (arg == "--events") {
       out->dump_events = true;
+    } else if (arg == "--list") {
+      out->list_catalog = true;
+    } else if (arg == "--version") {
+      out->show_version = true;
     } else {
       *error = "unknown argument: " + arg;
       return false;
@@ -281,13 +327,35 @@ std::string CliUsage() {
       "  --packets=N --frames=N      sizes for network/media workloads\n"
       "  --events                    dump one line per event\n"
       "  --csv=PREFIX                export events + cumulative curve CSVs\n"
+      "  --trace-out=PATH            write a Chrome trace_event JSON timeline\n"
+      "  --metrics-out=PATH          write the metrics-registry JSON snapshot\n"
+      "  --explain                   explain events above the threshold from the trace\n"
       "  --save=PATH                 archive the session for offline analysis\n"
-      "  --load=PATH                 analyse a saved session instead of running\n";
+      "  --load=PATH                 analyse a saved session instead of running\n"
+      "  --list                      list oses, apps, workloads, and drivers\n"
+      "  --version                   print the ilat version\n";
 }
 
 int RunCli(const CliOptions& options, std::FILE* out) {
   if (options.show_help) {
     std::fputs(CliUsage().c_str(), out);
+    return 0;
+  }
+  if (options.show_version) {
+    std::fprintf(out, "ilat %s\n", kIlatVersion);
+    return 0;
+  }
+  if (options.list_catalog) {
+    std::fputs("oses:      ", out);
+    for (const OsProfile& os : AllPersonalities()) {
+      std::fprintf(out, "%s ", os.name.c_str());
+    }
+    std::fputs(
+        "\n"
+        "apps:      notepad word powerpoint desktop echo terminal media\n"
+        "workloads: notepad word powerpoint keys clicks echo media network\n"
+        "drivers:   test test-nosync human\n",
+        out);
     return 0;
   }
 

@@ -19,6 +19,9 @@
 
 namespace ilat {
 
+// Reported by `ilat --version`.
+inline constexpr const char* kIlatVersion = "0.2.0";
+
 struct CliOptions {
   std::string os = "nt40";          // nt351 | nt40 | win95 | all
   std::string app = "notepad";      // notepad | word | powerpoint | desktop | echo
@@ -32,7 +35,12 @@ struct CliOptions {
   std::string save_path;            // write the session to this file
   std::string load_path;            // analyse a saved session instead of running
   std::string csv_prefix;           // export events/curves as CSV
+  std::string trace_out;            // write Chrome trace_event JSON here
+  std::string metrics_out;          // write metrics-registry JSON here
+  bool explain = false;             // print the explain-latency report
   bool dump_events = false;         // print one line per event
+  bool list_catalog = false;        // print oses/apps/workloads/drivers
+  bool show_version = false;
   bool show_help = false;
 };
 

@@ -1,0 +1,91 @@
+#include "src/viz/explain.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/viz/table.h"
+
+namespace ilat {
+
+namespace {
+
+std::string Ms(Cycles c) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", CyclesToMilliseconds(c));
+  return buf;
+}
+
+struct Overlap {
+  const obs::TraceEvent* span;
+  Cycles overlap;
+};
+
+}  // namespace
+
+std::string ExplainLatencyReport(const std::vector<EventRecord>& events,
+                                 const obs::TraceData& trace, const ExplainOptions& opts) {
+  std::vector<const EventRecord*> slow;
+  for (const EventRecord& e : events) {
+    if (e.latency_ms() >= opts.threshold_ms) {
+      slow.push_back(&e);
+    }
+  }
+  if (slow.empty()) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "explain: no event at or above %.1f ms\n",
+                  opts.threshold_ms);
+    return buf;
+  }
+  std::stable_sort(slow.begin(), slow.end(), [](const EventRecord* a, const EventRecord* b) {
+    return a->latency() > b->latency();
+  });
+  if (static_cast<int>(slow.size()) > opts.max_events) {
+    slow.resize(static_cast<std::size_t>(opts.max_events));
+  }
+
+  std::string out;
+  for (const EventRecord* e : slow) {
+    out += "event #" + std::to_string(e->msg_seq) + " \"" + e->label +
+           "\": latency " + Ms(e->latency()) + " ms (busy " + Ms(e->busy) + ", io " +
+           Ms(e->io_wait) + ", queue-delay " + Ms(e->queue_delay()) + "), window [" +
+           Ms(e->start) + ", " + Ms(e->end) + "] ms\n";
+
+    // Rank complete spans by time overlapped with the event window.  The
+    // user-state band ("state" category) restates the event itself, so it
+    // is excluded.
+    std::vector<Overlap> overlaps;
+    for (const obs::TraceEvent& s : trace.events) {
+      if (s.phase != obs::Phase::kComplete) {
+        continue;
+      }
+      if (s.category != nullptr && std::string_view(s.category) == "state") {
+        continue;
+      }
+      const Cycles lo = std::max(s.ts, e->start);
+      const Cycles hi = std::min(s.ts + s.dur, e->end);
+      if (hi > lo) {
+        overlaps.push_back(Overlap{&s, hi - lo});
+      }
+    }
+    std::stable_sort(overlaps.begin(), overlaps.end(), [](const Overlap& a, const Overlap& b) {
+      return a.overlap > b.overlap;
+    });
+    if (static_cast<int>(overlaps.size()) > opts.top_n) {
+      overlaps.resize(static_cast<std::size_t>(opts.top_n));
+    }
+
+    if (overlaps.empty()) {
+      out += "  (no overlapping trace spans -- was the session run with collect_trace?)\n";
+      continue;
+    }
+    TextTable t({"track", "span", "overlap_ms", "span_ms", "at_ms"});
+    for (const Overlap& o : overlaps) {
+      t.AddRow({std::string(trace.TrackName(o.span->track)), o.span->name, Ms(o.overlap),
+                Ms(o.span->dur), Ms(o.span->ts)});
+    }
+    out += t.ToString();
+  }
+  return out;
+}
+
+}  // namespace ilat

@@ -13,9 +13,14 @@ std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
 
-// Run the CLI with output captured into a string.
+// Run the CLI with output captured into a string.  The capture file is
+// named after the running test so concurrent ctest workers (which run
+// different tests of this binary in the same temp dir) never collide.
 std::pair<int, std::string> Capture(const CliOptions& options) {
-  const std::string path = TempPath("cli-out.txt");
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string path =
+      TempPath(std::string("cli-out-") + info->name() + ".txt");
   std::FILE* f = std::fopen(path.c_str(), "w");
   const int rc = RunCli(options, f);
   std::fclose(f);
@@ -141,6 +146,74 @@ TEST(CliRunTest, CsvExportWritesFiles) {
   EXPECT_EQ(rc, 0);
   std::ifstream events(o.csv_prefix + "-nt40-events.csv");
   EXPECT_TRUE(events.good());
+}
+
+TEST(CliParseTest, ParsesObservabilityFlags) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--trace-out=t.json", "--metrics-out=m.json", "--explain",
+                            "--list", "--version"},
+                           &o, &error));
+  EXPECT_EQ(o.trace_out, "t.json");
+  EXPECT_EQ(o.metrics_out, "m.json");
+  EXPECT_TRUE(o.explain);
+  EXPECT_TRUE(o.list_catalog);
+  EXPECT_TRUE(o.show_version);
+}
+
+TEST(CliRunTest, VersionPrintsVersion) {
+  CliOptions o;
+  o.show_version = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find(std::string("ilat ") + kIlatVersion), std::string::npos);
+}
+
+TEST(CliRunTest, ListPrintsCatalog) {
+  CliOptions o;
+  o.list_catalog = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("nt351"), std::string::npos);
+  EXPECT_NE(out.find("nt40"), std::string::npos);
+  EXPECT_NE(out.find("win95"), std::string::npos);
+  EXPECT_NE(out.find("notepad"), std::string::npos);
+  EXPECT_NE(out.find("test-nosync"), std::string::npos);
+}
+
+TEST(CliRunTest, TraceAndMetricsOutWriteFiles) {
+  CliOptions o;
+  o.app = "desktop";
+  o.trace_out = TempPath("cli-trace.json");
+  o.metrics_out = TempPath("cli-metrics.json");
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("wrote trace"), std::string::npos);
+
+  std::ifstream trace(o.trace_out);
+  ASSERT_TRUE(trace.good());
+  std::ostringstream tbuf;
+  tbuf << trace.rdbuf();
+  EXPECT_NE(tbuf.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(tbuf.str().find("\"ph\":\"X\""), std::string::npos);
+
+  std::ifstream metrics(o.metrics_out);
+  ASSERT_TRUE(metrics.good());
+  std::ostringstream mbuf;
+  mbuf << metrics.rdbuf();
+  EXPECT_NE(mbuf.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(mbuf.str().find("sched.context_switches"), std::string::npos);
+}
+
+TEST(CliRunTest, ExplainPrintsReport) {
+  CliOptions o;
+  o.app = "powerpoint";  // has disk-heavy events well above 1 ms
+  o.threshold_ms = 1.0;
+  o.explain = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("event #"), std::string::npos);
+  EXPECT_NE(out.find("overlap_ms"), std::string::npos);
 }
 
 }  // namespace

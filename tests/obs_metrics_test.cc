@@ -1,0 +1,137 @@
+// MetricsRegistry: counter/gauge/histogram semantics, snapshot and JSON
+// determinism.
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/measurement.h"
+#include "src/apps/notepad.h"
+#include "src/input/workloads.h"
+
+namespace ilat {
+namespace {
+
+TEST(Counter, IncrementAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, TracksHighWaterMark) {
+  obs::Gauge g;
+  g.Set(3.0);
+  g.Set(7.0);
+  g.Set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);
+  g.Add(5.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);
+}
+
+TEST(LogHistogram, BucketsByPowersOfTwo) {
+  obs::LogHistogram h(1.0, 6);
+  h.Record(0.5);   // bucket 0: <= 1
+  h.Record(1.5);   // bucket 1: <= 2
+  h.Record(3.0);   // bucket 2: <= 4
+  h.Record(100.0); // overflow -> last bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), (0.5 + 1.5 + 3.0 + 100.0) / 4.0);
+  // The overflow bucket reports the largest observed sample as its bound.
+  EXPECT_DOUBLE_EQ(h.bucket_upper(5), 100.0);
+}
+
+TEST(LogHistogram, PercentileEstimates) {
+  obs::LogHistogram h(1.0, 10);
+  for (int i = 0; i < 99; ++i) {
+    h.Record(0.5);
+  }
+  h.Record(300.0);
+  EXPECT_LE(h.Percentile(0.5), 1.0);
+  EXPECT_GE(h.Percentile(0.999), 300.0 - 1e-9);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndShared) {
+  obs::MetricsRegistry reg;
+  obs::Counter* a = reg.GetCounter("x");
+  reg.GetCounter("a");  // map insertion must not invalidate `a`
+  reg.GetCounter("z");
+  obs::Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(b->value(), 1u);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, SnapshotFlattensWithSuffixes) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("c")->Increment(5);
+  reg.GetGauge("g")->Set(2.5);
+  reg.GetHistogram("h")->Record(3.0);
+  const obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Get("c"), 5.0);
+  EXPECT_DOUBLE_EQ(snap.Get("g"), 2.5);
+  EXPECT_DOUBLE_EQ(snap.Get("h.count"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Get("h.mean"), 3.0);
+  EXPECT_TRUE(snap.Has("h.p95"));
+  EXPECT_FALSE(snap.Has("nope"));
+  EXPECT_DOUBLE_EQ(snap.Get("nope", -1.0), -1.0);
+}
+
+TEST(MetricsRegistry, JsonIsWellFormedAndReset) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("events")->Increment(3);
+  reg.GetGauge("depth")->Set(4.0);
+  reg.GetHistogram("lat_ms")->Record(12.0);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("events")->value(), 0u);
+  EXPECT_EQ(reg.GetHistogram("lat_ms")->count(), 0u);
+}
+
+// End-to-end determinism: two sessions with the same seed must produce
+// byte-identical metric snapshots (everything derives from simulated time).
+TEST(MetricsRegistry, SessionSnapshotsAreDeterministic) {
+  auto run = [] {
+    SessionOptions opts;
+    opts.seed = 7;
+    MeasurementSession session(MakeNt40(), opts);
+    session.AttachApp(std::make_unique<NotepadApp>());
+    Random rng(7);
+    return session.Run(KeystrokeTrials(10));
+  };
+  const SessionResult a = run();
+  const SessionResult b = run();
+  ASSERT_FALSE(a.metrics_json.empty());
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_EQ(a.metrics.values[i].first, b.metrics.values[i].first);
+    EXPECT_DOUBLE_EQ(a.metrics.values[i].second, b.metrics.values[i].second);
+  }
+  // The acceptance bar: a real session populates a healthy registry.
+  EXPECT_GE(a.metrics.size(), 8u);
+  EXPECT_GT(a.metrics.Get("sched.context_switches"), 0.0);
+  EXPECT_GT(a.metrics.Get("sched.interrupts"), 0.0);
+  EXPECT_GT(a.metrics.Get("mq.posted"), 0.0);
+  EXPECT_GT(a.metrics.Get("app.messages_handled"), 0.0);
+  EXPECT_GT(a.metrics.Get("idle.records"), 0.0);
+}
+
+}  // namespace
+}  // namespace ilat

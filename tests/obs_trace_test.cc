@@ -1,0 +1,216 @@
+// Tracer/TraceSink/Span semantics and the Chrome-JSON / CSV exporters.
+
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/apps/notepad.h"
+#include "src/core/measurement.h"
+#include "src/input/workloads.h"
+#include "src/obs/trace_export.h"
+
+namespace ilat {
+namespace {
+
+// A hand-cranked clock for driving the tracer without a simulator.
+class FakeClock : public obs::TraceClock {
+ public:
+  Cycles TraceNow() const override { return now; }
+  Cycles now = 0;
+};
+
+TEST(Tracer, NullSinkEmitsNothing) {
+  obs::Tracer tracer;
+  FakeClock clock;
+  tracer.SetClock(&clock);
+  EXPECT_FALSE(tracer.enabled());
+  // None of these may crash or allocate a sink.
+  tracer.CompleteSpan(0, "work", "cat", 0, 100);
+  tracer.Instant(0, "tick", "cat", 5);
+  tracer.CounterValue(0, "depth", 5, 3.0);
+  { obs::Span s(&tracer, 0, "scoped", "cat"); }
+  obs::TraceData data = tracer.TakeData();
+  EXPECT_TRUE(data.events.empty());
+  EXPECT_EQ(data.tracks.size(), 1u);  // track 0 ("sim") always exists
+}
+
+TEST(Tracer, RecordsSpansInstantsAndCounters) {
+  obs::Tracer tracer;
+  FakeClock clock;
+  tracer.SetClock(&clock);
+  const std::uint32_t track = tracer.RegisterTrack("cpu");
+  obs::TraceSink sink;
+  tracer.AttachSink(&sink);
+
+  tracer.CompleteSpan(track, "run", "sched", 100, 50, "tid", 7.0);
+  tracer.Instant(track, "tick", "device", 160);
+  tracer.CounterValue(track, "depth", 170, 2.0);
+  ASSERT_EQ(sink.size(), 3u);
+
+  obs::TraceData data = tracer.TakeData();
+  ASSERT_EQ(data.events.size(), 3u);
+  EXPECT_EQ(data.events[0].phase, obs::Phase::kComplete);
+  EXPECT_EQ(data.events[0].name, "run");
+  EXPECT_EQ(data.events[0].ts, 100);
+  EXPECT_EQ(data.events[0].dur, 50);
+  EXPECT_STREQ(data.events[0].arg0_key, "tid");
+  EXPECT_EQ(data.events[1].phase, obs::Phase::kInstant);
+  EXPECT_EQ(data.events[2].phase, obs::Phase::kCounter);
+  EXPECT_EQ(data.TrackName(track), "cpu");
+  // TakeData drained the sink but left it attached.
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_TRUE(tracer.enabled());
+}
+
+TEST(Tracer, SpansNestAndStampSimulatedTime) {
+  obs::Tracer tracer;
+  FakeClock clock;
+  tracer.SetClock(&clock);
+  obs::TraceSink sink;
+  tracer.AttachSink(&sink);
+
+  clock.now = 1000;
+  {
+    obs::Span outer(&tracer, 0, "outer", "test");
+    clock.now = 1200;
+    {
+      obs::Span inner(&tracer, 0, "inner", "test");
+      inner.AddArg("n", 1.0);
+      clock.now = 1300;
+    }  // inner ends first
+    clock.now = 1500;
+  }
+  obs::TraceData data = tracer.TakeData();
+  ASSERT_EQ(data.events.size(), 2u);
+  // Destruction order: inner, then outer.
+  EXPECT_EQ(data.events[0].name, "inner");
+  EXPECT_EQ(data.events[0].ts, 1200);
+  EXPECT_EQ(data.events[0].dur, 100);
+  EXPECT_EQ(data.events[1].name, "outer");
+  EXPECT_EQ(data.events[1].ts, 1000);
+  EXPECT_EQ(data.events[1].dur, 500);
+  // Nesting: outer's window contains inner's.
+  EXPECT_LE(data.events[1].ts, data.events[0].ts);
+  EXPECT_GE(data.events[1].ts + data.events[1].dur, data.events[0].ts + data.events[0].dur);
+}
+
+TEST(TraceSink, CapacityDropsNotGrows) {
+  obs::TraceSink sink(2);
+  sink.Append(obs::TraceEvent{});
+  sink.Append(obs::TraceEvent{});
+  sink.Append(obs::TraceEvent{});
+  EXPECT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.dropped(), 1u);
+  EXPECT_TRUE(sink.AtCapacity());
+}
+
+TEST(TraceExport, ChromeJsonRoundTrip) {
+  obs::Tracer tracer;
+  FakeClock clock;
+  tracer.SetClock(&clock);
+  const std::uint32_t track = tracer.RegisterTrack("disk");
+  obs::TraceSink sink;
+  tracer.AttachSink(&sink);
+  tracer.CompleteSpan(track, "read", "disk", 200, 100, "block", 17.0);
+  tracer.Instant(track, "tick \"quoted\"", "device", 400);
+  tracer.CounterValue(track, "depth", 500, 1.0);
+
+  const std::string json = obs::TraceToChromeJson(tracer.TakeData());
+  // 200 cycles = 2 us at 100 MHz.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2.00"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.00"), std::string::npos);
+  EXPECT_NE(json.find("\"block\":17"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // Track metadata rows.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"disk\""), std::string::npos);
+  // Quotes in names are escaped.
+  EXPECT_NE(json.find("tick \\\"quoted\\\""), std::string::npos);
+  EXPECT_EQ(json.find("tick \"quoted\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceExport, CsvQuoting) {
+  obs::TraceData data;
+  data.tracks = {"sim", "mq,comma"};
+  obs::TraceEvent e;
+  e.phase = obs::Phase::kComplete;
+  e.track = 1;
+  e.name = "has\"quote";
+  e.category = "mq";
+  e.ts = 100;
+  e.dur = 100;
+  data.events.push_back(e);
+  const std::string csv = obs::TraceToCsv(data);
+  EXPECT_NE(csv.find("\"mq,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_EQ(csv.substr(0, 5), "ts_us");
+}
+
+// End-to-end: a traced session produces events from every instrumented
+// subsystem and the same seed gives a byte-identical export.
+TEST(TraceEndToEnd, SessionTraceCoversSubsystemsDeterministically) {
+  auto run = [] {
+    SessionOptions opts;
+    opts.seed = 11;
+    opts.collect_trace = true;
+    MeasurementSession session(MakeNt40(), opts);
+    session.AttachApp(std::make_unique<NotepadApp>());
+    return session.Run(KeystrokeTrials(8));
+  };
+  const SessionResult a = run();
+  ASSERT_NE(a.trace_data, nullptr);
+  EXPECT_FALSE(a.trace_data->events.empty());
+
+  auto has_category = [&](std::string_view cat) {
+    for (const obs::TraceEvent& e : a.trace_data->events) {
+      if (e.category != nullptr && cat == e.category) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_category("sched"));    // scheduler run spans
+  EXPECT_TRUE(has_category("mq"));       // message queue activity
+  EXPECT_TRUE(has_category("device"));   // periodic device ticks
+  EXPECT_TRUE(has_category("dispatch")); // app message handling
+  EXPECT_TRUE(has_category("state"));    // think/wait FSM bands
+
+  const SessionResult b = run();
+  ASSERT_NE(b.trace_data, nullptr);
+  EXPECT_EQ(obs::TraceToChromeJson(*a.trace_data), obs::TraceToChromeJson(*b.trace_data));
+}
+
+// The no-sink run must not perturb the simulation: identical seeds with
+// and without tracing yield identical latency results.
+TEST(TraceEndToEnd, TracingDoesNotPerturbSimulation) {
+  auto run = [](bool collect) {
+    SessionOptions opts;
+    opts.seed = 13;
+    opts.collect_trace = collect;
+    MeasurementSession session(MakeNt40(), opts);
+    session.AttachApp(std::make_unique<NotepadApp>());
+    return session.Run(KeystrokeTrials(6));
+  };
+  const SessionResult off = run(false);
+  const SessionResult on = run(true);
+  EXPECT_EQ(off.trace_data, nullptr);
+  ASSERT_EQ(off.events.size(), on.events.size());
+  for (std::size_t i = 0; i < off.events.size(); ++i) {
+    EXPECT_EQ(off.events[i].latency(), on.events[i].latency());
+    EXPECT_EQ(off.events[i].start, on.events[i].start);
+    EXPECT_EQ(off.events[i].end, on.events[i].end);
+  }
+  EXPECT_EQ(off.run_end, on.run_end);
+}
+
+}  // namespace
+}  // namespace ilat
