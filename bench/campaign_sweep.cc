@@ -1,0 +1,111 @@
+// Campaign sweep: the paper's whole §5 comparison as ONE declarative run.
+//
+// Endo et al. compare 3 OSes x 3 applications by hand, one benchmark at a
+// time.  The campaign runner turns that into a single cross-product sweep
+// (3 os x 3 app x 4 seeds = 36 cells here), executed by a worker pool with
+// per-cell derived seeds, and aggregated into the comparison matrices the
+// paper builds manually.  This bench doubles as the perf harness for the
+// runner itself: it times the identical sweep at 1 worker and at 8,
+// verifies the aggregates are byte-identical (the determinism contract),
+// and snapshots the wall-clock speedup into bench_out/BENCH_campaign.json
+// for the perf trajectory.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/campaign/gate.h"
+#include "src/campaign/runner.h"
+
+namespace ilat {
+namespace {
+
+bool RunOnce(const campaign::CampaignSpec& spec, int jobs, std::string* json,
+             campaign::CampaignRunStats* stats) {
+  campaign::CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  campaign::CampaignRunOptions options;
+  options.jobs = jobs;
+  std::string error;
+  if (!campaign::RunCampaign(spec, options, &aggregate, stats, &error)) {
+    std::fprintf(stderr, "campaign failed: %s\n", error.c_str());
+    return false;
+  }
+  *json = aggregate.ToJson();
+  if (jobs == 1) {
+    std::printf("%s\n", aggregate.RenderTables().c_str());
+  }
+  return true;
+}
+
+void Run() {
+  Banner("Campaign sweep -- 3 os x 3 app x 4 seeds (36 cells)",
+         "Declarative cross-product; 1-thread vs 8-thread determinism + speedup");
+
+  campaign::CampaignSpec spec;
+  spec.name = "paper-matrix";
+  spec.oses = {};  // all personalities
+  spec.apps = {"notepad", "word", "powerpoint"};
+  spec.seeds_per_cell = 4;
+  spec.campaign_seed = 1996;  // OSDI '96
+
+  std::string json1;
+  std::string json8;
+  campaign::CampaignRunStats stats1;
+  campaign::CampaignRunStats stats8;
+  if (!RunOnce(spec, 1, &json1, &stats1) || !RunOnce(spec, 8, &json8, &stats8)) {
+    return;
+  }
+  const bool identical = json1 == json8;
+  const double speedup =
+      stats8.wall_seconds > 0.0 ? stats1.wall_seconds / stats8.wall_seconds : 0.0;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  TextTable t({"jobs", "cells", "wall (s)", "speedup", "aggregate"});
+  t.AddRow({"1", std::to_string(stats1.cells), TextTable::Num(stats1.wall_seconds, 3), "1.00",
+            "baseline"});
+  t.AddRow({"8", std::to_string(stats8.cells), TextTable::Num(stats8.wall_seconds, 3),
+            TextTable::Num(speedup, 2), identical ? "byte-identical" : "MISMATCH"});
+  std::printf("%s", t.ToString().c_str());
+  std::printf("host cores: %u (speedup is bounded by physical parallelism)\n", hw);
+  if (!identical) {
+    std::printf("ERROR: aggregates differ between 1 and 8 jobs -- determinism bug\n");
+  }
+
+  // Self-gate: the aggregate must pass a regression gate against itself.
+  campaign::CampaignSpec respec = spec;
+  campaign::CampaignAggregate again(respec.name, respec.campaign_seed, respec.threshold_ms);
+  campaign::CampaignRunOptions options;
+  options.jobs = 8;
+  campaign::CampaignRunStats restats;
+  std::string error;
+  if (campaign::RunCampaign(respec, options, &again, &restats, &error)) {
+    campaign::GateReport report;
+    campaign::GateOptions gate_options;
+    if (campaign::RunRegressionGate(json1, again, gate_options, &report, &error)) {
+      std::printf("%s", report.Render(gate_options).c_str());
+    } else {
+      std::printf("gate error: %s\n", error.c_str());
+    }
+  }
+
+  // Perf-trajectory snapshot.
+  const std::string path = BenchOutDir() + "/BENCH_campaign.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\"cells\": %zu, \"host_cores\": %u, \"wall_s_jobs1\": %.6f, "
+                 "\"wall_s_jobs8\": %.6f, \"speedup\": %.3f, \"deterministic\": %s}\n",
+                 stats1.cells, hw, stats1.wall_seconds, stats8.wall_seconds, speedup,
+                 identical ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::Run();
+  return 0;
+}

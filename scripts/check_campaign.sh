@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Smoke-test the campaign pipeline end to end: run a small 2-os x 2-app
+# sweep through the CLI with 2 worker threads, check the aggregate JSON is
+# well-formed and deterministic across thread counts, then run the
+# regression gate against the sweep's own output (which must pass).
+# Assumes a built tree (cmake -B build -S . && cmake --build build); pass a
+# different build dir as $1.
+set -euo pipefail
+
+build_dir="${1:-build}"
+ilat="$build_dir/src/tools/ilat"
+if [[ ! -x "$ilat" ]]; then
+  echo "error: $ilat not found -- build the project first" >&2
+  exit 2
+fi
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+spec="$out_dir/spec.txt"
+cat > "$spec" <<'EOF'
+# 2 os x 2 app x 1 seed smoke campaign
+name   = smoke
+os     = nt40, win95
+app    = notepad, desktop
+seeds  = 1
+seed   = 2026
+EOF
+
+# Parallel run, then a single-threaded rerun: the aggregates must be
+# byte-identical (the campaign determinism contract).
+"$ilat" --campaign="$spec" --jobs=2 --campaign-out="$out_dir/j2" >/dev/null
+"$ilat" --campaign="$spec" --jobs=1 --campaign-out="$out_dir/j1" >/dev/null
+cmp "$out_dir/j1/aggregate.json" "$out_dir/j2/aggregate.json"
+
+# Well-formed JSON?
+python3 -m json.tool "$out_dir/j2/aggregate.json" >/dev/null
+
+# Structural checks on the aggregate.
+python3 - "$out_dir/j2/aggregate.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+assert agg["campaign"]["cells"] == 4, agg["campaign"]
+assert len(agg["cells"]) == 4
+for key in ("overall", "os:nt40", "os:win95", "app:notepad", "app:desktop",
+            "os:nt40|app:notepad"):
+    assert key in agg["groups"], f"missing group {key!r}"
+overall = agg["groups"]["overall"]
+assert overall["events"] > 0
+assert overall["p95_ms"] >= overall["p50_ms"] >= 0
+assert agg["metrics"], "no merged metrics"
+assert any(k.startswith("sched.") for k in agg["metrics"]), "no scheduler metrics merged"
+print(f"aggregate ok: {overall['events']} events across {agg['campaign']['cells']} cells")
+EOF
+
+# The regression gate against the run's own aggregate must pass...
+"$ilat" --campaign="$spec" --jobs=2 \
+        --campaign-baseline="$out_dir/j2/aggregate.json" | grep -q "PASS"
+
+# ...and a doctored "everything was instant" baseline must fail (exit 1).
+python3 - "$out_dir/j2/aggregate.json" "$out_dir/tiny.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+for group in agg["groups"].values():
+    for key in ("p50_ms", "p95_ms", "p99_ms", "max_ms"):
+        group[key] = 1e-6
+with open(sys.argv[2], "w") as f:
+    json.dump(agg, f)
+EOF
+if "$ilat" --campaign="$spec" --jobs=2 --campaign-baseline="$out_dir/tiny.json" >/dev/null; then
+  echo "error: gate passed against an impossible baseline" >&2
+  exit 1
+fi
+
+echo "check_campaign: all good"

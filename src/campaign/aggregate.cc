@@ -1,0 +1,243 @@
+#include "src/campaign/aggregate.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+#include "src/analysis/cumulative.h"
+#include "src/analysis/stats.h"
+#include "src/viz/table.h"
+
+namespace ilat {
+namespace campaign {
+
+namespace {
+
+// Same compact deterministic formatting the metrics registry uses.
+std::string NumToJson(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string GroupToJson(const GroupStats& g, const std::string& indent) {
+  std::string out = "{";
+  out += "\"cells\": " + std::to_string(g.cells);
+  out += ", \"events\": " + std::to_string(g.events);
+  out += ", \"above\": " + std::to_string(g.above);
+  out += ", \"elapsed_s\": " + NumToJson(g.elapsed_s);
+  out += ", \"cumulative_ms\": " + NumToJson(g.cumulative_ms);
+  out += ", \"mean_ms\": " +
+         NumToJson(g.events > 0 ? g.cumulative_ms / static_cast<double>(g.events) : 0.0);
+  out += ", \"p50_ms\": " + NumToJson(g.PercentileMs(50.0));
+  out += ", \"p95_ms\": " + NumToJson(g.PercentileMs(95.0));
+  out += ", \"p99_ms\": " + NumToJson(g.PercentileMs(99.0));
+  out += ", \"max_ms\": " + NumToJson(g.MaxMs());
+  out += ",\n" + indent + " \"buckets\": [";
+  bool first = true;
+  for (int i = 0; i < g.hist.num_buckets(); ++i) {
+    if (g.hist.bucket_count(i) == 0) {
+      continue;
+    }
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "{\"le\": " + NumToJson(g.hist.bucket_upper(i)) +
+           ", \"n\": " + std::to_string(g.hist.bucket_count(i)) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace
+
+CellResult SummarizeCell(const CampaignCell& cell, const SessionResult& result,
+                         double threshold_ms) {
+  CellResult r;
+  r.cell = cell;
+  r.events = result.events.size();
+  r.elapsed_s = result.elapsed_seconds();
+  r.cumulative_ms = TotalLatencyMs(result.events);
+  r.mean_ms = r.events > 0 ? r.cumulative_ms / static_cast<double>(r.events) : 0.0;
+  r.latencies_ms.reserve(r.events);
+  for (const EventRecord& e : result.events) {
+    const double ms = e.latency_ms();
+    r.latencies_ms.push_back(ms);
+    if (ms > threshold_ms) {
+      ++r.above;
+    }
+  }
+  r.p50_ms = Percentile(r.latencies_ms, 50.0);
+  r.p95_ms = Percentile(r.latencies_ms, 95.0);
+  r.p99_ms = Percentile(r.latencies_ms, 99.0);
+  r.max_ms = r.latencies_ms.empty()
+                 ? 0.0
+                 : *std::max_element(r.latencies_ms.begin(), r.latencies_ms.end());
+  r.metrics = result.metrics;
+  return r;
+}
+
+void GroupStats::Add(const CellResult& r) {
+  ++cells;
+  events += r.events;
+  above += r.above;
+  elapsed_s += r.elapsed_s;
+  cumulative_ms += r.cumulative_ms;
+  latencies_ms.insert(latencies_ms.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  for (double ms : r.latencies_ms) {
+    hist.Record(ms);
+  }
+}
+
+double GroupStats::PercentileMs(double p) const { return Percentile(latencies_ms, p); }
+
+double GroupStats::MaxMs() const {
+  return latencies_ms.empty()
+             ? 0.0
+             : *std::max_element(latencies_ms.begin(), latencies_ms.end());
+}
+
+CampaignAggregate::CampaignAggregate(std::string name, std::uint64_t campaign_seed,
+                                     double threshold_ms)
+    : name_(std::move(name)), campaign_seed_(campaign_seed), threshold_ms_(threshold_ms) {}
+
+void CampaignAggregate::Add(CellResult r) {
+  overall_.Add(r);
+  groups_["os:" + r.cell.os].Add(r);
+  groups_["app:" + r.cell.app].Add(r);
+  groups_["os:" + r.cell.os + "|app:" + r.cell.app].Add(r);
+  metrics_.Add(r.metrics);
+  // Keep the stored row compact: the exact latencies live on only inside
+  // the group rollups, and the metrics snapshot only in the accumulator.
+  r.latencies_ms.clear();
+  r.latencies_ms.shrink_to_fit();
+  r.metrics = obs::MetricsSnapshot();
+  cells_.push_back(std::move(r));
+}
+
+std::string CampaignAggregate::ToJson() const {
+  std::string out = "{\n";
+  out += "  \"campaign\": {\"name\": \"" + EscapeJson(name_) + "\", \"seed\": " +
+         std::to_string(campaign_seed_) + ", \"threshold_ms\": " + NumToJson(threshold_ms_) +
+         ", \"cells\": " + std::to_string(cells_.size()) + "},\n";
+
+  out += "  \"cells\": [";
+  bool first = true;
+  for (const CellResult& r : cells_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"index\": " + std::to_string(r.cell.index) + ", \"os\": \"" +
+           EscapeJson(r.cell.os) + "\", \"app\": \"" + EscapeJson(r.cell.app) +
+           "\", \"workload\": \"" + EscapeJson(r.cell.workload) + "\", \"driver\": \"" +
+           EscapeJson(r.cell.driver) + "\", \"seed\": " + std::to_string(r.cell.seed) +
+           ", \"events\": " + std::to_string(r.events) +
+           ", \"above\": " + std::to_string(r.above) +
+           ", \"elapsed_s\": " + NumToJson(r.elapsed_s) +
+           ", \"cumulative_ms\": " + NumToJson(r.cumulative_ms) +
+           ", \"mean_ms\": " + NumToJson(r.mean_ms) + ", \"p50_ms\": " + NumToJson(r.p50_ms) +
+           ", \"p95_ms\": " + NumToJson(r.p95_ms) + ", \"p99_ms\": " + NumToJson(r.p99_ms) +
+           ", \"max_ms\": " + NumToJson(r.max_ms) + "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"groups\": {\n    \"overall\": " + GroupToJson(overall_, "    ");
+  for (const auto& [key, g] : groups_) {
+    out += ",\n    \"" + EscapeJson(key) + "\": " + GroupToJson(g, "    ");
+  }
+  out += "\n  },\n";
+
+  out += "  \"metrics\": " + metrics_.ToJson("  ") + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string CampaignAggregate::ToCellsCsv() const {
+  std::string out =
+      "index,os,app,workload,driver,seed,events,above,elapsed_s,cumulative_ms,"
+      "mean_ms,p50_ms,p95_ms,p99_ms,max_ms\n";
+  for (const CellResult& r : cells_) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%zu,%s,%s,%s,%s,%llu,%zu,%zu,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+                  r.cell.index, r.cell.os.c_str(), r.cell.app.c_str(),
+                  r.cell.workload.c_str(), r.cell.driver.c_str(),
+                  static_cast<unsigned long long>(r.cell.seed), r.events, r.above,
+                  r.elapsed_s, r.cumulative_ms, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
+                  r.max_ms);
+    out += buf;
+  }
+  return out;
+}
+
+std::string CampaignAggregate::RenderTables() const {
+  // Axis orders: first appearance in cell order (i.e. spec order).
+  std::vector<std::string> oses;
+  std::vector<std::string> apps;
+  for (const CellResult& r : cells_) {
+    if (std::find(oses.begin(), oses.end(), r.cell.os) == oses.end()) {
+      oses.push_back(r.cell.os);
+    }
+    if (std::find(apps.begin(), apps.end(), r.cell.app) == apps.end()) {
+      apps.push_back(r.cell.app);
+    }
+  }
+
+  std::string out;
+  auto matrix = [&](const std::string& title,
+                    const std::function<std::string(const GroupStats&)>& fmt) {
+    std::vector<std::string> header = {"os \\ app"};
+    header.insert(header.end(), apps.begin(), apps.end());
+    TextTable t(header);
+    for (const std::string& os : oses) {
+      std::vector<std::string> row = {os};
+      for (const std::string& app : apps) {
+        auto it = groups_.find("os:" + os + "|app:" + app);
+        row.push_back(it != groups_.end() ? fmt(it->second) : "-");
+      }
+      t.AddRow(row);
+    }
+    return title + "\n" + t.ToString();
+  };
+
+  out += matrix("p95 latency (ms) by os x app",
+                [](const GroupStats& g) { return TextTable::Num(g.PercentileMs(95.0), 2); });
+  out += "\n";
+  out += matrix(
+      "events > " + TextTable::Num(threshold_ms_, 0) + " ms by os x app",
+      [](const GroupStats& g) { return std::to_string(g.above); });
+  out += "\n";
+
+  TextTable summary(
+      {"group", "cells", "events", "above", "cum lat (ms)", "p50", "p95", "p99", "max (ms)"});
+  auto add_group = [&](const std::string& label, const GroupStats& g) {
+    summary.AddRow({label, std::to_string(g.cells), std::to_string(g.events),
+                    std::to_string(g.above), TextTable::Num(g.cumulative_ms, 1),
+                    TextTable::Num(g.PercentileMs(50.0), 2),
+                    TextTable::Num(g.PercentileMs(95.0), 2),
+                    TextTable::Num(g.PercentileMs(99.0), 2), TextTable::Num(g.MaxMs(), 1)});
+  };
+  for (const std::string& os : oses) {
+    auto it = groups_.find("os:" + os);
+    if (it != groups_.end()) {
+      add_group(os, it->second);
+    }
+  }
+  add_group("overall", overall_);
+  out += "per-os summary\n" + summary.ToString();
+  return out;
+}
+
+}  // namespace campaign
+}  // namespace ilat

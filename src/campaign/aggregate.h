@@ -1,0 +1,106 @@
+// Streaming aggregation of campaign cells into comparison matrices.
+//
+// A sweep's value is the *comparison*: which OS keeps p95 under the
+// irritation threshold for which application, and by how much.  The
+// aggregator consumes one compact CellResult per finished session --
+// never the session's full event/trace payload, so a thousand-cell sweep
+// holds one SessionResult at a time per worker -- and maintains grouped
+// rollups (per-os, per-app, per-os-x-app, overall) plus a merged metrics
+// accumulator from each cell's obs registry.
+//
+// Determinism contract: Add() must be called in cell-index order (the
+// runner guarantees this regardless of --jobs); given that, ToJson() is
+// byte-identical for any thread count.  Nothing host-dependent (wall
+// time, thread counts, paths) is ever serialised into the aggregate.
+
+#ifndef ILAT_SRC_CAMPAIGN_AGGREGATE_H_
+#define ILAT_SRC_CAMPAIGN_AGGREGATE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/campaign/spec.h"
+#include "src/core/measurement.h"
+#include "src/obs/metrics.h"
+
+namespace ilat {
+namespace campaign {
+
+// The per-session summary a cell contributes to the aggregate.
+struct CellResult {
+  CampaignCell cell;
+  std::size_t events = 0;
+  std::size_t above = 0;  // events over the campaign threshold
+  double elapsed_s = 0.0;
+  double cumulative_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::vector<double> latencies_ms;  // exact per-event latencies
+  obs::MetricsSnapshot metrics;
+};
+
+// Distil a finished session into its cell summary.
+CellResult SummarizeCell(const CampaignCell& cell, const SessionResult& result,
+                         double threshold_ms);
+
+// One rollup row (a group is "overall", an os, an app, or an os|app pair).
+struct GroupStats {
+  std::size_t cells = 0;
+  std::uint64_t events = 0;
+  std::uint64_t above = 0;
+  double elapsed_s = 0.0;
+  double cumulative_ms = 0.0;
+  // Exact latencies, appended in cell-index order; percentiles computed on
+  // demand.  A compact log-histogram rides along for the JSON output.
+  std::vector<double> latencies_ms;
+  obs::LogHistogram hist{0.125, 24};
+
+  void Add(const CellResult& r);
+  double PercentileMs(double p) const;  // p in [0, 100]
+  double MaxMs() const;
+};
+
+class CampaignAggregate {
+ public:
+  CampaignAggregate(std::string name, std::uint64_t campaign_seed, double threshold_ms);
+
+  // Feed in cell-index order.  The cell's exact latencies are folded into
+  // the group rollups and then dropped from the stored row.
+  void Add(CellResult r);
+
+  const std::vector<CellResult>& cells() const { return cells_; }
+  const GroupStats& overall() const { return overall_; }
+  const std::map<std::string, GroupStats>& groups() const { return groups_; }
+  double threshold_ms() const { return threshold_ms_; }
+
+  // Deterministic aggregate JSON (the artifact baselines are saved from).
+  std::string ToJson() const;
+
+  // Per-cell CSV rows (one line per cell, header included).
+  std::string ToCellsCsv() const;
+
+  // Human-readable comparison matrices (os x app p95 and above-threshold
+  // counts) plus per-os summary rows.
+  std::string RenderTables() const;
+
+ private:
+  std::string name_;
+  std::uint64_t campaign_seed_;
+  double threshold_ms_;
+  std::vector<CellResult> cells_;
+  GroupStats overall_;
+  // Keyed "os:nt40", "app:word", "os:nt40|app:word" -- the same keys the
+  // JSON "groups" object and the regression gate use.
+  std::map<std::string, GroupStats> groups_;
+  obs::SnapshotAccumulator metrics_;
+};
+
+}  // namespace campaign
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CAMPAIGN_AGGREGATE_H_

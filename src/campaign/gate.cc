@@ -1,0 +1,127 @@
+#include "src/campaign/gate.h"
+
+#include <cstdio>
+
+#include "src/campaign/json.h"
+#include "src/viz/table.h"
+
+namespace ilat {
+namespace campaign {
+
+namespace {
+
+bool CurrentMetric(const GroupStats& g, const std::string& metric, double* out) {
+  if (metric == "p50_ms") {
+    *out = g.PercentileMs(50.0);
+  } else if (metric == "p95_ms") {
+    *out = g.PercentileMs(95.0);
+  } else if (metric == "p99_ms") {
+    *out = g.PercentileMs(99.0);
+  } else if (metric == "max_ms") {
+    *out = g.MaxMs();
+  } else if (metric == "mean_ms") {
+    *out = g.events > 0 ? g.cumulative_ms / static_cast<double>(g.events) : 0.0;
+  } else if (metric == "cumulative_ms") {
+    *out = g.cumulative_ms;
+  } else if (metric == "above") {
+    *out = static_cast<double>(g.above);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string GateReport::Render(const GateOptions& options) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "regression gate: %zu comparisons, tolerance %.3g%% (+%.3g ms floor)\n",
+                comparisons, options.tolerance_pct, options.abs_floor_ms);
+  out += line;
+  for (const std::string& note : notes) {
+    out += "  note: " + note + "\n";
+  }
+  if (regressions.empty()) {
+    out += "  PASS: no metric regressed\n";
+    return out;
+  }
+  TextTable t({"group", "metric", "baseline", "current", "limit"});
+  for (const GateFinding& f : regressions) {
+    t.AddRow({f.group, f.metric, TextTable::Num(f.baseline, 3), TextTable::Num(f.current, 3),
+              TextTable::Num(f.limit, 3)});
+  }
+  out += "  FAIL: " + std::to_string(regressions.size()) + " regression(s)\n" + t.ToString();
+  return out;
+}
+
+bool RunRegressionGate(const std::string& baseline_json, const CampaignAggregate& current,
+                       const GateOptions& options, GateReport* report, std::string* error) {
+  *report = GateReport();
+
+  JsonValue root;
+  if (!ParseJson(baseline_json, &root, error)) {
+    *error = "baseline JSON: " + *error;
+    return false;
+  }
+  const JsonValue* groups = root.Find("groups");
+  if (groups == nullptr || !groups->is_object()) {
+    *error = "baseline JSON has no \"groups\" object";
+    return false;
+  }
+
+  auto find_current = [&](const std::string& key) -> const GroupStats* {
+    if (key == "overall") {
+      return &current.overall();
+    }
+    auto it = current.groups().find(key);
+    return it != current.groups().end() ? &it->second : nullptr;
+  };
+
+  for (const auto& [key, baseline_group] : groups->members) {
+    if (!baseline_group.is_object()) {
+      continue;
+    }
+    const GroupStats* cur = find_current(key);
+    if (cur == nullptr) {
+      report->notes.push_back("group '" + key + "' in baseline but not in this run; skipped");
+      continue;
+    }
+    for (const std::string& metric : options.metrics) {
+      const JsonValue* base_value = baseline_group.Find(metric);
+      if (base_value == nullptr || !base_value->is_number()) {
+        report->notes.push_back("baseline group '" + key + "' has no metric '" + metric +
+                                "'; skipped");
+        continue;
+      }
+      double cur_value = 0.0;
+      if (!CurrentMetric(*cur, metric, &cur_value)) {
+        report->notes.push_back("unknown gate metric '" + metric + "'; skipped");
+        continue;
+      }
+      ++report->comparisons;
+      const double baseline = base_value->number;
+      const double limit = baseline * (1.0 + options.tolerance_pct / 100.0);
+      if (cur_value > limit && cur_value - baseline > options.abs_floor_ms) {
+        report->regressions.push_back(GateFinding{key, metric, baseline, cur_value, limit});
+      }
+    }
+  }
+
+  // Coverage sanity: flag a cell-count change (different campaign shape).
+  const JsonValue* campaign = root.Find("campaign");
+  if (campaign != nullptr) {
+    const double base_cells = campaign->NumberAt("cells", -1.0);
+    if (base_cells >= 0.0 &&
+        base_cells != static_cast<double>(current.cells().size())) {
+      report->notes.push_back(
+          "cell count changed: baseline " + std::to_string(static_cast<long long>(base_cells)) +
+          ", current " + std::to_string(current.cells().size()));
+    }
+  }
+  return true;
+}
+
+}  // namespace campaign
+}  // namespace ilat

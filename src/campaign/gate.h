@@ -1,0 +1,64 @@
+// Baseline/regression gating for campaign aggregates.
+//
+// A saved aggregate JSON doubles as a performance contract: re-running the
+// same campaign at a later commit and comparing group percentiles against
+// the baseline turns "did we get slower?" into an exit code.  Semantics:
+//
+//   * Only groups present in BOTH the baseline and the current aggregate
+//     are compared (a renamed app shrinks coverage, it does not fail the
+//     gate -- but the report notes every skipped group).
+//   * A metric regresses when current > baseline * (1 + tolerance_pct/100)
+//     AND current - baseline > abs_floor_ms.  The absolute floor keeps
+//     sub-millisecond jitter on fast groups from tripping a relative gate.
+//   * Improvements never fail the gate.
+//
+// The compared metrics default to p50/p95/p99/max and are configurable
+// (--gate-percentiles), matching the keys of the aggregate's "groups"
+// rows.
+
+#ifndef ILAT_SRC_CAMPAIGN_GATE_H_
+#define ILAT_SRC_CAMPAIGN_GATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/aggregate.h"
+
+namespace ilat {
+namespace campaign {
+
+struct GateOptions {
+  double tolerance_pct = 10.0;
+  double abs_floor_ms = 0.25;
+  // Keys into the aggregate's group rows.
+  std::vector<std::string> metrics = {"p50_ms", "p95_ms", "p99_ms", "max_ms"};
+};
+
+struct GateFinding {
+  std::string group;
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double limit = 0.0;  // baseline * (1 + tolerance)
+};
+
+struct GateReport {
+  std::size_t comparisons = 0;
+  std::vector<GateFinding> regressions;
+  std::vector<std::string> notes;  // skipped groups, coverage changes
+
+  bool ok() const { return regressions.empty(); }
+  std::string Render(const GateOptions& options) const;
+};
+
+// Compare `current` against a baseline aggregate JSON document.  Returns
+// false (with *error) when the baseline cannot be parsed or has no
+// "groups" object; gate *failure* is reported via report->ok(), not the
+// return value.
+bool RunRegressionGate(const std::string& baseline_json, const CampaignAggregate& current,
+                       const GateOptions& options, GateReport* report, std::string* error);
+
+}  // namespace campaign
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CAMPAIGN_GATE_H_

@@ -1,0 +1,275 @@
+#include "src/campaign/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ilat {
+namespace campaign {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& what) {
+    *error_ = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        if (!Literal("true")) {
+          return Fail("bad literal");
+        }
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return true;
+      case 'f':
+        if (!Literal("false")) {
+          return Fail("bad literal");
+        }
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return true;
+      case 'n':
+        if (!Literal("null")) {
+          return Fail("bad literal");
+        }
+        out->kind = JsonValue::Kind::kNull;
+        return true;
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->members[key] = std::move(value);
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue value;
+      if (!ParseValue(&value)) {
+        return false;
+      }
+      out->items.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return Fail("unterminated array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          // Our writers only emit \u00XX control escapes; decode the low
+          // byte and reject anything wider.
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          const std::string hex(text_.substr(pos_, 4));
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4 || code > 0xFF) {
+            return Fail("unsupported \\u escape");
+          }
+          pos_ += 4;
+          *out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      return Fail("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) {
+    return nullptr;
+  }
+  auto it = members.find(key);
+  return it != members.end() ? &it->second : nullptr;
+}
+
+double JsonValue::NumberAt(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {
+  *out = JsonValue();
+  std::string local_error;
+  Parser p(text, error != nullptr ? error : &local_error);
+  return p.Parse(out);
+}
+
+}  // namespace campaign
+}  // namespace ilat

@@ -1,0 +1,54 @@
+// Minimal JSON reader for the campaign subsystem.
+//
+// The toolkit writes JSON in several places (metrics snapshots, Chrome
+// traces, campaign aggregates) but until the regression gate it never had
+// to read any back.  This is a small recursive-descent parser for exactly
+// the dialect we emit: objects, arrays, strings (with the escapes our
+// writers produce), numbers, booleans, null.  It is not a general-purpose
+// JSON library -- no \uXXXX surrogate pairs, no BOM handling -- and lives
+// in campaign/ rather than a third_party dependency on purpose: the
+// container ships no JSON package and the gate only ever parses our own
+// deterministic output.
+
+#ifndef ILAT_SRC_CAMPAIGN_JSON_H_
+#define ILAT_SRC_CAMPAIGN_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ilat {
+namespace campaign {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                // kArray
+  std::map<std::string, JsonValue> members;    // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Member `key` as a number; `fallback` when absent or non-numeric.
+  double NumberAt(const std::string& key, double fallback = 0.0) const;
+};
+
+// Parse `text` into *out.  On failure returns false and sets *error to a
+// message with a byte offset.  Trailing garbage after the value is an
+// error.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace campaign
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CAMPAIGN_JSON_H_

@@ -1,0 +1,130 @@
+#include "src/campaign/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace ilat {
+namespace campaign {
+
+namespace {
+
+// A finished cell: either a summary or an error message.
+struct CellOutcome {
+  CellResult result;
+  std::string error;
+  bool failed = false;
+};
+
+}  // namespace
+
+bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
+                 CampaignAggregate* out, CampaignRunStats* stats, std::string* error) {
+  if (!spec.Validate(error)) {
+    return false;
+  }
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  if (cells.empty()) {
+    *error = "campaign expands to an empty cross-product";
+    return false;
+  }
+
+  int jobs = options.jobs;
+  if (jobs < 1) {
+    jobs = 1;
+  }
+  if (static_cast<std::size_t>(jobs) > cells.size()) {
+    jobs = static_cast<int>(cells.size());
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  std::mutex mu;
+  std::condition_variable ready_cv;
+  std::vector<std::unique_ptr<CellOutcome>> done(cells.size());
+  std::atomic<std::size_t> cursor{0};
+
+  auto run_cell = [&](const CampaignCell& cell) {
+    auto outcome = std::make_unique<CellOutcome>();
+    RunSpec rs;
+    rs.os = cell.os;
+    rs.app = cell.app;
+    rs.workload = cell.workload;
+    rs.driver = cell.driver;
+    rs.seed = cell.seed;
+    rs.workload_seed = cell.workload_seed;
+    rs.params = spec.params;
+    SessionResult session;
+    if (!RunSpecSession(rs, &session, &outcome->error)) {
+      outcome->failed = true;
+      outcome->error = "cell " + cell.Label() + ": " + outcome->error;
+    } else {
+      outcome->result = SummarizeCell(cell, session, spec.threshold_ms);
+    }
+    return outcome;
+  };
+
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = cursor.fetch_add(1);
+      if (i >= cells.size()) {
+        return;
+      }
+      auto outcome = run_cell(cells[i]);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done[i] = std::move(outcome);
+      }
+      ready_cv.notify_one();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(jobs));
+  for (int t = 0; t < jobs; ++t) {
+    pool.emplace_back(worker);
+  }
+
+  // Streaming in-order consumption: fold cell i as soon as it (and all its
+  // predecessors) finished, freeing the outcome immediately.
+  bool failed = false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::unique_ptr<CellOutcome> outcome;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ready_cv.wait(lock, [&] { return done[i] != nullptr; });
+      outcome = std::move(done[i]);
+    }
+    if (outcome->failed) {
+      if (!failed) {
+        *error = outcome->error;  // report the first failure
+        failed = true;
+      }
+      continue;  // keep draining so workers can finish
+    }
+    if (!failed) {
+      out->Add(std::move(outcome->result));
+      if (options.on_cell) {
+        options.on_cell(out->cells().back());
+      }
+    }
+  }
+
+  for (std::thread& t : pool) {
+    t.join();
+  }
+
+  if (stats != nullptr) {
+    stats->cells = cells.size();
+    stats->jobs = jobs;
+    stats->wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  }
+  return !failed;
+}
+
+}  // namespace campaign
+}  // namespace ilat

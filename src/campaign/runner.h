@@ -1,0 +1,51 @@
+// Thread-pool campaign executor.
+//
+// Cells are embarrassingly parallel: every MeasurementSession owns its
+// entire simulated machine (event queue, scheduler, RNG, tracer, metrics
+// registry) and the seed of cell k is a pure function of
+// {campaign_seed, k}, so cells share no mutable state and their results
+// do not depend on scheduling.  Workers claim cell indices from an atomic
+// cursor; the calling thread is the streaming aggregator, consuming
+// finished cells strictly in index order (holding back out-of-order
+// completions), which makes the aggregate byte-identical for any --jobs
+// value and bounds memory to the out-of-order window instead of the whole
+// sweep.
+
+#ifndef ILAT_SRC_CAMPAIGN_RUNNER_H_
+#define ILAT_SRC_CAMPAIGN_RUNNER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/campaign/aggregate.h"
+#include "src/campaign/spec.h"
+
+namespace ilat {
+namespace campaign {
+
+struct CampaignRunOptions {
+  // Worker threads running cells.  Clamped to [1, cell count].
+  int jobs = 1;
+  // Progress hook, invoked from the aggregating (calling) thread in cell
+  // index order, after the cell has been folded into the aggregate.
+  std::function<void(const CellResult&)> on_cell;
+};
+
+// Host-side bookkeeping the aggregate deliberately excludes.
+struct CampaignRunStats {
+  std::size_t cells = 0;
+  int jobs = 1;
+  double wall_seconds = 0.0;
+};
+
+// Expand `spec` and run every cell.  Returns false on a validation or
+// session-construction error (*error names the first failing cell).
+// On success *out holds the fully-fed aggregate.
+bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
+                 CampaignAggregate* out, CampaignRunStats* stats, std::string* error);
+
+}  // namespace campaign
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CAMPAIGN_RUNNER_H_

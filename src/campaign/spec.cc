@@ -1,0 +1,240 @@
+#include "src/campaign/spec.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "src/sim/random.h"
+
+namespace ilat {
+namespace campaign {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitList(const std::string& value) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, ',')) {
+    item = Trim(item);
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+bool ParseU64(const std::string& value, std::uint64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return false;  // overflow
+    }
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParsePositiveDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || !(v > 0.0)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool CheckNames(const std::vector<std::string>& names, bool (*known)(const std::string&),
+                const char* what, std::string* error) {
+  if (names.empty()) {
+    *error = std::string("no ") + what + " names given";
+    return false;
+  }
+  for (const std::string& n : names) {
+    if (!known(n)) {
+      *error = std::string("unknown ") + what + " '" + n + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string CampaignCell::Label() const {
+  return os + "/" + app + "/" + workload + "/" + driver + "#" + std::to_string(seed_rep);
+}
+
+bool CampaignSpec::Validate(std::string* error) const {
+  const std::vector<std::string>& os_names = oses.empty() ? KnownOsNames() : oses;
+  if (!CheckNames(os_names, &KnownOsName, "os", error) ||
+      !CheckNames(apps, &KnownAppName, "app", error) ||
+      !CheckNames(drivers, &KnownDriverName, "driver", error)) {
+    return false;
+  }
+  if (!workloads.empty() && !CheckNames(workloads, &KnownWorkloadName, "workload", error)) {
+    return false;
+  }
+  if (seeds_per_cell == 0) {
+    *error = "seeds must be >= 1 (the cross-product would be empty)";
+    return false;
+  }
+  if (!(threshold_ms > 0.0)) {
+    *error = "threshold_ms must be positive";
+    return false;
+  }
+  return true;
+}
+
+std::vector<CampaignCell> CampaignSpec::ExpandCells() const {
+  std::vector<CampaignCell> cells;
+  const std::vector<std::string>& os_names = oses.empty() ? KnownOsNames() : oses;
+  for (const std::string& os : os_names) {
+    for (const std::string& app : apps) {
+      // An empty workload list means "each app's canonical workload", so
+      // the workload dimension collapses to one entry per app.
+      const std::vector<std::string> wl =
+          workloads.empty() ? std::vector<std::string>{DefaultWorkloadFor(app)} : workloads;
+      for (const std::string& workload : wl) {
+        for (const std::string& driver : drivers) {
+          for (std::uint64_t rep = 0; rep < seeds_per_cell; ++rep) {
+            CampaignCell cell;
+            cell.index = cells.size();
+            cell.os = os;
+            cell.app = app;
+            cell.workload = workload;
+            cell.driver = driver;
+            cell.seed = DeriveSeed(campaign_seed, cell.index);
+            cell.workload_seed = workload_seed;
+            cell.seed_rep = rep;
+            cells.push_back(std::move(cell));
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+bool ParseCampaignSpec(const std::string& text, CampaignSpec* out, std::string* error) {
+  CampaignSpec spec;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    const std::string line = Trim(raw);
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      *error = "line " + std::to_string(lineno) + ": expected 'key = value'";
+      return false;
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    if (value.empty()) {
+      *error = "line " + std::to_string(lineno) + ": empty value for '" + key + "'";
+      return false;
+    }
+
+    auto bad_number = [&]() {
+      *error = "line " + std::to_string(lineno) + ": bad number '" + value + "' for '" +
+               key + "'";
+      return false;
+    };
+
+    if (key == "name") {
+      spec.name = value;
+    } else if (key == "os") {
+      spec.oses = value == "all" ? std::vector<std::string>{} : SplitList(value);
+    } else if (key == "app") {
+      spec.apps = SplitList(value);
+    } else if (key == "workload") {
+      spec.workloads = SplitList(value);
+    } else if (key == "driver") {
+      spec.drivers = SplitList(value);
+    } else if (key == "seeds") {
+      if (!ParseU64(value, &spec.seeds_per_cell)) {
+        return bad_number();
+      }
+    } else if (key == "seed") {
+      if (!ParseU64(value, &spec.campaign_seed)) {
+        return bad_number();
+      }
+    } else if (key == "workload_seed") {
+      if (!ParseU64(value, &spec.workload_seed)) {
+        return bad_number();
+      }
+    } else if (key == "threshold_ms") {
+      if (!ParsePositiveDouble(value, &spec.threshold_ms)) {
+        return bad_number();
+      }
+    } else if (key == "packets") {
+      std::uint64_t v = 0;
+      if (!ParseU64(value, &v) || v == 0 || v > 1'000'000) {
+        return bad_number();
+      }
+      spec.params.packets = static_cast<int>(v);
+    } else if (key == "frames") {
+      std::uint64_t v = 0;
+      if (!ParseU64(value, &v) || v == 0 || v > 1'000'000) {
+        return bad_number();
+      }
+      spec.params.frames = static_cast<int>(v);
+    } else {
+      *error = "line " + std::to_string(lineno) + ": unknown key '" + key + "'";
+      return false;
+    }
+  }
+  if (!spec.Validate(error)) {
+    return false;
+  }
+  *out = std::move(spec);
+  return true;
+}
+
+bool LoadCampaignSpec(const std::string& path, CampaignSpec* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open spec file '" + path + "'";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseCampaignSpec(text, out, error);
+}
+
+}  // namespace campaign
+}  // namespace ilat

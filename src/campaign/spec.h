@@ -1,0 +1,90 @@
+// CampaignSpec: a declarative description of a multi-session sweep.
+//
+// The paper compares 3 OSes x 3 applications by hand; a campaign makes
+// that cross-product a first-class object.  A spec names lists of OS
+// personalities, applications, workloads, and input drivers plus a seed
+// count, and expands to the full cross-product of session cells:
+//
+//   os x app x workload x driver x seed-repetition  ->  CampaignCell
+//
+// Seeding scheme: cell k of a campaign with master seed S runs with
+// session seed DeriveSeed(S, k).  The derivation depends only on
+// {campaign_seed, cell_index}, never on which host thread runs the cell or
+// when, so an N-thread sweep is byte-identical to a 1-thread sweep.
+//
+// Spec files are a small INI-ish format (JSON stays the *output* format;
+// inputs are for humans):
+//
+//   # nightly sweep
+//   name      = nightly
+//   os        = nt351, nt40, win95        # or "all"
+//   app       = notepad, word, powerpoint
+//   driver    = test
+//   seeds     = 4                         # repetitions per combination
+//   seed      = 1234                      # campaign master seed
+//   threshold_ms = 100
+//
+// Optional keys: `workload` (defaults to each app's canonical workload),
+// `workload_seed` (pin one identical input script across all cells, for
+// repeatability studies), `packets`/`frames` (workload sizing).
+
+#ifndef ILAT_SRC_CAMPAIGN_SPEC_H_
+#define ILAT_SRC_CAMPAIGN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/catalog.h"
+
+namespace ilat {
+namespace campaign {
+
+// One fully-expanded session configuration.
+struct CampaignCell {
+  std::size_t index = 0;  // position in the expansion order
+  std::string os;
+  std::string app;
+  std::string workload;  // resolved, never empty
+  std::string driver;
+  std::uint64_t seed = 0;           // derived session seed
+  std::uint64_t workload_seed = 0;  // 0 -> scripts also derive from `seed`
+  std::uint64_t seed_rep = 0;       // which repetition this cell is
+
+  // "nt40/notepad/notepad/test#0" -- stable human-readable id.
+  std::string Label() const;
+};
+
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<std::string> oses;       // empty -> all personalities
+  std::vector<std::string> apps = {"notepad"};
+  std::vector<std::string> workloads;  // empty -> default per app
+  std::vector<std::string> drivers = {"test"};
+  std::uint64_t seeds_per_cell = 1;
+  std::uint64_t campaign_seed = 1;
+  std::uint64_t workload_seed = 0;  // 0 -> per-cell
+  double threshold_ms = 100.0;
+  WorkloadParams params;
+
+  // Check every name against the catalog and the cross-product for
+  // emptiness.  Returns false and sets *error on the first problem.
+  bool Validate(std::string* error) const;
+
+  // Expand the cross-product in deterministic order (os-major, then app,
+  // workload, driver, seed repetition).  Call Validate first.
+  std::vector<CampaignCell> ExpandCells() const;
+};
+
+// Parse the INI-ish spec text.  Unknown keys, malformed numbers, and
+// unknown catalog names are errors (with line numbers where applicable).
+// The result has been Validate()d.
+bool ParseCampaignSpec(const std::string& text, CampaignSpec* out, std::string* error);
+
+// Read `path` and parse it.
+bool LoadCampaignSpec(const std::string& path, CampaignSpec* out, std::string* error);
+
+}  // namespace campaign
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CAMPAIGN_SPEC_H_

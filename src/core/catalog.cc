@@ -1,0 +1,202 @@
+#include "src/core/catalog.h"
+
+#include <algorithm>
+
+#include "src/apps/commands.h"
+#include "src/apps/desktop.h"
+#include "src/apps/echo_app.h"
+#include "src/apps/media_player.h"
+#include "src/apps/notepad.h"
+#include "src/apps/powerpoint.h"
+#include "src/apps/terminal.h"
+#include "src/apps/word.h"
+#include "src/input/network.h"
+#include "src/input/workloads.h"
+#include "src/os/personalities.h"
+
+namespace ilat {
+
+namespace {
+
+bool Contains(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+}  // namespace
+
+const std::vector<std::string>& KnownAppNames() {
+  static const std::vector<std::string> names = {
+      "notepad", "word", "powerpoint", "desktop", "echo", "terminal", "media"};
+  return names;
+}
+
+const std::vector<std::string>& KnownWorkloadNames() {
+  static const std::vector<std::string> names = {
+      "notepad", "word", "powerpoint", "keys", "clicks", "echo", "media", "network"};
+  return names;
+}
+
+const std::vector<std::string>& KnownDriverNames() {
+  static const std::vector<std::string> names = {"test", "test-nosync", "human"};
+  return names;
+}
+
+const std::vector<std::string>& KnownOsNames() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const OsProfile& os : AllPersonalities()) {
+      out.push_back(os.name);
+    }
+    return out;
+  }();
+  return names;
+}
+
+bool KnownOsName(const std::string& name) { return Contains(KnownOsNames(), name); }
+bool KnownAppName(const std::string& name) { return Contains(KnownAppNames(), name); }
+bool KnownWorkloadName(const std::string& name) {
+  return Contains(KnownWorkloadNames(), name);
+}
+bool KnownDriverName(const std::string& name) { return Contains(KnownDriverNames(), name); }
+
+std::unique_ptr<GuiApplication> MakeAppByName(const std::string& name) {
+  if (name == "notepad") {
+    return std::make_unique<NotepadApp>();
+  }
+  if (name == "word") {
+    return std::make_unique<WordApp>();
+  }
+  if (name == "powerpoint") {
+    return std::make_unique<PowerpointApp>();
+  }
+  if (name == "desktop") {
+    return std::make_unique<DesktopApp>();
+  }
+  if (name == "echo") {
+    return std::make_unique<EchoApp>();
+  }
+  if (name == "terminal") {
+    return std::make_unique<TerminalApp>();
+  }
+  if (name == "media") {
+    return std::make_unique<MediaPlayerApp>();
+  }
+  return nullptr;
+}
+
+std::string DefaultWorkloadFor(const std::string& app) {
+  if (app == "desktop") {
+    return "keys";
+  }
+  if (app == "echo") {
+    return "echo";
+  }
+  if (app == "terminal") {
+    return "network";
+  }
+  if (app == "media") {
+    return "media";
+  }
+  return app;  // notepad/word/powerpoint have same-named workloads
+}
+
+bool ParseDriverName(const std::string& name, DriverKind* out) {
+  if (name == "test") {
+    *out = DriverKind::kTest;
+  } else if (name == "test-nosync") {
+    *out = DriverKind::kTestNoSync;
+  } else if (name == "human") {
+    *out = DriverKind::kHuman;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Script MakeWorkloadByName(const std::string& name, Random* rng, const WorkloadParams& params) {
+  if (name == "notepad") {
+    return NotepadWorkload(rng);
+  }
+  if (name == "word") {
+    return WordWorkload(rng);
+  }
+  if (name == "powerpoint") {
+    return PowerpointWorkload(rng);
+  }
+  if (name == "keys") {
+    return KeystrokeTrials(30);
+  }
+  if (name == "clicks") {
+    return ClickTrials(30);
+  }
+  if (name == "echo") {
+    return EchoTrials(30);
+  }
+  if (name == "media") {
+    Script s;
+    s.push_back(ScriptItem::Command(kCmdMediaPlay + params.frames, 100.0, "play"));
+    return s;
+  }
+  return {};
+}
+
+bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error) {
+  const OsProfile* os = nullptr;
+  static const std::vector<OsProfile> all = AllPersonalities();
+  for (const OsProfile& p : all) {
+    if (p.name == spec.os) {
+      os = &p;
+      break;
+    }
+  }
+  if (os == nullptr) {
+    *error = "unknown os '" + spec.os + "'";
+    return false;
+  }
+
+  std::unique_ptr<GuiApplication> app = MakeAppByName(spec.app);
+  if (app == nullptr) {
+    *error = "unknown app '" + spec.app + "'";
+    return false;
+  }
+
+  const std::string workload =
+      spec.workload.empty() ? DefaultWorkloadFor(spec.app) : spec.workload;
+
+  DriverKind driver = DriverKind::kTest;
+  if (!ParseDriverName(spec.driver, &driver)) {
+    *error = "unknown driver '" + spec.driver + "'";
+    return false;
+  }
+
+  SessionOptions sopts;
+  sopts.driver = driver;
+  sopts.seed = spec.seed;
+  sopts.idle_period = MillisecondsToCycles(spec.idle_period_ms);
+  sopts.collect_trace = spec.collect_trace;
+  if (workload == "media") {
+    sopts.drain_after = SecondsToCycles(12.0);  // playback outlives the script
+  }
+  MeasurementSession session(*os, sopts);
+  session.AttachApp(std::move(app));
+
+  if (workload == "network") {
+    NetworkTrafficParams nparams;
+    nparams.seed = spec.workload_seed != 0 ? spec.workload_seed : spec.seed;
+    nparams.packets = spec.params.packets;
+    NetworkTrafficDriver ndriver(&session.system(), &session.thread(), nparams);
+    *out = session.RunWithDriver(&ndriver);
+    return true;
+  }
+
+  Random rng(spec.workload_seed != 0 ? spec.workload_seed : spec.seed);
+  const Script script = MakeWorkloadByName(workload, &rng, spec.params);
+  if (script.empty()) {
+    *error = "unknown workload '" + workload + "'";
+    return false;
+  }
+  *out = session.Run(script);
+  return true;
+}
+
+}  // namespace ilat

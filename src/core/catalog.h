@@ -1,0 +1,75 @@
+// Name catalog: the string -> component mapping shared by every front end
+// (the `ilat` CLI, the campaign runner, benches).  One place decides what
+// "--app=word" or a spec-file `app = word` means, so a sweep over names
+// and a single CLI run can never disagree.
+//
+// Also provides RunSpecSession(), which builds and runs one fully-named
+// measurement session -- the unit of work a campaign cell executes.
+
+#ifndef ILAT_SRC_CORE_CATALOG_H_
+#define ILAT_SRC_CORE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/measurement.h"
+#include "src/input/script.h"
+#include "src/sim/random.h"
+
+namespace ilat {
+
+// The catalog names, in presentation order.
+const std::vector<std::string>& KnownAppNames();
+const std::vector<std::string>& KnownWorkloadNames();
+const std::vector<std::string>& KnownDriverNames();
+const std::vector<std::string>& KnownOsNames();
+
+bool KnownOsName(const std::string& name);
+bool KnownAppName(const std::string& name);
+bool KnownWorkloadName(const std::string& name);
+bool KnownDriverName(const std::string& name);
+
+// nullptr for unknown names.
+std::unique_ptr<GuiApplication> MakeAppByName(const std::string& name);
+
+// The canonical workload for an app (notepad/word/powerpoint workloads
+// share their app's name; desktop -> keys, echo -> echo, terminal ->
+// network, media -> media).
+std::string DefaultWorkloadFor(const std::string& app);
+
+bool ParseDriverName(const std::string& name, DriverKind* out);
+
+// Sizing knobs for the parameterised workloads.
+struct WorkloadParams {
+  int packets = 200;  // network
+  int frames = 300;   // media
+};
+
+// Empty script for unknown names.  "network" is not script-shaped (it is
+// driver-driven); RunSpecSession handles it.
+Script MakeWorkloadByName(const std::string& name, Random* rng, const WorkloadParams& params = {});
+
+// One fully-named measurement: the unit a campaign cell runs and the body
+// of a single CLI invocation.
+struct RunSpec {
+  std::string os = "nt40";
+  std::string app = "notepad";
+  std::string workload;      // empty -> DefaultWorkloadFor(app)
+  std::string driver = "test";
+  std::uint64_t seed = 42;
+  // Seed for workload-script generation; 0 -> use `seed`.  Campaigns pin
+  // this to replay one identical script across machine-seed variations.
+  std::uint64_t workload_seed = 0;
+  double idle_period_ms = 1.0;
+  bool collect_trace = false;
+  WorkloadParams params;
+};
+
+// Build the session, run it, and return the result.  On bad names returns
+// false and sets *error; *out is untouched.
+bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error);
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CORE_CATALOG_H_

@@ -101,6 +101,27 @@ double LogHistogram::Percentile(double p) const {
   return max_;
 }
 
+bool LogHistogram::Merge(const LogHistogram& other) {
+  if (first_upper_ != other.first_upper_ || buckets_.size() != other.buckets_.size()) {
+    return false;
+  }
+  if (other.count_ == 0) {
+    return true;
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  return true;
+}
+
 void LogHistogram::Reset() {
   std::fill(buckets_.begin(), buckets_.end(), 0);
   count_ = 0;
@@ -123,6 +144,35 @@ bool MetricsSnapshot::Has(std::string_view name) const {
     }
   }
   return false;
+}
+
+void SnapshotAccumulator::Add(const MetricsSnapshot& snap) {
+  for (const auto& [name, value] : snap.values) {
+    auto [it, inserted] = entries_.try_emplace(name);
+    Entry& e = it->second;
+    if (inserted || value < e.min) {
+      e.min = value;
+    }
+    if (inserted || value > e.max) {
+      e.max = value;
+    }
+    e.sum += value;
+    ++e.sessions;
+  }
+}
+
+std::string SnapshotAccumulator::ToJson(const std::string& indent) const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += indent + "  \"" + EscapeJson(name) + "\": {\"sum\": " + NumToJson(e.sum) +
+           ", \"min\": " + NumToJson(e.min) + ", \"max\": " + NumToJson(e.max) +
+           ", \"sessions\": " + std::to_string(e.sessions) + "}";
+  }
+  out += first ? "}" : "\n" + indent + "}";
+  return out;
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {

@@ -86,6 +86,13 @@ class LogHistogram {
   // Bucket-resolution estimate, exact enough for reporting.
   double Percentile(double p) const;
 
+  // Fold `other` into this histogram.  Requires identical bucket geometry
+  // (same first_upper / num_buckets); returns false (and leaves this
+  // untouched) otherwise.  Merging is associative and commutative except
+  // for `sum`, whose floating-point rounding depends on merge order --
+  // callers needing byte-identical aggregates must merge in a fixed order.
+  bool Merge(const LogHistogram& other);
+
   void Reset();
 
  private:
@@ -106,6 +113,35 @@ struct MetricsSnapshot {
   double Get(std::string_view name, double fallback = 0.0) const;
   bool Has(std::string_view name) const;
   std::size_t size() const { return values.size(); }
+};
+
+// Cross-session rollup of MetricsSnapshots.  Snapshot values are flat
+// name -> double pairs whose semantics vary by suffix (counts, means,
+// percentiles), so a single merged number would lie; instead the
+// accumulator keeps sum/min/max/sessions per name, which is honest for
+// every kind.  Used by the campaign aggregator to merge the per-cell
+// registries of a sweep.  Deterministic: entries serialise in name order
+// and additions of the same snapshots in the same order yield identical
+// JSON.
+class SnapshotAccumulator {
+ public:
+  struct Entry {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t sessions = 0;
+  };
+
+  void Add(const MetricsSnapshot& snap);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+
+  // {"name": {"sum":S,"min":m,"max":M,"sessions":N}, ...} in name order.
+  std::string ToJson(const std::string& indent = "  ") const;
+
+ private:
+  std::map<std::string, Entry> entries_;
 };
 
 class MetricsRegistry {

@@ -64,4 +64,16 @@ double Random::Exponential(double mean) {
 
 bool Random::Bernoulli(double p) { return NextDouble() < p; }
 
+std::uint64_t DeriveSeed(std::uint64_t master_seed, std::uint64_t stream_index) {
+  // SplitMix64 (Steele et al. 2014): advance by the golden-ratio increment
+  // `stream_index + 1` times past the master seed, then finalise.  One
+  // finalisation round is enough to decorrelate adjacent streams.
+  std::uint64_t z = master_seed + (stream_index + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  // Zero would collapse to Random's fallback constant; keep streams distinct.
+  return z != 0 ? z : 1;
+}
+
 }  // namespace ilat

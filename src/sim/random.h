@@ -53,6 +53,14 @@ class Random {
   double cached_gaussian_ = 0.0;
 };
 
+// Derive an independent per-stream seed from a master seed and a stream
+// index (SplitMix64 finalisation).  Campaign cells use this so that cell k
+// of campaign seed S always gets the same RNG stream, no matter which host
+// thread runs it or in what order -- the foundation of the guarantee that
+// an N-thread sweep is byte-identical to a 1-thread sweep.  Stream seeds
+// are decorrelated even for adjacent indices, unlike `master + index`.
+std::uint64_t DeriveSeed(std::uint64_t master_seed, std::uint64_t stream_index);
+
 }  // namespace ilat
 
 #endif  // ILAT_SRC_SIM_RANDOM_H_

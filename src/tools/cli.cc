@@ -1,22 +1,18 @@
 #include "src/tools/cli.h"
 
+#include <cctype>
+#include <filesystem>
 #include <memory>
 
 #include "src/analysis/classifier.h"
 #include "src/analysis/cumulative.h"
 #include "src/analysis/histogram.h"
 #include "src/analysis/irritation.h"
-#include "src/apps/desktop.h"
-#include "src/apps/echo_app.h"
-#include "src/apps/media_player.h"
-#include "src/apps/notepad.h"
-#include "src/apps/powerpoint.h"
-#include "src/apps/terminal.h"
-#include "src/apps/word.h"
+#include "src/campaign/gate.h"
+#include "src/campaign/runner.h"
+#include "src/core/catalog.h"
 #include "src/core/measurement.h"
 #include "src/core/session_io.h"
-#include "src/input/network.h"
-#include "src/input/workloads.h"
 #include "src/obs/trace_export.h"
 #include "src/viz/ascii_chart.h"
 #include "src/viz/csv.h"
@@ -31,84 +27,46 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
-std::unique_ptr<GuiApplication> MakeApp(const std::string& name) {
-  if (name == "notepad") {
-    return std::make_unique<NotepadApp>();
-  }
-  if (name == "word") {
-    return std::make_unique<WordApp>();
-  }
-  if (name == "powerpoint") {
-    return std::make_unique<PowerpointApp>();
-  }
-  if (name == "desktop") {
-    return std::make_unique<DesktopApp>();
-  }
-  if (name == "echo") {
-    return std::make_unique<EchoApp>();
-  }
-  if (name == "terminal") {
-    return std::make_unique<TerminalApp>();
-  }
-  if (name == "media") {
-    return std::make_unique<MediaPlayerApp>();
-  }
-  return nullptr;
-}
-
-Script MakeWorkload(const std::string& name, Random* rng, const CliOptions& options) {
-  if (name == "notepad") {
-    return NotepadWorkload(rng);
-  }
-  if (name == "word") {
-    return WordWorkload(rng);
-  }
-  if (name == "powerpoint") {
-    return PowerpointWorkload(rng);
-  }
-  if (name == "keys") {
-    return KeystrokeTrials(30);
-  }
-  if (name == "clicks") {
-    return ClickTrials(30);
-  }
-  if (name == "echo") {
-    return EchoTrials(30);
-  }
-  if (name == "media") {
-    Script s;
-    s.push_back(ScriptItem::Command(kCmdMediaPlay + options.frames, 100.0, "play"));
-    return s;
-  }
-  return {};
-}
-
-std::string DefaultWorkloadFor(const std::string& app) {
-  if (app == "desktop") {
-    return "keys";
-  }
-  if (app == "echo") {
-    return "echo";
-  }
-  if (app == "terminal") {
-    return "network";
-  }
-  if (app == "media") {
-    return "media";
-  }
-  return app;  // notepad/word/powerpoint have same-named workloads
-}
-
-bool ParseDriver(const std::string& name, DriverKind* out) {
-  if (name == "test") {
-    *out = DriverKind::kTest;
-  } else if (name == "test-nosync") {
-    *out = DriverKind::kTestNoSync;
-  } else if (name == "human") {
-    *out = DriverKind::kHuman;
-  } else {
+// Strict small-integer parse for flags like --jobs: digits only, bounded.
+bool ParseBoundedInt(const std::string& value, int lo, int hi, int* out) {
+  if (value.empty() || value.size() > 9) {
     return false;
   }
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  const int v = std::stoi(value);
+  if (v < lo || v > hi) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool ReadTextFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  out->clear();
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
   return true;
 }
 
@@ -171,56 +129,31 @@ void PrintSummary(std::FILE* out, const std::string& os_name, const SessionResul
   }
 }
 
-int RunOne(const OsProfile& os, const CliOptions& options, std::FILE* out) {
-  std::unique_ptr<GuiApplication> app = MakeApp(options.app);
-  if (app == nullptr) {
-    std::fprintf(out, "unknown app '%s'\n", options.app.c_str());
-    return 2;
-  }
-  const std::string workload_name =
-      options.workload.empty() ? DefaultWorkloadFor(options.app) : options.workload;
-
-  DriverKind driver = DriverKind::kTest;
-  if (!ParseDriver(options.driver, &driver)) {
-    std::fprintf(out, "unknown driver '%s'\n", options.driver.c_str());
-    return 2;
-  }
-
-  SessionOptions sopts;
-  sopts.driver = driver;
-  sopts.seed = options.seed;
-  sopts.idle_period = MillisecondsToCycles(options.idle_period_ms);
-  sopts.collect_trace =
-      !options.trace_out.empty() || options.explain;
-  if (workload_name == "media") {
-    sopts.drain_after = SecondsToCycles(12.0);  // playback outlives the script
-  }
-  MeasurementSession session(os, sopts);
-  session.AttachApp(std::move(app));
+int RunOne(const std::string& os_name, const CliOptions& options, std::FILE* out) {
+  RunSpec spec;
+  spec.os = os_name;
+  spec.app = options.app;
+  spec.workload = options.workload;
+  spec.driver = options.driver;
+  spec.seed = options.seed;
+  spec.idle_period_ms = options.idle_period_ms;
+  spec.collect_trace = !options.trace_out.empty() || options.explain;
+  spec.params.packets = options.packets;
+  spec.params.frames = options.frames;
 
   SessionResult r;
-  if (workload_name == "network") {
-    NetworkTrafficParams nparams;
-    nparams.seed = options.seed;
-    nparams.packets = options.packets;
-    NetworkTrafficDriver ndriver(&session.system(), &session.thread(), nparams);
-    r = session.RunWithDriver(&ndriver);
-  } else {
-    Random rng(options.seed);
-    const Script script = MakeWorkload(workload_name, &rng, options);
-    if (script.empty()) {
-      std::fprintf(out, "unknown workload '%s'\n", workload_name.c_str());
-      return 2;
-    }
-    r = session.Run(script);
+  std::string error;
+  if (!RunSpecSession(spec, &r, &error)) {
+    std::fprintf(out, "%s\n", error.c_str());
+    return 2;
   }
 
-  PrintSummary(out, os.name, r, options);
+  PrintSummary(out, os_name, r, options);
 
   // Under --os=all, per-file outputs get a personality suffix so three
   // runs do not clobber each other.
   auto per_os_path = [&](const std::string& base) {
-    return options.os == "all" ? base + "." + os.name : base;
+    return options.os == "all" ? base + "." + os_name : base;
   };
 
   if (options.explain && r.trace_data != nullptr) {
@@ -239,25 +172,130 @@ int RunOne(const OsProfile& os, const CliOptions& options, std::FILE* out) {
   }
   if (!options.metrics_out.empty()) {
     const std::string path = per_os_path(options.metrics_out);
-    std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr) {
+    if (!WriteTextFile(path, r.metrics_json)) {
       std::fprintf(out, "failed to write metrics to %s\n", path.c_str());
       return 1;
     }
-    std::fputs(r.metrics_json.c_str(), f);
-    std::fclose(f);
     std::fprintf(out, "wrote %zu metrics to %s\n", r.metrics.size(), path.c_str());
   }
 
   if (!options.save_path.empty()) {
     const std::string path = options.os == "all"
-                                 ? options.save_path + "." + os.name
+                                 ? options.save_path + "." + os_name
                                  : options.save_path;
     if (!SaveSessionResult(path, r)) {
       std::fprintf(out, "failed to save session to %s\n", path.c_str());
       return 1;
     }
     std::fprintf(out, "saved session to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+// Map a --gate-percentiles token onto an aggregate group key.
+bool NormalizeGateMetric(std::string token, std::string* out) {
+  if (token.size() > 3 && token.substr(token.size() - 3) == "_ms") {
+    token = token.substr(0, token.size() - 3);
+  }
+  for (const char* known : {"p50", "p95", "p99", "max", "mean", "cumulative"}) {
+    if (token == known) {
+      *out = token + "_ms";
+      return true;
+    }
+  }
+  if (token == "above") {
+    *out = "above";
+    return true;
+  }
+  return false;
+}
+
+int RunCampaignCli(const CliOptions& options, std::FILE* out) {
+  std::string error;
+  campaign::CampaignSpec spec;
+  if (!campaign::LoadCampaignSpec(options.campaign_path, &spec, &error)) {
+    std::fprintf(out, "campaign spec: %s\n", error.c_str());
+    return 2;
+  }
+
+  campaign::GateOptions gate_options;
+  gate_options.tolerance_pct = options.gate_tolerance_pct;
+  if (!options.gate_percentiles.empty()) {
+    gate_options.metrics.clear();
+    std::string token;
+    std::string normalized;
+    for (std::size_t i = 0; i <= options.gate_percentiles.size(); ++i) {
+      if (i < options.gate_percentiles.size() && options.gate_percentiles[i] != ',') {
+        token += options.gate_percentiles[i];
+        continue;
+      }
+      if (token.empty()) {
+        continue;
+      }
+      if (!NormalizeGateMetric(token, &normalized)) {
+        std::fprintf(out, "unknown gate percentile '%s'\n", token.c_str());
+        return 2;
+      }
+      gate_options.metrics.push_back(normalized);
+      token.clear();
+    }
+    if (gate_options.metrics.empty()) {
+      std::fprintf(out, "--gate-percentiles lists no metrics\n");
+      return 2;
+    }
+  }
+
+  const std::size_t total = spec.ExpandCells().size();
+  std::fprintf(out, "campaign '%s': %zu cells, %d job(s), threshold %.3g ms\n",
+               spec.name.c_str(), total, options.jobs, spec.threshold_ms);
+
+  campaign::CampaignRunOptions run_options;
+  run_options.jobs = options.jobs;
+  run_options.on_cell = [&](const campaign::CellResult& r) {
+    std::fprintf(out, "  [%3zu/%zu] %-40s events=%-5zu p95=%-8.2f above=%zu\n",
+                 r.cell.index + 1, total, r.cell.Label().c_str(), r.events, r.p95_ms,
+                 r.above);
+  };
+
+  campaign::CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  campaign::CampaignRunStats stats;
+  if (!campaign::RunCampaign(spec, run_options, &aggregate, &stats, &error)) {
+    std::fprintf(out, "campaign failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(out, "ran %zu cells with %d job(s) in %.2f s (wall)\n\n", stats.cells,
+               stats.jobs, stats.wall_seconds);
+  std::fputs(aggregate.RenderTables().c_str(), out);
+
+  if (!options.campaign_out.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.campaign_out, ec);
+    const std::string agg_path = options.campaign_out + "/aggregate.json";
+    const std::string csv_path = options.campaign_out + "/cells.csv";
+    if (ec || !WriteTextFile(agg_path, aggregate.ToJson()) ||
+        !WriteTextFile(csv_path, aggregate.ToCellsCsv())) {
+      std::fprintf(out, "failed to write campaign outputs under %s\n",
+                   options.campaign_out.c_str());
+      return 1;
+    }
+    std::fprintf(out, "wrote %s and %s\n", agg_path.c_str(), csv_path.c_str());
+  }
+
+  if (!options.campaign_baseline.empty()) {
+    std::string baseline;
+    if (!ReadTextFile(options.campaign_baseline, &baseline)) {
+      std::fprintf(out, "cannot read baseline %s\n", options.campaign_baseline.c_str());
+      return 2;
+    }
+    campaign::GateReport report;
+    if (!campaign::RunRegressionGate(baseline, aggregate, gate_options, &report, &error)) {
+      std::fprintf(out, "%s\n", error.c_str());
+      return 2;
+    }
+    std::fputs(report.Render(gate_options).c_str(), out);
+    if (!report.ok()) {
+      return 1;
+    }
   }
   return 0;
 }
@@ -296,6 +334,28 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
       out->trace_out = arg.substr(12);
     } else if (StartsWith(arg, "--metrics-out=")) {
       out->metrics_out = arg.substr(14);
+    } else if (StartsWith(arg, "--campaign=")) {
+      out->campaign_path = arg.substr(11);
+    } else if (StartsWith(arg, "--campaign-out=")) {
+      out->campaign_out = arg.substr(15);
+    } else if (StartsWith(arg, "--campaign-baseline=")) {
+      out->campaign_baseline = arg.substr(20);
+    } else if (StartsWith(arg, "--jobs=")) {
+      if (!ParseBoundedInt(arg.substr(7), 1, 1024, &out->jobs)) {
+        *error = "--jobs needs an integer in [1, 1024], got '" + arg.substr(7) + "'";
+        return false;
+      }
+    } else if (StartsWith(arg, "--gate-tolerance=")) {
+      const std::string value = arg.substr(17);
+      char* end = nullptr;
+      const double v = std::strtod(value.c_str(), &end);
+      if (value.empty() || end != value.c_str() + value.size() || v < 0.0) {
+        *error = "--gate-tolerance needs a non-negative percentage, got '" + value + "'";
+        return false;
+      }
+      out->gate_tolerance_pct = v;
+    } else if (StartsWith(arg, "--gate-percentiles=")) {
+      out->gate_percentiles = arg.substr(19);
     } else if (arg == "--explain") {
       out->explain = true;
     } else if (arg == "--events") {
@@ -333,7 +393,16 @@ std::string CliUsage() {
       "  --save=PATH                 archive the session for offline analysis\n"
       "  --load=PATH                 analyse a saved session instead of running\n"
       "  --list                      list oses, apps, workloads, and drivers\n"
-      "  --version                   print the ilat version\n";
+      "  --version                   print the ilat version\n"
+      "\n"
+      "campaign mode (multi-session sweeps; see docs/CAMPAIGN.md):\n"
+      "  --campaign=SPEC             run the sweep described by a spec file\n"
+      "  --jobs=N                    worker threads for campaign cells (1)\n"
+      "  --campaign-out=DIR          write aggregate.json + cells.csv under DIR\n"
+      "  --campaign-baseline=FILE    gate against a saved aggregate; exit 1 on\n"
+      "                              regression\n"
+      "  --gate-tolerance=PCT        allowed percentile growth vs baseline (10)\n"
+      "  --gate-percentiles=LIST     metrics to gate, e.g. p95,p99 (p50,p95,p99,max)\n";
 }
 
 int RunCli(const CliOptions& options, std::FILE* out) {
@@ -346,17 +415,27 @@ int RunCli(const CliOptions& options, std::FILE* out) {
     return 0;
   }
   if (options.list_catalog) {
-    std::fputs("oses:      ", out);
-    for (const OsProfile& os : AllPersonalities()) {
-      std::fprintf(out, "%s ", os.name.c_str());
-    }
+    auto print_names = [&](const char* label, const std::vector<std::string>& names) {
+      std::fputs(label, out);
+      for (const std::string& name : names) {
+        std::fprintf(out, "%s ", name.c_str());
+      }
+      std::fputs("\n", out);
+    };
+    print_names("oses:      ", KnownOsNames());
+    print_names("apps:      ", KnownAppNames());
+    print_names("workloads: ", KnownWorkloadNames());
+    print_names("drivers:   ", KnownDriverNames());
     std::fputs(
-        "\n"
-        "apps:      notepad word powerpoint desktop echo terminal media\n"
-        "workloads: notepad word powerpoint keys clicks echo media network\n"
-        "drivers:   test test-nosync human\n",
+        "campaigns: cross-products of the above via --campaign=SPEC "
+        "(spec keys: name, os, app, workload, driver, seeds, seed, "
+        "workload_seed, threshold_ms, packets, frames)\n",
         out);
     return 0;
+  }
+
+  if (!options.campaign_path.empty()) {
+    return RunCampaignCli(options, out);
   }
 
   if (!options.load_path.empty()) {
@@ -370,9 +449,9 @@ int RunCli(const CliOptions& options, std::FILE* out) {
   }
 
   if (options.os == "all") {
-    for (const OsProfile& os : AllPersonalities()) {
-      std::fprintf(out, "\n===== %s =====\n", os.name.c_str());
-      const int rc = RunOne(os, options, out);
+    for (const std::string& os_name : KnownOsNames()) {
+      std::fprintf(out, "\n===== %s =====\n", os_name.c_str());
+      const int rc = RunOne(os_name, options, out);
       if (rc != 0) {
         return rc;
       }
@@ -380,13 +459,11 @@ int RunCli(const CliOptions& options, std::FILE* out) {
     return 0;
   }
 
-  for (const OsProfile& os : AllPersonalities()) {
-    if (os.name == options.os) {
-      return RunOne(os, options, out);
-    }
+  if (!KnownOsName(options.os)) {
+    std::fprintf(out, "unknown os '%s'\n", options.os.c_str());
+    return 2;
   }
-  std::fprintf(out, "unknown os '%s'\n", options.os.c_str());
-  return 2;
+  return RunOne(options.os, options, out);
 }
 
 }  // namespace ilat

@@ -6,6 +6,8 @@
 //   ilat --app=powerpoint --save=run.ilat            # archive the session
 //   ilat --load=run.ilat --threshold=50              # re-analyse offline
 //   ilat --app=notepad --events                      # dump per-event lines
+//   ilat --campaign=spec.txt --jobs=8 --campaign-out=out/   # parallel sweep
+//   ilat --campaign=spec.txt --campaign-baseline=out/aggregate.json   # gate
 //
 // The parsing/execution logic lives in this library so it can be tested;
 // the binary is a thin main().
@@ -20,7 +22,7 @@
 namespace ilat {
 
 // Reported by `ilat --version`.
-inline constexpr const char* kIlatVersion = "0.2.0";
+inline constexpr const char* kIlatVersion = "0.3.0";
 
 struct CliOptions {
   std::string os = "nt40";          // nt351 | nt40 | win95 | all
@@ -42,6 +44,14 @@ struct CliOptions {
   bool list_catalog = false;        // print oses/apps/workloads/drivers
   bool show_version = false;
   bool show_help = false;
+
+  // Campaign mode (--campaign=SPEC switches the tool into sweep mode).
+  std::string campaign_path;        // spec file
+  std::string campaign_out;         // directory for aggregate.json + cells.csv
+  std::string campaign_baseline;    // baseline aggregate JSON to gate against
+  int jobs = 1;                     // worker threads for campaign cells
+  double gate_tolerance_pct = 10.0;
+  std::string gate_percentiles;     // e.g. "p95,p99"; empty -> gate defaults
 };
 
 // Parse argv.  On failure returns false and sets *error.
@@ -51,7 +61,7 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
 std::string CliUsage();
 
 // Execute.  Output goes to `out` (stdout in the binary).  Returns the
-// process exit code.
+// process exit code: 0 ok, 1 runtime/gate failure, 2 usage errors.
 int RunCli(const CliOptions& options, std::FILE* out);
 
 }  // namespace ilat

@@ -1,0 +1,300 @@
+// Campaign subsystem tests: spec parsing and its error paths, the
+// cross-product expansion and seeding scheme, the determinism contract
+// (N-thread aggregate byte-identical to 1-thread), the minimal JSON
+// reader, and the regression gate.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/campaign/gate.h"
+#include "src/campaign/json.h"
+#include "src/campaign/runner.h"
+#include "src/campaign/spec.h"
+#include "src/sim/random.h"
+
+namespace ilat {
+namespace campaign {
+namespace {
+
+// A 4-cell campaign small enough to run many times in tests.
+CampaignSpec SmallSpec() {
+  CampaignSpec spec;
+  spec.name = "test";
+  spec.oses = {"nt40"};
+  spec.apps = {"echo", "desktop"};
+  spec.seeds_per_cell = 2;
+  spec.campaign_seed = 99;
+  return spec;
+}
+
+std::string RunToJson(const CampaignSpec& spec, int jobs) {
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  options.jobs = jobs;
+  CampaignRunStats stats;
+  std::string error;
+  EXPECT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  return aggregate.ToJson();
+}
+
+TEST(DeriveSeedTest, DeterministicAndDecorrelated) {
+  EXPECT_EQ(DeriveSeed(42, 0), DeriveSeed(42, 0));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seen.insert(DeriveSeed(42, i));
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions among adjacent streams
+  EXPECT_NE(DeriveSeed(42, 0), DeriveSeed(43, 0));
+  EXPECT_NE(DeriveSeed(42, 1), DeriveSeed(42, 0) + 1);  // not master+index
+}
+
+TEST(SpecParseTest, ParsesFullSpec) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec("# a comment\n"
+                                "name = nightly\n"
+                                "os = nt351, nt40   # trailing comment\n"
+                                "app = notepad, word\n"
+                                "driver = test, human\n"
+                                "seeds = 3\n"
+                                "seed = 777\n"
+                                "threshold_ms = 50\n",
+                                &spec, &error))
+      << error;
+  EXPECT_EQ(spec.name, "nightly");
+  EXPECT_EQ(spec.oses, (std::vector<std::string>{"nt351", "nt40"}));
+  EXPECT_EQ(spec.apps, (std::vector<std::string>{"notepad", "word"}));
+  EXPECT_EQ(spec.drivers, (std::vector<std::string>{"test", "human"}));
+  EXPECT_EQ(spec.seeds_per_cell, 3u);
+  EXPECT_EQ(spec.campaign_seed, 777u);
+  EXPECT_DOUBLE_EQ(spec.threshold_ms, 50.0);
+  // 2 os x 2 app x 1 workload x 2 driver x 3 seeds
+  EXPECT_EQ(spec.ExpandCells().size(), 24u);
+}
+
+TEST(SpecParseTest, OsAllExpandsToEveryPersonality) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec("os = all\napp = echo\n", &spec, &error)) << error;
+  EXPECT_EQ(spec.ExpandCells().size(), 3u);
+}
+
+TEST(SpecParseTest, RejectsUnknownOsName) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignSpec("os = nt50\napp = notepad\n", &spec, &error));
+  EXPECT_NE(error.find("nt50"), std::string::npos);
+}
+
+TEST(SpecParseTest, RejectsUnknownAppName) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignSpec("app = excel\n", &spec, &error));
+  EXPECT_NE(error.find("excel"), std::string::npos);
+}
+
+TEST(SpecParseTest, RejectsUnknownKeyWithLineNumber) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignSpec("app = notepad\nbogus = 1\n", &spec, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(SpecParseTest, RejectsEmptyCrossProduct) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignSpec("app = notepad\nseeds = 0\n", &spec, &error));
+  EXPECT_NE(error.find("seeds"), std::string::npos);
+}
+
+TEST(SpecParseTest, RejectsMalformedNumbers) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignSpec("seeds = banana\n", &spec, &error));
+  EXPECT_FALSE(ParseCampaignSpec("seed = -3\n", &spec, &error));
+  EXPECT_FALSE(ParseCampaignSpec("threshold_ms = 0\n", &spec, &error));
+}
+
+TEST(SpecExpandTest, SeedsDeriveFromCampaignSeedAndIndex) {
+  CampaignSpec spec = SmallSpec();
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 4u);
+  for (const CampaignCell& cell : cells) {
+    EXPECT_EQ(cell.seed, DeriveSeed(spec.campaign_seed, cell.index));
+  }
+  // Workload defaults resolved per app.
+  EXPECT_EQ(cells[0].workload, "echo");
+  EXPECT_EQ(cells[2].workload, "keys");
+}
+
+TEST(RunnerTest, JobsOneAndJobsEightAreByteIdentical) {
+  const CampaignSpec spec = SmallSpec();
+  const std::string json1 = RunToJson(spec, 1);
+  const std::string json8 = RunToJson(spec, 8);
+  EXPECT_FALSE(json1.empty());
+  EXPECT_EQ(json1, json8);
+}
+
+TEST(RunnerTest, DifferentCampaignSeedChangesAggregate) {
+  CampaignSpec spec = SmallSpec();
+  // Include an app whose latencies depend on the machine seed (disk I/O).
+  spec.apps = {"powerpoint"};
+  spec.seeds_per_cell = 1;
+  const std::string a = RunToJson(spec, 1);
+  spec.campaign_seed = 100;
+  const std::string b = RunToJson(spec, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(RunnerTest, AggregateGroupsCoverOsAppAndOverall) {
+  const CampaignSpec spec = SmallSpec();
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  options.jobs = 2;
+  std::size_t progress_calls = 0;
+  std::size_t last_index = 0;
+  options.on_cell = [&](const CellResult& r) {
+    // Progress arrives in cell-index order even with 2 workers.
+    EXPECT_EQ(r.cell.index, progress_calls);
+    last_index = r.cell.index;
+    ++progress_calls;
+  };
+  CampaignRunStats stats;
+  std::string error;
+  ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  EXPECT_EQ(progress_calls, 4u);
+  EXPECT_EQ(last_index, 3u);
+  EXPECT_EQ(stats.cells, 4u);
+  EXPECT_EQ(stats.jobs, 2);
+  EXPECT_EQ(aggregate.cells().size(), 4u);
+  EXPECT_EQ(aggregate.overall().cells, 4u);
+  EXPECT_GT(aggregate.overall().events, 0u);
+  ASSERT_EQ(aggregate.groups().count("os:nt40"), 1u);
+  ASSERT_EQ(aggregate.groups().count("app:echo"), 1u);
+  ASSERT_EQ(aggregate.groups().count("os:nt40|app:desktop"), 1u);
+  EXPECT_EQ(aggregate.groups().at("os:nt40").cells, 4u);
+  EXPECT_EQ(aggregate.groups().at("app:echo").cells, 2u);
+}
+
+TEST(JsonTest, ParsesScalarsArraysObjects) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"({"a": 1.5, "b": [1, 2, 3], "c": {"d": "x\ny"}, "e": true,
+                           "f": null})",
+                        &v, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(v.NumberAt("a"), 1.5);
+  ASSERT_NE(v.Find("b"), nullptr);
+  EXPECT_EQ(v.Find("b")->items.size(), 3u);
+  ASSERT_NE(v.Find("c"), nullptr);
+  EXPECT_EQ(v.Find("c")->Find("d")->str, "x\ny");
+  EXPECT_TRUE(v.Find("e")->boolean);
+  EXPECT_EQ(v.Find("f")->kind, JsonValue::Kind::kNull);
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": }", &v, &error));
+  EXPECT_FALSE(ParseJson("[1, 2", &v, &error));
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing", &v, &error));
+  EXPECT_FALSE(ParseJson("", &v, &error));
+}
+
+TEST(JsonTest, RoundTripsAggregateJson) {
+  const std::string json = RunToJson(SmallSpec(), 1);
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &v, &error)) << error;
+  EXPECT_DOUBLE_EQ(v.Find("campaign")->NumberAt("cells"), 4.0);
+  EXPECT_EQ(v.Find("cells")->items.size(), 4u);
+  ASSERT_NE(v.Find("groups")->Find("overall"), nullptr);
+  EXPECT_GT(v.Find("groups")->Find("overall")->NumberAt("events"), 0.0);
+  EXPECT_GT(v.Find("metrics")->members.size(), 0u);
+}
+
+class GateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const CampaignSpec spec = SmallSpec();
+    aggregate_ = std::make_unique<CampaignAggregate>(spec.name, spec.campaign_seed,
+                                                     spec.threshold_ms);
+    CampaignRunOptions options;
+    CampaignRunStats stats;
+    std::string error;
+    ASSERT_TRUE(RunCampaign(spec, options, aggregate_.get(), &stats, &error)) << error;
+  }
+
+  std::unique_ptr<CampaignAggregate> aggregate_;
+};
+
+TEST_F(GateTest, PassesAgainstItsOwnOutput) {
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(
+      RunRegressionGate(aggregate_->ToJson(), *aggregate_, GateOptions{}, &report, &error))
+      << error;
+  EXPECT_TRUE(report.ok());
+  EXPECT_GT(report.comparisons, 0u);
+  EXPECT_NE(report.Render(GateOptions{}).find("PASS"), std::string::npos);
+}
+
+TEST_F(GateTest, FailsWhenBaselineWasFaster) {
+  // A baseline claiming every group had sub-microsecond latencies: the
+  // current run must trip the gate.
+  const std::string baseline =
+      R"({"campaign": {"cells": 4},
+          "groups": {"overall": {"p50_ms": 0.0001, "p95_ms": 0.0001,
+                                 "p99_ms": 0.0001, "max_ms": 0.0001}}})";
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, GateOptions{}, &report, &error))
+      << error;
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.Render(GateOptions{}).find("FAIL"), std::string::npos);
+}
+
+TEST_F(GateTest, ToleranceSilencesSmallRegressions) {
+  // Baseline 5% below current p95: fails at 0% tolerance with no floor,
+  // passes at 10%.
+  const double p95 = aggregate_->overall().PercentileMs(95.0);
+  const std::string baseline = "{\"groups\": {\"overall\": {\"p95_ms\": " +
+                               std::to_string(p95 / 1.05) + "}}}";
+  GateOptions strict;
+  strict.tolerance_pct = 0.0;
+  strict.abs_floor_ms = 0.0;
+  strict.metrics = {"p95_ms"};
+  GateOptions loose = strict;
+  loose.tolerance_pct = 10.0;
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, strict, &report, &error)) << error;
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, loose, &report, &error)) << error;
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_F(GateTest, SkipsGroupsMissingFromCurrentRun) {
+  const std::string baseline =
+      R"({"groups": {"os:win95": {"p95_ms": 1.0}, "overall": {"p95_ms": 1e9}}})";
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, GateOptions{}, &report, &error))
+      << error;
+  EXPECT_TRUE(report.ok());  // win95 skipped; overall baseline is huge
+  EXPECT_FALSE(report.notes.empty());
+}
+
+TEST_F(GateTest, RejectsUnparseableBaseline) {
+  GateReport report;
+  std::string error;
+  EXPECT_FALSE(RunRegressionGate("not json", *aggregate_, GateOptions{}, &report, &error));
+  EXPECT_FALSE(RunRegressionGate("{\"no_groups\": 1}", *aggregate_, GateOptions{}, &report,
+                                 &error));
+}
+
+}  // namespace
+}  // namespace campaign
+}  // namespace ilat

@@ -205,6 +205,103 @@ TEST(CliRunTest, TraceAndMetricsOutWriteFiles) {
   EXPECT_NE(mbuf.str().find("sched.context_switches"), std::string::npos);
 }
 
+TEST(CliParseTest, ParsesCampaignFlags) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--campaign=sweep.txt", "--jobs=8", "--campaign-out=outdir",
+                            "--campaign-baseline=base.json", "--gate-tolerance=5",
+                            "--gate-percentiles=p95,p99"},
+                           &o, &error));
+  EXPECT_EQ(o.campaign_path, "sweep.txt");
+  EXPECT_EQ(o.jobs, 8);
+  EXPECT_EQ(o.campaign_out, "outdir");
+  EXPECT_EQ(o.campaign_baseline, "base.json");
+  EXPECT_DOUBLE_EQ(o.gate_tolerance_pct, 5.0);
+  EXPECT_EQ(o.gate_percentiles, "p95,p99");
+}
+
+TEST(CliParseTest, RejectsBadJobs) {
+  for (const char* bad : {"--jobs=0", "--jobs=-2", "--jobs=banana", "--jobs=", "--jobs=1.5",
+                          "--jobs=9999"}) {
+    CliOptions o;
+    std::string error;
+    EXPECT_FALSE(ParseCliArgs({bad}, &o, &error)) << bad;
+    EXPECT_NE(error.find("--jobs"), std::string::npos) << bad;
+  }
+}
+
+TEST(CliParseTest, RejectsBadGateTolerance) {
+  CliOptions o;
+  std::string error;
+  EXPECT_FALSE(ParseCliArgs({"--gate-tolerance=lots"}, &o, &error));
+  EXPECT_FALSE(ParseCliArgs({"--gate-tolerance=-1"}, &o, &error));
+}
+
+TEST(CliRunTest, UsageDocumentsCampaignMode) {
+  CliOptions o;
+  o.show_help = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("--campaign=SPEC"), std::string::npos);
+  EXPECT_NE(out.find("--jobs=N"), std::string::npos);
+  EXPECT_NE(out.find("--campaign-baseline=FILE"), std::string::npos);
+}
+
+TEST(CliRunTest, ListMentionsCampaigns) {
+  CliOptions o;
+  o.list_catalog = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("campaigns:"), std::string::npos);
+}
+
+TEST(CliRunTest, CampaignEndToEndWithGate) {
+  const std::string spec_path = TempPath("cli-campaign-spec.txt");
+  {
+    std::ofstream spec(spec_path);
+    spec << "name = cli-e2e\nos = nt40\napp = desktop\nseeds = 2\nseed = 11\n";
+  }
+  CliOptions run;
+  run.campaign_path = spec_path;
+  run.jobs = 2;
+  run.campaign_out = TempPath("cli-campaign-out");
+  const auto [rc, out] = Capture(run);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("campaign 'cli-e2e': 2 cells"), std::string::npos);
+  EXPECT_NE(out.find("per-os summary"), std::string::npos);
+
+  std::ifstream agg(run.campaign_out + "/aggregate.json");
+  ASSERT_TRUE(agg.good());
+
+  // Gate the same campaign against its own aggregate: must pass.
+  CliOptions gate = run;
+  gate.campaign_baseline = run.campaign_out + "/aggregate.json";
+  const auto [rc2, out2] = Capture(gate);
+  EXPECT_EQ(rc2, 0);
+  EXPECT_NE(out2.find("PASS"), std::string::npos);
+}
+
+TEST(CliRunTest, CampaignMissingSpecFails) {
+  CliOptions o;
+  o.campaign_path = TempPath("no-such-spec.txt");
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("campaign spec"), std::string::npos);
+}
+
+TEST(CliRunTest, CampaignBadSpecNameFails) {
+  const std::string spec_path = TempPath("cli-campaign-bad.txt");
+  {
+    std::ofstream spec(spec_path);
+    spec << "os = solaris\n";
+  }
+  CliOptions o;
+  o.campaign_path = spec_path;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("solaris"), std::string::npos);
+}
+
 TEST(CliRunTest, ExplainPrintsReport) {
   CliOptions o;
   o.app = "powerpoint";  // has disk-heavy events well above 1 ms

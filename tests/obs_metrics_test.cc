@@ -133,5 +133,56 @@ TEST(MetricsRegistry, SessionSnapshotsAreDeterministic) {
   EXPECT_GT(a.metrics.Get("idle.records"), 0.0);
 }
 
+TEST(LogHistogramMergeTest, MergesCountsSumsAndExtremes) {
+  obs::LogHistogram a(1.0, 8);
+  obs::LogHistogram b(1.0, 8);
+  a.Record(0.5);
+  a.Record(3.0);
+  b.Record(100.0);
+  ASSERT_TRUE(a.Merge(b));
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 103.5);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+  // Merging an empty histogram changes nothing.
+  obs::LogHistogram empty(1.0, 8);
+  ASSERT_TRUE(a.Merge(empty));
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+}
+
+TEST(LogHistogramMergeTest, RejectsMismatchedGeometry) {
+  obs::LogHistogram a(1.0, 8);
+  obs::LogHistogram wrong_buckets(1.0, 10);
+  obs::LogHistogram wrong_base(2.0, 8);
+  a.Record(1.0);
+  EXPECT_FALSE(a.Merge(wrong_buckets));
+  EXPECT_FALSE(a.Merge(wrong_base));
+  EXPECT_EQ(a.count(), 1u);  // untouched on failure
+}
+
+TEST(SnapshotAccumulatorTest, TracksSumMinMaxPerName) {
+  obs::MetricsRegistry r1;
+  r1.GetCounter("mq.posted")->Increment(10);
+  obs::MetricsRegistry r2;
+  r2.GetCounter("mq.posted")->Increment(4);
+  r2.GetCounter("disk.reads")->Increment(2);
+
+  obs::SnapshotAccumulator acc;
+  acc.Add(r1.Snapshot());
+  acc.Add(r2.Snapshot());
+  ASSERT_EQ(acc.entries().count("mq.posted"), 1u);
+  const auto& posted = acc.entries().at("mq.posted");
+  EXPECT_DOUBLE_EQ(posted.sum, 14.0);
+  EXPECT_DOUBLE_EQ(posted.min, 4.0);
+  EXPECT_DOUBLE_EQ(posted.max, 10.0);
+  EXPECT_EQ(posted.sessions, 2u);
+  EXPECT_EQ(acc.entries().at("disk.reads").sessions, 1u);
+
+  const std::string json = acc.ToJson();
+  EXPECT_NE(json.find("\"mq.posted\""), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 14"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ilat
