@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Smoke-test the fault-injection subsystem end to end through the CLI:
+#  - a faulted single run prints a fault report and exits 0,
+#  - --fail-degraded turns a degraded run into exit 1,
+#  - a faulted campaign is byte-identical across --jobs=1/4 (the
+#    determinism contract extends to faults and retries),
+#  - the aggregate carries the per-cell fault columns,
+#  - malformed plans and malformed numeric flags exit 2 with one-line
+#    usage errors.
+# Assumes a built tree (cmake -B build -S . && cmake --build build); pass a
+# different build dir as $1.
+set -euo pipefail
+
+build_dir="${1:-build}"
+ilat="$build_dir/src/tools/ilat"
+if [[ ! -x "$ilat" ]]; then
+  echo "error: $ilat not found -- build the project first" >&2
+  exit 2
+fi
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+# ---------------------------------------------------------- single runs --
+
+plan="$out_dir/faults.plan"
+cat > "$plan" <<'EOF'
+# light interference: drops + clock jitter
+mq.drop_rate      = 0.02
+clock.jitter_frac = 0.2
+EOF
+
+"$ilat" --app=notepad --faults="$plan" > "$out_dir/run.txt"
+grep -q "fault injection:" "$out_dir/run.txt"
+
+# A permanently-dead disk degrades the disk-bound app but still produces a
+# structured report; --fail-degraded opts into a non-zero exit.
+perm="$out_dir/perm.plan"
+echo "disk.fail_after = 1" > "$perm"
+"$ilat" --app=powerpoint --faults="$perm" > "$out_dir/perm.txt"
+grep -q "fault injection: degraded" "$out_dir/perm.txt"
+grep -q "disk_permanent" "$out_dir/perm.txt"
+if "$ilat" --app=powerpoint --faults="$perm" --fail-degraded >/dev/null; then
+  echo "error: --fail-degraded did not fail a degraded run" >&2
+  exit 1
+fi
+
+# ------------------------------------------------------------ campaigns --
+
+spec="$out_dir/spec.txt"
+cat > "$spec" <<'EOF'
+name    = faulted-smoke
+os      = nt40, win95
+app     = notepad, desktop
+seeds   = 1
+seed    = 2026
+retries = 1
+fault.mq.drop_rate      = 0.02
+fault.clock.jitter_frac = 0.2
+EOF
+
+"$ilat" --campaign="$spec" --jobs=4 --campaign-out="$out_dir/j4" > "$out_dir/camp.txt"
+"$ilat" --campaign="$spec" --jobs=1 --campaign-out="$out_dir/j1" >/dev/null
+cmp "$out_dir/j1/aggregate.json" "$out_dir/j4/aggregate.json"
+cmp "$out_dir/j1/cells.csv" "$out_dir/j4/cells.csv"
+grep -q "fault injection:" "$out_dir/camp.txt"
+
+# The aggregate carries fault columns and the degraded flag per cell.
+python3 - "$out_dir/j4/aggregate.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+assert len(agg["cells"]) == 4
+for cell in agg["cells"]:
+    assert "degraded" in cell, cell
+    assert "attempts" in cell, cell
+    assert "faults" in cell, "fault block missing from faulted cell"
+    for key in ("mq_dropped", "disk_transient", "io_failed", "storm_ticks"):
+        assert key in cell["faults"], f"missing fault column {key!r}"
+dropped = sum(c["faults"]["mq_dropped"] for c in agg["cells"])
+print(f"aggregate ok: {dropped} dropped messages across {len(agg['cells'])} cells")
+EOF
+head -1 "$out_dir/j4/cells.csv" | grep -q "degraded,disk_transient"
+
+# ----------------------------------------------------------- bad inputs --
+
+expect_usage_error() {
+  # Runs "$@" and asserts it exits 2 (the usage-error code).
+  local rc=0
+  "$@" >/dev/null 2>&1 || rc=$?
+  if [[ $rc -ne 2 ]]; then
+    echo "error: expected exit 2 (got $rc) from: $*" >&2
+    exit 1
+  fi
+}
+
+echo "mq.drop_rate = 7" > "$out_dir/bad.plan"
+expect_usage_error "$ilat" --faults="$out_dir/bad.plan"
+expect_usage_error "$ilat" --faults="$out_dir/missing.plan"
+expect_usage_error "$ilat" --seed=abc
+expect_usage_error "$ilat" --threshold-ms=1e999
+expect_usage_error "$ilat" --packets=
+
+echo "check_faults: all good"

@@ -33,6 +33,9 @@ double Percentile(std::vector<double> values, double p) {
     return 0.0;
   }
   std::sort(values.begin(), values.end());
+  // Clamp: p outside [0, 100] would index out of bounds (p > 100) or cast
+  // a negative rank to size_t (p < 0, undefined behaviour).
+  p = std::clamp(p, 0.0, 100.0);
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, values.size() - 1);

@@ -126,7 +126,12 @@ void GuiThread::DrainImmediateSteps() {
     } else if (s.kind == JobStep::Kind::kDiskWriteAsync) {
       IoTracker& io = system_->sim().io();
       io.BeginAsync();
-      ctx_.fs->Write(s.file, s.offset, s.bytes, [&io] { io.EndAsync(); });
+      ctx_.fs->Write(s.file, s.offset, s.bytes, IoCallback([this, &io](IoStatus status) {
+                       if (status != IoStatus::kOk) {
+                         ++failed_io_;
+                       }
+                       io.EndAsync();
+                     }));
       PopStep();
     } else if (s.kind == JobStep::Kind::kCallback) {
       auto fn = std::move(s.callback);
@@ -161,7 +166,12 @@ ThreadAction GuiThread::ActionForFrontStep() {
       // though the CPU may be idle (paper Fig. 2).
       IoTracker& io = system_->sim().io();
       io.BeginSync();
-      auto done = [this, &io] {
+      // A failed I/O still unblocks the thread -- the app degrades (and the
+      // failure is counted) instead of wedging the pump.
+      IoCallback done = [this, &io](IoStatus status) {
+        if (status != IoStatus::kOk) {
+          ++failed_io_;
+        }
         io.EndSync();
         PopStep();
         system_->sim().scheduler().Wake(this);

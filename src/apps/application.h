@@ -119,6 +119,11 @@ class GuiThread : public SimThread {
   // Number of foreground messages fully handled.
   std::uint64_t handled_count() const { return handled_; }
 
+  // Number of file-system operations that completed with IoStatus::kFailed
+  // (only possible under fault injection); the invariant checker folds this
+  // into the degraded-session report.
+  std::uint64_t failed_io_count() const { return failed_io_; }
+
  private:
   // Execute zero-time steps at the job front; returns when front is a
   // timed step or the job is empty.
@@ -144,6 +149,7 @@ class GuiThread : public SimThread {
   bool handling_foreground_ = false;
   bool quit_ = false;
   std::uint64_t handled_ = 0;
+  std::uint64_t failed_io_ = 0;
 
   // Busy-wait quantum for kBusyWaitForMessage (0.2 ms).
   Cycles busy_wait_quantum_;

@@ -35,6 +35,7 @@ std::string EscapeJson(const std::string& s) {
 std::string GroupToJson(const GroupStats& g, const std::string& indent) {
   std::string out = "{";
   out += "\"cells\": " + std::to_string(g.cells);
+  out += ", \"degraded_cells\": " + std::to_string(g.degraded_cells);
   out += ", \"events\": " + std::to_string(g.events);
   out += ", \"above\": " + std::to_string(g.above);
   out += ", \"elapsed_s\": " + NumToJson(g.elapsed_s);
@@ -87,11 +88,16 @@ CellResult SummarizeCell(const CampaignCell& cell, const SessionResult& result,
                  ? 0.0
                  : *std::max_element(r.latencies_ms.begin(), r.latencies_ms.end());
   r.metrics = result.metrics;
+  r.fault = result.fault;
+  r.degraded = result.fault.degraded;
   return r;
 }
 
 void GroupStats::Add(const CellResult& r) {
   ++cells;
+  if (r.degraded) {
+    ++degraded_cells;
+  }
   events += r.events;
   above += r.above;
   elapsed_s += r.elapsed_s;
@@ -149,7 +155,30 @@ std::string CampaignAggregate::ToJson() const {
            ", \"cumulative_ms\": " + NumToJson(r.cumulative_ms) +
            ", \"mean_ms\": " + NumToJson(r.mean_ms) + ", \"p50_ms\": " + NumToJson(r.p50_ms) +
            ", \"p95_ms\": " + NumToJson(r.p95_ms) + ", \"p99_ms\": " + NumToJson(r.p99_ms) +
-           ", \"max_ms\": " + NumToJson(r.max_ms) + "}";
+           ", \"max_ms\": " + NumToJson(r.max_ms) +
+           ", \"attempts\": " + std::to_string(r.attempts) +
+           ", \"degraded\": " + (r.degraded ? std::string("true") : std::string("false"));
+    if (r.fault.enabled) {
+      const fault::FaultReport& f = r.fault;
+      out += ", \"faults\": {\"disk_transient\": " + std::to_string(f.disk_transient) +
+             ", \"disk_stalls\": " + std::to_string(f.disk_stalls) +
+             ", \"disk_retries\": " + std::to_string(f.disk_retries) +
+             ", \"disk_permanent\": " + (f.disk_permanent ? "true" : "false") +
+             ", \"io_failed\": " + std::to_string(f.io_failed) +
+             ", \"mq_dropped\": " + std::to_string(f.mq_dropped) +
+             ", \"mq_duplicated\": " + std::to_string(f.mq_duplicated) +
+             ", \"mq_reordered\": " + std::to_string(f.mq_reordered) +
+             ", \"storm_ticks\": " + std::to_string(f.storm_ticks) +
+             ", \"clock_jitter_passes\": " + std::to_string(f.clock_jitter_passes) + "}";
+      if (!f.notes.empty()) {
+        out += ", \"fault_notes\": [";
+        for (std::size_t ni = 0; ni < f.notes.size(); ++ni) {
+          out += (ni == 0 ? "\"" : ", \"") + EscapeJson(f.notes[ni]) + "\"";
+        }
+        out += "]";
+      }
+    }
+    out += "}";
   }
   out += first ? "],\n" : "\n  ],\n";
 
@@ -167,15 +196,25 @@ std::string CampaignAggregate::ToJson() const {
 std::string CampaignAggregate::ToCellsCsv() const {
   std::string out =
       "index,os,app,workload,driver,seed,events,above,elapsed_s,cumulative_ms,"
-      "mean_ms,p50_ms,p95_ms,p99_ms,max_ms\n";
+      "mean_ms,p50_ms,p95_ms,p99_ms,max_ms,attempts,degraded,disk_transient,"
+      "disk_stalls,io_failed,mq_dropped,mq_duplicated,mq_reordered,storm_ticks\n";
   for (const CellResult& r : cells_) {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf), "%zu,%s,%s,%s,%s,%llu,%zu,%zu,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
-                  r.cell.index, r.cell.os.c_str(), r.cell.app.c_str(),
-                  r.cell.workload.c_str(), r.cell.driver.c_str(),
-                  static_cast<unsigned long long>(r.cell.seed), r.events, r.above,
-                  r.elapsed_s, r.cumulative_ms, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
-                  r.max_ms);
+    char buf[384];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%zu,%s,%s,%s,%s,%llu,%zu,%zu,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,"
+        "%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        r.cell.index, r.cell.os.c_str(), r.cell.app.c_str(), r.cell.workload.c_str(),
+        r.cell.driver.c_str(), static_cast<unsigned long long>(r.cell.seed), r.events,
+        r.above, r.elapsed_s, r.cumulative_ms, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
+        r.max_ms, r.attempts, r.degraded ? 1 : 0,
+        static_cast<unsigned long long>(r.fault.disk_transient),
+        static_cast<unsigned long long>(r.fault.disk_stalls),
+        static_cast<unsigned long long>(r.fault.io_failed),
+        static_cast<unsigned long long>(r.fault.mq_dropped),
+        static_cast<unsigned long long>(r.fault.mq_duplicated),
+        static_cast<unsigned long long>(r.fault.mq_reordered),
+        static_cast<unsigned long long>(r.fault.storm_ticks));
     out += buf;
   }
   return out;
@@ -219,10 +258,11 @@ std::string CampaignAggregate::RenderTables() const {
       [](const GroupStats& g) { return std::to_string(g.above); });
   out += "\n";
 
-  TextTable summary(
-      {"group", "cells", "events", "above", "cum lat (ms)", "p50", "p95", "p99", "max (ms)"});
+  TextTable summary({"group", "cells", "degr", "events", "above", "cum lat (ms)", "p50",
+                     "p95", "p99", "max (ms)"});
   auto add_group = [&](const std::string& label, const GroupStats& g) {
-    summary.AddRow({label, std::to_string(g.cells), std::to_string(g.events),
+    summary.AddRow({label, std::to_string(g.cells), std::to_string(g.degraded_cells),
+                    std::to_string(g.events),
                     std::to_string(g.above), TextTable::Num(g.cumulative_ms, 1),
                     TextTable::Num(g.PercentileMs(50.0), 2),
                     TextTable::Num(g.PercentileMs(95.0), 2),

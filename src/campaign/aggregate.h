@@ -23,6 +23,7 @@
 
 #include "src/campaign/spec.h"
 #include "src/core/measurement.h"
+#include "src/fault/report.h"
 #include "src/obs/metrics.h"
 
 namespace ilat {
@@ -42,6 +43,13 @@ struct CellResult {
   double max_ms = 0.0;
   std::vector<double> latencies_ms;  // exact per-event latencies
   obs::MetricsSnapshot metrics;
+
+  // Fault-injection outcome for this cell (fault.enabled false on clean
+  // campaigns) and how many session attempts the runner made (1 +
+  // degraded retries actually used).
+  fault::FaultReport fault;
+  bool degraded = false;
+  int attempts = 1;
 };
 
 // Distil a finished session into its cell summary.
@@ -51,6 +59,7 @@ CellResult SummarizeCell(const CampaignCell& cell, const SessionResult& result,
 // One rollup row (a group is "overall", an os, an app, or an os|app pair).
 struct GroupStats {
   std::size_t cells = 0;
+  std::size_t degraded_cells = 0;
   std::uint64_t events = 0;
   std::uint64_t above = 0;
   double elapsed_s = 0.0;

@@ -196,19 +196,43 @@ class Parser {
           *out += '\f';
           break;
         case 'u': {
-          // Our writers only emit \u00XX control escapes; decode the low
-          // byte and reject anything wider.
+          // Exactly four hex digits naming a BMP code point, emitted as
+          // UTF-8.  Surrogate halves (U+D800..U+DFFF) are not code points;
+          // pairing them is deliberately unsupported -- our writers never
+          // emit astral characters -- so they fail loudly instead of
+          // decoding to mojibake.
           if (pos_ + 4 > text_.size()) {
             return Fail("truncated \\u escape");
           }
-          const std::string hex(text_.substr(pos_, 4));
-          char* end = nullptr;
-          const long code = std::strtol(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4 || code > 0xFF) {
-            return Fail("unsupported \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            unsigned nibble = 0;
+            if (h >= '0' && h <= '9') {
+              nibble = static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              nibble = static_cast<unsigned>(h - 'a') + 10;
+            } else if (h >= 'A' && h <= 'F') {
+              nibble = static_cast<unsigned>(h - 'A') + 10;
+            } else {
+              return Fail("bad hex digit in \\u escape");
+            }
+            code = code * 16 + nibble;
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Fail("surrogate \\u escape unsupported");
           }
           pos_ += 4;
-          *out += static_cast<char>(code);
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
           break;
         }
         default:

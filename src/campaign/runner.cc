@@ -47,22 +47,41 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
   std::vector<std::unique_ptr<CellOutcome>> done(cells.size());
   std::atomic<std::size_t> cursor{0};
 
+  // Bounded retry-with-backoff: a cell whose session finishes degraded
+  // (faults broke the measurement) is re-run with fault_attempt+1 -- a
+  // fresh but deterministic fault stream -- after a short host-side
+  // backoff.  The sleep only spends wall time; the outcome of every
+  // attempt is a pure function of {seed, plan, attempt}, so the final
+  // aggregate stays byte-identical across --jobs values.
+  const int max_attempts = 1 + (spec.cell_retries > 0 ? spec.cell_retries : 0);
   auto run_cell = [&](const CampaignCell& cell) {
     auto outcome = std::make_unique<CellOutcome>();
-    RunSpec rs;
-    rs.os = cell.os;
-    rs.app = cell.app;
-    rs.workload = cell.workload;
-    rs.driver = cell.driver;
-    rs.seed = cell.seed;
-    rs.workload_seed = cell.workload_seed;
-    rs.params = spec.params;
-    SessionResult session;
-    if (!RunSpecSession(rs, &session, &outcome->error)) {
-      outcome->failed = true;
-      outcome->error = "cell " + cell.Label() + ": " + outcome->error;
-    } else {
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5LL << (attempt - 1)));
+      }
+      RunSpec rs;
+      rs.os = cell.os;
+      rs.app = cell.app;
+      rs.workload = cell.workload;
+      rs.driver = cell.driver;
+      rs.seed = cell.seed;
+      rs.workload_seed = cell.workload_seed;
+      rs.params = spec.params;
+      rs.faults = spec.faults;
+      rs.fault_attempt = attempt;
+      SessionResult session;
+      if (!RunSpecSession(rs, &session, &outcome->error)) {
+        outcome->failed = true;
+        outcome->error = "cell " + cell.Label() + ": " + outcome->error;
+        return outcome;
+      }
       outcome->result = SummarizeCell(cell, session, spec.threshold_ms);
+      outcome->result.attempts = attempt + 1;
+      if (!outcome->result.degraded) {
+        break;  // clean result; no retry needed
+      }
+      // Exhausted attempts leave the (structured) degraded result standing.
     }
     return outcome;
   };
@@ -106,6 +125,14 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
       continue;  // keep draining so workers can finish
     }
     if (!failed) {
+      if (stats != nullptr) {
+        if (outcome->result.degraded) {
+          ++stats->degraded_cells;
+        }
+        if (outcome->result.attempts > 1) {
+          ++stats->retried_cells;
+        }
+      }
       out->Add(std::move(outcome->result));
       if (options.on_cell) {
         options.on_cell(out->cells().back());

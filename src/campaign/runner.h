@@ -37,6 +37,10 @@ struct CampaignRunStats {
   std::size_t cells = 0;
   int jobs = 1;
   double wall_seconds = 0.0;
+  // Cells whose final result was degraded (after retries) and cells that
+  // needed more than one attempt.
+  std::size_t degraded_cells = 0;
+  std::size_t retried_cells = 0;
 };
 
 // Expand `spec` and run every cell.  Returns false on a validation or

@@ -1,6 +1,7 @@
 #include "src/campaign/spec.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -56,9 +57,13 @@ bool ParseU64(const std::string& value, std::uint64_t* out) {
 }
 
 bool ParsePositiveDouble(const std::string& value, double* out) {
+  if (value.empty()) {
+    return false;
+  }
   char* end = nullptr;
   const double v = std::strtod(value.c_str(), &end);
-  if (end != value.c_str() + value.size() || !(v > 0.0)) {
+  // isfinite rejects the overflow-to-inf case ("1e999").
+  if (end != value.c_str() + value.size() || !std::isfinite(v) || !(v > 0.0)) {
     return false;
   }
   *out = v;
@@ -208,6 +213,18 @@ bool ParseCampaignSpec(const std::string& text, CampaignSpec* out, std::string* 
         return bad_number();
       }
       spec.params.frames = static_cast<int>(v);
+    } else if (key == "retries") {
+      std::uint64_t v = 0;
+      if (!ParseU64(value, &v) || v > 10) {
+        return bad_number();
+      }
+      spec.cell_retries = static_cast<int>(v);
+    } else if (key.rfind("fault.", 0) == 0) {
+      std::string fault_error;
+      if (!fault::SetFaultPlanKey(key.substr(6), value, &spec.faults, &fault_error)) {
+        *error = "line " + std::to_string(lineno) + ": " + fault_error;
+        return false;
+      }
     } else {
       *error = "line " + std::to_string(lineno) + ": unknown key '" + key + "'";
       return false;

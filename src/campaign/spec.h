@@ -26,7 +26,14 @@
 //
 // Optional keys: `workload` (defaults to each app's canonical workload),
 // `workload_seed` (pin one identical input script across all cells, for
-// repeatability studies), `packets`/`frames` (workload sizing).
+// repeatability studies), `packets`/`frames` (workload sizing),
+// `retries` (extra attempts for cells that finish degraded under fault
+// injection), and `fault.*` keys (see src/fault/plan.h) applying one
+// deterministic FaultPlan to every cell:
+//
+//   fault.disk.fail_rate = 0.05
+//   fault.mq.drop_rate   = 0.02
+//   retries              = 2
 
 #ifndef ILAT_SRC_CAMPAIGN_SPEC_H_
 #define ILAT_SRC_CAMPAIGN_SPEC_H_
@@ -36,6 +43,7 @@
 #include <vector>
 
 #include "src/core/catalog.h"
+#include "src/fault/plan.h"
 
 namespace ilat {
 namespace campaign {
@@ -66,6 +74,12 @@ struct CampaignSpec {
   std::uint64_t workload_seed = 0;  // 0 -> per-cell
   double threshold_ms = 100.0;
   WorkloadParams params;
+  // Fault plan applied to every cell (empty = clean campaign).
+  fault::FaultPlan faults;
+  // Extra attempts for cells whose session finishes degraded; each retry
+  // uses fault_attempt+1 (a fresh deterministic fault stream) after a
+  // small host-side backoff.  The last attempt's result stands either way.
+  int cell_retries = 0;
 
   // Check every name against the catalog and the cross-product for
   // emptiness.  Returns false and sets *error on the first problem.

@@ -174,6 +174,8 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
   sopts.seed = spec.seed;
   sopts.idle_period = MillisecondsToCycles(spec.idle_period_ms);
   sopts.collect_trace = spec.collect_trace;
+  sopts.faults = spec.faults;
+  sopts.fault_attempt = spec.fault_attempt;
   if (workload == "media") {
     sopts.drain_after = SecondsToCycles(12.0);  // playback outlives the script
   }

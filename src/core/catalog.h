@@ -64,6 +64,10 @@ struct RunSpec {
   double idle_period_ms = 1.0;
   bool collect_trace = false;
   WorkloadParams params;
+  // Deterministic fault injection; an empty plan injects nothing.
+  fault::FaultPlan faults;
+  // Fault-stream attempt index (campaign retry-with-backoff bumps this).
+  int fault_attempt = 0;
 };
 
 // Build the session, run it, and return the result.  On bad names returns

@@ -17,6 +17,10 @@
 #ifndef ILAT_SRC_CORE_IDLE_LOOP_H_
 #define ILAT_SRC_CORE_IDLE_LOOP_H_
 
+#include <cstdint>
+#include <functional>
+#include <utility>
+
 #include "src/core/trace_buffer.h"
 #include "src/sim/simulation.h"
 #include "src/sim/thread.h"
@@ -52,9 +56,24 @@ class IdleLoopInstrument : public SimThread {
     if (buffer_.Full()) {
       return ThreadAction::Finish();
     }
-    return ThreadAction::Compute(Work{period_, loop_profile_},
+    Cycles period = period_;
+    if (jitter_) {
+      // Clock-jitter fault: the calibrated loop no longer takes exactly
+      // `period_`, modelling counter/clock noise the methodology must
+      // tolerate (paper §2.3's calibration caveats).
+      period = jitter_(period_, pass_++);
+      if (period < 1) {
+        period = 1;
+      }
+    }
+    return ThreadAction::Compute(Work{period, loop_profile_},
                                  [this] { ObserveGap(sim_->now()); });
   }
+
+  // Perturbs the busy-loop period per pass: (nominal, pass index) -> cycles.
+  // Installed by the fault layer for clock-jitter injection.
+  using PeriodJitterFn = std::function<Cycles(Cycles, std::uint64_t)>;
+  void SetPeriodJitter(PeriodJitterFn fn) { jitter_ = std::move(fn); }
 
   const TraceBuffer& trace() const { return buffer_; }
   Cycles period() const { return period_; }
@@ -82,6 +101,8 @@ class IdleLoopInstrument : public SimThread {
   Cycles period_;
   TraceBuffer buffer_;
   WorkProfile loop_profile_;
+  PeriodJitterFn jitter_;
+  std::uint64_t pass_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t track_ = 0;

@@ -1,6 +1,7 @@
 #include "src/core/measurement.h"
 
 #include <cassert>
+#include <string>
 #include <utility>
 
 namespace ilat {
@@ -60,6 +61,15 @@ MeasurementSession::MeasurementSession(OsProfile profile, SessionOptions opts)
     trace_sink_ = std::make_unique<obs::TraceSink>(opts_.trace_event_capacity);
     system_->sim().tracer().AttachSink(trace_sink_.get());
   }
+  if (opts_.faults.Any()) {
+    injector_ = std::make_unique<fault::FaultInjector>(opts_.faults, opts_.seed,
+                                                       opts_.fault_attempt);
+    injector_->Attach(&system_->sim().queue(), &system_->sim().tracer());
+    if (system_->sim().has_storage()) {
+      system_->sim().disk().set_fault_policy(injector_.get());
+    }
+    injector_->InstallStorm(&system_->sim().queue(), &system_->sim().scheduler());
+  }
 }
 
 MeasurementSession::~MeasurementSession() {
@@ -76,6 +86,11 @@ GuiThread& MeasurementSession::AttachApp(std::unique_ptr<GuiApplication> app) {
   thread_->AddObserver(wiring_.get());
   thread_->queue().SetTransitionObserver(
       [this](Cycles t, bool non_empty) { wiring_->OnQueueTransition(t, non_empty); });
+  if (injector_ != nullptr) {
+    // Only the monitored application's queue is faulted; background apps
+    // are context, not the system under test.
+    thread_->queue().SetFaultPolicy(injector_.get());
+  }
   system_->sim().scheduler().AddThread(thread_.get());
   return *thread_;
 }
@@ -95,6 +110,12 @@ void MeasurementSession::InstallInstrument() {
   }
   instrument_ = std::make_unique<IdleLoopInstrument>(&system_->sim(), opts_.idle_period,
                                                      opts_.trace_capacity);
+  if (injector_ != nullptr) {
+    auto jitter = injector_->MakePeriodJitter();
+    if (jitter) {
+      instrument_->SetPeriodJitter(std::move(jitter));
+    }
+  }
   instrument_start_ = system_->sim().now();
   system_->sim().scheduler().AddThread(instrument_.get());
 }
@@ -152,6 +173,55 @@ SessionResult MeasurementSession::RunIdle(Cycles duration) {
   return Finalize(nullptr);
 }
 
+fault::FaultReport MeasurementSession::BuildFaultReport(InputDriver* driver) const {
+  // Start from the injector's accumulated counts (empty report for clean
+  // sessions) and fold in what the components actually experienced.
+  fault::FaultReport report;
+  if (injector_ != nullptr) {
+    report = injector_->report();
+  }
+  if (system_->sim().has_storage()) {
+    const Disk& disk = system_->sim().disk();
+    report.io_failed = disk.failed_requests();
+    report.disk_retries = disk.retried_attempts();
+    if (disk.permanently_failed()) {
+      report.disk_permanent = true;
+    }
+  }
+  if (thread_ != nullptr) {
+    const MessageQueue& q = thread_->queue();
+    report.mq_dropped = q.dropped_count();
+    report.mq_duplicated = q.duplicated_count();
+    report.mq_reordered = q.reordered_count();
+  }
+
+  // Invariant checks: anything that makes the session's numbers partial
+  // or untrustworthy marks it degraded, with a note saying why.  Stalls,
+  // storms, duplicates and jitter are interference the methodology is
+  // *supposed* to measure, so they do not degrade by themselves.
+  if (report.disk_permanent) {
+    report.degraded = true;
+    report.notes.push_back("disk failed permanently mid-session");
+  }
+  if (report.io_failed > 0) {
+    report.degraded = true;
+    report.notes.push_back("i/o requests failed: " + std::to_string(report.io_failed));
+  }
+  if (report.mq_dropped > 0) {
+    report.degraded = true;
+    report.notes.push_back("input messages dropped: " + std::to_string(report.mq_dropped));
+  }
+  if (driver != nullptr && !driver->done()) {
+    report.degraded = true;
+    report.notes.push_back("driver did not finish before max_run deadline");
+  }
+  if (thread_ != nullptr && thread_->failed_io_count() > 0) {
+    report.notes.push_back("app observed failed i/o: " +
+                           std::to_string(thread_->failed_io_count()));
+  }
+  return report;
+}
+
 SessionResult MeasurementSession::Finalize(InputDriver* driver) {
   SessionResult result;
   result.trace = instrument_->trace().records();
@@ -173,8 +243,13 @@ SessionResult MeasurementSession::Finalize(InputDriver* driver) {
   result.gt_busy_cycles = sched.busy_thread_cycles() + sched.interrupt_cycles();
   result.gt_handles = monitor_.ground_truth_handles();
 
+  result.fault = BuildFaultReport(driver);
+
   obs::Tracer& tracer = system_->sim().tracer();
   tracer.metrics().GetGauge("session.run_end_s")->Set(CyclesToSeconds(result.run_end));
+  if (result.fault.enabled) {
+    tracer.metrics().GetGauge("session.degraded")->Set(result.fault.degraded ? 1.0 : 0.0);
+  }
   result.metrics = tracer.metrics().Snapshot();
   result.metrics_json = tracer.metrics().ToJson();
   if (trace_sink_ != nullptr) {

@@ -28,6 +28,9 @@
 #include "src/core/idle_loop.h"
 #include "src/core/message_monitor.h"
 #include "src/core/think_wait_fsm.h"
+#include "src/fault/injector.h"
+#include "src/fault/plan.h"
+#include "src/fault/report.h"
 #include "src/input/driver.h"
 #include "src/os/personalities.h"
 #include "src/os/system.h"
@@ -57,6 +60,14 @@ struct SessionOptions {
   // Safety cap on simulated time.
   Cycles max_run = SecondsToCycles(3'600.0);
   std::uint64_t seed = 1;
+  // Deterministic fault injection (src/fault/).  An empty plan (the
+  // default) injects nothing and adds no per-message/per-request overhead
+  // beyond a null pointer check.
+  fault::FaultPlan faults;
+  // Retry attempt index for fault derivation: retrying a degraded session
+  // with attempt+1 replays the workload against a fresh (but still
+  // deterministic) fault stream.
+  int fault_attempt = 0;
 };
 
 struct SessionResult {
@@ -104,6 +115,11 @@ struct SessionResult {
   // shared_ptr keeps SessionResult cheaply copyable.
   std::shared_ptr<const obs::TraceData> trace_data;
 
+  // Fault-injection outcome (invariant-checker verdict + injection
+  // counts).  fault.enabled is false for clean sessions; fault.degraded
+  // marks results whose metrics are partial/untrustworthy.
+  fault::FaultReport fault;
+
   BusyProfile MakeBusyProfile() const {
     return BusyProfile(trace, trace_period, trace_start);
   }
@@ -150,10 +166,16 @@ class MeasurementSession {
 
   void InstallInstrument();
   SessionResult Finalize(InputDriver* driver);
+  // Invariant checker: folds component fault state into a FaultReport and
+  // decides whether the session is degraded.
+  fault::FaultReport BuildFaultReport(InputDriver* driver) const;
 
   OsProfile profile_;
   SessionOptions opts_;
   std::unique_ptr<SystemUnderTest> system_;
+  // Declared after system_ so it is destroyed first (its storm device
+  // unschedules itself from the simulation's event queue).
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<GuiApplication> app_;
   std::unique_ptr<GuiThread> thread_;
   std::vector<std::unique_ptr<GuiApplication>> background_apps_;

@@ -1,0 +1,158 @@
+#include "src/fault/injector.h"
+
+#include <utility>
+
+namespace ilat {
+namespace fault {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t session_seed, int attempt)
+    : plan_(plan) {
+  const std::uint64_t base =
+      DeriveSeed(DeriveSeed(session_seed, plan_.salt), static_cast<std::uint64_t>(attempt));
+  disk_rng_.Seed(DeriveSeed(base, 1));
+  mq_rng_.Seed(DeriveSeed(base, 2));
+  clock_rng_.Seed(DeriveSeed(base, 3));
+  report_.enabled = plan_.Any();
+}
+
+void FaultInjector::Attach(EventQueue* clock, obs::Tracer* tracer) {
+  clock_ = clock;
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    return;
+  }
+  fault_track_ = tracer_->RegisterTrack("fault");
+  auto& m = tracer_->metrics();
+  m_disk_transient_ = m.GetCounter("fault.disk.transient");
+  m_disk_stalls_ = m.GetCounter("fault.disk.stalls");
+  m_disk_permanent_ = m.GetCounter("fault.disk.permanent");
+  m_mq_dropped_ = m.GetCounter("fault.mq.dropped");
+  m_mq_duplicated_ = m.GetCounter("fault.mq.duplicated");
+  m_mq_reordered_ = m.GetCounter("fault.mq.reordered");
+  m_storm_ticks_ = m.GetCounter("fault.storm.ticks");
+  m_clock_jitter_ = m.GetCounter("fault.clock.jitter_passes");
+}
+
+void FaultInjector::RecordInjection(const char* name, double value) {
+  if (tracer_ != nullptr && tracer_->enabled() && clock_ != nullptr) {
+    tracer_->Instant(fault_track_, name, "fault", clock_->now(), "value", value);
+  }
+}
+
+DiskFaultDecision FaultInjector::OnDiskAttempt(std::int64_t block, int nblocks, bool is_write,
+                                               int attempt) {
+  (void)nblocks;
+  (void)is_write;
+  DiskFaultDecision d;
+  if (attempt == 0) {
+    ++disk_requests_seen_;
+  }
+
+  if (plan_.disk.fail_after > 0 && disk_requests_seen_ > plan_.disk.fail_after) {
+    d.kind = DiskFaultKind::kPermanent;
+    report_.disk_permanent = true;
+    if (m_disk_permanent_ != nullptr) {
+      m_disk_permanent_->Increment();
+    }
+    RecordInjection("disk.permanent", static_cast<double>(block));
+    return d;
+  }
+
+  if (plan_.disk.fail_rate > 0.0 && disk_rng_.Bernoulli(plan_.disk.fail_rate)) {
+    d.kind = DiskFaultKind::kTransient;
+    ++report_.disk_transient;
+    if (m_disk_transient_ != nullptr) {
+      m_disk_transient_->Increment();
+    }
+    RecordInjection("disk.transient", static_cast<double>(block));
+  }
+
+  if (plan_.disk.stall_rate > 0.0 && plan_.disk.stall_ms > 0.0 &&
+      disk_rng_.Bernoulli(plan_.disk.stall_rate)) {
+    const double stall_ms = disk_rng_.Exponential(plan_.disk.stall_ms);
+    d.stall = MillisecondsToCycles(stall_ms);
+    ++report_.disk_stalls;
+    report_.disk_stall_ms += stall_ms;
+    if (m_disk_stalls_ != nullptr) {
+      m_disk_stalls_->Increment();
+    }
+    RecordInjection("disk.stall", stall_ms);
+  }
+  return d;
+}
+
+MessageFaultAction FaultInjector::OnPost(const Message& m) {
+  const double drop = plan_.mq.drop_rate;
+  const double dup = plan_.mq.dup_rate;
+  const double reorder = plan_.mq.reorder_rate;
+  if (drop <= 0.0 && dup <= 0.0 && reorder <= 0.0) {
+    return MessageFaultAction::kNone;
+  }
+  // One draw decides among the mutually exclusive actions.
+  const double u = mq_rng_.NextDouble();
+  if (u < drop) {
+    ++report_.mq_dropped;
+    if (m_mq_dropped_ != nullptr) {
+      m_mq_dropped_->Increment();
+    }
+    RecordInjection("mq.drop", static_cast<double>(m.seq));
+    return MessageFaultAction::kDrop;
+  }
+  if (u < drop + dup) {
+    ++report_.mq_duplicated;
+    if (m_mq_duplicated_ != nullptr) {
+      m_mq_duplicated_->Increment();
+    }
+    RecordInjection("mq.duplicate", static_cast<double>(m.seq));
+    return MessageFaultAction::kDuplicate;
+  }
+  if (u < drop + dup + reorder) {
+    ++report_.mq_reordered;
+    if (m_mq_reordered_ != nullptr) {
+      m_mq_reordered_->Increment();
+    }
+    RecordInjection("mq.reorder", static_cast<double>(m.seq));
+    return MessageFaultAction::kReorder;
+  }
+  return MessageFaultAction::kNone;
+}
+
+std::function<Cycles(Cycles, std::uint64_t)> FaultInjector::MakePeriodJitter() {
+  if (!plan_.clock.Any()) {
+    return {};
+  }
+  return [this](Cycles nominal, std::uint64_t pass) {
+    (void)pass;
+    const double frac = plan_.clock.jitter_frac * (2.0 * clock_rng_.NextDouble() - 1.0);
+    ++report_.clock_jitter_passes;
+    if (m_clock_jitter_ != nullptr) {
+      m_clock_jitter_->Increment();
+    }
+    const Cycles perturbed = static_cast<Cycles>(static_cast<double>(nominal) * (1.0 + frac));
+    return perturbed < 1 ? Cycles{1} : perturbed;
+  };
+}
+
+void FaultInjector::InstallStorm(EventQueue* queue, Scheduler* scheduler) {
+  if (!plan_.storm.Any()) {
+    return;
+  }
+  // Storm handlers are kernel-ish interrupt code; the default profile is
+  // close enough (the cost is dominated by the stolen cycles themselves).
+  const Work handler{MicrosecondsToCycles(plan_.storm.handler_us), WorkProfile{}};
+  storm_ = std::make_unique<PeriodicDevice>(
+      queue, scheduler, MicrosecondsToCycles(plan_.storm.period_us), handler, [this] {
+        ++report_.storm_ticks;
+        if (m_storm_ticks_ != nullptr) {
+          m_storm_ticks_->Increment();
+        }
+      });
+  if (tracer_ != nullptr) {
+    storm_->EnableTracing(tracer_, "fault-storm");
+  }
+  storm_->RunWindow(MillisecondsToCycles(plan_.storm.start_ms),
+                    MillisecondsToCycles(plan_.storm.duration_ms));
+}
+
+}  // namespace fault
+}  // namespace ilat

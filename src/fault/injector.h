@@ -1,0 +1,94 @@
+// FaultInjector: executes a FaultPlan against one simulated session.
+//
+// The injector implements the fault-policy hooks the sim layer declares
+// (DiskFaultPolicy, MessageFaultPolicy), provides the idle-loop clock
+// jitter function, and owns the interrupt-storm device.  Every decision
+// draws from PRNG streams derived as
+//
+//   base  = DeriveSeed(DeriveSeed(session_seed, plan.salt), attempt)
+//   disk  = DeriveSeed(base, 1)   mq = DeriveSeed(base, 2)   ...
+//
+// so fault behaviour is a pure function of {seed, plan, attempt}: replays
+// are exact, campaign output stays byte-identical across --jobs, and a
+// retried cell (attempt+1) sees a fresh but still deterministic fault
+// stream.  Every injection is recorded on a "fault" trace track and in
+// MetricsRegistry counters, and accumulated into the FaultReport.
+
+#ifndef ILAT_SRC_FAULT_INJECTOR_H_
+#define ILAT_SRC_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/fault/plan.h"
+#include "src/fault/report.h"
+#include "src/obs/trace.h"
+#include "src/sim/disk.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/interrupts.h"
+#include "src/sim/message_queue.h"
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+
+namespace ilat {
+namespace fault {
+
+class FaultInjector : public DiskFaultPolicy, public MessageFaultPolicy {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t session_seed, int attempt = 0);
+
+  // Hook up observability: registers the "fault" trace track and metrics.
+  // `clock` supplies timestamps for injection trace events.  Must be
+  // called before the session runs; both pointers are non-owning.
+  void Attach(EventQueue* clock, obs::Tracer* tracer);
+
+  // DiskFaultPolicy.
+  DiskFaultDecision OnDiskAttempt(std::int64_t block, int nblocks, bool is_write,
+                                  int attempt) override;
+
+  // MessageFaultPolicy.
+  MessageFaultAction OnPost(const Message& m) override;
+
+  // Idle-loop clock jitter: returns an empty function when the plan has no
+  // jitter configured.
+  std::function<Cycles(Cycles, std::uint64_t)> MakePeriodJitter();
+
+  // Create and arm the interrupt-storm device for its window.  No-op when
+  // the plan has no storm.  The device lives in the injector and must not
+  // outlive `queue`/`scheduler`.
+  void InstallStorm(EventQueue* queue, Scheduler* scheduler);
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultReport& report() const { return report_; }
+  FaultReport& mutable_report() { return report_; }
+
+ private:
+  void RecordInjection(const char* name, double value);
+
+  FaultPlan plan_;
+  FaultReport report_;
+  Random disk_rng_;
+  Random mq_rng_;
+  Random clock_rng_;
+
+  EventQueue* clock_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t fault_track_ = 0;
+  obs::Counter* m_disk_transient_ = nullptr;
+  obs::Counter* m_disk_stalls_ = nullptr;
+  obs::Counter* m_disk_permanent_ = nullptr;
+  obs::Counter* m_mq_dropped_ = nullptr;
+  obs::Counter* m_mq_duplicated_ = nullptr;
+  obs::Counter* m_mq_reordered_ = nullptr;
+  obs::Counter* m_storm_ticks_ = nullptr;
+  obs::Counter* m_clock_jitter_ = nullptr;
+
+  std::uint64_t disk_requests_seen_ = 0;
+  std::unique_ptr<PeriodicDevice> storm_;
+};
+
+}  // namespace fault
+}  // namespace ilat
+
+#endif  // ILAT_SRC_FAULT_INJECTOR_H_

@@ -1,0 +1,175 @@
+#include "src/fault/plan.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ilat {
+namespace fault {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+// Finite double with full-string consumption; [lo, hi] inclusive.
+bool ParseDoubleIn(const std::string& value, double lo, double hi, double* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || !std::isfinite(v) || v < lo || v > hi) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseU64(const std::string& value, std::uint64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return false;  // overflow
+    }
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool SetFaultPlanKey(const std::string& key, const std::string& value, FaultPlan* plan,
+                     std::string* error) {
+  auto bad_value = [&](const char* expect) {
+    *error = "fault key '" + key + "': expected " + expect + ", got '" + value + "'";
+    return false;
+  };
+
+  // Rates are probabilities; times must be non-negative and finite.
+  if (key == "disk.fail_rate") {
+    return ParseDoubleIn(value, 0.0, 1.0, &plan->disk.fail_rate) ||
+           bad_value("a probability in [0, 1]");
+  }
+  if (key == "disk.fail_after") {
+    return ParseU64(value, &plan->disk.fail_after) || bad_value("an unsigned integer");
+  }
+  if (key == "disk.stall_rate") {
+    return ParseDoubleIn(value, 0.0, 1.0, &plan->disk.stall_rate) ||
+           bad_value("a probability in [0, 1]");
+  }
+  if (key == "disk.stall_ms") {
+    return ParseDoubleIn(value, 0.0, 60'000.0, &plan->disk.stall_ms) ||
+           bad_value("milliseconds in [0, 60000]");
+  }
+  if (key == "mq.drop_rate") {
+    return ParseDoubleIn(value, 0.0, 1.0, &plan->mq.drop_rate) ||
+           bad_value("a probability in [0, 1]");
+  }
+  if (key == "mq.dup_rate") {
+    return ParseDoubleIn(value, 0.0, 1.0, &plan->mq.dup_rate) ||
+           bad_value("a probability in [0, 1]");
+  }
+  if (key == "mq.reorder_rate") {
+    return ParseDoubleIn(value, 0.0, 1.0, &plan->mq.reorder_rate) ||
+           bad_value("a probability in [0, 1]");
+  }
+  if (key == "storm.start_ms") {
+    return ParseDoubleIn(value, 0.0, 3'600'000.0, &plan->storm.start_ms) ||
+           bad_value("milliseconds in [0, 3600000]");
+  }
+  if (key == "storm.duration_ms") {
+    return ParseDoubleIn(value, 0.0, 3'600'000.0, &plan->storm.duration_ms) ||
+           bad_value("milliseconds in [0, 3600000]");
+  }
+  if (key == "storm.period_us") {
+    // Floor of 10 us: a denser storm than one IRQ per thousand cycles
+    // would stop the simulated machine (and the host) outright.
+    return ParseDoubleIn(value, 10.0, 1'000'000.0, &plan->storm.period_us) ||
+           bad_value("microseconds in [10, 1000000]");
+  }
+  if (key == "storm.handler_us") {
+    return ParseDoubleIn(value, 0.0, 10'000.0, &plan->storm.handler_us) ||
+           bad_value("microseconds in [0, 10000]");
+  }
+  if (key == "clock.jitter_frac") {
+    // Above ~0.9 the sampler period can collapse toward zero.
+    return ParseDoubleIn(value, 0.0, 0.9, &plan->clock.jitter_frac) ||
+           bad_value("a fraction in [0, 0.9]");
+  }
+  if (key == "salt") {
+    return ParseU64(value, &plan->salt) || bad_value("an unsigned integer");
+  }
+  *error = "unknown fault key '" + key + "'";
+  return false;
+}
+
+bool ParseFaultPlan(const std::string& text, FaultPlan* out, std::string* error) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    const std::string line = Trim(raw);
+    if (line.empty()) {
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      *error = "line " + std::to_string(lineno) + ": expected 'key = value'";
+      return false;
+    }
+    const std::string key = Trim(line.substr(0, eq));
+    const std::string value = Trim(line.substr(eq + 1));
+    std::string key_error;
+    if (!SetFaultPlanKey(key, value, &plan, &key_error)) {
+      *error = "line " + std::to_string(lineno) + ": " + key_error;
+      return false;
+    }
+  }
+  *out = plan;
+  return true;
+}
+
+bool LoadFaultPlan(const std::string& path, FaultPlan* out, std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = "cannot open fault plan '" + path + "'";
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return ParseFaultPlan(text, out, error);
+}
+
+}  // namespace fault
+}  // namespace ilat

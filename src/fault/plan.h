@@ -1,0 +1,126 @@
+// FaultPlan: a declarative description of the faults to inject into one
+// measurement session.
+//
+// The paper's methodology had to survive hostile conditions -- driver
+// artifacts, clock noise, background interference -- before its latency
+// numbers could be trusted.  A FaultPlan makes those hostile conditions a
+// first-class, *deterministic* input: every fault decision draws from a
+// PRNG stream derived from {session seed, plan salt, attempt}, so the same
+// seed and plan replay the exact same faults, no matter the host thread
+// count (the campaign byte-identity contract extends to faulted sweeps).
+//
+// Plan files use the same INI-ish format as campaign specs:
+//
+//   # lose 1% of disk reads, stall 5% of them by ~20 ms
+//   disk.fail_rate   = 0.01
+//   disk.stall_rate  = 0.05
+//   disk.stall_ms    = 20
+//   # drop / duplicate / reorder user-input messages
+//   mq.drop_rate     = 0.02
+//   mq.dup_rate      = 0.01
+//   mq.reorder_rate  = 0.01
+//   # 50 ms interrupt storm starting 200 ms in, one IRQ every 100 us
+//   storm.start_ms    = 200
+//   storm.duration_ms = 50
+//   storm.period_us   = 100
+//   storm.handler_us  = 30
+//   # +-10% jitter on the idle-loop sampling period (clock noise)
+//   clock.jitter_frac = 0.10
+//
+// Campaign specs may embed the same keys with a `fault.` prefix
+// (`fault.disk.fail_rate = 0.01`), applying the plan to every cell.
+
+#ifndef ILAT_SRC_FAULT_PLAN_H_
+#define ILAT_SRC_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ilat {
+namespace fault {
+
+// Disk-path faults (src/sim/disk.*, felt through the buffer cache and
+// file system above it).
+struct DiskFaultSpec {
+  // Probability that a request's service attempt fails transiently.  The
+  // disk retries (bounded, with backoff); exhausted retries fail the
+  // request with IoStatus::kFailed.
+  double fail_rate = 0.0;
+  // After this many requests the disk fails permanently: every further
+  // request completes immediately with IoStatus::kFailed.  0 = never.
+  std::uint64_t fail_after = 0;
+  // Probability of an extra service-time stall, and its mean (stall is
+  // drawn ~Exponential(stall_ms), so tails exist but replay exactly).
+  double stall_rate = 0.0;
+  double stall_ms = 0.0;
+
+  bool Any() const {
+    return fail_rate > 0.0 || fail_after > 0 || (stall_rate > 0.0 && stall_ms > 0.0);
+  }
+};
+
+// Message-queue faults (src/sim/message_queue.*).  Only fault-eligible
+// messages are touched: user input plus timers/paints.  WM_QUEUESYNC,
+// WM_QUIT, socket-delivery, and mouse-up messages are exempt -- the
+// drivers and the Windows 95 mouse busy-wait serialise on them, and a
+// dropped serialisation message would hang the session rather than
+// degrade it.
+struct MessageFaultSpec {
+  double drop_rate = 0.0;
+  double dup_rate = 0.0;
+  double reorder_rate = 0.0;
+
+  bool Any() const { return drop_rate > 0.0 || dup_rate > 0.0 || reorder_rate > 0.0; }
+};
+
+// A window of high-frequency interrupts (src/sim/interrupts.*): one extra
+// PeriodicDevice firing every period_us for duration_ms, each tick
+// stealing handler_us of kernel time.
+struct InterruptStormSpec {
+  double start_ms = 0.0;
+  double duration_ms = 0.0;
+  double period_us = 100.0;
+  double handler_us = 20.0;
+
+  bool Any() const { return duration_ms > 0.0 && period_us > 0.0; }
+};
+
+// Clock jitter on the idle-loop sampler (src/core/idle_loop.h): each
+// busy-loop pass is elongated or shortened by up to jitter_frac of the
+// nominal period, modelling the counter/clock noise the paper had to
+// tolerate.
+struct ClockJitterSpec {
+  double jitter_frac = 0.0;
+
+  bool Any() const { return jitter_frac > 0.0; }
+};
+
+struct FaultPlan {
+  DiskFaultSpec disk;
+  MessageFaultSpec mq;
+  InterruptStormSpec storm;
+  ClockJitterSpec clock;
+  // Salt mixed into the fault PRNG stream so fault draws never collide
+  // with workload/machine draws from the same session seed.
+  std::uint64_t salt = 0xFA017;
+
+  bool Any() const { return disk.Any() || mq.Any() || storm.Any() || clock.Any(); }
+};
+
+// Apply one `key = value` pair to *plan.  Returns false (setting *error)
+// for unknown keys or malformed/out-of-range values.  Shared by the plan
+// parser and the campaign spec parser (which strips its `fault.` prefix
+// first).
+bool SetFaultPlanKey(const std::string& key, const std::string& value, FaultPlan* plan,
+                     std::string* error);
+
+// Parse the INI-ish plan text (comments with '#', blank lines ignored).
+bool ParseFaultPlan(const std::string& text, FaultPlan* out, std::string* error);
+
+// Read `path` and parse it.
+bool LoadFaultPlan(const std::string& path, FaultPlan* out, std::string* error);
+
+}  // namespace fault
+}  // namespace ilat
+
+#endif  // ILAT_SRC_FAULT_PLAN_H_

@@ -1,0 +1,55 @@
+#include "src/fault/report.h"
+
+#include <sstream>
+
+namespace ilat {
+namespace fault {
+
+std::string FaultReport::Summary() const {
+  if (!enabled) {
+    return "no faults";
+  }
+  std::ostringstream out;
+  out << (degraded ? "degraded" : "ok");
+  if (disk_transient > 0) {
+    out << " disk_transient=" << disk_transient;
+  }
+  if (disk_stalls > 0) {
+    out << " disk_stalls=" << disk_stalls;
+  }
+  if (disk_permanent) {
+    out << " disk_permanent";
+  }
+  if (disk_retries > 0) {
+    out << " disk_retries=" << disk_retries;
+  }
+  if (io_failed > 0) {
+    out << " io_failed=" << io_failed;
+  }
+  if (mq_dropped > 0) {
+    out << " mq_dropped=" << mq_dropped;
+  }
+  if (mq_duplicated > 0) {
+    out << " mq_duplicated=" << mq_duplicated;
+  }
+  if (mq_reordered > 0) {
+    out << " mq_reordered=" << mq_reordered;
+  }
+  if (storm_ticks > 0) {
+    out << " storm_ticks=" << storm_ticks;
+  }
+  if (clock_jitter_passes > 0) {
+    out << " clock_jitter_passes=" << clock_jitter_passes;
+  }
+  if (!notes.empty()) {
+    out << " (" << notes.front();
+    if (notes.size() > 1) {
+      out << "; +" << notes.size() - 1 << " more";
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+}  // namespace fault
+}  // namespace ilat

@@ -1,0 +1,59 @@
+// FaultReport: the structured outcome of a (possibly) faulted session.
+//
+// Instead of crashing or silently corrupting metrics, a session that hit
+// component faults finishes with partial results plus this report: what
+// was injected, what failed, and whether the session should be treated as
+// degraded.  Header-only and dependency-free so every layer (core,
+// campaign, CLI, viz) can carry it around.
+
+#ifndef ILAT_SRC_FAULT_REPORT_H_
+#define ILAT_SRC_FAULT_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ilat {
+namespace fault {
+
+struct FaultReport {
+  // True when a fault plan was active for the session.
+  bool enabled = false;
+  // True when the invariant checker decided the session's numbers are not
+  // trustworthy as a clean measurement (disk died, I/O failed, driver
+  // timed out, input was lost).  Degraded sessions still carry partial
+  // metrics; `notes` says why.
+  bool degraded = false;
+
+  // Injection counts (what the fault layer did).
+  std::uint64_t disk_transient = 0;   // failed service attempts (retried)
+  std::uint64_t disk_stalls = 0;      // stalled service attempts
+  double disk_stall_ms = 0.0;         // total injected stall time
+  bool disk_permanent = false;        // the disk died mid-session
+  std::uint64_t mq_dropped = 0;
+  std::uint64_t mq_duplicated = 0;
+  std::uint64_t mq_reordered = 0;
+  std::uint64_t storm_ticks = 0;      // interrupt-storm IRQs delivered
+  std::uint64_t clock_jitter_passes = 0;
+
+  // Observed damage (what the system under test experienced).
+  std::uint64_t io_failed = 0;        // I/O requests completing kFailed
+  std::uint64_t disk_retries = 0;     // retry attempts the disk made
+
+  // Human-readable invariant-checker findings, one per line.
+  std::vector<std::string> notes;
+
+  bool AnyInjected() const {
+    return disk_transient > 0 || disk_stalls > 0 || disk_permanent || mq_dropped > 0 ||
+           mq_duplicated > 0 || mq_reordered > 0 || storm_ticks > 0 ||
+           clock_jitter_passes > 0;
+  }
+
+  // One line, e.g. "degraded: disk_transient=3 io_failed=1 (disk died)".
+  std::string Summary() const;
+};
+
+}  // namespace fault
+}  // namespace ilat
+
+#endif  // ILAT_SRC_FAULT_REPORT_H_

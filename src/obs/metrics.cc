@@ -91,11 +91,19 @@ double LogHistogram::Percentile(double p) const {
   }
   p = std::clamp(p, 0.0, 1.0);
   const double target = p * static_cast<double>(count_);
+  // p == 0 means "the smallest observation": the scan below would report
+  // the first bucket's upper bound even when that bucket is empty.
+  if (target <= 0.0) {
+    return min_;
+  }
   std::uint64_t seen = 0;
   for (int i = 0; i < num_buckets(); ++i) {
     seen += buckets_[static_cast<std::size_t>(i)];
     if (static_cast<double>(seen) >= target) {
-      return bucket_upper(i);
+      // The bucket's upper bound can overshoot the largest value actually
+      // observed (e.g. a single sample: p=1 lands in its bucket, whose
+      // upper edge may be far above it).
+      return std::min(bucket_upper(i), max_);
     }
   }
   return max_;

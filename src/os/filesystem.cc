@@ -27,31 +27,29 @@ std::pair<std::int64_t, int> FileSystem::BlockRange(FileId id, std::int64_t offs
   return {first, static_cast<int>(last - first + 1)};
 }
 
-void FileSystem::Read(FileId id, std::int64_t offset, std::int64_t bytes,
-                      std::function<void()> done) {
+void FileSystem::Read(FileId id, std::int64_t offset, std::int64_t bytes, IoCallback done) {
   if (bytes <= 0) {
-    done();
+    done(IoStatus::kOk);
     return;
   }
   const auto [first, nblocks] = BlockRange(id, offset, bytes);
   cache_->Read(first, nblocks, std::move(done));
 }
 
-void FileSystem::ReadAll(FileId id, std::function<void()> done) {
+void FileSystem::ReadAll(FileId id, IoCallback done) {
   Read(id, 0, files_[id].bytes, std::move(done));
 }
 
-void FileSystem::Write(FileId id, std::int64_t offset, std::int64_t bytes,
-                       std::function<void()> done) {
+void FileSystem::Write(FileId id, std::int64_t offset, std::int64_t bytes, IoCallback done) {
   if (bytes <= 0) {
-    done();
+    done(IoStatus::kOk);
     return;
   }
   const auto [first, nblocks] = BlockRange(id, offset, bytes);
   cache_->Write(first, nblocks, std::move(done));
 }
 
-void FileSystem::WriteAll(FileId id, std::function<void()> done) {
+void FileSystem::WriteAll(FileId id, IoCallback done) {
   Write(id, 0, files_[id].bytes, std::move(done));
 }
 

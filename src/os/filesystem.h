@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/sim/buffer_cache.h"
@@ -30,16 +31,30 @@ class FileSystem {
   FileId Create(std::string name, std::int64_t bytes);
 
   // Read `bytes` starting at byte `offset`; `done` fires when all blocks
-  // are resident.
-  void Read(FileId id, std::int64_t offset, std::int64_t bytes, std::function<void()> done);
+  // are resident (kOk) or the underlying I/O failed (kFailed).
+  void Read(FileId id, std::int64_t offset, std::int64_t bytes, IoCallback done);
 
   // Read the whole file.
-  void ReadAll(FileId id, std::function<void()> done);
+  void ReadAll(FileId id, IoCallback done);
 
   // Write-through write of `bytes` at `offset`.
-  void Write(FileId id, std::int64_t offset, std::int64_t bytes, std::function<void()> done);
+  void Write(FileId id, std::int64_t offset, std::int64_t bytes, IoCallback done);
 
-  void WriteAll(FileId id, std::function<void()> done);
+  void WriteAll(FileId id, IoCallback done);
+
+  // Back-compat: status-blind completion callbacks.
+  void Read(FileId id, std::int64_t offset, std::int64_t bytes, std::function<void()> done) {
+    Read(id, offset, bytes, IgnoreIoStatus(std::move(done)));
+  }
+  void ReadAll(FileId id, std::function<void()> done) {
+    ReadAll(id, IgnoreIoStatus(std::move(done)));
+  }
+  void Write(FileId id, std::int64_t offset, std::int64_t bytes, std::function<void()> done) {
+    Write(id, offset, bytes, IgnoreIoStatus(std::move(done)));
+  }
+  void WriteAll(FileId id, std::function<void()> done) {
+    WriteAll(id, IgnoreIoStatus(std::move(done)));
+  }
 
   std::int64_t SizeOf(FileId id) const;
   const std::string& NameOf(FileId id) const;

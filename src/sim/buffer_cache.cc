@@ -34,12 +34,21 @@ void BufferCache::Insert(std::int64_t block) {
   }
 }
 
+void BufferCache::Evict(std::int64_t block) {
+  auto it = index_.find(block);
+  if (it == index_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
 void BufferCache::Clear() {
   lru_.clear();
   index_.clear();
 }
 
-void BufferCache::Read(std::int64_t block, int nblocks, std::function<void()> done) {
+void BufferCache::Read(std::int64_t block, int nblocks, IoCallback done) {
   // Find maximal missing runs.
   struct Run {
     std::int64_t start;
@@ -62,7 +71,8 @@ void BufferCache::Read(std::int64_t block, int nblocks, std::function<void()> do
 
   if (missing.empty()) {
     // Fully cached: charge the kernel copy as stolen time, then complete.
-    scheduler_->QueueInterrupt(hit_copy_work_, std::move(done));
+    scheduler_->QueueInterrupt(hit_copy_work_,
+                               [done = std::move(done)] { done(IoStatus::kOk); });
     return;
   }
 
@@ -75,22 +85,45 @@ void BufferCache::Read(std::int64_t block, int nblocks, std::function<void()> do
   }
 
   // Issue one disk request per missing run; complete when the last lands.
-  auto remaining = std::make_shared<int>(static_cast<int>(missing.size()));
-  auto shared_done = std::make_shared<std::function<void()>>(std::move(done));
+  // A failed run evicts its blocks (they never became resident) and the
+  // whole read completes kFailed.
+  struct Pending {
+    int remaining;
+    IoStatus status = IoStatus::kOk;
+    IoCallback done;
+  };
+  auto state = std::make_shared<Pending>();
+  state->remaining = static_cast<int>(missing.size());
+  state->done = std::move(done);
   for (const Run& r : missing) {
-    disk_->SubmitRead(r.start, r.len, [remaining, shared_done]() {
-      if (--*remaining == 0 && *shared_done) {
-        (*shared_done)();
-      }
-    });
+    disk_->SubmitRead(r.start, r.len, IoCallback([this, state, r](IoStatus status) {
+                        if (status != IoStatus::kOk) {
+                          ++failed_fills_;
+                          state->status = status;
+                          for (std::int64_t b = r.start; b < r.start + r.len; ++b) {
+                            Evict(b);
+                          }
+                        }
+                        if (--state->remaining == 0 && state->done) {
+                          state->done(state->status);
+                        }
+                      }));
   }
 }
 
-void BufferCache::Write(std::int64_t block, int nblocks, std::function<void()> done) {
+void BufferCache::Write(std::int64_t block, int nblocks, IoCallback done) {
   for (std::int64_t b = block; b < block + nblocks; ++b) {
     Insert(b);
   }
-  disk_->SubmitWrite(block, nblocks, std::move(done));
+  disk_->SubmitWrite(block, nblocks,
+                     IoCallback([this, block, nblocks, done = std::move(done)](IoStatus status) {
+                       if (status != IoStatus::kOk) {
+                         for (std::int64_t b = block; b < block + nblocks; ++b) {
+                           Evict(b);
+                         }
+                       }
+                       done(status);
+                     }));
 }
 
 }  // namespace ilat

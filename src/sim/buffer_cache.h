@@ -11,8 +11,10 @@
 #include <functional>
 #include <list>
 #include <unordered_map>
+#include <utility>
 
 #include "src/sim/disk.h"
+#include "src/sim/io_status.h"
 
 namespace ilat {
 
@@ -25,12 +27,21 @@ class BufferCache {
 
   // Read `nblocks` at `block` through the cache.  Missing runs are
   // coalesced into disk requests; `done` fires once everything is
-  // resident.
-  void Read(std::int64_t block, int nblocks, std::function<void()> done);
+  // resident (kOk) or any underlying disk request failed (kFailed --
+  // the blocks of failed runs are evicted rather than left resident).
+  void Read(std::int64_t block, int nblocks, IoCallback done);
 
   // Write-through write; blocks become resident.  `done` fires when the
-  // disk write completes.
-  void Write(std::int64_t block, int nblocks, std::function<void()> done);
+  // disk write completes; on kFailed the blocks are evicted.
+  void Write(std::int64_t block, int nblocks, IoCallback done);
+
+  // Back-compat: status-blind completion callbacks.
+  void Read(std::int64_t block, int nblocks, std::function<void()> done) {
+    Read(block, nblocks, IgnoreIoStatus(std::move(done)));
+  }
+  void Write(std::int64_t block, int nblocks, std::function<void()> done) {
+    Write(block, nblocks, IgnoreIoStatus(std::move(done)));
+  }
 
   bool Contains(std::int64_t block) const;
   int block_size_bytes() const { return disk_->params().block_size_bytes; }
@@ -39,6 +50,7 @@ class BufferCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t failed_fills() const { return failed_fills_; }
 
   // Drop everything (models a cold boot).
   void Clear();
@@ -46,6 +58,7 @@ class BufferCache {
  private:
   void Touch(std::int64_t block);
   void Insert(std::int64_t block);
+  void Evict(std::int64_t block);
 
   Disk* disk_;
   Scheduler* scheduler_;
@@ -58,6 +71,7 @@ class BufferCache {
 
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t failed_fills_ = 0;
 };
 
 }  // namespace ilat

@@ -35,11 +35,11 @@ void Disk::TraceQueueDepth() {
   }
 }
 
-void Disk::SubmitRead(std::int64_t block, int nblocks, std::function<void()> done) {
+void Disk::SubmitRead(std::int64_t block, int nblocks, IoCallback done) {
   Submit(Request{block, nblocks, /*is_write=*/false, std::move(done)});
 }
 
-void Disk::SubmitWrite(std::int64_t block, int nblocks, std::function<void()> done) {
+void Disk::SubmitWrite(std::int64_t block, int nblocks, IoCallback done) {
   Submit(Request{block, nblocks, /*is_write=*/true, std::move(done)});
 }
 
@@ -68,6 +68,25 @@ Cycles Disk::ServiceTime(const Request& r) {
   return MillisecondsToCycles(total_ms);
 }
 
+void Disk::Complete(Request r, IoStatus status) {
+  if (status == IoStatus::kOk) {
+    ++completed_;
+    blocks_ += static_cast<std::uint64_t>(r.nblocks);
+    if (m_blocks_ != nullptr) {
+      m_blocks_->Increment(static_cast<std::uint64_t>(r.nblocks));
+    }
+  } else {
+    ++failed_;
+  }
+  // Completion interrupt: the handler runs as stolen time, then delivers
+  // the completion callback.
+  scheduler_->QueueInterrupt(isr_work_,
+                             [done = std::move(r.done), status] { done(status); });
+  active_ = false;
+  TraceQueueDepth();
+  StartNext();
+}
+
 void Disk::StartNext() {
   if (pending_.empty()) {
     active_ = false;
@@ -77,7 +96,30 @@ void Disk::StartNext() {
   // Move the front request out; it completes after its service time.
   Request r = std::move(pending_.front());
   pending_.pop_front();
-  const Cycles service = ServiceTime(r);
+
+  DiskFaultDecision fault;
+  if (fault_policy_ != nullptr && !permanently_failed_) {
+    fault = fault_policy_->OnDiskAttempt(r.block, r.nblocks, r.is_write, r.attempt);
+    if (fault.kind == DiskFaultKind::kPermanent) {
+      permanently_failed_ = true;
+    }
+  }
+
+  if (permanently_failed_) {
+    // The dead controller rejects the request after its fixed overhead --
+    // the callback still fires, so waiters unblock with kFailed.
+    const Cycles service = MillisecondsToCycles(params_.controller_overhead_ms);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->CompleteSpan(disk_track_, "rejected", "disk", queue_->now(), service, "block",
+                            static_cast<double>(r.block));
+    }
+    queue_->ScheduleAfter(service, [this, r = std::move(r)]() mutable {
+      Complete(std::move(r), IoStatus::kFailed);
+    });
+    return;
+  }
+
+  const Cycles service = ServiceTime(r) + fault.stall;
   service_cycles_ += service;
   head_position_ = r.block + r.nblocks;
 
@@ -98,18 +140,28 @@ void Disk::StartNext() {
                           static_cast<double>(r.nblocks));
   }
 
-  queue_->ScheduleAfter(service, [this, r = std::move(r)]() mutable {
-    ++completed_;
-    blocks_ += static_cast<std::uint64_t>(r.nblocks);
-    if (m_blocks_ != nullptr) {
-      m_blocks_->Increment(static_cast<std::uint64_t>(r.nblocks));
+  if (fault.kind == DiskFaultKind::kTransient && r.attempt < params_.max_retries) {
+    // Failed attempt: back off (controller_overhead * 2^attempt) and retry
+    // at the head of the queue, preserving request order.
+    const Cycles backoff = MillisecondsToCycles(params_.controller_overhead_ms) << r.attempt;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->CompleteSpan(disk_track_, "retry_backoff", "disk", start + service, backoff,
+                            "attempt", static_cast<double>(r.attempt));
     }
-    // Completion interrupt: the handler runs as stolen time, then delivers
-    // the completion callback.
-    scheduler_->QueueInterrupt(isr_work_, std::move(r.done));
-    active_ = false;
-    TraceQueueDepth();
-    StartNext();
+    queue_->ScheduleAfter(service + backoff, [this, r = std::move(r)]() mutable {
+      ++retries_;
+      ++r.attempt;
+      pending_.push_front(std::move(r));
+      active_ = false;
+      TraceQueueDepth();
+      StartNext();
+    });
+    return;
+  }
+
+  const bool attempt_failed = (fault.kind == DiskFaultKind::kTransient);
+  queue_->ScheduleAfter(service, [this, r = std::move(r), attempt_failed]() mutable {
+    Complete(std::move(r), attempt_failed ? IoStatus::kFailed : IoStatus::kOk);
   });
 }
 

@@ -4,6 +4,13 @@
 // long-latency PowerPoint events (application start, document open/save,
 // OLE edit start) are dominated by disk time, so the disk and the buffer
 // cache above it are the substrate for those experiments.
+//
+// The fault-injection layer (src/fault/) can attach a DiskFaultPolicy to
+// fail or stall individual service attempts.  Transient failures are
+// retried with exponential backoff up to DiskParams::max_retries; a
+// permanent failure flips the disk into a state where every request
+// completes immediately with IoStatus::kFailed (callbacks always fire, so
+// waiting apps degrade instead of deadlocking).
 
 #ifndef ILAT_SRC_SIM_DISK_H_
 #define ILAT_SRC_SIM_DISK_H_
@@ -11,9 +18,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
 
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/io_status.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
 #include "src/sim/work.h"
@@ -29,6 +38,31 @@ struct DiskParams {
   int block_size_bytes = 4096;
   // Fractional jitter applied to seek time (deterministic PRNG).
   double seek_jitter = 0.15;
+  // Service attempts per request = 1 + max_retries; attempt k backs off
+  // controller_overhead_ms * 2^k before re-entering the queue.
+  int max_retries = 3;
+};
+
+// Decision made by a fault policy for one disk service attempt.
+enum class DiskFaultKind {
+  kNone,
+  kTransient,  // this attempt fails; the disk retries (bounded)
+  kPermanent,  // the disk dies: this and all later requests fail at once
+};
+
+struct DiskFaultDecision {
+  DiskFaultKind kind = DiskFaultKind::kNone;
+  Cycles stall = 0;  // extra service time for this attempt
+};
+
+// Implemented by fault::FaultInjector; declared here so the sim layer does
+// not depend on src/fault/.
+class DiskFaultPolicy {
+ public:
+  virtual ~DiskFaultPolicy() = default;
+  // Called once per service attempt; `attempt` is 0 for the first try.
+  virtual DiskFaultDecision OnDiskAttempt(std::int64_t block, int nblocks, bool is_write,
+                                          int attempt) = 0;
 };
 
 class Disk {
@@ -38,13 +72,26 @@ class Disk {
        Work isr_work, obs::Tracer* tracer = nullptr);
 
   // Submit a read/write of `nblocks` starting at `block`.  `done` fires
-  // from the completion interrupt handler.
-  void SubmitRead(std::int64_t block, int nblocks, std::function<void()> done);
-  void SubmitWrite(std::int64_t block, int nblocks, std::function<void()> done);
+  // from the completion interrupt handler with the request's status.
+  void SubmitRead(std::int64_t block, int nblocks, IoCallback done);
+  void SubmitWrite(std::int64_t block, int nblocks, IoCallback done);
+
+  // Back-compat: status-blind completion callbacks.
+  void SubmitRead(std::int64_t block, int nblocks, std::function<void()> done) {
+    SubmitRead(block, nblocks, IgnoreIoStatus(std::move(done)));
+  }
+  void SubmitWrite(std::int64_t block, int nblocks, std::function<void()> done) {
+    SubmitWrite(block, nblocks, IgnoreIoStatus(std::move(done)));
+  }
+
+  void set_fault_policy(DiskFaultPolicy* policy) { fault_policy_ = policy; }
 
   const DiskParams& params() const { return params_; }
 
   std::uint64_t completed_requests() const { return completed_; }
+  std::uint64_t failed_requests() const { return failed_; }
+  std::uint64_t retried_attempts() const { return retries_; }
+  bool permanently_failed() const { return permanently_failed_; }
   std::uint64_t blocks_transferred() const { return blocks_; }
   Cycles total_service_cycles() const { return service_cycles_; }
 
@@ -53,12 +100,14 @@ class Disk {
     std::int64_t block;
     int nblocks;
     bool is_write;
-    std::function<void()> done;
+    IoCallback done;
     Cycles submitted = 0;
+    int attempt = 0;
   };
 
   void Submit(Request r);
   void StartNext();
+  void Complete(Request r, IoStatus status);
   Cycles ServiceTime(const Request& r);
 
   // Queue-depth = pending + in-service requests; traced as a counter track.
@@ -79,11 +128,16 @@ class Disk {
   obs::LogHistogram* m_queue_ms_ = nullptr;
   obs::LogHistogram* m_service_ms_ = nullptr;
 
+  DiskFaultPolicy* fault_policy_ = nullptr;
+
   std::deque<Request> pending_;
   bool active_ = false;
   std::int64_t head_position_ = 0;  // block number after the last transfer
 
   std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t retries_ = 0;
+  bool permanently_failed_ = false;
   std::uint64_t blocks_ = 0;
   Cycles service_cycles_ = 0;
 };

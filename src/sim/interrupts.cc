@@ -39,6 +39,20 @@ void PeriodicDevice::Stop() {
   pending_ = 0;
 }
 
+void PeriodicDevice::RunWindow(Cycles start, Cycles duration) {
+  if (duration <= 0) {
+    return;
+  }
+  const Cycles now = queue_->now();
+  const Cycles begin = start > now ? start : now;
+  if (begin == now) {
+    Start();
+  } else {
+    queue_->ScheduleAt(begin, [this] { Start(); });
+  }
+  queue_->ScheduleAt(begin + duration, [this] { Stop(); });
+}
+
 void PeriodicDevice::EnableTracing(obs::Tracer* tracer, std::string_view name) {
   tracer_ = tracer;
   if (tracer_ == nullptr) {

@@ -33,6 +33,12 @@ class PeriodicDevice {
 
   void Start();
   void Stop();
+
+  // Run only inside [start, start + duration): schedules a Start at
+  // `start` (immediately if already past) and a Stop at the window's end.
+  // Used by the fault layer's interrupt storms.
+  void RunWindow(Cycles start, Cycles duration);
+
   bool running() const { return running_; }
   std::uint64_t ticks() const { return ticks_; }
   Cycles period() const { return period_; }

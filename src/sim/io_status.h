@@ -1,0 +1,36 @@
+// Completion status for asynchronous I/O in the simulated machine.
+//
+// Historically every I/O completion callback was a plain `void()` -- the
+// disk could not fail.  The fault-injection layer (src/fault/) makes
+// failure a first-class outcome, so completion callbacks now carry an
+// IoStatus.  Call sites that do not care (most tests, cache fills that
+// cannot fail without injection) can keep passing no-arg callables via
+// the back-compat overloads on Disk / BufferCache / FileSystem.
+
+#ifndef ILAT_SRC_SIM_IO_STATUS_H_
+#define ILAT_SRC_SIM_IO_STATUS_H_
+
+#include <functional>
+#include <utility>
+
+namespace ilat {
+
+enum class IoStatus {
+  kOk,
+  kFailed,  // transient retries exhausted, or the device failed permanently
+};
+
+using IoCallback = std::function<void(IoStatus)>;
+
+// Adapt a status-blind callback to the IoCallback signature.
+inline IoCallback IgnoreIoStatus(std::function<void()> done) {
+  return [done = std::move(done)](IoStatus) {
+    if (done) {
+      done();
+    }
+  };
+}
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_IO_STATUS_H_

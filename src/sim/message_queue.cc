@@ -1,5 +1,7 @@
 #include "src/sim/message_queue.h"
 
+#include <utility>
+
 namespace ilat {
 
 void MessageQueue::EnableTracing(obs::Tracer* tracer, std::string_view owner) {
@@ -14,10 +16,22 @@ void MessageQueue::EnableTracing(obs::Tracer* tracer, std::string_view owner) {
   m_wait_ms_ = m.GetHistogram("mq.wait_ms");
 }
 
-Message MessageQueue::Post(Message m) {
-  m.enqueue_time = clock_->now();
-  m.seq = next_seq_++;
-  const bool was_empty = messages_.empty();
+bool MessageQueue::FaultEligible(const Message& m) {
+  switch (m.type) {
+    case MessageType::kQueueSync:
+    case MessageType::kQuit:
+    case MessageType::kSocket:
+    case MessageType::kMouseUp:
+      return false;
+    case MessageType::kTimer:
+    case MessageType::kPaint:
+      return true;
+    default:
+      return m.IsUserInput();
+  }
+}
+
+void MessageQueue::Enqueue(const Message& m) {
   messages_.push_back(m);
   ++posted_;
   if (m_posted_ != nullptr) {
@@ -28,6 +42,40 @@ Message MessageQueue::Post(Message m) {
     tracer_->Instant(track_, MessageTypeName(m.type), "mq", m.enqueue_time, "seq",
                      static_cast<double>(m.seq));
     tracer_->CounterValue(track_, "depth", m.enqueue_time, static_cast<double>(messages_.size()));
+  }
+}
+
+Message MessageQueue::Post(Message m) {
+  m.enqueue_time = clock_->now();
+  m.seq = next_seq_++;
+
+  MessageFaultAction action = MessageFaultAction::kNone;
+  if (fault_policy_ != nullptr && FaultEligible(m)) {
+    action = fault_policy_->OnPost(m);
+  }
+  if (action == MessageFaultAction::kDrop) {
+    // Stamped but never enqueued: the owner is not woken, and the event
+    // extractor simply sees a posted seq with no retrieval.
+    ++dropped_;
+    return m;
+  }
+  // Duplicating a mouse-down would leave its busy-wait copy spinning for a
+  // mouse-up that was already consumed (Windows 95 profile), so degrade
+  // the action to a no-op there.
+  if (action == MessageFaultAction::kDuplicate && m.type == MessageType::kMouseDown) {
+    action = MessageFaultAction::kNone;
+  }
+
+  const bool was_empty = messages_.empty();
+  Enqueue(m);
+  if (action == MessageFaultAction::kDuplicate) {
+    Message dup = m;
+    dup.seq = next_seq_++;
+    ++duplicated_;
+    Enqueue(dup);
+  } else if (action == MessageFaultAction::kReorder && messages_.size() >= 2) {
+    std::swap(messages_[messages_.size() - 1], messages_[messages_.size() - 2]);
+    ++reordered_;
   }
   if (was_empty && on_transition_) {
     on_transition_(clock_->now(), /*non_empty=*/true);

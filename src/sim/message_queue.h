@@ -21,6 +21,24 @@
 
 namespace ilat {
 
+// What the fault layer may do to one posted message.
+enum class MessageFaultAction {
+  kNone,
+  kDrop,       // stamp the message but never enqueue it
+  kDuplicate,  // enqueue a second copy with a fresh seq
+  kReorder,    // swap the new message with the one queued just before it
+};
+
+// Implemented by fault::FaultInjector; declared here so the sim layer does
+// not depend on src/fault/.  Consulted only for fault-eligible messages
+// (see MessageQueue::FaultEligible) -- serialisation messages the drivers
+// and the Windows 95 mouse busy-wait hang on are never offered.
+class MessageFaultPolicy {
+ public:
+  virtual ~MessageFaultPolicy() = default;
+  virtual MessageFaultAction OnPost(const Message& m) = 0;
+};
+
 class MessageQueue {
  public:
   using WakeFn = std::function<void()>;
@@ -57,13 +75,33 @@ class MessageQueue {
   // Total messages ever posted.
   std::uint64_t posted_count() const { return posted_; }
 
+  void SetFaultPolicy(MessageFaultPolicy* policy) { fault_policy_ = policy; }
+
+  std::uint64_t dropped_count() const { return dropped_; }
+  std::uint64_t duplicated_count() const { return duplicated_; }
+  std::uint64_t reordered_count() const { return reordered_; }
+
+  // True for messages the fault layer may touch: user input plus timers
+  // and paints.  WM_QUEUESYNC / WM_QUIT / socket delivery are exempt (the
+  // drivers serialise on them) and so is mouse-up (the Windows 95 mouse
+  // busy-wait spins until it arrives).
+  static bool FaultEligible(const Message& m);
+
  private:
+  // push_back + posted/metrics/trace bookkeeping shared by Post and the
+  // duplicate path.
+  void Enqueue(const Message& m);
+
   EventQueue* clock_;
   std::deque<Message> messages_;
   WakeFn wake_;
   TransitionFn on_transition_;
+  MessageFaultPolicy* fault_policy_ = nullptr;
   std::uint64_t next_seq_ = 1;
   std::uint64_t posted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t track_ = 0;

@@ -1,6 +1,9 @@
 #include "src/tools/cli.h"
 
 #include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 
@@ -13,6 +16,7 @@
 #include "src/core/catalog.h"
 #include "src/core/measurement.h"
 #include "src/core/session_io.h"
+#include "src/fault/plan.h"
 #include "src/obs/trace_export.h"
 #include "src/viz/ascii_chart.h"
 #include "src/viz/csv.h"
@@ -27,18 +31,60 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
   return s.rfind(prefix, 0) == 0;
 }
 
-// Strict small-integer parse for flags like --jobs: digits only, bounded.
-bool ParseBoundedInt(const std::string& value, int lo, int hi, int* out) {
-  if (value.empty() || value.size() > 9) {
+// Checked flag parsers: the whole value must parse, fit, and be in range.
+// On failure they set *error to a one-line usage message and ParseCliArgs
+// returns false, so the binary prints it and exits 2 -- no std::sto*
+// exceptions, no silent truncation, no accepting "1e999" as infinity.
+
+bool ParseFlagU64(const std::string& flag, const std::string& value, std::uint64_t* out,
+                  std::string* error) {
+  std::uint64_t v = 0;
+  bool ok = !value.empty();
+  for (std::size_t i = 0; ok && i < value.size(); ++i) {
+    const char c = value[i];
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      ok = false;
+      break;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      ok = false;  // overflow
+      break;
+    }
+    v = v * 10 + digit;
+  }
+  if (!ok) {
+    *error = flag + " needs an unsigned integer, got '" + value + "'";
     return false;
   }
-  for (char c : value) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) {
-      return false;
-    }
+  *out = v;
+  return true;
+}
+
+// Strict small-integer parse for flags like --jobs: digits only, bounded.
+bool ParseFlagInt(const std::string& flag, const std::string& value, int lo, int hi,
+                  int* out, std::string* error) {
+  std::uint64_t v = 0;
+  std::string ignored;
+  if (!ParseFlagU64(flag, value, &v, &ignored) || v < static_cast<std::uint64_t>(lo) ||
+      v > static_cast<std::uint64_t>(hi)) {
+    *error = flag + " needs an integer in [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "], got '" + value + "'";
+    return false;
   }
-  const int v = std::stoi(value);
-  if (v < lo || v > hi) {
+  *out = static_cast<int>(v);
+  return true;
+}
+
+// Finite double in [lo, hi]; rejects trailing junk and overflow-to-inf.
+bool ParseFlagDouble(const std::string& flag, const std::string& value, double lo,
+                     double hi, double* out, std::string* error) {
+  char* end = nullptr;
+  const double v = value.empty() ? 0.0 : std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || !std::isfinite(v) ||
+      v < lo || v > hi) {
+    *error = flag + " needs a number in [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "], got '" + value + "'";
     return false;
   }
   *out = v;
@@ -129,7 +175,8 @@ void PrintSummary(std::FILE* out, const std::string& os_name, const SessionResul
   }
 }
 
-int RunOne(const std::string& os_name, const CliOptions& options, std::FILE* out) {
+int RunOne(const std::string& os_name, const CliOptions& options,
+           const fault::FaultPlan& faults, std::FILE* out) {
   RunSpec spec;
   spec.os = os_name;
   spec.app = options.app;
@@ -140,6 +187,7 @@ int RunOne(const std::string& os_name, const CliOptions& options, std::FILE* out
   spec.collect_trace = !options.trace_out.empty() || options.explain;
   spec.params.packets = options.packets;
   spec.params.frames = options.frames;
+  spec.faults = faults;
 
   SessionResult r;
   std::string error;
@@ -149,6 +197,9 @@ int RunOne(const std::string& os_name, const CliOptions& options, std::FILE* out
   }
 
   PrintSummary(out, os_name, r, options);
+  if (r.fault.enabled) {
+    std::fprintf(out, "fault injection: %s\n", r.fault.Summary().c_str());
+  }
 
   // Under --os=all, per-file outputs get a personality suffix so three
   // runs do not clobber each other.
@@ -189,6 +240,11 @@ int RunOne(const std::string& os_name, const CliOptions& options, std::FILE* out
     }
     std::fprintf(out, "saved session to %s\n", path.c_str());
   }
+  // A degraded faulted run is still a successful *experiment* (the faults
+  // were requested), so it exits 0 unless --fail-degraded asks otherwise.
+  if (r.fault.degraded && options.fail_degraded) {
+    return 1;
+  }
   return 0;
 }
 
@@ -210,12 +266,16 @@ bool NormalizeGateMetric(std::string token, std::string* out) {
   return false;
 }
 
-int RunCampaignCli(const CliOptions& options, std::FILE* out) {
+int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults,
+                   std::FILE* out) {
   std::string error;
   campaign::CampaignSpec spec;
   if (!campaign::LoadCampaignSpec(options.campaign_path, &spec, &error)) {
     std::fprintf(out, "campaign spec: %s\n", error.c_str());
     return 2;
+  }
+  if (cli_faults != nullptr) {
+    spec.faults = *cli_faults;  // --faults= overrides any spec-embedded plan
   }
 
   campaign::GateOptions gate_options;
@@ -263,8 +323,13 @@ int RunCampaignCli(const CliOptions& options, std::FILE* out) {
     std::fprintf(out, "campaign failed: %s\n", error.c_str());
     return 1;
   }
-  std::fprintf(out, "ran %zu cells with %d job(s) in %.2f s (wall)\n\n", stats.cells,
+  std::fprintf(out, "ran %zu cells with %d job(s) in %.2f s (wall)\n", stats.cells,
                stats.jobs, stats.wall_seconds);
+  if (spec.faults.Any()) {
+    std::fprintf(out, "fault injection: %zu degraded cell(s), %zu retried cell(s)\n",
+                 stats.degraded_cells, stats.retried_cells);
+  }
+  std::fputs("\n", out);
   std::fputs(aggregate.RenderTables().c_str(), out);
 
   if (!options.campaign_out.empty()) {
@@ -297,6 +362,9 @@ int RunCampaignCli(const CliOptions& options, std::FILE* out) {
       return 1;
     }
   }
+  if (options.fail_degraded && stats.degraded_cells > 0) {
+    return 1;
+  }
   return 0;
 }
 
@@ -315,15 +383,40 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
     } else if (StartsWith(arg, "--driver=")) {
       out->driver = arg.substr(9);
     } else if (StartsWith(arg, "--seed=")) {
-      out->seed = std::stoull(arg.substr(7));
+      if (!ParseFlagU64("--seed", arg.substr(7), &out->seed, error)) {
+        return false;
+      }
     } else if (StartsWith(arg, "--threshold=")) {
-      out->threshold_ms = std::stod(arg.substr(12));
+      if (!ParseFlagDouble("--threshold", arg.substr(12), 0.001, 1e6, &out->threshold_ms,
+                           error)) {
+        return false;
+      }
+    } else if (StartsWith(arg, "--threshold-ms=")) {
+      if (!ParseFlagDouble("--threshold-ms", arg.substr(15), 0.001, 1e6,
+                           &out->threshold_ms, error)) {
+        return false;
+      }
     } else if (StartsWith(arg, "--idle-period=")) {
-      out->idle_period_ms = std::stod(arg.substr(14));
+      if (!ParseFlagDouble("--idle-period", arg.substr(14), 0.001, 1e6,
+                           &out->idle_period_ms, error)) {
+        return false;
+      }
     } else if (StartsWith(arg, "--packets=")) {
-      out->packets = std::stoi(arg.substr(10));
+      if (!ParseFlagInt("--packets", arg.substr(10), 1, 1'000'000, &out->packets, error)) {
+        return false;
+      }
     } else if (StartsWith(arg, "--frames=")) {
-      out->frames = std::stoi(arg.substr(9));
+      if (!ParseFlagInt("--frames", arg.substr(9), 1, 1'000'000, &out->frames, error)) {
+        return false;
+      }
+    } else if (StartsWith(arg, "--faults=")) {
+      out->faults_path = arg.substr(9);
+      if (out->faults_path.empty()) {
+        *error = "--faults needs a fault-plan file path";
+        return false;
+      }
+    } else if (arg == "--fail-degraded") {
+      out->fail_degraded = true;
     } else if (StartsWith(arg, "--save=")) {
       out->save_path = arg.substr(7);
     } else if (StartsWith(arg, "--load=")) {
@@ -341,19 +434,14 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
     } else if (StartsWith(arg, "--campaign-baseline=")) {
       out->campaign_baseline = arg.substr(20);
     } else if (StartsWith(arg, "--jobs=")) {
-      if (!ParseBoundedInt(arg.substr(7), 1, 1024, &out->jobs)) {
-        *error = "--jobs needs an integer in [1, 1024], got '" + arg.substr(7) + "'";
+      if (!ParseFlagInt("--jobs", arg.substr(7), 1, 1024, &out->jobs, error)) {
         return false;
       }
     } else if (StartsWith(arg, "--gate-tolerance=")) {
-      const std::string value = arg.substr(17);
-      char* end = nullptr;
-      const double v = std::strtod(value.c_str(), &end);
-      if (value.empty() || end != value.c_str() + value.size() || v < 0.0) {
-        *error = "--gate-tolerance needs a non-negative percentage, got '" + value + "'";
+      if (!ParseFlagDouble("--gate-tolerance", arg.substr(17), 0.0, 1e6,
+                           &out->gate_tolerance_pct, error)) {
         return false;
       }
-      out->gate_tolerance_pct = v;
     } else if (StartsWith(arg, "--gate-percentiles=")) {
       out->gate_percentiles = arg.substr(19);
     } else if (arg == "--explain") {
@@ -382,9 +470,12 @@ std::string CliUsage() {
       "  --workload=NAME             input script or 'network' (defaults per app)\n"
       "  --driver=test|test-nosync|human   input driver (test)\n"
       "  --seed=N                    workload/machine seed (42)\n"
-      "  --threshold=MS              irritation threshold (100)\n"
+      "  --threshold=MS              irritation threshold (100); --threshold-ms= works too\n"
       "  --idle-period=MS            idle-loop instrument period (1.0)\n"
       "  --packets=N --frames=N      sizes for network/media workloads\n"
+      "  --faults=PLAN               inject deterministic faults per a plan file\n"
+      "                              (see docs/FAULTS.md); overrides spec plans\n"
+      "  --fail-degraded             exit 1 when faults degrade the session\n"
       "  --events                    dump one line per event\n"
       "  --csv=PREFIX                export events + cumulative curve CSVs\n"
       "  --trace-out=PATH            write a Chrome trace_event JSON timeline\n"
@@ -402,7 +493,11 @@ std::string CliUsage() {
       "  --campaign-baseline=FILE    gate against a saved aggregate; exit 1 on\n"
       "                              regression\n"
       "  --gate-tolerance=PCT        allowed percentile growth vs baseline (10)\n"
-      "  --gate-percentiles=LIST     metrics to gate, e.g. p95,p99 (p50,p95,p99,max)\n";
+      "  --gate-percentiles=LIST     metrics to gate, e.g. p95,p99 (p50,p95,p99,max)\n"
+      "\n"
+      "exit codes: 0 success (degraded faulted runs included unless\n"
+      "--fail-degraded), 1 runtime/gate/degradation failure, 2 usage errors\n"
+      "(bad flags, malformed numbers, unreadable spec or plan files)\n";
 }
 
 int RunCli(const CliOptions& options, std::FILE* out) {
@@ -429,13 +524,24 @@ int RunCli(const CliOptions& options, std::FILE* out) {
     std::fputs(
         "campaigns: cross-products of the above via --campaign=SPEC "
         "(spec keys: name, os, app, workload, driver, seeds, seed, "
-        "workload_seed, threshold_ms, packets, frames)\n",
+        "workload_seed, threshold_ms, packets, frames, retries, fault.*)\n",
         out);
     return 0;
   }
 
+  fault::FaultPlan cli_faults;
+  bool have_cli_faults = false;
+  if (!options.faults_path.empty()) {
+    std::string fault_error;
+    if (!fault::LoadFaultPlan(options.faults_path, &cli_faults, &fault_error)) {
+      std::fprintf(out, "--faults: %s\n", fault_error.c_str());
+      return 2;
+    }
+    have_cli_faults = true;
+  }
+
   if (!options.campaign_path.empty()) {
-    return RunCampaignCli(options, out);
+    return RunCampaignCli(options, have_cli_faults ? &cli_faults : nullptr, out);
   }
 
   if (!options.load_path.empty()) {
@@ -451,7 +557,7 @@ int RunCli(const CliOptions& options, std::FILE* out) {
   if (options.os == "all") {
     for (const std::string& os_name : KnownOsNames()) {
       std::fprintf(out, "\n===== %s =====\n", os_name.c_str());
-      const int rc = RunOne(os_name, options, out);
+      const int rc = RunOne(os_name, options, cli_faults, out);
       if (rc != 0) {
         return rc;
       }
@@ -463,7 +569,7 @@ int RunCli(const CliOptions& options, std::FILE* out) {
     std::fprintf(out, "unknown os '%s'\n", options.os.c_str());
     return 2;
   }
-  return RunOne(options.os, options, out);
+  return RunOne(options.os, options, cli_faults, out);
 }
 
 }  // namespace ilat

@@ -22,7 +22,7 @@
 namespace ilat {
 
 // Reported by `ilat --version`.
-inline constexpr const char* kIlatVersion = "0.3.0";
+inline constexpr const char* kIlatVersion = "0.4.0";
 
 struct CliOptions {
   std::string os = "nt40";          // nt351 | nt40 | win95 | all
@@ -44,6 +44,10 @@ struct CliOptions {
   bool list_catalog = false;        // print oses/apps/workloads/drivers
   bool show_version = false;
   bool show_help = false;
+
+  // Fault injection (see docs/FAULTS.md).
+  std::string faults_path;          // fault-plan file; overrides spec-embedded plans
+  bool fail_degraded = false;       // exit 1 when a faulted session ends degraded
 
   // Campaign mode (--campaign=SPEC switches the tool into sweep mode).
   std::string campaign_path;        // spec file

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "src/viz/table.h"
 
@@ -43,12 +44,38 @@ std::string ExplainLatencyReport(const std::vector<EventRecord>& events,
     slow.resize(static_cast<std::size_t>(opts.max_events));
   }
 
+  // Injected faults are instant events on the "fault" track; collect them
+  // once so each slow event can list the injections inside its window.
+  std::vector<const obs::TraceEvent*> fault_instants;
+  for (const obs::TraceEvent& s : trace.events) {
+    if (s.phase == obs::Phase::kInstant &&
+        std::string_view(trace.TrackName(s.track)) == "fault") {
+      fault_instants.push_back(&s);
+    }
+  }
+
   std::string out;
   for (const EventRecord* e : slow) {
     out += "event #" + std::to_string(e->msg_seq) + " \"" + e->label +
            "\": latency " + Ms(e->latency()) + " ms (busy " + Ms(e->busy) + ", io " +
            Ms(e->io_wait) + ", queue-delay " + Ms(e->queue_delay()) + "), window [" +
            Ms(e->start) + ", " + Ms(e->end) + "] ms\n";
+
+    if (!fault_instants.empty()) {
+      std::map<std::string, int> in_window;  // ordered -> deterministic output
+      for (const obs::TraceEvent* f : fault_instants) {
+        if (f->ts >= e->start && f->ts <= e->end) {
+          ++in_window[f->name];
+        }
+      }
+      if (!in_window.empty()) {
+        out += "  injected faults in window:";
+        for (const auto& [name, count] : in_window) {
+          out += " " + name + " x" + std::to_string(count);
+        }
+        out += "\n";
+      }
+    }
 
     // Rank complete spans by time overlapped with the event window.  The
     // user-state band ("state" category) restates the event itself, so it

@@ -57,6 +57,24 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(v, 50), 25.0);
 }
 
+TEST(StatsTest, PercentileEdgeValues) {
+  // Out-of-range p clamps instead of indexing out of bounds.
+  std::vector<double> v{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Percentile(v, -5), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 250), 40.0);
+  // Single element: every percentile is that element.
+  std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(Percentile(one, 0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(one, 50), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile(one, 100), 7.0);
+  // Duplicates interpolate to themselves.
+  std::vector<double> dup{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(dup, 25), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(dup, 99), 5.0);
+  // Empty input stays a defined 0.
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
 TEST(StatsTest, DiffStatsComputesInterarrivals) {
   const SummaryStats s = DiffStats({1.0, 3.0, 7.0, 8.0});
   EXPECT_EQ(s.count(), 3u);

@@ -203,6 +203,32 @@ TEST(JsonTest, RejectsMalformedDocuments) {
   EXPECT_FALSE(ParseJson("", &v, &error));
 }
 
+TEST(JsonTest, DecodesUnicodeEscapesToUtf8) {
+  JsonValue v;
+  std::string error;
+  // One byte, two bytes, three bytes -- the full BMP, not just \u00XX.
+  ASSERT_TRUE(ParseJson(R"(["\u0041", "\u00e9", "\u20ac", "\u0000"])", &v, &error))
+      << error;
+  ASSERT_EQ(v.items.size(), 4u);
+  EXPECT_EQ(v.items[0].str, "A");
+  EXPECT_EQ(v.items[1].str, "\xc3\xa9");      // U+00E9 LATIN SMALL E ACUTE
+  EXPECT_EQ(v.items[2].str, "\xe2\x82\xac");  // U+20AC EURO SIGN
+  EXPECT_EQ(v.items[3].str, std::string(1, '\0'));
+}
+
+TEST(JsonTest, RejectsBadUnicodeEscapes) {
+  JsonValue v;
+  std::string error;
+  // Surrogate halves are not code points; pairing is explicitly
+  // unsupported rather than silently mis-decoded.
+  EXPECT_FALSE(ParseJson(R"(["\ud83d\ude00"])", &v, &error));
+  EXPECT_NE(error.find("surrogate"), std::string::npos) << error;
+  EXPECT_FALSE(ParseJson(R"(["\u12g4"])", &v, &error));   // bad hex digit
+  EXPECT_FALSE(ParseJson(R"(["\u 123"])", &v, &error));   // strtol would eat this
+  EXPECT_FALSE(ParseJson(R"(["\u+123"])", &v, &error));   // ...and this
+  EXPECT_FALSE(ParseJson(R"(["\u12"])", &v, &error));     // truncated
+}
+
 TEST(JsonTest, RoundTripsAggregateJson) {
   const std::string json = RunToJson(SmallSpec(), 1);
   JsonValue v;

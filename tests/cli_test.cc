@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace ilat {
 namespace {
@@ -311,6 +313,107 @@ TEST(CliRunTest, ExplainPrintsReport) {
   EXPECT_EQ(rc, 0);
   EXPECT_NE(out.find("event #"), std::string::npos);
   EXPECT_NE(out.find("overlap_ms"), std::string::npos);
+}
+
+// Every numeric flag x every malformed shape must fail the parse with a
+// one-line error naming the flag -- never throw, never silently truncate.
+struct BadFlagCase {
+  const char* flag;  // flag prefix including '='
+  const char* value;
+};
+
+class CliBadNumberTest : public ::testing::TestWithParam<BadFlagCase> {};
+
+TEST_P(CliBadNumberTest, RejectsWithUsageError) {
+  const BadFlagCase& c = GetParam();
+  CliOptions o;
+  std::string error;
+  EXPECT_FALSE(ParseCliArgs({std::string(c.flag) + c.value}, &o, &error))
+      << c.flag << c.value;
+  // The error is one line and names the offending flag.
+  const std::string flag_name(c.flag, std::strlen(c.flag) - 1);  // strip '='
+  EXPECT_NE(error.find(flag_name), std::string::npos) << error;
+  EXPECT_EQ(error.find('\n'), std::string::npos) << error;
+}
+
+std::vector<BadFlagCase> AllBadNumberCases() {
+  std::vector<BadFlagCase> cases;
+  for (const char* flag :
+       {"--seed=", "--threshold=", "--threshold-ms=", "--idle-period=", "--packets=",
+        "--frames=", "--jobs=", "--gate-tolerance="}) {
+    for (const char* value : {"abc", "12abc", "", "99999999999999999999999", "1e999"}) {
+      cases.push_back({flag, value});
+    }
+  }
+  // A few shapes specific to one flag family.
+  cases.push_back({"--seed=", "-1"});
+  cases.push_back({"--threshold=", "-5"});
+  cases.push_back({"--threshold=", "nan"});
+  cases.push_back({"--threshold=", "inf"});
+  cases.push_back({"--packets=", "0"});
+  cases.push_back({"--jobs=", "0"});
+  cases.push_back({"--jobs=", "1025"});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNumericFlags, CliBadNumberTest,
+                         ::testing::ValuesIn(AllBadNumberCases()));
+
+TEST(CliParseTest, ThresholdMsAliasMatchesThreshold) {
+  CliOptions a;
+  CliOptions b;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--threshold=55.5"}, &a, &error));
+  ASSERT_TRUE(ParseCliArgs({"--threshold-ms=55.5"}, &b, &error));
+  EXPECT_DOUBLE_EQ(a.threshold_ms, b.threshold_ms);
+}
+
+TEST(CliParseTest, ParsesFaultFlags) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--faults=plan.txt", "--fail-degraded"}, &o, &error));
+  EXPECT_EQ(o.faults_path, "plan.txt");
+  EXPECT_TRUE(o.fail_degraded);
+  EXPECT_FALSE(ParseCliArgs({"--faults="}, &o, &error));
+}
+
+TEST(CliRunTest, MissingFaultPlanExitsUsageError) {
+  CliOptions o;
+  o.faults_path = TempPath("does-not-exist.plan");
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("--faults"), std::string::npos);
+}
+
+TEST(CliRunTest, FaultedRunPrintsReportAndFailDegradedGates) {
+  const std::string plan_path = TempPath("perm.plan");
+  {
+    std::ofstream plan(plan_path);
+    plan << "disk.fail_after = 1\n";
+  }
+  CliOptions o;
+  o.app = "powerpoint";  // disk-bound: the dead disk degrades the session
+  o.faults_path = plan_path;
+  {
+    const auto [rc, out] = Capture(o);
+    EXPECT_EQ(rc, 0);  // degraded-but-structured is still a success
+    EXPECT_NE(out.find("fault injection: degraded"), std::string::npos);
+  }
+  o.fail_degraded = true;
+  {
+    const auto [rc, out] = Capture(o);
+    EXPECT_EQ(rc, 1);
+  }
+}
+
+TEST(CliRunTest, UsageDocumentsFaultsAndExitCodes) {
+  CliOptions o;
+  o.show_help = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("--faults"), std::string::npos);
+  EXPECT_NE(out.find("--fail-degraded"), std::string::npos);
+  EXPECT_NE(out.find("exit codes"), std::string::npos);
 }
 
 }  // namespace

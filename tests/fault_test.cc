@@ -1,0 +1,495 @@
+// Tests for the deterministic fault-injection subsystem (src/fault/):
+// plan parsing, the disk/message-queue fault hooks, session-level
+// degradation reporting, and the campaign byte-identity + retry contract.
+
+#include "src/fault/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/aggregate.h"
+#include "src/campaign/runner.h"
+#include "src/campaign/spec.h"
+#include "src/core/catalog.h"
+#include "src/fault/injector.h"
+#include "src/fault/report.h"
+#include "src/sim/buffer_cache.h"
+#include "src/sim/disk.h"
+#include "src/sim/message_queue.h"
+
+namespace ilat {
+namespace {
+
+// ---------------------------------------------------------------- plan --
+
+TEST(FaultPlanTest, ParsesFullPlan) {
+  const std::string text =
+      "# hostile conditions\n"
+      "disk.fail_rate   = 0.01\n"
+      "disk.fail_after  = 100\n"
+      "disk.stall_rate  = 0.05\n"
+      "disk.stall_ms    = 20\n"
+      "mq.drop_rate     = 0.02\n"
+      "mq.dup_rate      = 0.01\n"
+      "mq.reorder_rate  = 0.03\n"
+      "storm.start_ms   = 200\n"
+      "storm.duration_ms = 50\n"
+      "storm.period_us  = 100\n"
+      "storm.handler_us = 30\n"
+      "clock.jitter_frac = 0.10\n"
+      "salt = 99\n";
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::ParseFaultPlan(text, &plan, &error)) << error;
+  EXPECT_DOUBLE_EQ(plan.disk.fail_rate, 0.01);
+  EXPECT_EQ(plan.disk.fail_after, 100u);
+  EXPECT_DOUBLE_EQ(plan.disk.stall_rate, 0.05);
+  EXPECT_DOUBLE_EQ(plan.disk.stall_ms, 20.0);
+  EXPECT_DOUBLE_EQ(plan.mq.drop_rate, 0.02);
+  EXPECT_DOUBLE_EQ(plan.mq.dup_rate, 0.01);
+  EXPECT_DOUBLE_EQ(plan.mq.reorder_rate, 0.03);
+  EXPECT_DOUBLE_EQ(plan.storm.start_ms, 200.0);
+  EXPECT_DOUBLE_EQ(plan.storm.duration_ms, 50.0);
+  EXPECT_DOUBLE_EQ(plan.storm.period_us, 100.0);
+  EXPECT_DOUBLE_EQ(plan.storm.handler_us, 30.0);
+  EXPECT_DOUBLE_EQ(plan.clock.jitter_frac, 0.10);
+  EXPECT_EQ(plan.salt, 99u);
+  EXPECT_TRUE(plan.Any());
+}
+
+TEST(FaultPlanTest, EmptyPlanIsInert) {
+  fault::FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(fault::ParseFaultPlan("# nothing but comments\n\n", &plan, &error));
+  EXPECT_FALSE(plan.Any());
+}
+
+TEST(FaultPlanTest, RejectsUnknownKeyWithLineNumber) {
+  fault::FaultPlan plan;
+  std::string error;
+  EXPECT_FALSE(fault::ParseFaultPlan("disk.fail_rate = 0.1\nbogus.key = 1\n", &plan, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("bogus.key"), std::string::npos) << error;
+}
+
+TEST(FaultPlanTest, RejectsOutOfRangeValues) {
+  fault::FaultPlan plan;
+  std::string error;
+  // Probabilities outside [0, 1].
+  EXPECT_FALSE(fault::SetFaultPlanKey("disk.fail_rate", "7", &plan, &error));
+  EXPECT_FALSE(fault::SetFaultPlanKey("mq.drop_rate", "-0.5", &plan, &error));
+  // Overflow-to-inf and trailing junk.
+  EXPECT_FALSE(fault::SetFaultPlanKey("disk.stall_ms", "1e999", &plan, &error));
+  EXPECT_FALSE(fault::SetFaultPlanKey("disk.stall_ms", "5x", &plan, &error));
+  EXPECT_FALSE(fault::SetFaultPlanKey("disk.fail_after", "", &plan, &error));
+  EXPECT_FALSE(fault::SetFaultPlanKey("disk.fail_after", "99999999999999999999999", &plan,
+                                      &error));
+  // Nothing leaked into the plan along the way.
+  EXPECT_FALSE(plan.Any());
+}
+
+// ---------------------------------------------------------------- disk --
+
+struct AlwaysDiskPolicy : DiskFaultPolicy {
+  DiskFaultDecision decision;
+  int calls = 0;
+  DiskFaultDecision OnDiskAttempt(std::int64_t, int, bool, int) override {
+    ++calls;
+    return decision;
+  }
+};
+
+// Fails the first `n` attempts transiently, then lets everything through.
+struct FailFirstNPolicy : DiskFaultPolicy {
+  int remaining = 0;
+  DiskFaultDecision OnDiskAttempt(std::int64_t, int, bool, int) override {
+    if (remaining > 0) {
+      --remaining;
+      return {DiskFaultKind::kTransient, 0};
+    }
+    return {};
+  }
+};
+
+struct DiskFixture {
+  EventQueue q;
+  HardwareCounters c;
+  Scheduler s{&q, &c};
+  Random rng{1};
+  DiskParams params;
+  Disk MakeDisk() {
+    DiskParams p = params;
+    p.seek_jitter = 0.0;
+    return Disk(&q, &s, &rng, p, Work{1'000, WorkProfile{}});
+  }
+};
+
+TEST(DiskFaultTest, TransientFailuresRetryThenSucceed) {
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  FailFirstNPolicy policy;
+  policy.remaining = 2;
+  d.set_fault_policy(&policy);
+  IoStatus status = IoStatus::kFailed;
+  d.SubmitRead(1'000, 4, IoCallback([&](IoStatus st) { status = st; }));
+  f.s.RunUntil(SecondsToCycles(5.0));
+  EXPECT_EQ(status, IoStatus::kOk);
+  EXPECT_EQ(d.completed_requests(), 1u);
+  EXPECT_EQ(d.retried_attempts(), 2u);
+  EXPECT_EQ(d.failed_requests(), 0u);
+}
+
+TEST(DiskFaultTest, ExhaustedRetriesFailTheRequest) {
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  AlwaysDiskPolicy policy;
+  policy.decision = {DiskFaultKind::kTransient, 0};
+  d.set_fault_policy(&policy);
+  IoStatus status = IoStatus::kOk;
+  bool done = false;
+  d.SubmitRead(1'000, 4, IoCallback([&](IoStatus st) {
+                 status = st;
+                 done = true;
+               }));
+  f.s.RunUntil(SecondsToCycles(5.0));
+  ASSERT_TRUE(done);  // exhausted retries still complete the request
+  EXPECT_EQ(status, IoStatus::kFailed);
+  EXPECT_EQ(d.failed_requests(), 1u);
+  EXPECT_EQ(d.retried_attempts(), static_cast<std::uint64_t>(f.params.max_retries));
+  // 1 first try + max_retries retried attempts.
+  EXPECT_EQ(policy.calls, 1 + f.params.max_retries);
+}
+
+TEST(DiskFaultTest, PermanentFailureFailsEveryRequestWithoutWedging) {
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  AlwaysDiskPolicy policy;
+  policy.decision = {DiskFaultKind::kPermanent, 0};
+  d.set_fault_policy(&policy);
+  std::vector<IoStatus> statuses;
+  d.SubmitRead(1'000, 4, IoCallback([&](IoStatus st) { statuses.push_back(st); }));
+  d.SubmitWrite(2'000, 4, IoCallback([&](IoStatus st) { statuses.push_back(st); }));
+  f.s.RunUntil(SecondsToCycles(5.0));
+  ASSERT_EQ(statuses.size(), 2u);  // both callbacks fired -- nothing deadlocks
+  EXPECT_EQ(statuses[0], IoStatus::kFailed);
+  EXPECT_EQ(statuses[1], IoStatus::kFailed);
+  EXPECT_TRUE(d.permanently_failed());
+  EXPECT_EQ(d.failed_requests(), 2u);
+  // The policy is consulted once; after the disk dies it is bypassed.
+  EXPECT_EQ(policy.calls, 1);
+}
+
+TEST(DiskFaultTest, StallDelaysCompletion) {
+  Cycles clean_done = 0;
+  {
+    DiskFixture f;
+    Disk d = f.MakeDisk();
+    d.SubmitRead(1'000, 4, IoCallback([&](IoStatus) { clean_done = f.q.now(); }));
+    f.s.RunUntil(SecondsToCycles(5.0));
+  }
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  AlwaysDiskPolicy policy;
+  policy.decision = {DiskFaultKind::kNone, MillisecondsToCycles(50.0)};
+  d.set_fault_policy(&policy);
+  Cycles stalled_done = 0;
+  d.SubmitRead(1'000, 4, IoCallback([&](IoStatus st) {
+                 EXPECT_EQ(st, IoStatus::kOk);
+                 stalled_done = f.q.now();
+               }));
+  f.s.RunUntil(SecondsToCycles(5.0));
+  EXPECT_NEAR(CyclesToMilliseconds(stalled_done - clean_done), 50.0, 0.1);
+}
+
+TEST(BufferCacheFaultTest, FailedFillIsNotCached) {
+  DiskFixture f;
+  Disk d = f.MakeDisk();
+  FailFirstNPolicy policy;
+  policy.remaining = 100;  // > 1 + max_retries: the first read fails for good
+  d.set_fault_policy(&policy);
+  BufferCache cache(&d, &f.s, 64, Work{100, WorkProfile{}});
+  IoStatus first = IoStatus::kOk;
+  cache.Read(10, 1, IoCallback([&](IoStatus st) { first = st; }));
+  f.s.RunUntil(SecondsToCycles(10.0));
+  EXPECT_EQ(first, IoStatus::kFailed);
+  EXPECT_GE(cache.failed_fills(), 1u);
+
+  // The failed block was evicted, so a later read goes to disk again --
+  // and now succeeds (the policy has given up failing).
+  policy.remaining = 0;
+  IoStatus second = IoStatus::kFailed;
+  cache.Read(10, 1, IoCallback([&](IoStatus st) { second = st; }));
+  f.s.RunUntil(SecondsToCycles(20.0));
+  EXPECT_EQ(second, IoStatus::kOk);
+}
+
+// ------------------------------------------------------- message queue --
+
+struct AlwaysMqPolicy : MessageFaultPolicy {
+  MessageFaultAction action = MessageFaultAction::kNone;
+  int calls = 0;
+  MessageFaultAction OnPost(const Message&) override {
+    ++calls;
+    return action;
+  }
+};
+
+Message MakeMessage(MessageType type) {
+  Message m;
+  m.type = type;
+  return m;
+}
+
+TEST(MessageQueueFaultTest, DropStampsButNeverEnqueues) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  AlwaysMqPolicy policy;
+  policy.action = MessageFaultAction::kDrop;
+  q.SetFaultPolicy(&policy);
+  int wakes = 0;
+  q.SetWakeCallback([&] { ++wakes; });
+  const Message stamped = q.Post(MakeMessage(MessageType::kChar));
+  EXPECT_EQ(stamped.seq, 1u);  // stamped like any post...
+  EXPECT_TRUE(q.Empty());      // ...but the queue never saw it
+  EXPECT_EQ(q.dropped_count(), 1u);
+  EXPECT_EQ(wakes, 0);  // no spurious wake for a message that is not there
+}
+
+TEST(MessageQueueFaultTest, DuplicateEnqueuesFreshSequence) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  AlwaysMqPolicy policy;
+  policy.action = MessageFaultAction::kDuplicate;
+  q.SetFaultPolicy(&policy);
+  q.Post(MakeMessage(MessageType::kChar));
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_EQ(q.duplicated_count(), 1u);
+  Message a;
+  Message b;
+  ASSERT_TRUE(q.TryPop(&a));
+  ASSERT_TRUE(q.TryPop(&b));
+  EXPECT_EQ(a.seq, 1u);
+  EXPECT_EQ(b.seq, 2u);  // the copy gets its own seq (extractor-safe)
+}
+
+TEST(MessageQueueFaultTest, ReorderSwapsLastTwo) {
+  EventQueue clock;
+  MessageQueue q(&clock);
+  AlwaysMqPolicy policy;
+  policy.action = MessageFaultAction::kReorder;
+  q.SetFaultPolicy(&policy);
+  Message first = MakeMessage(MessageType::kChar);
+  first.param = 1;
+  Message second = MakeMessage(MessageType::kChar);
+  second.param = 2;
+  q.Post(first);   // alone in the queue: reorder is a no-op
+  q.Post(second);  // swaps with `first`
+  EXPECT_EQ(q.reordered_count(), 1u);
+  Message a;
+  Message b;
+  ASSERT_TRUE(q.TryPop(&a));
+  ASSERT_TRUE(q.TryPop(&b));
+  EXPECT_EQ(a.param, 2);
+  EXPECT_EQ(b.param, 1);
+}
+
+TEST(MessageQueueFaultTest, SerialisationMessagesAreExempt) {
+  EXPECT_FALSE(MessageQueue::FaultEligible(MakeMessage(MessageType::kQueueSync)));
+  EXPECT_FALSE(MessageQueue::FaultEligible(MakeMessage(MessageType::kQuit)));
+  EXPECT_FALSE(MessageQueue::FaultEligible(MakeMessage(MessageType::kSocket)));
+  EXPECT_FALSE(MessageQueue::FaultEligible(MakeMessage(MessageType::kMouseUp)));
+  EXPECT_TRUE(MessageQueue::FaultEligible(MakeMessage(MessageType::kChar)));
+  EXPECT_TRUE(MessageQueue::FaultEligible(MakeMessage(MessageType::kTimer)));
+  EXPECT_TRUE(MessageQueue::FaultEligible(MakeMessage(MessageType::kPaint)));
+
+  // A drop-everything policy must never see (or lose) an exempt message.
+  EventQueue clock;
+  MessageQueue q(&clock);
+  AlwaysMqPolicy policy;
+  policy.action = MessageFaultAction::kDrop;
+  q.SetFaultPolicy(&policy);
+  q.Post(MakeMessage(MessageType::kQueueSync));
+  q.Post(MakeMessage(MessageType::kQuit));
+  q.Post(MakeMessage(MessageType::kMouseUp));
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(q.dropped_count(), 0u);
+  EXPECT_EQ(policy.calls, 0);
+}
+
+TEST(MessageQueueFaultTest, MouseDownDuplicationIsDegradedToNoop) {
+  // Duplicating a mouse-down would leave the Windows 95 busy-wait copy
+  // spinning for a mouse-up that was already consumed.
+  EventQueue clock;
+  MessageQueue q(&clock);
+  AlwaysMqPolicy policy;
+  policy.action = MessageFaultAction::kDuplicate;
+  q.SetFaultPolicy(&policy);
+  q.Post(MakeMessage(MessageType::kMouseDown));
+  EXPECT_EQ(q.Size(), 1u);
+  EXPECT_EQ(q.duplicated_count(), 0u);
+}
+
+// ------------------------------------------------------------- session --
+
+fault::FaultPlan MildPlan() {
+  fault::FaultPlan plan;
+  plan.mq.drop_rate = 0.05;
+  plan.clock.jitter_frac = 0.2;
+  return plan;
+}
+
+TEST(FaultSessionTest, IdenticalSeedAndPlanReplayIdentically) {
+  RunSpec spec;
+  spec.app = "notepad";
+  spec.seed = 7;
+  spec.faults = MildPlan();
+  SessionResult a;
+  SessionResult b;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &a, &error)) << error;
+  ASSERT_TRUE(RunSpecSession(spec, &b, &error)) << error;
+  EXPECT_EQ(a.metrics_json, b.metrics_json);  // fault counters included
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.fault.mq_dropped, b.fault.mq_dropped);
+  EXPECT_GT(a.fault.mq_dropped, 0u);  // the plan actually bit
+  EXPECT_TRUE(a.fault.enabled);
+}
+
+TEST(FaultSessionTest, AttemptIndexSelectsADifferentFaultStream) {
+  RunSpec spec;
+  spec.app = "notepad";
+  spec.seed = 7;
+  spec.faults = MildPlan();
+  SessionResult first;
+  SessionResult retry;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &first, &error)) << error;
+  spec.fault_attempt = 1;
+  ASSERT_TRUE(RunSpecSession(spec, &retry, &error)) << error;
+  // Different attempt -> different (but still deterministic) fault draws.
+  EXPECT_NE(first.metrics_json, retry.metrics_json);
+}
+
+TEST(FaultSessionTest, PermanentDiskFailureDegradesStructurally) {
+  RunSpec spec;
+  spec.app = "powerpoint";  // the disk-bound app (Table 1 workloads)
+  spec.faults.disk.fail_after = 1;
+  SessionResult r;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &r, &error)) << error;  // no crash, no hang
+  EXPECT_TRUE(r.fault.enabled);
+  EXPECT_TRUE(r.fault.degraded);
+  EXPECT_TRUE(r.fault.disk_permanent);
+  EXPECT_GT(r.fault.io_failed, 0u);
+  EXPECT_FALSE(r.fault.notes.empty());
+  EXPECT_NE(r.fault.Summary().find("degraded"), std::string::npos);
+  // Partial metrics survive: the session still produced events.
+  EXPECT_GT(r.events.size(), 0u);
+}
+
+TEST(FaultSessionTest, InterferenceAloneDoesNotDegrade) {
+  RunSpec spec;
+  spec.app = "notepad";
+  spec.faults.storm.start_ms = 100.0;
+  spec.faults.storm.duration_ms = 50.0;
+  SessionResult r;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &r, &error)) << error;
+  EXPECT_TRUE(r.fault.enabled);
+  EXPECT_GT(r.fault.storm_ticks, 0u);
+  // Storms are interference being *measured*, not broken measurements.
+  EXPECT_FALSE(r.fault.degraded);
+}
+
+TEST(FaultSessionTest, CleanRunReportsFaultsDisabled) {
+  RunSpec spec;
+  spec.app = "notepad";
+  SessionResult r;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &r, &error)) << error;
+  EXPECT_FALSE(r.fault.enabled);
+  EXPECT_FALSE(r.fault.degraded);
+  EXPECT_FALSE(r.fault.AnyInjected());
+}
+
+// ------------------------------------------------------------ campaign --
+
+constexpr char kFaultedSpec[] =
+    "name = faulted\n"
+    "os = nt40\n"
+    "app = notepad\n"
+    "driver = test\n"
+    "seeds = 3\n"
+    "seed = 77\n"
+    "threshold_ms = 100\n"
+    "fault.mq.drop_rate = 0.05\n"
+    "fault.clock.jitter_frac = 0.2\n";
+
+TEST(FaultCampaignTest, SpecParsesFaultKeysAndRetries) {
+  campaign::CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(campaign::ParseCampaignSpec(std::string(kFaultedSpec) + "retries = 2\n",
+                                          &spec, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(spec.faults.mq.drop_rate, 0.05);
+  EXPECT_DOUBLE_EQ(spec.faults.clock.jitter_frac, 0.2);
+  EXPECT_EQ(spec.cell_retries, 2);
+
+  EXPECT_FALSE(campaign::ParseCampaignSpec("app = notepad\ndriver = test\n"
+                                           "fault.disk.fail_rate = 9\n",
+                                           &spec, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+}
+
+TEST(FaultCampaignTest, FaultedAggregateIsByteIdenticalAcrossJobs) {
+  campaign::CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(campaign::ParseCampaignSpec(kFaultedSpec, &spec, &error)) << error;
+
+  auto run = [&](int jobs) {
+    campaign::CampaignRunOptions options;
+    options.jobs = jobs;
+    campaign::CampaignAggregate agg(spec.name, spec.campaign_seed, spec.threshold_ms);
+    campaign::CampaignRunStats stats;
+    std::string run_error;
+    EXPECT_TRUE(campaign::RunCampaign(spec, options, &agg, &stats, &run_error)) << run_error;
+    return agg.ToJson() + "\n---\n" + agg.ToCellsCsv();
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(FaultCampaignTest, DegradedCellsRetryWithBoundedAttempts) {
+  campaign::CampaignSpec spec;
+  std::string error;
+  // drop_rate 0.05 over hundreds of input messages: every attempt of every
+  // cell drops something, so every cell stays degraded and exhausts its
+  // retries -- which is exactly what the attempts column must show.
+  ASSERT_TRUE(campaign::ParseCampaignSpec(std::string(kFaultedSpec) + "retries = 2\n",
+                                          &spec, &error))
+      << error;
+  campaign::CampaignRunOptions options;
+  options.jobs = 2;
+  campaign::CampaignAggregate agg(spec.name, spec.campaign_seed, spec.threshold_ms);
+  campaign::CampaignRunStats stats;
+  ASSERT_TRUE(campaign::RunCampaign(spec, options, &agg, &stats, &error)) << error;
+  ASSERT_EQ(agg.cells().size(), 3u);
+  for (const campaign::CellResult& cell : agg.cells()) {
+    EXPECT_TRUE(cell.degraded);
+    EXPECT_EQ(cell.attempts, 3);  // 1 try + 2 retries
+    EXPECT_TRUE(cell.fault.enabled);
+    EXPECT_GT(cell.fault.mq_dropped, 0u);
+  }
+  EXPECT_EQ(stats.degraded_cells, 3u);
+  EXPECT_EQ(stats.retried_cells, 3u);
+
+  // The aggregate JSON carries the per-cell fault block and flags.
+  const std::string json = agg.ToJson();
+  EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"attempts\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"mq_dropped\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ilat

@@ -62,6 +62,32 @@ TEST(LogHistogram, PercentileEstimates) {
   EXPECT_GE(h.Percentile(0.999), 300.0 - 1e-9);
 }
 
+TEST(LogHistogram, PercentileEdgeValues) {
+  obs::LogHistogram h(1.0, 10);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 0.0);  // empty histogram
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 0.0);
+
+  // Single sample far from the first bucket: p=0 must report the sample,
+  // not the first bucket's upper bound, and p=1 must not overshoot into
+  // the bucket's upper edge.
+  h.Record(100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 100.0);
+  // Out-of-range p clamps.
+  EXPECT_DOUBLE_EQ(h.Percentile(-1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), 100.0);
+
+  // Duplicates: every percentile stays within the samples' bucket.
+  obs::LogHistogram dup(1.0, 10);
+  for (int i = 0; i < 8; ++i) {
+    dup.Record(3.0);
+  }
+  EXPECT_DOUBLE_EQ(dup.Percentile(0.0), 3.0);
+  EXPECT_GE(dup.Percentile(0.5), 3.0);
+  EXPECT_LE(dup.Percentile(0.5), 4.0);  // 3.0 lives in the (2, 4] bucket
+  EXPECT_DOUBLE_EQ(dup.Percentile(1.0), 3.0);  // clamped to observed max
+}
+
 TEST(MetricsRegistry, HandlesAreStableAndShared) {
   obs::MetricsRegistry reg;
   obs::Counter* a = reg.GetCounter("x");
