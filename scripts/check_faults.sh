@@ -82,6 +82,76 @@ print(f"aggregate ok: {dropped} dropped messages across {len(agg['cells'])} cell
 EOF
 head -1 "$out_dir/j4/cells.csv" | grep -q "degraded,disk_transient"
 
+# ---------------------------------------------------------- fault sweep --
+# A latency-vs-fault-rate sweep with the retrying human driver: rate 0 is
+# a clean control, user retries grow with the rate, the --jobs contract
+# holds, and the fault-aware gate passes against its own aggregate but
+# fails against a doctored (healthier) baseline.
+
+sweep="$out_dir/sweep.txt"
+cat > "$sweep" <<'EOF'
+name   = drop-sweep
+os     = nt40
+app    = notepad
+driver = human
+seeds  = 2
+seed   = 2026
+threshold_ms = 100
+sweep.fault.mq.drop_rate = 0, 0.05, 0.15, 0.3
+EOF
+
+"$ilat" --campaign="$sweep" --jobs=4 --campaign-out="$out_dir/s4" > "$out_dir/sweep.txt.out"
+"$ilat" --campaign="$sweep" --jobs=1 --campaign-out="$out_dir/s1" >/dev/null
+cmp "$out_dir/s1/aggregate.json" "$out_dir/s4/aggregate.json"
+cmp "$out_dir/s1/cells.csv" "$out_dir/s4/cells.csv"
+grep -q "latency by fault point" "$out_dir/sweep.txt.out"
+
+python3 - "$out_dir/s4/aggregate.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+assert len(agg["cells"]) == 8, len(agg["cells"])  # 2 seeds x 4 rates
+labels = ["fault:mq.drop_rate=%s" % r for r in ("0", "0.05", "0.15", "0.3")]
+groups = [agg["groups"][l] for l in labels]
+assert groups[0]["degraded_cells"] == 0, "control point degraded"
+assert groups[0]["input_retries"] == 0, "control point retried"
+retries = [g["input_retries"] for g in groups]
+assert all(a <= b for a, b in zip(retries, retries[1:])), retries
+assert retries[-1] > 0, "sweep never provoked a retry"
+print(f"sweep ok: input_retries across rates = {retries}")
+EOF
+
+# Gate self-check: the sweep's own aggregate is a passing baseline...
+"$ilat" --campaign="$sweep" --campaign-baseline="$out_dir/s4/aggregate.json" \
+  > "$out_dir/gate.txt"
+grep -q "PASS" "$out_dir/gate.txt"
+grep -q "fault drift" "$out_dir/gate.txt"
+
+# ...while a doctored baseline claiming a healthier past (fewer retries,
+# no degraded cells, smaller fault.* sums) must fail with exit 1.
+python3 - "$out_dir/s4/aggregate.json" "$out_dir/doctored.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+for group in agg["groups"].values():
+    group["input_retries"] = 0
+    group["degraded_cells"] = 0
+    group["mq_dropped"] = 0
+for name, entry in agg.get("metrics", {}).items():
+    if name.startswith("fault."):
+        entry["sum"] = 0
+with open(sys.argv[2], "w") as f:
+    json.dump(agg, f)
+EOF
+rc=0
+"$ilat" --campaign="$sweep" --campaign-baseline="$out_dir/doctored.json" \
+  > "$out_dir/gate_fail.txt" || rc=$?
+if [[ $rc -ne 1 ]]; then
+  echo "error: fault-drift gate did not fail (exit $rc) against doctored baseline" >&2
+  exit 1
+fi
+grep -q "FAIL" "$out_dir/gate_fail.txt"
+
 # ----------------------------------------------------------- bad inputs --
 
 expect_usage_error() {

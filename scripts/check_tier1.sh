@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification, as ROADMAP.md defines it, plus an opt-out ASan lane.
+#
+# Lane 1 (always): configure + build + full ctest in ./build.
+# Lane 2 (skip with --no-asan): rebuild the fault/campaign/input suites
+#   with -DILAT_SANITIZE=address in ./build-asan and run them directly --
+#   the suites that exercise the fault injector, the retrying human
+#   driver, and the sweep/gate machinery, where lifetime bugs would hide.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+asan=1
+if [[ "${1:-}" == "--no-asan" ]]; then
+  asan=0
+fi
+
+cmake -B build -S . > /dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ $asan -eq 1 ]]; then
+  cmake -B build-asan -S . -DILAT_SANITIZE=address > /dev/null
+  cmake --build build-asan -j "$(nproc)" \
+    --target fault_test campaign_test input_test
+  ./build-asan/tests/fault_test
+  ./build-asan/tests/campaign_test
+  ./build-asan/tests/input_test
+fi
+
+echo "check_tier1: all good"

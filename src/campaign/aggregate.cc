@@ -36,6 +36,11 @@ std::string GroupToJson(const GroupStats& g, const std::string& indent) {
   std::string out = "{";
   out += "\"cells\": " + std::to_string(g.cells);
   out += ", \"degraded_cells\": " + std::to_string(g.degraded_cells);
+  out += ", \"attempts\": " + std::to_string(g.attempts);
+  out += ", \"input_retries\": " + std::to_string(g.input_retries);
+  out += ", \"input_abandons\": " + std::to_string(g.input_abandons);
+  out += ", \"mq_dropped\": " + std::to_string(g.mq_dropped);
+  out += ", \"io_failed\": " + std::to_string(g.io_failed);
   out += ", \"events\": " + std::to_string(g.events);
   out += ", \"above\": " + std::to_string(g.above);
   out += ", \"elapsed_s\": " + NumToJson(g.elapsed_s);
@@ -98,6 +103,11 @@ void GroupStats::Add(const CellResult& r) {
   if (r.degraded) {
     ++degraded_cells;
   }
+  attempts += static_cast<std::uint64_t>(r.attempts);
+  input_retries += r.fault.input_retries;
+  input_abandons += r.fault.input_abandons;
+  mq_dropped += r.fault.mq_dropped;
+  io_failed += r.fault.io_failed;
   events += r.events;
   above += r.above;
   elapsed_s += r.elapsed_s;
@@ -125,6 +135,10 @@ void CampaignAggregate::Add(CellResult r) {
   groups_["os:" + r.cell.os].Add(r);
   groups_["app:" + r.cell.app].Add(r);
   groups_["os:" + r.cell.os + "|app:" + r.cell.app].Add(r);
+  if (!r.cell.fault_label.empty()) {
+    // One group per fault-sweep point: the latency-vs-fault-rate matrix.
+    groups_["fault:" + r.cell.fault_label].Add(r);
+  }
   metrics_.Add(r.metrics);
   // Keep the stored row compact: the exact latencies live on only inside
   // the group rollups, and the metrics snapshot only in the accumulator.
@@ -149,6 +163,10 @@ std::string CampaignAggregate::ToJson() const {
            EscapeJson(r.cell.os) + "\", \"app\": \"" + EscapeJson(r.cell.app) +
            "\", \"workload\": \"" + EscapeJson(r.cell.workload) + "\", \"driver\": \"" +
            EscapeJson(r.cell.driver) + "\", \"seed\": " + std::to_string(r.cell.seed) +
+           (r.cell.fault_label.empty()
+                ? std::string()
+                : ", \"fault_point\": " + std::to_string(r.cell.fault_point) +
+                      ", \"fault_label\": \"" + EscapeJson(r.cell.fault_label) + "\"") +
            ", \"events\": " + std::to_string(r.events) +
            ", \"above\": " + std::to_string(r.above) +
            ", \"elapsed_s\": " + NumToJson(r.elapsed_s) +
@@ -165,6 +183,8 @@ std::string CampaignAggregate::ToJson() const {
              ", \"disk_retries\": " + std::to_string(f.disk_retries) +
              ", \"disk_permanent\": " + (f.disk_permanent ? "true" : "false") +
              ", \"io_failed\": " + std::to_string(f.io_failed) +
+             ", \"input_retries\": " + std::to_string(f.input_retries) +
+             ", \"input_abandons\": " + std::to_string(f.input_abandons) +
              ", \"mq_dropped\": " + std::to_string(f.mq_dropped) +
              ", \"mq_duplicated\": " + std::to_string(f.mq_duplicated) +
              ", \"mq_reordered\": " + std::to_string(f.mq_reordered) +
@@ -197,13 +217,14 @@ std::string CampaignAggregate::ToCellsCsv() const {
   std::string out =
       "index,os,app,workload,driver,seed,events,above,elapsed_s,cumulative_ms,"
       "mean_ms,p50_ms,p95_ms,p99_ms,max_ms,attempts,degraded,disk_transient,"
-      "disk_stalls,io_failed,mq_dropped,mq_duplicated,mq_reordered,storm_ticks\n";
+      "disk_stalls,io_failed,mq_dropped,mq_duplicated,mq_reordered,storm_ticks,"
+      "input_retries,input_abandons,fault_label\n";
   for (const CellResult& r : cells_) {
-    char buf[384];
+    char buf[512];
     std::snprintf(
         buf, sizeof(buf),
         "%zu,%s,%s,%s,%s,%llu,%zu,%zu,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,"
-        "%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        "%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%s\n",
         r.cell.index, r.cell.os.c_str(), r.cell.app.c_str(), r.cell.workload.c_str(),
         r.cell.driver.c_str(), static_cast<unsigned long long>(r.cell.seed), r.events,
         r.above, r.elapsed_s, r.cumulative_ms, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
@@ -214,7 +235,9 @@ std::string CampaignAggregate::ToCellsCsv() const {
         static_cast<unsigned long long>(r.fault.mq_dropped),
         static_cast<unsigned long long>(r.fault.mq_duplicated),
         static_cast<unsigned long long>(r.fault.mq_reordered),
-        static_cast<unsigned long long>(r.fault.storm_ticks));
+        static_cast<unsigned long long>(r.fault.storm_ticks),
+        static_cast<unsigned long long>(r.fault.input_retries),
+        static_cast<unsigned long long>(r.fault.input_abandons), r.cell.fault_label.c_str());
     out += buf;
   }
   return out;
@@ -276,6 +299,33 @@ std::string CampaignAggregate::RenderTables() const {
   }
   add_group("overall", overall_);
   out += "per-os summary\n" + summary.ToString();
+
+  // Latency-vs-fault-point matrix, one row per sweep point in first-
+  // appearance (i.e. expansion) order.
+  std::vector<std::string> fault_labels;
+  for (const CellResult& r : cells_) {
+    if (!r.cell.fault_label.empty() &&
+        std::find(fault_labels.begin(), fault_labels.end(), r.cell.fault_label) ==
+            fault_labels.end()) {
+      fault_labels.push_back(r.cell.fault_label);
+    }
+  }
+  if (!fault_labels.empty()) {
+    TextTable ft({"fault point", "cells", "degr", "retries", "abandons", "p50", "p95",
+                  "p99", "max (ms)"});
+    for (const std::string& label : fault_labels) {
+      auto it = groups_.find("fault:" + label);
+      if (it == groups_.end()) {
+        continue;
+      }
+      const GroupStats& g = it->second;
+      ft.AddRow({label, std::to_string(g.cells), std::to_string(g.degraded_cells),
+                 std::to_string(g.input_retries), std::to_string(g.input_abandons),
+                 TextTable::Num(g.PercentileMs(50.0), 2), TextTable::Num(g.PercentileMs(95.0), 2),
+                 TextTable::Num(g.PercentileMs(99.0), 2), TextTable::Num(g.MaxMs(), 1)});
+    }
+    out += "\nlatency by fault point\n" + ft.ToString();
+  }
   return out;
 }
 

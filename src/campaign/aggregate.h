@@ -62,6 +62,13 @@ struct GroupStats {
   std::size_t degraded_cells = 0;
   std::uint64_t events = 0;
   std::uint64_t above = 0;
+  // Fault-recovery rollups (all zero on clean campaigns): session attempts
+  // the runner made, user-model retries/abandons, and raw damage counters.
+  std::uint64_t attempts = 0;
+  std::uint64_t input_retries = 0;
+  std::uint64_t input_abandons = 0;
+  std::uint64_t mq_dropped = 0;
+  std::uint64_t io_failed = 0;
   double elapsed_s = 0.0;
   double cumulative_ms = 0.0;
   // Exact latencies, appended in cell-index order; percentiles computed on
@@ -85,6 +92,7 @@ class CampaignAggregate {
   const std::vector<CellResult>& cells() const { return cells_; }
   const GroupStats& overall() const { return overall_; }
   const std::map<std::string, GroupStats>& groups() const { return groups_; }
+  const obs::SnapshotAccumulator& metrics_accumulator() const { return metrics_; }
   double threshold_ms() const { return threshold_ms_; }
 
   // Deterministic aggregate JSON (the artifact baselines are saved from).
@@ -103,8 +111,9 @@ class CampaignAggregate {
   double threshold_ms_;
   std::vector<CellResult> cells_;
   GroupStats overall_;
-  // Keyed "os:nt40", "app:word", "os:nt40|app:word" -- the same keys the
-  // JSON "groups" object and the regression gate use.
+  // Keyed "os:nt40", "app:word", "os:nt40|app:word", plus one
+  // "fault:<label>" group per fault-sweep point -- the same keys the JSON
+  // "groups" object and the regression gate use.
   std::map<std::string, GroupStats> groups_;
   obs::SnapshotAccumulator metrics_;
 };

@@ -40,6 +40,12 @@ std::string GateReport::Render(const GateOptions& options) const {
                 "regression gate: %zu comparisons, tolerance %.3g%% (+%.3g ms floor)\n",
                 comparisons, options.tolerance_pct, options.abs_floor_ms);
   out += line;
+  if (options.gate_faults) {
+    std::snprintf(line, sizeof(line),
+                  "  fault drift: tolerance %.3g%% (+%.3g count floor)\n",
+                  options.fault_tolerance_pct, options.fault_abs_floor);
+    out += line;
+  }
   for (const std::string& note : notes) {
     out += "  note: " + note + "\n";
   }
@@ -105,6 +111,61 @@ bool RunRegressionGate(const std::string& baseline_json, const CampaignAggregate
       const double limit = baseline * (1.0 + options.tolerance_pct / 100.0);
       if (cur_value > limit && cur_value - baseline > options.abs_floor_ms) {
         report->regressions.push_back(GateFinding{key, metric, baseline, cur_value, limit});
+      }
+    }
+
+    if (options.gate_faults) {
+      // Fault drift per group.  Keys missing from the baseline (pre-fault
+      // aggregates) are skipped silently -- no noise on clean baselines.
+      auto gate_count = [&](const char* name, double cur_value, double floor) {
+        const JsonValue* base_value = baseline_group.Find(name);
+        if (base_value == nullptr || !base_value->is_number()) {
+          return;
+        }
+        ++report->comparisons;
+        const double baseline = base_value->number;
+        const double limit = baseline * (1.0 + options.fault_tolerance_pct / 100.0);
+        if (cur_value > limit && cur_value - baseline > floor) {
+          report->regressions.push_back(GateFinding{key, name, baseline, cur_value, limit});
+        }
+      };
+      // Any newly-degraded cell is a gate failure (0.5 floor); recovery
+      // and damage counters tolerate bounded drift.
+      gate_count("degraded_cells", static_cast<double>(cur->degraded_cells), 0.5);
+      gate_count("input_retries", static_cast<double>(cur->input_retries),
+                 options.fault_abs_floor);
+      gate_count("input_abandons", static_cast<double>(cur->input_abandons),
+                 options.fault_abs_floor);
+      gate_count("mq_dropped", static_cast<double>(cur->mq_dropped), options.fault_abs_floor);
+      gate_count("io_failed", static_cast<double>(cur->io_failed), options.fault_abs_floor);
+    }
+  }
+
+  // Campaign-wide fault.* metric sums (fault.mq.dropped,
+  // fault.input.retries, ...) from the merged metrics accumulator.
+  if (options.gate_faults) {
+    const JsonValue* metrics_obj = root.Find("metrics");
+    if (metrics_obj != nullptr && metrics_obj->is_object()) {
+      const auto& cur_entries = current.metrics_accumulator().entries();
+      for (const auto& [name, entry] : metrics_obj->members) {
+        if (name.rfind("fault.", 0) != 0 || !entry.is_object()) {
+          continue;
+        }
+        const JsonValue* base_sum = entry.Find("sum");
+        if (base_sum == nullptr || !base_sum->is_number()) {
+          continue;
+        }
+        double cur_sum = 0.0;
+        auto it = cur_entries.find(name);
+        if (it != cur_entries.end()) {
+          cur_sum = it->second.sum;
+        }
+        ++report->comparisons;
+        const double limit = base_sum->number * (1.0 + options.fault_tolerance_pct / 100.0);
+        if (cur_sum > limit && cur_sum - base_sum->number > options.fault_abs_floor) {
+          report->regressions.push_back(
+              GateFinding{"metrics", name, base_sum->number, cur_sum, limit});
+        }
       }
     }
   }

@@ -15,6 +15,14 @@
 // The compared metrics default to p50/p95/p99/max and are configurable
 // (--gate-percentiles), matching the keys of the aggregate's "groups"
 // rows.
+//
+// Faulted baselines additionally gate fault drift: per-group
+// degraded_cells and recovery counters (input_retries, input_abandons,
+// mq_dropped, io_failed) plus the aggregate's summed fault.* metrics are
+// compared with their own tolerance (same shape: relative limit AND
+// absolute floor, increases only).  degraded_cells uses a fixed 0.5 floor
+// so a single newly-degraded cell fails the gate.  Baselines that predate
+// these keys skip them silently.
 
 #ifndef ILAT_SRC_CAMPAIGN_GATE_H_
 #define ILAT_SRC_CAMPAIGN_GATE_H_
@@ -32,6 +40,12 @@ struct GateOptions {
   double abs_floor_ms = 0.25;
   // Keys into the aggregate's group rows.
   std::vector<std::string> metrics = {"p50_ms", "p95_ms", "p99_ms", "max_ms"};
+  // Fault-drift gating (see file comment).  Counters are noisier than
+  // percentiles, so they get a wider default tolerance; the floor is in
+  // counts, not milliseconds.
+  bool gate_faults = true;
+  double fault_tolerance_pct = 25.0;
+  double fault_abs_floor = 2.0;
 };
 
 struct GateFinding {

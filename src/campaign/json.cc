@@ -154,6 +154,30 @@ class Parser {
     }
   }
 
+  // Four hex digits at pos_ -> *code; advances pos_ past them.
+  bool ReadHex4(unsigned* code) {
+    if (pos_ + 4 > text_.size()) {
+      return Fail("truncated \\u escape");
+    }
+    *code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + static_cast<std::size_t>(i)];
+      unsigned nibble = 0;
+      if (h >= '0' && h <= '9') {
+        nibble = static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        nibble = static_cast<unsigned>(h - 'a') + 10;
+      } else if (h >= 'A' && h <= 'F') {
+        nibble = static_cast<unsigned>(h - 'A') + 10;
+      } else {
+        return Fail("bad hex digit in \\u escape");
+      }
+      *code = *code * 16 + nibble;
+    }
+    pos_ += 4;
+    return true;
+  }
+
   bool ParseString(std::string* out) {
     ++pos_;  // '"'
     out->clear();
@@ -196,40 +220,44 @@ class Parser {
           *out += '\f';
           break;
         case 'u': {
-          // Exactly four hex digits naming a BMP code point, emitted as
-          // UTF-8.  Surrogate halves (U+D800..U+DFFF) are not code points;
-          // pairing them is deliberately unsupported -- our writers never
-          // emit astral characters -- so they fail loudly instead of
-          // decoding to mojibake.
-          if (pos_ + 4 > text_.size()) {
-            return Fail("truncated \\u escape");
-          }
+          // Exactly four hex digits per escape, emitted as UTF-8.  A high
+          // surrogate (U+D800..U+DBFF) must be immediately followed by a
+          // second \uXXXX low surrogate (U+DC00..U+DFFF); the pair decodes
+          // to one astral code point.  Unpaired halves are not code points
+          // and fail loudly instead of decoding to mojibake.
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_ + static_cast<std::size_t>(i)];
-            unsigned nibble = 0;
-            if (h >= '0' && h <= '9') {
-              nibble = static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              nibble = static_cast<unsigned>(h - 'a') + 10;
-            } else if (h >= 'A' && h <= 'F') {
-              nibble = static_cast<unsigned>(h - 'A') + 10;
-            } else {
-              return Fail("bad hex digit in \\u escape");
+          if (!ReadHex4(&code)) {
+            return false;
+          }
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Fail("unpaired low surrogate \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+              return Fail("high surrogate \\u escape not followed by \\u");
             }
-            code = code * 16 + nibble;
+            pos_ += 2;
+            unsigned low = 0;
+            if (!ReadHex4(&low)) {
+              return false;
+            }
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("high surrogate \\u escape not followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
-          if (code >= 0xD800 && code <= 0xDFFF) {
-            return Fail("surrogate \\u escape unsupported");
-          }
-          pos_ += 4;
           if (code < 0x80) {
             *out += static_cast<char>(code);
           } else if (code < 0x800) {
             *out += static_cast<char>(0xC0 | (code >> 6));
             *out += static_cast<char>(0x80 | (code & 0x3F));
-          } else {
+          } else if (code < 0x10000) {
             *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xF0 | (code >> 18));
+            *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
             *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
             *out += static_cast<char>(0x80 | (code & 0x3F));
           }

@@ -68,7 +68,7 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
       rs.seed = cell.seed;
       rs.workload_seed = cell.workload_seed;
       rs.params = spec.params;
-      rs.faults = spec.faults;
+      rs.faults = cell.faults;
       rs.fault_attempt = attempt;
       SessionResult session;
       if (!RunSpecSession(rs, &session, &outcome->error)) {

@@ -88,7 +88,12 @@ bool CheckNames(const std::vector<std::string>& names, bool (*known)(const std::
 }  // namespace
 
 std::string CampaignCell::Label() const {
-  return os + "/" + app + "/" + workload + "/" + driver + "#" + std::to_string(seed_rep);
+  std::string label =
+      os + "/" + app + "/" + workload + "/" + driver + "#" + std::to_string(seed_rep);
+  if (!fault_label.empty()) {
+    label += "@" + fault_label;
+  }
+  return label;
 }
 
 bool CampaignSpec::Validate(std::string* error) const {
@@ -109,31 +114,102 @@ bool CampaignSpec::Validate(std::string* error) const {
     *error = "threshold_ms must be positive";
     return false;
   }
+  for (const FaultSweepDimension& dim : fault_sweeps) {
+    if (dim.values.empty()) {
+      *error = "sweep.fault." + dim.key + " has no values";
+      return false;
+    }
+    // Every value must be a legal setting for the key (checked against a
+    // scratch plan so a bad value fails the spec, not cell 317 at runtime).
+    for (const std::string& v : dim.values) {
+      fault::FaultPlan scratch = faults;
+      std::string fault_error;
+      if (!fault::SetFaultPlanKey(dim.key, v, &scratch, &fault_error)) {
+        *error = "sweep.fault." + dim.key + ": " + fault_error;
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t CampaignSpec::FaultPointCount() const {
+  std::size_t points = 1;
+  for (const FaultSweepDimension& dim : fault_sweeps) {
+    points *= dim.values.size();
+  }
+  return points;
+}
+
+bool CampaignSpec::ResolveFaultPoint(std::size_t f, fault::FaultPlan* plan,
+                                     std::string* label, std::string* error) const {
+  *plan = faults;
+  label->clear();
+  if (fault_sweeps.empty()) {
+    return true;
+  }
+  std::size_t stride = FaultPointCount();
+  std::size_t rem = f;
+  for (const FaultSweepDimension& dim : fault_sweeps) {
+    stride /= dim.values.size();
+    const std::string& value = dim.values[rem / stride];
+    rem %= stride;
+    std::string fault_error;
+    if (!fault::SetFaultPlanKey(dim.key, value, plan, &fault_error)) {
+      if (error != nullptr) {
+        *error = "sweep.fault." + dim.key + ": " + fault_error;
+      }
+      return false;
+    }
+    if (!label->empty()) {
+      *label += '|';
+    }
+    *label += dim.key + "=" + value;
+  }
+  // Independent fault stream per sweep point: the injector keys its PRNGs
+  // as DeriveSeed(session_seed, salt, attempt), and cells reuse session
+  // seeds across points (same workload, different fault rate).
+  plan->salt = DeriveSeed(faults.salt, static_cast<std::uint64_t>(f));
   return true;
 }
 
 std::vector<CampaignCell> CampaignSpec::ExpandCells() const {
   std::vector<CampaignCell> cells;
   const std::vector<std::string>& os_names = oses.empty() ? KnownOsNames() : oses;
-  for (const std::string& os : os_names) {
-    for (const std::string& app : apps) {
-      // An empty workload list means "each app's canonical workload", so
-      // the workload dimension collapses to one entry per app.
-      const std::vector<std::string> wl =
-          workloads.empty() ? std::vector<std::string>{DefaultWorkloadFor(app)} : workloads;
-      for (const std::string& workload : wl) {
-        for (const std::string& driver : drivers) {
-          for (std::uint64_t rep = 0; rep < seeds_per_cell; ++rep) {
-            CampaignCell cell;
-            cell.index = cells.size();
-            cell.os = os;
-            cell.app = app;
-            cell.workload = workload;
-            cell.driver = driver;
-            cell.seed = DeriveSeed(campaign_seed, cell.index);
-            cell.workload_seed = workload_seed;
-            cell.seed_rep = rep;
-            cells.push_back(std::move(cell));
+  const std::size_t points = FaultPointCount();
+  for (std::size_t f = 0; f < points; ++f) {
+    fault::FaultPlan plan;
+    std::string fault_label;
+    // Validate() already vetted every sweep value, so this cannot fail.
+    ResolveFaultPoint(f, &plan, &fault_label, nullptr);
+    // Session seeds derive from the cell's position *within* its fault
+    // point, not its global index: point f's cell k replays point 0's
+    // cell k workload exactly, so sweep curves isolate the fault rate.
+    std::size_t base_index = 0;
+    for (const std::string& os : os_names) {
+      for (const std::string& app : apps) {
+        // An empty workload list means "each app's canonical workload", so
+        // the workload dimension collapses to one entry per app.
+        const std::vector<std::string> wl =
+            workloads.empty() ? std::vector<std::string>{DefaultWorkloadFor(app)} : workloads;
+        for (const std::string& workload : wl) {
+          for (const std::string& driver : drivers) {
+            for (std::uint64_t rep = 0; rep < seeds_per_cell; ++rep) {
+              CampaignCell cell;
+              cell.index = cells.size();
+              cell.os = os;
+              cell.app = app;
+              cell.workload = workload;
+              cell.driver = driver;
+              cell.seed = DeriveSeed(campaign_seed, base_index);
+              cell.workload_seed = workload_seed;
+              cell.seed_rep = rep;
+              cell.faults = plan;
+              cell.fault_point = f;
+              cell.fault_label = fault_label;
+              cells.push_back(std::move(cell));
+              ++base_index;
+            }
           }
         }
       }
@@ -219,6 +295,31 @@ bool ParseCampaignSpec(const std::string& text, CampaignSpec* out, std::string* 
         return bad_number();
       }
       spec.cell_retries = static_cast<int>(v);
+    } else if (key.rfind("sweep.fault.", 0) == 0) {
+      FaultSweepDimension dim;
+      dim.key = key.substr(12);
+      dim.values = SplitList(value);
+      if (dim.values.empty()) {
+        *error = "line " + std::to_string(lineno) + ": no values for '" + key + "'";
+        return false;
+      }
+      for (const FaultSweepDimension& existing : spec.fault_sweeps) {
+        if (existing.key == dim.key) {
+          *error = "line " + std::to_string(lineno) + ": duplicate sweep key '" + key + "'";
+          return false;
+        }
+      }
+      // Vet each value now so the error carries a line number (Validate
+      // re-checks, but without position info).
+      for (const std::string& v : dim.values) {
+        fault::FaultPlan scratch = spec.faults;
+        std::string fault_error;
+        if (!fault::SetFaultPlanKey(dim.key, v, &scratch, &fault_error)) {
+          *error = "line " + std::to_string(lineno) + ": " + fault_error;
+          return false;
+        }
+      }
+      spec.fault_sweeps.push_back(std::move(dim));
     } else if (key.rfind("fault.", 0) == 0) {
       std::string fault_error;
       if (!fault::SetFaultPlanKey(key.substr(6), value, &spec.faults, &fault_error)) {

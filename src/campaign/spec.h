@@ -34,6 +34,18 @@
 //   fault.disk.fail_rate = 0.05
 //   fault.mq.drop_rate   = 0.02
 //   retries              = 2
+//
+// `sweep.fault.<key> = v1, v2, ...` turns a fault key into a campaign
+// dimension: the cell matrix is expanded once per value (cross-product
+// when several sweep keys are given), yielding latency-vs-fault-rate
+// curves from one spec:
+//
+//   driver                   = human
+//   sweep.fault.mq.drop_rate = 0, 0.05, 0.15, 0.3
+//
+// Cells at different fault points reuse the same derived session seeds
+// (the workload is held constant so only the fault rate varies), while
+// each fault point gets an independently salted fault stream.
 
 #ifndef ILAT_SRC_CAMPAIGN_SPEC_H_
 #define ILAT_SRC_CAMPAIGN_SPEC_H_
@@ -59,8 +71,22 @@ struct CampaignCell {
   std::uint64_t workload_seed = 0;  // 0 -> scripts also derive from `seed`
   std::uint64_t seed_rep = 0;       // which repetition this cell is
 
-  // "nt40/notepad/notepad/test#0" -- stable human-readable id.
+  // Resolved fault plan for this cell (base plan + sweep overrides).
+  fault::FaultPlan faults;
+  // Which fault-sweep point this cell belongs to, and its human-readable
+  // form ("mq.drop_rate=0.05"); empty label when the spec has no sweeps.
+  std::size_t fault_point = 0;
+  std::string fault_label;
+
+  // "nt40/notepad/notepad/test#0" (plus "@mq.drop_rate=0.05" under a
+  // fault sweep) -- stable human-readable id.
   std::string Label() const;
+};
+
+// One swept fault key and the values it takes.
+struct FaultSweepDimension {
+  std::string key;                  // e.g. "mq.drop_rate" (no "fault." prefix)
+  std::vector<std::string> values;  // verbatim spec tokens, applied in order
 };
 
 struct CampaignSpec {
@@ -76,6 +102,9 @@ struct CampaignSpec {
   WorkloadParams params;
   // Fault plan applied to every cell (empty = clean campaign).
   fault::FaultPlan faults;
+  // Swept fault keys (`sweep.fault.<key> = v1, v2, ...`).  The cell matrix
+  // expands once per point of their cross-product, first key slowest.
+  std::vector<FaultSweepDimension> fault_sweeps;
   // Extra attempts for cells whose session finishes degraded; each retry
   // uses fault_attempt+1 (a fresh deterministic fault stream) after a
   // small host-side backoff.  The last attempt's result stands either way.
@@ -85,8 +114,22 @@ struct CampaignSpec {
   // emptiness.  Returns false and sets *error on the first problem.
   bool Validate(std::string* error) const;
 
-  // Expand the cross-product in deterministic order (os-major, then app,
-  // workload, driver, seed repetition).  Call Validate first.
+  // Number of fault-sweep points (product of dimension sizes; 1 when no
+  // sweeps are declared).
+  std::size_t FaultPointCount() const;
+
+  // Resolve sweep point `f` (mixed-radix over fault_sweeps, first key
+  // slowest): *plan = base plan + overrides, *label = "key=value|..."
+  // (empty when no sweeps).  Each point's plan gets an independently
+  // derived salt so its fault stream never collides with another point's.
+  bool ResolveFaultPoint(std::size_t f, fault::FaultPlan* plan, std::string* label,
+                         std::string* error) const;
+
+  // Expand the cross-product in deterministic order (fault point, then
+  // os-major, app, workload, driver, seed repetition).  Cells at the same
+  // position under different fault points share the same derived session
+  // seed, so sweep curves compare identical workloads.  Call Validate
+  // first.
   std::vector<CampaignCell> ExpandCells() const;
 };
 

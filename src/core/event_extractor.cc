@@ -36,6 +36,14 @@ std::vector<EventRecord> ExtractEvents(const BusyProfile& busy, const MessageMon
                                        const std::vector<PostedEvent>& posted,
                                        const std::vector<IoPendingInterval>& io_pending,
                                        const ExtractorOptions& opts) {
+  return ExtractEvents(busy, monitor, posted, io_pending, /*retry_pending=*/{}, opts);
+}
+
+std::vector<EventRecord> ExtractEvents(const BusyProfile& busy, const MessageMonitor& monitor,
+                                       const std::vector<PostedEvent>& posted,
+                                       const std::vector<IoPendingInterval>& io_pending,
+                                       const std::vector<IoPendingInterval>& retry_pending,
+                                       const ExtractorOptions& opts) {
   const auto& api = monitor.api_calls();
   const auto& ret = monitor.retrievals();
 
@@ -88,6 +96,9 @@ std::vector<EventRecord> ExtractEvents(const BusyProfile& busy, const MessageMon
     e.busy = busy.BusyIn(e.start, window_end);
     if (opts.include_io_wait) {
       e.io_wait = IoOverlap(io_pending, e.start, window_end);
+    }
+    if (opts.include_retry_wait && !retry_pending.empty()) {
+      e.retry_wait = IoOverlap(retry_pending, e.start, window_end);
     }
     e.wall = e.end - e.start;
     events.push_back(std::move(e));

@@ -41,6 +41,7 @@ struct EventRecord {
   Cycles end = 0;    // application back in its message pump
   Cycles busy = 0;   // CPU busy attributed to the event
   Cycles io_wait = 0;  // synchronous-I/O wait within the window
+  Cycles retry_wait = 0;  // user retry backoff (dropped input) in the window
   Cycles wall = 0;   // end - start
 
   // Decomposition: how long the event sat in the queue before the
@@ -50,8 +51,11 @@ struct EventRecord {
   Cycles queue_delay() const { return retrieved - start; }
   double queue_delay_ms() const { return CyclesToMilliseconds(queue_delay()); }
 
-  // Primary latency metric: busy time plus synchronous I/O wait.
-  Cycles latency() const { return busy + io_wait; }
+  // Primary latency metric: busy time plus synchronous I/O wait plus any
+  // user retry wait -- for an event the driver had to re-issue (its first
+  // delivery was dropped by a fault), the whole think-time backoff is
+  // user-visible latency just like I/O wait (the user is stuck either way).
+  Cycles latency() const { return busy + io_wait + retry_wait; }
   double latency_ms() const { return CyclesToMilliseconds(latency()); }
   double wall_ms() const { return CyclesToMilliseconds(wall); }
 };
@@ -62,6 +66,9 @@ struct ExtractorOptions {
   // Count synchronous-I/O wait (CPU-idle time while the handling thread
   // blocks on the disk) into latency.  Requires io_idle below.
   bool include_io_wait = true;
+  // Count user retry backoff (dropped input awaiting re-issue, see
+  // src/input/driver.h) into latency.
+  bool include_retry_wait = true;
 };
 
 // Synchronous-I/O pending intervals recorded by the I/O tracker (ground
@@ -74,6 +81,15 @@ struct IoPendingInterval {
 std::vector<EventRecord> ExtractEvents(const BusyProfile& busy, const MessageMonitor& monitor,
                                        const std::vector<PostedEvent>& posted,
                                        const std::vector<IoPendingInterval>& io_pending,
+                                       const ExtractorOptions& opts);
+
+// As above, plus retry-wait intervals (periods with at least one dropped
+// input awaiting the human driver's re-issue; same interval-overlap
+// attribution as io_pending).
+std::vector<EventRecord> ExtractEvents(const BusyProfile& busy, const MessageMonitor& monitor,
+                                       const std::vector<PostedEvent>& posted,
+                                       const std::vector<IoPendingInterval>& io_pending,
+                                       const std::vector<IoPendingInterval>& retry_pending,
                                        const ExtractorOptions& opts);
 
 }  // namespace ilat

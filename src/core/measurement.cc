@@ -40,13 +40,25 @@ class MeasurementSession::Wiring : public CpuObserver, public MessagePumpObserve
     }
   }
 
+  void OnRetryTransition(Cycles t, bool pending) {
+    fsm_.OnRetryPending(t, pending);
+    if (pending) {
+      retry_open_ = t;
+    } else {
+      retry_intervals_.push_back(IoPendingInterval{retry_open_, t});
+    }
+  }
+
   ThinkWaitFsm& fsm() { return fsm_; }
   std::vector<IoPendingInterval>& io_intervals() { return io_intervals_; }
+  std::vector<IoPendingInterval>& retry_intervals() { return retry_intervals_; }
 
  private:
   ThinkWaitFsm fsm_;
   Cycles io_open_ = 0;
+  Cycles retry_open_ = 0;
   std::vector<IoPendingInterval> io_intervals_;
+  std::vector<IoPendingInterval> retry_intervals_;
 };
 
 MeasurementSession::MeasurementSession(OsProfile profile, SessionOptions opts)
@@ -139,9 +151,15 @@ SessionResult MeasurementSession::Run(const Script& script) {
       driver = std::make_unique<TestDriver>(system_.get(), thread_.get(), script,
                                             /*inject_queuesync=*/false);
       break;
-    case DriverKind::kHuman:
-      driver = std::make_unique<HumanDriver>(system_.get(), thread_.get(), script);
+    case DriverKind::kHuman: {
+      auto human = std::make_unique<HumanDriver>(system_.get(), thread_.get(), script,
+                                                 opts_.human_retry);
+      human->EnableTracing(&system_->sim().tracer());
+      human->SetRetryWaitObserver(
+          [this](Cycles t, bool pending) { wiring_->OnRetryTransition(t, pending); });
+      driver = std::move(human);
       break;
+    }
   }
 
   return RunWithDriver(driver.get());
@@ -194,6 +212,10 @@ fault::FaultReport MeasurementSession::BuildFaultReport(InputDriver* driver) con
     report.mq_duplicated = q.duplicated_count();
     report.mq_reordered = q.reordered_count();
   }
+  if (driver != nullptr) {
+    report.input_retries = driver->input_retries();
+    report.input_abandons = driver->input_abandons();
+  }
 
   // Invariant checks: anything that makes the session's numbers partial
   // or untrustworthy marks it degraded, with a note saying why.  Stalls,
@@ -208,8 +230,32 @@ fault::FaultReport MeasurementSession::BuildFaultReport(InputDriver* driver) con
     report.notes.push_back("i/o requests failed: " + std::to_string(report.io_failed));
   }
   if (report.mq_dropped > 0) {
-    report.degraded = true;
-    report.notes.push_back("input messages dropped: " + std::to_string(report.mq_dropped));
+    const bool recovering = driver != nullptr && driver->recovers_input();
+    if (!recovering) {
+      report.degraded = true;
+      report.notes.push_back("input messages dropped: " + std::to_string(report.mq_dropped));
+    } else {
+      // The human driver re-issues dropped input, so a drop only degrades
+      // the session when the user ran out of patience (abandoned the
+      // action) or when the drop hit something the driver cannot re-issue
+      // (timers, paints).  Every drop the driver observed became exactly
+      // one retry or one abandon.
+      const std::uint64_t driver_seen = report.input_retries + report.input_abandons;
+      if (report.input_abandons > 0) {
+        report.degraded = true;
+        report.notes.push_back("user abandoned input after retries: " +
+                               std::to_string(report.input_abandons));
+      }
+      if (report.mq_dropped > driver_seen) {
+        report.degraded = true;
+        report.notes.push_back("non-input messages dropped: " +
+                               std::to_string(report.mq_dropped - driver_seen));
+      }
+      if (report.input_abandons == 0 && report.mq_dropped <= driver_seen) {
+        report.notes.push_back("dropped input recovered by user retries: " +
+                               std::to_string(report.input_retries));
+      }
+    }
   }
   if (driver != nullptr && !driver->done()) {
     report.degraded = true;
@@ -237,6 +283,7 @@ SessionResult MeasurementSession::Finalize(InputDriver* driver) {
   }
   result.user_state_intervals = wiring_->fsm().intervals();
   result.io_pending = wiring_->io_intervals();
+  result.retry_pending = wiring_->retry_intervals();
 
   Scheduler& sched = system_->sim().scheduler();
   sched.FlushTraceSpans();
@@ -268,7 +315,8 @@ SessionResult MeasurementSession::Finalize(InputDriver* driver) {
     xopts.calm_factor = opts_.calm_factor;
     xopts.merge_timer_cascades = opts_.merge_timer_cascades;
     xopts.include_io_wait = opts_.include_io_wait;
-    result.events = ExtractEvents(busy, monitor_, result.posted, result.io_pending, xopts);
+    result.events = ExtractEvents(busy, monitor_, result.posted, result.io_pending,
+                                  result.retry_pending, xopts);
   }
   return result;
 }

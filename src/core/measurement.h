@@ -68,6 +68,9 @@ struct SessionOptions {
   // with attempt+1 replays the workload against a fresh (but still
   // deterministic) fault stream.
   int fault_attempt = 0;
+  // How the human driver reacts to input dropped by a fault (re-issue
+  // with backoff, bounded, then abandon).  Only used for DriverKind::kHuman.
+  HumanRetryPolicy human_retry;
 };
 
 struct SessionResult {
@@ -98,6 +101,10 @@ struct SessionResult {
 
   // Synchronous-I/O pending intervals (also fed to the extractor).
   std::vector<IoPendingInterval> io_pending;
+
+  // Retry-wait intervals: periods where at least one dropped input was
+  // awaiting the human driver's re-issue (also fed to the extractor).
+  std::vector<IoPendingInterval> retry_pending;
 
   // Ground truth for validation: scheduler-measured busy cycles and the
   // executor's exact handling boundaries.

@@ -7,7 +7,9 @@ namespace ilat {
 
 namespace {
 
-constexpr int kFormatVersion = 1;
+// v2 added per-event retry_wait (ninth event field); v1 files still load
+// with retry_wait = 0.
+constexpr int kFormatVersion = 2;
 
 MessageType TypeFromInt(int v) {
   if (v < 0 || v > static_cast<int>(MessageType::kQuit)) {
@@ -44,7 +46,7 @@ bool SaveSessionResult(const std::string& path, const SessionResult& result) {
   for (const EventRecord& e : result.events) {
     out << e.msg_seq << ' ' << static_cast<int>(e.type) << ' ' << e.param << ' ' << e.start
         << ' ' << e.retrieved << ' ' << e.end << ' ' << e.busy << ' ' << e.io_wait << ' '
-        << e.label << '\n';
+        << e.retry_wait << ' ' << e.label << '\n';
   }
 
   out << "io " << result.io_pending.size() << '\n';
@@ -61,7 +63,8 @@ bool LoadSessionResult(const std::string& path, SessionResult* out_result) {
   }
   std::string tag;
   int version = 0;
-  if (!(in >> tag >> version) || tag != "ilat-session" || version != kFormatVersion) {
+  if (!(in >> tag >> version) || tag != "ilat-session" || version < 1 ||
+      version > kFormatVersion) {
     return false;
   }
 
@@ -119,6 +122,9 @@ bool LoadSessionResult(const std::string& path, SessionResult* out_result) {
     int type = 0;
     if (!(in >> e.msg_seq >> type >> e.param >> e.start >> e.retrieved >> e.end >> e.busy >>
           e.io_wait)) {
+      return false;
+    }
+    if (version >= 2 && !(in >> e.retry_wait)) {
       return false;
     }
     e.type = TypeFromInt(type);

@@ -14,6 +14,8 @@ std::string_view UserStateName(UserState s) {
       return "wait-io";
     case UserState::kBackground:
       return "background";
+    case UserState::kWaitRetry:
+      return "wait-retry";
     case UserState::kCount:
       break;
   }
@@ -23,6 +25,9 @@ std::string_view UserStateName(UserState s) {
 UserState ThinkWaitFsm::Classify() const {
   if (io_pending_) {
     return UserState::kWaitIo;
+  }
+  if (retry_pending_) {
+    return UserState::kWaitRetry;
   }
   if (queue_non_empty_ || foreground_) {
     return UserState::kWaitCpu;
@@ -90,6 +95,11 @@ void ThinkWaitFsm::OnSyncIo(Cycles t, bool pending) {
 
 void ThinkWaitFsm::OnForeground(Cycles t, bool handling) {
   foreground_ = handling;
+  Advance(t);
+}
+
+void ThinkWaitFsm::OnRetryPending(Cycles t, bool pending) {
+  retry_pending_ = pending;
   Advance(t);
 }
 

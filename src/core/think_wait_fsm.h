@@ -9,8 +9,10 @@
 // while the simulator provides the signals as ground truth.
 //
 // State priority (highest first): synchronous I/O pending -> kWaitIo;
-// queue non-empty or foreground handling in progress -> kWaitCpu;
-// CPU busy otherwise -> kBackground; else kThink.
+// user retry-wait in progress (a dropped input awaiting re-issue, see
+// src/input/driver.h) -> kWaitRetry; queue non-empty or foreground
+// handling in progress -> kWaitCpu; CPU busy otherwise -> kBackground;
+// else kThink.
 
 #ifndef ILAT_SRC_CORE_THINK_WAIT_FSM_H_
 #define ILAT_SRC_CORE_THINK_WAIT_FSM_H_
@@ -30,6 +32,7 @@ enum class UserState : int {
   kWaitCpu,         // user waiting on computation
   kWaitIo,          // user waiting on synchronous I/O
   kBackground,      // CPU busy but user not (known to be) waiting
+  kWaitRetry,       // user waiting out a retry backoff for dropped input
   kCount,
 };
 
@@ -54,6 +57,9 @@ class ThinkWaitFsm {
   void OnQueue(Cycles t, bool non_empty);
   void OnSyncIo(Cycles t, bool pending);
   void OnForeground(Cycles t, bool handling);
+  // A dropped input is awaiting the user's re-issue (human-driver fault
+  // recovery): the event is lost but the user is very much still waiting.
+  void OnRetryPending(Cycles t, bool pending);
 
   // Close the open interval at `t`.
   void Finish(Cycles t);
@@ -62,9 +68,10 @@ class ThinkWaitFsm {
   const std::vector<Interval>& intervals() const { return intervals_; }
 
   Cycles TotalIn(UserState s) const { return totals_[static_cast<int>(s)]; }
-  // Total wait time (CPU + I/O).
+  // Total wait time (CPU + I/O + retry backoff).
   Cycles TotalWait() const {
-    return TotalIn(UserState::kWaitCpu) + TotalIn(UserState::kWaitIo);
+    return TotalIn(UserState::kWaitCpu) + TotalIn(UserState::kWaitIo) +
+           TotalIn(UserState::kWaitRetry);
   }
 
  private:
@@ -76,6 +83,7 @@ class ThinkWaitFsm {
   bool queue_non_empty_ = false;
   bool io_pending_ = false;
   bool foreground_ = false;
+  bool retry_pending_ = false;
 
   Cycles last_change_ = 0;
   UserState open_state_ = UserState::kThink;

@@ -7,8 +7,11 @@ namespace fault {
 
 FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t session_seed, int attempt)
     : plan_(plan) {
+  // Independent stream per (session seed, plan salt, attempt): campaign
+  // sweeps vary the salt per fault point, retries vary the attempt, and
+  // neither collides with workload draws from the same session seed.
   const std::uint64_t base =
-      DeriveSeed(DeriveSeed(session_seed, plan_.salt), static_cast<std::uint64_t>(attempt));
+      DeriveSeed(session_seed, plan_.salt, static_cast<std::uint64_t>(attempt));
   disk_rng_.Seed(DeriveSeed(base, 1));
   mq_rng_.Seed(DeriveSeed(base, 2));
   clock_rng_.Seed(DeriveSeed(base, 3));

@@ -29,6 +29,12 @@ std::string FaultReport::Summary() const {
   if (mq_dropped > 0) {
     out << " mq_dropped=" << mq_dropped;
   }
+  if (input_retries > 0) {
+    out << " input_retries=" << input_retries;
+  }
+  if (input_abandons > 0) {
+    out << " input_abandons=" << input_abandons;
+  }
   if (mq_duplicated > 0) {
     out << " mq_duplicated=" << mq_duplicated;
   }

@@ -40,6 +40,10 @@ struct FaultReport {
   std::uint64_t io_failed = 0;        // I/O requests completing kFailed
   std::uint64_t disk_retries = 0;     // retry attempts the disk made
 
+  // User-model recovery (what the human driver did about dropped input).
+  std::uint64_t input_retries = 0;    // re-issued inputs after a drop
+  std::uint64_t input_abandons = 0;   // inputs given up after max retries
+
   // Human-readable invariant-checker findings, one per line.
   std::vector<std::string> notes;
 

@@ -139,9 +139,36 @@ void TestDriver::OnHandleEnd(Cycles t, const Message& m) {
 // ---------------------------------------------------------------------------
 // HumanDriver
 
-HumanDriver::HumanDriver(SystemUnderTest* system, GuiThread* target, Script script)
-    : system_(system), target_(target), script_(std::move(script)) {
+HumanDriver::HumanDriver(SystemUnderTest* system, GuiThread* target, Script script,
+                         HumanRetryPolicy retry)
+    : system_(system), target_(target), script_(std::move(script)), retry_(retry) {
   remaining_ = script_.size();
+  first_attempt_at_.resize(script_.size(), 0);
+  click_dropped_.resize(script_.size(), 0);
+}
+
+void HumanDriver::EnableTracing(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) {
+    return;
+  }
+  // Reuse the fault injector's "fault" track when it registered one, so
+  // drop instants and the driver's retry/abandon instants interleave on a
+  // single timeline row.
+  fault_track_ = 0;
+  const auto& tracks = tracer_->tracks();
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    if (tracks[i] == "fault") {
+      fault_track_ = static_cast<std::uint32_t>(i);
+      break;
+    }
+  }
+  if (fault_track_ == 0) {
+    fault_track_ = tracer_->RegisterTrack("fault");
+  }
+  auto& m = tracer_->metrics();
+  m_retries_ = m.GetCounter("fault.input.retries");
+  m_abandons_ = m.GetCounter("fault.input.abandons");
 }
 
 void HumanDriver::Start() {
@@ -151,63 +178,165 @@ void HumanDriver::Start() {
     return;
   }
   // Lay every item out on the wall clock up front: a human's pacing does
-  // not depend on how fast the system responds.
+  // not depend on how fast the system responds.  Retries are the one
+  // exception -- a dropped input inserts its own backoff re-issues, but
+  // the rest of the script stays on its original schedule.
   Cycles t = system_->sim().now();
   for (std::size_t i = 0; i < script_.size(); ++i) {
     t += MillisecondsToCycles(script_[i].pause_before_ms);
-    system_->sim().queue().ScheduleAt(t, [this, i] { InjectItem(i); });
+    system_->sim().queue().ScheduleAt(t, [this, i] { InjectItem(i, /*attempt=*/0); });
     if (script_[i].kind == ScriptItem::Kind::kMouseClick) {
       t += MillisecondsToCycles(script_[i].hold_ms);
     }
   }
 }
 
-void HumanDriver::InjectItem(std::size_t index) {
+bool HumanDriver::PostDetectingDrop(Message m, Message* stamped) {
+  const std::uint64_t before = target_->queue().dropped_count();
+  *stamped = target_->queue().Post(m);
+  return target_->queue().dropped_count() == before;
+}
+
+void HumanDriver::RecordPosted(std::size_t index, int attempt, const Message& stamped) {
   const ScriptItem& it = script_[index];
+  posted_.push_back(
+      PostedEvent{stamped.seq, it.kind, it.param, it.label, first_attempt_at_[index], attempt});
+}
 
-  const Cycles injected_at = system_->sim().now();
-  auto record = [this, &it, injected_at](const Message& stamped) {
-    posted_.push_back(PostedEvent{stamped.seq, it.kind, it.param, it.label, injected_at});
-  };
+void HumanDriver::FinishOne() {
+  if (--remaining_ == 0) {
+    done_ = true;
+    finished_at_ = system_->sim().now();
+  }
+}
 
-  auto finish_one = [this] {
-    if (--remaining_ == 0) {
-      done_ = true;
-      finished_at_ = system_->sim().now();
+void HumanDriver::BeginRetryWait(Cycles t) {
+  if (++retry_pending_ == 1 && on_retry_wait_) {
+    on_retry_wait_(t, /*pending=*/true);
+  }
+}
+
+void HumanDriver::EndRetryWait(Cycles t) {
+  if (--retry_pending_ == 0 && on_retry_wait_) {
+    on_retry_wait_(t, /*pending=*/false);
+  }
+}
+
+Cycles HumanDriver::BackoffFor(std::size_t index, int attempt) const {
+  // The user takes at least backoff_floor_ms to notice nothing happened
+  // and act again; deliberate actions (long think pauses) take
+  // proportionally longer to second-guess.  Doubles per failed attempt.
+  double ms = std::max(retry_.backoff_floor_ms,
+                       retry_.backoff_frac_of_pause * script_[index].pause_before_ms);
+  ms *= static_cast<double>(std::uint64_t{1} << std::min(attempt, 20));
+  return MillisecondsToCycles(ms);
+}
+
+void HumanDriver::HandleDrop(std::size_t index, int attempt) {
+  const Cycles now = system_->sim().now();
+  if (attempt == 0) {
+    BeginRetryWait(now);
+  }
+  if (attempt >= retry_.max_retries) {
+    // Patience exhausted: the user gives up on this action and moves on
+    // with the rest of the script -- a structured abandonment the fault
+    // report can grade, not a driver that never finishes.
+    ++abandons_;
+    if (m_abandons_ != nullptr) {
+      m_abandons_->Increment();
     }
-  };
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(fault_track_, "user.abandon", "fault", now, "item",
+                       static_cast<double>(index), "attempts", static_cast<double>(attempt + 1));
+    }
+    EndRetryWait(now);
+    FinishOne();
+    return;
+  }
+  ++retries_;
+  if (m_retries_ != nullptr) {
+    m_retries_->Increment();
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(fault_track_, "input.retry", "fault", now, "item",
+                     static_cast<double>(index), "attempt", static_cast<double>(attempt + 1));
+  }
+  system_->sim().queue().ScheduleAfter(BackoffFor(index, attempt), [this, index, attempt] {
+    InjectItem(index, attempt + 1);
+  });
+}
+
+void HumanDriver::DeliverSimple(std::size_t index, int attempt) {
+  Message stamped;
+  const bool landed = PostDetectingDrop(InputMessage(script_[index]), &stamped);
+  if (landed || !retry_.enabled) {
+    // Retry disabled preserves the legacy behaviour exactly: the dropped
+    // post is still recorded (the extractor skips never-retrieved seqs)
+    // and the item counts as delivered.
+    RecordPosted(index, attempt, stamped);
+    if (attempt > 0) {
+      EndRetryWait(system_->sim().now());
+    }
+    FinishOne();
+    return;
+  }
+  HandleDrop(index, attempt);
+}
+
+void HumanDriver::InjectItem(std::size_t index, int attempt) {
+  const ScriptItem& it = script_[index];
+  if (attempt == 0) {
+    first_attempt_at_[index] = system_->sim().now();
+  }
 
   switch (it.kind) {
     case ScriptItem::Kind::kMouseClick: {
-      system_->RaiseMouseInterrupt([this, record] {
+      system_->RaiseMouseInterrupt([this, index, attempt] {
         Message down;
         down.type = MessageType::kMouseDown;
-        record(target_->queue().Post(down));
+        Message stamped;
+        const bool landed = PostDetectingDrop(down, &stamped);
+        if (!landed && retry_.enabled) {
+          // The press never registered: suppress the matching release (a
+          // user does not release a click the system never saw as held)
+          // and re-press after the backoff.
+          click_dropped_[index] = 1;
+          HandleDrop(index, attempt);
+          return;
+        }
+        click_dropped_[index] = 0;
+        RecordPosted(index, attempt, stamped);
+        if (attempt > 0) {
+          EndRetryWait(system_->sim().now());
+        }
       });
+      // The release is scheduled from the press's wall-clock time (not
+      // from inside the ISR) so fault-free click timing is unchanged; the
+      // press ISR runs cycles, the hold lasts milliseconds, so the
+      // dropped flag is always settled by the time this fires.
       system_->sim().queue().ScheduleAfter(
-          MillisecondsToCycles(it.hold_ms), [this, finish_one] {
-            system_->RaiseMouseInterrupt([this, finish_one] {
+          MillisecondsToCycles(it.hold_ms), [this, index] {
+            if (click_dropped_[index] != 0) {
+              return;
+            }
+            system_->RaiseMouseInterrupt([this] {
               Message up;
               up.type = MessageType::kMouseUp;
               target_->queue().Post(up);
-              finish_one();
+              FinishOne();
             });
           });
       break;
     }
     case ScriptItem::Kind::kCommand: {
-      ScriptItem copy = it;
-      system_->RaiseInputInterrupt(600, [this, copy, record, finish_one] {
-        record(target_->queue().Post(InputMessage(copy)));
-        finish_one();
+      system_->RaiseInputInterrupt(600, [this, index, attempt] {
+        DeliverSimple(index, attempt);
       });
       break;
     }
     default: {
-      ScriptItem copy = it;
-      system_->RaiseKeyboardInterrupt([this, copy, record, finish_one] {
-        record(target_->queue().Post(InputMessage(copy)));
-        finish_one();
+      system_->RaiseKeyboardInterrupt([this, index, attempt] {
+        DeliverSimple(index, attempt);
       });
       break;
     }

@@ -8,17 +8,23 @@
 //
 // HumanDriver models hand-generated input: events arrive at wall-clock
 // times determined solely by the script's pauses, with no sync messages --
-// the system's speed does not change what the "user" does.
+// the system's speed does not change what the "user" does.  When a fault
+// drops an input before the application can see it, the human notices
+// nothing happened, waits a think-time-derived backoff, and re-issues it
+// (HumanRetryPolicy); after bounded attempts they abandon that action and
+// carry on with the rest of the script.
 
 #ifndef ILAT_SRC_INPUT_DRIVER_H_
 #define ILAT_SRC_INPUT_DRIVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/apps/application.h"
 #include "src/input/script.h"
+#include "src/obs/trace.h"
 
 namespace ilat {
 
@@ -30,7 +36,11 @@ struct PostedEvent {
   ScriptItem::Kind kind = ScriptItem::Kind::kChar;
   int param = 0;
   std::string label;
+  // Time of the *first* injection attempt: a re-issued event's latency
+  // window still starts when the user first acted.
   Cycles posted_at = 0;
+  // How many re-issues preceded this post (0 = landed first try).
+  int attempt = 0;
 };
 
 class InputDriver {
@@ -43,6 +53,14 @@ class InputDriver {
   // Time the last script action (and, for TestDriver, its sync) finished.
   virtual Cycles finished_at() const = 0;
   virtual const std::vector<PostedEvent>& posted() const = 0;
+
+  // Fault-recovery accounting (nonzero only for drivers that re-issue
+  // dropped input; see HumanDriver).
+  virtual std::uint64_t input_retries() const { return 0; }
+  virtual std::uint64_t input_abandons() const { return 0; }
+  // True when the driver re-issues dropped input instead of silently
+  // losing it (changes how a session's fault report grades drops).
+  virtual bool recovers_input() const { return false; }
 };
 
 class TestDriver : public InputDriver, public MessagePumpObserver {
@@ -78,25 +96,77 @@ class TestDriver : public InputDriver, public MessagePumpObserver {
   std::vector<PostedEvent> posted_;
 };
 
+// How the simulated human reacts to an input of theirs vanishing (a fault
+// dropped the message before the application could see it).  The user
+// notices the lack of response, waits a think-time-derived backoff
+// (max(floor, frac * item pause), doubling per attempt), and re-issues
+// the input; after max_retries re-issues they give up on that action --
+// a structured "user abandon", not a stuck driver.
+struct HumanRetryPolicy {
+  bool enabled = true;
+  int max_retries = 3;                 // bounded re-issues per script item
+  double backoff_floor_ms = 120.0;     // minimum noticing + reacting time
+  double backoff_frac_of_pause = 0.5;  // fraction of the item's think pause
+};
+
 class HumanDriver : public InputDriver {
  public:
-  HumanDriver(SystemUnderTest* system, GuiThread* target, Script script);
+  HumanDriver(SystemUnderTest* system, GuiThread* target, Script script,
+              HumanRetryPolicy retry = HumanRetryPolicy{});
+
+  // Attach tracing: retries and abandons become instants on the shared
+  // "fault" track (reused if the fault injector already registered one)
+  // plus fault.input.retries / fault.input.abandons counters -- registered
+  // eagerly so the metrics exist, and compare across campaign cells, even
+  // at zero.
+  void EnableTracing(obs::Tracer* tracer);
+
+  // Observer of retry-wait transitions: (time, any_item_waiting).  Feeds
+  // the think/wait FSM's kWaitRetry state and the extractor's retry-wait
+  // latency attribution.
+  using RetryWaitFn = std::function<void(Cycles, bool)>;
+  void SetRetryWaitObserver(RetryWaitFn fn) { on_retry_wait_ = std::move(fn); }
 
   void Start() override;
   bool done() const override { return done_; }
   Cycles finished_at() const override { return finished_at_; }
   const std::vector<PostedEvent>& posted() const override { return posted_; }
+  std::uint64_t input_retries() const override { return retries_; }
+  std::uint64_t input_abandons() const override { return abandons_; }
+  bool recovers_input() const override { return retry_.enabled; }
 
  private:
-  void InjectItem(std::size_t index);
+  void InjectItem(std::size_t index, int attempt);
+  void DeliverSimple(std::size_t index, int attempt);
+  // Post `m`, returning false when a fault dropped it (detected via the
+  // queue's dropped counter -- drops are synchronous inside Post).
+  bool PostDetectingDrop(Message m, Message* stamped);
+  void RecordPosted(std::size_t index, int attempt, const Message& stamped);
+  void HandleDrop(std::size_t index, int attempt);
+  void FinishOne();
+  void BeginRetryWait(Cycles t);
+  void EndRetryWait(Cycles t);
+  Cycles BackoffFor(std::size_t index, int attempt) const;
 
   SystemUnderTest* system_;
   GuiThread* target_;
   Script script_;
+  HumanRetryPolicy retry_;
   std::size_t remaining_ = 0;
   bool done_ = false;
   Cycles finished_at_ = 0;
   std::vector<PostedEvent> posted_;
+  std::vector<Cycles> first_attempt_at_;  // per script item
+  std::vector<char> click_dropped_;       // per item: suppress the release?
+  std::uint64_t retries_ = 0;
+  std::uint64_t abandons_ = 0;
+  int retry_pending_ = 0;  // items currently waiting out a backoff
+  RetryWaitFn on_retry_wait_;
+
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t fault_track_ = 0;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_abandons_ = nullptr;
 };
 
 }  // namespace ilat

@@ -59,16 +59,24 @@ Message MessageQueue::Post(Message m) {
     ++dropped_;
     return m;
   }
-  // Duplicating a mouse-down would leave its busy-wait copy spinning for a
-  // mouse-up that was already consumed (Windows 95 profile), so degrade
-  // the action to a no-op there.
-  if (action == MessageFaultAction::kDuplicate && m.type == MessageType::kMouseDown) {
-    action = MessageFaultAction::kNone;
-  }
-
   const bool was_empty = messages_.empty();
   Enqueue(m);
   if (action == MessageFaultAction::kDuplicate) {
+    if (m.type == MessageType::kMouseDown) {
+      // A redelivered mouse-down needs its own matching release: the
+      // Windows 95 profile busy-waits every down until a mouse-up is
+      // visible in the queue, so duplicating the down alone would leave
+      // one copy spinning for an up that the other already consumed.
+      // Synthesise the pairing up between the two downs; the real
+      // (fault-exempt) up still arrives later and pairs with the
+      // duplicate.
+      Message up;
+      up.type = MessageType::kMouseUp;
+      up.param = m.param;
+      up.enqueue_time = m.enqueue_time;
+      up.seq = next_seq_++;
+      Enqueue(up);
+    }
     Message dup = m;
     dup.seq = next_seq_++;
     ++duplicated_;

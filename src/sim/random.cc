@@ -76,4 +76,9 @@ std::uint64_t DeriveSeed(std::uint64_t master_seed, std::uint64_t stream_index) 
   return z != 0 ? z : 1;
 }
 
+std::uint64_t DeriveSeed(std::uint64_t master_seed, std::uint64_t stream_index,
+                         std::uint64_t sub_index) {
+  return DeriveSeed(DeriveSeed(master_seed, stream_index), sub_index);
+}
+
 }  // namespace ilat

@@ -61,6 +61,13 @@ class Random {
 // are decorrelated even for adjacent indices, unlike `master + index`.
 std::uint64_t DeriveSeed(std::uint64_t master_seed, std::uint64_t stream_index);
 
+// Two-level stream derivation: an independent stream per (stream, sub)
+// pair, with full finalisation at each level.  Fault injection keys its
+// PRNGs as DeriveSeed(session_seed, plan_salt, attempt) so every
+// (cell, fault-point, attempt) triple draws from its own stream.
+std::uint64_t DeriveSeed(std::uint64_t master_seed, std::uint64_t stream_index,
+                         std::uint64_t sub_index);
+
 }  // namespace ilat
 
 #endif  // ILAT_SRC_SIM_RANDOM_H_

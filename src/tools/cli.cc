@@ -280,6 +280,7 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
 
   campaign::GateOptions gate_options;
   gate_options.tolerance_pct = options.gate_tolerance_pct;
+  gate_options.fault_tolerance_pct = options.gate_fault_tolerance_pct;
   if (!options.gate_percentiles.empty()) {
     gate_options.metrics.clear();
     std::string token;
@@ -325,7 +326,7 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
   }
   std::fprintf(out, "ran %zu cells with %d job(s) in %.2f s (wall)\n", stats.cells,
                stats.jobs, stats.wall_seconds);
-  if (spec.faults.Any()) {
+  if (spec.faults.Any() || !spec.fault_sweeps.empty()) {
     std::fprintf(out, "fault injection: %zu degraded cell(s), %zu retried cell(s)\n",
                  stats.degraded_cells, stats.retried_cells);
   }
@@ -444,6 +445,11 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
       }
     } else if (StartsWith(arg, "--gate-percentiles=")) {
       out->gate_percentiles = arg.substr(19);
+    } else if (StartsWith(arg, "--gate-fault-tolerance=")) {
+      if (!ParseFlagDouble("--gate-fault-tolerance", arg.substr(23), 0.0, 1e6,
+                           &out->gate_fault_tolerance_pct, error)) {
+        return false;
+      }
     } else if (arg == "--explain") {
       out->explain = true;
     } else if (arg == "--events") {
@@ -494,6 +500,7 @@ std::string CliUsage() {
       "                              regression\n"
       "  --gate-tolerance=PCT        allowed percentile growth vs baseline (10)\n"
       "  --gate-percentiles=LIST     metrics to gate, e.g. p95,p99 (p50,p95,p99,max)\n"
+      "  --gate-fault-tolerance=PCT  allowed fault-counter drift vs baseline (25)\n"
       "\n"
       "exit codes: 0 success (degraded faulted runs included unless\n"
       "--fail-degraded), 1 runtime/gate/degradation failure, 2 usage errors\n"
@@ -524,7 +531,8 @@ int RunCli(const CliOptions& options, std::FILE* out) {
     std::fputs(
         "campaigns: cross-products of the above via --campaign=SPEC "
         "(spec keys: name, os, app, workload, driver, seeds, seed, "
-        "workload_seed, threshold_ms, packets, frames, retries, fault.*)\n",
+        "workload_seed, threshold_ms, packets, frames, retries, fault.*, "
+        "sweep.fault.*)\n",
         out);
     return 0;
   }

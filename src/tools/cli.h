@@ -56,6 +56,7 @@ struct CliOptions {
   int jobs = 1;                     // worker threads for campaign cells
   double gate_tolerance_pct = 10.0;
   std::string gate_percentiles;     // e.g. "p95,p99"; empty -> gate defaults
+  double gate_fault_tolerance_pct = 25.0;  // fault-counter drift tolerance
 };
 
 // Parse argv.  On failure returns false and sets *error.

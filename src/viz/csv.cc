@@ -43,10 +43,11 @@ bool WriteEventsCsv(const std::string& path, const std::vector<EventRecord>& eve
   std::vector<std::vector<std::string>> rows;
   rows.reserve(events.size());
   for (const EventRecord& e : events) {
-    rows.push_back({Fmt(CyclesToSeconds(e.start)), Fmt(e.latency_ms()), Fmt(e.wall_ms()),
+    rows.push_back({Fmt(CyclesToSeconds(e.start)), Fmt(e.latency_ms()),
+                    Fmt(CyclesToMilliseconds(e.retry_wait)), Fmt(e.wall_ms()),
                     std::string(MessageTypeName(e.type)), e.label});
   }
-  return WriteCsv(path, {"start_s", "latency_ms", "wall_ms", "type", "label"}, rows);
+  return WriteCsv(path, {"start_s", "latency_ms", "retry_ms", "wall_ms", "type", "label"}, rows);
 }
 
 bool WriteUtilizationCsv(const std::string& path,

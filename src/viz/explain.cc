@@ -58,8 +58,8 @@ std::string ExplainLatencyReport(const std::vector<EventRecord>& events,
   for (const EventRecord* e : slow) {
     out += "event #" + std::to_string(e->msg_seq) + " \"" + e->label +
            "\": latency " + Ms(e->latency()) + " ms (busy " + Ms(e->busy) + ", io " +
-           Ms(e->io_wait) + ", queue-delay " + Ms(e->queue_delay()) + "), window [" +
-           Ms(e->start) + ", " + Ms(e->end) + "] ms\n";
+           Ms(e->io_wait) + ", retry " + Ms(e->retry_wait) + ", queue-delay " +
+           Ms(e->queue_delay()) + "), window [" + Ms(e->start) + ", " + Ms(e->end) + "] ms\n";
 
     if (!fault_instants.empty()) {
       std::map<std::string, int> in_window;  // ordered -> deterministic output

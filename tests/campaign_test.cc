@@ -129,6 +129,112 @@ TEST(SpecExpandTest, SeedsDeriveFromCampaignSeedAndIndex) {
   EXPECT_EQ(cells[2].workload, "keys");
 }
 
+// ------------------------------------------------------- fault sweeps --
+
+constexpr char kSweepSpec[] =
+    "name = sweep\n"
+    "os = nt40\n"
+    "app = echo\n"
+    "driver = human\n"
+    "seeds = 2\n"
+    "seed = 2026\n"
+    "threshold_ms = 100\n"
+    "sweep.fault.mq.drop_rate = 0, 0.05, 0.2\n";
+
+TEST(FaultSweepTest, ParsesAndExpandsThePointMatrix) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec(kSweepSpec, &spec, &error)) << error;
+  ASSERT_EQ(spec.fault_sweeps.size(), 1u);
+  EXPECT_EQ(spec.fault_sweeps[0].key, "mq.drop_rate");
+  EXPECT_EQ(spec.FaultPointCount(), 3u);
+
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 6u);  // 2 base cells x 3 fault points
+  // Point f's cell k replays point 0's cell k workload exactly: same seed,
+  // only the plan (and its salt) differs, so latency-vs-rate curves
+  // compare identical work.
+  EXPECT_EQ(cells[0].seed, cells[2].seed);
+  EXPECT_EQ(cells[0].seed, cells[4].seed);
+  EXPECT_EQ(cells[1].seed, cells[5].seed);
+  EXPECT_NE(cells[0].seed, cells[1].seed);
+  EXPECT_DOUBLE_EQ(cells[0].faults.mq.drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(cells[2].faults.mq.drop_rate, 0.05);
+  EXPECT_DOUBLE_EQ(cells[4].faults.mq.drop_rate, 0.2);
+  // Each point draws an independent deterministic fault stream.
+  EXPECT_NE(cells[2].faults.salt, cells[4].faults.salt);
+  EXPECT_EQ(cells[0].fault_point, 0u);
+  EXPECT_EQ(cells[4].fault_point, 2u);
+  EXPECT_EQ(cells[2].fault_label, "mq.drop_rate=0.05");
+  EXPECT_NE(cells[2].Label().find("@mq.drop_rate=0.05"), std::string::npos);
+}
+
+TEST(FaultSweepTest, ExpansionIsDeterministic) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec(kSweepSpec, &spec, &error)) << error;
+  const std::vector<CampaignCell> a = spec.ExpandCells();
+  const std::vector<CampaignCell> b = spec.ExpandCells();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].faults.salt, b[i].faults.salt);
+    EXPECT_EQ(a[i].fault_label, b[i].fault_label);
+    EXPECT_EQ(a[i].index, i);
+  }
+}
+
+TEST(FaultSweepTest, MultipleDimensionsCrossWithFirstKeySlowest) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec("os = nt40\napp = echo\n"
+                                "sweep.fault.mq.drop_rate = 0, 0.1\n"
+                                "sweep.fault.disk.stall_rate = 0, 0.5\n",
+                                &spec, &error))
+      << error;
+  EXPECT_EQ(spec.FaultPointCount(), 4u);
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 4u);  // 1 base cell x 4 fault points
+  EXPECT_EQ(cells[0].fault_label, "mq.drop_rate=0|disk.stall_rate=0");
+  EXPECT_EQ(cells[1].fault_label, "mq.drop_rate=0|disk.stall_rate=0.5");
+  EXPECT_EQ(cells[2].fault_label, "mq.drop_rate=0.1|disk.stall_rate=0");
+  EXPECT_EQ(cells[3].fault_label, "mq.drop_rate=0.1|disk.stall_rate=0.5");
+  EXPECT_DOUBLE_EQ(cells[3].faults.mq.drop_rate, 0.1);
+  EXPECT_DOUBLE_EQ(cells[3].faults.disk.stall_rate, 0.5);
+}
+
+TEST(FaultSweepTest, SweptValuesLayerOnTopOfFixedFaultKeys) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec("os = nt40\napp = echo\n"
+                                "fault.clock.jitter_frac = 0.2\n"
+                                "sweep.fault.mq.drop_rate = 0, 0.1\n",
+                                &spec, &error))
+      << error;
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 2u);
+  // The fixed key applies at every point; only the swept key varies.
+  EXPECT_DOUBLE_EQ(cells[0].faults.clock.jitter_frac, 0.2);
+  EXPECT_DOUBLE_EQ(cells[1].faults.clock.jitter_frac, 0.2);
+  EXPECT_DOUBLE_EQ(cells[0].faults.mq.drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(cells[1].faults.mq.drop_rate, 0.1);
+}
+
+TEST(FaultSweepTest, RejectsBadSweepSpecs) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignSpec("app = echo\nsweep.fault.mq.drop_rate =\n", &spec, &error));
+  EXPECT_FALSE(ParseCampaignSpec("app = echo\nsweep.fault.bogus.key = 1\n", &spec, &error));
+  EXPECT_FALSE(ParseCampaignSpec("app = echo\nsweep.fault.mq.drop_rate = 0, 2\n",
+                                 &spec, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_FALSE(ParseCampaignSpec("app = echo\n"
+                                 "sweep.fault.mq.drop_rate = 0\n"
+                                 "sweep.fault.mq.drop_rate = 0.1\n",
+                                 &spec, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+}
+
 TEST(RunnerTest, JobsOneAndJobsEightAreByteIdentical) {
   const CampaignSpec spec = SmallSpec();
   const std::string json1 = RunToJson(spec, 1);
@@ -216,13 +322,23 @@ TEST(JsonTest, DecodesUnicodeEscapesToUtf8) {
   EXPECT_EQ(v.items[3].str, std::string(1, '\0'));
 }
 
+TEST(JsonTest, DecodesSurrogatePairs) {
+  JsonValue v;
+  std::string error;
+  // A paired surrogate escape decodes to the supplementary-plane code
+  // point (U+1F600 -> 4-byte UTF-8).
+  ASSERT_TRUE(ParseJson(R"(["\ud83d\ude00"])", &v, &error)) << error;
+  EXPECT_EQ(v.items[0].str, "\xF0\x9F\x98\x80");
+}
+
 TEST(JsonTest, RejectsBadUnicodeEscapes) {
   JsonValue v;
   std::string error;
-  // Surrogate halves are not code points; pairing is explicitly
-  // unsupported rather than silently mis-decoded.
-  EXPECT_FALSE(ParseJson(R"(["\ud83d\ude00"])", &v, &error));
+  // Unpaired surrogate halves are not code points.
+  EXPECT_FALSE(ParseJson(R"(["\ude00"])", &v, &error));  // lone low half
   EXPECT_NE(error.find("surrogate"), std::string::npos) << error;
+  EXPECT_FALSE(ParseJson(R"(["\ud83dx"])", &v, &error));      // high, no \u
+  EXPECT_FALSE(ParseJson(R"(["\ud83dA"])", &v, &error));  // high + non-low
   EXPECT_FALSE(ParseJson(R"(["\u12g4"])", &v, &error));   // bad hex digit
   EXPECT_FALSE(ParseJson(R"(["\u 123"])", &v, &error));   // strtol would eat this
   EXPECT_FALSE(ParseJson(R"(["\u+123"])", &v, &error));   // ...and this
@@ -319,6 +435,140 @@ TEST_F(GateTest, RejectsUnparseableBaseline) {
   EXPECT_FALSE(RunRegressionGate("not json", *aggregate_, GateOptions{}, &report, &error));
   EXPECT_FALSE(RunRegressionGate("{\"no_groups\": 1}", *aggregate_, GateOptions{}, &report,
                                  &error));
+}
+
+// ---------------------------------------------------------- fault gate --
+
+// A 1-cell faulted campaign with a recovering human driver: enough drops
+// to make the recovery counters (and their fault.* metric sums) nonzero.
+class FaultGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CampaignSpec spec;
+    std::string error;
+    ASSERT_TRUE(ParseCampaignSpec("name = fg\n"
+                                  "os = nt40\n"
+                                  "app = notepad\n"
+                                  "driver = human\n"
+                                  "seeds = 1\n"
+                                  "seed = 5\n"
+                                  "threshold_ms = 100\n"
+                                  "fault.mq.drop_rate = 0.2\n",
+                                  &spec, &error))
+        << error;
+    aggregate_ = std::make_unique<CampaignAggregate>(spec.name, spec.campaign_seed,
+                                                     spec.threshold_ms);
+    CampaignRunOptions options;
+    CampaignRunStats stats;
+    ASSERT_TRUE(RunCampaign(spec, options, aggregate_.get(), &stats, &error)) << error;
+    ASSERT_GT(aggregate_->overall().input_retries, 4u);  // the premise below
+  }
+
+  std::unique_ptr<CampaignAggregate> aggregate_;
+};
+
+TEST_F(FaultGateTest, PassesAgainstItsOwnOutput) {
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(
+      RunRegressionGate(aggregate_->ToJson(), *aggregate_, GateOptions{}, &report, &error))
+      << error;
+  EXPECT_TRUE(report.ok()) << report.Render(GateOptions{});
+  EXPECT_NE(report.Render(GateOptions{}).find("fault drift"), std::string::npos);
+}
+
+TEST_F(FaultGateTest, FailsOnRetryCounterDrift) {
+  // A baseline from a healthier build: far fewer user retries.  The
+  // current run's drift past tolerance + floor must trip the gate even
+  // though no latency percentile is compared.
+  const std::string baseline =
+      R"({"groups": {"overall": {"input_retries": 1.0}}})";
+  GateOptions options;
+  options.metrics = {};  // isolate the fault comparisons
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, options, &report, &error)) << error;
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].metric, "input_retries");
+  EXPECT_EQ(report.regressions[0].group, "overall");
+}
+
+TEST_F(FaultGateTest, FailsOnFaultMetricSumDrift) {
+  // The campaign-wide fault.* metric sums gate too (group "metrics").
+  const std::string baseline =
+      R"({"groups": {"overall": {}},
+          "metrics": {"fault.input.retries": {"sum": 0.5},
+                      "latency.count": {"sum": 0}}})";
+  GateOptions options;
+  options.metrics = {};
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, options, &report, &error)) << error;
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.regressions.size(), 1u);  // latency.count is not fault.*
+  EXPECT_EQ(report.regressions[0].group, "metrics");
+  EXPECT_EQ(report.regressions[0].metric, "fault.input.retries");
+}
+
+TEST_F(FaultGateTest, GateFaultsOffIgnoresDrift) {
+  const std::string baseline =
+      R"({"groups": {"overall": {"input_retries": 1.0}},
+          "metrics": {"fault.input.retries": {"sum": 0.5}}})";
+  GateOptions options;
+  options.metrics = {};
+  options.gate_faults = false;
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, options, &report, &error)) << error;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.comparisons, 0u);
+}
+
+TEST_F(FaultGateTest, ToleranceScalesTheFaultLimit) {
+  // Baseline 10% below the current retry count: trips at 0% fault
+  // tolerance, passes at 25%.
+  const double retries = static_cast<double>(aggregate_->overall().input_retries);
+  const std::string baseline = "{\"groups\": {\"overall\": {\"input_retries\": " +
+                               std::to_string(retries / 1.1) + "}}}";
+  GateOptions strict;
+  strict.metrics = {};
+  strict.fault_tolerance_pct = 0.0;
+  strict.fault_abs_floor = 0.0;
+  GateOptions loose = strict;
+  loose.fault_tolerance_pct = 25.0;
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, strict, &report, &error)) << error;
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, loose, &report, &error)) << error;
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_F(FaultGateTest, ImprovementsNeverFail) {
+  const std::string baseline =
+      R"({"groups": {"overall": {"input_retries": 1e9, "input_abandons": 1e9,
+                                 "degraded_cells": 100, "mq_dropped": 1e9,
+                                 "io_failed": 1e9}}})";
+  GateOptions options;
+  options.metrics = {};
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, options, &report, &error)) << error;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.comparisons, 5u);
+}
+
+TEST_F(FaultGateTest, OldBaselinesWithoutFaultKeysSkipSilently) {
+  const std::string baseline = R"({"groups": {"overall": {"p95_ms": 1e9}}})";
+  GateOptions options;
+  options.metrics = {"p95_ms"};
+  GateReport report;
+  std::string error;
+  ASSERT_TRUE(RunRegressionGate(baseline, *aggregate_, options, &report, &error)) << error;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.comparisons, 1u);  // only p95; no fault keys, no noise
+  EXPECT_TRUE(report.notes.empty());
 }
 
 }  // namespace

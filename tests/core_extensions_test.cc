@@ -103,6 +103,56 @@ TEST(SessionIoTest, RoundTripPreservesEverything) {
   EXPECT_EQ(busy.TotalBusy(), original.MakeBusyProfile().TotalBusy());
 }
 
+TEST(SessionIoTest, RoundTripPreservesRetryWait) {
+  MeasurementSession session(MakeNt40());
+  session.AttachApp(std::make_unique<PowerpointApp>());
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdPptPageDown, 200.0, "Page down"));
+  SessionResult original = session.Run(s);
+  ASSERT_FALSE(original.events.empty());
+  original.events[0].retry_wait = MillisecondsToCycles(120.0);
+
+  const std::string path = TempPath("session_retry.ilat");
+  ASSERT_TRUE(SaveSessionResult(path, original));
+  SessionResult loaded;
+  ASSERT_TRUE(LoadSessionResult(path, &loaded));
+  ASSERT_EQ(loaded.events.size(), original.events.size());
+  EXPECT_EQ(loaded.events[0].retry_wait, original.events[0].retry_wait);
+  EXPECT_EQ(loaded.events[0].latency(), original.events[0].latency());
+}
+
+TEST(SessionIoTest, LoadsVersion1FilesWithZeroRetryWait) {
+  // A pre-retry_wait file: eight numeric event fields, then the label.
+  const std::string path = TempPath("session_v1.ilat");
+  {
+    std::ofstream out(path);
+    out << "ilat-session 1\n"
+           "meta 10 0 5 100 200\n"
+           "counters 0\n"
+           "trace 0\n"
+           "events 1\n"
+           "7 1 97 10 11 50 30 4 old-label\n"
+           "io 0\n";
+  }
+  SessionResult r;
+  ASSERT_TRUE(LoadSessionResult(path, &r));
+  ASSERT_EQ(r.events.size(), 1u);
+  EXPECT_EQ(r.events[0].msg_seq, 7u);
+  EXPECT_EQ(r.events[0].retry_wait, 0);
+  EXPECT_EQ(r.events[0].io_wait, 4);
+  EXPECT_EQ(r.events[0].label, "old-label");
+}
+
+TEST(SessionIoTest, RejectsFutureFormatVersions) {
+  const std::string path = TempPath("session_v9.ilat");
+  {
+    std::ofstream out(path);
+    out << "ilat-session 9\nmeta 0 0 0 0 0\ncounters 0\ntrace 0\nevents 0\nio 0\n";
+  }
+  SessionResult r;
+  EXPECT_FALSE(LoadSessionResult(path, &r));
+}
+
 TEST(SessionIoTest, RejectsGarbage) {
   const std::string path = TempPath("garbage.ilat");
   {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "src/campaign/aggregate.h"
+#include "src/campaign/gate.h"
+#include "src/campaign/json.h"
 #include "src/campaign/runner.h"
 #include "src/campaign/spec.h"
 #include "src/core/catalog.h"
@@ -318,17 +320,25 @@ TEST(MessageQueueFaultTest, SerialisationMessagesAreExempt) {
   EXPECT_EQ(policy.calls, 0);
 }
 
-TEST(MessageQueueFaultTest, MouseDownDuplicationIsDegradedToNoop) {
-  // Duplicating a mouse-down would leave the Windows 95 busy-wait copy
-  // spinning for a mouse-up that was already consumed.
+TEST(MessageQueueFaultTest, MouseDownDuplicationSynthesizesARelease) {
+  // A bare duplicate mouse-down would leave the Windows 95 busy-wait copy
+  // spinning for a mouse-up that was already consumed, so the queue pairs
+  // the duplicate with a synthesized release: down, up, down.
   EventQueue clock;
   MessageQueue q(&clock);
   AlwaysMqPolicy policy;
   policy.action = MessageFaultAction::kDuplicate;
   q.SetFaultPolicy(&policy);
   q.Post(MakeMessage(MessageType::kMouseDown));
-  EXPECT_EQ(q.Size(), 1u);
-  EXPECT_EQ(q.duplicated_count(), 0u);
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(q.duplicated_count(), 1u);
+  Message m;
+  ASSERT_TRUE(q.TryPop(&m));
+  EXPECT_EQ(m.type, MessageType::kMouseDown);
+  ASSERT_TRUE(q.TryPop(&m));
+  EXPECT_EQ(m.type, MessageType::kMouseUp);
+  ASSERT_TRUE(q.TryPop(&m));
+  EXPECT_EQ(m.type, MessageType::kMouseDown);
 }
 
 // ------------------------------------------------------------- session --
@@ -414,6 +424,99 @@ TEST(FaultSessionTest, CleanRunReportsFaultsDisabled) {
   EXPECT_FALSE(r.fault.AnyInjected());
 }
 
+// ------------------------------------------------------- user recovery --
+
+TEST(FaultSessionTest, HumanDriverRetriesDroppedInput) {
+  RunSpec spec;
+  spec.app = "notepad";
+  spec.driver = "human";
+  spec.seed = 7;
+  spec.faults.mq.drop_rate = 0.05;
+  SessionResult r;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &r, &error)) << error;
+  // The plan bit and the user model re-issued dropped inputs.
+  EXPECT_GT(r.fault.mq_dropped, 0u);
+  EXPECT_GT(r.fault.input_retries, 0u);
+  EXPECT_EQ(r.fault.input_abandons, 0u);  // 3 bounded retries always sufficed
+  // Every driver-observed drop became exactly one retry or abandon.
+  EXPECT_GE(r.fault.mq_dropped, r.fault.input_retries + r.fault.input_abandons);
+  // The retry waits surfaced as user-visible latency: intervals recorded,
+  // FSM time classified, and at least one event charged retry_wait.
+  EXPECT_FALSE(r.retry_pending.empty());
+  EXPECT_GT(r.user_state_totals[static_cast<int>(UserState::kWaitRetry)], 0);
+  bool charged = false;
+  for (const EventRecord& e : r.events) {
+    if (e.retry_wait > 0) {
+      charged = true;
+      EXPECT_GE(e.latency(), e.retry_wait);
+    }
+  }
+  EXPECT_TRUE(charged);
+  // The recovery counters ride in the metrics snapshot for aggregation.
+  EXPECT_NE(r.metrics_json.find("fault.input.retries"), std::string::npos);
+}
+
+TEST(FaultSessionTest, HumanDriverRetriesReplayIdentically) {
+  RunSpec spec;
+  spec.app = "notepad";
+  spec.driver = "human";
+  spec.seed = 7;
+  spec.faults.mq.drop_rate = 0.05;
+  SessionResult a;
+  SessionResult b;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &a, &error)) << error;
+  ASSERT_TRUE(RunSpecSession(spec, &b, &error)) << error;
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.fault.input_retries, b.fault.input_retries);
+  EXPECT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(a.retry_pending.size(), b.retry_pending.size());
+}
+
+TEST(FaultSessionTest, ExhaustedRetriesAbandonStructurally) {
+  RunSpec spec;
+  spec.app = "notepad";
+  spec.driver = "human";
+  spec.seed = 7;
+  spec.faults.mq.drop_rate = 1.0;  // nothing ever lands
+  SessionResult r;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &r, &error)) << error;  // no hang
+  // Bounded patience: every input was retried max_retries times and then
+  // given up on; the session still completed and reported structurally.
+  EXPECT_GT(r.fault.input_abandons, 0u);
+  EXPECT_GT(r.fault.input_retries, 0u);
+  EXPECT_TRUE(r.fault.degraded);
+  bool abandon_note = false;
+  for (const std::string& note : r.fault.notes) {
+    if (note.find("abandoned") != std::string::npos) {
+      abandon_note = true;
+    }
+  }
+  EXPECT_TRUE(abandon_note) << r.fault.Summary();
+  EXPECT_NE(r.fault.Summary().find("input_abandons"), std::string::npos);
+}
+
+TEST(FaultSessionTest, RecoveredDropsDoNotAlwaysDegrade) {
+  // A recovering driver turns "input messages dropped" from a structural
+  // failure into measured (higher) latency.  With every drop recovered and
+  // no abandons, the only degradation sources left are non-input drops.
+  RunSpec spec;
+  spec.app = "notepad";
+  spec.driver = "human";
+  spec.seed = 11;
+  spec.faults.mq.drop_rate = 0.02;
+  SessionResult r;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &r, &error)) << error;
+  ASSERT_GT(r.fault.mq_dropped, 0u);
+  if (r.fault.input_abandons == 0 &&
+      r.fault.mq_dropped <= r.fault.input_retries + r.fault.input_abandons) {
+    EXPECT_FALSE(r.fault.degraded) << r.fault.Summary();
+  }
+}
+
 // ------------------------------------------------------------ campaign --
 
 constexpr char kFaultedSpec[] =
@@ -489,6 +592,92 @@ TEST(FaultCampaignTest, DegradedCellsRetryWithBoundedAttempts) {
   EXPECT_NE(json.find("\"degraded\": true"), std::string::npos);
   EXPECT_NE(json.find("\"attempts\": 3"), std::string::npos);
   EXPECT_NE(json.find("\"mq_dropped\""), std::string::npos);
+}
+
+TEST(FaultCampaignTest, GateFailsOnNewlyDegradedCells) {
+  // Gate a degraded run against a clean-claiming baseline: any newly
+  // degraded cell must fail, whatever the latency numbers say.
+  campaign::CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(campaign::ParseCampaignSpec(kFaultedSpec, &spec, &error)) << error;
+  campaign::CampaignAggregate agg(spec.name, spec.campaign_seed, spec.threshold_ms);
+  campaign::CampaignRunStats stats;
+  ASSERT_TRUE(campaign::RunCampaign(spec, {}, &agg, &stats, &error)) << error;
+  ASSERT_GT(agg.overall().degraded_cells, 0u);
+
+  const std::string baseline = R"({"groups": {"overall": {"degraded_cells": 0}}})";
+  campaign::GateOptions options;
+  options.metrics = {};
+  campaign::GateReport report;
+  ASSERT_TRUE(campaign::RunRegressionGate(baseline, agg, options, &report, &error)) << error;
+  EXPECT_FALSE(report.ok());
+  ASSERT_GE(report.regressions.size(), 1u);
+  EXPECT_EQ(report.regressions[0].metric, "degraded_cells");
+}
+
+// --------------------------------------------------------- fault sweep --
+
+constexpr char kSweepSpec[] =
+    "name = drop-sweep\n"
+    "os = nt40\n"
+    "app = notepad\n"
+    "driver = human\n"
+    "seeds = 2\n"
+    "seed = 2026\n"
+    "threshold_ms = 100\n"
+    "sweep.fault.mq.drop_rate = 0, 0.05, 0.15, 0.3\n";
+
+TEST(FaultSweepCampaignTest, LatencyVsDropRateMatrixIsSoundAndByteIdentical) {
+  campaign::CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(campaign::ParseCampaignSpec(kSweepSpec, &spec, &error)) << error;
+
+  auto run = [&](int jobs) {
+    campaign::CampaignRunOptions options;
+    options.jobs = jobs;
+    campaign::CampaignAggregate agg(spec.name, spec.campaign_seed, spec.threshold_ms);
+    campaign::CampaignRunStats stats;
+    std::string run_error;
+    EXPECT_TRUE(campaign::RunCampaign(spec, options, &agg, &stats, &run_error)) << run_error;
+    return agg.ToJson() + "\n---\n" + agg.ToCellsCsv();
+  };
+  const std::string one = run(1);
+  const std::string four = run(4);
+  EXPECT_EQ(one, four);  // the sweep keeps the --jobs determinism contract
+
+  campaign::JsonValue root;
+  ASSERT_TRUE(campaign::ParseJson(one.substr(0, one.find("\n---\n")), &root, &error)) << error;
+  const campaign::JsonValue* groups = root.Find("groups");
+  ASSERT_NE(groups, nullptr);
+
+  // One group matrix row per fault point, keyed by its label.
+  const std::vector<std::string> labels = {
+      "fault:mq.drop_rate=0", "fault:mq.drop_rate=0.05", "fault:mq.drop_rate=0.15",
+      "fault:mq.drop_rate=0.3"};
+  std::vector<double> retries;
+  for (const std::string& label : labels) {
+    const campaign::JsonValue* g = groups->Find(label);
+    ASSERT_NE(g, nullptr) << label;
+    EXPECT_DOUBLE_EQ(g->NumberAt("cells"), 2.0);
+    retries.push_back(g->NumberAt("input_retries"));
+  }
+  // Rate 0 is a true control: no drops, no retries, no degradation.
+  EXPECT_DOUBLE_EQ(retries[0], 0.0);
+  EXPECT_DOUBLE_EQ(groups->Find(labels[0])->NumberAt("degraded_cells"), 0.0);
+  EXPECT_DOUBLE_EQ(groups->Find(labels[0])->NumberAt("mq_dropped"), 0.0);
+  // User retries grow (weakly) with the drop rate across the sweep.
+  for (std::size_t i = 1; i < retries.size(); ++i) {
+    EXPECT_GE(retries[i], retries[i - 1]) << "rate step " << i;
+  }
+  EXPECT_GT(retries.back(), 0.0);
+
+  // The rendered matrices include the per-fault-point table.
+  campaign::CampaignAggregate agg(spec.name, spec.campaign_seed, spec.threshold_ms);
+  campaign::CampaignRunStats stats;
+  ASSERT_TRUE(campaign::RunCampaign(spec, {}, &agg, &stats, &error)) << error;
+  const std::string tables = agg.RenderTables();
+  EXPECT_NE(tables.find("latency by fault point"), std::string::npos);
+  EXPECT_NE(tables.find("mq.drop_rate=0.3"), std::string::npos);
 }
 
 }  // namespace

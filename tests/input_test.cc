@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/apps/desktop.h"
 #include "src/apps/notepad.h"
@@ -8,6 +10,7 @@
 #include "src/input/typist.h"
 #include "src/input/workloads.h"
 #include "src/os/personalities.h"
+#include "src/sim/message_queue.h"
 
 namespace ilat {
 namespace {
@@ -277,6 +280,122 @@ TEST(DriverTest, EmptyScriptFinishesImmediately) {
   HumanDriver hd(&f.sys, f.thread.get(), Script{});
   hd.Start();
   EXPECT_TRUE(hd.done());
+}
+
+// ---------------------------------------------------------------------------
+// Human-driver fault recovery.
+
+// Drops the first `remaining` fault-eligible posts, then lets everything
+// through -- a deterministic stand-in for the injector's drop stream.
+struct DropFirstNPolicy : MessageFaultPolicy {
+  int remaining = 0;
+  MessageFaultAction OnPost(const Message&) override {
+    if (remaining > 0) {
+      --remaining;
+      return MessageFaultAction::kDrop;
+    }
+    return MessageFaultAction::kNone;
+  }
+};
+
+TEST(HumanDriverRetryTest, RetriesDroppedKeystrokeAfterBackoff) {
+  DriverFixture f;
+  Script s;
+  s.push_back(ScriptItem::Key(kVkDown, 200.0));
+  DropFirstNPolicy policy;
+  policy.remaining = 1;
+  f.thread->queue().SetFaultPolicy(&policy);
+  HumanDriver driver(&f.sys, f.thread.get(), s);
+  EXPECT_TRUE(driver.recovers_input());
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  EXPECT_TRUE(driver.done());
+  EXPECT_EQ(driver.input_retries(), 1u);
+  EXPECT_EQ(driver.input_abandons(), 0u);
+  ASSERT_EQ(driver.posted().size(), 1u);
+  // The landed post is the second attempt, but posted_at keeps the FIRST
+  // attempt's time: the user has been waiting since then.
+  EXPECT_EQ(driver.posted()[0].attempt, 1);
+  EXPECT_EQ(f.thread->queue().dropped_count(), 1u);
+  EXPECT_EQ(f.thread->queue().posted_count(), 1u);
+}
+
+TEST(HumanDriverRetryTest, RetryWaitObserverBracketsTheBackoff) {
+  DriverFixture f;
+  Script s;
+  s.push_back(ScriptItem::Key(kVkDown, 200.0));
+  DropFirstNPolicy policy;
+  policy.remaining = 1;
+  f.thread->queue().SetFaultPolicy(&policy);
+  HumanDriver driver(&f.sys, f.thread.get(), s);
+  std::vector<std::pair<Cycles, bool>> transitions;
+  driver.SetRetryWaitObserver(
+      [&](Cycles t, bool pending) { transitions.emplace_back(t, pending); });
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_TRUE(transitions[0].second);
+  EXPECT_FALSE(transitions[1].second);
+  // Backoff is max(floor 120 ms, half the 200 ms pause) = 120 ms; the
+  // bracket additionally spans one ISR dispatch, well under a millisecond.
+  const Cycles span = transitions[1].first - transitions[0].first;
+  EXPECT_GE(span, MillisecondsToCycles(120.0));
+  EXPECT_LT(span, MillisecondsToCycles(121.0));
+}
+
+TEST(HumanDriverRetryTest, AbandonsAfterBoundedRetriesAndStillFinishes) {
+  DriverFixture f;
+  DropFirstNPolicy policy;
+  policy.remaining = 1'000'000;  // drop everything, forever
+  f.thread->queue().SetFaultPolicy(&policy);
+  HumanRetryPolicy rp;
+  rp.max_retries = 2;
+  HumanDriver driver(&f.sys, f.thread.get(), KeystrokeTrials(2, 100.0), rp);
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(10.0));
+  // The user gives up on each item after 1 + 2 attempts and the script
+  // completes -- abandonment is structured, not a hang.
+  EXPECT_TRUE(driver.done());
+  EXPECT_EQ(driver.input_retries(), 4u);   // 2 retries per item
+  EXPECT_EQ(driver.input_abandons(), 2u);  // both items given up
+  EXPECT_TRUE(driver.posted().empty());    // nothing ever landed
+}
+
+TEST(HumanDriverRetryTest, DisabledRetryPreservesLegacySemantics) {
+  DriverFixture f;
+  DropFirstNPolicy policy;
+  policy.remaining = 1'000'000;
+  f.thread->queue().SetFaultPolicy(&policy);
+  HumanRetryPolicy rp;
+  rp.enabled = false;
+  HumanDriver driver(&f.sys, f.thread.get(), KeystrokeTrials(2, 100.0), rp);
+  EXPECT_FALSE(driver.recovers_input());
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  // Legacy behaviour: the dropped posts are recorded anyway (the extractor
+  // skips never-retrieved seqs) and nothing retries.
+  EXPECT_TRUE(driver.done());
+  EXPECT_EQ(driver.input_retries(), 0u);
+  EXPECT_EQ(driver.input_abandons(), 0u);
+  EXPECT_EQ(driver.posted().size(), 2u);
+}
+
+TEST(HumanDriverRetryTest, DroppedClickRepressesAndSuppressesOrphanRelease) {
+  DriverFixture f;
+  DropFirstNPolicy policy;
+  policy.remaining = 1;  // only the first mouse-down drops
+  f.thread->queue().SetFaultPolicy(&policy);
+  HumanDriver driver(&f.sys, f.thread.get(), ClickTrials(1, 100.0, 80.0));
+  driver.Start();
+  f.sys.sim().RunFor(SecondsToCycles(5.0));
+  EXPECT_TRUE(driver.done());
+  EXPECT_EQ(driver.input_retries(), 1u);
+  ASSERT_EQ(driver.posted().size(), 1u);
+  EXPECT_EQ(driver.posted()[0].attempt, 1);
+  // Exactly one down + one up reached the queue: the release paired with
+  // the dropped press was suppressed, not posted as an orphan.
+  EXPECT_EQ(f.thread->queue().posted_count(), 2u);
+  EXPECT_EQ(f.thread->queue().dropped_count(), 1u);
 }
 
 TEST(DriverTest, PostedLabelsSurvive) {
