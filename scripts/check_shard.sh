@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Smoke-test sharded campaign execution end to end: split a 36-cell sweep
+# (3 os x 3 app x 4 seeds) across 3 shard processes with different --jobs
+# counts, merge the partials with `ilat merge`, and demand the merged
+# aggregate.json and cells.csv are byte-identical to an unsharded run.
+# Then check the failure modes: missing shards, duplicate partials,
+# doctored spec hashes, and corrupt session files must all exit 2 with a
+# one-line error.  Assumes a built tree; pass a different build dir as $1.
+set -euo pipefail
+
+build_dir="${1:-build}"
+ilat="$build_dir/src/tools/ilat"
+if [[ ! -x "$ilat" ]]; then
+  echo "error: $ilat not found -- build the project first" >&2
+  exit 2
+fi
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+spec="$out_dir/spec.txt"
+cat > "$spec" <<'EOF'
+# 3 os x 3 app x 4 seeds = 36 cells
+name   = shardsmoke
+os     = all
+app    = notepad, word, powerpoint
+seeds  = 4
+seed   = 2026
+EOF
+
+# Reference: the whole campaign in one process.
+"$ilat" --campaign="$spec" --jobs=2 --campaign-out="$out_dir/full" >/dev/null
+
+# Three shard processes with deliberately different thread counts: the
+# partials depend only on the spec and the shard, never on --jobs.
+for i in 0 1 2; do
+  "$ilat" --campaign="$spec" --shard="$i/3" --jobs="$((i + 1))" \
+          --campaign-partial="$out_dir/p$i.json" >/dev/null
+done
+
+# Merge (in scrambled order -- order must not matter) and compare bytes.
+"$ilat" merge "$out_dir/p2.json" "$out_dir/p0.json" "$out_dir/p1.json" \
+        --campaign-out="$out_dir/merged" >/dev/null
+cmp "$out_dir/full/aggregate.json" "$out_dir/merged/aggregate.json"
+cmp "$out_dir/full/cells.csv" "$out_dir/merged/cells.csv"
+
+# The merged aggregate feeds the regression gate exactly like a
+# single-process one: gating the sweep against its own merge must pass.
+"$ilat" --campaign="$spec" --jobs=3 \
+        --campaign-baseline="$out_dir/merged/aggregate.json" | grep -q "PASS"
+
+# Partials are well-formed JSON.
+python3 -m json.tool "$out_dir/p0.json" >/dev/null
+
+expect_exit2() {
+  local what="$1"
+  shift
+  local output
+  if output="$("$@" 2>&1)"; then
+    echo "error: $what should have failed" >&2
+    exit 1
+  elif [[ $? -ne 2 ]]; then
+    echo "error: $what should exit 2" >&2
+    exit 1
+  fi
+  # One-line errors: a single line of diagnostic, not a stack trace.
+  # ($output has trailing newlines stripped, so any newline means >1 line.)
+  if [[ "$output" == *$'\n'* ]]; then
+    echo "error: $what printed more than one line:" >&2
+    printf '%s\n' "$output" >&2
+    exit 1
+  fi
+}
+
+# A missing shard means incomplete coverage.
+expect_exit2 "merge of 2/3 shards" "$ilat" merge "$out_dir/p0.json" "$out_dir/p1.json"
+
+# The same partial twice is a duplicate shard.
+expect_exit2 "duplicate partial" \
+  "$ilat" merge "$out_dir/p0.json" "$out_dir/p1.json" "$out_dir/p2.json" "$out_dir/p0.json"
+
+# A doctored spec hash means the partials come from different campaigns.
+sed 's/"spec_hash": "[0-9a-f]*"/"spec_hash": "deadbeefdeadbeef"/' \
+  "$out_dir/p1.json" > "$out_dir/p1-doctored.json"
+expect_exit2 "doctored spec hash" \
+  "$ilat" merge "$out_dir/p0.json" "$out_dir/p1-doctored.json" "$out_dir/p2.json"
+
+# Truncated partials (a crashed shard) are malformed, not merged.
+head -c 200 "$out_dir/p1.json" > "$out_dir/p1-truncated.json"
+expect_exit2 "truncated partial" \
+  "$ilat" merge "$out_dir/p0.json" "$out_dir/p1-truncated.json" "$out_dir/p2.json"
+
+# Corrupt session files fail cleanly too (same exit-2 contract).
+echo "garbage" > "$out_dir/corrupt.ilat"
+expect_exit2 "corrupt session load" "$ilat" --load="$out_dir/corrupt.ilat"
+
+# Sharded runs refuse whole-campaign outputs until merged.  (Flag-level
+# mistakes print the usage text after the error, so no one-line check.)
+if "$ilat" --campaign="$spec" --shard=0/3 --campaign-partial="$out_dir/px.json" \
+           --campaign-out="$out_dir/px" >/dev/null 2>&1; then
+  echo "error: shard with --campaign-out should have failed" >&2
+  exit 1
+elif [[ $? -ne 2 ]]; then
+  echo "error: shard with --campaign-out should exit 2" >&2
+  exit 1
+fi
+
+echo "check_shard: all good"

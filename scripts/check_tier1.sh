@@ -3,9 +3,11 @@
 #
 # Lane 1 (always): configure + build + full ctest in ./build.
 # Lane 2 (skip with --no-asan): rebuild the fault/campaign/input suites
-#   with -DILAT_SANITIZE=address in ./build-asan and run them directly --
-#   the suites that exercise the fault injector, the retrying human
-#   driver, and the sweep/gate machinery, where lifetime bugs would hide.
+#   and the ilat binary with -DILAT_SANITIZE=address in ./build-asan and
+#   run them directly -- the suites that exercise the fault injector, the
+#   retrying human driver, and the sweep/gate machinery, where lifetime
+#   bugs would hide -- plus the shard/merge smoke against the sanitized
+#   binary.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,10 +24,13 @@ cmake --build build -j "$(nproc)"
 if [[ $asan -eq 1 ]]; then
   cmake -B build-asan -S . -DILAT_SANITIZE=address > /dev/null
   cmake --build build-asan -j "$(nproc)" \
-    --target fault_test campaign_test input_test
+    --target fault_test campaign_test input_test ilat
   ./build-asan/tests/fault_test
   ./build-asan/tests/campaign_test
   ./build-asan/tests/input_test
+  # Shard/merge smoke against the sanitized binary: the partial writer and
+  # merge reader juggle FILE* handles and per-cell payload buffers.
+  bash scripts/check_shard.sh build-asan
 fi
 
 echo "check_tier1: all good"

@@ -6,6 +6,7 @@
 
 #include "src/analysis/cumulative.h"
 #include "src/analysis/stats.h"
+#include "src/obs/jsonout.h"
 #include "src/viz/table.h"
 
 namespace ilat {
@@ -13,24 +14,11 @@ namespace campaign {
 
 namespace {
 
-// Same compact deterministic formatting the metrics registry uses.
-std::string NumToJson(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-    }
-    out += c;
-  }
-  return out;
-}
+// Lossless, deterministic formatting shared with the metrics registry:
+// aggregates are merged across processes (shard partials), so every
+// number must round-trip exactly -- see src/obs/jsonout.h.
+using obs::EscapeJson;
+using obs::NumToJson;
 
 std::string GroupToJson(const GroupStats& g, const std::string& indent) {
   std::string out = "{";

@@ -1,6 +1,7 @@
 #include "src/campaign/json.h"
 
 #include <cctype>
+#include <cstdint>
 #include <cstdlib>
 
 namespace ilat {
@@ -293,6 +294,7 @@ class Parser {
     }
     out->kind = JsonValue::Kind::kNumber;
     out->number = v;
+    out->str = token;  // raw literal, for exact u64 re-parse (U64At)
     return true;
   }
 
@@ -314,6 +316,31 @@ const JsonValue* JsonValue::Find(const std::string& key) const {
 double JsonValue::NumberAt(const std::string& key, double fallback) const {
   const JsonValue* v = Find(key);
   return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+bool JsonValue::U64At(const std::string& key, std::uint64_t* out) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->is_number() || v->str.empty()) {
+    return false;
+  }
+  std::uint64_t result = 0;
+  for (char c : v->str) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;  // sign, fraction, or exponent: not an exact u64
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) {
+      return false;  // overflow
+    }
+    result = result * 10 + digit;
+  }
+  *out = result;
+  return true;
+}
+
+std::string JsonValue::StringAt(const std::string& key, const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->str : fallback;
 }
 
 bool ParseJson(std::string_view text, JsonValue* out, std::string* error) {

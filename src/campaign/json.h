@@ -13,6 +13,7 @@
 #ifndef ILAT_SRC_CAMPAIGN_JSON_H_
 #define ILAT_SRC_CAMPAIGN_JSON_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
@@ -27,6 +28,9 @@ struct JsonValue {
   Kind kind = Kind::kNull;
   bool boolean = false;
   double number = 0.0;
+  // kString: the decoded text.  kNumber: the raw literal token, kept so
+  // 64-bit integers (seeds, counters) can be re-parsed exactly -- the
+  // `number` double loses precision above 2^53.
   std::string str;
   std::vector<JsonValue> items;                // kArray
   std::map<std::string, JsonValue> members;    // kObject
@@ -41,6 +45,14 @@ struct JsonValue {
 
   // Member `key` as a number; `fallback` when absent or non-numeric.
   double NumberAt(const std::string& key, double fallback = 0.0) const;
+
+  // Member `key` as an exact unsigned 64-bit integer, parsed from the raw
+  // number token (never the lossy double).  False when the member is
+  // absent, not a number, or not a plain digit run that fits in 64 bits.
+  bool U64At(const std::string& key, std::uint64_t* out) const;
+
+  // Member `key` as a string; `fallback` when absent or not a string.
+  std::string StringAt(const std::string& key, const std::string& fallback = "") const;
 };
 
 // Parse `text` into *out.  On failure returns false and sets *error to a

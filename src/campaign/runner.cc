@@ -26,10 +26,38 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
   if (!spec.Validate(error)) {
     return false;
   }
-  const std::vector<CampaignCell> cells = spec.ExpandCells();
-  if (cells.empty()) {
+  if (options.shard_count < 1 || options.shard_index < 0 ||
+      options.shard_index >= options.shard_count) {
+    *error = "invalid shard " + std::to_string(options.shard_index) + "/" +
+             std::to_string(options.shard_count);
+    return false;
+  }
+  const std::vector<CampaignCell> all_cells = spec.ExpandCells();
+  if (all_cells.empty()) {
     *error = "campaign expands to an empty cross-product";
     return false;
+  }
+  // Shard selection preserves global indices (and therefore seeds): the
+  // filtered list is still sorted by index, so the in-order aggregation
+  // below folds this shard's cells exactly as the unsharded run would.
+  std::vector<CampaignCell> cells;
+  cells.reserve(all_cells.size() / static_cast<std::size_t>(options.shard_count) + 1);
+  for (const CampaignCell& cell : all_cells) {
+    if (cell.index % static_cast<std::size_t>(options.shard_count) ==
+        static_cast<std::size_t>(options.shard_index)) {
+      cells.push_back(cell);
+    }
+  }
+  if (stats != nullptr) {
+    stats->total_cells = all_cells.size();
+  }
+  if (cells.empty()) {
+    // More shards than cells: this shard legitimately owns nothing.
+    if (stats != nullptr) {
+      stats->cells = 0;
+      stats->jobs = 1;
+    }
+    return true;
   }
 
   int jobs = options.jobs;
@@ -132,6 +160,9 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
         if (outcome->result.attempts > 1) {
           ++stats->retried_cells;
         }
+      }
+      if (options.on_result) {
+        options.on_result(outcome->result);  // full payload, pre-fold
       }
       out->Add(std::move(outcome->result));
       if (options.on_cell) {

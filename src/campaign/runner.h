@@ -27,14 +27,25 @@ namespace campaign {
 struct CampaignRunOptions {
   // Worker threads running cells.  Clamped to [1, cell count].
   int jobs = 1;
+  // Shard selection: run only cells whose global index satisfies
+  // `index % shard_count == shard_index`.  Seeds derive from the global
+  // cell index, so any partition replays the identical sessions; the
+  // default (0, 1) runs everything.
+  int shard_index = 0;
+  int shard_count = 1;
   // Progress hook, invoked from the aggregating (calling) thread in cell
   // index order, after the cell has been folded into the aggregate.
   std::function<void(const CellResult&)> on_cell;
+  // Like on_cell, but invoked *before* the fold with the full payload
+  // still attached (exact latencies, metrics snapshot) -- what a shard
+  // partial file must persist, and exactly what Add() drops.
+  std::function<void(const CellResult&)> on_result;
 };
 
 // Host-side bookkeeping the aggregate deliberately excludes.
 struct CampaignRunStats {
-  std::size_t cells = 0;
+  std::size_t cells = 0;        // cells this process ran (the shard's share)
+  std::size_t total_cells = 0;  // full campaign expansion
   int jobs = 1;
   double wall_seconds = 0.0;
   // Cells whose final result was degraded (after retries) and cells that

@@ -1,0 +1,91 @@
+// Cross-process campaign sharding: partial-aggregate files and the
+// deterministic merge that reconstitutes the single-process aggregate.
+//
+// A thousand-cell sweep outgrows one process long before it outgrows the
+// methodology, so `ilat --campaign SPEC --shard I/N` runs only the cells
+// with `index % N == I` (seeds derive from the *global* cell index, so
+// any partition replays the identical sessions) and streams each finished
+// cell into a versioned partial file.  `ilat merge a.json b.json ...`
+// re-reads the partials, verifies they tile the campaign exactly -- same
+// spec hash, every cell index exactly once -- and replays the cells in
+// global index order through a fresh CampaignAggregate.
+//
+// Byte-identity contract: because partials persist each cell's *exact*
+// payload (per-event latencies and the obs-metrics snapshot, serialised
+// with the shortest-round-trip formatter in src/obs/jsonout.h) and the
+// merge folds them in the same order the single-process aggregator would,
+// the merged aggregate's ToJson()/ToCellsCsv() are byte-identical to a
+// `--jobs=1` run of the whole spec.  Every floating-point fold happens in
+// the same sequence on the same bit-identical doubles.
+//
+// Failure modes are one-line errors (the CLI exits 2): unreadable or
+// malformed files, format-version or spec-hash mismatches, duplicate
+// shards, overlapping cells, and incomplete coverage.
+
+#ifndef ILAT_SRC_CAMPAIGN_SHARD_H_
+#define ILAT_SRC_CAMPAIGN_SHARD_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/campaign/aggregate.h"
+#include "src/campaign/spec.h"
+
+namespace ilat {
+namespace campaign {
+
+// Bumped when the partial schema changes; merges reject other versions.
+inline constexpr int kPartialFormatVersion = 1;
+
+// Streams one shard's cell results into a partial-aggregate file.  Feed
+// Add() in cell-index order (CampaignRunOptions::on_result guarantees
+// this); memory stays O(1) in the number of cells.
+class PartialWriter {
+ public:
+  PartialWriter() = default;
+  ~PartialWriter();
+  PartialWriter(const PartialWriter&) = delete;
+  PartialWriter& operator=(const PartialWriter&) = delete;
+
+  // Create `path` and write the header: campaign identity (name, seed,
+  // threshold, total expanded cell count, spec hash) plus this shard's
+  // index/count.  Returns false with a one-line *error on I/O failure.
+  bool Open(const std::string& path, const CampaignSpec& spec, std::size_t total_cells,
+            int shard_index, int shard_count, std::string* error);
+
+  // Append one finished cell (with its full payload still attached).
+  void Add(const CellResult& r);
+
+  // Close the JSON document and the file.  Returns false if any write
+  // failed.  The writer is unusable afterwards.
+  bool Finish(std::string* error);
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  bool first_cell_ = true;
+  bool write_failed_ = false;
+};
+
+struct MergeStats {
+  std::size_t partials = 0;
+  std::size_t cells = 0;
+};
+
+// Read, validate, and merge partial files into a fresh aggregate that is
+// byte-identical to the unsharded single-process run.  The partials may
+// be given in any order and may come from any shard counts, as long as
+// together they cover every cell exactly once and agree on the spec hash.
+// On failure returns false and sets *error to a single line naming the
+// offending file(s); *out is left null.
+bool MergePartials(const std::vector<std::string>& paths,
+                   std::unique_ptr<CampaignAggregate>* out, MergeStats* stats,
+                   std::string* error);
+
+}  // namespace campaign
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CAMPAIGN_SHARD_H_

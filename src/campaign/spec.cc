@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/obs/jsonout.h"
 #include "src/sim/random.h"
 
 namespace ilat {
@@ -216,6 +217,69 @@ std::vector<CampaignCell> CampaignSpec::ExpandCells() const {
     }
   }
   return cells;
+}
+
+std::string CampaignSpec::CanonicalString() const {
+  // One `key=value\n` line per field, doubles in lossless form, lists
+  // joined with commas.  `os = all` resolves to the explicit personality
+  // list so it hashes the same as spelling the list out.
+  std::string out;
+  auto field = [&out](const char* key, const std::string& value) {
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  };
+  auto list = [](const std::vector<std::string>& values) {
+    std::string joined;
+    for (const std::string& v : values) {
+      if (!joined.empty()) {
+        joined += ',';
+      }
+      joined += v;
+    }
+    return joined;
+  };
+  field("name", name);
+  field("os", list(oses.empty() ? KnownOsNames() : oses));
+  field("app", list(apps));
+  field("workload", list(workloads));
+  field("driver", list(drivers));
+  field("seeds", std::to_string(seeds_per_cell));
+  field("seed", std::to_string(campaign_seed));
+  field("workload_seed", std::to_string(workload_seed));
+  field("threshold_ms", obs::NumToJson(threshold_ms));
+  field("packets", std::to_string(params.packets));
+  field("frames", std::to_string(params.frames));
+  field("retries", std::to_string(cell_retries));
+  field("fault.disk.fail_rate", obs::NumToJson(faults.disk.fail_rate));
+  field("fault.disk.fail_after", std::to_string(faults.disk.fail_after));
+  field("fault.disk.stall_rate", obs::NumToJson(faults.disk.stall_rate));
+  field("fault.disk.stall_ms", obs::NumToJson(faults.disk.stall_ms));
+  field("fault.mq.drop_rate", obs::NumToJson(faults.mq.drop_rate));
+  field("fault.mq.dup_rate", obs::NumToJson(faults.mq.dup_rate));
+  field("fault.mq.reorder_rate", obs::NumToJson(faults.mq.reorder_rate));
+  field("fault.storm.start_ms", obs::NumToJson(faults.storm.start_ms));
+  field("fault.storm.duration_ms", obs::NumToJson(faults.storm.duration_ms));
+  field("fault.storm.period_us", obs::NumToJson(faults.storm.period_us));
+  field("fault.storm.handler_us", obs::NumToJson(faults.storm.handler_us));
+  field("fault.clock.jitter_frac", obs::NumToJson(faults.clock.jitter_frac));
+  field("fault.salt", std::to_string(faults.salt));
+  for (const FaultSweepDimension& dim : fault_sweeps) {
+    field(("sweep.fault." + dim.key).c_str(), list(dim.values));
+  }
+  return out;
+}
+
+std::uint64_t CampaignSpec::SpecHash() const {
+  // FNV-1a 64-bit: tiny, dependency-free, and stable across platforms.
+  const std::string canonical = CanonicalString();
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 bool ParseCampaignSpec(const std::string& text, CampaignSpec* out, std::string* error) {

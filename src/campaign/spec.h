@@ -131,6 +131,17 @@ struct CampaignSpec {
   // seed, so sweep curves compare identical workloads.  Call Validate
   // first.
   std::vector<CampaignCell> ExpandCells() const;
+
+  // Canonical text form of every result-affecting field (resolved os
+  // list, dimensions, seeds, threshold, workload params, the full fault
+  // plan, sweeps, retries) -- independent of spec-file whitespace and
+  // comments.  Two specs with equal canonical strings produce identical
+  // campaigns.
+  std::string CanonicalString() const;
+
+  // FNV-1a 64 over CanonicalString().  Stamped into shard partial files
+  // so a merge can reject partials produced from different specs.
+  std::uint64_t SpecHash() const;
 };
 
 // Parse the INI-ish spec text.  Unknown keys, malformed numbers, and

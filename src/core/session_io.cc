@@ -1,5 +1,6 @@
 #include "src/core/session_io.h"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -10,6 +11,29 @@ namespace {
 // v2 added per-event retry_wait (ninth event field); v1 files still load
 // with retry_wait = 0.
 constexpr int kFormatVersion = 2;
+
+// Checked digits-only parse (same contract as the CLI flag parsers): the
+// whole string must be decimal digits and fit in 64 bits.  A corrupt or
+// truncated counter value makes the load fail cleanly instead of letting
+// std::stoull throw out of LoadSessionResult.
+bool ParseU64(const std::string& value, std::uint64_t* out) {
+  if (value.empty()) {
+    return false;
+  }
+  std::uint64_t v = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return false;  // overflow
+    }
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
 
 MessageType TypeFromInt(int v) {
   if (v < 0 || v > static_cast<int>(MessageType::kQuit)) {
@@ -91,7 +115,10 @@ bool LoadSessionResult(const std::string& path, SessionResult* out_result) {
       return false;
     }
     const std::string name = pair.substr(0, eq);
-    const std::uint64_t value = std::stoull(pair.substr(eq + 1));
+    std::uint64_t value = 0;
+    if (!ParseU64(pair.substr(eq + 1), &value)) {
+      return false;
+    }
     for (int e = 0; e < kNumHwEvents; ++e) {
       if (HwEventName(static_cast<HwEvent>(e)) == name) {
         r.counters.counts[static_cast<std::size_t>(e)] = value;

@@ -1,0 +1,74 @@
+// Shared helpers for the toolkit's hand-rolled JSON writers.
+//
+// Every JSON emitter (metrics snapshots, campaign aggregates, shard
+// partials) must satisfy two contracts at once: *determinism* (identical
+// inputs yield byte-identical text, the basis of the campaign `cmp`
+// checks) and *losslessness* (a double written here and re-read through
+// src/campaign/json.cc is the same double, the basis of byte-identical
+// cross-process shard merges).  The old per-file "%.6g" formatters were
+// deterministic but lossy -- counters above 1e6 and latency sums silently
+// dropped digits -- so merged aggregates could never reproduce in-process
+// results exactly.
+
+#ifndef ILAT_SRC_OBS_JSONOUT_H_
+#define ILAT_SRC_OBS_JSONOUT_H_
+
+#include <charconv>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ilat {
+namespace obs {
+
+// Shortest representation that round-trips the exact double: "0.125"
+// stays "0.125", "123456789" keeps all nine digits, and strtod() of the
+// result is bit-identical to `v`.  Values are finite by construction
+// (simulated time and event counts); to_chars would spell non-finite
+// values as bare `inf`/`nan`, which is not JSON.
+inline std::string NumToJson(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+// Escape a string for a JSON string literal: quote, backslash, and every
+// control character in 0x00-0x1F (readably for \n and \t, \u00XX for the
+// rest).  Anything else passes through byte-for-byte (UTF-8 safe).
+inline std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ilat
+
+#endif  // ILAT_SRC_OBS_JSONOUT_H_

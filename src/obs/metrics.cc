@@ -1,52 +1,11 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
-#include <cstdio>
+
+#include "src/obs/jsonout.h"
 
 namespace ilat {
 namespace obs {
-
-namespace {
-
-// Shortest round-trippable-ish representation; %.6g keeps snapshots
-// compact and deterministic across platforms for the magnitudes we emit.
-std::string NumToJson(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
-}
-
-std::string EscapeJson(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 LogHistogram::LogHistogram(double first_upper, int num_buckets)
     : first_upper_(first_upper > 0.0 ? first_upper : 1.0),

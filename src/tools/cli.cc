@@ -13,6 +13,7 @@
 #include "src/analysis/irritation.h"
 #include "src/campaign/gate.h"
 #include "src/campaign/runner.h"
+#include "src/campaign/shard.h"
 #include "src/core/catalog.h"
 #include "src/core/measurement.h"
 #include "src/core/session_io.h"
@@ -73,6 +74,24 @@ bool ParseFlagInt(const std::string& flag, const std::string& value, int lo, int
     return false;
   }
   *out = static_cast<int>(v);
+  return true;
+}
+
+// "--shard=I/N": a shard index and count with 0 <= I < N.
+bool ParseFlagShard(const std::string& value, int* index, int* count, std::string* error) {
+  const std::size_t slash = value.find('/');
+  std::string ignored;
+  std::uint64_t i = 0;
+  std::uint64_t n = 0;
+  if (slash == std::string::npos ||
+      !ParseFlagU64("--shard", value.substr(0, slash), &i, &ignored) ||
+      !ParseFlagU64("--shard", value.substr(slash + 1), &n, &ignored) || n == 0 ||
+      n > 1'000'000 || i >= n) {
+    *error = "--shard needs I/N with 0 <= I < N (e.g. --shard=2/8), got '" + value + "'";
+    return false;
+  }
+  *index = static_cast<int>(i);
+  *count = static_cast<int>(n);
   return true;
 }
 
@@ -266,71 +285,44 @@ bool NormalizeGateMetric(std::string token, std::string* out) {
   return false;
 }
 
-int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults,
-                   std::FILE* out) {
-  std::string error;
-  campaign::CampaignSpec spec;
-  if (!campaign::LoadCampaignSpec(options.campaign_path, &spec, &error)) {
-    std::fprintf(out, "campaign spec: %s\n", error.c_str());
-    return 2;
+// Translate the --gate-* flags into GateOptions.  Returns false (after
+// printing a one-line message; caller exits 2) on an unknown metric name.
+bool BuildGateOptions(const CliOptions& options, campaign::GateOptions* gate_options,
+                      std::FILE* out) {
+  gate_options->tolerance_pct = options.gate_tolerance_pct;
+  gate_options->fault_tolerance_pct = options.gate_fault_tolerance_pct;
+  if (options.gate_percentiles.empty()) {
+    return true;
   }
-  if (cli_faults != nullptr) {
-    spec.faults = *cli_faults;  // --faults= overrides any spec-embedded plan
-  }
-
-  campaign::GateOptions gate_options;
-  gate_options.tolerance_pct = options.gate_tolerance_pct;
-  gate_options.fault_tolerance_pct = options.gate_fault_tolerance_pct;
-  if (!options.gate_percentiles.empty()) {
-    gate_options.metrics.clear();
-    std::string token;
-    std::string normalized;
-    for (std::size_t i = 0; i <= options.gate_percentiles.size(); ++i) {
-      if (i < options.gate_percentiles.size() && options.gate_percentiles[i] != ',') {
-        token += options.gate_percentiles[i];
-        continue;
-      }
-      if (token.empty()) {
-        continue;
-      }
-      if (!NormalizeGateMetric(token, &normalized)) {
-        std::fprintf(out, "unknown gate percentile '%s'\n", token.c_str());
-        return 2;
-      }
-      gate_options.metrics.push_back(normalized);
-      token.clear();
+  gate_options->metrics.clear();
+  std::string token;
+  std::string normalized;
+  for (std::size_t i = 0; i <= options.gate_percentiles.size(); ++i) {
+    if (i < options.gate_percentiles.size() && options.gate_percentiles[i] != ',') {
+      token += options.gate_percentiles[i];
+      continue;
     }
-    if (gate_options.metrics.empty()) {
-      std::fprintf(out, "--gate-percentiles lists no metrics\n");
-      return 2;
+    if (token.empty()) {
+      continue;
     }
+    if (!NormalizeGateMetric(token, &normalized)) {
+      std::fprintf(out, "unknown gate percentile '%s'\n", token.c_str());
+      return false;
+    }
+    gate_options->metrics.push_back(normalized);
+    token.clear();
   }
-
-  const std::size_t total = spec.ExpandCells().size();
-  std::fprintf(out, "campaign '%s': %zu cells, %d job(s), threshold %.3g ms\n",
-               spec.name.c_str(), total, options.jobs, spec.threshold_ms);
-
-  campaign::CampaignRunOptions run_options;
-  run_options.jobs = options.jobs;
-  run_options.on_cell = [&](const campaign::CellResult& r) {
-    std::fprintf(out, "  [%3zu/%zu] %-40s events=%-5zu p95=%-8.2f above=%zu\n",
-                 r.cell.index + 1, total, r.cell.Label().c_str(), r.events, r.p95_ms,
-                 r.above);
-  };
-
-  campaign::CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
-  campaign::CampaignRunStats stats;
-  if (!campaign::RunCampaign(spec, run_options, &aggregate, &stats, &error)) {
-    std::fprintf(out, "campaign failed: %s\n", error.c_str());
-    return 1;
+  if (gate_options->metrics.empty()) {
+    std::fprintf(out, "--gate-percentiles lists no metrics\n");
+    return false;
   }
-  std::fprintf(out, "ran %zu cells with %d job(s) in %.2f s (wall)\n", stats.cells,
-               stats.jobs, stats.wall_seconds);
-  if (spec.faults.Any() || !spec.fault_sweeps.empty()) {
-    std::fprintf(out, "fault injection: %zu degraded cell(s), %zu retried cell(s)\n",
-                 stats.degraded_cells, stats.retried_cells);
-  }
-  std::fputs("\n", out);
+  return true;
+}
+
+// Shared tail of campaign and merge mode: render tables, write
+// --campaign-out artifacts, gate against --campaign-baseline.
+int FinishAggregate(const CliOptions& options, const campaign::CampaignAggregate& aggregate,
+                    const campaign::GateOptions& gate_options, std::FILE* out) {
   std::fputs(aggregate.RenderTables().c_str(), out);
 
   if (!options.campaign_out.empty()) {
@@ -349,6 +341,7 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
 
   if (!options.campaign_baseline.empty()) {
     std::string baseline;
+    std::string error;
     if (!ReadTextFile(options.campaign_baseline, &baseline)) {
       std::fprintf(out, "cannot read baseline %s\n", options.campaign_baseline.c_str());
       return 2;
@@ -363,17 +356,131 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
       return 1;
     }
   }
+  return 0;
+}
+
+int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults,
+                   std::FILE* out) {
+  std::string error;
+  campaign::CampaignSpec spec;
+  if (!campaign::LoadCampaignSpec(options.campaign_path, &spec, &error)) {
+    std::fprintf(out, "campaign spec: %s\n", error.c_str());
+    return 2;
+  }
+  if (cli_faults != nullptr) {
+    spec.faults = *cli_faults;  // --faults= overrides any spec-embedded plan
+  }
+
+  campaign::GateOptions gate_options;
+  if (!BuildGateOptions(options, &gate_options, out)) {
+    return 2;
+  }
+
+  const std::size_t total = spec.ExpandCells().size();
+  if (options.shard_count > 1) {
+    std::fprintf(out, "campaign '%s': shard %d/%d of %zu cells, %d job(s), threshold %.3g ms\n",
+                 spec.name.c_str(), options.shard_index, options.shard_count, total,
+                 options.jobs, spec.threshold_ms);
+  } else {
+    std::fprintf(out, "campaign '%s': %zu cells, %d job(s), threshold %.3g ms\n",
+                 spec.name.c_str(), total, options.jobs, spec.threshold_ms);
+  }
+
+  campaign::CampaignRunOptions run_options;
+  run_options.jobs = options.jobs;
+  run_options.shard_index = options.shard_index;
+  run_options.shard_count = options.shard_count;
+  run_options.on_cell = [&](const campaign::CellResult& r) {
+    std::fprintf(out, "  [%3zu/%zu] %-40s events=%-5zu p95=%-8.2f above=%zu\n",
+                 r.cell.index + 1, total, r.cell.Label().c_str(), r.events, r.p95_ms,
+                 r.above);
+  };
+
+  campaign::PartialWriter partial;
+  if (!options.campaign_partial.empty()) {
+    if (!partial.Open(options.campaign_partial, spec, total, options.shard_index,
+                      options.shard_count, &error)) {
+      std::fprintf(out, "%s\n", error.c_str());
+      return 1;
+    }
+    run_options.on_result = [&](const campaign::CellResult& r) { partial.Add(r); };
+  }
+
+  campaign::CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  campaign::CampaignRunStats stats;
+  if (!campaign::RunCampaign(spec, run_options, &aggregate, &stats, &error)) {
+    std::fprintf(out, "campaign failed: %s\n", error.c_str());
+    return 1;
+  }
+  if (!options.campaign_partial.empty()) {
+    if (!partial.Finish(&error)) {
+      std::fprintf(out, "%s\n", error.c_str());
+      return 1;
+    }
+    std::fprintf(out, "wrote shard %d/%d partial (%zu of %zu cells) to %s\n",
+                 options.shard_index, options.shard_count, stats.cells, stats.total_cells,
+                 options.campaign_partial.c_str());
+  }
+  std::fprintf(out, "ran %zu cells with %d job(s) in %.2f s (wall)\n", stats.cells,
+               stats.jobs, stats.wall_seconds);
+  if (spec.faults.Any() || !spec.fault_sweeps.empty()) {
+    std::fprintf(out, "fault injection: %zu degraded cell(s), %zu retried cell(s)\n",
+                 stats.degraded_cells, stats.retried_cells);
+  }
+  std::fputs("\n", out);
+
+  // A shard holds a fraction of the campaign: its tables and any gate
+  // verdict would be misleading, so sharded runs stop at the partial
+  // (ParseCliArgs already rejects --campaign-out/--campaign-baseline).
+  if (options.shard_count > 1) {
+    if (options.fail_degraded && stats.degraded_cells > 0) {
+      return 1;
+    }
+    return 0;
+  }
+
+  const int rc = FinishAggregate(options, aggregate, gate_options, out);
+  if (rc != 0) {
+    return rc;
+  }
   if (options.fail_degraded && stats.degraded_cells > 0) {
     return 1;
   }
   return 0;
 }
 
+// `ilat merge PARTIAL...`: recombine shard partials into the aggregate
+// the unsharded run would have produced, then reuse the normal artifact
+// and gating tail.
+int RunMergeCli(const CliOptions& options, std::FILE* out) {
+  campaign::GateOptions gate_options;
+  if (!BuildGateOptions(options, &gate_options, out)) {
+    return 2;
+  }
+
+  std::string error;
+  std::unique_ptr<campaign::CampaignAggregate> aggregate;
+  campaign::MergeStats stats;
+  if (!campaign::MergePartials(options.merge_inputs, &aggregate, &stats, &error)) {
+    std::fprintf(out, "merge: %s\n", error.c_str());
+    return 2;
+  }
+  std::fprintf(out, "merged %zu partial(s) covering %zu cell(s)\n\n", stats.partials,
+               stats.cells);
+  return FinishAggregate(options, *aggregate, gate_options, out);
+}
+
 }  // namespace
 
 bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::string* error) {
-  for (const std::string& arg : args) {
-    if (arg == "--help" || arg == "-h") {
+  bool shard_set = false;
+  for (std::size_t argi = 0; argi < args.size(); ++argi) {
+    const std::string& arg = args[argi];
+    if (argi == 0 && arg == "merge") {
+      out->merge_mode = true;
+    } else if (out->merge_mode && !StartsWith(arg, "-")) {
+      out->merge_inputs.push_back(arg);
+    } else if (arg == "--help" || arg == "-h") {
       out->show_help = true;
     } else if (StartsWith(arg, "--os=")) {
       out->os = arg.substr(5);
@@ -434,6 +541,17 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
       out->campaign_out = arg.substr(15);
     } else if (StartsWith(arg, "--campaign-baseline=")) {
       out->campaign_baseline = arg.substr(20);
+    } else if (StartsWith(arg, "--campaign-partial=")) {
+      out->campaign_partial = arg.substr(19);
+      if (out->campaign_partial.empty()) {
+        *error = "--campaign-partial needs an output file path";
+        return false;
+      }
+    } else if (StartsWith(arg, "--shard=")) {
+      if (!ParseFlagShard(arg.substr(8), &out->shard_index, &out->shard_count, error)) {
+        return false;
+      }
+      shard_set = true;
     } else if (StartsWith(arg, "--jobs=")) {
       if (!ParseFlagInt("--jobs", arg.substr(7), 1, 1024, &out->jobs, error)) {
         return false;
@@ -463,6 +581,33 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
       return false;
     }
   }
+  if (out->merge_mode) {
+    if (out->merge_inputs.empty()) {
+      *error = "merge needs at least one partial file: ilat merge PARTIAL...";
+      return false;
+    }
+    if (!out->campaign_path.empty() || shard_set || !out->campaign_partial.empty()) {
+      *error = "merge takes partial files, not --campaign/--shard/--campaign-partial";
+      return false;
+    }
+  }
+  if (shard_set) {
+    if (out->campaign_path.empty()) {
+      *error = "--shard only makes sense with --campaign=SPEC";
+      return false;
+    }
+    if (out->campaign_partial.empty()) {
+      *error = "--shard needs --campaign-partial=OUT (merge the partials with `ilat merge`)";
+      return false;
+    }
+    if (out->shard_count > 1 &&
+        (!out->campaign_out.empty() || !out->campaign_baseline.empty())) {
+      *error =
+          "--campaign-out/--campaign-baseline need the whole campaign; run "
+          "`ilat merge` on the shard partials instead";
+      return false;
+    }
+  }
   return true;
 }
 
@@ -471,6 +616,7 @@ std::string CliUsage() {
       "ilat -- interactive latency measurement (Endo et al., OSDI '96)\n"
       "\n"
       "usage: ilat [options]\n"
+      "       ilat merge PARTIAL... [output/gate options]\n"
       "  --os=nt351|nt40|win95|all   operating-system personality (nt40)\n"
       "  --app=notepad|word|powerpoint|desktop|echo|terminal|media   app model\n"
       "  --workload=NAME             input script or 'network' (defaults per app)\n"
@@ -502,9 +648,20 @@ std::string CliUsage() {
       "  --gate-percentiles=LIST     metrics to gate, e.g. p95,p99 (p50,p95,p99,max)\n"
       "  --gate-fault-tolerance=PCT  allowed fault-counter drift vs baseline (25)\n"
       "\n"
+      "sharded campaigns (split a sweep across processes or hosts):\n"
+      "  --shard=I/N                 run only cells with index %% N == I; seeds\n"
+      "                              still derive from global indices, so any\n"
+      "                              partition replays identical sessions\n"
+      "  --campaign-partial=OUT      write this shard's cells to a partial file\n"
+      "                              (required with --shard)\n"
+      "  ilat merge PARTIAL...       recombine partials into the aggregate the\n"
+      "                              unsharded run would produce (byte-identical);\n"
+      "                              accepts --campaign-out and --campaign-baseline\n"
+      "\n"
       "exit codes: 0 success (degraded faulted runs included unless\n"
       "--fail-degraded), 1 runtime/gate/degradation failure, 2 usage errors\n"
-      "(bad flags, malformed numbers, unreadable spec or plan files)\n";
+      "(bad flags, malformed numbers, unreadable or corrupt spec/plan/session/\n"
+      "partial files)\n";
 }
 
 int RunCli(const CliOptions& options, std::FILE* out) {
@@ -537,6 +694,10 @@ int RunCli(const CliOptions& options, std::FILE* out) {
     return 0;
   }
 
+  if (options.merge_mode) {
+    return RunMergeCli(options, out);
+  }
+
   fault::FaultPlan cli_faults;
   bool have_cli_faults = false;
   if (!options.faults_path.empty()) {
@@ -555,8 +716,9 @@ int RunCli(const CliOptions& options, std::FILE* out) {
   if (!options.load_path.empty()) {
     SessionResult r;
     if (!LoadSessionResult(options.load_path, &r)) {
-      std::fprintf(out, "failed to load %s\n", options.load_path.c_str());
-      return 1;
+      std::fprintf(out, "cannot load %s: missing, truncated, or corrupt session file\n",
+                   options.load_path.c_str());
+      return 2;
     }
     PrintSummary(out, "saved:" + options.load_path, r, options);
     return 0;

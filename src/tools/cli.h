@@ -22,7 +22,7 @@
 namespace ilat {
 
 // Reported by `ilat --version`.
-inline constexpr const char* kIlatVersion = "0.4.0";
+inline constexpr const char* kIlatVersion = "0.5.0";
 
 struct CliOptions {
   std::string os = "nt40";          // nt351 | nt40 | win95 | all
@@ -57,6 +57,15 @@ struct CliOptions {
   double gate_tolerance_pct = 10.0;
   std::string gate_percentiles;     // e.g. "p95,p99"; empty -> gate defaults
   double gate_fault_tolerance_pct = 25.0;  // fault-counter drift tolerance
+
+  // Sharded campaign execution (--shard=I/N runs cells with index%N==I and
+  // requires --campaign-partial; `ilat merge` recombines the partials --
+  // see docs/CAMPAIGN.md).
+  int shard_index = 0;
+  int shard_count = 1;              // 1 = unsharded
+  std::string campaign_partial;     // partial-aggregate output file
+  bool merge_mode = false;          // `ilat merge PARTIAL...`
+  std::vector<std::string> merge_inputs;  // partial files to merge
 };
 
 // Parse argv.  On failure returns false and sets *error.

@@ -5,12 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <set>
+#include <sstream>
 
 #include "src/campaign/gate.h"
 #include "src/campaign/json.h"
 #include "src/campaign/runner.h"
+#include "src/campaign/shard.h"
 #include "src/campaign/spec.h"
+#include "src/obs/jsonout.h"
 #include "src/sim/random.h"
 
 namespace ilat {
@@ -569,6 +576,311 @@ TEST_F(FaultGateTest, OldBaselinesWithoutFaultKeysSkipSilently) {
   EXPECT_TRUE(report.ok());
   EXPECT_EQ(report.comparisons, 1u);  // only p95; no fault keys, no noise
   EXPECT_TRUE(report.notes.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Serialization fidelity.  The shard merge's byte-identity contract rests
+// on three properties tested here: doubles survive a JSON round trip
+// bit-exactly, strings survive with every control character intact, and
+// 64-bit seeds survive without being squeezed through a double.
+
+TEST(JsonOutTest, NumToJsonRoundTripsDoublesExactly) {
+  const double values[] = {0.0,     1.0,   0.1,    1.0 / 3.0, 123456789.123456789,
+                           9007199254740994.0, 1e-300, 5e-324, 1.7976931348623157e308,
+                           1234567.891};
+  for (const double v : values) {
+    const std::string text = obs::NumToJson(v);
+    char* end = nullptr;
+    const double back = std::strtod(text.c_str(), &end);
+    EXPECT_EQ(back, v) << text;
+    EXPECT_EQ(end, text.c_str() + text.size()) << text;
+  }
+  // The old "%.6g" formatter could not carry more than six significant
+  // digits: a cumulative latency of 1234567.891 ms collapsed to 1.23457e+06
+  // and the merged aggregate diverged from the single-process bytes.
+  EXPECT_NE(obs::NumToJson(1234567.891), "1.23457e+06");
+}
+
+TEST(JsonOutTest, EscapeJsonControlCharsRoundTripThroughParser) {
+  std::string raw(1, '\0');
+  for (int c = 1; c < 0x20; ++c) {
+    raw += static_cast<char>(c);
+  }
+  raw += "plain \"quoted\" back\\slash tab\tnewline\n";
+  const std::string doc = "{\"s\": \"" + obs::EscapeJson(raw) + "\"}";
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(doc, &root, &error)) << error << " in " << doc;
+  EXPECT_EQ(root.StringAt("s"), raw);
+}
+
+TEST(JsonReaderTest, U64AtIsExactBeyondDoublePrecision) {
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(ParseJson(R"({"max": 18446744073709551615, "odd": 9007199254740993,
+                            "small": 7, "neg": -1, "frac": 1.5, "exp": 1e3,
+                            "over": 18446744073709551616, "text": "12"})",
+                        &root, &error))
+      << error;
+  std::uint64_t v = 0;
+  ASSERT_TRUE(root.U64At("max", &v));
+  EXPECT_EQ(v, 18446744073709551615ull);  // UINT64_MAX: double would round it
+  ASSERT_TRUE(root.U64At("odd", &v));
+  EXPECT_EQ(v, 9007199254740993ull);  // 2^53 + 1: first integer a double drops
+  ASSERT_TRUE(root.U64At("small", &v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_FALSE(root.U64At("neg", &v));
+  EXPECT_FALSE(root.U64At("frac", &v));
+  EXPECT_FALSE(root.U64At("exp", &v));
+  EXPECT_FALSE(root.U64At("over", &v));  // one past UINT64_MAX
+  EXPECT_FALSE(root.U64At("text", &v));
+  EXPECT_FALSE(root.U64At("absent", &v));
+}
+
+// ---------------------------------------------------------------------------
+// Spec hashing: partials from different campaigns must never merge.
+
+TEST(SpecHashTest, StableAcrossCallsAndSensitiveToResultAffectingFields) {
+  const CampaignSpec a = SmallSpec();
+  EXPECT_EQ(a.SpecHash(), SmallSpec().SpecHash());
+
+  CampaignSpec b = SmallSpec();
+  b.campaign_seed += 1;
+  EXPECT_NE(a.SpecHash(), b.SpecHash());
+
+  b = SmallSpec();
+  b.threshold_ms += 0.5;
+  EXPECT_NE(a.SpecHash(), b.SpecHash());
+
+  b = SmallSpec();
+  b.seeds_per_cell += 1;
+  EXPECT_NE(a.SpecHash(), b.SpecHash());
+
+  b = SmallSpec();
+  b.faults.disk.fail_rate = 0.25;
+  EXPECT_NE(a.SpecHash(), b.SpecHash());
+
+  b = SmallSpec();
+  b.apps = {"desktop", "echo"};  // order is part of cell indexing
+  EXPECT_NE(a.SpecHash(), b.SpecHash());
+}
+
+TEST(SpecHashTest, OsAllHashesLikeTheExplicitList) {
+  CampaignSpec all = SmallSpec();
+  all.oses.clear();  // how the parser stores `os = all`
+  CampaignSpec expanded = SmallSpec();
+  expanded.oses = KnownOsNames();
+  EXPECT_EQ(all.SpecHash(), expanded.SpecHash());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded execution and the deterministic merge.
+
+std::string ShardTempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Run one shard of `spec` and stream it into a partial file at `path`.
+void RunShardToFile(const CampaignSpec& spec, int shard_index, int shard_count, int jobs,
+                    const std::string& path) {
+  PartialWriter writer;
+  std::string error;
+  ASSERT_TRUE(writer.Open(path, spec, spec.ExpandCells().size(), shard_index, shard_count,
+                          &error))
+      << error;
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  options.jobs = jobs;
+  options.shard_index = shard_index;
+  options.shard_count = shard_count;
+  options.on_result = [&](const CellResult& r) { writer.Add(r); };
+  CampaignRunStats stats;
+  ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  ASSERT_TRUE(writer.Finish(&error)) << error;
+}
+
+TEST(ShardRunnerTest, ShardsPartitionTheCellsWithGlobalSeeds) {
+  const CampaignSpec spec = SmallSpec();  // 4 cells
+  std::set<std::size_t> seen;
+  std::set<std::uint64_t> seeds;
+  for (int i = 0; i < 3; ++i) {
+    CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+    CampaignRunOptions options;
+    options.shard_index = i;
+    options.shard_count = 3;
+    options.on_result = [&](const CellResult& r) {
+      EXPECT_EQ(r.cell.index % 3, static_cast<std::size_t>(i));
+      EXPECT_TRUE(seen.insert(r.cell.index).second);  // no cell twice
+      seeds.insert(r.cell.seed);
+    };
+    CampaignRunStats stats;
+    std::string error;
+    ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+    EXPECT_EQ(stats.total_cells, 4u);
+  }
+  EXPECT_EQ(seen, (std::set<std::size_t>{0, 1, 2, 3}));  // exact tiling
+  // Seeds come from the *global* cell index, so the union across shards
+  // equals the unsharded run's seed set.
+  std::set<std::uint64_t> unsharded;
+  for (const CampaignCell& cell : spec.ExpandCells()) {
+    unsharded.insert(cell.seed);
+  }
+  EXPECT_EQ(seeds, unsharded);
+}
+
+TEST(ShardRunnerTest, RejectsInvalidShards) {
+  const CampaignSpec spec = SmallSpec();
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunStats stats;
+  std::string error;
+  CampaignRunOptions options;
+  options.shard_index = 2;
+  options.shard_count = 2;  // index must be < count
+  EXPECT_FALSE(RunCampaign(spec, options, &aggregate, &stats, &error));
+  EXPECT_NE(error.find("shard"), std::string::npos);
+}
+
+TEST(ShardMergeTest, AnyPartitionMergesByteIdenticalToSingleProcess) {
+  const CampaignSpec spec = SmallSpec();  // 4 cells
+  CampaignAggregate reference(spec.name, spec.campaign_seed, spec.threshold_ms);
+  {
+    CampaignRunOptions options;
+    CampaignRunStats stats;
+    std::string error;
+    ASSERT_TRUE(RunCampaign(spec, options, &reference, &stats, &error)) << error;
+  }
+
+  // 5 shards over 4 cells leaves shard 4 empty -- legal, merges cleanly.
+  for (const int shard_count : {1, 2, 3, 5}) {
+    std::vector<std::string> paths;
+    for (int i = 0; i < shard_count; ++i) {
+      const std::string path = ShardTempPath("merge-" + std::to_string(shard_count) + "-" +
+                                             std::to_string(i) + ".json");
+      RunShardToFile(spec, i, shard_count, 1 + i % 2, path);  // mixed --jobs
+      paths.push_back(path);
+    }
+    std::reverse(paths.begin(), paths.end());  // merge order must not matter
+
+    std::unique_ptr<CampaignAggregate> merged;
+    MergeStats stats;
+    std::string error;
+    ASSERT_TRUE(MergePartials(paths, &merged, &stats, &error)) << error;
+    EXPECT_EQ(stats.partials, static_cast<std::size_t>(shard_count));
+    EXPECT_EQ(stats.cells, 4u);
+    EXPECT_EQ(merged->ToJson(), reference.ToJson()) << shard_count << " shards";
+    EXPECT_EQ(merged->ToCellsCsv(), reference.ToCellsCsv()) << shard_count << " shards";
+  }
+}
+
+class ShardMergeErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec_ = SmallSpec();
+    for (int i = 0; i < 2; ++i) {
+      paths_.push_back(ShardTempPath("err-" + std::to_string(i) + ".json"));
+      RunShardToFile(spec_, i, 2, 1, paths_[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  static std::string Slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  }
+
+  static void Spit(const std::string& path, const std::string& text) {
+    std::ofstream out(path);
+    out << text;
+  }
+
+  std::string ExpectMergeFails(const std::vector<std::string>& paths) {
+    std::unique_ptr<CampaignAggregate> merged;
+    MergeStats stats;
+    std::string error;
+    EXPECT_FALSE(MergePartials(paths, &merged, &stats, &error));
+    EXPECT_EQ(merged, nullptr);
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(error.find('\n'), std::string::npos);  // one-line contract
+    return error;
+  }
+
+  CampaignSpec spec_;
+  std::vector<std::string> paths_;
+};
+
+TEST_F(ShardMergeErrorTest, RejectsMissingShards) {
+  const std::string error = ExpectMergeFails({paths_[0]});
+  EXPECT_NE(error.find("missing shard"), std::string::npos) << error;
+}
+
+TEST_F(ShardMergeErrorTest, RejectsDuplicateShards) {
+  const std::string error = ExpectMergeFails({paths_[0], paths_[1], paths_[0]});
+  EXPECT_NE(error.find("duplicate shard"), std::string::npos) << error;
+}
+
+TEST_F(ShardMergeErrorTest, RejectsOverlappingShards) {
+  // A 1/1 partial holds every cell, so it overlaps either half.
+  const std::string whole = ShardTempPath("err-whole.json");
+  RunShardToFile(spec_, 0, 1, 1, whole);
+  const std::string error = ExpectMergeFails({paths_[0], whole});
+  EXPECT_NE(error.find("overlapping"), std::string::npos) << error;
+}
+
+TEST_F(ShardMergeErrorTest, RejectsSpecHashMismatch) {
+  CampaignSpec other = spec_;
+  other.campaign_seed += 1;
+  // Same cell geometry, different campaign: only the hash tells them apart.
+  const std::string foreign = ShardTempPath("err-foreign.json");
+  RunShardToFile(other, 1, 2, 1, foreign);
+  const std::string error = ExpectMergeFails({paths_[0], foreign});
+  EXPECT_NE(error.find("spec hash"), std::string::npos) << error;
+  EXPECT_NE(error.find("err-foreign.json"), std::string::npos) << error;
+}
+
+TEST_F(ShardMergeErrorTest, RejectsWrongFormatVersion) {
+  const std::string doctored = ShardTempPath("err-version.json");
+  std::string text = Slurp(paths_[0]);
+  const std::string marker = "\"ilat_partial\": 1";
+  const auto at = text.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, marker.size(), "\"ilat_partial\": 99");
+  Spit(doctored, text);
+  const std::string error = ExpectMergeFails({doctored, paths_[1]});
+  EXPECT_NE(error.find("version 99"), std::string::npos) << error;
+}
+
+TEST_F(ShardMergeErrorTest, RejectsUnreadableAndMalformedFiles) {
+  EXPECT_NE(ExpectMergeFails({ShardTempPath("err-nonexistent.json")}).find("cannot read"),
+            std::string::npos);
+
+  const std::string garbage = ShardTempPath("err-garbage.json");
+  Spit(garbage, "not json at all {\n");
+  ExpectMergeFails({garbage});
+
+  const std::string wrong_doc = ShardTempPath("err-wrongdoc.json");
+  Spit(wrong_doc, "{\"groups\": {}}");
+  EXPECT_NE(ExpectMergeFails({wrong_doc}).find("ilat_partial"), std::string::npos);
+
+  // A structurally valid partial whose cell row lies about its payload.
+  const std::string truncated = ShardTempPath("err-badcell.json");
+  std::string text = Slurp(paths_[0]);
+  const std::string marker = "\"latencies_ms\": [";
+  const auto at = text.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  const auto close = text.find(']', at);
+  ASSERT_NE(close, std::string::npos);
+  text.erase(at + marker.size(), close - at - marker.size());  // empty the array
+  Spit(truncated, text);
+  ExpectMergeFails({truncated, paths_[1]});
+}
+
+TEST(ShardMergeTest, RejectsEmptyInputList) {
+  std::unique_ptr<CampaignAggregate> merged;
+  MergeStats stats;
+  std::string error;
+  EXPECT_FALSE(MergePartials({}, &merged, &stats, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 }  // namespace

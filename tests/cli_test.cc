@@ -414,6 +414,157 @@ TEST(CliRunTest, UsageDocumentsFaultsAndExitCodes) {
   EXPECT_NE(out.find("--faults"), std::string::npos);
   EXPECT_NE(out.find("--fail-degraded"), std::string::npos);
   EXPECT_NE(out.find("exit codes"), std::string::npos);
+  EXPECT_NE(out.find("--shard=I/N"), std::string::npos);
+  EXPECT_NE(out.find("ilat merge"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded campaigns and the merge subcommand.
+
+TEST(CliParseTest, ParsesShardAndPartialFlags) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--campaign=spec.txt", "--shard=2/8",
+                            "--campaign-partial=out.json"},
+                           &o, &error))
+      << error;
+  EXPECT_EQ(o.shard_index, 2);
+  EXPECT_EQ(o.shard_count, 8);
+  EXPECT_EQ(o.campaign_partial, "out.json");
+  EXPECT_FALSE(o.merge_mode);
+}
+
+TEST(CliParseTest, RejectsMalformedShardValues) {
+  for (const char* bad : {"--shard=3/3", "--shard=x/2", "--shard=1", "--shard=1/0",
+                          "--shard=", "--shard=1/2/3", "--shard=-1/2", "--shard=1/2 "}) {
+    CliOptions o;
+    std::string error;
+    EXPECT_FALSE(ParseCliArgs({"--campaign=spec.txt", bad, "--campaign-partial=x"}, &o,
+                              &error))
+        << bad;
+    EXPECT_NE(error.find("--shard"), std::string::npos) << bad;
+  }
+}
+
+TEST(CliParseTest, ShardRequiresCampaignAndPartial) {
+  CliOptions o;
+  std::string error;
+  EXPECT_FALSE(ParseCliArgs({"--shard=0/2", "--campaign-partial=x"}, &o, &error));
+  EXPECT_NE(error.find("--campaign"), std::string::npos);
+
+  o = CliOptions();
+  EXPECT_FALSE(ParseCliArgs({"--campaign=spec.txt", "--shard=0/2"}, &o, &error));
+  EXPECT_NE(error.find("--campaign-partial"), std::string::npos);
+
+  // A shard holds a fraction of the campaign, so whole-campaign outputs
+  // and gating are refused until the partials are merged.
+  o = CliOptions();
+  EXPECT_FALSE(ParseCliArgs({"--campaign=spec.txt", "--shard=0/2",
+                             "--campaign-partial=x", "--campaign-out=dir"},
+                            &o, &error));
+  EXPECT_NE(error.find("merge"), std::string::npos);
+
+  // --shard=0/1 is the whole campaign; outputs are fine.
+  o = CliOptions();
+  EXPECT_TRUE(ParseCliArgs({"--campaign=spec.txt", "--shard=0/1", "--campaign-partial=x",
+                            "--campaign-out=dir"},
+                           &o, &error))
+      << error;
+}
+
+TEST(CliParseTest, MergeSubcommandCollectsInputs) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"merge", "a.json", "b.json", "--campaign-out=dir"}, &o, &error))
+      << error;
+  EXPECT_TRUE(o.merge_mode);
+  ASSERT_EQ(o.merge_inputs.size(), 2u);
+  EXPECT_EQ(o.merge_inputs[0], "a.json");
+  EXPECT_EQ(o.merge_inputs[1], "b.json");
+  EXPECT_EQ(o.campaign_out, "dir");
+
+  o = CliOptions();
+  EXPECT_FALSE(ParseCliArgs({"merge"}, &o, &error));  // no inputs
+  EXPECT_NE(error.find("merge"), std::string::npos);
+
+  o = CliOptions();
+  EXPECT_FALSE(ParseCliArgs({"merge", "a.json", "--campaign=spec.txt"}, &o, &error));
+
+  // `merge` is a subcommand, not a flag value: anywhere else it is unknown.
+  o = CliOptions();
+  EXPECT_FALSE(ParseCliArgs({"--events", "merge"}, &o, &error));
+  EXPECT_NE(error.find("unknown argument"), std::string::npos);
+}
+
+// End to end: shard a campaign into partials via the real CLI, merge
+// them, and demand byte-identical artifacts vs the unsharded run.
+TEST(CliRunTest, ShardedCampaignMergesByteIdenticalToUnsharded) {
+  const std::string spec_path = TempPath("shard-spec.txt");
+  {
+    std::ofstream spec(spec_path);
+    spec << "name = clishard\nos = nt40\napp = echo, desktop\nseeds = 2\nseed = 7\n";
+  }
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+
+  CliOptions full;
+  full.campaign_path = spec_path;
+  full.campaign_out = TempPath("shard-full");
+  ASSERT_EQ(Capture(full).first, 0);
+
+  std::vector<std::string> partials;
+  for (int i = 0; i < 3; ++i) {
+    CliOptions shard;
+    shard.campaign_path = spec_path;
+    shard.shard_index = i;
+    shard.shard_count = 3;
+    shard.jobs = 1 + i;  // thread count must not affect the bytes
+    shard.campaign_partial = TempPath("shard-p" + std::to_string(i) + ".json");
+    partials.push_back(shard.campaign_partial);
+    const auto [rc, out] = Capture(shard);
+    ASSERT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("wrote shard"), std::string::npos);
+  }
+
+  CliOptions merge;
+  merge.merge_mode = true;
+  merge.merge_inputs = partials;
+  merge.campaign_out = TempPath("shard-merged");
+  const auto [rc, out] = Capture(merge);
+  ASSERT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("merged 3 partial(s)"), std::string::npos);
+
+  const std::string full_json = slurp(TempPath("shard-full") + "/aggregate.json");
+  ASSERT_FALSE(full_json.empty());
+  EXPECT_EQ(full_json, slurp(TempPath("shard-merged") + "/aggregate.json"));
+  EXPECT_EQ(slurp(TempPath("shard-full") + "/cells.csv"),
+            slurp(TempPath("shard-merged") + "/cells.csv"));
+}
+
+TEST(CliRunTest, MergeFailuresExitTwoWithOneLineErrors) {
+  CliOptions o;
+  o.merge_mode = true;
+  o.merge_inputs = {TempPath("no-such-partial.json")};
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("merge:"), std::string::npos);
+}
+
+TEST(CliRunTest, CorruptSessionLoadExitsTwo) {
+  const std::string path = TempPath("corrupt-session.ilat");
+  {
+    std::ofstream f(path);
+    f << "this is not a session file\n";
+  }
+  CliOptions o;
+  o.load_path = path;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("cannot load"), std::string::npos);
 }
 
 }  // namespace

@@ -164,6 +164,24 @@ TEST(SessionIoTest, RejectsGarbage) {
   EXPECT_FALSE(LoadSessionResult("/nonexistent/nope", &r));
 }
 
+TEST(SessionIoTest, RejectsCorruptCounterValuesInsteadOfThrowing) {
+  // The counter loader used an unguarded std::stoull, so a damaged file
+  // terminated the process ("cycles=abc" -> std::invalid_argument,
+  // "cycles=99999999999999999999" -> std::out_of_range) instead of
+  // returning false like every other malformed section.
+  for (const char* pair : {"cycles=abc", "cycles=", "cycles=-3", "cycles=1x",
+                           "cycles=99999999999999999999", "cycles"}) {
+    const std::string path = TempPath("corrupt_counter.ilat");
+    {
+      std::ofstream out(path);
+      out << "ilat-session 2\nmeta 10 0 5 100 200\ncounters 1\n" << pair
+          << "\ntrace 0\nevents 0\nio 0\n";
+    }
+    SessionResult r;
+    EXPECT_FALSE(LoadSessionResult(path, &r)) << pair;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Asynchronous I/O (print path).
 
