@@ -59,12 +59,16 @@ void Run() {
   const double speedup =
       stats8.wall_seconds > 0.0 ? stats1.wall_seconds / stats8.wall_seconds : 0.0;
   const unsigned hw = std::thread::hardware_concurrency();
+  // On a 1-core host the jobs-8 wall time measures thread-switching
+  // overhead, not parallelism; reporting it as a "speedup" is noise.
+  const bool parallel_untested = hw <= 1;
 
   TextTable t({"jobs", "cells", "wall (s)", "speedup", "aggregate"});
   t.AddRow({"1", std::to_string(stats1.cells), TextTable::Num(stats1.wall_seconds, 3), "1.00",
             "baseline"});
   t.AddRow({"8", std::to_string(stats8.cells), TextTable::Num(stats8.wall_seconds, 3),
-            TextTable::Num(speedup, 2), identical ? "byte-identical" : "MISMATCH"});
+            parallel_untested ? "n/a (1 core)" : TextTable::Num(speedup, 2),
+            identical ? "byte-identical" : "MISMATCH"});
   std::printf("%s", t.ToString().c_str());
   std::printf("host cores: %u (speedup is bounded by physical parallelism)\n", hw);
   if (!identical) {
@@ -88,15 +92,25 @@ void Run() {
     }
   }
 
-  // Perf-trajectory snapshot.
+  // Perf-trajectory snapshot.  On a 1-core host the speedup key is
+  // replaced by parallel_untested:true, with the note explaining why; the
+  // schema stays compatible (the note key is always present).
   const std::string path = BenchOutDir() + "/BENCH_campaign.json";
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f != nullptr) {
     std::fprintf(f,
                  "{\"cells\": %zu, \"host_cores\": %u, \"wall_s_jobs1\": %.6f, "
-                 "\"wall_s_jobs8\": %.6f, \"speedup\": %.3f, \"deterministic\": %s}\n",
-                 stats1.cells, hw, stats1.wall_seconds, stats8.wall_seconds, speedup,
-                 identical ? "true" : "false");
+                 "\"wall_s_jobs8\": %.6f, ",
+                 stats1.cells, hw, stats1.wall_seconds, stats8.wall_seconds);
+    if (parallel_untested) {
+      std::fprintf(f,
+                   "\"parallel_untested\": true, \"note\": \"host has 1 core; the "
+                   "jobs-8 wall time measures thread overhead, not parallelism\", ");
+    } else {
+      std::fprintf(f, "\"speedup\": %.3f, \"parallel_untested\": false, \"note\": \"\", ",
+                   speedup);
+    }
+    std::fprintf(f, "\"deterministic\": %s}\n", identical ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }

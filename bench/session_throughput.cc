@@ -1,0 +1,156 @@
+// Session throughput: how fast does the simulator itself run?
+//
+// Everything else in bench/ measures the *simulated* machine; this lane
+// measures the *simulator* -- the baseline every hot-path optimization PR
+// will be gated against.  It runs the paper's three applications through
+// RunSpecSession under an installed HostProfiler, reports sessions/sec,
+// simulated-ms/sec and events/sec, sizes a structured trace, and writes
+// bench_out/BENCH_session.json with the top-3 probe costs so a perf
+// trajectory can diff where the time went, not just how much there was.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/catalog.h"
+#include "src/obs/jsonout.h"
+#include "src/obs/profiler.h"
+#include "src/obs/trace_export.h"
+
+namespace ilat {
+namespace {
+
+struct LaneTotals {
+  int sessions = 0;
+  double wall_s = 0.0;
+  double simulated_ms = 0.0;
+  std::size_t events = 0;
+};
+
+bool RunMatrix(obs::HostProfiler* profiler, LaneTotals* totals) {
+  obs::HostProfiler::Install(profiler);
+  const auto start = std::chrono::steady_clock::now();
+  for (const char* app : {"notepad", "word", "powerpoint"}) {
+    for (std::uint64_t seed : {1ULL, 2ULL}) {
+      RunSpec spec;
+      spec.os = "nt40";
+      spec.app = app;
+      spec.seed = seed;
+      SessionResult r;
+      std::string error;
+      if (!RunSpecSession(spec, &r, &error)) {
+        obs::HostProfiler::Uninstall();
+        std::fprintf(stderr, "session failed: %s\n", error.c_str());
+        return false;
+      }
+      ++totals->sessions;
+      totals->simulated_ms += CyclesToMilliseconds(r.run_end);
+      totals->events += r.events.size();
+    }
+  }
+  totals->wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  obs::HostProfiler::Uninstall();
+  return true;
+}
+
+// One traced session, to size the trace a session generates (Chrome JSON
+// bytes) -- the cost the tracer's null-sink fast path avoids.
+std::size_t TraceBytesPerSession() {
+  RunSpec spec;
+  spec.os = "nt40";
+  spec.app = "word";
+  spec.seed = 1;
+  spec.collect_trace = true;
+  SessionResult r;
+  std::string error;
+  if (!RunSpecSession(spec, &r, &error) || r.trace_data == nullptr) {
+    return 0;
+  }
+  return obs::TraceToChromeJson(*r.trace_data).size();
+}
+
+void Run() {
+  Banner("Session throughput -- the simulator measuring itself",
+         "6 sessions (3 apps x 2 seeds) under the host-time profiler");
+
+  obs::HostProfiler profiler;
+  LaneTotals totals;
+  if (!RunMatrix(&profiler, &totals)) {
+    return;
+  }
+  const std::size_t trace_bytes = TraceBytesPerSession();
+
+  const double sessions_per_sec =
+      totals.wall_s > 0.0 ? totals.sessions / totals.wall_s : 0.0;
+  const double sim_ms_per_sec =
+      totals.wall_s > 0.0 ? totals.simulated_ms / totals.wall_s : 0.0;
+  const double events_per_sec =
+      totals.wall_s > 0.0 ? static_cast<double>(totals.events) / totals.wall_s : 0.0;
+
+  TextTable t({"metric", "value"});
+  t.AddRow({"sessions", std::to_string(totals.sessions)});
+  t.AddRow({"wall (s)", TextTable::Num(totals.wall_s, 3)});
+  t.AddRow({"sessions/sec", TextTable::Num(sessions_per_sec, 2)});
+  t.AddRow({"simulated-ms/sec", TextTable::Num(sim_ms_per_sec, 0)});
+  t.AddRow({"events/sec", TextTable::Num(events_per_sec, 1)});
+  t.AddRow({"trace bytes/session", std::to_string(trace_bytes)});
+  std::printf("%s", t.ToString().c_str());
+  std::printf("%s", profiler.RenderTable(totals.wall_s, totals.simulated_ms).c_str());
+
+  // Top-3 probes by total host time, for the trajectory snapshot.
+  std::vector<int> order(obs::kHostProbeCount);
+  for (int i = 0; i < obs::kHostProbeCount; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return profiler.stats(static_cast<obs::HostProbe>(a)).total_ns >
+           profiler.stats(static_cast<obs::HostProbe>(b)).total_ns;
+  });
+
+  const std::string path = BenchOutDir() + "/BENCH_session.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return;
+  }
+  std::string json = "{\"sessions\": " + std::to_string(totals.sessions);
+  json += ", \"wall_s\": " + obs::NumToJson(totals.wall_s);
+  json += ", \"sessions_per_sec\": " + obs::NumToJson(sessions_per_sec);
+  json += ", \"simulated_ms_per_sec\": " + obs::NumToJson(sim_ms_per_sec);
+  json += ", \"events_per_sec\": " + obs::NumToJson(events_per_sec);
+  json += ", \"events\": " + std::to_string(totals.events);
+  json += ", \"trace_bytes_per_session\": " + std::to_string(trace_bytes);
+  json += ", \"coverage\": " + obs::NumToJson(profiler.Coverage(totals.wall_s));
+  json += ", \"top_probes\": [";
+  for (int k = 0; k < 3 && k < obs::kHostProbeCount; ++k) {
+    const auto probe = static_cast<obs::HostProbe>(order[static_cast<std::size_t>(k)]);
+    const obs::HostProbeStats& s = profiler.stats(probe);
+    if (k > 0) {
+      json += ", ";
+    }
+    json += "{\"probe\": \"" + std::string(obs::HostProbeInfoFor(probe).name) + "\"";
+    json += ", \"total_ns\": " + std::to_string(s.total_ns);
+    json += ", \"count\": " + std::to_string(s.count);
+    json += ", \"wall_pct\": " +
+            obs::NumToJson(totals.wall_s > 0.0
+                               ? 100.0 * static_cast<double>(s.total_ns) /
+                                     (totals.wall_s * 1e9)
+                               : 0.0);
+    json += "}";
+  }
+  json += "]}\n";
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::Run();
+  return 0;
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Smoke-test the host-time self-profiler end to end: run a session with
+# --profile=FILE and demand the report is valid JSON in which every
+# declared probe fired (count > 0) and the top-level probes account for
+# >= 80% of the session wall time.  Then the neutrality contract: a
+# campaign run with --profile must produce byte-identical aggregate.json
+# and cells.csv to one without, and shard partials carrying per-cell wall
+# times must still merge into the single-process aggregate byte-for-byte.
+# Assumes a built tree; pass a different build dir as $1.
+set -euo pipefail
+
+build_dir="${1:-build}"
+ilat="$build_dir/src/tools/ilat"
+if [[ ! -x "$ilat" ]]; then
+  echo "error: $ilat not found -- build the project first" >&2
+  exit 2
+fi
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+# One session that exercises every probe: --trace-out gives the tracer a
+# sink (trace.emit), --save drives the session-file writer (session.io).
+"$ilat" --os=nt40 --app=word --profile="$out_dir/prof.json" \
+        --trace-out="$out_dir/trace.json" --save="$out_dir/run.ilat" \
+        > "$out_dir/run.txt"
+grep -q "host-time profile" "$out_dir/run.txt"
+
+# The report is well-formed JSON, every declared probe fired, and the
+# disjoint top-level probes cover >= 80% of the wall-clock window.
+python3 - "$out_dir/prof.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+probes = report["probes"]
+declared = [
+    "session.setup", "sim.run", "queue.push", "queue.pop", "sched.dispatch",
+    "idle.tick", "trace.emit", "app.message", "metrics.snapshot",
+    "extract.events", "session.io",
+]
+for name in declared:
+    assert name in probes, f"probe {name} missing from report"
+    assert probes[name]["count"] > 0, f"probe {name} never fired"
+assert set(probes) == set(declared), f"undeclared probes: {set(probes) - set(declared)}"
+assert report["wall_s"] > 0, "wall_s missing or zero"
+assert report["coverage"] >= 0.8, f"coverage {report['coverage']:.3f} < 0.80"
+print(f"profile ok: {len(probes)} probes, coverage {report['coverage']:.1%}")
+EOF
+
+spec="$out_dir/spec.txt"
+cat > "$spec" <<'EOF'
+# 2 os x 2 app x 2 seeds = 8 cells
+name   = profsmoke
+os     = nt40, win95
+app    = notepad, word
+seeds  = 2
+seed   = 2026
+EOF
+
+# Neutrality: profiling a campaign must not change a byte of its outputs.
+"$ilat" --campaign="$spec" --jobs=2 --campaign-out="$out_dir/plain" >/dev/null
+"$ilat" --campaign="$spec" --jobs=2 --campaign-out="$out_dir/profiled" \
+        --profile="$out_dir/campaign-prof.json" --progress=2 \
+        >/dev/null 2>"$out_dir/progress.txt"
+cmp "$out_dir/plain/aggregate.json" "$out_dir/profiled/aggregate.json"
+cmp "$out_dir/plain/cells.csv" "$out_dir/profiled/cells.csv"
+python3 -m json.tool "$out_dir/campaign-prof.json" >/dev/null
+
+# The heartbeat went to stderr and counted all the way up.
+grep -q "8/8 cells" "$out_dir/progress.txt"
+
+# Campaign runs emit host-side timing artifacts next to the aggregate,
+# and the per-cell wall times never leak into the deterministic outputs.
+python3 -m json.tool "$out_dir/plain/timing.json" >/dev/null
+test -s "$out_dir/plain/timing.csv"
+if grep -q "wall_s" "$out_dir/plain/aggregate.json"; then
+  echo "error: wall_s leaked into aggregate.json" >&2
+  exit 1
+fi
+
+# Partials carry per-cell wall times (telemetry), yet the merged
+# aggregate still reproduces the single-process run byte for byte.
+for i in 0 1; do
+  "$ilat" --campaign="$spec" --shard="$i/2" \
+          --campaign-partial="$out_dir/p$i.json" >/dev/null
+done
+grep -q "wall_s" "$out_dir/p0.json"
+"$ilat" merge "$out_dir/p0.json" "$out_dir/p1.json" \
+        --campaign-out="$out_dir/merged" >/dev/null
+cmp "$out_dir/plain/aggregate.json" "$out_dir/merged/aggregate.json"
+cmp "$out_dir/plain/cells.csv" "$out_dir/merged/cells.csv"
+
+# Flag validation: malformed telemetry flags exit 2, and the first line
+# of output names the offending flag.  (Flag-level mistakes print the
+# usage text after the error, so no single-line check here.)
+expect_exit2() {
+  local what="$1" flag="$2"
+  shift 2
+  local output rc
+  set +e
+  output="$("$@" 2>&1)"
+  rc=$?
+  set -e
+  if [[ $rc -ne 2 ]]; then
+    echo "error: $what should exit 2 (got $rc)" >&2
+    exit 1
+  fi
+  if [[ "$(printf '%s' "$output" | head -n 1)" != *"$flag"* ]]; then
+    echo "error: $what should lead with a $flag diagnostic:" >&2
+    printf '%s\n' "$output" >&2
+    exit 1
+  fi
+}
+expect_exit2 "--progress=0" "--progress" "$ilat" --campaign="$spec" --progress=0
+expect_exit2 "--progress=abc" "--progress" "$ilat" --campaign="$spec" --progress=abc
+expect_exit2 "--profile= (empty)" "--profile" "$ilat" --app=notepad --profile=
+
+echo "check_profile: all good"

@@ -31,6 +31,9 @@ if [[ $asan -eq 1 ]]; then
   # Shard/merge smoke against the sanitized binary: the partial writer and
   # merge reader juggle FILE* handles and per-cell payload buffers.
   bash scripts/check_shard.sh build-asan
+  # Profiler smoke against the sanitized binary: the thread-local install/
+  # merge dance in the campaign workers is where lifetime bugs would hide.
+  bash scripts/check_profile.sh build-asan
 fi
 
 echo "check_tier1: all good"

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/profiler.h"
+
 namespace ilat {
 
 GuiThread::GuiThread(SystemUnderTest* system, GuiApplication* app, int priority)
@@ -52,6 +54,7 @@ void GuiThread::FinishJobIfDone() {
 }
 
 void GuiThread::BeginDispatch(const Message& m) {
+  PROF_SCOPE(kAppMessage);
   current_msg_ = m;
   handling_foreground_ = true;
   const Cycles now = system_->sim().now();

@@ -50,6 +50,13 @@ struct CellResult {
   fault::FaultReport fault;
   bool degraded = false;
   int attempts = 1;
+
+  // Host wall time the runner spent on this cell (all attempts plus
+  // retry backoff).  Telemetry only: it rides through shard partials so
+  // merged campaigns keep their timing, but it is never serialised into
+  // the aggregate JSON/CSV -- those stay host-independent (see the
+  // determinism contract above).
+  double wall_s = 0.0;
 };
 
 // Distil a finished session into its cell summary.

@@ -84,6 +84,7 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
   const int max_attempts = 1 + (spec.cell_retries > 0 ? spec.cell_retries : 0);
   auto run_cell = [&](const CampaignCell& cell) {
     auto outcome = std::make_unique<CellOutcome>();
+    const auto cell_start = std::chrono::steady_clock::now();
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       if (attempt > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5LL << (attempt - 1)));
@@ -111,14 +112,26 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
       }
       // Exhausted attempts leave the (structured) degraded result standing.
     }
+    // Cell wall time covers every attempt plus retry backoff -- the
+    // number the slowest-cells telemetry and timing artifacts report.
+    outcome->result.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - cell_start)
+            .count();
     return outcome;
   };
 
+  std::mutex prof_mu;
   auto worker = [&] {
+    // Each worker profiles into a private, lock-free slab and folds it
+    // into the shared report only once, at exit.
+    obs::HostProfiler local_profiler;
+    if (options.profiler != nullptr) {
+      obs::HostProfiler::Install(&local_profiler);
+    }
     while (true) {
       const std::size_t i = cursor.fetch_add(1);
       if (i >= cells.size()) {
-        return;
+        break;
       }
       auto outcome = run_cell(cells[i]);
       {
@@ -126,6 +139,11 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
         done[i] = std::move(outcome);
       }
       ready_cv.notify_one();
+    }
+    if (options.profiler != nullptr) {
+      obs::HostProfiler::Uninstall();
+      std::lock_guard<std::mutex> lock(prof_mu);
+      options.profiler->Merge(local_profiler);
     }
   };
 

@@ -20,6 +20,7 @@
 
 #include "src/campaign/aggregate.h"
 #include "src/campaign/spec.h"
+#include "src/obs/profiler.h"
 
 namespace ilat {
 namespace campaign {
@@ -40,6 +41,11 @@ struct CampaignRunOptions {
   // still attached (exact latencies, metrics snapshot) -- what a shard
   // partial file must persist, and exactly what Add() drops.
   std::function<void(const CellResult&)> on_result;
+  // When non-null, every worker thread installs its own HostProfiler for
+  // the run and merges it into this one at exit (under a runner-private
+  // mutex, off the session path).  Probe time is therefore summed across
+  // workers.
+  obs::HostProfiler* profiler = nullptr;
 };
 
 // Host-side bookkeeping the aggregate deliberately excludes.

@@ -45,6 +45,9 @@ std::string CellToJson(const CellResult& r) {
   out += ", \"max_ms\": " + NumToJson(r.max_ms);
   out += ", \"attempts\": " + std::to_string(r.attempts);
   out += std::string(", \"degraded\": ") + (r.degraded ? "true" : "false");
+  // Host telemetry only: survives the merge for timing reports, but the
+  // merged aggregate's own JSON/CSV never include it.
+  out += ", \"wall_s\": " + NumToJson(r.wall_s);
 
   const fault::FaultReport& f = r.fault;
   out += std::string(", \"fault\": {\"enabled\": ") + (f.enabled ? "true" : "false");
@@ -184,6 +187,9 @@ bool ParseCell(const std::string& path, const JsonValue& v, CellResult* r,
   r->cell.fault_point = static_cast<std::size_t>(fault_point);
   r->events = static_cast<std::size_t>(events);
   r->above = static_cast<std::size_t>(above);
+  // Tolerant read: partials written before wall-time telemetry existed
+  // simply merge with wall_s = 0.
+  r->wall_s = v.NumberAt("wall_s");
   r->elapsed_s = v.NumberAt("elapsed_s");
   r->cumulative_ms = v.NumberAt("cumulative_ms");
   r->mean_ms = v.NumberAt("mean_ms");

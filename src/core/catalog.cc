@@ -12,6 +12,7 @@
 #include "src/apps/word.h"
 #include "src/input/network.h"
 #include "src/input/workloads.h"
+#include "src/obs/profiler.h"
 #include "src/os/personalities.h"
 
 namespace ilat {
@@ -141,6 +142,7 @@ Script MakeWorkloadByName(const std::string& name, Random* rng, const WorkloadPa
 }
 
 bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error) {
+  obs::ScopedHostProbe setup(obs::HostProbe::kSessionSetup);
   const OsProfile* os = nullptr;
   static const std::vector<OsProfile> all = AllPersonalities();
   for (const OsProfile& p : all) {
@@ -187,6 +189,7 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
     nparams.seed = spec.workload_seed != 0 ? spec.workload_seed : spec.seed;
     nparams.packets = spec.params.packets;
     NetworkTrafficDriver ndriver(&session.system(), &session.thread(), nparams);
+    setup.Stop();
     *out = session.RunWithDriver(&ndriver);
     return true;
   }
@@ -197,6 +200,7 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
     *error = "unknown workload '" + workload + "'";
     return false;
   }
+  setup.Stop();
   *out = session.Run(script);
   return true;
 }

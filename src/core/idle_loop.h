@@ -22,6 +22,7 @@
 #include <utility>
 
 #include "src/core/trace_buffer.h"
+#include "src/obs/profiler.h"
 #include "src/sim/simulation.h"
 #include "src/sim/thread.h"
 
@@ -80,6 +81,7 @@ class IdleLoopInstrument : public SimThread {
 
  private:
   void ObserveGap(Cycles now) {
+    PROF_SCOPE(kIdleTick);
     buffer_.Append(now);
     m_records_->Increment();
     if (last_record_ >= 0) {
@@ -90,8 +92,13 @@ class IdleLoopInstrument : public SimThread {
         m_gaps_->Increment();
         const Cycles stolen = gap - period_;
         m_stolen_ms_->Record(CyclesToMilliseconds(stolen));
-        tracer_->CompleteSpan(track_, "stolen", "idle", last_record_, gap, "stolen_ms",
-                              CyclesToMilliseconds(stolen));
+        // The enabled() guard skips the argument conversions too, not
+        // just the emission -- this fires once per stolen gap on every
+        // untraced run.
+        if (tracer_->enabled()) {
+          tracer_->CompleteSpan(track_, "stolen", "idle", last_record_, gap, "stolen_ms",
+                                CyclesToMilliseconds(stolen));
+        }
       }
     }
     last_record_ = now;

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/profiler.h"
+
 namespace ilat {
 
 // Wiring: adapts simulator ground-truth signals (CPU busy/idle, queue
@@ -134,6 +136,7 @@ void MeasurementSession::InstallInstrument() {
 
 SessionResult MeasurementSession::Run(const Script& script) {
   assert(thread_ != nullptr && "AttachApp before Run");
+  obs::ScopedHostProbe setup(obs::HostProbe::kSessionSetup);
   system_->Boot();
   InstallInstrument();
   if (!counters_started_) {
@@ -162,17 +165,20 @@ SessionResult MeasurementSession::Run(const Script& script) {
     }
   }
 
+  setup.Stop();
   return RunWithDriver(driver.get());
 }
 
 SessionResult MeasurementSession::RunWithDriver(InputDriver* driver) {
   assert(thread_ != nullptr && "AttachApp before RunWithDriver");
+  obs::ScopedHostProbe setup(obs::HostProbe::kSessionSetup);
   system_->Boot();
   InstallInstrument();
   if (!counters_started_) {
     counters_at_start_ = system_->sim().counters().Snapshot();
     counters_started_ = true;
   }
+  setup.Stop();
   driver->Start();
   const Cycles deadline = system_->sim().now() + opts_.max_run;
   while (!driver->done() && system_->sim().now() < deadline) {
@@ -184,9 +190,11 @@ SessionResult MeasurementSession::RunWithDriver(InputDriver* driver) {
 }
 
 SessionResult MeasurementSession::RunIdle(Cycles duration) {
+  obs::ScopedHostProbe setup(obs::HostProbe::kSessionSetup);
   system_->Boot();
   InstallInstrument();
   counters_at_start_ = system_->sim().counters().Snapshot();
+  setup.Stop();
   system_->sim().RunFor(duration);
   return Finalize(nullptr);
 }
@@ -297,8 +305,14 @@ SessionResult MeasurementSession::Finalize(InputDriver* driver) {
   if (result.fault.enabled) {
     tracer.metrics().GetGauge("session.degraded")->Set(result.fault.degraded ? 1.0 : 0.0);
   }
-  result.metrics = tracer.metrics().Snapshot();
-  result.metrics_json = tracer.metrics().ToJson();
+  {
+    // Per-update metric increments are ~1 ns -- far below what a probe's
+    // clock reads could resolve -- so the metrics probe accounts the
+    // snapshot + JSON render instead (see docs/OBSERVABILITY.md).
+    PROF_SCOPE(kMetrics);
+    result.metrics = tracer.metrics().Snapshot();
+    result.metrics_json = tracer.metrics().ToJson();
+  }
   if (trace_sink_ != nullptr) {
     result.trace_data = std::make_shared<obs::TraceData>(tracer.TakeData());
   }
@@ -310,6 +324,7 @@ SessionResult MeasurementSession::Finalize(InputDriver* driver) {
     }
     result.last_input_done_at = driver->finished_at();
 
+    PROF_SCOPE(kEventExtract);
     const BusyProfile busy(result.trace, result.trace_period, result.trace_start);
     ExtractorOptions xopts;
     xopts.calm_factor = opts_.calm_factor;

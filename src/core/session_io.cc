@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/profiler.h"
+
 namespace ilat {
 
 namespace {
@@ -45,6 +47,7 @@ MessageType TypeFromInt(int v) {
 }  // namespace
 
 bool SaveSessionResult(const std::string& path, const SessionResult& result) {
+  PROF_SCOPE(kSessionIo);
   std::ofstream out(path);
   if (!out) {
     return false;
@@ -81,6 +84,7 @@ bool SaveSessionResult(const std::string& path, const SessionResult& result) {
 }
 
 bool LoadSessionResult(const std::string& path, SessionResult* out_result) {
+  PROF_SCOPE(kSessionIo);
   std::ifstream in(path);
   if (!in) {
     return false;

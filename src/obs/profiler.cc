@@ -1,0 +1,179 @@
+#include "src/obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/jsonout.h"
+
+namespace ilat {
+namespace obs {
+
+thread_local HostProfiler* HostProfiler::current_ = nullptr;
+
+namespace {
+
+// Enum-order metadata; names are the stable keys check_profile.sh and the
+// bench lane consume.
+constexpr HostProbeInfo kProbeInfo[kHostProbeCount] = {
+    {"session.setup", "catalog/measurement construction", true, true},
+    {"sim.run", "Scheduler::RunUntil", true, true},
+    {"queue.push", "EventQueue::ScheduleAt", false, true},
+    {"queue.pop", "EventQueue::RunNext", false, true},
+    {"sched.dispatch", "Scheduler pick/ensure", false, true},
+    {"idle.tick", "IdleLoopInstrument::ObserveGap", false, true},
+    {"trace.emit", "Tracer::Emit", false, true},
+    {"app.message", "GuiThread::BeginDispatch", false, true},
+    {"metrics.snapshot", "MetricsRegistry snapshot+json", true, true},
+    {"extract.events", "ExtractEvents", true, true},
+    {"session.io", "Save/LoadSessionResult", true, false},
+};
+
+std::string NsHuman(std::uint64_t ns) {
+  char buf[32];
+  if (ns >= 1'000'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1'000'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1'000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu ns", static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+const HostProbeInfo& HostProbeInfoFor(HostProbe p) {
+  return kProbeInfo[static_cast<int>(p)];
+}
+
+void HostProfiler::Merge(const HostProfiler& other) {
+  for (int i = 0; i < kHostProbeCount; ++i) {
+    HostProbeStats& d = stats_[i];
+    const HostProbeStats& s = other.stats_[i];
+    d.count += s.count;
+    d.total_ns += s.total_ns;
+    d.max_ns = std::max(d.max_ns, s.max_ns);
+    for (int b = 0; b < kHostProbeBuckets; ++b) {
+      d.buckets[b] += s.buckets[b];
+    }
+  }
+}
+
+void HostProfiler::Reset() {
+  for (HostProbeStats& s : stats_) {
+    s = HostProbeStats();
+  }
+}
+
+std::uint64_t HostProfiler::RunWindowTotalNs() const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kHostProbeCount; ++i) {
+    if (kProbeInfo[i].top_level && kProbeInfo[i].run_window) {
+      total += stats_[i].total_ns;
+    }
+  }
+  return total;
+}
+
+double HostProfiler::Coverage(double wall_s) const {
+  if (wall_s <= 0.0) {
+    return 0.0;
+  }
+  return static_cast<double>(RunWindowTotalNs()) / 1e9 / wall_s;
+}
+
+std::string HostProfiler::RenderTable(double wall_s, double simulated_ms,
+                                      int threads) const {
+  const double wall_ns = wall_s * 1e9;
+  std::string out = "host-time profile";
+  if (threads > 1) {
+    out += " (" + std::to_string(threads) + " workers; probe time summed across them)";
+  }
+  out += ":\n";
+  char line[192];
+  std::snprintf(line, sizeof(line), "  %-26s %12s %12s %10s %10s %12s %8s\n", "probe",
+                "count", "total", "mean", "max", "ns/sim-ms", "% wall");
+  out += line;
+  for (int i = 0; i < kHostProbeCount; ++i) {
+    const HostProbeStats& s = stats_[i];
+    const HostProbeInfo& info = kProbeInfo[i];
+    const double mean = s.count > 0 ? static_cast<double>(s.total_ns) / s.count : 0.0;
+    std::string per_sim_ms = "-";
+    if (simulated_ms > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    static_cast<double>(s.total_ns) / simulated_ms);
+      per_sim_ms = buf;
+    }
+    std::string pct = "-";
+    if (wall_ns > 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1f",
+                    100.0 * static_cast<double>(s.total_ns) / wall_ns);
+      pct = buf;
+    }
+    const std::string label =
+        std::string(info.name) + (info.top_level ? "" : " (nested)");
+    std::snprintf(line, sizeof(line), "  %-26s %12llu %12s %10s %10s %12s %8s\n",
+                  label.c_str(), static_cast<unsigned long long>(s.count),
+                  NsHuman(s.total_ns).c_str(),
+                  NsHuman(static_cast<std::uint64_t>(mean)).c_str(),
+                  NsHuman(s.max_ns).c_str(), per_sim_ms.c_str(), pct.c_str());
+    out += line;
+  }
+  if (threads <= 1) {
+    std::snprintf(line, sizeof(line),
+                  "top-level probes cover %.1f%% of the %.3f s run window "
+                  "(nested probes are accounted inside sim.run)\n",
+                  100.0 * Coverage(wall_s), wall_s);
+    out += line;
+  }
+  return out;
+}
+
+std::string HostProfiler::ToJson(double wall_s, double simulated_ms, int threads) const {
+  std::string out = "{\"wall_s\": " + NumToJson(wall_s);
+  out += ", \"simulated_ms\": " + NumToJson(simulated_ms);
+  out += ", \"threads\": " + std::to_string(threads);
+  out += ", \"coverage\": " + NumToJson(Coverage(wall_s));
+  out += ", \"probes\": {";
+  for (int i = 0; i < kHostProbeCount; ++i) {
+    const HostProbeStats& s = stats_[i];
+    const HostProbeInfo& info = kProbeInfo[i];
+    if (i > 0) {
+      out += ", ";
+    }
+    out += "\"" + std::string(info.name) + "\": {";
+    out += "\"count\": " + std::to_string(s.count);
+    out += ", \"total_ns\": " + std::to_string(s.total_ns);
+    out += ", \"max_ns\": " + std::to_string(s.max_ns);
+    out += ", \"ns_per_sim_ms\": " +
+           NumToJson(simulated_ms > 0.0 ? static_cast<double>(s.total_ns) / simulated_ms
+                                        : 0.0);
+    out += ", \"wall_pct\": " +
+           NumToJson(wall_s > 0.0
+                         ? 100.0 * static_cast<double>(s.total_ns) / (wall_s * 1e9)
+                         : 0.0);
+    out += std::string(", \"top_level\": ") + (info.top_level ? "true" : "false");
+    out += ", \"log2_ns_buckets\": [";
+    // Trailing zero buckets are elided to keep the report compact.
+    int last = kHostProbeBuckets - 1;
+    while (last > 0 && s.buckets[last] == 0) {
+      --last;
+    }
+    for (int b = 0; b <= last; ++b) {
+      if (b > 0) {
+        out += ", ";
+      }
+      out += std::to_string(s.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ilat

@@ -1,0 +1,179 @@
+// Host-time self-profiler: where does the *simulator's* wall time go?
+//
+// Everything else in obs/ observes the simulated machine in simulated
+// cycles; this observes the simulator itself in host nanoseconds, so the
+// hot-path roadmap work ("make sessions cheap") can be measured before it
+// is attempted.  The design follows the idle-loop instrument's own
+// philosophy at the host level: fixed per-probe slots, inline arithmetic,
+// and a log2 histogram -- no allocation, no locks, no formatting on the
+// session path.
+//
+//   * HostProbe      -- a closed enum of the components worth accounting
+//                       for (event-queue push/pop, scheduler dispatch,
+//                       idle-loop tick, tracer emission, ...).
+//   * HostProfiler   -- kHostProbeCount fixed accumulators {count,
+//                       total/max ns, log2 buckets}.  Installed per
+//                       thread via a thread_local pointer; campaign
+//                       workers each own one and merge off the hot path.
+//   * PROF_SCOPE     -- RAII probe: two monotonic clock reads and a few
+//                       adds when a profiler is installed, a single
+//                       thread_local load when not.  Compiling with
+//                       -DILAT_PROFILE_DISABLED removes even that.
+//
+// Neutrality contract: the profiler only reads the host clock and writes
+// its own slots.  It never touches simulated state, so simulated results
+// (aggregate JSON, cells CSV, saved sessions) are byte-identical with and
+// without --profile; scripts/check_profile.sh cmp-enforces this.
+
+#ifndef ILAT_SRC_OBS_PROFILER_H_
+#define ILAT_SRC_OBS_PROFILER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace ilat {
+namespace obs {
+
+// The declared hot components.  Top-level probes partition the measured
+// session window and sum to its coverage; nested probes run inside
+// kSimLoop (their time is also inside some top-level probe's total).
+enum class HostProbe : int {
+  kSessionSetup = 0,  // personality/app/session construction, script gen
+  kSimLoop,           // Scheduler::RunUntil -- the simulation itself
+  kQueuePush,         // EventQueue::ScheduleAt          (nested in kSimLoop)
+  kQueuePop,          // EventQueue::RunNext mechanics   (nested in kSimLoop)
+  kDispatch,          // scheduler pick/ensure-action    (nested in kSimLoop)
+  kIdleTick,          // idle-loop per-period record     (nested in kSimLoop)
+  kTracerEmit,        // structured-trace event build    (nested in kSimLoop)
+  kAppMessage,        // GuiThread message dispatch      (nested in kSimLoop)
+  kMetrics,           // metrics snapshot + JSON at Finalize
+  kEventExtract,      // ExtractEvents at Finalize
+  kSessionIo,         // session save/load (outside the run window)
+  kCount
+};
+
+inline constexpr int kHostProbeCount = static_cast<int>(HostProbe::kCount);
+inline constexpr int kHostProbeBuckets = 32;  // log2(ns): bucket 31 = 2+ s
+
+struct HostProbeInfo {
+  const char* name;  // stable key used in reports and check_profile.sh
+  const char* site;  // where the probe lives, for the table
+  bool top_level;    // disjoint from every other top-level probe
+  bool run_window;   // inside the wall-clock window coverage is based on
+};
+
+// Metadata for one probe (enum-order indexable).
+const HostProbeInfo& HostProbeInfoFor(HostProbe p);
+
+struct HostProbeStats {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+  std::uint64_t buckets[kHostProbeBuckets] = {};
+};
+
+// Monotonic host nanoseconds.
+inline std::uint64_t HostNowNs() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+class HostProfiler {
+ public:
+  HostProfiler() = default;
+  HostProfiler(const HostProfiler&) = delete;
+  HostProfiler& operator=(const HostProfiler&) = delete;
+
+  void Record(HostProbe p, std::uint64_t ns) {
+    HostProbeStats& s = stats_[static_cast<int>(p)];
+    ++s.count;
+    s.total_ns += ns;
+    if (ns > s.max_ns) {
+      s.max_ns = ns;
+    }
+    int b = 0;
+    for (std::uint64_t v = ns; v > 1 && b < kHostProbeBuckets - 1; v >>= 1) {
+      ++b;
+    }
+    ++s.buckets[b];
+  }
+
+  const HostProbeStats& stats(HostProbe p) const { return stats_[static_cast<int>(p)]; }
+
+  // Fold another profiler's slots into this one (campaign workers merge
+  // into the shared report off the hot path, under the runner's mutex).
+  void Merge(const HostProfiler& other);
+
+  void Reset();
+
+  // Sum of the top-level run-window probes: what the coverage criterion
+  // ("probes account for >= 80% of session wall time") is computed from.
+  std::uint64_t RunWindowTotalNs() const;
+  double Coverage(double wall_s) const;
+
+  // Human table / deterministic-format JSON (values themselves are host
+  // times, so runs differ; the *shape* is fixed).  `simulated_ms` scales
+  // the ns-per-simulated-ms column; pass 0 to omit it.  `threads` > 1
+  // annotates that probe time is summed across workers (coverage is then
+  // not printed -- the sum can legitimately exceed one thread's wall).
+  std::string RenderTable(double wall_s, double simulated_ms, int threads = 1) const;
+  std::string ToJson(double wall_s, double simulated_ms, int threads = 1) const;
+
+  // Per-thread installation; ScopedHostProbe reads Current().
+  static HostProfiler* Current() { return current_; }
+  static void Install(HostProfiler* p) { current_ = p; }
+  static void Uninstall() { current_ = nullptr; }
+
+ private:
+  HostProbeStats stats_[kHostProbeCount];
+  static thread_local HostProfiler* current_;
+};
+
+// RAII probe.  With no profiler installed the constructor is one
+// thread_local load and the destructor one branch.
+class ScopedHostProbe {
+ public:
+  explicit ScopedHostProbe(HostProbe p) : prof_(HostProfiler::Current()) {
+    if (prof_ != nullptr) {
+      probe_ = p;
+      start_ = HostNowNs();
+    }
+  }
+  ScopedHostProbe(const ScopedHostProbe&) = delete;
+  ScopedHostProbe& operator=(const ScopedHostProbe&) = delete;
+  ~ScopedHostProbe() { Stop(); }
+
+  // Close the probe early (for scopes that outlive the measured region).
+  void Stop() {
+    if (prof_ != nullptr) {
+      prof_->Record(probe_, HostNowNs() - start_);
+      prof_ = nullptr;
+    }
+  }
+
+ private:
+  HostProfiler* prof_;
+  HostProbe probe_ = HostProbe::kSessionSetup;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace obs
+}  // namespace ilat
+
+#define ILAT_PROF_CONCAT_INNER(a, b) a##b
+#define ILAT_PROF_CONCAT(a, b) ILAT_PROF_CONCAT_INNER(a, b)
+
+// PROF_SCOPE(kSimLoop): account the enclosing scope to a probe.
+#if defined(ILAT_PROFILE_DISABLED)
+#define PROF_SCOPE(probe) \
+  do {                    \
+  } while (0)
+#else
+#define PROF_SCOPE(probe)                                        \
+  ::ilat::obs::ScopedHostProbe ILAT_PROF_CONCAT(ilat_prof_scope_, __LINE__)( \
+      ::ilat::obs::HostProbe::probe)
+#endif
+
+#endif  // ILAT_SRC_OBS_PROFILER_H_

@@ -1,11 +1,20 @@
 #include "src/obs/trace.h"
 
+#include "src/obs/profiler.h"
+
 namespace ilat {
 namespace obs {
 
 void Tracer::Emit(Phase phase, std::uint32_t track, std::string_view name,
                   const char* category, Cycles ts, Cycles dur, const char* k0, double v0,
                   const char* k1, double v1, std::string_view detail) {
+  if (sink_->AtCapacity()) {
+    // A full sink drops the event anyway; count the drop without paying
+    // for the string construction below.
+    sink_->CountDrop();
+    return;
+  }
+  PROF_SCOPE(kTracerEmit);
   TraceEvent e;
   e.phase = phase;
   e.track = track;

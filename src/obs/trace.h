@@ -101,6 +101,10 @@ class TraceSink {
   std::size_t dropped() const { return dropped_; }
   bool AtCapacity() const { return events_.size() >= capacity_; }
 
+  // Count a drop decided before the event was built (the Tracer's
+  // at-capacity early-out, which skips formatting entirely).
+  void CountDrop() { ++dropped_; }
+
   std::vector<TraceEvent> TakeEvents() {
     std::vector<TraceEvent> out = std::move(events_);
     events_.clear();

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/obs/profiler.h"
+
 namespace ilat {
 
 Scheduler::Scheduler(EventQueue* queue, HardwareCounters* counters, obs::Tracer* tracer)
@@ -146,6 +148,7 @@ void Scheduler::SetBusy(bool busy) {
 }
 
 void Scheduler::RunUntil(Cycles until) {
+  PROF_SCOPE(kSimLoop);
   // Fire anything already due.
   while (queue_->NextEventTime() <= queue_->now()) {
     queue_->RunNext();
@@ -175,9 +178,16 @@ void Scheduler::RunUntil(Cycles until) {
       }
     } else {
       SimThread* t = nullptr;
-      while ((t = PickThread()) != nullptr) {
-        if (EnsureAction(t)) {
-          break;
+      {
+        // Dispatch mechanics: thread selection plus the thread code run
+        // inside EnsureAction/NextAction (which may itself hit the
+        // app.message probe -- nesting is fine, only top-level probes
+        // feed the coverage sum).
+        PROF_SCOPE(kDispatch);
+        while ((t = PickThread()) != nullptr) {
+          if (EnsureAction(t)) {
+            break;
+          }
         }
       }
       if (!interrupts_.empty()) {

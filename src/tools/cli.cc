@@ -1,6 +1,8 @@
 #include "src/tools/cli.h"
 
+#include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -18,6 +20,8 @@
 #include "src/core/measurement.h"
 #include "src/core/session_io.h"
 #include "src/fault/plan.h"
+#include "src/obs/jsonout.h"
+#include "src/obs/profiler.h"
 #include "src/obs/trace_export.h"
 #include "src/viz/ascii_chart.h"
 #include "src/viz/csv.h"
@@ -194,8 +198,15 @@ void PrintSummary(std::FILE* out, const std::string& os_name, const SessionResul
   }
 }
 
-int RunOne(const std::string& os_name, const CliOptions& options,
-           const fault::FaultPlan& faults, std::FILE* out) {
+// The measured run window for --profile: RunSpecSession wall time and the
+// session's simulated extent (for the ns/simulated-ms column).
+struct RunWindow {
+  double wall_s = 0.0;
+  double simulated_ms = 0.0;
+};
+
+int RunOneInner(const std::string& os_name, const CliOptions& options,
+                const fault::FaultPlan& faults, std::FILE* out, RunWindow* window) {
   RunSpec spec;
   spec.os = os_name;
   spec.app = options.app;
@@ -210,7 +221,15 @@ int RunOne(const std::string& os_name, const CliOptions& options,
 
   SessionResult r;
   std::string error;
-  if (!RunSpecSession(spec, &r, &error)) {
+  const auto run_start = std::chrono::steady_clock::now();
+  const bool ran = RunSpecSession(spec, &r, &error);
+  if (window != nullptr) {
+    window->wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - run_start)
+            .count();
+    window->simulated_ms = CyclesToMilliseconds(r.run_end);
+  }
+  if (!ran) {
     std::fprintf(out, "%s\n", error.c_str());
     return 2;
   }
@@ -267,6 +286,35 @@ int RunOne(const std::string& os_name, const CliOptions& options,
   return 0;
 }
 
+int RunOne(const std::string& os_name, const CliOptions& options,
+           const fault::FaultPlan& faults, std::FILE* out) {
+  if (!options.profile) {
+    return RunOneInner(os_name, options, faults, out, nullptr);
+  }
+  // The profiler observes the host only (clock reads into its own slots),
+  // so profiled runs produce byte-identical simulated artifacts --
+  // scripts/check_profile.sh cmp-enforces this.
+  obs::HostProfiler profiler;
+  obs::HostProfiler::Install(&profiler);
+  RunWindow window;
+  const int rc = RunOneInner(os_name, options, faults, out, &window);
+  obs::HostProfiler::Uninstall();
+  if (rc == 2) {
+    return rc;  // the session never ran; there is nothing to report
+  }
+  std::fputs(profiler.RenderTable(window.wall_s, window.simulated_ms).c_str(), out);
+  if (!options.profile_out.empty()) {
+    const std::string path = options.os == "all" ? options.profile_out + "." + os_name
+                                                 : options.profile_out;
+    if (!WriteTextFile(path, profiler.ToJson(window.wall_s, window.simulated_ms))) {
+      std::fprintf(out, "failed to write profile to %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "wrote host-time profile to %s\n", path.c_str());
+  }
+  return rc;
+}
+
 // Map a --gate-percentiles token onto an aggregate group key.
 bool NormalizeGateMetric(std::string token, std::string* out) {
   if (token.size() > 3 && token.substr(token.size() - 3) == "_ms") {
@@ -319,11 +367,71 @@ bool BuildGateOptions(const CliOptions& options, campaign::GateOptions* gate_opt
   return true;
 }
 
+// Host-side timing telemetry: the slowest-cells table for the campaign
+// summary, and the timing.json/timing.csv artifacts.  Cell wall times are
+// host-dependent, so they live in *separate* artifacts -- aggregate.json
+// and cells.csv stay byte-identical across hosts, jobs counts, and
+// with/without --profile.
+void PrintSlowestCells(const campaign::CampaignAggregate& aggregate, std::FILE* out) {
+  std::vector<const campaign::CellResult*> cells;
+  for (const campaign::CellResult& r : aggregate.cells()) {
+    if (r.wall_s > 0.0) {
+      cells.push_back(&r);
+    }
+  }
+  if (cells.empty()) {
+    return;  // e.g. a merge of partials that predate wall-time telemetry
+  }
+  std::stable_sort(cells.begin(), cells.end(),
+                   [](const campaign::CellResult* a, const campaign::CellResult* b) {
+                     return a->wall_s > b->wall_s;
+                   });
+  double total = 0.0;
+  for (const campaign::CellResult* r : cells) {
+    total += r->wall_s;
+  }
+  const std::size_t top = std::min<std::size_t>(5, cells.size());
+  std::fprintf(out, "slowest cells (host wall time; %.2f s total across %zu cells):\n",
+               total, cells.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const campaign::CellResult* r = cells[i];
+    std::fprintf(out, "  [%4zu] %-44s %8.3f s  (%.1f%%)%s\n", r->cell.index,
+                 r->cell.Label().c_str(), r->wall_s, 100.0 * r->wall_s / total,
+                 r->degraded ? "  degraded" : "");
+  }
+}
+
+bool WriteTimingArtifacts(const std::string& dir,
+                          const campaign::CampaignAggregate& aggregate) {
+  std::string json = "{\"cells\": [";
+  std::string csv = "index,label,wall_s,attempts,degraded\n";
+  double total = 0.0;
+  bool first = true;
+  for (const campaign::CellResult& r : aggregate.cells()) {
+    total += r.wall_s;
+    if (!first) {
+      json += ", ";
+    }
+    first = false;
+    json += "{\"index\": " + std::to_string(r.cell.index) + ", \"label\": \"" +
+            obs::EscapeJson(r.cell.Label()) + "\", \"wall_s\": " + obs::NumToJson(r.wall_s) +
+            ", \"attempts\": " + std::to_string(r.attempts) +
+            ", \"degraded\": " + (r.degraded ? "true" : "false") + "}";
+    csv += std::to_string(r.cell.index) + "," + r.cell.Label() + "," +
+           obs::NumToJson(r.wall_s) + "," + std::to_string(r.attempts) + "," +
+           (r.degraded ? "1" : "0") + "\n";
+  }
+  json += "], \"total_cell_wall_s\": " + obs::NumToJson(total) + "}\n";
+  return WriteTextFile(dir + "/timing.json", json) &&
+         WriteTextFile(dir + "/timing.csv", csv);
+}
+
 // Shared tail of campaign and merge mode: render tables, write
 // --campaign-out artifacts, gate against --campaign-baseline.
 int FinishAggregate(const CliOptions& options, const campaign::CampaignAggregate& aggregate,
                     const campaign::GateOptions& gate_options, std::FILE* out) {
   std::fputs(aggregate.RenderTables().c_str(), out);
+  PrintSlowestCells(aggregate, out);
 
   if (!options.campaign_out.empty()) {
     std::error_code ec;
@@ -331,12 +439,14 @@ int FinishAggregate(const CliOptions& options, const campaign::CampaignAggregate
     const std::string agg_path = options.campaign_out + "/aggregate.json";
     const std::string csv_path = options.campaign_out + "/cells.csv";
     if (ec || !WriteTextFile(agg_path, aggregate.ToJson()) ||
-        !WriteTextFile(csv_path, aggregate.ToCellsCsv())) {
+        !WriteTextFile(csv_path, aggregate.ToCellsCsv()) ||
+        !WriteTimingArtifacts(options.campaign_out, aggregate)) {
       std::fprintf(out, "failed to write campaign outputs under %s\n",
                    options.campaign_out.c_str());
       return 1;
     }
-    std::fprintf(out, "wrote %s and %s\n", agg_path.c_str(), csv_path.c_str());
+    std::fprintf(out, "wrote %s and %s (+ timing.{json,csv})\n", agg_path.c_str(),
+                 csv_path.c_str());
   }
 
   if (!options.campaign_baseline.empty()) {
@@ -386,14 +496,55 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
                  spec.name.c_str(), total, options.jobs, spec.threshold_ms);
   }
 
+  // This process's share of the expansion (== total unless sharded), for
+  // the --progress denominator and ETA.
+  std::size_t my_cells = 0;
+  for (std::size_t index = 0; index < total; ++index) {
+    if (index % static_cast<std::size_t>(options.shard_count) ==
+        static_cast<std::size_t>(options.shard_index)) {
+      ++my_cells;
+    }
+  }
+
   campaign::CampaignRunOptions run_options;
   run_options.jobs = options.jobs;
   run_options.shard_index = options.shard_index;
   run_options.shard_count = options.shard_count;
+  obs::HostProfiler profiler;
+  if (options.profile) {
+    run_options.profiler = &profiler;
+  }
+  const auto campaign_start = std::chrono::steady_clock::now();
+  std::size_t cells_done = 0;
+  std::size_t cells_degraded = 0;
+  double simulated_ms = 0.0;
   run_options.on_cell = [&](const campaign::CellResult& r) {
     std::fprintf(out, "  [%3zu/%zu] %-40s events=%-5zu p95=%-8.2f above=%zu\n",
                  r.cell.index + 1, total, r.cell.Label().c_str(), r.events, r.p95_ms,
                  r.above);
+    ++cells_done;
+    if (r.degraded) {
+      ++cells_degraded;
+    }
+    simulated_ms += r.elapsed_s * 1e3;
+    if (options.progress_every > 0 &&
+        (cells_done % static_cast<std::size_t>(options.progress_every) == 0 ||
+         cells_done == my_cells)) {
+      // The heartbeat goes to stderr so stdout (and anything parsing it)
+      // stays exactly as without --progress.
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - campaign_start)
+              .count();
+      const double rate = elapsed > 0.0 ? static_cast<double>(cells_done) / elapsed : 0.0;
+      const double eta =
+          rate > 0.0 ? static_cast<double>(my_cells - cells_done) / rate : 0.0;
+      std::fprintf(stderr,
+                   "progress: %zu/%zu cells (%.0f%%) | %.2f cells/s | eta %.1f s | "
+                   "degraded %zu\n",
+                   cells_done, my_cells,
+                   100.0 * static_cast<double>(cells_done) / static_cast<double>(my_cells),
+                   rate, eta, cells_degraded);
+    }
   };
 
   campaign::PartialWriter partial;
@@ -426,6 +577,18 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
   if (spec.faults.Any() || !spec.fault_sweeps.empty()) {
     std::fprintf(out, "fault injection: %zu degraded cell(s), %zu retried cell(s)\n",
                  stats.degraded_cells, stats.retried_cells);
+  }
+  if (options.profile) {
+    std::fputs(profiler.RenderTable(stats.wall_seconds, simulated_ms, stats.jobs).c_str(),
+               out);
+    if (!options.profile_out.empty()) {
+      if (!WriteTextFile(options.profile_out,
+                         profiler.ToJson(stats.wall_seconds, simulated_ms, stats.jobs))) {
+        std::fprintf(out, "failed to write profile to %s\n", options.profile_out.c_str());
+        return 1;
+      }
+      std::fprintf(out, "wrote host-time profile to %s\n", options.profile_out.c_str());
+    }
   }
   std::fputs("\n", out);
 
@@ -568,6 +731,22 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
                            &out->gate_fault_tolerance_pct, error)) {
         return false;
       }
+    } else if (arg == "--profile") {
+      out->profile = true;
+    } else if (StartsWith(arg, "--profile=")) {
+      out->profile = true;
+      out->profile_out = arg.substr(10);
+      if (out->profile_out.empty()) {
+        *error = "--profile= needs an output file path (bare --profile prints the table)";
+        return false;
+      }
+    } else if (arg == "--progress") {
+      out->progress_every = 1;
+    } else if (StartsWith(arg, "--progress=")) {
+      if (!ParseFlagInt("--progress", arg.substr(11), 1, 1'000'000, &out->progress_every,
+                        error)) {
+        return false;
+      }
     } else if (arg == "--explain") {
       out->explain = true;
     } else if (arg == "--events") {
@@ -635,13 +814,22 @@ std::string CliUsage() {
       "  --explain                   explain events above the threshold from the trace\n"
       "  --save=PATH                 archive the session for offline analysis\n"
       "  --load=PATH                 analyse a saved session instead of running\n"
+      "  --profile[=FILE]            print the host-time self-profile (where the\n"
+      "                              simulator's own wall time went); =FILE also\n"
+      "                              writes the report JSON.  Simulated results\n"
+      "                              are byte-identical with and without it\n"
       "  --list                      list oses, apps, workloads, and drivers\n"
       "  --version                   print the ilat version\n"
       "\n"
       "campaign mode (multi-session sweeps; see docs/CAMPAIGN.md):\n"
       "  --campaign=SPEC             run the sweep described by a spec file\n"
       "  --jobs=N                    worker threads for campaign cells (1)\n"
+      "  --progress[=N]              heartbeat line to stderr every N cells (1):\n"
+      "                              done/total, cells/s, ETA, degraded count\n"
       "  --campaign-out=DIR          write aggregate.json + cells.csv under DIR\n"
+      "                              (plus timing.{json,csv} with per-cell host\n"
+      "                              wall times; the aggregate itself stays\n"
+      "                              host-independent)\n"
       "  --campaign-baseline=FILE    gate against a saved aggregate; exit 1 on\n"
       "                              regression\n"
       "  --gate-tolerance=PCT        allowed percentile growth vs baseline (10)\n"

@@ -22,7 +22,7 @@
 namespace ilat {
 
 // Reported by `ilat --version`.
-inline constexpr const char* kIlatVersion = "0.5.0";
+inline constexpr const char* kIlatVersion = "0.6.0";
 
 struct CliOptions {
   std::string os = "nt40";          // nt351 | nt40 | win95 | all
@@ -44,6 +44,11 @@ struct CliOptions {
   bool list_catalog = false;        // print oses/apps/workloads/drivers
   bool show_version = false;
   bool show_help = false;
+
+  // Self-profiling and live telemetry (see docs/OBSERVABILITY.md).
+  bool profile = false;             // print the host-time profile table
+  std::string profile_out;          // also write the profile report JSON here
+  int progress_every = 0;           // campaign heartbeat to stderr every N cells (0=off)
 
   // Fault injection (see docs/FAULTS.md).
   std::string faults_path;          // fault-plan file; overrides spec-embedded plans

@@ -239,6 +239,78 @@ TEST(CliParseTest, RejectsBadGateTolerance) {
   EXPECT_FALSE(ParseCliArgs({"--gate-tolerance=-1"}, &o, &error));
 }
 
+TEST(CliParseTest, ParsesProfileFlags) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--profile"}, &o, &error));
+  EXPECT_TRUE(o.profile);
+  EXPECT_TRUE(o.profile_out.empty());
+
+  CliOptions with_file;
+  ASSERT_TRUE(ParseCliArgs({"--profile=prof.json"}, &with_file, &error));
+  EXPECT_TRUE(with_file.profile);
+  EXPECT_EQ(with_file.profile_out, "prof.json");
+}
+
+TEST(CliParseTest, RejectsEmptyProfilePath) {
+  // `--profile=` with nothing after the '=' is a mistake, not a request
+  // for a file named "": one-line error naming the flag, like every other
+  // malformed flag.
+  CliOptions o;
+  std::string error;
+  EXPECT_FALSE(ParseCliArgs({"--profile="}, &o, &error));
+  EXPECT_NE(error.find("--profile"), std::string::npos) << error;
+  EXPECT_EQ(error.find('\n'), std::string::npos) << error;
+}
+
+TEST(CliParseTest, ParsesProgressFlags) {
+  CliOptions o;
+  std::string error;
+  EXPECT_EQ(o.progress_every, 0);  // off by default
+  ASSERT_TRUE(ParseCliArgs({"--progress"}, &o, &error));
+  EXPECT_EQ(o.progress_every, 1);
+
+  CliOptions every;
+  ASSERT_TRUE(ParseCliArgs({"--progress=25"}, &every, &error));
+  EXPECT_EQ(every.progress_every, 25);
+}
+
+TEST(CliRunTest, ProfilePrintsTableAndWritesReport) {
+  CliOptions o;
+  o.app = "desktop";
+  o.profile = true;
+  o.profile_out = TempPath("cli-profile.json");
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("host-time profile"), std::string::npos);
+  EXPECT_NE(out.find("sim.run"), std::string::npos);
+  EXPECT_NE(out.find("wrote host-time profile"), std::string::npos);
+
+  std::ifstream report(o.profile_out);
+  ASSERT_TRUE(report.good());
+  std::ostringstream buf;
+  buf << report.rdbuf();
+  EXPECT_NE(buf.str().find("\"coverage\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"queue.push\""), std::string::npos);
+}
+
+TEST(CliRunTest, ProfileOffPrintsNoTable) {
+  CliOptions o;
+  o.app = "desktop";
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_EQ(out.find("host-time profile"), std::string::npos);
+}
+
+TEST(CliRunTest, UsageDocumentsTelemetryFlags) {
+  CliOptions o;
+  o.show_help = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("--profile"), std::string::npos);
+  EXPECT_NE(out.find("--progress"), std::string::npos);
+}
+
 TEST(CliRunTest, UsageDocumentsCampaignMode) {
   CliOptions o;
   o.show_help = true;
@@ -340,7 +412,7 @@ std::vector<BadFlagCase> AllBadNumberCases() {
   std::vector<BadFlagCase> cases;
   for (const char* flag :
        {"--seed=", "--threshold=", "--threshold-ms=", "--idle-period=", "--packets=",
-        "--frames=", "--jobs=", "--gate-tolerance="}) {
+        "--frames=", "--jobs=", "--gate-tolerance=", "--progress="}) {
     for (const char* value : {"abc", "12abc", "", "99999999999999999999999", "1e999"}) {
       cases.push_back({flag, value});
     }
@@ -353,6 +425,8 @@ std::vector<BadFlagCase> AllBadNumberCases() {
   cases.push_back({"--packets=", "0"});
   cases.push_back({"--jobs=", "0"});
   cases.push_back({"--jobs=", "1025"});
+  cases.push_back({"--progress=", "0"});
+  cases.push_back({"--progress=", "-3"});
   return cases;
 }
 

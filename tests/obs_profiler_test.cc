@@ -1,0 +1,194 @@
+// Unit tests for the host-time self-profiler: slot arithmetic, log2
+// bucketing, merge/reset, the thread_local install contract, scoped-probe
+// no-op behaviour without a profiler, and the JSON report shape.
+
+#include "src/obs/profiler.h"
+
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace ilat {
+namespace obs {
+namespace {
+
+// Every test installs/uninstalls on its own thread; make sure no profiler
+// leaks across tests even on ASSERT failure.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { HostProfiler::Uninstall(); }
+};
+
+TEST_F(ProfilerTest, RecordAccumulatesCountTotalMax) {
+  HostProfiler p;
+  p.Record(HostProbe::kQueuePush, 100);
+  p.Record(HostProbe::kQueuePush, 300);
+  p.Record(HostProbe::kQueuePush, 200);
+  const HostProbeStats& s = p.stats(HostProbe::kQueuePush);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.total_ns, 600u);
+  EXPECT_EQ(s.max_ns, 300u);
+  // Other slots untouched.
+  EXPECT_EQ(p.stats(HostProbe::kSimLoop).count, 0u);
+}
+
+TEST_F(ProfilerTest, Log2BucketsLandWhereExpected) {
+  HostProfiler p;
+  p.Record(HostProbe::kIdleTick, 0);    // bucket 0
+  p.Record(HostProbe::kIdleTick, 1);    // bucket 0
+  p.Record(HostProbe::kIdleTick, 2);    // bucket 1
+  p.Record(HostProbe::kIdleTick, 3);    // bucket 1
+  p.Record(HostProbe::kIdleTick, 4);    // bucket 2
+  p.Record(HostProbe::kIdleTick, 255);  // bucket 7
+  p.Record(HostProbe::kIdleTick, 256);  // bucket 8
+  const HostProbeStats& s = p.stats(HostProbe::kIdleTick);
+  EXPECT_EQ(s.buckets[0], 2u);
+  EXPECT_EQ(s.buckets[1], 2u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[7], 1u);
+  EXPECT_EQ(s.buckets[8], 1u);
+}
+
+TEST_F(ProfilerTest, HugeSampleSaturatesLastBucket) {
+  HostProfiler p;
+  p.Record(HostProbe::kSimLoop, ~0ULL);
+  EXPECT_EQ(p.stats(HostProbe::kSimLoop).buckets[kHostProbeBuckets - 1], 1u);
+}
+
+TEST_F(ProfilerTest, MergeFoldsEverySlot) {
+  HostProfiler a;
+  HostProfiler b;
+  a.Record(HostProbe::kQueuePop, 10);
+  b.Record(HostProbe::kQueuePop, 50);
+  b.Record(HostProbe::kDispatch, 7);
+  a.Merge(b);
+  EXPECT_EQ(a.stats(HostProbe::kQueuePop).count, 2u);
+  EXPECT_EQ(a.stats(HostProbe::kQueuePop).total_ns, 60u);
+  EXPECT_EQ(a.stats(HostProbe::kQueuePop).max_ns, 50u);
+  EXPECT_EQ(a.stats(HostProbe::kDispatch).count, 1u);
+  // b is unchanged by the merge.
+  EXPECT_EQ(b.stats(HostProbe::kQueuePop).count, 1u);
+}
+
+TEST_F(ProfilerTest, ResetClearsEverySlot) {
+  HostProfiler p;
+  p.Record(HostProbe::kTracerEmit, 42);
+  p.Reset();
+  EXPECT_EQ(p.stats(HostProbe::kTracerEmit).count, 0u);
+  EXPECT_EQ(p.stats(HostProbe::kTracerEmit).total_ns, 0u);
+  EXPECT_EQ(p.stats(HostProbe::kTracerEmit).max_ns, 0u);
+  EXPECT_EQ(p.stats(HostProbe::kTracerEmit).buckets[5], 0u);
+}
+
+TEST_F(ProfilerTest, ScopedProbeRecordsIntoInstalledProfiler) {
+  HostProfiler p;
+  HostProfiler::Install(&p);
+  {
+    ScopedHostProbe probe(HostProbe::kAppMessage);
+  }
+  HostProfiler::Uninstall();
+  EXPECT_EQ(p.stats(HostProbe::kAppMessage).count, 1u);
+}
+
+TEST_F(ProfilerTest, ScopedProbeIsNoOpWithoutProfiler) {
+  ASSERT_EQ(HostProfiler::Current(), nullptr);
+  // Must not crash or record anywhere.
+  {
+    ScopedHostProbe probe(HostProbe::kSimLoop);
+    probe.Stop();
+  }
+  PROF_SCOPE(kSimLoop);
+}
+
+TEST_F(ProfilerTest, StopIsIdempotent) {
+  HostProfiler p;
+  HostProfiler::Install(&p);
+  {
+    ScopedHostProbe probe(HostProbe::kMetrics);
+    probe.Stop();
+    probe.Stop();  // second Stop and the destructor must not double-count
+  }
+  HostProfiler::Uninstall();
+  EXPECT_EQ(p.stats(HostProbe::kMetrics).count, 1u);
+}
+
+TEST_F(ProfilerTest, ProbeCapturesProfilerAtConstruction) {
+  HostProfiler p;
+  HostProfiler::Install(&p);
+  ScopedHostProbe probe(HostProbe::kSessionIo);
+  HostProfiler::Uninstall();
+  probe.Stop();  // records into p even though it is no longer installed
+  EXPECT_EQ(p.stats(HostProbe::kSessionIo).count, 1u);
+}
+
+TEST_F(ProfilerTest, InstallationIsPerThread) {
+  HostProfiler p;
+  HostProfiler::Install(&p);
+  bool other_thread_saw_null = false;
+  std::thread t([&] {
+    other_thread_saw_null = HostProfiler::Current() == nullptr;
+    HostProfiler mine;
+    HostProfiler::Install(&mine);
+    PROF_SCOPE(kQueuePush);
+  });
+  t.join();
+  EXPECT_TRUE(other_thread_saw_null);
+  EXPECT_EQ(HostProfiler::Current(), &p);
+  // The other thread's records never reached this thread's profiler.
+  EXPECT_EQ(p.stats(HostProbe::kQueuePush).count, 0u);
+}
+
+TEST_F(ProfilerTest, RunWindowTotalExcludesNestedAndOffWindowProbes) {
+  HostProfiler p;
+  p.Record(HostProbe::kSimLoop, 1000);       // top-level, in window
+  p.Record(HostProbe::kSessionSetup, 500);   // top-level, in window
+  p.Record(HostProbe::kQueuePush, 400);      // nested -- already inside kSimLoop
+  p.Record(HostProbe::kSessionIo, 9000);     // top-level but outside the window
+  EXPECT_EQ(p.RunWindowTotalNs(), 1500u);
+  EXPECT_DOUBLE_EQ(p.Coverage(3e-6), 0.5);  // 1500 ns of a 3000 ns wall
+}
+
+TEST_F(ProfilerTest, ProbeInfoNamesAreUniqueAndComplete) {
+  for (int i = 0; i < kHostProbeCount; ++i) {
+    const HostProbeInfo& info = HostProbeInfoFor(static_cast<HostProbe>(i));
+    ASSERT_NE(info.name, nullptr);
+    ASSERT_NE(info.site, nullptr);
+    for (int j = i + 1; j < kHostProbeCount; ++j) {
+      EXPECT_STRNE(info.name, HostProbeInfoFor(static_cast<HostProbe>(j)).name);
+    }
+  }
+}
+
+TEST_F(ProfilerTest, JsonReportHasEveryProbeAndCoverage) {
+  HostProfiler p;
+  p.Record(HostProbe::kSimLoop, 123456);
+  const std::string json = p.ToJson(0.001, 10.0);
+  for (int i = 0; i < kHostProbeCount; ++i) {
+    const HostProbeInfo& info = HostProbeInfoFor(static_cast<HostProbe>(i));
+    EXPECT_NE(json.find("\"" + std::string(info.name) + "\""), std::string::npos)
+        << info.name;
+  }
+  EXPECT_NE(json.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"wall_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"log2_ns_buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_ns\": 123456"), std::string::npos);
+}
+
+TEST_F(ProfilerTest, TableMentionsEveryProbeAndNestedMarker) {
+  HostProfiler p;
+  p.Record(HostProbe::kQueuePush, 10);
+  const std::string table = p.RenderTable(0.001, 10.0);
+  for (int i = 0; i < kHostProbeCount; ++i) {
+    EXPECT_NE(table.find(HostProbeInfoFor(static_cast<HostProbe>(i)).name),
+              std::string::npos);
+  }
+  EXPECT_NE(table.find("(nested)"), std::string::npos);
+  // Single-threaded reports carry the coverage footer; multi-thread
+  // reports drop it (summed probe time can exceed one thread's wall).
+  EXPECT_NE(table.find("cover"), std::string::npos);
+  EXPECT_EQ(p.RenderTable(0.001, 10.0, 8).find("cover"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ilat
