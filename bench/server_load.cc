@@ -1,0 +1,136 @@
+// Server offered-load bench: the multi-user server scenario as a
+// throughput lane.
+//
+// Runs the server app through RunSpecSession at increasing user counts on
+// a fixed worker pool, reports the latency-vs-load curve (p50/p95 per
+// point) plus the simulator's own cost per point (host wall time,
+// simulated requests/sec), and writes bench_out/BENCH_server.json so a
+// perf trajectory can gate both the *model* (does p95 still climb with
+// load?) and the *simulator* (did serving 32 users get slower to
+// simulate?).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/analysis/stats.h"
+#include "src/core/catalog.h"
+#include "src/obs/jsonout.h"
+#include "src/obs/profiler.h"
+
+namespace ilat {
+namespace {
+
+struct LoadPoint {
+  int users = 0;
+  std::size_t events = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double simulated_s = 0.0;   // scenario extent in simulated time
+  double wall_s = 0.0;        // host time to simulate it
+  double requests_per_sec = 0.0;  // simulated requests / host second
+};
+
+bool RunPoint(int users, LoadPoint* point) {
+  RunSpec spec;
+  spec.os = "nt40";
+  spec.app = "server";
+  spec.seed = 2026;
+  spec.params.server.users = users;
+  spec.params.server.pool_size = 2;
+  spec.params.server.requests_per_user = 30;
+
+  SessionResult r;
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  if (!RunSpecSession(spec, &r, &error)) {
+    std::fprintf(stderr, "server session failed: %s\n", error.c_str());
+    return false;
+  }
+  point->wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  point->users = users;
+  point->events = r.events.size();
+  std::vector<double> latencies;
+  latencies.reserve(r.events.size());
+  for (const EventRecord& e : r.events) {
+    latencies.push_back(e.latency_ms());
+  }
+  point->p50_ms = Percentile(latencies, 50.0);
+  point->p95_ms = Percentile(latencies, 95.0);
+  point->simulated_s = CyclesToSeconds(r.run_end);
+  point->requests_per_sec =
+      point->wall_s > 0.0 ? static_cast<double>(point->events) / point->wall_s : 0.0;
+  return true;
+}
+
+void Run() {
+  Banner("Server offered load -- latency vs concurrent users",
+         "N users x 30 requests against a 2-worker server (nt40), "
+         "under the host-time profiler");
+
+  obs::HostProfiler profiler;
+  obs::HostProfiler::Install(&profiler);
+  std::vector<LoadPoint> points;
+  double total_wall_s = 0.0;
+  double total_simulated_ms = 0.0;
+  for (int users : {4, 8, 16, 32}) {
+    LoadPoint p;
+    if (!RunPoint(users, &p)) {
+      obs::HostProfiler::Uninstall();
+      return;
+    }
+    total_wall_s += p.wall_s;
+    total_simulated_ms += p.simulated_s * 1e3;
+    points.push_back(p);
+  }
+  obs::HostProfiler::Uninstall();
+
+  TextTable t({"users", "events", "p50 (ms)", "p95 (ms)", "sim (s)", "host (s)",
+               "req/s (host)"});
+  for (const LoadPoint& p : points) {
+    t.AddRow({std::to_string(p.users), std::to_string(p.events),
+              TextTable::Num(p.p50_ms, 2), TextTable::Num(p.p95_ms, 2),
+              TextTable::Num(p.simulated_s, 2), TextTable::Num(p.wall_s, 3),
+              TextTable::Num(p.requests_per_sec, 0)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf("%s", profiler.RenderTable(total_wall_s, total_simulated_ms).c_str());
+
+  const std::string path = BenchOutDir() + "/BENCH_server.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return;
+  }
+  std::string json = "{\"pool_size\": 2, \"requests_per_user\": 30";
+  json += ", \"wall_s\": " + obs::NumToJson(total_wall_s);
+  json += ", \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const LoadPoint& p = points[i];
+    if (i > 0) {
+      json += ", ";
+    }
+    json += "{\"users\": " + std::to_string(p.users);
+    json += ", \"events\": " + std::to_string(p.events);
+    json += ", \"p50_ms\": " + obs::NumToJson(p.p50_ms);
+    json += ", \"p95_ms\": " + obs::NumToJson(p.p95_ms);
+    json += ", \"simulated_s\": " + obs::NumToJson(p.simulated_s);
+    json += ", \"host_wall_s\": " + obs::NumToJson(p.wall_s);
+    json += ", \"requests_per_sec\": " + obs::NumToJson(p.requests_per_sec);
+    json += "}";
+  }
+  json += "]}\n";
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::Run();
+  return 0;
+}

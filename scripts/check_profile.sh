@@ -33,18 +33,39 @@ import json, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 probes = report["probes"]
-declared = [
+# Every probe the desktop session path exercises must fire; the server
+# probes are declared (they appear in every report) but stay at zero here.
+desktop = [
     "session.setup", "sim.run", "queue.push", "queue.pop", "sched.dispatch",
     "idle.tick", "trace.emit", "app.message", "metrics.snapshot",
     "extract.events", "session.io",
 ]
-for name in declared:
+server_only = ["server.request", "server.user"]
+for name in desktop:
     assert name in probes, f"probe {name} missing from report"
     assert probes[name]["count"] > 0, f"probe {name} never fired"
-assert set(probes) == set(declared), f"undeclared probes: {set(probes) - set(declared)}"
+declared = set(desktop) | set(server_only)
+assert set(probes) == declared, f"undeclared probes: {set(probes) - declared}"
+for name in server_only:
+    assert probes[name]["count"] == 0, f"server probe {name} fired in a desktop run"
 assert report["wall_s"] > 0, "wall_s missing or zero"
 assert report["coverage"] >= 0.8, f"coverage {report['coverage']:.3f} < 0.80"
 print(f"profile ok: {len(probes)} probes, coverage {report['coverage']:.1%}")
+EOF
+
+# A server-scenario run fires the server probes (and only those two of
+# the per-scenario probes; no coverage assert -- the scenario's top-level
+# windows differ from the desktop session's).
+"$ilat" --app=server --users=4 --requests=10 \
+        --profile="$out_dir/server-prof.json" > /dev/null
+python3 - "$out_dir/server-prof.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    probes = json.load(f)["probes"]
+for name in ("server.request", "server.user"):
+    assert probes[name]["count"] > 0, f"server probe {name} never fired"
+assert probes["app.message"]["count"] == 0, "desktop probe fired in a server run"
+print("server profile ok")
 EOF
 
 spec="$out_dir/spec.txt"

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Smoke-test the multi-user server scenario end to end: run the checked-in
+# latency-vs-offered-load campaign (campaigns/server_load.spec), demand
+# byte-identical outputs across --jobs and through shard + `ilat merge`,
+# validate the aggregate JSON (every cell labeled with its param point,
+# p95 non-decreasing in users at fixed pool size), check that a fault
+# plan degrades cells deterministically, and vet the server CLI flags'
+# usage errors.  Assumes a built tree; pass a different build dir as $1.
+set -euo pipefail
+
+build_dir="${1:-build}"
+ilat="$build_dir/src/tools/ilat"
+if [[ ! -x "$ilat" ]]; then
+  echo "error: $ilat not found -- build the project first" >&2
+  exit 2
+fi
+repo_dir="$(cd "$(dirname "$0")/.." && pwd)"
+spec="$repo_dir/campaigns/server_load.spec"
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+# The scenario itself lists in the catalog.
+"$ilat" --list | grep -q "server"
+
+# Determinism contract: 4 worker threads and 1 produce the same bytes.
+"$ilat" --campaign="$spec" --jobs=4 --campaign-out="$out_dir/j4" >/dev/null
+"$ilat" --campaign="$spec" --jobs=1 --campaign-out="$out_dir/j1" >/dev/null
+cmp "$out_dir/j1/aggregate.json" "$out_dir/j4/aggregate.json"
+cmp "$out_dir/j1/cells.csv" "$out_dir/j4/cells.csv"
+
+# Sharded halves merge back into the unsharded aggregate byte for byte.
+for i in 0 1; do
+  "$ilat" --campaign="$spec" --shard="$i/2" \
+          --campaign-partial="$out_dir/p$i.json" >/dev/null
+done
+"$ilat" merge "$out_dir/p0.json" "$out_dir/p1.json" \
+        --campaign-out="$out_dir/merged" >/dev/null
+cmp "$out_dir/j4/aggregate.json" "$out_dir/merged/aggregate.json"
+cmp "$out_dir/j4/cells.csv" "$out_dir/merged/cells.csv"
+
+# The aggregate is well-formed and the offered-load curve is monotone:
+# at each pool size, p95 must not decrease as users grow.
+python3 - "$out_dir/j4/aggregate.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+cells = agg["cells"]
+assert cells, "no cells in aggregate"
+curves = {}
+for c in cells:
+    label = c.get("param_label", "")
+    assert label, f"cell {c['index']} has no param_label"
+    assert c["events"] > 0, f"cell {c['index']} measured no events"
+    kv = dict(part.split("=", 1) for part in label.split("|"))
+    curves.setdefault(int(kv["pool_size"]), []).append(
+        (int(kv["users"]), c["p95_ms"]))
+assert len(curves) >= 2, f"expected >= 2 pool sizes, got {sorted(curves)}"
+for pool, points in sorted(curves.items()):
+    points.sort()
+    p95s = [p for _, p in points]
+    assert len(points) >= 3, f"pool={pool}: too few load points"
+    assert all(a <= b for a, b in zip(p95s, p95s[1:])), \
+        f"pool={pool}: p95 not monotone in users: {points}"
+# The per-point rollup groups exist too.
+groups = agg["groups"]
+param_groups = [k for k in groups if k.startswith("param:")]
+assert len(param_groups) == len(cells), \
+    f"{len(param_groups)} param groups for {len(cells)} cells"
+print(f"server load curve ok: {len(curves)} pool sizes x "
+      f"{len(next(iter(curves.values())))} load points, all monotone")
+EOF
+
+# Fault injection applies to the scenario for free: a heavy response-drop
+# plan forces user retries and degrades cells -- deterministically.
+plan="$out_dir/drop.plan"
+cat > "$plan" <<'EOF'
+mq.drop_rate = 0.6
+EOF
+fault_spec="$out_dir/fault_spec.txt"
+cat > "$fault_spec" <<'EOF'
+name = server_fault
+os   = nt40
+app  = server
+seed = 7
+params.users    = 8
+params.requests = 10
+EOF
+"$ilat" --campaign="$fault_spec" --faults="$plan" --jobs=2 \
+        --campaign-out="$out_dir/f2" > "$out_dir/fault_run.txt"
+"$ilat" --campaign="$fault_spec" --faults="$plan" --jobs=1 \
+        --campaign-out="$out_dir/f1" >/dev/null
+cmp "$out_dir/f1/aggregate.json" "$out_dir/f2/aggregate.json"
+grep -q "degraded cell" "$out_dir/fault_run.txt"
+python3 - "$out_dir/f2/aggregate.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+cell = agg["cells"][0]
+assert cell["degraded"], "response drops should degrade the cell"
+assert cell["faults"]["mq_dropped"] > 0, "no responses dropped under the plan"
+assert cell["faults"]["input_retries"] > 0, "users never retried"
+print("server fault run ok:", cell["faults"]["mq_dropped"], "drops,",
+      cell["faults"]["input_retries"], "retries")
+EOF
+
+# Malformed server flags exit 2 with a one-line diagnostic naming the flag.
+expect_exit2() {
+  local what="$1" flag="$2"
+  shift 2
+  local output rc
+  set +e
+  output="$("$@" 2>&1)"
+  rc=$?
+  set -e
+  if [[ $rc -ne 2 ]]; then
+    echo "error: $what should exit 2 (got $rc)" >&2
+    exit 1
+  fi
+  if [[ "$(printf '%s' "$output" | head -n 1)" != *"$flag"* ]]; then
+    echo "error: $what should lead with a $flag diagnostic:" >&2
+    printf '%s\n' "$output" >&2
+    exit 1
+  fi
+}
+expect_exit2 "--users=0" "--users" "$ilat" --app=server --users=0
+expect_exit2 "--users=abc" "--users" "$ilat" --app=server --users=abc
+expect_exit2 "--pool=-1" "--pool" "$ilat" --app=server --pool=-1
+expect_exit2 "--queue-depth=0" "--queue-depth" "$ilat" --app=server --queue-depth=0
+expect_exit2 "--cache-hit=1.5" "--cache-hit" "$ilat" --app=server --cache-hit=1.5
+expect_exit2 "--requests=abc" "--requests" "$ilat" --app=server --requests=abc
+
+# A bad sweep.params key fails the spec parse with a line number.
+bad_spec="$out_dir/bad_spec.txt"
+cat > "$bad_spec" <<'EOF'
+app = server
+sweep.params.bogus = 1, 2
+EOF
+set +e
+output="$("$ilat" --campaign="$bad_spec" 2>&1)"
+rc=$?
+set -e
+if [[ $rc -ne 2 ]] || [[ "$output" != *"line 2"* ]]; then
+  echo "error: bad sweep.params key should exit 2 with a line number:" >&2
+  printf '%s\n' "$output" >&2
+  exit 1
+fi
+
+echo "check_server: all good"

@@ -24,16 +24,20 @@ cmake --build build -j "$(nproc)"
 if [[ $asan -eq 1 ]]; then
   cmake -B build-asan -S . -DILAT_SANITIZE=address > /dev/null
   cmake --build build-asan -j "$(nproc)" \
-    --target fault_test campaign_test input_test ilat
+    --target fault_test campaign_test input_test server_test ilat
   ./build-asan/tests/fault_test
   ./build-asan/tests/campaign_test
   ./build-asan/tests/input_test
+  ./build-asan/tests/server_test
   # Shard/merge smoke against the sanitized binary: the partial writer and
   # merge reader juggle FILE* handles and per-cell payload buffers.
   bash scripts/check_shard.sh build-asan
   # Profiler smoke against the sanitized binary: the thread-local install/
   # merge dance in the campaign workers is where lifetime bugs would hide.
   bash scripts/check_profile.sh build-asan
+  # Server smoke against the sanitized binary: workers, users, and the
+  # lock/disk callbacks juggle cross-object lifetimes worth sanitizing.
+  bash scripts/check_server.sh build-asan
 fi
 
 echo "check_tier1: all good"

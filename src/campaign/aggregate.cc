@@ -127,6 +127,10 @@ void CampaignAggregate::Add(CellResult r) {
     // One group per fault-sweep point: the latency-vs-fault-rate matrix.
     groups_["fault:" + r.cell.fault_label].Add(r);
   }
+  if (!r.cell.param_label.empty()) {
+    // One group per param-sweep point: the latency-vs-offered-load matrix.
+    groups_["param:" + r.cell.param_label].Add(r);
+  }
   metrics_.Add(r.metrics);
   // Keep the stored row compact: the exact latencies live on only inside
   // the group rollups, and the metrics snapshot only in the accumulator.
@@ -155,6 +159,10 @@ std::string CampaignAggregate::ToJson() const {
                 ? std::string()
                 : ", \"fault_point\": " + std::to_string(r.cell.fault_point) +
                       ", \"fault_label\": \"" + EscapeJson(r.cell.fault_label) + "\"") +
+           (r.cell.param_label.empty()
+                ? std::string()
+                : ", \"param_point\": " + std::to_string(r.cell.param_point) +
+                      ", \"param_label\": \"" + EscapeJson(r.cell.param_label) + "\"") +
            ", \"events\": " + std::to_string(r.events) +
            ", \"above\": " + std::to_string(r.above) +
            ", \"elapsed_s\": " + NumToJson(r.elapsed_s) +
@@ -206,13 +214,13 @@ std::string CampaignAggregate::ToCellsCsv() const {
       "index,os,app,workload,driver,seed,events,above,elapsed_s,cumulative_ms,"
       "mean_ms,p50_ms,p95_ms,p99_ms,max_ms,attempts,degraded,disk_transient,"
       "disk_stalls,io_failed,mq_dropped,mq_duplicated,mq_reordered,storm_ticks,"
-      "input_retries,input_abandons,fault_label\n";
+      "input_retries,input_abandons,fault_label,param_label\n";
   for (const CellResult& r : cells_) {
     char buf[512];
     std::snprintf(
         buf, sizeof(buf),
         "%zu,%s,%s,%s,%s,%llu,%zu,%zu,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,"
-        "%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%s\n",
+        "%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%s,%s\n",
         r.cell.index, r.cell.os.c_str(), r.cell.app.c_str(), r.cell.workload.c_str(),
         r.cell.driver.c_str(), static_cast<unsigned long long>(r.cell.seed), r.events,
         r.above, r.elapsed_s, r.cumulative_ms, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
@@ -225,7 +233,8 @@ std::string CampaignAggregate::ToCellsCsv() const {
         static_cast<unsigned long long>(r.fault.mq_reordered),
         static_cast<unsigned long long>(r.fault.storm_ticks),
         static_cast<unsigned long long>(r.fault.input_retries),
-        static_cast<unsigned long long>(r.fault.input_abandons), r.cell.fault_label.c_str());
+        static_cast<unsigned long long>(r.fault.input_abandons), r.cell.fault_label.c_str(),
+        r.cell.param_label.c_str());
     out += buf;
   }
   return out;
@@ -313,6 +322,33 @@ std::string CampaignAggregate::RenderTables() const {
                  TextTable::Num(g.PercentileMs(99.0), 2), TextTable::Num(g.MaxMs(), 1)});
     }
     out += "\nlatency by fault point\n" + ft.ToString();
+  }
+
+  // Latency-vs-param-point matrix (the offered-load curve), one row per
+  // sweep point in first-appearance (i.e. expansion) order.
+  std::vector<std::string> param_labels;
+  for (const CellResult& r : cells_) {
+    if (!r.cell.param_label.empty() &&
+        std::find(param_labels.begin(), param_labels.end(), r.cell.param_label) ==
+            param_labels.end()) {
+      param_labels.push_back(r.cell.param_label);
+    }
+  }
+  if (!param_labels.empty()) {
+    TextTable pt({"param point", "cells", "degr", "events", "above", "p50", "p95", "p99",
+                  "max (ms)"});
+    for (const std::string& label : param_labels) {
+      auto it = groups_.find("param:" + label);
+      if (it == groups_.end()) {
+        continue;
+      }
+      const GroupStats& g = it->second;
+      pt.AddRow({label, std::to_string(g.cells), std::to_string(g.degraded_cells),
+                 std::to_string(g.events), std::to_string(g.above),
+                 TextTable::Num(g.PercentileMs(50.0), 2), TextTable::Num(g.PercentileMs(95.0), 2),
+                 TextTable::Num(g.PercentileMs(99.0), 2), TextTable::Num(g.MaxMs(), 1)});
+    }
+    out += "\nlatency by param point\n" + pt.ToString();
   }
   return out;
 }

@@ -96,7 +96,7 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
       rs.driver = cell.driver;
       rs.seed = cell.seed;
       rs.workload_seed = cell.workload_seed;
-      rs.params = spec.params;
+      rs.params = cell.params;
       rs.faults = cell.faults;
       rs.fault_attempt = attempt;
       SessionResult session;

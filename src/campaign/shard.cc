@@ -34,6 +34,8 @@ std::string CellToJson(const CellResult& r) {
   out += ", \"seed_rep\": " + std::to_string(r.cell.seed_rep);
   out += ", \"fault_point\": " + std::to_string(r.cell.fault_point);
   out += ", \"fault_label\": \"" + EscapeJson(r.cell.fault_label) + "\"";
+  out += ", \"param_point\": " + std::to_string(r.cell.param_point);
+  out += ", \"param_label\": \"" + EscapeJson(r.cell.param_label) + "\"";
   out += ", \"events\": " + std::to_string(r.events);
   out += ", \"above\": " + std::to_string(r.above);
   out += ", \"elapsed_s\": " + NumToJson(r.elapsed_s);
@@ -173,6 +175,7 @@ bool ParseCell(const std::string& path, const JsonValue& v, CellResult* r,
   r->cell.workload = v.StringAt("workload");
   r->cell.driver = v.StringAt("driver");
   r->cell.fault_label = v.StringAt("fault_label");
+  r->cell.param_label = v.StringAt("param_label");
   if (r->cell.os.empty() || r->cell.app.empty() || r->cell.driver.empty()) {
     return cell_error("is missing os/app/driver");
   }
@@ -185,6 +188,11 @@ bool ParseCell(const std::string& path, const JsonValue& v, CellResult* r,
     return cell_error("has malformed integer fields");
   }
   r->cell.fault_point = static_cast<std::size_t>(fault_point);
+  // Tolerant read: partials written before param sweeps existed merge
+  // with param_point = 0 and an empty label.
+  std::uint64_t param_point = 0;
+  v.U64At("param_point", &param_point);
+  r->cell.param_point = static_cast<std::size_t>(param_point);
   r->events = static_cast<std::size_t>(events);
   r->above = static_cast<std::size_t>(above);
   // Tolerant read: partials written before wall-time telemetry existed

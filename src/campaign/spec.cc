@@ -91,6 +91,9 @@ bool CheckNames(const std::vector<std::string>& names, bool (*known)(const std::
 std::string CampaignCell::Label() const {
   std::string label =
       os + "/" + app + "/" + workload + "/" + driver + "#" + std::to_string(seed_rep);
+  if (!param_label.empty()) {
+    label += "@" + param_label;
+  }
   if (!fault_label.empty()) {
     label += "@" + fault_label;
   }
@@ -127,6 +130,20 @@ bool CampaignSpec::Validate(std::string* error) const {
       std::string fault_error;
       if (!fault::SetFaultPlanKey(dim.key, v, &scratch, &fault_error)) {
         *error = "sweep.fault." + dim.key + ": " + fault_error;
+        return false;
+      }
+    }
+  }
+  for (const ParamSweepDimension& dim : param_sweeps) {
+    if (dim.values.empty()) {
+      *error = "sweep.params." + dim.key + " has no values";
+      return false;
+    }
+    for (const std::string& v : dim.values) {
+      WorkloadParams scratch = params;
+      std::string param_error;
+      if (!SetWorkloadParamKey(dim.key, v, &scratch, &param_error)) {
+        *error = "sweep.params." + dim.key + ": " + param_error;
         return false;
       }
     }
@@ -174,42 +191,88 @@ bool CampaignSpec::ResolveFaultPoint(std::size_t f, fault::FaultPlan* plan,
   return true;
 }
 
+std::size_t CampaignSpec::ParamPointCount() const {
+  std::size_t points = 1;
+  for (const ParamSweepDimension& dim : param_sweeps) {
+    points *= dim.values.size();
+  }
+  return points;
+}
+
+bool CampaignSpec::ResolveParamPoint(std::size_t p, WorkloadParams* out_params,
+                                     std::string* label, std::string* error) const {
+  *out_params = params;
+  label->clear();
+  if (param_sweeps.empty()) {
+    return true;
+  }
+  std::size_t stride = ParamPointCount();
+  std::size_t rem = p;
+  for (const ParamSweepDimension& dim : param_sweeps) {
+    stride /= dim.values.size();
+    const std::string& value = dim.values[rem / stride];
+    rem %= stride;
+    std::string param_error;
+    if (!SetWorkloadParamKey(dim.key, value, out_params, &param_error)) {
+      if (error != nullptr) {
+        *error = "sweep.params." + dim.key + ": " + param_error;
+      }
+      return false;
+    }
+    if (!label->empty()) {
+      *label += '|';
+    }
+    *label += dim.key + "=" + value;
+  }
+  return true;
+}
+
 std::vector<CampaignCell> CampaignSpec::ExpandCells() const {
   std::vector<CampaignCell> cells;
   const std::vector<std::string>& os_names = oses.empty() ? KnownOsNames() : oses;
+  const std::size_t param_points = ParamPointCount();
   const std::size_t points = FaultPointCount();
-  for (std::size_t f = 0; f < points; ++f) {
-    fault::FaultPlan plan;
-    std::string fault_label;
+  for (std::size_t pp = 0; pp < param_points; ++pp) {
+    WorkloadParams cell_params;
+    std::string param_label;
     // Validate() already vetted every sweep value, so this cannot fail.
-    ResolveFaultPoint(f, &plan, &fault_label, nullptr);
-    // Session seeds derive from the cell's position *within* its fault
-    // point, not its global index: point f's cell k replays point 0's
-    // cell k workload exactly, so sweep curves isolate the fault rate.
-    std::size_t base_index = 0;
-    for (const std::string& os : os_names) {
-      for (const std::string& app : apps) {
-        // An empty workload list means "each app's canonical workload", so
-        // the workload dimension collapses to one entry per app.
-        const std::vector<std::string> wl =
-            workloads.empty() ? std::vector<std::string>{DefaultWorkloadFor(app)} : workloads;
-        for (const std::string& workload : wl) {
-          for (const std::string& driver : drivers) {
-            for (std::uint64_t rep = 0; rep < seeds_per_cell; ++rep) {
-              CampaignCell cell;
-              cell.index = cells.size();
-              cell.os = os;
-              cell.app = app;
-              cell.workload = workload;
-              cell.driver = driver;
-              cell.seed = DeriveSeed(campaign_seed, base_index);
-              cell.workload_seed = workload_seed;
-              cell.seed_rep = rep;
-              cell.faults = plan;
-              cell.fault_point = f;
-              cell.fault_label = fault_label;
-              cells.push_back(std::move(cell));
-              ++base_index;
+    ResolveParamPoint(pp, &cell_params, &param_label, nullptr);
+    for (std::size_t f = 0; f < points; ++f) {
+      fault::FaultPlan plan;
+      std::string fault_label;
+      ResolveFaultPoint(f, &plan, &fault_label, nullptr);
+      // Session seeds derive from the cell's position *within* its
+      // (param, fault) point, not its global index: point (p,f)'s cell k
+      // replays point (0,0)'s cell k exactly where the workload allows,
+      // so sweep curves isolate the swept knob.
+      std::size_t base_index = 0;
+      for (const std::string& os : os_names) {
+        for (const std::string& app : apps) {
+          // An empty workload list means "each app's canonical workload", so
+          // the workload dimension collapses to one entry per app.
+          const std::vector<std::string> wl =
+              workloads.empty() ? std::vector<std::string>{DefaultWorkloadFor(app)} : workloads;
+          for (const std::string& workload : wl) {
+            for (const std::string& driver : drivers) {
+              for (std::uint64_t rep = 0; rep < seeds_per_cell; ++rep) {
+                CampaignCell cell;
+                cell.index = cells.size();
+                cell.os = os;
+                cell.app = app;
+                cell.workload = workload;
+                cell.driver = driver;
+                cell.seed = DeriveSeed(campaign_seed, base_index);
+                cell.workload_seed = workload_seed;
+                cell.seed_rep = rep;
+                cell.faults = plan;
+                cell.fault_point = f;
+                cell.fault_label = fault_label;
+                cell.params = cell_params;
+                cell.param_point = pp;
+                cell.param_label = param_label;
+                cells.push_back(std::move(cell));
+                ++base_index;
+              }
             }
           }
         }
@@ -251,6 +314,17 @@ std::string CampaignSpec::CanonicalString() const {
   field("threshold_ms", obs::NumToJson(threshold_ms));
   field("packets", std::to_string(params.packets));
   field("frames", std::to_string(params.frames));
+  field("params.users", std::to_string(params.server.users));
+  field("params.pool_size", std::to_string(params.server.pool_size));
+  field("params.queue_depth", std::to_string(params.server.queue_depth));
+  field("params.cache_hit_rate", obs::NumToJson(params.server.cache_hit_rate));
+  field("params.requests", std::to_string(params.server.requests_per_user));
+  field("params.think_ms", obs::NumToJson(params.server.think_ms));
+  field("params.service_ms", obs::NumToJson(params.server.service_ms));
+  field("params.timeout_ms", obs::NumToJson(params.server.timeout_ms));
+  field("params.lock_frac", obs::NumToJson(params.server.lock_frac));
+  field("params.lock_hold_ms", obs::NumToJson(params.server.lock_hold_ms));
+  field("params.invalidate_rate", obs::NumToJson(params.server.invalidate_rate));
   field("retries", std::to_string(cell_retries));
   field("fault.disk.fail_rate", obs::NumToJson(faults.disk.fail_rate));
   field("fault.disk.fail_after", std::to_string(faults.disk.fail_after));
@@ -267,6 +341,9 @@ std::string CampaignSpec::CanonicalString() const {
   field("fault.salt", std::to_string(faults.salt));
   for (const FaultSweepDimension& dim : fault_sweeps) {
     field(("sweep.fault." + dim.key).c_str(), list(dim.values));
+  }
+  for (const ParamSweepDimension& dim : param_sweeps) {
+    field(("sweep.params." + dim.key).c_str(), list(dim.values));
   }
   return out;
 }
@@ -384,6 +461,50 @@ bool ParseCampaignSpec(const std::string& text, CampaignSpec* out, std::string* 
         }
       }
       spec.fault_sweeps.push_back(std::move(dim));
+    } else if (key.rfind("sweep.params.", 0) == 0) {
+      ParamSweepDimension dim;
+      dim.key = key.substr(13);
+      dim.values = SplitList(value);
+      if (dim.values.empty()) {
+        *error = "line " + std::to_string(lineno) + ": no values for '" + key + "'";
+        return false;
+      }
+      for (const ParamSweepDimension& existing : spec.param_sweeps) {
+        if (existing.key == dim.key) {
+          *error = "line " + std::to_string(lineno) + ": duplicate sweep key '" + key + "'";
+          return false;
+        }
+      }
+      if (!KnownWorkloadParamKey(dim.key)) {
+        std::string hint;
+        {
+          // A fault key under the wrong prefix is the likely typo.
+          fault::FaultPlan scratch = spec.faults;
+          std::string ignored;
+          if (fault::SetFaultPlanKey(dim.key, "0", &scratch, &ignored)) {
+            hint = " (did you mean 'sweep.fault." + dim.key + "'?)";
+          }
+        }
+        *error = "line " + std::to_string(lineno) + ": unknown param '" + dim.key + "'" + hint;
+        return false;
+      }
+      // Vet each value now so the error carries a line number (Validate
+      // re-checks, but without position info).
+      for (const std::string& v : dim.values) {
+        WorkloadParams scratch = spec.params;
+        std::string param_error;
+        if (!SetWorkloadParamKey(dim.key, v, &scratch, &param_error)) {
+          *error = "line " + std::to_string(lineno) + ": " + param_error;
+          return false;
+        }
+      }
+      spec.param_sweeps.push_back(std::move(dim));
+    } else if (key.rfind("params.", 0) == 0) {
+      std::string param_error;
+      if (!SetWorkloadParamKey(key.substr(7), value, &spec.params, &param_error)) {
+        *error = "line " + std::to_string(lineno) + ": " + param_error;
+        return false;
+      }
     } else if (key.rfind("fault.", 0) == 0) {
       std::string fault_error;
       if (!fault::SetFaultPlanKey(key.substr(6), value, &spec.faults, &fault_error)) {

@@ -46,6 +46,20 @@
 // Cells at different fault points reuse the same derived session seeds
 // (the workload is held constant so only the fault rate varies), while
 // each fault point gets an independently salted fault stream.
+//
+// `sweep.params.<key> = v1, v2, ...` does the same for *workload*
+// parameters (packets/frames and every server knob: users, pool_size,
+// queue_depth, cache_hit_rate, requests, think_ms, service_ms,
+// timeout_ms, lock_frac, lock_hold_ms, invalidate_rate), yielding
+// latency-vs-offered-load curves:
+//
+//   app                     = server
+//   sweep.params.users      = 4, 8, 16, 32
+//   sweep.params.pool_size  = 1, 2
+//
+// Param points reuse session seeds the same way fault points do (matched
+// workloads across the sweep); fixed values use the `params.<key> = v`
+// form.
 
 #ifndef ILAT_SRC_CAMPAIGN_SPEC_H_
 #define ILAT_SRC_CAMPAIGN_SPEC_H_
@@ -78,14 +92,27 @@ struct CampaignCell {
   std::size_t fault_point = 0;
   std::string fault_label;
 
-  // "nt40/notepad/notepad/test#0" (plus "@mq.drop_rate=0.05" under a
-  // fault sweep) -- stable human-readable id.
+  // Resolved workload params for this cell (base params + sweep
+  // overrides) and the param-sweep point they came from.
+  WorkloadParams params;
+  std::size_t param_point = 0;
+  std::string param_label;
+
+  // "nt40/notepad/notepad/test#0" (plus "@users=16" under a param sweep
+  // and/or "@mq.drop_rate=0.05" under a fault sweep) -- stable
+  // human-readable id.
   std::string Label() const;
 };
 
 // One swept fault key and the values it takes.
 struct FaultSweepDimension {
   std::string key;                  // e.g. "mq.drop_rate" (no "fault." prefix)
+  std::vector<std::string> values;  // verbatim spec tokens, applied in order
+};
+
+// One swept workload-param key and the values it takes.
+struct ParamSweepDimension {
+  std::string key;                  // e.g. "users" (no "params." prefix)
   std::vector<std::string> values;  // verbatim spec tokens, applied in order
 };
 
@@ -105,6 +132,10 @@ struct CampaignSpec {
   // Swept fault keys (`sweep.fault.<key> = v1, v2, ...`).  The cell matrix
   // expands once per point of their cross-product, first key slowest.
   std::vector<FaultSweepDimension> fault_sweeps;
+  // Swept workload-param keys (`sweep.params.<key> = v1, v2, ...`), same
+  // cross-product rules; the param point is the slowest (outermost)
+  // expansion dimension, ahead of the fault point.
+  std::vector<ParamSweepDimension> param_sweeps;
   // Extra attempts for cells whose session finishes degraded; each retry
   // uses fault_attempt+1 (a fresh deterministic fault stream) after a
   // small host-side backoff.  The last attempt's result stands either way.
@@ -125,11 +156,23 @@ struct CampaignSpec {
   bool ResolveFaultPoint(std::size_t f, fault::FaultPlan* plan, std::string* label,
                          std::string* error) const;
 
-  // Expand the cross-product in deterministic order (fault point, then
-  // os-major, app, workload, driver, seed repetition).  Cells at the same
-  // position under different fault points share the same derived session
-  // seed, so sweep curves compare identical workloads.  Call Validate
-  // first.
+  // Number of param-sweep points (product of dimension sizes; 1 when no
+  // sweeps are declared).
+  std::size_t ParamPointCount() const;
+
+  // Resolve param sweep point `p` (mixed-radix over param_sweeps, first
+  // key slowest): *params = base params + overrides, *label =
+  // "key=value|..." (empty when no sweeps).  Unlike fault points there is
+  // no salt: the workload itself changes, so matched session seeds across
+  // points are exactly the comparison a load sweep wants.
+  bool ResolveParamPoint(std::size_t p, WorkloadParams* params, std::string* label,
+                         std::string* error) const;
+
+  // Expand the cross-product in deterministic order (param point, then
+  // fault point, then os-major, app, workload, driver, seed repetition).
+  // Cells at the same position under different param/fault points share
+  // the same derived session seed, so sweep curves compare matched
+  // sessions.  Call Validate first.
   std::vector<CampaignCell> ExpandCells() const;
 
   // Canonical text form of every result-affecting field (resolved os

@@ -14,6 +14,7 @@
 #include "src/input/workloads.h"
 #include "src/obs/profiler.h"
 #include "src/os/personalities.h"
+#include "src/server/scenario.h"
 
 namespace ilat {
 
@@ -27,13 +28,14 @@ bool Contains(const std::vector<std::string>& names, const std::string& name) {
 
 const std::vector<std::string>& KnownAppNames() {
   static const std::vector<std::string> names = {
-      "notepad", "word", "powerpoint", "desktop", "echo", "terminal", "media"};
+      "notepad", "word", "powerpoint", "desktop", "echo", "terminal", "media", "server"};
   return names;
 }
 
 const std::vector<std::string>& KnownWorkloadNames() {
-  static const std::vector<std::string> names = {
-      "notepad", "word", "powerpoint", "keys", "clicks", "echo", "media", "network"};
+  static const std::vector<std::string> names = {"notepad", "word", "powerpoint",
+                                                 "keys",    "clicks", "echo",
+                                                 "media",   "network", "server"};
   return names;
 }
 
@@ -98,7 +100,42 @@ std::string DefaultWorkloadFor(const std::string& app) {
   if (app == "media") {
     return "media";
   }
-  return app;  // notepad/word/powerpoint have same-named workloads
+  return app;  // notepad/word/powerpoint/server have same-named workloads
+}
+
+bool KnownWorkloadParamKey(const std::string& key) {
+  return key == "packets" || key == "frames" || server::KnownServerParamKey(key);
+}
+
+bool SetWorkloadParamKey(const std::string& key, const std::string& value,
+                         WorkloadParams* params, std::string* error) {
+  if (key == "packets" || key == "frames") {
+    long long v = 0;
+    bool ok = !value.empty();
+    for (char c : value) {
+      if (c < '0' || c > '9') {
+        ok = false;
+        break;
+      }
+      v = v * 10 + (c - '0');
+      if (v > 1'000'000) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok || v < 1) {
+      *error = "bad value '" + value + "' for param '" + key + "' (integer 1..1000000)";
+      return false;
+    }
+    (key == "packets" ? params->packets : params->frames) = static_cast<int>(v);
+    return true;
+  }
+  // Everything else is a server-scenario knob.
+  if (!server::KnownServerParamKey(key)) {
+    *error = "unknown param '" + key + "'";
+    return false;
+  }
+  return server::SetServerParamKey(key, value, &params->server, error);
 }
 
 bool ParseDriverName(const std::string& name, DriverKind* out) {
@@ -141,6 +178,73 @@ Script MakeWorkloadByName(const std::string& name, Random* rng, const WorkloadPa
   return {};
 }
 
+namespace {
+
+// Turn a server ScenarioResult into the SessionResult shape the rest of
+// the pipeline (aggregation, gating, session I/O, viz) consumes: one
+// EventRecord per completed logical request, user-perceived.
+SessionResult AdaptServerResult(server::ScenarioResult&& r) {
+  SessionResult out;
+  out.first_input_at = r.first_submit_at;
+  out.last_input_done_at = r.last_done_at;
+  out.run_end = r.run_end;
+  out.counters = r.counters;
+  out.metrics = std::move(r.metrics);
+  out.metrics_json = std::move(r.metrics_json);
+  out.trace_data = std::move(r.trace_data);
+  out.fault = std::move(r.fault);
+
+  auto& totals = out.user_state_totals;
+  totals[static_cast<int>(UserState::kThink)] = r.think_cycles;
+  totals[static_cast<int>(UserState::kWaitCpu)] =
+      r.wait_cycles > r.wait_io_cycles ? r.wait_cycles - r.wait_io_cycles : 0;
+  totals[static_cast<int>(UserState::kWaitIo)] = r.wait_io_cycles;
+  totals[static_cast<int>(UserState::kWaitRetry)] = r.retry_wait_cycles;
+
+  std::sort(r.records.begin(), r.records.end(),
+            [](const server::RequestRecord& a, const server::RequestRecord& b) {
+              if (a.first_submit != b.first_submit) {
+                return a.first_submit < b.first_submit;
+              }
+              return a.global_seq < b.global_seq;
+            });
+  out.events.reserve(r.records.size());
+  out.posted.reserve(r.records.size());
+  for (const server::RequestRecord& rec : r.records) {
+    const std::string label =
+        "u" + std::to_string(rec.user) + ".r" + std::to_string(rec.user_req);
+    PostedEvent p;
+    p.msg_seq = rec.global_seq;
+    p.kind = ScriptItem::Kind::kCommand;
+    p.param = rec.user;
+    p.label = label;
+    p.posted_at = rec.first_submit;
+    p.attempt = rec.attempts;
+    out.posted.push_back(std::move(p));
+    if (rec.abandoned) {
+      continue;  // abandons are counted in the fault report, not as events
+    }
+    EventRecord e;
+    e.msg_seq = rec.global_seq;
+    e.type = MessageType::kCommand;
+    e.param = rec.user;
+    e.label = label;
+    e.start = rec.first_submit;
+    e.retrieved = rec.picked_up;
+    e.end = rec.completed;
+    e.wall = e.end - e.start;
+    e.io_wait = rec.io_wait;
+    e.retry_wait = rec.retry_wait;
+    // The user perceives the whole wall time: whatever was not disk wait
+    // or retry backoff was computation + queueing on the server.
+    e.busy = e.wall > e.io_wait + e.retry_wait ? e.wall - e.io_wait - e.retry_wait : 0;
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace
+
 bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error) {
   obs::ScopedHostProbe setup(obs::HostProbe::kSessionSetup);
   const OsProfile* os = nullptr;
@@ -156,10 +260,13 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
     return false;
   }
 
-  std::unique_ptr<GuiApplication> app = MakeAppByName(spec.app);
-  if (app == nullptr) {
-    *error = "unknown app '" + spec.app + "'";
-    return false;
+  std::unique_ptr<GuiApplication> app;
+  if (spec.app != "server") {
+    app = MakeAppByName(spec.app);
+    if (app == nullptr) {
+      *error = "unknown app '" + spec.app + "'";
+      return false;
+    }
   }
 
   const std::string workload =
@@ -169,6 +276,24 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
   if (!ParseDriverName(spec.driver, &driver)) {
     *error = "unknown driver '" + spec.driver + "'";
     return false;
+  }
+
+  if (spec.app == "server") {
+    // The server scenario is not script-shaped: its N users *are* the
+    // driver, so the driver name is accepted but unused.
+    if (workload != "server") {
+      *error = "app 'server' uses workload 'server' (got '" + workload + "')";
+      return false;
+    }
+    server::ScenarioOptions sopts;
+    sopts.seed = spec.seed;
+    sopts.collect_trace = spec.collect_trace;
+    sopts.faults = spec.faults;
+    sopts.fault_attempt = spec.fault_attempt;
+    server::ServerScenario scenario(*os, spec.params.server, sopts);
+    setup.Stop();
+    *out = AdaptServerResult(scenario.Run());
+    return true;
   }
 
   SessionOptions sopts;

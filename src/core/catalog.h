@@ -15,6 +15,7 @@
 
 #include "src/core/measurement.h"
 #include "src/input/script.h"
+#include "src/server/params.h"
 #include "src/sim/random.h"
 
 namespace ilat {
@@ -44,7 +45,19 @@ bool ParseDriverName(const std::string& name, DriverKind* out);
 struct WorkloadParams {
   int packets = 200;  // network
   int frames = 300;   // media
+  // Multi-user server scenario knobs (app = "server").
+  server::ServerParams server;
 };
+
+// Apply one `key = value` pair (key without any prefix, e.g. "users" or
+// "packets") to *params.  Returns false and sets *error for unknown keys
+// or malformed/out-of-range values.  Shared by the campaign spec parser
+// (`params.*` / `sweep.params.*` keys), the CLI, and tests.
+bool SetWorkloadParamKey(const std::string& key, const std::string& value,
+                         WorkloadParams* params, std::string* error);
+
+// True if `key` names a parameter SetWorkloadParamKey accepts.
+bool KnownWorkloadParamKey(const std::string& key);
 
 // Empty script for unknown names.  "network" is not script-shaped (it is
 // driver-driven); RunSpecSession handles it.

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/apps/application.h"
+#include "src/input/reaction_times.h"
 #include "src/input/script.h"
 #include "src/obs/trace.h"
 
@@ -101,12 +102,17 @@ class TestDriver : public InputDriver, public MessagePumpObserver {
 // notices the lack of response, waits a think-time-derived backoff
 // (max(floor, frac * item pause), doubling per attempt), and re-issues
 // the input; after max_retries re-issues they give up on that action --
-// a structured "user abandon", not a stuck driver.
+// a structured "user abandon", not a stuck driver.  The default constants
+// are grounded in reaction-time literature; see
+// src/input/reaction_times.h for the derivations and citations.
 struct HumanRetryPolicy {
   bool enabled = true;
-  int max_retries = 3;                 // bounded re-issues per script item
-  double backoff_floor_ms = 120.0;     // minimum noticing + reacting time
-  double backoff_frac_of_pause = 0.5;  // fraction of the item's think pause
+  // Bounded re-issues per script item.
+  int max_retries = input::kDefaultMaxRetries;
+  // Minimum noticing + reacting time (perceptual + motor cycle).
+  double backoff_floor_ms = input::kRetryBackoffFloorMs;
+  // Fraction of the item's think pause (deliberate users retry slower).
+  double backoff_frac_of_pause = input::kRetryBackoffFracOfPause;
 };
 
 class HumanDriver : public InputDriver {

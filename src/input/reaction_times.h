@@ -1,0 +1,86 @@
+// Reaction-time constants for the simulated human, grounded in the HCI
+// literature rather than picked by feel (closes the ROADMAP calibration
+// item; referenced from docs/FAULTS.md).
+//
+// The retrying human driver (src/input/driver.h) and the multi-user
+// server's user model (src/server/user.h) both model the same behaviour:
+// a user acts, nothing visible happens, the user notices, waits, and acts
+// again.  The backoff for attempt k is
+//
+//   backoff(k) = max(kRetryBackoffFloorMs,
+//                    kRetryBackoffFracOfPause * think_pause_ms)
+//                * kRetryBackoffGrowth^k
+//
+// Sources for the constants:
+//
+//  * kRetryBackoffFloorMs = 120 ms.  Noticing that an action produced no
+//    response and re-acting takes at least one perceptual-processor cycle
+//    plus a motor cycle of the Model Human Processor -- tau_p ~= 100 ms
+//    [50..200] and tau_m ~= 70 ms [30..100] (Card, Moran & Newell, "The
+//    Psychology of Human-Computer Interaction", 1983, ch. 2).  120 ms sits
+//    at the optimistic end of tau_p + tau_m, and matches the ~0.1 s bound
+//    under which a response feels instantaneous (Nielsen, "Usability
+//    Engineering", 1993, ch. 5; also the OSDI paper's premise that
+//    sub-perceptual latencies do not register with users).  Simple visual
+//    reaction-time studies cluster around 180..250 ms; the floor is a
+//    *lower* bound on re-action, not a mean, so 120 ms is conservative.
+//
+//  * kRetryBackoffFracOfPause = 0.5.  Users who were pacing themselves
+//    slowly (long think pauses = deliberate actions) take proportionally
+//    longer to second-guess an unresponsive action than users hammering
+//    short keystrokes.  Scaling the wait by half the action's own think
+//    pause keeps the retry cadence proportional to the user's demonstrated
+//    pace, consistent with the self-paced nature of think time in the
+//    think/wait decomposition (paper Fig. 2).
+//
+//  * kRetryBackoffGrowth = 2.  Doubling per failed attempt mirrors how
+//    users escalate from "did I mis-click?" to "it is stuck": each failure
+//    both raises their estimate of the system's sluggishness and makes
+//    them wait longer before concluding the next attempt failed too.
+//    Nielsen's 10 s limit for keeping attention bounds the escalation:
+//    with a 120 ms floor and 3 bounded retries the worst-case total wait
+//    stays within the attention span before the user abandons the action.
+//
+//  * kDefaultMaxRetries = 3.  After three unanswered re-issues the user
+//    gives up on the action (a structured "user abandon"), consistent with
+//    abandonment being the observable outcome once response times exceed
+//    the attention threshold.
+
+#ifndef ILAT_SRC_INPUT_REACTION_TIMES_H_
+#define ILAT_SRC_INPUT_REACTION_TIMES_H_
+
+#include <algorithm>
+
+namespace ilat {
+namespace input {
+
+// Minimum time to notice a missing response and re-act (perceptual +
+// motor cycle; see header comment for citations).
+inline constexpr double kRetryBackoffFloorMs = 120.0;
+
+// Fraction of the action's own think pause added to the backoff --
+// deliberate users second-guess more slowly.
+inline constexpr double kRetryBackoffFracOfPause = 0.5;
+
+// Escalation factor per failed attempt.
+inline constexpr double kRetryBackoffGrowth = 2.0;
+
+// Bounded re-issues before the user abandons the action.
+inline constexpr int kDefaultMaxRetries = 3;
+
+// backoff(attempt) in milliseconds for an action whose think pause was
+// `pause_ms`.  `attempt` is 0 for the first re-issue.  The growth exponent
+// is clamped so pathological attempt counts cannot overflow.
+inline double RetryBackoffMs(double pause_ms, int attempt) {
+  double ms = std::max(kRetryBackoffFloorMs, kRetryBackoffFracOfPause * pause_ms);
+  const int clamped = std::min(attempt, 20);
+  for (int i = 0; i < clamped; ++i) {
+    ms *= kRetryBackoffGrowth;
+  }
+  return ms;
+}
+
+}  // namespace input
+}  // namespace ilat
+
+#endif  // ILAT_SRC_INPUT_REACTION_TIMES_H_

@@ -26,6 +26,8 @@ constexpr HostProbeInfo kProbeInfo[kHostProbeCount] = {
     {"metrics.snapshot", "MetricsRegistry snapshot+json", true, true},
     {"extract.events", "ExtractEvents", true, true},
     {"session.io", "Save/LoadSessionResult", true, false},
+    {"server.request", "server worker request steps", false, true},
+    {"server.user", "server user FSM transitions", false, true},
 };
 
 std::string NsHuman(std::uint64_t ns) {

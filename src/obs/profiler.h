@@ -50,6 +50,8 @@ enum class HostProbe : int {
   kMetrics,           // metrics snapshot + JSON at Finalize
   kEventExtract,      // ExtractEvents at Finalize
   kSessionIo,         // session save/load (outside the run window)
+  kServerRequest,     // server worker request step   (nested in kSimLoop)
+  kServerUser,        // server user FSM transition   (nested in kSimLoop)
   kCount
 };
 

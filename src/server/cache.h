@@ -1,0 +1,66 @@
+// Response cache with configurable hit-rate and invalidation bursts.
+//
+// The cache is modelled statistically rather than structurally: each
+// lookup hits with probability `hit_rate` from a dedicated deterministic
+// PRNG stream, except during a cold burst -- a shared-state invalidation
+// (probability `invalidate_rate` per lookup) forces the next
+// kColdBurstLookups lookups to miss, modelling the correlated misses that
+// follow a write.  A miss costs a real disk read on the simulated device,
+// so cache behaviour shows up in user-perceived latency exactly the way
+// the paper's Table 1 disk-bound events do.
+
+#ifndef ILAT_SRC_SERVER_CACHE_H_
+#define ILAT_SRC_SERVER_CACHE_H_
+
+#include <cstdint>
+
+#include "src/sim/random.h"
+
+namespace ilat {
+namespace server {
+
+class ResponseCache {
+ public:
+  // Lookups forced to miss after an invalidation.
+  static constexpr int kColdBurstLookups = 4;
+
+  ResponseCache(double hit_rate, double invalidate_rate, std::uint64_t seed)
+      : hit_rate_(hit_rate), invalidate_rate_(invalidate_rate), rng_(seed) {}
+
+  // One lookup: draws invalidation first, then hit/miss.
+  bool Lookup() {
+    if (invalidate_rate_ > 0.0 && rng_.Bernoulli(invalidate_rate_)) {
+      ++invalidations_;
+      cold_remaining_ = kColdBurstLookups;
+    }
+    if (cold_remaining_ > 0) {
+      --cold_remaining_;
+      ++misses_;
+      return false;
+    }
+    if (rng_.Bernoulli(hit_rate_)) {
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    return false;
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  double hit_rate_;
+  double invalidate_rate_;
+  Random rng_;
+  int cold_remaining_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t invalidations_ = 0;
+};
+
+}  // namespace server
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SERVER_CACHE_H_

@@ -1,0 +1,71 @@
+// Shared-state lock: FIFO mutual exclusion between worker threads.
+//
+// A worker that finds the lock held parks (its SimThread blocks) until the
+// holder releases; grants are strictly FIFO so contention is fair and
+// deterministic.  The wait a worker accrues here is pure queueing delay --
+// it consumes no simulated CPU but elongates the request's wall time, the
+// "contention shows up as latency" effect the server scenario exists to
+// surface.
+
+#ifndef ILAT_SRC_SERVER_LOCK_H_
+#define ILAT_SRC_SERVER_LOCK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "src/sim/event_queue.h"
+
+namespace ilat {
+namespace server {
+
+class SharedLock {
+ public:
+  explicit SharedLock(EventQueue* clock) : clock_(clock) {}
+
+  // Try to take the lock.  Returns true when acquired immediately;
+  // otherwise `granted` is queued and runs (inside a later Release) when
+  // the lock passes to this waiter.
+  bool Acquire(std::function<void()> granted) {
+    ++acquisitions_;
+    if (!held_) {
+      held_ = true;
+      return true;
+    }
+    ++contended_;
+    waiters_.emplace_back(clock_->now(), std::move(granted));
+    return false;
+  }
+
+  // Release the lock; hands it to the oldest waiter, if any.
+  void Release() {
+    if (waiters_.empty()) {
+      held_ = false;
+      return;
+    }
+    auto [enqueued_at, granted] = std::move(waiters_.front());
+    waiters_.pop_front();
+    wait_cycles_ += clock_->now() - enqueued_at;
+    // held_ stays true: ownership transfers directly.
+    granted();
+  }
+
+  bool held() const { return held_; }
+  std::uint64_t acquisitions() const { return acquisitions_; }
+  std::uint64_t contended() const { return contended_; }
+  Cycles wait_cycles() const { return wait_cycles_; }
+
+ private:
+  EventQueue* clock_;
+  bool held_ = false;
+  std::deque<std::pair<Cycles, std::function<void()>>> waiters_;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contended_ = 0;
+  Cycles wait_cycles_ = 0;
+};
+
+}  // namespace server
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SERVER_LOCK_H_

@@ -1,0 +1,116 @@
+#include "src/server/params.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ilat {
+namespace server {
+
+namespace {
+
+// Digit-only, overflow-checked integer in [lo, hi].
+bool ParseIntIn(const std::string& value, long long lo, long long hi, int* out) {
+  if (value.empty()) {
+    return false;
+  }
+  long long v = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + (c - '0');
+    if (v > hi) {
+      return false;
+    }
+  }
+  if (v < lo) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+// Finite double in [lo, hi]; rejects trailing junk and overflow-to-inf.
+bool ParseDoubleIn(const std::string& value, double lo, double hi, double* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || !std::isfinite(v) || v < lo || v > hi) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+bool KnownServerParamKey(const std::string& key) {
+  return key == "users" || key == "pool_size" || key == "queue_depth" ||
+         key == "cache_hit_rate" || key == "requests" || key == "think_ms" ||
+         key == "service_ms" || key == "timeout_ms" || key == "lock_frac" ||
+         key == "lock_hold_ms" || key == "invalidate_rate";
+}
+
+bool SetServerParamKey(const std::string& key, const std::string& value,
+                       ServerParams* params, std::string* error) {
+  auto bad = [&](const char* want) {
+    *error = "bad value '" + value + "' for server param '" + key + "' (" + want + ")";
+    return false;
+  };
+  if (key == "users") {
+    return ParseIntIn(value, 1, 100'000, &params->users) ? true
+                                                         : bad("integer 1..100000");
+  }
+  if (key == "pool_size") {
+    return ParseIntIn(value, 1, 4096, &params->pool_size) ? true : bad("integer 1..4096");
+  }
+  if (key == "queue_depth") {
+    return ParseIntIn(value, 1, 1'000'000, &params->queue_depth)
+               ? true
+               : bad("integer 1..1000000");
+  }
+  if (key == "cache_hit_rate") {
+    return ParseDoubleIn(value, 0.0, 1.0, &params->cache_hit_rate) ? true
+                                                                   : bad("number in [0, 1]");
+  }
+  if (key == "requests") {
+    return ParseIntIn(value, 1, 1'000'000, &params->requests_per_user)
+               ? true
+               : bad("integer 1..1000000");
+  }
+  if (key == "think_ms") {
+    return ParseDoubleIn(value, 0.001, 1e7, &params->think_ms) ? true
+                                                               : bad("positive milliseconds");
+  }
+  if (key == "service_ms") {
+    return ParseDoubleIn(value, 0.001, 1e7, &params->service_ms)
+               ? true
+               : bad("positive milliseconds");
+  }
+  if (key == "timeout_ms") {
+    return ParseDoubleIn(value, 1.0, 1e7, &params->timeout_ms)
+               ? true
+               : bad("milliseconds >= 1");
+  }
+  if (key == "lock_frac") {
+    return ParseDoubleIn(value, 0.0, 1.0, &params->lock_frac) ? true
+                                                              : bad("number in [0, 1]");
+  }
+  if (key == "lock_hold_ms") {
+    return ParseDoubleIn(value, 0.0, 1e7, &params->lock_hold_ms)
+               ? true
+               : bad("non-negative milliseconds");
+  }
+  if (key == "invalidate_rate") {
+    return ParseDoubleIn(value, 0.0, 1.0, &params->invalidate_rate)
+               ? true
+               : bad("number in [0, 1]");
+  }
+  *error = "unknown server param '" + key + "'";
+  return false;
+}
+
+}  // namespace server
+}  // namespace ilat

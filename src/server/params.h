@@ -1,0 +1,60 @@
+// ServerParams: sizing and behaviour knobs for the simulated multi-user
+// server scenario (src/server/scenario.h).
+//
+// Every knob is a *workload* parameter -- it shapes the system under test,
+// not the fault plan -- so campaigns sweep them via `sweep.params.<key>`
+// (users, pool_size, cache_hit_rate, ...) and the CLI sets them via
+// --users/--pool/--queue-depth/--cache-hit/--requests.
+
+#ifndef ILAT_SRC_SERVER_PARAMS_H_
+#define ILAT_SRC_SERVER_PARAMS_H_
+
+#include <string>
+
+namespace ilat {
+namespace server {
+
+struct ServerParams {
+  // Concurrent simulated users driving the server.
+  int users = 8;
+  // Worker threads in the pool.
+  int pool_size = 4;
+  // Bounded request queue: a submit that finds the queue full is rejected
+  // (admission control) and the user retries with backoff.
+  int queue_depth = 64;
+  // Steady-state probability a request's cache lookup hits.
+  double cache_hit_rate = 0.6;
+  // Requests each user issues before their session ends.
+  int requests_per_user = 50;
+  // Mean think time between a response and the user's next request
+  // (exponential; self-paced, consumes no simulated CPU).
+  double think_ms = 200.0;
+  // CPU work per request before the cache/lock stage.
+  double service_ms = 3.0;
+  // User-side response timeout: an unanswered request is retried with the
+  // human backoff (src/input/reaction_times.h), bounded, then abandoned.
+  double timeout_ms = 2000.0;
+  // Fraction of requests that take the shared-state lock.
+  double lock_frac = 0.25;
+  // CPU work while holding the lock (serialised across workers --
+  // contention shows up as queueing delay on the lock).
+  double lock_hold_ms = 1.0;
+  // Per-request probability the shared state is invalidated, forcing the
+  // next few lookups to miss (cold-cache burst).
+  double invalidate_rate = 0.05;
+};
+
+// Apply one `key = value` pair (key without any prefix, e.g. "users") to
+// *params.  Returns false and sets *error for unknown keys or
+// malformed/out-of-range values.  Shared by the campaign spec parser
+// (`params.*` / `sweep.params.*` keys) and tests.
+bool SetServerParamKey(const std::string& key, const std::string& value,
+                       ServerParams* params, std::string* error);
+
+// True if `key` names a server parameter SetServerParamKey accepts.
+bool KnownServerParamKey(const std::string& key);
+
+}  // namespace server
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SERVER_PARAMS_H_

@@ -1,0 +1,65 @@
+// Bounded request queue with admission control.
+//
+// A submit that finds the queue full is *rejected*, not blocked: the
+// server sheds load at the door and the user retries with human backoff
+// (the alternative -- unbounded queueing -- is exactly the latency
+// distortion the paper's §1.1 warns throughput benchmarks hide).  Queue
+// residence time is measured by the worker as picked_up - submitted and
+// surfaces as queueing delay in the extracted event records.
+
+#ifndef ILAT_SRC_SERVER_QUEUE_H_
+#define ILAT_SRC_SERVER_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/server/request.h"
+
+namespace ilat {
+namespace server {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(int depth) : depth_(depth) {}
+
+  // False when the queue is at depth (admission rejection).
+  bool TryPush(const Request& r) {
+    if (static_cast<int>(items_.size()) >= depth_) {
+      ++rejected_;
+      return false;
+    }
+    items_.push_back(r);
+    ++accepted_;
+    if (items_.size() > high_water_) {
+      high_water_ = items_.size();
+    }
+    return true;
+  }
+
+  bool TryPop(Request* out) {
+    if (items_.empty()) {
+      return false;
+    }
+    *out = items_.front();
+    items_.pop_front();
+    return true;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  int depth() const { return depth_; }
+  std::uint64_t accepted() const { return accepted_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::size_t high_water() const { return high_water_; }
+
+ private:
+  int depth_;
+  std::deque<Request> items_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace server
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SERVER_QUEUE_H_

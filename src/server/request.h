@@ -1,0 +1,46 @@
+// Request: one attempt at one logical user request, as it flows through
+// the simulated server (user -> bounded queue -> worker -> response).
+//
+// A *logical* request is (user, user_req); each re-issue after a timeout,
+// rejection, or dropped response is a new attempt with a new global_seq,
+// so late responses to a superseded attempt are recognisable as stale.
+
+#ifndef ILAT_SRC_SERVER_REQUEST_H_
+#define ILAT_SRC_SERVER_REQUEST_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace ilat {
+namespace server {
+
+struct Request {
+  int user = 0;
+  int user_req = 0;               // per-user logical request index
+  std::uint64_t global_seq = 0;   // unique per attempt, scenario-wide
+  int attempt = 0;                // re-issues preceding this attempt
+  Cycles first_submit = 0;        // when the *logical* request first left the user
+  Cycles submitted = 0;           // when this attempt entered the queue
+};
+
+// Outcome of one logical request, the unit the catalog adapter turns into
+// an EventRecord (user-perceived latency record).
+struct RequestRecord {
+  int user = 0;
+  int user_req = 0;
+  std::uint64_t global_seq = 0;  // of the final attempt
+  int attempts = 0;              // re-issues (0 = first try succeeded)
+  Cycles first_submit = 0;
+  Cycles picked_up = 0;          // worker dequeued the completing attempt
+  Cycles completed = 0;          // response reached the user (or abandon time)
+  Cycles io_wait = 0;            // disk wait inside the completing attempt
+  Cycles retry_wait = 0;         // user backoff time across re-issues
+  bool abandoned = false;        // user gave up after bounded retries
+  bool io_failed = false;        // served from a failed disk read
+};
+
+}  // namespace server
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SERVER_REQUEST_H_

@@ -1,0 +1,279 @@
+#include "src/server/scenario.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/obs/profiler.h"
+
+namespace ilat {
+namespace server {
+
+namespace {
+
+// Dedicated PRNG stream indices under the scenario seed (workload-side
+// draws; fault draws use the plan-salted derivation below).
+constexpr std::uint64_t kCacheStream = 500;
+constexpr std::uint64_t kDecisionStream = 600;
+constexpr std::uint64_t kUserStreamBase = 1000;
+// Component index for the response-drop stream, alongside the injector's
+// disk=1 / mq=2 / ... component streams.
+constexpr std::uint64_t kResponseDropComponent = 7;
+
+}  // namespace
+
+ServerScenario::ServerScenario(OsProfile profile, ServerParams params,
+                               ScenarioOptions opts)
+    : params_(params),
+      opts_(opts),
+      system_(std::make_unique<SystemUnderTest>(std::move(profile), opts.seed)),
+      queue_(params.queue_depth),
+      decisions_rng_(DeriveSeed(opts.seed, kDecisionStream)),
+      drop_rng_(DeriveSeed(DeriveSeed(opts.seed, opts.faults.salt, opts.fault_attempt),
+                           kResponseDropComponent)) {
+  obs::Tracer& tracer = sim().tracer();
+  if (opts_.collect_trace) {
+    trace_sink_ = std::make_unique<obs::TraceSink>(opts_.trace_event_capacity);
+    tracer.AttachSink(trace_sink_.get());
+  }
+  if (opts_.faults.Any()) {
+    injector_ = std::make_unique<fault::FaultInjector>(opts_.faults, opts_.seed,
+                                                       opts_.fault_attempt);
+    injector_->Attach(&sim().queue(), &tracer);
+    sim().disk().set_fault_policy(injector_.get());
+    injector_->InstallStorm(&sim().queue(), &sim().scheduler());
+  }
+
+  server_track_ = tracer.RegisterTrack("server");
+  // Registered eagerly so the metrics exist, and compare across campaign
+  // cells, even at zero.
+  obs::MetricsRegistry& metrics = tracer.metrics();
+  m_completed_ = metrics.GetCounter("server.completed");
+  m_rejected_ = metrics.GetCounter("server.rejected");
+  m_timeouts_ = metrics.GetCounter("server.timeouts");
+  m_retries_ = metrics.GetCounter("server.retries");
+  m_abandons_ = metrics.GetCounter("server.abandons");
+  m_dropped_ = metrics.GetCounter("server.responses_dropped");
+  m_cache_hits_ = metrics.GetCounter("server.cache.hits");
+  m_cache_misses_ = metrics.GetCounter("server.cache.misses");
+  m_lock_contended_ = metrics.GetCounter("server.lock.contended");
+  m_latency_ms_ = metrics.GetHistogram("server.latency_ms");
+
+  lock_ = std::make_unique<SharedLock>(&sim().queue());
+  cache_ = std::make_unique<ResponseCache>(params_.cache_hit_rate,
+                                           params_.invalidate_rate,
+                                           DeriveSeed(opts_.seed, kCacheStream));
+  workers_.reserve(static_cast<std::size_t>(params_.pool_size));
+  for (int i = 0; i < params_.pool_size; ++i) {
+    workers_.push_back(std::make_unique<Worker>(this, i));
+    sim().scheduler().AddThread(workers_.back().get());
+  }
+  users_.reserve(static_cast<std::size_t>(params_.users));
+  for (int u = 0; u < params_.users; ++u) {
+    users_.push_back(std::make_unique<UserAgent>(
+        this, u, DeriveSeed(opts_.seed, kUserStreamBase + static_cast<std::uint64_t>(u))));
+  }
+}
+
+ServerScenario::~ServerScenario() {
+  if (trace_sink_ != nullptr) {
+    sim().tracer().DetachSink();
+  }
+}
+
+bool ServerScenario::SubmitRequest(const Request& r) {
+  if (!any_submit_) {
+    any_submit_ = true;
+    first_submit_at_ = r.submitted;
+  }
+  if (!queue_.TryPush(r)) {
+    m_rejected_->Increment();
+    sim().tracer().Instant(server_track_, "reject", "server", sim().now(), "user",
+                           static_cast<double>(r.user));
+    return false;
+  }
+  if (!idle_workers_.empty()) {
+    Worker* w = idle_workers_.back();
+    idle_workers_.pop_back();
+    sim().scheduler().Wake(w);
+  }
+  return true;
+}
+
+bool ServerScenario::PopRequest(Worker* w, Request* out) {
+  if (queue_.TryPop(out)) {
+    return true;
+  }
+  idle_workers_.push_back(w);
+  return false;
+}
+
+bool ServerScenario::DrawNeedsLock() {
+  return params_.lock_frac > 0.0 && decisions_rng_.Bernoulli(params_.lock_frac);
+}
+
+std::int64_t ServerScenario::DiskBlockFor(const Request& r) const {
+  // Scatter reads across a 1 GB address range, deterministically per
+  // attempt, so consecutive misses pay real seeks.
+  return static_cast<std::int64_t>((r.global_seq * 977) % 262'144);
+}
+
+void ServerScenario::DeliverResponse(const Request& r, Cycles picked_up,
+                                     Cycles io_wait, bool io_failed) {
+  const Cycles now = sim().now();
+  sim().tracer().CompleteSpan(server_track_, "request", "server", picked_up,
+                              now - picked_up, "user", static_cast<double>(r.user),
+                              "attempt", static_cast<double>(r.attempt));
+  if (opts_.faults.mq.drop_rate > 0.0 && drop_rng_.Bernoulli(opts_.faults.mq.drop_rate)) {
+    // The response vanishes on its way back; the user times out and
+    // retries (or abandons) exactly as for dropped input.
+    ++counts_.responses_dropped;
+    m_dropped_->Increment();
+    sim().tracer().Instant(server_track_, "response-drop", "fault", now, "user",
+                           static_cast<double>(r.user));
+    return;
+  }
+  users_[static_cast<std::size_t>(r.user)]->OnResponse(r, picked_up, io_wait, io_failed);
+}
+
+void ServerScenario::CountTimeout() {
+  ++counts_.timeouts;
+  m_timeouts_->Increment();
+  sim().tracer().Instant(server_track_, "timeout", "server", sim().now());
+}
+
+void ServerScenario::CountRetry() {
+  ++counts_.retries;
+  m_retries_->Increment();
+}
+
+void ServerScenario::CountAbandon() {
+  ++counts_.abandoned;
+  m_abandons_->Increment();
+  sim().tracer().Instant(server_track_, "abandon", "server", sim().now());
+}
+
+void ServerScenario::CountStale() { ++counts_.stale_responses; }
+
+void ServerScenario::AddRecord(RequestRecord rec) {
+  last_done_at_ = std::max(last_done_at_, rec.completed);
+  if (!rec.abandoned) {
+    ++counts_.completed;
+    m_completed_->Increment();
+    m_latency_ms_->Record(CyclesToMilliseconds(rec.completed - rec.first_submit));
+  }
+  records_.push_back(std::move(rec));
+}
+
+ScenarioResult ServerScenario::Run() {
+  system_->Boot();
+  counters_at_start_ = sim().counters().Snapshot();
+  for (auto& u : users_) {
+    u->Start();
+  }
+  const Cycles step = MillisecondsToCycles(100.0);
+  while (!AllUsersDone() && sim().now() < opts_.max_run) {
+    sim().RunFor(step);
+  }
+  // Short drain so in-flight stale work and trace spans settle.
+  sim().RunFor(MillisecondsToCycles(200.0));
+
+  ScenarioResult result;
+  result.records = std::move(records_);
+  result.first_submit_at = first_submit_at_;
+  result.last_done_at = last_done_at_;
+  result.run_end = sim().now();
+  result.all_users_done = AllUsersDone();
+  result.counters = sim().counters().Snapshot() - counters_at_start_;
+
+  for (const auto& u : users_) {
+    result.think_cycles += u->think_cycles();
+    result.wait_cycles += u->wait_cycles();
+    result.retry_wait_cycles += u->backoff_cycles();
+  }
+  for (const RequestRecord& rec : result.records) {
+    if (!rec.abandoned) {
+      result.wait_io_cycles += rec.io_wait;
+    }
+  }
+
+  counts_.rejected = queue_.rejected();
+  counts_.queue_accepted = queue_.accepted();
+  counts_.queue_high_water = queue_.high_water();
+  counts_.cache_hits = cache_->hits();
+  counts_.cache_misses = cache_->misses();
+  counts_.cache_invalidations = cache_->invalidations();
+  counts_.lock_acquisitions = lock_->acquisitions();
+  counts_.lock_contended = lock_->contended();
+  counts_.lock_wait_cycles = lock_->wait_cycles();
+  m_cache_hits_->Increment(counts_.cache_hits);
+  m_cache_misses_->Increment(counts_.cache_misses);
+  m_lock_contended_->Increment(counts_.lock_contended);
+  result.counts = counts_;
+
+  sim().scheduler().FlushTraceSpans();
+  result.fault = BuildFaultReport();
+  if (!result.all_users_done) {
+    result.fault.degraded = true;
+    result.fault.notes.push_back("not all users finished before the simulated-time cap");
+  }
+
+  obs::Tracer& tracer = sim().tracer();
+  tracer.metrics().GetGauge("session.run_end_s")->Set(CyclesToSeconds(result.run_end));
+  if (result.fault.enabled) {
+    tracer.metrics().GetGauge("session.degraded")->Set(result.fault.degraded ? 1.0 : 0.0);
+  }
+  {
+    PROF_SCOPE(kMetrics);
+    result.metrics = tracer.metrics().Snapshot();
+    result.metrics_json = tracer.metrics().ToJson();
+  }
+  if (trace_sink_ != nullptr) {
+    result.trace_data = std::make_shared<obs::TraceData>(tracer.TakeData());
+  }
+  return result;
+}
+
+fault::FaultReport ServerScenario::BuildFaultReport() {
+  fault::FaultReport rep;
+  if (injector_ != nullptr) {
+    rep = injector_->report();
+  }
+  rep.enabled = opts_.faults.Any();
+  rep.mq_dropped += counts_.responses_dropped;
+  const Disk& disk = sim().disk();
+  rep.io_failed = disk.failed_requests();
+  rep.disk_retries = disk.retried_attempts();
+  rep.disk_permanent = rep.disk_permanent || disk.permanently_failed();
+  std::uint64_t user_retries = 0;
+  std::uint64_t user_abandons = 0;
+  for (const auto& u : users_) {
+    user_retries += u->retries();
+    user_abandons += u->abandons();
+  }
+  rep.input_retries = user_retries;
+  rep.input_abandons = user_abandons;
+
+  if (!rep.enabled) {
+    return rep;
+  }
+  if (rep.disk_permanent) {
+    rep.degraded = true;
+    rep.notes.push_back("disk failed permanently mid-session");
+  }
+  if (rep.io_failed > 0) {
+    rep.degraded = true;
+    rep.notes.push_back("requests were served from failed disk reads (io_failed=" +
+                        std::to_string(rep.io_failed) + ")");
+  }
+  if (rep.input_abandons > 0) {
+    rep.degraded = true;
+    rep.notes.push_back("users abandoned " + std::to_string(rep.input_abandons) +
+                        " request(s) after bounded retries");
+  } else if (rep.mq_dropped > 0) {
+    rep.notes.push_back("dropped responses recovered by user retries");
+  }
+  return rep;
+}
+
+}  // namespace server
+}  // namespace ilat

@@ -1,0 +1,190 @@
+// ServerScenario: a multi-threaded server inside the simulator, driven by
+// N concurrent simulated users.
+//
+// The scenario owns one booted SystemUnderTest (the same OS personalities,
+// scheduler, disk, and fault layer every measurement session uses) and
+// models the server *on* it: a bounded request queue with admission
+// control, a pool of worker SimThreads sharing the single simulated CPU, a
+// statistical response cache whose misses are real disk reads, and a
+// FIFO shared-state lock whose contention surfaces as queueing delay.
+// Each user is an independent think/submit/wait FSM with a timeout and the
+// human retry-backoff model.  The result is one RequestRecord per logical
+// user request -- user-perceived latency from first submit to response --
+// which the catalog adapter turns into standard EventRecords so the whole
+// campaign/aggregation/fault pipeline applies unchanged.
+
+#ifndef ILAT_SRC_SERVER_SCENARIO_H_
+#define ILAT_SRC_SERVER_SCENARIO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fault/injector.h"
+#include "src/fault/plan.h"
+#include "src/fault/report.h"
+#include "src/obs/trace.h"
+#include "src/os/system.h"
+#include "src/server/cache.h"
+#include "src/server/lock.h"
+#include "src/server/params.h"
+#include "src/server/queue.h"
+#include "src/server/request.h"
+#include "src/server/user.h"
+#include "src/server/worker.h"
+
+namespace ilat {
+namespace server {
+
+struct ScenarioOptions {
+  std::uint64_t seed = 1;
+  bool collect_trace = false;
+  std::size_t trace_event_capacity = obs::TraceSink::kDefaultCapacity;
+  // Deterministic fault injection; an empty plan injects nothing.
+  fault::FaultPlan faults;
+  int fault_attempt = 0;
+  // Safety cap on simulated time.
+  Cycles max_run = SecondsToCycles(3'600.0);
+};
+
+// Scenario-level occurrence counts (also mirrored into MetricsRegistry
+// counters under the "server." prefix).
+struct ScenarioCounts {
+  std::uint64_t completed = 0;
+  std::uint64_t abandoned = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t stale_responses = 0;   // responses to superseded attempts
+  std::uint64_t responses_dropped = 0; // by the fault plan's mq.drop_rate
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t lock_contended = 0;
+  Cycles lock_wait_cycles = 0;
+  std::uint64_t queue_accepted = 0;
+  std::uint64_t queue_high_water = 0;
+};
+
+struct ScenarioResult {
+  // One per *logical* user request (completed or abandoned), in
+  // completion order.
+  std::vector<RequestRecord> records;
+
+  Cycles first_submit_at = 0;
+  Cycles last_done_at = 0;
+  Cycles run_end = 0;
+
+  // User-state totals summed over all users (the think/wait split).
+  Cycles think_cycles = 0;
+  Cycles wait_cycles = 0;       // submit -> response/timeout, in flight
+  Cycles wait_io_cycles = 0;    // disk wait inside completing attempts
+  Cycles retry_wait_cycles = 0; // backoff between re-issues
+
+  ScenarioCounts counts;
+  bool all_users_done = false;
+
+  HwCounts counters;
+  obs::MetricsSnapshot metrics;
+  std::string metrics_json;
+  std::shared_ptr<const obs::TraceData> trace_data;
+  fault::FaultReport fault;
+};
+
+class ServerScenario {
+ public:
+  ServerScenario(OsProfile profile, ServerParams params, ScenarioOptions opts = {});
+  ~ServerScenario();
+
+  ServerScenario(const ServerScenario&) = delete;
+  ServerScenario& operator=(const ServerScenario&) = delete;
+
+  // Run all users to completion (or the safety cap) and extract results.
+  ScenarioResult Run();
+
+  // ---- internal API used by Worker and UserAgent -------------------------
+  Simulation& sim() { return system_->sim(); }
+  SystemUnderTest& system() { return *system_; }
+  const ServerParams& params() const { return params_; }
+  const OsProfile& profile() const { return system_->profile(); }
+  SharedLock& shared_lock() { return *lock_; }
+  ResponseCache& cache() { return *cache_; }
+  std::uint32_t server_track() const { return server_track_; }
+
+  std::uint64_t NextGlobalSeq() { return next_seq_++; }
+
+  // User -> queue.  False = admission rejection (queue full).  On success
+  // an idle worker (if any) is woken to pick the request up.
+  bool SubmitRequest(const Request& r);
+
+  // Worker <- queue.  False = queue empty; the worker is registered idle
+  // and must block until SubmitRequest wakes it.
+  bool PopRequest(Worker* w, Request* out);
+
+  // Whether this request takes the shared-state lock (deterministic draw).
+  bool DrawNeedsLock();
+
+  // Deterministic disk address for a request's cache-miss read.
+  std::int64_t DiskBlockFor(const Request& r) const;
+
+  // Worker -> user.  Applies the fault plan's response-drop probability;
+  // dropped responses never reach the user (who will time out and retry).
+  void DeliverResponse(const Request& r, Cycles picked_up, Cycles io_wait,
+                       bool io_failed);
+
+  void CountTimeout();
+  void CountRetry();
+  void CountAbandon();
+  void CountStale();
+  void AddRecord(RequestRecord rec);
+  void OnUserDone() { ++users_done_; }
+
+ private:
+  bool AllUsersDone() const { return users_done_ >= static_cast<int>(users_.size()); }
+  fault::FaultReport BuildFaultReport();
+
+  ServerParams params_;
+  ScenarioOptions opts_;
+  std::unique_ptr<SystemUnderTest> system_;
+  // Declared after system_ so it is destroyed first (its storm device
+  // unschedules itself from the simulation's event queue).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<obs::TraceSink> trace_sink_;
+
+  RequestQueue queue_;
+  std::unique_ptr<SharedLock> lock_;
+  std::unique_ptr<ResponseCache> cache_;
+  Random decisions_rng_;
+  Random drop_rng_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<UserAgent>> users_;
+  std::vector<Worker*> idle_workers_;
+
+  std::uint64_t next_seq_ = 1;
+  int users_done_ = 0;
+  ScenarioCounts counts_;
+  std::vector<RequestRecord> records_;
+  bool any_submit_ = false;
+  Cycles first_submit_at_ = 0;
+  Cycles last_done_at_ = 0;
+  HwCounts counters_at_start_;
+
+  std::uint32_t server_track_ = 0;
+  obs::Counter* m_completed_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_timeouts_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_abandons_ = nullptr;
+  obs::Counter* m_dropped_ = nullptr;
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_lock_contended_ = nullptr;
+  obs::LogHistogram* m_latency_ms_ = nullptr;
+};
+
+}  // namespace server
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SERVER_SCENARIO_H_

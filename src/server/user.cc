@@ -1,0 +1,147 @@
+#include "src/server/user.h"
+
+#include "src/input/reaction_times.h"
+#include "src/obs/profiler.h"
+#include "src/server/scenario.h"
+
+namespace ilat {
+namespace server {
+
+UserAgent::UserAgent(ServerScenario* scenario, int index, std::uint64_t seed)
+    : scenario_(scenario), index_(index), rng_(seed) {}
+
+void UserAgent::Start() {
+  if (scenario_->params().requests_per_user <= 0) {
+    done_ = true;
+    scenario_->OnUserDone();
+    return;
+  }
+  BeginThink();
+}
+
+void UserAgent::BeginThink() {
+  const Cycles think = MillisecondsToCycles(
+      rng_.Exponential(scenario_->params().think_ms));
+  think_cycles_ += think;
+  scenario_->sim().queue().ScheduleAfter(think, [this] {
+    PROF_SCOPE(kServerUser);
+    Submit();
+  });
+}
+
+void UserAgent::Submit() {
+  const Cycles now = scenario_->sim().now();
+  Request r;
+  r.user = index_;
+  r.user_req = current_req_;
+  r.global_seq = scenario_->NextGlobalSeq();
+  r.attempt = attempt_;
+  r.first_submit = attempt_ == 0 ? now : first_submit_;
+  r.submitted = now;
+  first_submit_ = r.first_submit;
+  attempt_submitted_ = now;
+  inflight_seq_ = r.global_seq;
+
+  if (!scenario_->SubmitRequest(r)) {
+    // Admission rejection: the queue was full.  The user notices at once
+    // (an error response) and goes down the retry path.
+    HandleFailure();
+    return;
+  }
+  waiting_ = true;
+  timeout_event_ = scenario_->sim().queue().ScheduleAfter(
+      MillisecondsToCycles(scenario_->params().timeout_ms), [this] {
+        PROF_SCOPE(kServerUser);
+        OnTimeout();
+      });
+}
+
+void UserAgent::OnResponse(const Request& r, Cycles picked_up, Cycles io_wait,
+                           bool io_failed) {
+  PROF_SCOPE(kServerUser);
+  if (!waiting_ || r.global_seq != inflight_seq_) {
+    // A superseded attempt (we already timed out and moved on) finally
+    // completed.  It consumed server capacity but the user is past it.
+    scenario_->CountStale();
+    return;
+  }
+  const Cycles now = scenario_->sim().now();
+  if (timeout_event_ != 0) {
+    scenario_->sim().queue().Cancel(timeout_event_);
+    timeout_event_ = 0;
+  }
+  waiting_ = false;
+  wait_cycles_ += now - attempt_submitted_;
+
+  RequestRecord rec;
+  rec.user = index_;
+  rec.user_req = current_req_;
+  rec.global_seq = r.global_seq;
+  rec.attempts = attempt_;
+  rec.first_submit = first_submit_;
+  rec.picked_up = picked_up;
+  rec.completed = now;
+  rec.io_wait = io_wait;
+  rec.retry_wait = retry_wait_accum_;
+  rec.io_failed = io_failed;
+  scenario_->AddRecord(std::move(rec));
+
+  AdvanceToNextRequest();
+}
+
+void UserAgent::OnTimeout() {
+  timeout_event_ = 0;
+  if (!waiting_) {
+    return;
+  }
+  waiting_ = false;
+  wait_cycles_ += scenario_->sim().now() - attempt_submitted_;
+  scenario_->CountTimeout();
+  HandleFailure();
+}
+
+void UserAgent::HandleFailure() {
+  if (attempt_ >= input::kDefaultMaxRetries) {
+    // Bounded retries exhausted: a structured user abandon, not a hang.
+    ++abandons_;
+    scenario_->CountAbandon();
+    RequestRecord rec;
+    rec.user = index_;
+    rec.user_req = current_req_;
+    rec.global_seq = inflight_seq_;
+    rec.attempts = attempt_;
+    rec.first_submit = first_submit_;
+    rec.completed = scenario_->sim().now();
+    rec.retry_wait = retry_wait_accum_;
+    rec.abandoned = true;
+    scenario_->AddRecord(std::move(rec));
+    AdvanceToNextRequest();
+    return;
+  }
+  const Cycles backoff = MillisecondsToCycles(
+      input::RetryBackoffMs(scenario_->params().think_ms, attempt_));
+  ++attempt_;
+  ++retries_;
+  scenario_->CountRetry();
+  backoff_cycles_ += backoff;
+  retry_wait_accum_ += backoff;
+  scenario_->sim().queue().ScheduleAfter(backoff, [this] {
+    PROF_SCOPE(kServerUser);
+    Submit();
+  });
+}
+
+void UserAgent::AdvanceToNextRequest() {
+  ++current_req_;
+  attempt_ = 0;
+  retry_wait_accum_ = 0;
+  if (current_req_ >= scenario_->params().requests_per_user) {
+    done_ = true;
+    scenario_->OnUserDone();
+    return;
+  }
+  BeginThink();
+}
+
+}  // namespace server
+}  // namespace ilat

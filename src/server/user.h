@@ -1,0 +1,79 @@
+// UserAgent: one simulated user driving the server.
+//
+// A pure event-queue FSM (users consume no simulated CPU): think for an
+// exponential pause, submit a request, and wait for the response with a
+// timeout armed.  A timeout, an admission rejection, or a fault-dropped
+// response sends the user down the human retry path -- wait out a
+// reaction-time-grounded backoff (src/input/reaction_times.h), re-issue,
+// and after bounded re-issues abandon the request and move on.  This is
+// the paper's user model generalised from one scripted user to N
+// concurrent ones: latency is measured from when the user first acted to
+// when the response reached them, whatever the server did in between.
+
+#ifndef ILAT_SRC_SERVER_USER_H_
+#define ILAT_SRC_SERVER_USER_H_
+
+#include <cstdint>
+
+#include "src/server/request.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/random.h"
+
+namespace ilat {
+namespace server {
+
+class ServerScenario;
+
+class UserAgent {
+ public:
+  UserAgent(ServerScenario* scenario, int index, std::uint64_t seed);
+
+  // Schedule the first think pause.
+  void Start();
+
+  bool done() const { return done_; }
+  int index() const { return index_; }
+
+  // Scenario routes a delivered (not dropped) response here.
+  void OnResponse(const Request& r, Cycles picked_up, Cycles io_wait, bool io_failed);
+
+  // Per-user state totals for the think/wait decomposition.
+  Cycles think_cycles() const { return think_cycles_; }
+  Cycles wait_cycles() const { return wait_cycles_; }
+  Cycles backoff_cycles() const { return backoff_cycles_; }
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t abandons() const { return abandons_; }
+
+ private:
+  void BeginThink();
+  void Submit();
+  void OnTimeout();
+  // Timeout / rejection / dropped-response path: backoff-and-retry or abandon.
+  void HandleFailure();
+  void AdvanceToNextRequest();
+
+  ServerScenario* scenario_;
+  int index_;
+  Random rng_;
+
+  int current_req_ = 0;   // logical request index
+  int attempt_ = 0;       // re-issues of the current logical request
+  bool waiting_ = false;  // a submit is outstanding
+  bool done_ = false;
+  std::uint64_t inflight_seq_ = 0;  // global_seq of the outstanding attempt
+  Cycles first_submit_ = 0;
+  Cycles attempt_submitted_ = 0;
+  Cycles retry_wait_accum_ = 0;  // backoff spent on the current logical request
+  EventQueue::EventId timeout_event_ = 0;  // 0 = none armed
+
+  Cycles think_cycles_ = 0;
+  Cycles wait_cycles_ = 0;
+  Cycles backoff_cycles_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t abandons_ = 0;
+};
+
+}  // namespace server
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SERVER_USER_H_

@@ -1,0 +1,95 @@
+#include "src/server/worker.h"
+
+#include <string>
+
+#include "src/obs/profiler.h"
+#include "src/server/scenario.h"
+
+namespace ilat {
+namespace server {
+
+Worker::Worker(ServerScenario* scenario, int index)
+    : SimThread("server-worker-" + std::to_string(index), kPriority),
+      scenario_(scenario),
+      index_(index) {}
+
+ThreadAction Worker::NextAction() {
+  PROF_SCOPE(kServerRequest);
+  const ServerParams& p = scenario_->params();
+  const WorkProfile& app_code = scenario_->profile().app_code;
+  for (;;) {
+    switch (phase_) {
+      case Phase::kIdle: {
+        if (!scenario_->PopRequest(this, &current_)) {
+          return ThreadAction::Block();
+        }
+        picked_up_ = scenario_->sim().now();
+        io_wait_ = 0;
+        io_failed_ = false;
+        phase_ = Phase::kService;
+        return ThreadAction::Compute(Work::FromMilliseconds(p.service_ms, app_code),
+                                     [this] { phase_ = Phase::kPostService; });
+      }
+      case Phase::kService:
+        // Service CPU still in flight; nothing new to decide.
+        return ThreadAction::Block();
+      case Phase::kPostService: {
+        if (scenario_->DrawNeedsLock()) {
+          phase_ = Phase::kAwaitLock;
+          const bool granted = scenario_->shared_lock().Acquire([this] {
+            phase_ = Phase::kLockHeld;
+            scenario_->sim().scheduler().Wake(this);
+          });
+          if (granted) {
+            phase_ = Phase::kLockHeld;
+            continue;
+          }
+          return ThreadAction::Block();
+        }
+        phase_ = Phase::kCacheLookup;
+        continue;
+      }
+      case Phase::kAwaitLock:
+        // The grant callback moves us to kLockHeld before waking.
+        return ThreadAction::Block();
+      case Phase::kLockHeld:
+        phase_ = Phase::kPostLock;
+        if (p.lock_hold_ms <= 0.0) {
+          continue;
+        }
+        return ThreadAction::Compute(Work::FromMilliseconds(p.lock_hold_ms, app_code),
+                                     [this] { phase_ = Phase::kPostLock; });
+      case Phase::kPostLock:
+        scenario_->shared_lock().Release();
+        phase_ = Phase::kCacheLookup;
+        continue;
+      case Phase::kCacheLookup: {
+        if (scenario_->cache().Lookup()) {
+          phase_ = Phase::kDeliver;
+          continue;
+        }
+        phase_ = Phase::kAwaitDisk;
+        io_begin_ = scenario_->sim().now();
+        scenario_->sim().disk().SubmitRead(
+            scenario_->DiskBlockFor(current_), 8, [this](IoStatus status) {
+              io_wait_ += scenario_->sim().now() - io_begin_;
+              io_failed_ = status != IoStatus::kOk;
+              phase_ = Phase::kDeliver;
+              scenario_->sim().scheduler().Wake(
+                  this, scenario_->profile().wake_priority_boost);
+            });
+        return ThreadAction::Block();
+      }
+      case Phase::kAwaitDisk:
+        // The disk completion callback moves us to kDeliver before waking.
+        return ThreadAction::Block();
+      case Phase::kDeliver:
+        scenario_->DeliverResponse(current_, picked_up_, io_wait_, io_failed_);
+        phase_ = Phase::kIdle;
+        continue;
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace ilat

@@ -1,0 +1,61 @@
+// Worker: one server thread-pool thread, modelled as a SimThread.
+//
+// Each worker loops: pop a request (or block on the empty queue), burn the
+// request's service CPU, optionally take the shared-state lock (blocking
+// if held) and burn the lock-hold CPU, look the response up in the cache
+// (a miss is a real read on the simulated disk, blocking until the
+// completion interrupt), then deliver the response to the user.  All CPU
+// is executed on the scenario's single simulated CPU via the scheduler, so
+// pool-size contention, lock contention, and disk queueing all surface as
+// user-perceived latency rather than as separate statistics.
+
+#ifndef ILAT_SRC_SERVER_WORKER_H_
+#define ILAT_SRC_SERVER_WORKER_H_
+
+#include "src/server/request.h"
+#include "src/sim/thread.h"
+
+namespace ilat {
+namespace server {
+
+class ServerScenario;
+
+class Worker : public SimThread {
+ public:
+  // Runs at a typical service priority (below foreground GUI wakes,
+  // above background housekeeping).
+  static constexpr int kPriority = 5;
+
+  Worker(ServerScenario* scenario, int index);
+
+  ThreadAction NextAction() override;
+
+  int index() const { return index_; }
+
+ private:
+  enum class Phase {
+    kIdle,         // between requests; pops or blocks
+    kService,      // request service CPU in flight
+    kPostService,  // service done; decide lock vs cache
+    kAwaitLock,    // parked on the shared lock
+    kLockHeld,     // lock granted; burn hold CPU
+    kPostLock,     // hold CPU done; release and move on
+    kCacheLookup,  // cache draw; miss issues the disk read
+    kAwaitDisk,    // parked on the disk completion interrupt
+    kDeliver,      // respond to the user, then back to kIdle
+  };
+
+  ServerScenario* scenario_;
+  int index_;
+  Phase phase_ = Phase::kIdle;
+  Request current_{};
+  Cycles picked_up_ = 0;
+  Cycles io_begin_ = 0;
+  Cycles io_wait_ = 0;
+  bool io_failed_ = false;
+};
+
+}  // namespace server
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SERVER_WORKER_H_

@@ -217,6 +217,11 @@ int RunOneInner(const std::string& os_name, const CliOptions& options,
   spec.collect_trace = !options.trace_out.empty() || options.explain;
   spec.params.packets = options.packets;
   spec.params.frames = options.frames;
+  spec.params.server.users = options.users;
+  spec.params.server.pool_size = options.pool;
+  spec.params.server.queue_depth = options.queue_depth;
+  spec.params.server.cache_hit_rate = options.cache_hit;
+  spec.params.server.requests_per_user = options.requests;
   spec.faults = faults;
 
   SessionResult r;
@@ -680,6 +685,29 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
       if (!ParseFlagInt("--frames", arg.substr(9), 1, 1'000'000, &out->frames, error)) {
         return false;
       }
+    } else if (StartsWith(arg, "--users=")) {
+      if (!ParseFlagInt("--users", arg.substr(8), 1, 100'000, &out->users, error)) {
+        return false;
+      }
+    } else if (StartsWith(arg, "--pool=")) {
+      if (!ParseFlagInt("--pool", arg.substr(7), 1, 4096, &out->pool, error)) {
+        return false;
+      }
+    } else if (StartsWith(arg, "--queue-depth=")) {
+      if (!ParseFlagInt("--queue-depth", arg.substr(14), 1, 1'000'000, &out->queue_depth,
+                        error)) {
+        return false;
+      }
+    } else if (StartsWith(arg, "--cache-hit=")) {
+      if (!ParseFlagDouble("--cache-hit", arg.substr(12), 0.0, 1.0, &out->cache_hit,
+                           error)) {
+        return false;
+      }
+    } else if (StartsWith(arg, "--requests=")) {
+      if (!ParseFlagInt("--requests", arg.substr(11), 1, 1'000'000, &out->requests,
+                        error)) {
+        return false;
+      }
     } else if (StartsWith(arg, "--faults=")) {
       out->faults_path = arg.substr(9);
       if (out->faults_path.empty()) {
@@ -797,13 +825,16 @@ std::string CliUsage() {
       "usage: ilat [options]\n"
       "       ilat merge PARTIAL... [output/gate options]\n"
       "  --os=nt351|nt40|win95|all   operating-system personality (nt40)\n"
-      "  --app=notepad|word|powerpoint|desktop|echo|terminal|media   app model\n"
+      "  --app=notepad|word|powerpoint|desktop|echo|terminal|media|server   app model\n"
       "  --workload=NAME             input script or 'network' (defaults per app)\n"
       "  --driver=test|test-nosync|human   input driver (test)\n"
       "  --seed=N                    workload/machine seed (42)\n"
       "  --threshold=MS              irritation threshold (100); --threshold-ms= works too\n"
       "  --idle-period=MS            idle-loop instrument period (1.0)\n"
       "  --packets=N --frames=N      sizes for network/media workloads\n"
+      "  --users=N --pool=N          server scenario: concurrent users, worker pool\n"
+      "  --queue-depth=N --cache-hit=P --requests=N   server queue bound, response-\n"
+      "                              cache hit rate, requests per user (docs/SERVER.md)\n"
       "  --faults=PLAN               inject deterministic faults per a plan file\n"
       "                              (see docs/FAULTS.md); overrides spec plans\n"
       "  --fail-degraded             exit 1 when faults degrade the session\n"
@@ -876,8 +907,8 @@ int RunCli(const CliOptions& options, std::FILE* out) {
     std::fputs(
         "campaigns: cross-products of the above via --campaign=SPEC "
         "(spec keys: name, os, app, workload, driver, seeds, seed, "
-        "workload_seed, threshold_ms, packets, frames, retries, fault.*, "
-        "sweep.fault.*)\n",
+        "workload_seed, threshold_ms, packets, frames, retries, params.*, "
+        "fault.*, sweep.fault.*, sweep.params.*)\n",
         out);
     return 0;
   }

@@ -22,7 +22,7 @@
 namespace ilat {
 
 // Reported by `ilat --version`.
-inline constexpr const char* kIlatVersion = "0.6.0";
+inline constexpr const char* kIlatVersion = "0.7.0";
 
 struct CliOptions {
   std::string os = "nt40";          // nt351 | nt40 | win95 | all
@@ -34,6 +34,13 @@ struct CliOptions {
   double idle_period_ms = 1.0;      // idle-loop instrument period
   int packets = 200;                // for --workload=network
   int frames = 300;                 // for --workload=media
+
+  // Multi-user server scenario knobs (--app=server; see docs/SERVER.md).
+  int users = 8;                    // concurrent simulated users
+  int pool = 4;                     // server worker threads
+  int queue_depth = 64;             // bounded request-queue depth
+  double cache_hit = 0.6;           // response-cache hit probability
+  int requests = 50;                // requests issued per user
   std::string save_path;            // write the session to this file
   std::string load_path;            // analyse a saved session instead of running
   std::string csv_prefix;           // export events/curves as CSV

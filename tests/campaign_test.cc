@@ -242,6 +242,123 @@ TEST(FaultSweepTest, RejectsBadSweepSpecs) {
   EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
 }
 
+// ------------------------------------------------------- param sweeps --
+
+constexpr char kParamSweepSpec[] =
+    "name = load\n"
+    "os = nt40\n"
+    "app = server\n"
+    "seeds = 2\n"
+    "seed = 2026\n"
+    "params.requests = 10\n"
+    "sweep.params.pool_size = 1, 2\n"
+    "sweep.params.users = 4, 8\n";
+
+TEST(ParamSweepTest, ParsesAndExpandsThePointMatrix) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec(kParamSweepSpec, &spec, &error)) << error;
+  ASSERT_EQ(spec.param_sweeps.size(), 2u);
+  EXPECT_EQ(spec.param_sweeps[0].key, "pool_size");
+  EXPECT_EQ(spec.ParamPointCount(), 4u);
+  EXPECT_EQ(spec.params.server.requests_per_user, 10);
+
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 8u);  // 2 base cells x 4 param points
+  // Point p's cell k reuses point 0's cell k seed: curves compare matched
+  // sessions where only the swept knob differs.
+  EXPECT_EQ(cells[0].seed, cells[2].seed);
+  EXPECT_EQ(cells[1].seed, cells[7].seed);
+  EXPECT_NE(cells[0].seed, cells[1].seed);
+  // First key slowest: pool_size=1 covers the first two points.
+  EXPECT_EQ(cells[0].param_label, "pool_size=1|users=4");
+  EXPECT_EQ(cells[2].param_label, "pool_size=1|users=8");
+  EXPECT_EQ(cells[4].param_label, "pool_size=2|users=4");
+  EXPECT_EQ(cells[6].param_label, "pool_size=2|users=8");
+  EXPECT_EQ(cells[6].params.server.pool_size, 2);
+  EXPECT_EQ(cells[6].params.server.users, 8);
+  // The fixed params.* key applies at every point.
+  EXPECT_EQ(cells[6].params.server.requests_per_user, 10);
+  EXPECT_EQ(cells[0].param_point, 0u);
+  EXPECT_EQ(cells[6].param_point, 3u);
+  EXPECT_NE(cells[6].Label().find("@pool_size=2|users=8"), std::string::npos);
+}
+
+TEST(ParamSweepTest, ParamAndFaultSweepsCrossWithParamSlowest) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec("os = nt40\napp = server\n"
+                                "sweep.params.users = 4, 8\n"
+                                "sweep.fault.mq.drop_rate = 0, 0.1\n",
+                                &spec, &error))
+      << error;
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0].param_label, "users=4");
+  EXPECT_EQ(cells[0].fault_label, "mq.drop_rate=0");
+  EXPECT_EQ(cells[1].param_label, "users=4");
+  EXPECT_EQ(cells[1].fault_label, "mq.drop_rate=0.1");
+  EXPECT_EQ(cells[2].param_label, "users=8");
+  EXPECT_EQ(cells[2].fault_label, "mq.drop_rate=0");
+  // Both sweep labels appear in the cell label, param first.
+  EXPECT_NE(cells[1].Label().find("@users=4@mq.drop_rate=0.1"), std::string::npos);
+}
+
+TEST(ParamSweepTest, RejectsBadParamSweepSpecs) {
+  CampaignSpec spec;
+  std::string error;
+  // Unknown key.
+  EXPECT_FALSE(ParseCampaignSpec("app = server\nsweep.params.bogus = 1\n", &spec, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("unknown param"), std::string::npos) << error;
+  // Empty value list.
+  EXPECT_FALSE(ParseCampaignSpec("app = server\nsweep.params.users =\n", &spec, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  // Duplicate sweep key.
+  EXPECT_FALSE(ParseCampaignSpec("app = server\n"
+                                 "sweep.params.users = 4\n"
+                                 "sweep.params.users = 8\n",
+                                 &spec, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos) << error;
+  // A fault key under the params prefix gets a pointed hint.
+  EXPECT_FALSE(ParseCampaignSpec("app = server\nsweep.params.mq.drop_rate = 0, 0.1\n",
+                                 &spec, &error));
+  EXPECT_NE(error.find("sweep.fault.mq.drop_rate"), std::string::npos) << error;
+  // Non-numeric / out-of-range values.
+  EXPECT_FALSE(ParseCampaignSpec("app = server\nsweep.params.users = 4, abc\n",
+                                 &spec, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_FALSE(ParseCampaignSpec("app = server\nsweep.params.cache_hit_rate = 0.5, 2\n",
+                                 &spec, &error));
+  // Same key swept under both prefixes is fine grammatically but the
+  // params version must name a workload param -- "salt" is fault-only.
+  EXPECT_FALSE(ParseCampaignSpec("app = server\nsweep.params.salt = 1\n", &spec, &error));
+}
+
+TEST(ParamSweepTest, FixedParamsKeyRejectsBadValues) {
+  CampaignSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignSpec("app = server\nparams.users = abc\n", &spec, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_FALSE(ParseCampaignSpec("app = server\nparams.bogus = 1\n", &spec, &error));
+  ASSERT_TRUE(ParseCampaignSpec("app = server\nparams.users = 16\n", &spec, &error))
+      << error;
+  EXPECT_EQ(spec.params.server.users, 16);
+}
+
+TEST(ParamSweepTest, SweepChangesCanonicalStringAndHash) {
+  CampaignSpec a;
+  CampaignSpec b;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec("app = server\nos = nt40\n", &a, &error)) << error;
+  ASSERT_TRUE(ParseCampaignSpec("app = server\nos = nt40\nsweep.params.users = 4, 8\n",
+                                &b, &error))
+      << error;
+  EXPECT_NE(a.CanonicalString(), b.CanonicalString());
+  EXPECT_NE(a.SpecHash(), b.SpecHash());
+  EXPECT_NE(b.CanonicalString().find("sweep.params.users=4,8"), std::string::npos);
+}
+
 TEST(RunnerTest, JobsOneAndJobsEightAreByteIdentical) {
   const CampaignSpec spec = SmallSpec();
   const std::string json1 = RunToJson(spec, 1);

@@ -181,6 +181,42 @@ TEST(CliRunTest, ListPrintsCatalog) {
   EXPECT_NE(out.find("win95"), std::string::npos);
   EXPECT_NE(out.find("notepad"), std::string::npos);
   EXPECT_NE(out.find("test-nosync"), std::string::npos);
+  // The server scenario is a first-class app and workload.
+  EXPECT_NE(out.find("server"), std::string::npos);
+  EXPECT_NE(out.find("sweep.params"), std::string::npos);
+}
+
+TEST(CliParseTest, ParsesServerFlags) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--users=16", "--pool=2", "--queue-depth=8",
+                            "--cache-hit=0.25", "--requests=10"},
+                           &o, &error));
+  EXPECT_EQ(o.users, 16);
+  EXPECT_EQ(o.pool, 2);
+  EXPECT_EQ(o.queue_depth, 8);
+  EXPECT_DOUBLE_EQ(o.cache_hit, 0.25);
+  EXPECT_EQ(o.requests, 10);
+}
+
+TEST(CliRunTest, RunsServerScenario) {
+  CliOptions o;
+  o.app = "server";
+  o.users = 4;
+  o.requests = 5;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  // 4 users x 5 requests, all completed.
+  EXPECT_NE(out.find("| events                        | 20"), std::string::npos) << out;
+}
+
+TEST(CliRunTest, ServerRejectsForeignWorkload) {
+  CliOptions o;
+  o.app = "server";
+  o.workload = "keys";
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("workload"), std::string::npos);
 }
 
 TEST(CliRunTest, TraceAndMetricsOutWriteFiles) {
@@ -412,7 +448,8 @@ std::vector<BadFlagCase> AllBadNumberCases() {
   std::vector<BadFlagCase> cases;
   for (const char* flag :
        {"--seed=", "--threshold=", "--threshold-ms=", "--idle-period=", "--packets=",
-        "--frames=", "--jobs=", "--gate-tolerance=", "--progress="}) {
+        "--frames=", "--jobs=", "--gate-tolerance=", "--progress=", "--users=",
+        "--pool=", "--queue-depth=", "--cache-hit=", "--requests="}) {
     for (const char* value : {"abc", "12abc", "", "99999999999999999999999", "1e999"}) {
       cases.push_back({flag, value});
     }
@@ -427,6 +464,13 @@ std::vector<BadFlagCase> AllBadNumberCases() {
   cases.push_back({"--jobs=", "1025"});
   cases.push_back({"--progress=", "0"});
   cases.push_back({"--progress=", "-3"});
+  cases.push_back({"--users=", "0"});
+  cases.push_back({"--pool=", "-1"});
+  cases.push_back({"--pool=", "0"});
+  cases.push_back({"--queue-depth=", "0"});
+  cases.push_back({"--cache-hit=", "1.5"});
+  cases.push_back({"--cache-hit=", "-0.1"});
+  cases.push_back({"--requests=", "0"});
   return cases;
 }
 

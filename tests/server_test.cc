@@ -1,0 +1,317 @@
+// Tests for the multi-user server scenario (src/server/): the bounded
+// request queue, response cache, contended lock, parameter parsing, the
+// end-to-end scenario (completion, determinism, load sensitivity), and
+// the catalog adapter that turns a ScenarioResult into a SessionResult.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/catalog.h"
+#include "src/os/personalities.h"
+#include "src/server/cache.h"
+#include "src/server/lock.h"
+#include "src/server/params.h"
+#include "src/server/queue.h"
+#include "src/server/scenario.h"
+#include "src/sim/event_queue.h"
+
+namespace ilat {
+namespace server {
+namespace {
+
+// ------------------------------------------------------------ params --
+
+TEST(ServerParamsTest, DefaultsAreSane) {
+  ServerParams p;
+  EXPECT_GE(p.users, 1);
+  EXPECT_GE(p.pool_size, 1);
+  EXPECT_GE(p.queue_depth, 1);
+  EXPECT_GE(p.cache_hit_rate, 0.0);
+  EXPECT_LE(p.cache_hit_rate, 1.0);
+  EXPECT_GT(p.requests_per_user, 0);
+  EXPECT_GT(p.timeout_ms, 0.0);
+}
+
+TEST(ServerParamsTest, SetKeyAppliesAndValidates) {
+  ServerParams p;
+  std::string error;
+  EXPECT_TRUE(SetServerParamKey("users", "32", &p, &error)) << error;
+  EXPECT_EQ(p.users, 32);
+  EXPECT_TRUE(SetServerParamKey("cache_hit_rate", "0.9", &p, &error)) << error;
+  EXPECT_DOUBLE_EQ(p.cache_hit_rate, 0.9);
+  EXPECT_TRUE(SetServerParamKey("lock_hold_ms", "0", &p, &error)) << error;
+
+  EXPECT_FALSE(SetServerParamKey("users", "0", &p, &error));
+  EXPECT_NE(error.find("users"), std::string::npos);
+  EXPECT_FALSE(SetServerParamKey("users", "abc", &p, &error));
+  EXPECT_FALSE(SetServerParamKey("cache_hit_rate", "1.5", &p, &error));
+  EXPECT_FALSE(SetServerParamKey("pool_size", "-1", &p, &error));
+  EXPECT_FALSE(SetServerParamKey("bogus", "1", &p, &error));
+  EXPECT_NE(error.find("unknown"), std::string::npos);
+  // Failed sets leave the params untouched.
+  EXPECT_EQ(p.users, 32);
+}
+
+TEST(ServerParamsTest, KnownKeysRoundTrip) {
+  for (const char* key :
+       {"users", "pool_size", "queue_depth", "cache_hit_rate", "requests", "think_ms",
+        "service_ms", "timeout_ms", "lock_frac", "lock_hold_ms", "invalidate_rate"}) {
+    EXPECT_TRUE(KnownServerParamKey(key)) << key;
+  }
+  EXPECT_FALSE(KnownServerParamKey("packets"));
+  EXPECT_FALSE(KnownServerParamKey(""));
+}
+
+// ------------------------------------------------------------- queue --
+
+TEST(RequestQueueTest, BoundsAndCounts) {
+  RequestQueue q(2);
+  Request r;
+  EXPECT_TRUE(q.TryPush(r));
+  EXPECT_TRUE(q.TryPush(r));
+  EXPECT_FALSE(q.TryPush(r));  // full -> admission rejection
+  EXPECT_EQ(q.size(), 2);
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.rejected(), 1u);
+  EXPECT_EQ(q.high_water(), 2);
+
+  Request out;
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_TRUE(q.TryPop(&out));
+  EXPECT_FALSE(q.TryPop(&out));
+  EXPECT_EQ(q.size(), 0);
+}
+
+TEST(RequestQueueTest, FifoOrder) {
+  RequestQueue q(8);
+  for (int i = 0; i < 4; ++i) {
+    Request r;
+    r.global_seq = static_cast<std::uint64_t>(i + 1);
+    ASSERT_TRUE(q.TryPush(r));
+  }
+  Request out;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out.global_seq, static_cast<std::uint64_t>(i + 1));
+  }
+}
+
+// ------------------------------------------------------------- cache --
+
+TEST(ResponseCacheTest, HitRateIsRespected) {
+  ResponseCache always(1.0, 0.0, 7);
+  ResponseCache never(0.0, 0.0, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(always.Lookup());
+    EXPECT_FALSE(never.Lookup());
+  }
+  EXPECT_EQ(always.hits(), 50u);
+  EXPECT_EQ(never.misses(), 50u);
+}
+
+TEST(ResponseCacheTest, InvalidationForcesAColdBurst) {
+  // invalidate_rate=1 invalidates on every lookup, so even a hit_rate=1
+  // cache misses: each draw re-enters the cold burst.
+  ResponseCache c(1.0, 1.0, 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(c.Lookup());
+  }
+  EXPECT_EQ(c.invalidations(), 10u);
+  EXPECT_EQ(c.misses(), 10u);
+}
+
+TEST(ResponseCacheTest, DeterministicUnderSeed) {
+  ResponseCache a(0.5, 0.1, 42);
+  ResponseCache b(0.5, 0.1, 42);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Lookup(), b.Lookup()) << "lookup " << i;
+  }
+}
+
+// -------------------------------------------------------------- lock --
+
+TEST(SharedLockTest, ContentionQueuesFifoAndAccruesWaitCycles) {
+  EventQueue clock;
+  SharedLock lock(&clock);
+  std::vector<int> order;
+  EXPECT_TRUE(lock.Acquire([&] { order.push_back(0); }));  // immediate grant
+  EXPECT_FALSE(lock.Acquire([&] { order.push_back(1); }));
+  EXPECT_FALSE(lock.Acquire([&] { order.push_back(2); }));
+  EXPECT_EQ(lock.contended(), 2u);
+
+  // Advance simulated time so the waiters accrue wait cycles.
+  clock.ScheduleAfter(1000, [] {});
+  clock.RunUntil(1000);
+  lock.Release();  // grants waiter 1
+  lock.Release();  // grants waiter 2
+  lock.Release();  // frees the lock
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(lock.acquisitions(), 3u);
+  EXPECT_GE(lock.wait_cycles(), 2000);  // both waited >= 1000 cycles
+
+  // Free again: the next Acquire is immediate.
+  bool granted = lock.Acquire([] {});
+  EXPECT_TRUE(granted);
+  lock.Release();
+}
+
+// ---------------------------------------------------------- scenario --
+
+OsProfile TestOs() { return AllPersonalities()[1]; }  // nt40
+
+ScenarioResult RunSmall(int users, int pool, std::uint64_t seed = 11) {
+  ServerParams p;
+  p.users = users;
+  p.pool_size = pool;
+  p.requests_per_user = 10;
+  ScenarioOptions opts;
+  opts.seed = seed;
+  ServerScenario scenario(TestOs(), p, opts);
+  return scenario.Run();
+}
+
+TEST(ServerScenarioTest, AllRequestsCompleteCleanly) {
+  const ScenarioResult r = RunSmall(4, 2);
+  EXPECT_TRUE(r.all_users_done);
+  EXPECT_EQ(r.counts.completed, 40u);  // 4 users x 10 requests
+  EXPECT_EQ(r.counts.abandoned, 0u);
+  EXPECT_EQ(r.counts.timeouts, 0u);
+  EXPECT_EQ(r.records.size(), 40u);
+  EXPECT_FALSE(r.fault.degraded);
+  // Every record is causally ordered and charged to a real user.
+  for (const RequestRecord& rec : r.records) {
+    EXPECT_GE(rec.user, 0);
+    EXPECT_LT(rec.user, 4);
+    EXPECT_LE(rec.first_submit, rec.picked_up);
+    EXPECT_LE(rec.picked_up, rec.completed);
+    EXPECT_FALSE(rec.abandoned);
+  }
+  // The cache saw traffic and split it between hits and misses.
+  EXPECT_GT(r.counts.cache_hits + r.counts.cache_misses, 0u);
+}
+
+TEST(ServerScenarioTest, DeterministicAcrossRuns) {
+  const ScenarioResult a = RunSmall(6, 2, 99);
+  const ScenarioResult b = RunSmall(6, 2, 99);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].global_seq, b.records[i].global_seq);
+    EXPECT_EQ(a.records[i].completed, b.records[i].completed);
+    EXPECT_EQ(a.records[i].io_wait, b.records[i].io_wait);
+  }
+  EXPECT_EQ(a.counts.cache_hits, b.counts.cache_hits);
+  EXPECT_EQ(a.counts.lock_contended, b.counts.lock_contended);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+}
+
+TEST(ServerScenarioTest, SeedChangesTheRun) {
+  const ScenarioResult a = RunSmall(6, 2, 1);
+  const ScenarioResult b = RunSmall(6, 2, 2);
+  EXPECT_NE(a.metrics_json, b.metrics_json);
+}
+
+TEST(ServerScenarioTest, MoreUsersMeanMoreQueueingDelay) {
+  auto mean_wall_ms = [](const ScenarioResult& r) {
+    double total = 0.0;
+    for (const RequestRecord& rec : r.records) {
+      total += CyclesToMilliseconds(rec.completed - rec.first_submit);
+    }
+    return total / static_cast<double>(r.records.size());
+  };
+  const ScenarioResult light = RunSmall(2, 2);
+  const ScenarioResult heavy = RunSmall(24, 2);
+  EXPECT_GT(mean_wall_ms(heavy), mean_wall_ms(light));
+}
+
+TEST(ServerScenarioTest, TinyQueueRejectsAndUsersRetry) {
+  ServerParams p;
+  p.users = 24;
+  p.pool_size = 1;
+  p.queue_depth = 1;  // almost everything bounces
+  p.requests_per_user = 5;
+  p.cache_hit_rate = 0.0;  // every request eats a disk read
+  ScenarioOptions opts;
+  opts.seed = 5;
+  ServerScenario scenario(TestOs(), p, opts);
+  const ScenarioResult r = scenario.Run();
+  EXPECT_GT(r.counts.rejected, 0u);
+  EXPECT_GT(r.counts.retries, 0u);
+  // Rejections without an injected fault plan are offered-load physics,
+  // not a degraded experiment.
+  EXPECT_FALSE(r.fault.enabled);
+}
+
+TEST(ServerScenarioTest, ResponseDropFaultsDegradeAndAreCounted) {
+  ServerParams p;
+  p.users = 8;
+  p.pool_size = 2;
+  p.requests_per_user = 10;
+  ScenarioOptions opts;
+  opts.seed = 3;
+  opts.faults.mq.drop_rate = 0.5;
+  ServerScenario scenario(TestOs(), p, opts);
+  const ScenarioResult r = scenario.Run();
+  EXPECT_TRUE(r.fault.enabled);
+  EXPECT_GT(r.counts.responses_dropped, 0u);
+  EXPECT_GT(r.counts.retries, 0u);
+  EXPECT_GE(r.fault.mq_dropped, r.counts.responses_dropped);
+}
+
+// ----------------------------------------------------------- adapter --
+
+TEST(ServerCatalogTest, RunSpecSessionAdaptsTheScenario) {
+  RunSpec spec;
+  spec.app = "server";
+  spec.seed = 17;
+  spec.params.server.users = 4;
+  spec.params.server.requests_per_user = 5;
+  SessionResult out;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &out, &error)) << error;
+  EXPECT_EQ(out.events.size(), 20u);
+  EXPECT_EQ(out.posted.size(), 20u);
+  std::set<std::uint64_t> seqs;
+  Cycles prev_start = 0;
+  for (const EventRecord& e : out.events) {
+    seqs.insert(e.msg_seq);
+    EXPECT_GE(e.start, prev_start);  // sorted by submit time
+    prev_start = e.start;
+    EXPECT_EQ(e.wall, e.busy + e.io_wait + e.retry_wait);
+    EXPECT_EQ(e.label.rfind("u", 0), 0u) << e.label;
+  }
+  EXPECT_EQ(seqs.size(), 20u);  // distinct logical requests
+  // User-state totals cover think and wait time.
+  EXPECT_GT(out.user_state_totals[static_cast<int>(UserState::kThink)], 0);
+  EXPECT_GT(out.user_state_totals[static_cast<int>(UserState::kWaitCpu)], 0);
+}
+
+TEST(ServerCatalogTest, ServerRejectsMismatchedWorkload) {
+  RunSpec spec;
+  spec.app = "server";
+  spec.workload = "keys";
+  SessionResult out;
+  std::string error;
+  EXPECT_FALSE(RunSpecSession(spec, &out, &error));
+  EXPECT_NE(error.find("workload"), std::string::npos);
+}
+
+TEST(ServerCatalogTest, WorkloadParamKeysCoverServerAndLegacy) {
+  EXPECT_TRUE(KnownWorkloadParamKey("users"));
+  EXPECT_TRUE(KnownWorkloadParamKey("packets"));
+  EXPECT_FALSE(KnownWorkloadParamKey("mq.drop_rate"));
+  WorkloadParams wp;
+  std::string error;
+  EXPECT_TRUE(SetWorkloadParamKey("users", "12", &wp, &error)) << error;
+  EXPECT_EQ(wp.server.users, 12);
+  EXPECT_TRUE(SetWorkloadParamKey("packets", "50", &wp, &error)) << error;
+  EXPECT_EQ(wp.packets, 50);
+  EXPECT_FALSE(SetWorkloadParamKey("nope", "1", &wp, &error));
+  EXPECT_NE(error.find("unknown param"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace ilat
