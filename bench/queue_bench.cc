@@ -1,0 +1,184 @@
+// Event-queue micro-lane: raw ops/sec of the simulator's event core.
+//
+// Unlike session_throughput (which measures whole sessions), this lane
+// isolates the EventQueue itself and benchmarks the three hot operations
+// -- schedule, fire, cancel -- under workload shapes the simulator
+// actually produces, old implementation vs. new:
+//
+//   * fifo-burst:    N same-cycle events scheduled then fired (message
+//                    storms, same-tick wakeups).
+//   * steady-state:  a sliding window of pending timers; each fire
+//                    schedules a successor (the idle loop + timer mix).
+//   * cancel-heavy:  schedule a timeout, cancel 15/16 of them before they
+//                    fire (server request timeouts).  Also reports final
+//                    heap entries, which is where the old queue's
+//                    lazy-deletion leak shows up.
+//
+// "old" is ReferenceEventQueue (the pre-PR-8 std::priority_queue +
+// std::function + side-map queue, kept verbatim as an oracle); "new" is
+// the production slot-map EventQueue.  Results go to stdout and
+// bench_out/BENCH_queue.json so the perf trajectory can track the ratio.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/obs/jsonout.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/reference_event_queue.h"
+
+namespace ilat {
+namespace {
+
+struct LaneResult {
+  double ops_per_sec = 0.0;
+  std::uint64_t ops = 0;
+  std::size_t final_heap_entries = 0;
+};
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// N same-cycle schedules, then one RunUntil that drains them in FIFO
+// order.  Counts one op per schedule and one per fire.
+template <typename Q>
+LaneResult FifoBurst(int bursts, int burst_size) {
+  Q q;
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int b = 0; b < bursts; ++b) {
+    const Cycles when = q.now() + 10;
+    for (int i = 0; i < burst_size; ++i) {
+      q.ScheduleAt(when, [&sink] { ++sink; });
+    }
+    q.RunUntil(when);
+  }
+  LaneResult r;
+  r.ops = static_cast<std::uint64_t>(bursts) * burst_size * 2;
+  r.ops_per_sec = static_cast<double>(r.ops) / Seconds(t0);
+  r.final_heap_entries = q.heap_size();
+  return r;
+}
+
+// A self-sustaining window of `width` pending events; every fire
+// schedules a successor, like the timer + idle-loop steady state.
+template <typename Q>
+LaneResult SteadyState(int fires, int width) {
+  Q q;
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < width; ++i) {
+    q.ScheduleAt(q.now() + 1 + i, [&sink] { ++sink; });
+  }
+  std::uint64_t fired = 0;
+  while (fired < static_cast<std::uint64_t>(fires)) {
+    q.RunNext();
+    ++fired;
+    q.ScheduleAt(q.now() + width, [&sink] { ++sink; });
+  }
+  LaneResult r;
+  r.ops = fired * 2;
+  r.ops_per_sec = static_cast<double>(r.ops) / Seconds(t0);
+  r.final_heap_entries = q.heap_size();
+  return r;
+}
+
+// Server-timeout shape: schedule a timeout per "request", cancel most of
+// them before they fire.  The old queue's heap keeps every cancelled
+// entry until its due time reaches the top; the new queue compacts.
+template <typename Q>
+LaneResult CancelHeavy(int requests) {
+  Q q;
+  std::uint64_t sink = 0;
+  std::vector<typename Q::EventId> window;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t cancelled = 0;
+  for (int i = 0; i < requests; ++i) {
+    // Long timeout, far in the future relative to the churn.
+    window.push_back(q.ScheduleAt(q.now() + 1'000'000, [&sink] { ++sink; }));
+    if (window.size() >= 16) {
+      // The "response arrived" path: 15 of 16 timeouts are cancelled;
+      // the unlucky one is left to fire eventually.
+      for (std::size_t k = 1; k < window.size(); ++k) {
+        if (q.Cancel(window[k])) {
+          ++cancelled;
+        }
+      }
+      window.clear();
+    }
+    q.RunUntil(q.now() + 10);  // fires the unlucky survivors as they come due
+  }
+  LaneResult r;
+  r.ops = static_cast<std::uint64_t>(requests) + cancelled;
+  r.ops_per_sec = static_cast<double>(r.ops) / Seconds(t0);
+  r.final_heap_entries = q.heap_size();
+  return r;
+}
+
+struct Shape {
+  const char* name;
+  LaneResult old_q;
+  LaneResult new_q;
+};
+
+void Run() {
+  Banner("Event-queue micro-bench -- old vs. new event core",
+         "schedule/fire/cancel ops/sec; ReferenceEventQueue vs. EventQueue");
+
+  std::vector<Shape> shapes;
+  shapes.push_back({"fifo-burst", FifoBurst<ReferenceEventQueue>(2'000, 64),
+                    FifoBurst<EventQueue>(2'000, 64)});
+  shapes.push_back({"steady-state", SteadyState<ReferenceEventQueue>(400'000, 32),
+                    SteadyState<EventQueue>(400'000, 32)});
+  shapes.push_back({"cancel-heavy", CancelHeavy<ReferenceEventQueue>(200'000),
+                    CancelHeavy<EventQueue>(200'000)});
+
+  TextTable t({"shape", "old Mops/s", "new Mops/s", "ratio", "old heap", "new heap"});
+  for (const Shape& s : shapes) {
+    t.AddRow({s.name, TextTable::Num(s.old_q.ops_per_sec / 1e6, 2),
+              TextTable::Num(s.new_q.ops_per_sec / 1e6, 2),
+              TextTable::Num(s.new_q.ops_per_sec / s.old_q.ops_per_sec, 2),
+              std::to_string(s.old_q.final_heap_entries),
+              std::to_string(s.new_q.final_heap_entries)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf(
+      "\n'heap' is the implementation's final heap entry count for the lane --\n"
+      "the cancel-heavy gap is the lazy-deletion growth the new queue compacts.\n");
+
+  const std::string path = BenchOutDir() + "/BENCH_queue.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return;
+  }
+  std::string json = "{";
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const Shape& s = shapes[i];
+    if (i > 0) {
+      json += ", ";
+    }
+    json += "\"" + std::string(s.name) + "\": {";
+    json += "\"old_ops_per_sec\": " + obs::NumToJson(s.old_q.ops_per_sec);
+    json += ", \"new_ops_per_sec\": " + obs::NumToJson(s.new_q.ops_per_sec);
+    json += ", \"ratio\": " + obs::NumToJson(s.new_q.ops_per_sec / s.old_q.ops_per_sec);
+    json += ", \"old_final_heap\": " + std::to_string(s.old_q.final_heap_entries);
+    json += ", \"new_final_heap\": " + std::to_string(s.new_q.final_heap_entries);
+    json += "}";
+  }
+  json += "}\n";
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::Run();
+  return 0;
+}

@@ -38,7 +38,7 @@ probes = report["probes"]
 desktop = [
     "session.setup", "sim.run", "queue.push", "queue.pop", "sched.dispatch",
     "idle.tick", "trace.emit", "app.message", "metrics.snapshot",
-    "extract.events", "session.io",
+    "trace.take", "extract.events", "session.io",
 ]
 server_only = ["server.request", "server.user"]
 for name in desktop:

@@ -6,8 +6,9 @@
 #   and the ilat binary with -DILAT_SANITIZE=address in ./build-asan and
 #   run them directly -- the suites that exercise the fault injector, the
 #   retrying human driver, and the sweep/gate machinery, where lifetime
-#   bugs would hide -- plus the shard/merge smoke against the sanitized
-#   binary.
+#   bugs would hide -- plus the event-queue suite (slot recycling,
+#   SmallCallback placement news, heap compaction) and the shard/merge
+#   smoke against the sanitized binary.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,11 +25,15 @@ cmake --build build -j "$(nproc)"
 if [[ $asan -eq 1 ]]; then
   cmake -B build-asan -S . -DILAT_SANITIZE=address > /dev/null
   cmake --build build-asan -j "$(nproc)" \
-    --target fault_test campaign_test input_test server_test ilat
+    --target fault_test campaign_test input_test server_test \
+    sim_event_queue_test ilat
   ./build-asan/tests/fault_test
   ./build-asan/tests/campaign_test
   ./build-asan/tests/input_test
   ./build-asan/tests/server_test
+  # The event core does manual placement-new callback storage and slot
+  # recycling; ASan is the reviewer of record for that code.
+  ./build-asan/tests/sim_event_queue_test
   # Shard/merge smoke against the sanitized binary: the partial writer and
   # merge reader juggle FILE* handles and per-cell payload buffers.
   bash scripts/check_shard.sh build-asan

@@ -2,32 +2,47 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace ilat {
 
 BusyProfile::BusyProfile(const std::vector<TraceRecord>& trace, Cycles period,
-                         Cycles trace_start)
-    : period_(period) {
+                         Cycles trace_start, Detail detail)
+    : period_(period), detail_(detail) {
   if (trace.empty()) {
     return;
   }
   begin_ = trace_start >= 0 ? trace_start : trace.front().timestamp - period;
   end_ = trace.back().timestamp;
-  samples_.reserve(trace.size());
-  busy_prefix_.reserve(trace.size() + 1);
-  busy_prefix_.push_back(0);
+  if (detail_ == Detail::kFull) {
+    samples_.reserve(trace.size());
+  }
 
   Cycles prev = begin_;
   for (const TraceRecord& r : trace) {
-    Sample s;
-    s.end = r.timestamp;
-    s.gap = r.timestamp - prev;
-    s.busy = std::max<Cycles>(0, s.gap - period);
-    s.busy_begin = s.end - s.busy;
-    total_busy_ += s.busy;
-    busy_prefix_.push_back(total_busy_);
-    samples_.push_back(s);
+    const Cycles gap = r.timestamp - prev;
+    const Cycles busy = std::max<Cycles>(0, gap - period);
+    total_busy_ += busy;
+    // In gaps-only mode calm records are dropped: they carry busy == 0,
+    // so every busy query over the compact sample set is unchanged.
+    if (detail_ == Detail::kFull || busy > 0) {
+      Sample s;
+      s.end = r.timestamp;
+      s.gap = gap;
+      s.busy = busy;
+      s.busy_begin = s.end - s.busy;
+      samples_.push_back(s);
+    }
     prev = r.timestamp;
+  }
+}
+
+void BusyProfile::RequireFullDetail(const char* what) const {
+  if (detail_ != Detail::kFull) {
+    std::fprintf(stderr, "ilat: BusyProfile::%s requires Detail::kFull (profile was built gaps-only)\n",
+                 what);
+    std::abort();
   }
 }
 
@@ -66,6 +81,7 @@ double BusyProfile::UtilizationIn(Cycles a, Cycles b) const {
 }
 
 Cycles BusyProfile::FirstCalmRecordAfter(Cycles t, double calm_factor) const {
+  RequireFullDetail("FirstCalmRecordAfter");
   const Cycles calm = static_cast<Cycles>(static_cast<double>(period_) * calm_factor);
   auto it = std::upper_bound(samples_.begin(), samples_.end(), t,
                              [](Cycles v, const Sample& s) { return v < s.end; });
@@ -78,6 +94,7 @@ Cycles BusyProfile::FirstCalmRecordAfter(Cycles t, double calm_factor) const {
 }
 
 std::vector<BusyProfile::UtilPoint> BusyProfile::UtilizationSamples() const {
+  RequireFullDetail("UtilizationSamples");
   std::vector<UtilPoint> out;
   out.reserve(samples_.size());
   for (const Sample& s : samples_) {

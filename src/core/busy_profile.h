@@ -26,14 +26,34 @@ class BusyProfile {
     Cycles busy_begin = 0;  // assumed start of the busy part of the gap
   };
 
+  // How much of the trace the profile materializes.
+  //
+  //   kFull      -- one Sample per record.  Required by the per-record
+  //                 views (samples(), UtilizationSamples(),
+  //                 FirstCalmRecordAfter()); costs ~32 bytes per record,
+  //                 which for a multi-million-record session trace is the
+  //                 dominant cost of building the profile.
+  //   kGapsOnly  -- only records whose gap carries busy time.  Calm
+  //                 records contribute zero to every busy query, so
+  //                 BusyIn / TotalBusy / UtilizationIn / UtilizationBuckets
+  //                 return byte-identical answers at a fraction of the
+  //                 memory traffic.  The per-record views above abort in
+  //                 this mode; the session hot path (event extraction)
+  //                 never calls them.
+  enum class Detail { kFull, kGapsOnly };
+
   // `trace_start`: when the instrument began its first pass.  If negative,
   // it is inferred as (first record - period), which assumes the first
   // pass ran unpreempted -- wrong if the system was busy at trace start,
   // so sessions pass the real value.
-  BusyProfile(const std::vector<TraceRecord>& trace, Cycles period, Cycles trace_start = -1);
+  BusyProfile(const std::vector<TraceRecord>& trace, Cycles period, Cycles trace_start = -1,
+              Detail detail = Detail::kFull);
 
   Cycles period() const { return period_; }
-  const std::vector<Sample>& samples() const { return samples_; }
+  const std::vector<Sample>& samples() const {
+    RequireFullDetail("samples");
+    return samples_;
+  }
 
   // Total busy cycles inferred over the whole trace.
   Cycles TotalBusy() const { return total_busy_; }
@@ -64,13 +84,17 @@ class BusyProfile {
   Cycles trace_end() const { return end_; }
 
  private:
+  // Aborts (always, even under NDEBUG) when a per-record view is asked of
+  // a gaps-only profile -- a silently wrong answer would corrupt figures.
+  void RequireFullDetail(const char* what) const;
+
   Cycles period_;
+  Detail detail_ = Detail::kFull;
   Cycles begin_ = 0;
   Cycles end_ = 0;
   Cycles total_busy_ = 0;
+  // kFull: every record.  kGapsOnly: only records with busy > 0.
   std::vector<Sample> samples_;
-  // Prefix sums of busy cycles for O(log n) BusyIn queries.
-  std::vector<Cycles> busy_prefix_;
 };
 
 }  // namespace ilat

@@ -1,7 +1,10 @@
 #include "src/core/event_extractor.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace ilat {
 
@@ -15,20 +18,65 @@ Cycles NextApiCallAfter(const std::vector<MessageMonitor::ApiCall>& api, Cycles 
   return it == api.end() ? fallback : it->t;
 }
 
-Cycles IoOverlap(const std::vector<IoPendingInterval>& io, Cycles a, Cycles b) {
-  Cycles sum = 0;
-  for (const IoPendingInterval& iv : io) {
-    if (iv.begin >= b) {
-      break;
+// Answers sum-of-overlap queries against a fixed set of intervals in
+// O(log n) instead of rescanning the whole set per event.  The summed
+// per-interval overlap with [a, b) equals the integral over [a, b) of the
+// number of intervals active at each instant, so we precompute that step
+// function's breakpoints and exact integer prefix integral once.
+class OverlapIndex {
+ public:
+  explicit OverlapIndex(const std::vector<IoPendingInterval>& io) {
+    std::vector<std::pair<Cycles, int>> deltas;
+    deltas.reserve(io.size() * 2);
+    for (const IoPendingInterval& iv : io) {
+      if (iv.end > iv.begin) {
+        deltas.emplace_back(iv.begin, 1);
+        deltas.emplace_back(iv.end, -1);
+      }
     }
-    const Cycles s0 = std::max(iv.begin, a);
-    const Cycles s1 = std::min(iv.end, b);
-    if (s1 > s0) {
-      sum += s1 - s0;
+    std::sort(deltas.begin(), deltas.end());
+    ts_.reserve(deltas.size());
+    integral_.reserve(deltas.size());
+    active_.reserve(deltas.size());
+    Cycles integral = 0;
+    std::int64_t active = 0;
+    Cycles prev = 0;
+    for (std::size_t i = 0; i < deltas.size();) {
+      const Cycles t = deltas[i].first;
+      integral += active * (t - prev);
+      while (i < deltas.size() && deltas[i].first == t) {
+        active += deltas[i].second;
+        ++i;
+      }
+      ts_.push_back(t);
+      integral_.push_back(integral);
+      active_.push_back(active);
+      prev = t;
     }
   }
-  return sum;
-}
+
+  Cycles Overlap(Cycles a, Cycles b) const {
+    if (b <= a) {
+      return 0;
+    }
+    return PrefixIntegral(b) - PrefixIntegral(a);
+  }
+
+ private:
+  // Integral of the active count over (-inf, t).
+  Cycles PrefixIntegral(Cycles t) const {
+    auto it = std::upper_bound(ts_.begin(), ts_.end(), t);
+    if (it == ts_.begin()) {
+      return 0;
+    }
+    const std::size_t i = static_cast<std::size_t>(it - ts_.begin()) - 1;
+    return integral_[i] + active_[i] * (t - ts_[i]);
+  }
+
+  std::vector<Cycles> ts_;
+  std::vector<Cycles> integral_;      // prefix integral up to ts_[i]
+  std::vector<std::int64_t> active_;  // active count on [ts_[i], ts_[i+1])
+};
 
 }  // namespace
 
@@ -54,6 +102,9 @@ std::vector<EventRecord> ExtractEvents(const BusyProfile& busy, const MessageMon
   }
 
   const Cycles trace_end = busy.trace_end();
+
+  const OverlapIndex io_index(io_pending);
+  const OverlapIndex retry_index(retry_pending);
 
   std::vector<EventRecord> events;
   events.reserve(posted.size());
@@ -95,10 +146,10 @@ std::vector<EventRecord> ExtractEvents(const BusyProfile& busy, const MessageMon
     e.end = window_end;
     e.busy = busy.BusyIn(e.start, window_end);
     if (opts.include_io_wait) {
-      e.io_wait = IoOverlap(io_pending, e.start, window_end);
+      e.io_wait = io_index.Overlap(e.start, window_end);
     }
     if (opts.include_retry_wait && !retry_pending.empty()) {
-      e.retry_wait = IoOverlap(retry_pending, e.start, window_end);
+      e.retry_wait = retry_index.Overlap(e.start, window_end);
     }
     e.wall = e.end - e.start;
     events.push_back(std::move(e));

@@ -314,6 +314,9 @@ SessionResult MeasurementSession::Finalize(InputDriver* driver) {
     result.metrics_json = tracer.metrics().ToJson();
   }
   if (trace_sink_ != nullptr) {
+    // Flattening the sink's chunk pool into the contiguous TraceData
+    // vector is O(events); account it so coverage holds on traced runs.
+    PROF_SCOPE(kTraceTake);
     result.trace_data = std::make_shared<obs::TraceData>(tracer.TakeData());
   }
 
@@ -325,7 +328,11 @@ SessionResult MeasurementSession::Finalize(InputDriver* driver) {
     result.last_input_done_at = driver->finished_at();
 
     PROF_SCOPE(kEventExtract);
-    const BusyProfile busy(result.trace, result.trace_period, result.trace_start);
+    // Gaps-only: extraction queries only busy time, and dropping the calm
+    // samples avoids materializing ~32 bytes per idle record (the
+    // dominant cost of this probe on long sessions).
+    const BusyProfile busy(result.trace, result.trace_period, result.trace_start,
+                           BusyProfile::Detail::kGapsOnly);
     ExtractorOptions xopts;
     xopts.calm_factor = opts_.calm_factor;
     xopts.merge_timer_cascades = opts_.merge_timer_cascades;

@@ -31,6 +31,12 @@ class TraceBuffer {
 
   bool Full() const { return records_.size() >= capacity_; }
 
+  // Records that still fit -- the idle instrument sizes its batched
+  // passes by this so a batch can never overrun the buffer.
+  std::size_t Remaining() const {
+    return records_.size() >= capacity_ ? 0 : capacity_ - records_.size();
+  }
+
   // Returns false (and drops the record) when full.
   bool Append(Cycles timestamp) {
     if (Full()) {

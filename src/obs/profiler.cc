@@ -24,6 +24,7 @@ constexpr HostProbeInfo kProbeInfo[kHostProbeCount] = {
     {"trace.emit", "Tracer::Emit", false, true},
     {"app.message", "GuiThread::BeginDispatch", false, true},
     {"metrics.snapshot", "MetricsRegistry snapshot+json", true, true},
+    {"trace.take", "TraceSink::TakeEvents flatten", true, true},
     {"extract.events", "ExtractEvents", true, true},
     {"session.io", "Save/LoadSessionResult", true, false},
     {"server.request", "server worker request steps", false, true},

@@ -48,6 +48,7 @@ enum class HostProbe : int {
   kTracerEmit,        // structured-trace event build    (nested in kSimLoop)
   kAppMessage,        // GuiThread message dispatch      (nested in kSimLoop)
   kMetrics,           // metrics snapshot + JSON at Finalize
+  kTraceTake,         // TraceSink chunk flatten at Finalize (traced runs)
   kEventExtract,      // ExtractEvents at Finalize
   kSessionIo,         // session save/load (outside the run window)
   kServerRequest,     // server worker request step   (nested in kSimLoop)

@@ -24,6 +24,7 @@
 #ifndef ILAT_SRC_OBS_TRACE_H_
 #define ILAT_SRC_OBS_TRACE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -82,43 +83,65 @@ struct TraceData {
 // Append-only event buffer with a hard capacity (events past the cap are
 // counted as dropped, never resized-into -- a runaway trace must not eat
 // the host).  Single-threaded by design; see file comment.
+//
+// Storage is a pool of fixed-size chunks rather than one contiguous
+// vector: a heavily traced session emits millions of events, and vector
+// doubling both copies every existing event (each carrying two
+// std::strings) on growth and holds peak + half-peak memory during the
+// copy.  Chunks make Append tail-bounded -- at worst one 8192-slot
+// reserve, never a relocation of what came before.  TakeEvents flattens
+// once, off the hot path, into the contiguous vector TraceData wants.
 class TraceSink {
  public:
   static constexpr std::size_t kDefaultCapacity = 4'000'000;
+  static constexpr std::size_t kChunkEvents = 8192;
 
   explicit TraceSink(std::size_t capacity = kDefaultCapacity) : capacity_(capacity) {}
 
   void Append(TraceEvent e) {
-    if (events_.size() >= capacity_) {
+    if (size_ >= capacity_) {
       ++dropped_;
       return;
     }
-    events_.push_back(std::move(e));
+    if (chunks_.empty() || chunks_.back().size() == chunks_.back().capacity()) {
+      chunks_.emplace_back();
+      chunks_.back().reserve(std::min(kChunkEvents, capacity_ - size_));
+    }
+    chunks_.back().push_back(std::move(e));
+    ++size_;
   }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
+  std::size_t size() const { return size_; }
   std::size_t dropped() const { return dropped_; }
-  bool AtCapacity() const { return events_.size() >= capacity_; }
+  bool AtCapacity() const { return size_ >= capacity_; }
 
   // Count a drop decided before the event was built (the Tracer's
   // at-capacity early-out, which skips formatting entirely).
   void CountDrop() { ++dropped_; }
 
   std::vector<TraceEvent> TakeEvents() {
-    std::vector<TraceEvent> out = std::move(events_);
-    events_.clear();
+    std::vector<TraceEvent> out;
+    out.reserve(size_);
+    for (std::vector<TraceEvent>& chunk : chunks_) {
+      for (TraceEvent& e : chunk) {
+        out.push_back(std::move(e));
+      }
+    }
+    chunks_.clear();
+    size_ = 0;
     return out;
   }
 
   void Clear() {
-    events_.clear();
+    chunks_.clear();
+    size_ = 0;
     dropped_ = 0;
   }
 
  private:
-  std::vector<TraceEvent> events_;
+  std::vector<std::vector<TraceEvent>> chunks_;  // each reserved once, never grown
   std::size_t capacity_;
+  std::size_t size_ = 0;
   std::size_t dropped_ = 0;
 };
 

@@ -228,6 +228,9 @@ ScenarioResult ServerScenario::Run() {
     result.metrics_json = tracer.metrics().ToJson();
   }
   if (trace_sink_ != nullptr) {
+    // Flattening the sink's chunk pool into the contiguous TraceData
+    // vector is O(events); account it so coverage holds on traced runs.
+    PROF_SCOPE(kTraceTake);
     result.trace_data = std::make_shared<obs::TraceData>(tracer.TakeData());
   }
   return result;

@@ -66,9 +66,9 @@ void UserAgent::OnResponse(const Request& r, Cycles picked_up, Cycles io_wait,
     return;
   }
   const Cycles now = scenario_->sim().now();
-  if (timeout_event_ != 0) {
+  if (timeout_event_ != EventQueue::kNoEvent) {
     scenario_->sim().queue().Cancel(timeout_event_);
-    timeout_event_ = 0;
+    timeout_event_ = EventQueue::kNoEvent;
   }
   waiting_ = false;
   wait_cycles_ += now - attempt_submitted_;
@@ -90,7 +90,7 @@ void UserAgent::OnResponse(const Request& r, Cycles picked_up, Cycles io_wait,
 }
 
 void UserAgent::OnTimeout() {
-  timeout_event_ = 0;
+  timeout_event_ = EventQueue::kNoEvent;
   if (!waiting_) {
     return;
   }

@@ -64,7 +64,7 @@ class UserAgent {
   Cycles first_submit_ = 0;
   Cycles attempt_submitted_ = 0;
   Cycles retry_wait_accum_ = 0;  // backoff spent on the current logical request
-  EventQueue::EventId timeout_event_ = 0;  // 0 = none armed
+  EventQueue::EventId timeout_event_ = EventQueue::kNoEvent;  // none armed
 
   Cycles think_cycles_ = 0;
   Cycles wait_cycles_ = 0;

@@ -1,19 +1,101 @@
 #include "src/sim/event_queue.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "src/obs/profiler.h"
 
 namespace ilat {
+namespace {
+
+// Always-on invariant failure: simulated time running backwards corrupts
+// every latency measurement, so a release build must die loudly rather
+// than keep going.  (These were assert()s before PR 8 and vanished under
+// NDEBUG.)
+[[noreturn]] void QueueFatal(const char* what) {
+  std::fprintf(stderr, "ilat: event-queue invariant violated: %s\n", what);
+  std::abort();
+}
+
+inline void QueueCheck(bool ok, const char* what) {
+  if (!ok) {
+    QueueFatal(what);
+  }
+}
+
+}  // namespace
+
+std::uint32_t EventQueue::AllocSlot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t s = free_slots_.back();
+    free_slots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::RetireSlot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.Reset();
+  ++s.gen;  // invalidates every outstanding EventId / heap entry for it
+  free_slots_.push_back(slot);
+}
+
+void EventQueue::SiftUp(std::size_t i) {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!e.Before(heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) {
+      break;
+    }
+    if (child + 1 < n && heap_[child + 1].Before(heap_[child])) {
+      ++child;
+    }
+    if (!heap_[child].Before(e)) {
+      break;
+    }
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::PopTop() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
+}
 
 EventQueue::EventId EventQueue::ScheduleAt(Cycles when, Callback fn) {
   PROF_SCOPE(kQueuePush);
-  assert(when >= now_ && "cannot schedule events in the past");
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  QueueCheck(when >= now_, "ScheduleAt: cannot schedule events in the past");
+  const std::uint32_t slot = AllocSlot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(fn);
+  heap_.push_back(HeapEntry{when, next_seq_++, slot, s.gen});
+  SiftUp(heap_.size() - 1);
+  ++live_;
+  // Low half: slot + 1 (never zero, so no id collides with kNoEvent);
+  // high half: the slot's generation at scheduling time.
+  return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
 }
 
 EventQueue::EventId EventQueue::ScheduleAfter(Cycles delay, Callback fn) {
@@ -21,39 +103,62 @@ EventQueue::EventId EventQueue::ScheduleAfter(Cycles delay, Callback fn) {
 }
 
 bool EventQueue::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
-    return false;
+  const std::uint32_t lo = static_cast<std::uint32_t>(id);
+  if (lo == 0) {
+    return false;  // kNoEvent, or not an id we ever issued
   }
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  const std::uint32_t slot = lo - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) {
+    return false;  // already fired or already cancelled (generation moved on)
+  }
+  RetireSlot(slot);
+  --live_;
+  ++tombstones_;
+  MaybeCompact();
   return true;
 }
 
 void EventQueue::SkimCancelled() const {
+  if (tombstones_ == 0) {
+    return;
+  }
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) {
+    const HeapEntry& top = heap_[0];
+    if (slots_[top.slot].gen == top.gen) {
       break;
     }
-    cancelled_.erase(it);
-    heap_.pop();
+    const_cast<EventQueue*>(this)->PopTop();
+    --tombstones_;
+  }
+}
+
+void EventQueue::MaybeCompact() {
+  if (tombstones_ <= live_ || heap_.size() < kCompactionFloor) {
+    return;
+  }
+  std::size_t out = 0;
+  for (const HeapEntry& e : heap_) {
+    if (slots_[e.slot].gen == e.gen) {
+      heap_[out++] = e;
+    }
+  }
+  heap_.resize(out);
+  tombstones_ = 0;
+  // Floyd heap construction over the surviving entries.
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) {
+    SiftDown(i);
   }
 }
 
 Cycles EventQueue::NextEventTime() const {
   SkimCancelled();
-  return heap_.empty() ? kNever : heap_.top().when;
-}
-
-bool EventQueue::Empty() const {
-  SkimCancelled();
-  return heap_.empty();
+  return heap_.empty() ? kNever : heap_[0].when;
 }
 
 void EventQueue::AdvanceTo(Cycles t) {
-  assert(t >= now_ && "time cannot go backwards");
-  assert(NextEventTime() >= t && "events due before AdvanceTo target");
+  QueueCheck(t >= now_, "AdvanceTo: time cannot go backwards");
+  QueueCheck(NextEventTime() >= t, "AdvanceTo: events due before target");
   now_ = t;
 }
 
@@ -65,14 +170,13 @@ void EventQueue::RunNext() {
   {
     PROF_SCOPE(kQueuePop);
     SkimCancelled();
-    assert(!heap_.empty());
-    const Entry top = heap_.top();
-    heap_.pop();
-    auto it = callbacks_.find(top.id);
-    assert(it != callbacks_.end());
-    fn = std::move(it->second);
-    callbacks_.erase(it);
-    assert(top.when >= now_);
+    QueueCheck(!heap_.empty(), "RunNext: no pending events");
+    const HeapEntry top = heap_[0];
+    PopTop();
+    fn = std::move(slots_[top.slot].cb);
+    RetireSlot(top.slot);
+    --live_;
+    QueueCheck(top.when >= now_, "RunNext: event due in the past");
     now_ = top.when;
     ++fired_;
   }

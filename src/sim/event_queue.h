@@ -5,18 +5,41 @@
 // scheduled callbacks.  The Scheduler advances time either by running
 // thread work up to the next due event, or by jumping straight to the next
 // event when the CPU would otherwise be idle.
+//
+// Layout (PR 8): a flat binary heap of 24-byte plain-old-data entries
+// {when, seq, slot, gen} over a slot array holding the callbacks in
+// small-buffer storage (SmallCallback).  Compared to the original
+// std::priority_queue<Entry> + std::function + two side hash maps:
+//
+//   * scheduling does no per-event heap allocation (callback captures up
+//     to 64 bytes live inline in a pooled slot; slots are recycled),
+//   * firing does no hash lookup (the heap entry indexes its slot
+//     directly; a 32-bit generation stamp detects stale entries),
+//   * Cancel is O(1): generation mismatch distinguishes fired/cancelled
+//     ids, the callback is destroyed immediately (cancelled events hold
+//     no capture memory), and the 24-byte tombstone left in the heap is
+//     compacted away when tombstones outnumber live entries -- so
+//     cancel-heavy workloads (server timeout timers) stay bounded.
+//
+// Determinism contract: events fire ordered by (when, insertion seq).
+// The insertion sequence number increments on every successful
+// ScheduleAt, exactly like the original implementation's EventId, so FIFO
+// ordering among same-cycle events is preserved bit-for-bit.
+//
+// Invariants ("no past events", "time never goes backwards") are
+// *always-on* checks that abort with a one-line message -- they used to
+// be assert()s, which compile out under NDEBUG and would let a release
+// build silently corrupt every latency measurement.
 
 #ifndef ILAT_SRC_SIM_EVENT_QUEUE_H_
 #define ILAT_SRC_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "src/obs/trace.h"
+#include "src/sim/small_callback.h"
 #include "src/sim/time.h"
 
 namespace ilat {
@@ -26,35 +49,38 @@ namespace ilat {
 class EventQueue : public obs::TraceClock {
  public:
   using EventId = std::uint64_t;
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
+
+  // Sentinel id never returned by ScheduleAt; Cancel(kNoEvent) is false.
+  static constexpr EventId kNoEvent = 0;
 
   // Current simulated time (cycle-counter value).
   Cycles now() const { return now_; }
   Cycles TraceNow() const override { return now_; }
 
-  // Schedule `fn` to run at absolute time `when` (>= now).  Returns an id
-  // usable with Cancel().
+  // Schedule `fn` to run at absolute time `when` (>= now; checked).
+  // Returns an id usable with Cancel().
   EventId ScheduleAt(Cycles when, Callback fn);
 
   // Schedule `fn` to run `delay` cycles from now.
   EventId ScheduleAfter(Cycles delay, Callback fn);
 
   // Cancel a pending event.  Returns false if it already fired or was
-  // already cancelled.
+  // already cancelled.  O(1); the callback is destroyed immediately.
   bool Cancel(EventId id);
 
   // Time of the next pending (non-cancelled) event, or kNever.
   Cycles NextEventTime() const;
 
   // True if no non-cancelled events are pending.
-  bool Empty() const;
+  bool Empty() const { return live_ == 0; }
 
   // Number of pending (non-cancelled) events.
-  std::size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+  std::size_t PendingCount() const { return live_; }
 
   // Advance the clock to `t` without firing anything.  Requires that no
   // event is due at or before `t` (the Scheduler maintains this invariant),
-  // and t >= now.
+  // and t >= now.  Both are checked, in release builds too.
   void AdvanceTo(Cycles t);
 
   // Fire every event due at or before `t`, advancing the clock to each
@@ -63,36 +89,64 @@ class EventQueue : public obs::TraceClock {
   void RunUntil(Cycles t);
 
   // Fire the single next event (advancing the clock to it).  Requires
-  // !Empty().
+  // !Empty() (checked).
   void RunNext();
 
   // Total number of callbacks ever fired (for stats/tests).
   std::uint64_t fired_count() const { return fired_; }
 
+  // Introspection for tests and benches: heap entries including cancelled
+  // tombstones awaiting compaction.  The compaction policy guarantees
+  // heap_size() <= 2 * PendingCount() + kCompactionFloor.
+  std::size_t heap_size() const { return heap_.size(); }
+  static constexpr std::size_t kCompactionFloor = 64;
+
  private:
-  struct Entry {
+  // 24 bytes, trivially copyable: heap sifts move no callbacks.
+  struct HeapEntry {
     Cycles when;
-    EventId id;
-    // Heap orders by time, then by insertion id for FIFO among ties.
-    bool operator>(const Entry& rhs) const {
-      if (when != rhs.when) {
-        return when > rhs.when;
-      }
-      return id > rhs.id;
+    std::uint64_t seq;  // insertion order: FIFO tie-break among same-cycle
+    std::uint32_t slot;
+    std::uint32_t gen;
+
+    bool Before(const HeapEntry& rhs) const {
+      return when != rhs.when ? when < rhs.when : seq < rhs.seq;
     }
   };
 
-  // Pop cancelled entries off the heap top.
+  // Callback storage, recycled through free_slots_.  `gen` advances every
+  // time the slot retires (fire or cancel), invalidating outstanding heap
+  // entries and EventIds that still reference it.
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 1;
+  };
+
+  std::uint32_t AllocSlot();
+  void RetireSlot(std::uint32_t slot);
+
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  void PopTop();
+
+  // Pop stale (cancelled) entries off the heap top.  O(1) when nothing is
+  // cancelled -- the common case.
   void SkimCancelled() const;
 
-  Cycles now_ = 0;
-  EventId next_id_ = 1;
-  std::uint64_t fired_ = 0;
+  // Rebuild the heap without tombstones once they outnumber live entries.
+  void MaybeCompact();
 
-  // Lazy-deletion heap: cancelled ids stay in the heap but are skipped.
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  Cycles now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::size_t live_ = 0;
+
+  // mutable: NextEventTime()/Empty() skim tombstones lazily, as the
+  // original lazy-deletion implementation did.
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::size_t tombstones_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace ilat

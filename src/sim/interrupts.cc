@@ -36,7 +36,7 @@ void PeriodicDevice::Stop() {
   }
   running_ = false;
   queue_->Cancel(pending_);
-  pending_ = 0;
+  pending_ = EventQueue::kNoEvent;
 }
 
 void PeriodicDevice::RunWindow(Cycles start, Cycles duration) {

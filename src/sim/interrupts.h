@@ -57,7 +57,7 @@ class PeriodicDevice {
   Cycles phase_;
   bool running_ = false;
   std::uint64_t ticks_ = 0;
-  EventQueue::EventId pending_ = 0;
+  EventQueue::EventId pending_ = EventQueue::kNoEvent;
 
   obs::Tracer* tracer_ = nullptr;
   std::uint32_t track_ = 0;

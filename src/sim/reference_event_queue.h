@@ -1,0 +1,154 @@
+// Reference event queue: the pre-PR-8 implementation, kept as an oracle.
+//
+// This is the original std::priority_queue + std::function + side-map
+// EventQueue, verbatim except for the always-on invariant checks (which
+// match the production queue's) and the removal of profiler probes.  It is
+// NOT used by the simulator; it exists so that
+//
+//   * tests/sim_event_queue_test.cc can run one shared contract suite
+//     (ordering, FIFO ties, cancel semantics, skimming interplay) against
+//     both implementations and differentially fuzz them against each
+//     other, and
+//   * bench/queue_bench can report an honest old-vs-new ops/sec ratio.
+//
+// If the production EventQueue's observable behaviour ever diverges from
+// this file, that divergence is a bug in the new queue, not in the oracle.
+
+#ifndef ILAT_SRC_SIM_REFERENCE_EVENT_QUEUE_H_
+#define ILAT_SRC_SIM_REFERENCE_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ilat {
+
+class ReferenceEventQueue {
+ public:
+  using EventId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  static constexpr EventId kNoEvent = 0;
+
+  Cycles now() const { return now_; }
+
+  EventId ScheduleAt(Cycles when, Callback fn) {
+    Check(when >= now_, "ScheduleAt: cannot schedule events in the past");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id});
+    callbacks_.emplace(id, std::move(fn));
+    return id;
+  }
+
+  EventId ScheduleAfter(Cycles delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  bool Cancel(EventId id) {
+    auto it = callbacks_.find(id);
+    if (it == callbacks_.end()) {
+      return false;
+    }
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+    return true;
+  }
+
+  Cycles NextEventTime() const {
+    SkimCancelled();
+    return heap_.empty() ? kNever : heap_.top().when;
+  }
+
+  bool Empty() const {
+    SkimCancelled();
+    return heap_.empty();
+  }
+
+  std::size_t PendingCount() const { return heap_.size() - cancelled_.size(); }
+
+  void AdvanceTo(Cycles t) {
+    Check(t >= now_, "AdvanceTo: time cannot go backwards");
+    Check(NextEventTime() >= t, "AdvanceTo: events due before target");
+    now_ = t;
+  }
+
+  void RunUntil(Cycles t) {
+    while (NextEventTime() <= t) {
+      RunNext();
+    }
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  void RunNext() {
+    SkimCancelled();
+    Check(!heap_.empty(), "RunNext: no pending events");
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    Check(it != callbacks_.end(), "RunNext: missing callback");
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    Check(top.when >= now_, "RunNext: event due in the past");
+    now_ = top.when;
+    ++fired_;
+    fn();
+  }
+
+  std::uint64_t fired_count() const { return fired_; }
+
+  // Mirror of EventQueue::heap_size(): entries including cancelled ones
+  // (this implementation never compacts -- the behaviour PR 8 fixed).
+  std::size_t heap_size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Cycles when;
+    EventId id;
+    bool operator>(const Entry& rhs) const {
+      if (when != rhs.when) {
+        return when > rhs.when;
+      }
+      return id > rhs.id;
+    }
+  };
+
+  static void Check(bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "ilat: event-queue invariant violated: %s\n", what);
+      std::abort();
+    }
+  }
+
+  void SkimCancelled() const {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) {
+        break;
+      }
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  Cycles now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t fired_ = 0;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_REFERENCE_EVENT_QUEUE_H_

@@ -21,11 +21,15 @@ Scheduler::Scheduler(EventQueue* queue, HardwareCounters* counters, obs::Tracer*
 void Scheduler::AddThread(SimThread* t) {
   assert(t != nullptr);
   threads_.push_back(t);
+  if (t->state_ == ThreadState::kRunnable) {
+    NoteRunnableDelta(+1);
+  }
 }
 
 void Scheduler::Wake(SimThread* t, int boost) {
   if (t->state_ == ThreadState::kBlocked) {
     t->state_ = ThreadState::kRunnable;
+    NoteRunnableDelta(+1);
   }
   // Boosts do not stack; the largest pending boost wins and decays when
   // the thread next blocks.
@@ -87,6 +91,9 @@ void Scheduler::FlushRunSpan() {
 void Scheduler::FlushTraceSpans() { FlushRunSpan(); }
 
 SimThread* Scheduler::PickThread() {
+  if (sole_runnable_ != nullptr) {
+    return sole_runnable_;
+  }
   SimThread* best = nullptr;
   for (SimThread* t : threads_) {
     if (t->state_ != ThreadState::kRunnable) {
@@ -107,6 +114,9 @@ SimThread* Scheduler::PickThread() {
       }
     }
   }
+  if (runnable_ == 1 && best != nullptr) {
+    sole_runnable_ = best;  // invalidated by the next runnable transition
+  }
   return best;
 }
 
@@ -124,9 +134,11 @@ bool Scheduler::EnsureAction(SimThread* t) {
     case ThreadAction::Kind::kBlock:
       t->state_ = ThreadState::kBlocked;
       t->boost_ = 0;  // wake boosts decay when the thread blocks again
+      NoteRunnableDelta(-1);
       return false;
     case ThreadAction::Kind::kFinish:
       t->state_ = ThreadState::kFinished;
+      NoteRunnableDelta(-1);
       return false;
   }
   return false;
@@ -215,6 +227,21 @@ void Scheduler::RunUntil(Cycles until) {
           t->remaining_ -= step;
           NoteRunSlice(t, cpu_track_, idle ? std::string_view() : std::string_view(t->name()),
                        now, now + step);
+          const Cycles stride = t->current_.stride;
+          if (stride > 0 && t->current_.on_stride) {
+            // Report stride boundaries of cumulative work crossed by this
+            // slice, stamped where the work actually crossed them (work
+            // advances 1:1 with time inside a slice), so strided actions
+            // stay exact under preemption.
+            const Cycles done_after = t->current_.work.cycles - t->remaining_;
+            const Cycles done_before = done_after - step;
+            const Cycles first_k = done_before / stride + 1;
+            const Cycles last_k = done_after / stride;
+            if (last_k >= first_k) {
+              t->current_.on_stride(now + (first_k * stride - done_before), stride,
+                                    static_cast<std::uint64_t>(last_k - first_k + 1));
+            }
+          }
         }
         if (t->remaining_ == 0) {
           t->action_in_flight_ = false;

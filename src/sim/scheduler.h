@@ -82,8 +82,17 @@ class Scheduler {
   };
 
   // Highest-priority runnable thread; ties broken by least recently
-  // dispatched.  Returns nullptr if none.
+  // dispatched.  Returns nullptr if none.  Fast path: when exactly one
+  // thread is runnable (the dominant state -- an idle-loop pass with
+  // everything else blocked), the cached sole_runnable_ skips the scan.
   SimThread* PickThread();
+
+  // All runnable-state transitions funnel through here so the runnable
+  // count (and the single-runnable dispatch cache) stays exact.
+  void NoteRunnableDelta(int delta) {
+    runnable_ += delta;
+    sole_runnable_ = nullptr;
+  }
 
   // Ensure `t` has an action in flight, consuming kBlock/kFinish actions.
   // Returns true if the thread ended up with compute work to run.
@@ -106,6 +115,8 @@ class Scheduler {
   std::vector<CpuObserver*> observers_;
   bool busy_ = false;
   std::uint64_t dispatch_seq_ = 0;
+  int runnable_ = 0;                     // exact count of kRunnable threads
+  SimThread* sole_runnable_ = nullptr;   // cached iff runnable_ == 1
   Cycles interrupt_cycles_ = 0;
   Cycles busy_thread_cycles_ = 0;
   Cycles idle_thread_cycles_ = 0;

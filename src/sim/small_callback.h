@@ -1,0 +1,120 @@
+// A small-buffer-optimised move-only callable, for the event-queue hot
+// path.
+//
+// std::function costs a heap allocation for any capture larger than its
+// (implementation-defined, typically 16-byte) inline buffer, and the
+// simulator schedules ~a million events per session whose lambdas capture
+// `this` plus a few values.  SmallCallback inlines captures up to
+// kInlineBytes (64) directly in the owning container -- the EventQueue's
+// slot array -- so the common case does no allocation at all.  Larger or
+// over-aligned callables fall back to a single heap allocation, so nothing
+// is lost besides speed.
+//
+// Move-only by design: event callbacks are consumed exactly once, and a
+// copyable wrapper would force every capture to be copyable.
+
+#ifndef ILAT_SRC_SIM_SMALL_CALLBACK_H_
+#define ILAT_SRC_SIM_SMALL_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ilat {
+
+class SmallCallback {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  SmallCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallCallback>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (FitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& other) noexcept { MoveFrom(other); }
+
+  SmallCallback& operator=(SmallCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  // Destroy the held callable (releasing any heap fallback) and become
+  // empty.  Cancelling an event calls this immediately so cancelled
+  // entries hold no capture memory while they wait to be compacted.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    void (*move)(unsigned char* from, unsigned char* to);
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename Fn>
+  static constexpr bool FitsInline() {
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* s) { (*reinterpret_cast<Fn*>(s))(); },
+      [](unsigned char* from, unsigned char* to) {
+        ::new (static_cast<void*>(to)) Fn(std::move(*reinterpret_cast<Fn*>(from)));
+        reinterpret_cast<Fn*>(from)->~Fn();
+      },
+      [](unsigned char* s) { reinterpret_cast<Fn*>(s)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* s) { (**reinterpret_cast<Fn**>(s))(); },
+      [](unsigned char* from, unsigned char* to) {
+        *reinterpret_cast<Fn**>(to) = *reinterpret_cast<Fn**>(from);
+      },
+      [](unsigned char* s) { delete *reinterpret_cast<Fn**>(s); },
+  };
+
+  void MoveFrom(SmallCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ilat
+
+#endif  // ILAT_SRC_SIM_SMALL_CALLBACK_H_

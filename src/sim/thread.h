@@ -39,10 +39,38 @@ struct ThreadAction {
   // Runs when the work quantum fully completes (not on preemption).
   std::function<void()> on_complete;
 
+  // Optional progress strides: when stride > 0, the scheduler reports
+  // every crossing of a stride-cycle boundary of *cumulative executed
+  // work* via on_stride(first_boundary_time, stride, boundary_count),
+  // batched per executed slice.  Boundary times are exact even across
+  // preemption and truncated RunUntil windows (work progresses 1:1 with
+  // simulated time within a slice), so a strided action of N*stride
+  // cycles is observationally identical to N back-to-back Compute
+  // actions of stride cycles each -- that equivalence is what lets the
+  // idle-loop instrument batch its passes (see src/core/idle_loop.h).
+  // The callback runs inside the scheduler's slice bookkeeping: it must
+  // not wake threads, schedule events, or otherwise mutate scheduler
+  // state (appending to buffers and bumping metrics is fine).
+  Cycles stride = 0;
+  std::function<void(Cycles first, Cycles stride, std::uint64_t count)> on_stride;
+
   static ThreadAction Compute(Work w, std::function<void()> done = nullptr) {
     ThreadAction a;
     a.kind = Kind::kCompute;
     a.work = w;
+    a.on_complete = std::move(done);
+    return a;
+  }
+
+  static ThreadAction ComputeStrided(
+      Work w, Cycles stride,
+      std::function<void(Cycles, Cycles, std::uint64_t)> on_stride,
+      std::function<void()> done = nullptr) {
+    ThreadAction a;
+    a.kind = Kind::kCompute;
+    a.work = w;
+    a.stride = stride;
+    a.on_stride = std::move(on_stride);
     a.on_complete = std::move(done);
     return a;
   }

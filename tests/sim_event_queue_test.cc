@@ -1,21 +1,47 @@
+// Event-queue contract suite.
+//
+// Every behavioural test here is typed over both the production EventQueue
+// (slot-map heap + SmallCallback, PR 8) and the pre-PR-8
+// ReferenceEventQueue oracle, so the two implementations are pinned to the
+// same observable contract -- ordering, FIFO tie-breaks, cancel semantics,
+// lazy-skim interplay.  Implementation-specific sections then cover what
+// only the new queue promises: always-on invariant checks that abort in
+// release builds, bounded heap memory under cancel churn, stale-id safety
+// across slot reuse, and the SmallCallback storage itself.  A differential
+// fuzz run drives both queues with the same operation stream and demands
+// identical firing order.
+
 #include "src/sim/event_queue.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "src/sim/reference_event_queue.h"
+#include "src/sim/small_callback.h"
 
 namespace ilat {
 namespace {
 
-TEST(EventQueueTest, StartsAtTimeZeroEmpty) {
-  EventQueue q;
+template <typename Q>
+class EventQueueContractTest : public ::testing::Test {};
+
+using QueueImpls = ::testing::Types<EventQueue, ReferenceEventQueue>;
+TYPED_TEST_SUITE(EventQueueContractTest, QueueImpls);
+
+TYPED_TEST(EventQueueContractTest, StartsAtTimeZeroEmpty) {
+  TypeParam q;
   EXPECT_EQ(q.now(), 0);
   EXPECT_TRUE(q.Empty());
   EXPECT_EQ(q.NextEventTime(), kNever);
+  EXPECT_EQ(q.PendingCount(), 0u);
 }
 
-TEST(EventQueueTest, FiresInTimeOrder) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, FiresInTimeOrder) {
+  TypeParam q;
   std::vector<int> order;
   q.ScheduleAt(300, [&] { order.push_back(3); });
   q.ScheduleAt(100, [&] { order.push_back(1); });
@@ -25,8 +51,8 @@ TEST(EventQueueTest, FiresInTimeOrder) {
   EXPECT_EQ(q.now(), 1'000);
 }
 
-TEST(EventQueueTest, TiesFireFifo) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, TiesFireFifo) {
+  TypeParam q;
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
     q.ScheduleAt(50, [&order, i] { order.push_back(i); });
@@ -35,8 +61,23 @@ TEST(EventQueueTest, TiesFireFifo) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(EventQueueTest, ClockAdvancesToEachEvent) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, TiesFireFifoAcrossInterleavedCancels) {
+  // Cancelling some members of a same-cycle batch must not perturb the
+  // insertion order of the survivors.
+  TypeParam q;
+  std::vector<int> order;
+  std::vector<typename TypeParam::EventId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(q.ScheduleAt(50, [&order, i] { order.push_back(i); }));
+  }
+  EXPECT_TRUE(q.Cancel(ids[1]));
+  EXPECT_TRUE(q.Cancel(ids[3]));
+  q.RunUntil(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 5}));
+}
+
+TYPED_TEST(EventQueueContractTest, ClockAdvancesToEachEvent) {
+  TypeParam q;
   Cycles seen = -1;
   q.ScheduleAt(42, [&] { seen = q.now(); });
   q.RunNext();
@@ -44,8 +85,8 @@ TEST(EventQueueTest, ClockAdvancesToEachEvent) {
   EXPECT_EQ(q.now(), 42);
 }
 
-TEST(EventQueueTest, CancelPreventsFiring) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, CancelPreventsFiring) {
+  TypeParam q;
   bool fired = false;
   const auto id = q.ScheduleAt(10, [&] { fired = true; });
   EXPECT_TRUE(q.Cancel(id));
@@ -55,16 +96,47 @@ TEST(EventQueueTest, CancelPreventsFiring) {
   EXPECT_TRUE(q.Empty());
 }
 
-TEST(EventQueueTest, CancelledEventsSkippedInNextEventTime) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, CancelAfterFireReturnsFalse) {
+  TypeParam q;
+  const auto id = q.ScheduleAt(10, [] {});
+  q.RunUntil(10);
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TYPED_TEST(EventQueueContractTest, CancelNoEventSentinelReturnsFalse) {
+  TypeParam q;
+  q.ScheduleAt(10, [] {});
+  EXPECT_FALSE(q.Cancel(TypeParam::kNoEvent));
+  EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+TYPED_TEST(EventQueueContractTest, CancelledEventsSkippedInNextEventTime) {
+  TypeParam q;
   const auto early = q.ScheduleAt(10, [] {});
   q.ScheduleAt(20, [] {});
   q.Cancel(early);
   EXPECT_EQ(q.NextEventTime(), 20);
 }
 
-TEST(EventQueueTest, CallbackCanScheduleWithinWindow) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, PendingCountAndNextTimeStableAfterSkim) {
+  // NextEventTime() lazily skims cancelled heap tops; the counters must
+  // agree before and after that internal mutation.
+  TypeParam q;
+  const auto a = q.ScheduleAt(10, [] {});
+  const auto b = q.ScheduleAt(20, [] {});
+  q.ScheduleAt(30, [] {});
+  q.Cancel(a);
+  EXPECT_EQ(q.NextEventTime(), 20);  // forces a skim of `a`
+  EXPECT_EQ(q.PendingCount(), 2u);
+  EXPECT_FALSE(q.Empty());
+  q.Cancel(b);
+  EXPECT_EQ(q.NextEventTime(), 30);
+  EXPECT_EQ(q.PendingCount(), 1u);
+  EXPECT_EQ(q.NextEventTime(), 30);  // idempotent once skimmed
+}
+
+TYPED_TEST(EventQueueContractTest, CallbackCanScheduleWithinWindow) {
+  TypeParam q;
   std::vector<Cycles> times;
   q.ScheduleAt(10, [&] {
     times.push_back(q.now());
@@ -74,8 +146,19 @@ TEST(EventQueueTest, CallbackCanScheduleWithinWindow) {
   EXPECT_EQ(times, (std::vector<Cycles>{10, 15}));
 }
 
-TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, CallbackSchedulingExactlyAtWindowEndFires) {
+  // An event scheduled by a callback due exactly at RunUntil's `t` is
+  // still inside the window (RunUntil fires everything due <= t).
+  TypeParam q;
+  std::vector<Cycles> times;
+  q.ScheduleAt(10, [&] { q.ScheduleAt(20, [&] { times.push_back(q.now()); }); });
+  q.RunUntil(20);
+  EXPECT_EQ(times, (std::vector<Cycles>{20}));
+  EXPECT_TRUE(q.Empty());
+}
+
+TYPED_TEST(EventQueueContractTest, ScheduleAfterUsesCurrentTime) {
+  TypeParam q;
   q.ScheduleAt(100, [] {});
   q.RunNext();
   Cycles fired_at = 0;
@@ -84,8 +167,8 @@ TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
   EXPECT_EQ(fired_at, 150);
 }
 
-TEST(EventQueueTest, AdvanceToMovesClockWithoutFiring) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, AdvanceToMovesClockWithoutFiring) {
+  TypeParam q;
   bool fired = false;
   q.ScheduleAt(500, [&] { fired = true; });
   q.AdvanceTo(400);
@@ -93,8 +176,8 @@ TEST(EventQueueTest, AdvanceToMovesClockWithoutFiring) {
   EXPECT_FALSE(fired);
 }
 
-TEST(EventQueueTest, FiredCountTracksCallbacks) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, FiredCountTracksCallbacks) {
+  TypeParam q;
   for (int i = 0; i < 7; ++i) {
     q.ScheduleAt(i, [] {});
   }
@@ -102,12 +185,253 @@ TEST(EventQueueTest, FiredCountTracksCallbacks) {
   EXPECT_EQ(q.fired_count(), 7u);
 }
 
-TEST(EventQueueTest, PendingCountExcludesCancelled) {
-  EventQueue q;
+TYPED_TEST(EventQueueContractTest, PendingCountExcludesCancelled) {
+  TypeParam q;
   const auto a = q.ScheduleAt(10, [] {});
   q.ScheduleAt(20, [] {});
   q.Cancel(a);
   EXPECT_EQ(q.PendingCount(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Production-queue specifics: stale ids across slot reuse.
+
+TEST(EventQueueTest, StaleIdAfterFireNeverCancelsASuccessor) {
+  // The fired event's storage slot is recycled for the next schedule; the
+  // generation stamp must keep the old id from reaching the new event.
+  EventQueue q;
+  const auto a = q.ScheduleAt(10, [] {});
+  q.RunUntil(10);
+  bool fired = false;
+  q.ScheduleAt(20, [&] { fired = true; });
+  EXPECT_FALSE(q.Cancel(a));  // stale: must not hit the reused slot
+  q.RunUntil(20);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, IdsRemainDistinctAcrossHeavyReuse) {
+  EventQueue q;
+  EventQueue::EventId last = EventQueue::kNoEvent;
+  for (int i = 0; i < 1'000; ++i) {
+    const auto id = q.ScheduleAt(q.now() + 1, [] {});
+    EXPECT_NE(id, EventQueue::kNoEvent);
+    EXPECT_NE(id, last);
+    last = id;
+    q.RunUntil(q.now() + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded memory under cancel churn (the lazy-deletion leak PR 8 fixed).
+
+TEST(EventQueueTest, CancelChurnKeepsHeapBounded) {
+  // A server-style workload: every request schedules a timeout and nearly
+  // every timeout is cancelled.  The heap must stay proportional to the
+  // *live* count, not the total ever scheduled.
+  EventQueue q;
+  std::vector<EventQueue::EventId> pending;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int i = 0; i < 50'000; ++i) {
+    pending.push_back(q.ScheduleAt(q.now() + 1 + static_cast<Cycles>(next() % 1'000),
+                                   [] {}));
+    if (pending.size() > 8) {
+      const std::size_t victim = next() % pending.size();
+      q.Cancel(pending[victim]);
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    ASSERT_LE(q.heap_size(), 2 * q.PendingCount() + EventQueue::kCompactionFloor)
+        << "at iteration " << i;
+  }
+  EXPECT_LE(q.PendingCount(), 9u);
+}
+
+TEST(EventQueueTest, ScheduleCancelPairsLeaveNoResidue) {
+  EventQueue q;
+  for (int i = 0; i < 100'000; ++i) {
+    const auto id = q.ScheduleAt(q.now() + 100, [] {});
+    ASSERT_TRUE(q.Cancel(id));
+  }
+  EXPECT_TRUE(q.Empty());
+  EXPECT_LE(q.heap_size(), EventQueue::kCompactionFloor);
+}
+
+TEST(EventQueueTest, CancelDestroysCallbackImmediately) {
+  // Cancelled events must not pin their captures until compaction: the
+  // callback is destroyed inside Cancel().
+  EventQueue q;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const auto id = q.ScheduleAt(10, [held = std::move(token)] { (void)held; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(watch.expired());
+}
+
+// ---------------------------------------------------------------------------
+// Always-on invariant checks: these must abort in *release* builds too
+// (they replaced assert()s that compiled out under NDEBUG).
+
+using EventQueueDeathTest = ::testing::Test;
+
+TEST(EventQueueDeathTest, SchedulingInThePastAborts) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.ScheduleAt(100, [] {});
+        q.RunNext();  // now == 100
+        q.ScheduleAt(50, [] {});
+      },
+      "event-queue invariant violated: ScheduleAt");
+}
+
+TEST(EventQueueDeathTest, AdvancingBackwardsAborts) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.ScheduleAt(100, [] {});
+        q.RunNext();
+        q.AdvanceTo(50);
+      },
+      "event-queue invariant violated: AdvanceTo: time cannot go backwards");
+}
+
+TEST(EventQueueDeathTest, AdvancingOverADueEventAborts) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.ScheduleAt(10, [] {});
+        q.AdvanceTo(20);
+      },
+      "event-queue invariant violated: AdvanceTo: events due before target");
+}
+
+TEST(EventQueueDeathTest, RunNextOnEmptyQueueAborts) {
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.RunNext();
+      },
+      "event-queue invariant violated: RunNext: no pending events");
+}
+
+// ---------------------------------------------------------------------------
+// SmallCallback storage semantics.
+
+TEST(SmallCallbackTest, InvokesInlineCapture) {
+  int hits = 0;
+  SmallCallback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallCallbackTest, LargeCaptureFallsBackToHeapAndStillRuns) {
+  struct Big {
+    char payload[200];  // > kInlineBytes: forces the heap path
+  };
+  Big big{};
+  big.payload[199] = 42;
+  int seen = 0;
+  SmallCallback cb([big, &seen] { seen = big.payload[199]; });
+  static_assert(sizeof(big) > SmallCallback::kInlineBytes);
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SmallCallbackTest, ResetDestroysHeldCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  SmallCallback cb([held = std::move(token)] { (void)held; });
+  EXPECT_FALSE(watch.expired());
+  cb.Reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(SmallCallbackTest, DestructorReleasesHeapFallback) {
+  struct Big {
+    std::shared_ptr<int> held;
+    char pad[120];
+    void operator()() const {}
+  };
+  static_assert(sizeof(Big) > SmallCallback::kInlineBytes);
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    SmallCallback cb(Big{std::move(token), {}});
+    EXPECT_FALSE(watch.expired());
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SmallCallbackTest, MoveTransfersOwnershipOnce) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  int hits = 0;
+  SmallCallback a([held = std::move(token), &hits] { ++hits; });
+  SmallCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+  b.Reset();
+  EXPECT_TRUE(watch.expired());
+}
+
+// ---------------------------------------------------------------------------
+// Differential fuzz: one operation stream, two queues, identical history.
+
+TEST(EventQueueDifferentialTest, RandomOpStreamMatchesReference) {
+  EventQueue nq;
+  ReferenceEventQueue rq;
+  std::vector<int> new_log;
+  std::vector<int> ref_log;
+  // Outstanding ids, index-aligned between the two queues (the id values
+  // themselves differ by design -- slot reuse vs. monotone counter).
+  std::vector<std::pair<EventQueue::EventId, ReferenceEventQueue::EventId>> ids;
+
+  std::uint64_t rng = 0xdeadbeefcafef00dULL;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    const std::uint64_t r = next();
+    const int op = static_cast<int>(r % 100);
+    if (op < 55) {
+      const Cycles when = nq.now() + static_cast<Cycles>(next() % 500);
+      const int tag = step;
+      ids.emplace_back(nq.ScheduleAt(when, [&new_log, tag] { new_log.push_back(tag); }),
+                       rq.ScheduleAt(when, [&ref_log, tag] { ref_log.push_back(tag); }));
+    } else if (op < 75 && !ids.empty()) {
+      const std::size_t victim = next() % ids.size();
+      const bool a = nq.Cancel(ids[victim].first);
+      const bool b = rq.Cancel(ids[victim].second);
+      ASSERT_EQ(a, b) << "cancel verdicts diverged at step " << step;
+      ids.erase(ids.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else if (op < 90) {
+      const Cycles until = nq.now() + static_cast<Cycles>(next() % 800);
+      nq.RunUntil(until);
+      rq.RunUntil(until);
+    } else {
+      ASSERT_EQ(nq.NextEventTime(), rq.NextEventTime()) << "at step " << step;
+    }
+    ASSERT_EQ(nq.now(), rq.now()) << "clocks diverged at step " << step;
+    ASSERT_EQ(nq.PendingCount(), rq.PendingCount()) << "at step " << step;
+    ASSERT_EQ(nq.fired_count(), rq.fired_count()) << "at step " << step;
+    ASSERT_EQ(new_log, ref_log) << "firing order diverged at step " << step;
+    ASSERT_LE(nq.heap_size(), 2 * nq.PendingCount() + EventQueue::kCompactionFloor);
+  }
+  EXPECT_GT(new_log.size(), 1'000u) << "fuzz run fired suspiciously few events";
 }
 
 }  // namespace

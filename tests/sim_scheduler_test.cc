@@ -160,6 +160,43 @@ TEST(SchedulerTest, PreemptedIdleLoopElongates) {
   EXPECT_EQ(stamps[3], MillisecondsToCycles(7.0));
 }
 
+TEST(SchedulerTest, StridedActionReportsExactBoundariesUnderPreemption) {
+  // One 10 ms strided action must report its 1 ms boundaries at exactly
+  // the times ten separate 1 ms actions would have completed, even when a
+  // mid-action ISR splits the work into multiple slices.
+  auto run = [](bool strided) {
+    EventQueue q;
+    HardwareCounters c;
+    Scheduler s(&q, &c);
+    ScriptedThread t("t", 5);
+    std::vector<Cycles> stamps;
+    if (strided) {
+      t.Push(ThreadAction::ComputeStrided(
+          Ms(10.0), MillisecondsToCycles(1.0),
+          [&stamps](Cycles first, Cycles stride, std::uint64_t count) {
+            for (std::uint64_t i = 0; i < count; ++i) {
+              stamps.push_back(first + static_cast<Cycles>(i) * stride);
+            }
+          }));
+    } else {
+      for (int i = 0; i < 10; ++i) {
+        t.Push(ThreadAction::Compute(Ms(1.0), [&] { stamps.push_back(q.now()); }));
+      }
+    }
+    s.AddThread(&t);
+    q.ScheduleAt(MillisecondsToCycles(4.5), [&] { s.QueueInterrupt(Ms(2.0)); });
+    s.RunUntil(MillisecondsToCycles(30.0));
+    return stamps;
+  };
+  const std::vector<Cycles> strided = run(true);
+  ASSERT_EQ(strided.size(), 10u);
+  EXPECT_EQ(strided, run(false));
+  // Boundaries before the ISR land on the undisturbed schedule; the ISR
+  // at 4.5 ms delays every later boundary by its 2 ms.
+  EXPECT_EQ(strided[3], MillisecondsToCycles(4.0));
+  EXPECT_EQ(strided[4], MillisecondsToCycles(7.0));
+}
+
 TEST(SchedulerTest, CountersAccrueFromWorkProfile) {
   EventQueue q;
   HardwareCounters c;
