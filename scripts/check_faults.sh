@@ -80,7 +80,7 @@ for cell in agg["cells"]:
 dropped = sum(c["faults"]["mq_dropped"] for c in agg["cells"])
 print(f"aggregate ok: {dropped} dropped messages across {len(agg['cells'])} cells")
 EOF
-head -1 "$out_dir/j4/cells.csv" | grep -q "degraded,disk_transient"
+head -1 "$out_dir/j4/cells.csv" | grep -q "degraded,timed_out,disk_transient"
 
 # ---------------------------------------------------------- fault sweep --
 # A latency-vs-fault-rate sweep with the retrying human driver: rate 0 is

@@ -1,0 +1,233 @@
+#!/usr/bin/env bash
+# Chaos-smoke the crash-safe campaign layer end to end:
+#  - kill -9 a journaling campaign at several seeded points (by polling
+#    the journal's record count), resume it, and demand the final
+#    aggregate.json and cells.csv are byte-identical to an uninterrupted
+#    --jobs=1 run,
+#  - same through --shard + `ilat merge` with a killed-and-resumed shard,
+#  - SIGTERM triggers the graceful shutdown path: exit 143, a one-line
+#    resume hint, and a journal that resumes to identical bytes,
+#  - every prefix-truncation of a journal either resumes cleanly (torn
+#    tail dropped) or exits 2 with a one-line error (torn header),
+#  - a hung cell (interrupt storm that starves the simulated CPU) is
+#    quarantined by the --cell-timeout watchdog with a structured report;
+#    the exit code honours --max-quarantined,
+#  - malformed --resume/--cell-timeout flags fail with the usual exit-2
+#    contract.
+# Assumes a built tree; pass a different build dir as $1.
+set -euo pipefail
+
+build_dir="${1:-build}"
+ilat="$build_dir/src/tools/ilat"
+if [[ ! -x "$ilat" ]]; then
+  echo "error: $ilat not found -- build the project first" >&2
+  exit 2
+fi
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+spec="$out_dir/spec.txt"
+cat > "$spec" <<'EOF'
+# 3 os x 4 seeds = 12 cells, long enough to kill mid-flight
+name   = resumesmoke
+os     = all
+app    = notepad
+seeds  = 4
+seed   = 2026
+EOF
+
+# Reference: the uninterrupted single-threaded run, also journaled (the
+# complete journal feeds the truncation fuzz below).
+ref_journal="$out_dir/ref.jsonl"
+"$ilat" --campaign="$spec" --jobs=1 --journal="$ref_journal" \
+        --campaign-out="$out_dir/ref" >/dev/null
+
+check_identical() {
+  cmp "$out_dir/ref/aggregate.json" "$1/aggregate.json"
+  cmp "$out_dir/ref/cells.csv" "$1/cells.csv"
+}
+
+# Wait until the journal at $1 holds >= $2 cell records (header excluded)
+# or the process $3 exits.  Returns 0 if the threshold was reached.
+wait_for_records() {
+  local file="$1" want="$2" pid="$3" lines
+  for _ in $(seq 1 3000); do
+    if [[ -f "$file" ]]; then
+      lines="$(wc -l < "$file")"
+      if (( lines >= want + 1 )); then
+        return 0
+      fi
+    fi
+    kill -0 "$pid" 2>/dev/null || return 1
+    sleep 0.01
+  done
+  return 1
+}
+
+# ------------------------------------------------- kill -9 and resume --
+
+for k in 1 4 8; do
+  j="$out_dir/kill$k.jsonl"
+  "$ilat" --campaign="$spec" --jobs=2 --journal="$j" >/dev/null 2>&1 &
+  pid=$!
+  if wait_for_records "$j" "$k" "$pid"; then
+    kill -9 "$pid" 2>/dev/null || true
+  fi
+  wait "$pid" 2>/dev/null || true
+
+  "$ilat" --campaign="$spec" --resume="$j" --campaign-out="$out_dir/res$k" \
+          > "$out_dir/res$k.txt"
+  grep -q "resume: replaying" "$out_dir/res$k.txt"
+  check_identical "$out_dir/res$k"
+done
+
+# ------------------------------------- kill a shard, resume, and merge --
+
+"$ilat" --campaign="$spec" --shard=1/2 --jobs=1 --journal="$out_dir/s1.jsonl" \
+        >/dev/null
+"$ilat" --campaign="$spec" --shard=0/2 --jobs=2 --journal="$out_dir/s0.jsonl" \
+        >/dev/null 2>&1 &
+pid=$!
+if wait_for_records "$out_dir/s0.jsonl" 2 "$pid"; then
+  kill -9 "$pid" 2>/dev/null || true
+fi
+wait "$pid" 2>/dev/null || true
+"$ilat" --campaign="$spec" --shard=0/2 --resume="$out_dir/s0.jsonl" >/dev/null
+"$ilat" merge "$out_dir/s0.jsonl" "$out_dir/s1.jsonl" \
+        --campaign-out="$out_dir/shardres" >/dev/null
+check_identical "$out_dir/shardres"
+
+# ------------------------------------------ SIGTERM graceful shutdown --
+
+j="$out_dir/term.jsonl"
+"$ilat" --campaign="$spec" --jobs=2 --journal="$j" > "$out_dir/term.txt" 2>&1 &
+pid=$!
+if wait_for_records "$j" 2 "$pid"; then
+  kill -TERM "$pid" 2>/dev/null || true
+fi
+rc=0
+wait "$pid" || rc=$?
+if [[ "$rc" -ne 143 ]]; then
+  echo "error: SIGTERM shutdown should exit 143 (128+15), got $rc" >&2
+  exit 1
+fi
+grep -q "resume with: ilat --campaign=" "$out_dir/term.txt"
+"$ilat" --campaign="$spec" --resume="$j" --campaign-out="$out_dir/termres" >/dev/null
+check_identical "$out_dir/termres"
+
+# ------------------------------------------- journal truncation fuzz --
+
+expect_exit2() {
+  local what="$1"
+  shift
+  local output
+  if output="$("$@" 2>&1)"; then
+    echo "error: $what should have failed" >&2
+    exit 1
+  elif [[ $? -ne 2 ]]; then
+    echo "error: $what should exit 2" >&2
+    exit 1
+  fi
+  if [[ "$output" == *$'\n'* ]]; then
+    echo "error: $what printed more than one line:" >&2
+    printf '%s\n' "$output" >&2
+    exit 1
+  fi
+}
+
+total=$(wc -c < "$ref_journal")
+header=$(head -1 "$ref_journal" | wc -c)
+# Seeded cut points: inside the header, at its boundary, and an even
+# sample through the records.
+cuts="0 1 $((header - 1)) $header"
+for i in 1 2 3 4 5 6 7; do
+  cuts="$cuts $((header + (total - header) * i / 7))"
+done
+for cut in $cuts; do
+  j="$out_dir/fuzz.jsonl"
+  head -c "$cut" "$ref_journal" > "$j"
+  if (( cut < header )); then
+    # The header itself is torn: structurally unusable, one-line exit 2.
+    expect_exit2 "resume from $cut-byte prefix" \
+      "$ilat" --campaign="$spec" --resume="$j" --campaign-out="$out_dir/fuzzout"
+  else
+    # Any prefix past the header resumes cleanly: complete records
+    # replay, a torn final record re-runs, and the final bytes match.
+    "$ilat" --campaign="$spec" --resume="$j" --campaign-out="$out_dir/fuzzout" \
+            >/dev/null
+    check_identical "$out_dir/fuzzout"
+  fi
+done
+
+# ------------------------------------------------- watchdog quarantine --
+
+hang="$out_dir/hang.txt"
+cat > "$hang" <<'EOF'
+# One cell that can never finish: a dense interrupt storm starves the
+# simulated CPU for the whole session, so only the watchdog ends it.
+name  = hangsmoke
+os    = nt40
+app   = echo
+seeds = 1
+seed  = 7
+timeout_cell_s = 0.05
+fault.storm.start_ms    = 0
+fault.storm.duration_ms = 3600000
+fault.storm.period_us   = 10
+fault.storm.handler_us  = 10
+EOF
+
+# Default --max-quarantined=0: one quarantined cell fails the run (exit 1)
+# but the campaign still completes with a structured report.
+rc=0
+"$ilat" --campaign="$hang" --campaign-out="$out_dir/hangout" \
+        > "$out_dir/hang-run.txt" || rc=$?
+if [[ "$rc" -ne 1 ]]; then
+  echo "error: quarantined run should exit 1, got $rc" >&2
+  exit 1
+fi
+grep -q "watchdog: quarantined 1 cell(s)" "$out_dir/hang-run.txt"
+grep -q '"timed_out": true' "$out_dir/hangout/aggregate.json"
+grep -q 'cell.timeout' "$out_dir/hangout/aggregate.json"
+
+# Raising the tolerance turns the same run into a success.
+"$ilat" --campaign="$hang" --max-quarantined=5 >/dev/null
+
+# The flag wins over the spec key and is hashed: a journal written under
+# one budget cannot be resumed under another.
+"$ilat" --campaign="$hang" --max-quarantined=5 --journal="$out_dir/hang.jsonl" \
+        >/dev/null
+expect_exit2 "resume with a different --cell-timeout" \
+  "$ilat" --campaign="$hang" --cell-timeout=1000 --resume="$out_dir/hang.jsonl"
+
+# ------------------------------------------------------- flag hygiene --
+
+# Runtime errors are one line; flag-level mistakes print usage after the
+# error, so those check the exit code only.
+expect_exit2 "resume from a missing journal" \
+  "$ilat" --campaign="$spec" --resume="$out_dir/no-such.jsonl"
+echo "garbage" > "$out_dir/garbage.jsonl"
+expect_exit2 "resume from garbage" \
+  "$ilat" --campaign="$spec" --resume="$out_dir/garbage.jsonl"
+
+for bad in --cell-timeout=abc --cell-timeout=1e999 --cell-timeout= \
+           --max-quarantined=abc --max-quarantined=-1 --resume=; do
+  if "$ilat" --campaign="$spec" "$bad" >/dev/null 2>&1; then
+    echo "error: $bad should have failed" >&2
+    exit 1
+  elif [[ $? -ne 2 ]]; then
+    echo "error: $bad should exit 2" >&2
+    exit 1
+  fi
+done
+
+# An unwritable journal path fails before any cell runs (exit 1).
+rc=0
+"$ilat" --campaign="$spec" --journal=/nonexistent-dir/j.jsonl >/dev/null 2>&1 || rc=$?
+if [[ "$rc" -ne 1 ]]; then
+  echo "error: unwritable journal should exit 1, got $rc" >&2
+  exit 1
+fi
+
+echo "check_resume: all good"

@@ -43,6 +43,10 @@ if [[ $asan -eq 1 ]]; then
   # Server smoke against the sanitized binary: workers, users, and the
   # lock/disk callbacks juggle cross-object lifetimes worth sanitizing.
   bash scripts/check_server.sh build-asan
+  # Crash-safety smoke against the sanitized binary: the journal writer,
+  # resume replay, watchdog cancellation, and signal-driven shutdown all
+  # cross thread and object lifetimes ASan should referee.
+  bash scripts/check_resume.sh build-asan
 fi
 
 echo "check_tier1: all good"

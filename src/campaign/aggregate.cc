@@ -24,6 +24,7 @@ std::string GroupToJson(const GroupStats& g, const std::string& indent) {
   std::string out = "{";
   out += "\"cells\": " + std::to_string(g.cells);
   out += ", \"degraded_cells\": " + std::to_string(g.degraded_cells);
+  out += ", \"quarantined_cells\": " + std::to_string(g.quarantined_cells);
   out += ", \"attempts\": " + std::to_string(g.attempts);
   out += ", \"input_retries\": " + std::to_string(g.input_retries);
   out += ", \"input_abandons\": " + std::to_string(g.input_abandons);
@@ -90,6 +91,9 @@ void GroupStats::Add(const CellResult& r) {
   ++cells;
   if (r.degraded) {
     ++degraded_cells;
+  }
+  if (r.timed_out) {
+    ++quarantined_cells;
   }
   attempts += static_cast<std::uint64_t>(r.attempts);
   input_retries += r.fault.input_retries;
@@ -172,6 +176,10 @@ std::string CampaignAggregate::ToJson() const {
            ", \"max_ms\": " + NumToJson(r.max_ms) +
            ", \"attempts\": " + std::to_string(r.attempts) +
            ", \"degraded\": " + (r.degraded ? std::string("true") : std::string("false"));
+    if (r.timed_out) {
+      // Emitted only when set, so clean campaigns stay byte-stable.
+      out += ", \"timed_out\": true";
+    }
     if (r.fault.enabled) {
       const fault::FaultReport& f = r.fault;
       out += ", \"faults\": {\"disk_transient\": " + std::to_string(f.disk_transient) +
@@ -212,7 +220,7 @@ std::string CampaignAggregate::ToJson() const {
 std::string CampaignAggregate::ToCellsCsv() const {
   std::string out =
       "index,os,app,workload,driver,seed,events,above,elapsed_s,cumulative_ms,"
-      "mean_ms,p50_ms,p95_ms,p99_ms,max_ms,attempts,degraded,disk_transient,"
+      "mean_ms,p50_ms,p95_ms,p99_ms,max_ms,attempts,degraded,timed_out,disk_transient,"
       "disk_stalls,io_failed,mq_dropped,mq_duplicated,mq_reordered,storm_ticks,"
       "input_retries,input_abandons,fault_label,param_label\n";
   for (const CellResult& r : cells_) {
@@ -220,11 +228,11 @@ std::string CampaignAggregate::ToCellsCsv() const {
     std::snprintf(
         buf, sizeof(buf),
         "%zu,%s,%s,%s,%s,%llu,%zu,%zu,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,"
-        "%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%s,%s\n",
+        "%d,%d,%d,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%s,%s\n",
         r.cell.index, r.cell.os.c_str(), r.cell.app.c_str(), r.cell.workload.c_str(),
         r.cell.driver.c_str(), static_cast<unsigned long long>(r.cell.seed), r.events,
         r.above, r.elapsed_s, r.cumulative_ms, r.mean_ms, r.p50_ms, r.p95_ms, r.p99_ms,
-        r.max_ms, r.attempts, r.degraded ? 1 : 0,
+        r.max_ms, r.attempts, r.degraded ? 1 : 0, r.timed_out ? 1 : 0,
         static_cast<unsigned long long>(r.fault.disk_transient),
         static_cast<unsigned long long>(r.fault.disk_stalls),
         static_cast<unsigned long long>(r.fault.io_failed),

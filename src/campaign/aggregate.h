@@ -50,6 +50,10 @@ struct CellResult {
   fault::FaultReport fault;
   bool degraded = false;
   int attempts = 1;
+  // The watchdog quarantined this cell: every attempt overran the
+  // per-cell wall budget, so the measurements were discarded and this row
+  // is a deterministic skeleton (zero events, cell.timeout fault note).
+  bool timed_out = false;
 
   // Host wall time the runner spent on this cell (all attempts plus
   // retry backoff).  Telemetry only: it rides through shard partials so
@@ -67,6 +71,7 @@ CellResult SummarizeCell(const CampaignCell& cell, const SessionResult& result,
 struct GroupStats {
   std::size_t cells = 0;
   std::size_t degraded_cells = 0;
+  std::size_t quarantined_cells = 0;  // watchdog-timed-out cells in this group
   std::uint64_t events = 0;
   std::uint64_t above = 0;
   // Fault-recovery rollups (all zero on clean campaigns): session attempts

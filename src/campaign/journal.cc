@@ -1,0 +1,423 @@
+#include "src/campaign/journal.h"
+
+#include <cstdio>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "src/obs/jsonout.h"
+
+namespace ilat {
+namespace campaign {
+
+namespace {
+
+using obs::EscapeJson;
+using obs::NumToJson;
+
+std::string HashToHex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+std::string SpecHashHex(const CampaignSpec& spec) { return HashToHex(spec.SpecHash()); }
+
+std::string CellToJsonLine(const CellResult& r) {
+  std::string out = "{\"index\": " + std::to_string(r.cell.index);
+  out += ", \"os\": \"" + EscapeJson(r.cell.os) + "\"";
+  out += ", \"app\": \"" + EscapeJson(r.cell.app) + "\"";
+  out += ", \"workload\": \"" + EscapeJson(r.cell.workload) + "\"";
+  out += ", \"driver\": \"" + EscapeJson(r.cell.driver) + "\"";
+  out += ", \"seed\": " + std::to_string(r.cell.seed);
+  out += ", \"workload_seed\": " + std::to_string(r.cell.workload_seed);
+  out += ", \"seed_rep\": " + std::to_string(r.cell.seed_rep);
+  out += ", \"fault_point\": " + std::to_string(r.cell.fault_point);
+  out += ", \"fault_label\": \"" + EscapeJson(r.cell.fault_label) + "\"";
+  out += ", \"param_point\": " + std::to_string(r.cell.param_point);
+  out += ", \"param_label\": \"" + EscapeJson(r.cell.param_label) + "\"";
+  out += ", \"events\": " + std::to_string(r.events);
+  out += ", \"above\": " + std::to_string(r.above);
+  out += ", \"elapsed_s\": " + NumToJson(r.elapsed_s);
+  out += ", \"cumulative_ms\": " + NumToJson(r.cumulative_ms);
+  out += ", \"mean_ms\": " + NumToJson(r.mean_ms);
+  out += ", \"p50_ms\": " + NumToJson(r.p50_ms);
+  out += ", \"p95_ms\": " + NumToJson(r.p95_ms);
+  out += ", \"p99_ms\": " + NumToJson(r.p99_ms);
+  out += ", \"max_ms\": " + NumToJson(r.max_ms);
+  out += ", \"attempts\": " + std::to_string(r.attempts);
+  out += std::string(", \"degraded\": ") + (r.degraded ? "true" : "false");
+  // Emitted only when set so pre-watchdog readers and byte-stable
+  // expectations of clean campaigns are untouched.
+  if (r.timed_out) {
+    out += ", \"timed_out\": true";
+  }
+  // Host telemetry only: survives the merge for timing reports, but the
+  // merged aggregate's own JSON/CSV never include it.
+  out += ", \"wall_s\": " + NumToJson(r.wall_s);
+
+  const fault::FaultReport& f = r.fault;
+  out += std::string(", \"fault\": {\"enabled\": ") + (f.enabled ? "true" : "false");
+  out += std::string(", \"degraded\": ") + (f.degraded ? "true" : "false");
+  out += ", \"disk_transient\": " + std::to_string(f.disk_transient);
+  out += ", \"disk_stalls\": " + std::to_string(f.disk_stalls);
+  out += ", \"disk_stall_ms\": " + NumToJson(f.disk_stall_ms);
+  out += std::string(", \"disk_permanent\": ") + (f.disk_permanent ? "true" : "false");
+  out += ", \"disk_retries\": " + std::to_string(f.disk_retries);
+  out += ", \"io_failed\": " + std::to_string(f.io_failed);
+  out += ", \"mq_dropped\": " + std::to_string(f.mq_dropped);
+  out += ", \"mq_duplicated\": " + std::to_string(f.mq_duplicated);
+  out += ", \"mq_reordered\": " + std::to_string(f.mq_reordered);
+  out += ", \"storm_ticks\": " + std::to_string(f.storm_ticks);
+  out += ", \"clock_jitter_passes\": " + std::to_string(f.clock_jitter_passes);
+  out += ", \"input_retries\": " + std::to_string(f.input_retries);
+  out += ", \"input_abandons\": " + std::to_string(f.input_abandons);
+  out += ", \"notes\": [";
+  for (std::size_t i = 0; i < f.notes.size(); ++i) {
+    out += (i == 0 ? "\"" : ", \"") + EscapeJson(f.notes[i]) + "\"";
+  }
+  out += "]}";
+
+  out += ", \"latencies_ms\": [";
+  for (std::size_t i = 0; i < r.latencies_ms.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += NumToJson(r.latencies_ms[i]);
+  }
+  out += "]";
+
+  out += ", \"metrics\": {";
+  bool first = true;
+  for (const auto& [name, value] : r.metrics.values) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "\"" + EscapeJson(name) + "\": " + NumToJson(value);
+  }
+  out += "}}";
+  return out;
+}
+
+bool ParseCellJson(const std::string& path, const JsonValue& v, CellResult* r,
+                   std::string* error) {
+  std::uint64_t index = 0;
+  if (!v.is_object() || !v.U64At("index", &index)) {
+    *error = path + ": cell row is missing \"index\"";
+    return false;
+  }
+  auto cell_error = [&](const std::string& what) {
+    *error = path + ": cell " + std::to_string(index) + " " + what;
+    return false;
+  };
+  r->cell.index = static_cast<std::size_t>(index);
+  r->cell.os = v.StringAt("os");
+  r->cell.app = v.StringAt("app");
+  r->cell.workload = v.StringAt("workload");
+  r->cell.driver = v.StringAt("driver");
+  r->cell.fault_label = v.StringAt("fault_label");
+  r->cell.param_label = v.StringAt("param_label");
+  if (r->cell.os.empty() || r->cell.app.empty() || r->cell.driver.empty()) {
+    return cell_error("is missing os/app/driver");
+  }
+  std::uint64_t events = 0;
+  std::uint64_t above = 0;
+  std::uint64_t fault_point = 0;
+  if (!v.U64At("seed", &r->cell.seed) || !v.U64At("workload_seed", &r->cell.workload_seed) ||
+      !v.U64At("seed_rep", &r->cell.seed_rep) || !v.U64At("fault_point", &fault_point) ||
+      !v.U64At("events", &events) || !v.U64At("above", &above)) {
+    return cell_error("has malformed integer fields");
+  }
+  r->cell.fault_point = static_cast<std::size_t>(fault_point);
+  // Tolerant read: partials written before param sweeps existed merge
+  // with param_point = 0 and an empty label.
+  std::uint64_t param_point = 0;
+  v.U64At("param_point", &param_point);
+  r->cell.param_point = static_cast<std::size_t>(param_point);
+  r->events = static_cast<std::size_t>(events);
+  r->above = static_cast<std::size_t>(above);
+  // Tolerant read: partials written before wall-time telemetry existed
+  // simply merge with wall_s = 0.
+  r->wall_s = v.NumberAt("wall_s");
+  r->elapsed_s = v.NumberAt("elapsed_s");
+  r->cumulative_ms = v.NumberAt("cumulative_ms");
+  r->mean_ms = v.NumberAt("mean_ms");
+  r->p50_ms = v.NumberAt("p50_ms");
+  r->p95_ms = v.NumberAt("p95_ms");
+  r->p99_ms = v.NumberAt("p99_ms");
+  r->max_ms = v.NumberAt("max_ms");
+  r->attempts = static_cast<int>(v.NumberAt("attempts", 1.0));
+
+  auto bool_at = [&](const char* key) {
+    const JsonValue* b = v.Find(key);
+    return b != nullptr && b->kind == JsonValue::Kind::kBool && b->boolean;
+  };
+  r->degraded = bool_at("degraded");
+  // Tolerant read: absent in records written before the watchdog existed.
+  r->timed_out = bool_at("timed_out");
+
+  const JsonValue* f = v.Find("fault");
+  if (f == nullptr || !f->is_object()) {
+    return cell_error("is missing its fault report");
+  }
+  auto fault_bool = [&](const char* key) {
+    const JsonValue* b = f->Find(key);
+    return b != nullptr && b->kind == JsonValue::Kind::kBool && b->boolean;
+  };
+  auto fault_u64 = [&](const char* key, std::uint64_t* out) {
+    return f->U64At(key, out);
+  };
+  r->fault.enabled = fault_bool("enabled");
+  r->fault.degraded = fault_bool("degraded");
+  r->fault.disk_permanent = fault_bool("disk_permanent");
+  r->fault.disk_stall_ms = f->NumberAt("disk_stall_ms");
+  if (!fault_u64("disk_transient", &r->fault.disk_transient) ||
+      !fault_u64("disk_stalls", &r->fault.disk_stalls) ||
+      !fault_u64("disk_retries", &r->fault.disk_retries) ||
+      !fault_u64("io_failed", &r->fault.io_failed) ||
+      !fault_u64("mq_dropped", &r->fault.mq_dropped) ||
+      !fault_u64("mq_duplicated", &r->fault.mq_duplicated) ||
+      !fault_u64("mq_reordered", &r->fault.mq_reordered) ||
+      !fault_u64("storm_ticks", &r->fault.storm_ticks) ||
+      !fault_u64("clock_jitter_passes", &r->fault.clock_jitter_passes) ||
+      !fault_u64("input_retries", &r->fault.input_retries) ||
+      !fault_u64("input_abandons", &r->fault.input_abandons)) {
+    return cell_error("has a malformed fault report");
+  }
+  const JsonValue* notes = f->Find("notes");
+  if (notes != nullptr && notes->is_array()) {
+    for (const JsonValue& note : notes->items) {
+      if (note.is_string()) {
+        r->fault.notes.push_back(note.str);
+      }
+    }
+  }
+
+  const JsonValue* latencies = v.Find("latencies_ms");
+  if (latencies == nullptr || !latencies->is_array()) {
+    return cell_error("is missing its latency payload");
+  }
+  r->latencies_ms.reserve(latencies->items.size());
+  for (const JsonValue& lat : latencies->items) {
+    if (!lat.is_number()) {
+      return cell_error("has a non-numeric latency");
+    }
+    r->latencies_ms.push_back(lat.number);
+  }
+  if (r->latencies_ms.size() != r->events) {
+    return cell_error("carries " + std::to_string(r->latencies_ms.size()) +
+                      " latencies for " + std::to_string(r->events) + " events");
+  }
+
+  const JsonValue* metrics = v.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return cell_error("is missing its metrics snapshot");
+  }
+  // std::map iteration is name-sorted -- the same order the registry's
+  // Snapshot() emits, so the accumulator folds entries identically.
+  r->metrics.values.reserve(metrics->members.size());
+  for (const auto& [name, value] : metrics->members) {
+    if (!value.is_number()) {
+      return cell_error("has a non-numeric metric '" + name + "'");
+    }
+    r->metrics.values.emplace_back(name, value.number);
+  }
+  return true;
+}
+
+bool ParseCampaignFileHeader(const std::string& path, const JsonValue& root,
+                             const char* format_key, int expected_version,
+                             const char* what, CampaignFileHeader* h, std::string* error) {
+  std::uint64_t version = 0;
+  if (!root.is_object() || !root.U64At(format_key, &version)) {
+    *error = path + ": not an ilat campaign " + std::string(what) + " (missing \"" +
+             format_key + "\")";
+    return false;
+  }
+  if (version != static_cast<std::uint64_t>(expected_version)) {
+    *error = path + ": " + what + " format version " + std::to_string(version) +
+             ", this build reads " + std::to_string(expected_version);
+    return false;
+  }
+  const JsonValue* campaign = root.Find("campaign");
+  const JsonValue* shard = root.Find("shard");
+  if (campaign == nullptr || !campaign->is_object() || shard == nullptr ||
+      !shard->is_object()) {
+    *error = path + ": " + what + " has no \"campaign\"/\"shard\" header";
+    return false;
+  }
+  h->name = campaign->StringAt("name");
+  h->spec_hash = campaign->StringAt("spec_hash");
+  h->threshold_ms = campaign->NumberAt("threshold_ms");
+  std::uint64_t cells = 0;
+  if (!campaign->U64At("seed", &h->seed) || !campaign->U64At("cells", &cells) ||
+      h->spec_hash.empty()) {
+    *error = path + ": " + what + " campaign header is missing seed/cells/spec_hash";
+    return false;
+  }
+  h->total_cells = static_cast<std::size_t>(cells);
+  if (!shard->U64At("index", &h->shard_index) || !shard->U64At("count", &h->shard_count) ||
+      h->shard_count == 0 || h->shard_index >= h->shard_count) {
+    *error = path + ": " + what + " has a malformed shard header";
+    return false;
+  }
+  return true;
+}
+
+bool ReadFileText(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  out->clear();
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+void JournalWriter::Open(const std::string& path, const CampaignSpec& spec,
+                         std::size_t total_cells, int shard_index, int shard_count) {
+  path_ = path;
+  lines_.clear();
+  header_line_ = "{\"ilat_journal\": " + std::to_string(kJournalFormatVersion);
+  header_line_ += ", \"campaign\": {\"name\": \"" + obs::EscapeJson(spec.name) + "\"";
+  header_line_ += ", \"seed\": " + std::to_string(spec.campaign_seed);
+  header_line_ += ", \"threshold_ms\": " + obs::NumToJson(spec.threshold_ms);
+  header_line_ += ", \"cells\": " + std::to_string(total_cells);
+  header_line_ += ", \"spec_hash\": \"" + SpecHashHex(spec) + "\"}";
+  header_line_ += ", \"shard\": {\"index\": " + std::to_string(shard_index) +
+                  ", \"count\": " + std::to_string(shard_count) + "}}";
+}
+
+void JournalWriter::SeedLines(const std::map<std::size_t, std::string>& lines) {
+  for (const auto& [index, line] : lines) {
+    lines_[index] = line;
+  }
+}
+
+bool JournalWriter::Add(const CellResult& r, std::string* error) {
+  lines_[r.cell.index] = CellToJsonLine(r);
+  return Flush(error);
+}
+
+bool JournalWriter::Flush(std::string* error) {
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    *error = "cannot create journal file '" + tmp + "'";
+    return false;
+  }
+  bool ok = std::fputs(header_line_.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+  for (const auto& [index, line] : lines_) {
+    (void)index;
+    ok = ok && std::fputs(line.c_str(), f) >= 0 && std::fputc('\n', f) != EOF;
+  }
+  // Flush + fsync before the rename: the swap must only publish records
+  // that are durably on disk, or a crash right after the rename could
+  // leave a journal whose tail the disk never wrote.
+  ok = ok && std::fflush(f) == 0;
+#ifndef _WIN32
+  ok = ok && fsync(fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    *error = "failed writing journal file '" + tmp + "'";
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    *error = "cannot rename '" + tmp + "' onto '" + path_ + "'";
+    return false;
+  }
+  return true;
+}
+
+bool LoadJournal(const std::string& path, JournalData* out, std::string* error) {
+  std::string text;
+  if (!ReadFileText(path, &text)) {
+    *error = "cannot read journal '" + path + "'";
+    return false;
+  }
+  std::size_t pos = 0;
+  bool saw_header = false;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Final line lacks its newline: a crash landed mid-flush.  The
+      // header is load-bearing, a trailing record is not -- drop it and
+      // let that cell re-run.
+      if (!saw_header) {
+        *error = path + ": truncated journal header";
+        return false;
+      }
+      out->torn_tail_dropped = true;
+      break;
+    }
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) {
+      continue;
+    }
+    JsonValue v;
+    std::string jerr;
+    if (!ParseJson(line, &v, &jerr)) {
+      if (!saw_header) {
+        *error = path + ": not an ilat campaign journal";
+      } else {
+        *error = path + ": corrupt journal record: " + jerr;
+      }
+      return false;
+    }
+    if (!saw_header) {
+      saw_header = true;
+      if (!ParseCampaignFileHeader(path, v, "ilat_journal", kJournalFormatVersion,
+                                   "journal", &out->header, error)) {
+        return false;
+      }
+      continue;
+    }
+    CellResult r;
+    if (!ParseCellJson(path, v, &r, error)) {
+      return false;
+    }
+    const std::size_t index = r.cell.index;
+    if (index >= out->header.total_cells) {
+      *error = path + ": cell " + std::to_string(index) + " is out of range (campaign has " +
+               std::to_string(out->header.total_cells) + " cells)";
+      return false;
+    }
+    if (out->cells.count(index) != 0) {
+      *error = path + ": duplicate journal record for cell " + std::to_string(index);
+      return false;
+    }
+    out->raw_lines[index] = std::move(line);
+    out->cells.emplace(index, std::move(r));
+  }
+  if (!saw_header) {
+    *error = path + ": not an ilat campaign journal (empty file)";
+    return false;
+  }
+  return true;
+}
+
+bool LooksLikeJournal(const std::string& text) {
+  const std::size_t nl = text.find('\n');
+  const std::string first = text.substr(0, nl);
+  JsonValue v;
+  std::string err;
+  return ParseJson(first, &v, &err) && v.is_object() && v.Find("ilat_journal") != nullptr;
+}
+
+}  // namespace campaign
+}  // namespace ilat

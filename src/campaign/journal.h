@@ -1,0 +1,144 @@
+// Crash-consistent cell journal: the campaign runner's write-ahead log.
+//
+// A long sweep must survive SIGKILL, OOM, and node preemption without
+// throwing away completed work.  `ilat --campaign SPEC --journal=FILE`
+// streams every finished cell's *full* payload (exact per-event latencies
+// and the obs-metrics snapshot -- the same single-line schema shard
+// partials use) into a versioned journal, rewritten via write-to-temp +
+// fsync + atomic rename on every flush, so the file on disk is a valid
+// journal at every instant no matter where the process dies.
+//
+// `--resume=FILE` loads the journal back: the header (spec hash, campaign
+// identity, shard id) must match the spec being run, duplicate or
+// out-of-range cell indices are corruption, and a torn final record (a
+// crash mid-flush can leave one line without its trailing newline) is
+// dropped, not fatal -- that cell simply re-runs.  Replayed cells fold
+// into the streaming aggregate in global index order exactly as a live
+// run would, so an interrupted+resumed campaign's aggregate.json is
+// byte-identical to an uninterrupted one (scripts/check_resume.sh
+// cmp-enforces this).
+//
+// The file format is line-oriented JSON: line 1 is the header object
+// (`{"ilat_journal": 1, "campaign": {...}, "shard": {...}}`), every
+// following line is one cell.  Record order in the file is index-sorted
+// on every flush; a resumed writer re-emits the original lines verbatim
+// so resuming never perturbs bytes it did not produce.
+//
+// This header also exports the cell serialisation shared with the shard
+// partial format (src/campaign/shard.h) -- one schema, two containers.
+
+#ifndef ILAT_SRC_CAMPAIGN_JOURNAL_H_
+#define ILAT_SRC_CAMPAIGN_JOURNAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/campaign/aggregate.h"
+#include "src/campaign/json.h"
+#include "src/campaign/spec.h"
+
+namespace ilat {
+namespace campaign {
+
+// Bumped when the journal schema changes; resume and merge reject other
+// versions.
+inline constexpr int kJournalFormatVersion = 1;
+
+// Campaign identity every partial/journal header carries; a resume or
+// merge must agree on all of it before touching any cell.
+struct CampaignFileHeader {
+  std::string name;
+  std::uint64_t seed = 0;
+  double threshold_ms = 0.0;
+  std::size_t total_cells = 0;
+  std::string spec_hash;
+  std::uint64_t shard_index = 0;
+  std::uint64_t shard_count = 0;
+};
+
+// ---- Cell serialisation shared by journals and shard partials ----
+
+// 16 lowercase hex digits of SpecHash().
+std::string SpecHashHex(const CampaignSpec& spec);
+
+// One cell as a single JSON line (no trailing newline): identity, summary
+// stats, fault report, and the full payload (exact latencies + metrics
+// snapshot) a later fold needs to replay this cell exactly.
+std::string CellToJsonLine(const CellResult& r);
+
+// Inverse of CellToJsonLine.  `path` only labels error messages.
+bool ParseCellJson(const std::string& path, const JsonValue& v, CellResult* r,
+                   std::string* error);
+
+// Parse the campaign/shard identity out of a header object whose format
+// marker is `format_key` ("ilat_partial" or "ilat_journal") at version
+// `expected_version`; `what` names the container in error messages.
+bool ParseCampaignFileHeader(const std::string& path, const JsonValue& root,
+                             const char* format_key, int expected_version,
+                             const char* what, CampaignFileHeader* h, std::string* error);
+
+// Slurp a file; false if it cannot be opened.
+bool ReadFileText(const std::string& path, std::string* out);
+
+// ---- The journal itself ----
+
+// Streams finished cells into a crash-consistent journal file.  Cells may
+// be added in any order (a graceful shutdown flushes out-of-order
+// completions); every Add rewrites the whole index-sorted file through a
+// temp + atomic rename, so a reader (or a crash) never observes a
+// half-written state.  O(cells^2) bytes written over a campaign's life --
+// fine at current sweep sizes, and the price of per-cell durability.
+class JournalWriter {
+ public:
+  // Remember `path` and build the header line.  Nothing touches the disk
+  // until Flush (call it once right after Open to surface unwritable
+  // paths before any cell runs).
+  void Open(const std::string& path, const CampaignSpec& spec, std::size_t total_cells,
+            int shard_index, int shard_count);
+
+  // Seed with verbatim lines recovered by LoadJournal -- a resumed run
+  // re-emits the original bytes rather than re-serialising.
+  void SeedLines(const std::map<std::size_t, std::string>& lines);
+
+  // Serialise one finished cell and flush.  False on I/O failure.
+  bool Add(const CellResult& r, std::string* error);
+
+  // Write header + all records to `path.tmp`, fsync, rename over `path`.
+  bool Flush(std::string* error);
+
+  bool open() const { return !path_.empty(); }
+  std::size_t cell_count() const { return lines_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string header_line_;
+  std::map<std::size_t, std::string> lines_;  // index -> serialised record
+};
+
+// A loaded journal: identity header, parsed cells, and the raw lines to
+// seed a resumed writer with.
+struct JournalData {
+  CampaignFileHeader header;
+  std::map<std::size_t, CellResult> cells;
+  std::map<std::size_t, std::string> raw_lines;
+  // A final record without its trailing newline was dropped (crash mid
+  // flush); the cell it held will simply re-run.
+  bool torn_tail_dropped = false;
+};
+
+// Read and validate a journal.  Recoverable damage (torn final record) is
+// absorbed; structural damage -- unparseable header, bad version, corrupt
+// complete records, duplicate or out-of-range indices -- returns false
+// with a one-line *error (the CLI exits 2).
+bool LoadJournal(const std::string& path, JournalData* out, std::string* error);
+
+// True if `text` starts with a journal header line (used by `ilat merge`
+// to accept journals alongside shard partials).
+bool LooksLikeJournal(const std::string& text);
+
+}  // namespace campaign
+}  // namespace ilat
+
+#endif  // ILAT_SRC_CAMPAIGN_JOURNAL_H_

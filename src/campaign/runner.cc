@@ -1,25 +1,94 @@
 #include "src/campaign/runner.h"
 
-#include <atomic>
-#include <chrono>
+#include <algorithm>
 #include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <thread>
+
+#include "src/obs/jsonout.h"
 
 namespace ilat {
 namespace campaign {
 
 namespace {
 
-// A finished cell: either a summary or an error message.
+// A finished cell: a summary, an error message, or an abandoned marker.
 struct CellOutcome {
   CellResult result;
   std::string error;
   bool failed = false;
+  // Graceful shutdown cancelled this attempt mid-session; the truncated
+  // result is meaningless and must be discarded (the cell re-runs on
+  // resume).
+  bool abandoned = false;
 };
 
+// Watchdog registration for one in-flight attempt.  `cancel` is what the
+// session's slice loop polls; `timed_out` records *why* the supervisor
+// cancelled (budget overrun vs. shutdown) and is guarded by the watch
+// mutex.
+struct InFlight {
+  std::atomic<bool> cancel{false};
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+  bool timed_out = false;
+};
+
+// The deterministic stand-in for a cell whose every attempt overran the
+// wall budget: zero events, no latencies/metrics, a structured
+// cell.timeout fault note.  Deterministic given (cell, budget, attempts),
+// so aggregates differ across runs only in *which* cells quarantined.
+CellResult QuarantinedResult(const CampaignCell& cell, double budget_s, int attempts) {
+  CellResult r;
+  r.cell = cell;
+  r.attempts = attempts;
+  r.degraded = true;
+  r.timed_out = true;
+  r.fault.enabled = true;
+  r.fault.degraded = true;
+  r.fault.notes.push_back("cell.timeout: exceeded " + obs::NumToJson(budget_s) +
+                          " s wall budget");
+  return r;
+}
+
 }  // namespace
+
+void CellWallTracker::Start(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_[index] = std::chrono::steady_clock::now();
+}
+
+void CellWallTracker::Finish(std::size_t index, double wall_s, bool count_duration) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(index);
+  if (count_duration) {
+    completed_s_.push_back(wall_s);
+  }
+}
+
+std::vector<StalledCellInfo> CellWallTracker::Stalled(double factor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StalledCellInfo> out;
+  if (completed_s_.size() < 3 || inflight_.empty()) {
+    return out;
+  }
+  std::vector<double> sorted = completed_s_;
+  const std::size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(mid),
+                   sorted.end());
+  const double median = sorted[mid];
+  if (!(median > 0.0)) {
+    return out;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& [index, started] : inflight_) {
+    const double running = std::chrono::duration<double>(now - started).count();
+    if (running > factor * median) {
+      out.push_back({index, running});
+    }
+  }
+  return out;  // std::map iteration is already index-sorted
+}
 
 bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
                  CampaignAggregate* out, CampaignRunStats* stats, std::string* error) {
@@ -60,34 +129,106 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
     return true;
   }
 
+  // Resume: positions in `cells` that still need running.  Replayed cells
+  // never reach a worker -- the fold loop below copies them straight out
+  // of options.completed in index order.
+  auto is_replayed = [&](const CampaignCell& cell) {
+    return options.completed != nullptr &&
+           options.completed->find(cell.index) != options.completed->end();
+  };
+  std::vector<std::size_t> run_pos;
+  run_pos.reserve(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!is_replayed(cells[i])) {
+      run_pos.push_back(i);
+    }
+  }
+
   int jobs = options.jobs;
   if (jobs < 1) {
     jobs = 1;
   }
-  if (static_cast<std::size_t>(jobs) > cells.size()) {
-    jobs = static_cast<int>(cells.size());
+  if (!run_pos.empty() && static_cast<std::size_t>(jobs) > run_pos.size()) {
+    jobs = static_cast<int>(run_pos.size());
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
+
+  auto stop_set = [&] {
+    return options.stop != nullptr && options.stop->load(std::memory_order_relaxed);
+  };
+
+  // ---- Supervisor: watchdog timeouts + shutdown cancellation ----
+  const double budget_s = spec.timeout_cell_s;
+  const bool need_supervisor = budget_s > 0.0 || options.stop != nullptr;
+  std::mutex watch_mu;
+  std::condition_variable watch_cv;
+  std::map<std::size_t, InFlight*> inflight;  // global index -> registration
+  bool supervisor_exit = false;
+  std::thread supervisor;
+  if (need_supervisor) {
+    supervisor = std::thread([&] {
+      std::unique_lock<std::mutex> lock(watch_mu);
+      while (!supervisor_exit) {
+        // 10 ms poll: fine-grained enough that cancellation latency is
+        // dominated by the session's own slice boundary, cheap enough to
+        // be invisible next to a running cell.
+        watch_cv.wait_for(lock, std::chrono::milliseconds(10));
+        const bool stopping = stop_set();
+        const auto now = std::chrono::steady_clock::now();
+        for (auto& [index, entry] : inflight) {
+          (void)index;
+          if (stopping) {
+            entry->cancel.store(true, std::memory_order_relaxed);
+          } else if (entry->has_deadline && !entry->timed_out && now >= entry->deadline) {
+            entry->timed_out = true;
+            entry->cancel.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
 
   std::mutex mu;
   std::condition_variable ready_cv;
   std::vector<std::unique_ptr<CellOutcome>> done(cells.size());
   std::atomic<std::size_t> cursor{0};
+  int workers_active = run_pos.empty() ? 0 : jobs;  // guarded by mu
 
   // Bounded retry-with-backoff: a cell whose session finishes degraded
   // (faults broke the measurement) is re-run with fault_attempt+1 -- a
   // fresh but deterministic fault stream -- after a short host-side
   // backoff.  The sleep only spends wall time; the outcome of every
   // attempt is a pure function of {seed, plan, attempt}, so the final
-  // aggregate stays byte-identical across --jobs values.
+  // aggregate stays byte-identical across --jobs values.  A watchdog
+  // overrun consumes an attempt the same way (fresh wall budget per
+  // attempt); if the *last* attempt also overran, the cell quarantines.
   const int max_attempts = 1 + (spec.cell_retries > 0 ? spec.cell_retries : 0);
   auto run_cell = [&](const CampaignCell& cell) {
     auto outcome = std::make_unique<CellOutcome>();
     const auto cell_start = std::chrono::steady_clock::now();
+    bool last_attempt_timed_out = false;
+    int attempts_made = 0;
     for (int attempt = 0; attempt < max_attempts; ++attempt) {
       if (attempt > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5LL << (attempt - 1)));
+      }
+      if (stop_set()) {
+        outcome->abandoned = true;
+        return outcome;
+      }
+      InFlight entry;
+      if (budget_s > 0.0) {
+        // Fresh wall budget per attempt, measured from the attempt's own
+        // start (backoff sleeps don't count against it).
+        entry.has_deadline = true;
+        entry.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(budget_s));
+      }
+      if (need_supervisor) {
+        std::lock_guard<std::mutex> lock(watch_mu);
+        inflight[cell.index] = &entry;
       }
       RunSpec rs;
       rs.os = cell.os;
@@ -99,18 +240,44 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
       rs.params = cell.params;
       rs.faults = cell.faults;
       rs.fault_attempt = attempt;
+      rs.cancel = need_supervisor ? &entry.cancel : nullptr;
       SessionResult session;
-      if (!RunSpecSession(rs, &session, &outcome->error)) {
+      const bool ok = RunSpecSession(rs, &session, &outcome->error);
+      bool attempt_timed_out = false;
+      bool attempt_cancelled = false;
+      if (need_supervisor) {
+        std::lock_guard<std::mutex> lock(watch_mu);
+        inflight.erase(cell.index);
+        attempt_timed_out = entry.timed_out;
+        attempt_cancelled = entry.cancel.load(std::memory_order_relaxed);
+      }
+      attempts_made = attempt + 1;
+      if (!ok) {
         outcome->failed = true;
         outcome->error = "cell " + cell.Label() + ": " + outcome->error;
         return outcome;
       }
+      if (attempt_cancelled && !attempt_timed_out) {
+        // Shutdown cancellation: the session was cut mid-flight (or the
+        // flag raced its natural completion -- indistinguishable, and
+        // discarding is always safe: the cell simply re-runs on resume).
+        outcome->abandoned = true;
+        return outcome;
+      }
+      if (attempt_timed_out) {
+        last_attempt_timed_out = true;
+        continue;  // fresh budget + fresh fault stream, if attempts remain
+      }
+      last_attempt_timed_out = false;
       outcome->result = SummarizeCell(cell, session, spec.threshold_ms);
       outcome->result.attempts = attempt + 1;
       if (!outcome->result.degraded) {
         break;  // clean result; no retry needed
       }
       // Exhausted attempts leave the (structured) degraded result standing.
+    }
+    if (last_attempt_timed_out) {
+      outcome->result = QuarantinedResult(cell, budget_s, attempts_made);
     }
     // Cell wall time covers every attempt plus retry backoff -- the
     // number the slowest-cells telemetry and timing artifacts report.
@@ -129,14 +296,26 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
       obs::HostProfiler::Install(&local_profiler);
     }
     while (true) {
-      const std::size_t i = cursor.fetch_add(1);
-      if (i >= cells.size()) {
+      if (stop_set()) {
+        break;  // shutdown: leave unclaimed cells for --resume
+      }
+      const std::size_t k = cursor.fetch_add(1);
+      if (k >= run_pos.size()) {
         break;
       }
-      auto outcome = run_cell(cells[i]);
+      const std::size_t pos = run_pos[k];
+      const std::size_t index = cells[pos].index;
+      if (options.tracker != nullptr) {
+        options.tracker->Start(index);
+      }
+      auto outcome = run_cell(cells[pos]);
+      if (options.tracker != nullptr) {
+        options.tracker->Finish(index, outcome->result.wall_s,
+                                !outcome->failed && !outcome->abandoned);
+      }
       {
         std::lock_guard<std::mutex> lock(mu);
-        done[i] = std::move(outcome);
+        done[pos] = std::move(outcome);
       }
       ready_cv.notify_one();
     }
@@ -145,23 +324,71 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
       std::lock_guard<std::mutex> lock(prof_mu);
       options.profiler->Merge(local_profiler);
     }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      --workers_active;
+    }
+    ready_cv.notify_one();
   };
 
   std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(jobs));
-  for (int t = 0; t < jobs; ++t) {
-    pool.emplace_back(worker);
+  if (!run_pos.empty()) {
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      pool.emplace_back(worker);
+    }
   }
 
   // Streaming in-order consumption: fold cell i as soon as it (and all its
-  // predecessors) finished, freeing the outcome immediately.
+  // predecessors) finished, freeing the outcome immediately.  Replayed
+  // cells fold straight from the journal's map -- same index order, same
+  // fold sequence, hence the byte-identity of resumed aggregates.
   bool failed = false;
+  bool interrupted = false;
+  auto count_result = [&](const CellResult& r) {
+    if (stats == nullptr) {
+      return;
+    }
+    if (r.degraded) {
+      ++stats->degraded_cells;
+    }
+    if (r.attempts > 1) {
+      ++stats->retried_cells;
+    }
+    if (r.timed_out) {
+      ++stats->quarantined_cells;
+    }
+  };
   for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (is_replayed(cells[i])) {
+      CellResult replay = options.completed->at(cells[i].index);
+      if (stats != nullptr) {
+        ++stats->replayed_cells;
+      }
+      if (!failed) {
+        count_result(replay);
+        out->Add(std::move(replay));
+        if (options.on_cell) {
+          options.on_cell(out->cells().back());
+        }
+      }
+      continue;
+    }
     std::unique_ptr<CellOutcome> outcome;
     {
       std::unique_lock<std::mutex> lock(mu);
-      ready_cv.wait(lock, [&] { return done[i] != nullptr; });
+      ready_cv.wait(lock, [&] {
+        return done[i] != nullptr || (stop_set() && workers_active == 0);
+      });
+      if (done[i] == nullptr) {
+        interrupted = true;  // shutdown before any worker claimed cell i
+        break;
+      }
       outcome = std::move(done[i]);
+    }
+    if (outcome->abandoned) {
+      interrupted = true;  // shutdown cut this cell; successors won't fold
+      break;
     }
     if (outcome->failed) {
       if (!failed) {
@@ -171,14 +398,7 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
       continue;  // keep draining so workers can finish
     }
     if (!failed) {
-      if (stats != nullptr) {
-        if (outcome->result.degraded) {
-          ++stats->degraded_cells;
-        }
-        if (outcome->result.attempts > 1) {
-          ++stats->retried_cells;
-        }
-      }
+      count_result(outcome->result);
       if (options.on_result) {
         options.on_result(outcome->result);  // full payload, pre-fold
       }
@@ -192,10 +412,33 @@ bool RunCampaign(const CampaignSpec& spec, const CampaignRunOptions& options,
   for (std::thread& t : pool) {
     t.join();
   }
+  if (need_supervisor) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mu);
+      supervisor_exit = true;
+    }
+    watch_cv.notify_all();
+    supervisor.join();
+  }
+
+  if (interrupted) {
+    // Workers are gone; any real results the in-order fold never reached
+    // would be lost work.  Hand them to on_result (the journal) out of
+    // order -- the journal writer keys records by index, so the file on
+    // disk stays index-sorted and resume replays them like any others.
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (done[i] != nullptr && !done[i]->failed && !done[i]->abandoned) {
+        if (options.on_result) {
+          options.on_result(done[i]->result);
+        }
+      }
+    }
+  }
 
   if (stats != nullptr) {
     stats->cells = cells.size();
     stats->jobs = jobs;
+    stats->interrupted = interrupted;
     stats->wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   }

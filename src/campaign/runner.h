@@ -10,11 +10,23 @@
 // completions), which makes the aggregate byte-identical for any --jobs
 // value and bounds memory to the out-of-order window instead of the whole
 // sweep.
+//
+// Supervision (PR 9): the runner is preemption-tolerant.  `completed`
+// replays journaled cells instead of re-running them (resume), a
+// supervisor thread cancels attempts that overrun the per-cell wall
+// budget (`spec.timeout_cell_s`) and quarantines cells whose every
+// attempt overran, and a caller-owned `stop` flag (signal handler) makes
+// workers finish or abandon their current cell at the next simulation
+// slice boundary so the journal can flush and the process exit cleanly.
 
 #ifndef ILAT_SRC_CAMPAIGN_RUNNER_H_
 #define ILAT_SRC_CAMPAIGN_RUNNER_H_
 
+#include <atomic>
+#include <chrono>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +36,35 @@
 
 namespace ilat {
 namespace campaign {
+
+// One cell currently running far beyond its peers (see
+// CellWallTracker::Stalled).
+struct StalledCellInfo {
+  std::size_t index = 0;   // global cell index
+  double running_s = 0.0;  // host wall time this cell has been in flight
+};
+
+// Thread-safe in-flight/duration bookkeeping the --progress heartbeat
+// queries: workers report cell start/finish, the CLI asks which cells
+// have been running longer than `factor` x the median completed-cell
+// wall time.  All methods are safe to call concurrently.
+class CellWallTracker {
+ public:
+  void Start(std::size_t index);
+  // `count_duration` is false for abandoned/failed attempts, whose
+  // truncated wall times would drag the median down.
+  void Finish(std::size_t index, double wall_s, bool count_duration);
+
+  // Cells in flight longer than `factor` x the median completed-cell wall
+  // time, index-sorted.  Empty until enough cells (3) have completed for
+  // the median to mean something.
+  std::vector<StalledCellInfo> Stalled(double factor) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::size_t, std::chrono::steady_clock::time_point> inflight_;
+  std::vector<double> completed_s_;
+};
 
 struct CampaignRunOptions {
   // Worker threads running cells.  Clamped to [1, cell count].
@@ -39,13 +80,30 @@ struct CampaignRunOptions {
   std::function<void(const CellResult&)> on_cell;
   // Like on_cell, but invoked *before* the fold with the full payload
   // still attached (exact latencies, metrics snapshot) -- what a shard
-  // partial file must persist, and exactly what Add() drops.
+  // partial or journal file must persist, and exactly what Add() drops.
+  // Not invoked for replayed cells (the journal already holds them).
+  // After an interrupted run it is additionally invoked, out of order,
+  // for completed cells the in-order fold never reached, so the journal
+  // captures every finished cell before shutdown.
   std::function<void(const CellResult&)> on_result;
   // When non-null, every worker thread installs its own HostProfiler for
   // the run and merges it into this one at exit (under a runner-private
   // mutex, off the session path).  Probe time is therefore summed across
   // workers.
   obs::HostProfiler* profiler = nullptr;
+  // Resume: cells already completed by a previous run (keyed by global
+  // index).  They are folded into the aggregate in index order exactly as
+  // if they had just run -- the shard-merge trust model -- and only the
+  // missing cells execute.  Entries outside this shard are ignored.
+  const std::map<std::size_t, CellResult>* completed = nullptr;
+  // Graceful shutdown: when non-null and set (by a signal handler),
+  // workers stop claiming cells, the supervisor cancels in-flight
+  // sessions at their next slice boundary, and RunCampaign returns with
+  // stats->interrupted = true and a partially-fed aggregate.
+  const std::atomic<bool>* stop = nullptr;
+  // When non-null, workers report per-cell start/finish so the caller's
+  // progress heartbeat can flag stalled cells.
+  CellWallTracker* tracker = nullptr;
 };
 
 // Host-side bookkeeping the aggregate deliberately excludes.
@@ -55,9 +113,19 @@ struct CampaignRunStats {
   int jobs = 1;
   double wall_seconds = 0.0;
   // Cells whose final result was degraded (after retries) and cells that
-  // needed more than one attempt.
+  // needed more than one attempt.  Replayed cells count too, so a resumed
+  // run's summary covers the whole campaign.
   std::size_t degraded_cells = 0;
   std::size_t retried_cells = 0;
+  // Cells the watchdog quarantined: every attempt overran timeout_cell_s,
+  // so a deterministic skeleton result (cell.timeout fault note, zero
+  // events) stands in for the measurements.
+  std::size_t quarantined_cells = 0;
+  // Cells folded from options.completed instead of being re-run.
+  std::size_t replayed_cells = 0;
+  // The stop flag cut the run short: the aggregate is partial and the
+  // caller should point the user at --resume rather than use it.
+  bool interrupted = false;
 };
 
 // Expand `spec` and run every cell.  Returns false on a validation or

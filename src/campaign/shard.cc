@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/campaign/journal.h"
 #include "src/campaign/json.h"
 #include "src/obs/jsonout.h"
 
@@ -13,272 +14,6 @@ namespace {
 
 using obs::EscapeJson;
 using obs::NumToJson;
-
-std::string HashToHex(std::uint64_t h) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(h));
-  return buf;
-}
-
-// One cell as a single JSON line: identity, summary stats, fault report,
-// and the full payload (exact latencies + metrics snapshot) the final
-// aggregate needs to fold this cell exactly as an in-process run would.
-std::string CellToJson(const CellResult& r) {
-  std::string out = "{\"index\": " + std::to_string(r.cell.index);
-  out += ", \"os\": \"" + EscapeJson(r.cell.os) + "\"";
-  out += ", \"app\": \"" + EscapeJson(r.cell.app) + "\"";
-  out += ", \"workload\": \"" + EscapeJson(r.cell.workload) + "\"";
-  out += ", \"driver\": \"" + EscapeJson(r.cell.driver) + "\"";
-  out += ", \"seed\": " + std::to_string(r.cell.seed);
-  out += ", \"workload_seed\": " + std::to_string(r.cell.workload_seed);
-  out += ", \"seed_rep\": " + std::to_string(r.cell.seed_rep);
-  out += ", \"fault_point\": " + std::to_string(r.cell.fault_point);
-  out += ", \"fault_label\": \"" + EscapeJson(r.cell.fault_label) + "\"";
-  out += ", \"param_point\": " + std::to_string(r.cell.param_point);
-  out += ", \"param_label\": \"" + EscapeJson(r.cell.param_label) + "\"";
-  out += ", \"events\": " + std::to_string(r.events);
-  out += ", \"above\": " + std::to_string(r.above);
-  out += ", \"elapsed_s\": " + NumToJson(r.elapsed_s);
-  out += ", \"cumulative_ms\": " + NumToJson(r.cumulative_ms);
-  out += ", \"mean_ms\": " + NumToJson(r.mean_ms);
-  out += ", \"p50_ms\": " + NumToJson(r.p50_ms);
-  out += ", \"p95_ms\": " + NumToJson(r.p95_ms);
-  out += ", \"p99_ms\": " + NumToJson(r.p99_ms);
-  out += ", \"max_ms\": " + NumToJson(r.max_ms);
-  out += ", \"attempts\": " + std::to_string(r.attempts);
-  out += std::string(", \"degraded\": ") + (r.degraded ? "true" : "false");
-  // Host telemetry only: survives the merge for timing reports, but the
-  // merged aggregate's own JSON/CSV never include it.
-  out += ", \"wall_s\": " + NumToJson(r.wall_s);
-
-  const fault::FaultReport& f = r.fault;
-  out += std::string(", \"fault\": {\"enabled\": ") + (f.enabled ? "true" : "false");
-  out += std::string(", \"degraded\": ") + (f.degraded ? "true" : "false");
-  out += ", \"disk_transient\": " + std::to_string(f.disk_transient);
-  out += ", \"disk_stalls\": " + std::to_string(f.disk_stalls);
-  out += ", \"disk_stall_ms\": " + NumToJson(f.disk_stall_ms);
-  out += std::string(", \"disk_permanent\": ") + (f.disk_permanent ? "true" : "false");
-  out += ", \"disk_retries\": " + std::to_string(f.disk_retries);
-  out += ", \"io_failed\": " + std::to_string(f.io_failed);
-  out += ", \"mq_dropped\": " + std::to_string(f.mq_dropped);
-  out += ", \"mq_duplicated\": " + std::to_string(f.mq_duplicated);
-  out += ", \"mq_reordered\": " + std::to_string(f.mq_reordered);
-  out += ", \"storm_ticks\": " + std::to_string(f.storm_ticks);
-  out += ", \"clock_jitter_passes\": " + std::to_string(f.clock_jitter_passes);
-  out += ", \"input_retries\": " + std::to_string(f.input_retries);
-  out += ", \"input_abandons\": " + std::to_string(f.input_abandons);
-  out += ", \"notes\": [";
-  for (std::size_t i = 0; i < f.notes.size(); ++i) {
-    out += (i == 0 ? "\"" : ", \"") + EscapeJson(f.notes[i]) + "\"";
-  }
-  out += "]}";
-
-  out += ", \"latencies_ms\": [";
-  for (std::size_t i = 0; i < r.latencies_ms.size(); ++i) {
-    if (i > 0) {
-      out += ", ";
-    }
-    out += NumToJson(r.latencies_ms[i]);
-  }
-  out += "]";
-
-  out += ", \"metrics\": {";
-  bool first = true;
-  for (const auto& [name, value] : r.metrics.values) {
-    if (!first) {
-      out += ", ";
-    }
-    first = false;
-    out += "\"" + EscapeJson(name) + "\": " + NumToJson(value);
-  }
-  out += "}}";
-  return out;
-}
-
-// Everything a merge must agree on before touching any cell.
-struct PartialHeader {
-  std::string name;
-  std::uint64_t seed = 0;
-  double threshold_ms = 0.0;
-  std::size_t total_cells = 0;
-  std::string spec_hash;
-  std::uint64_t shard_index = 0;
-  std::uint64_t shard_count = 0;
-};
-
-bool ReadFileText(const std::string& path, std::string* out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return false;
-  }
-  out->clear();
-  char buf[65536];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    out->append(buf, n);
-  }
-  std::fclose(f);
-  return true;
-}
-
-bool ParseHeader(const std::string& path, const JsonValue& root, PartialHeader* h,
-                 std::string* error) {
-  std::uint64_t version = 0;
-  if (!root.is_object() || !root.U64At("ilat_partial", &version)) {
-    *error = path + ": not an ilat campaign partial (missing \"ilat_partial\")";
-    return false;
-  }
-  if (version != static_cast<std::uint64_t>(kPartialFormatVersion)) {
-    *error = path + ": partial format version " + std::to_string(version) +
-             ", this build reads " + std::to_string(kPartialFormatVersion);
-    return false;
-  }
-  const JsonValue* campaign = root.Find("campaign");
-  const JsonValue* shard = root.Find("shard");
-  if (campaign == nullptr || !campaign->is_object() || shard == nullptr ||
-      !shard->is_object()) {
-    *error = path + ": partial has no \"campaign\"/\"shard\" header";
-    return false;
-  }
-  h->name = campaign->StringAt("name");
-  h->spec_hash = campaign->StringAt("spec_hash");
-  h->threshold_ms = campaign->NumberAt("threshold_ms");
-  std::uint64_t cells = 0;
-  if (!campaign->U64At("seed", &h->seed) || !campaign->U64At("cells", &cells) ||
-      h->spec_hash.empty()) {
-    *error = path + ": partial campaign header is missing seed/cells/spec_hash";
-    return false;
-  }
-  h->total_cells = static_cast<std::size_t>(cells);
-  if (!shard->U64At("index", &h->shard_index) || !shard->U64At("count", &h->shard_count) ||
-      h->shard_count == 0 || h->shard_index >= h->shard_count) {
-    *error = path + ": partial has a malformed shard header";
-    return false;
-  }
-  return true;
-}
-
-bool ParseCell(const std::string& path, const JsonValue& v, CellResult* r,
-               std::string* error) {
-  std::uint64_t index = 0;
-  if (!v.is_object() || !v.U64At("index", &index)) {
-    *error = path + ": cell row is missing \"index\"";
-    return false;
-  }
-  auto cell_error = [&](const std::string& what) {
-    *error = path + ": cell " + std::to_string(index) + " " + what;
-    return false;
-  };
-  r->cell.index = static_cast<std::size_t>(index);
-  r->cell.os = v.StringAt("os");
-  r->cell.app = v.StringAt("app");
-  r->cell.workload = v.StringAt("workload");
-  r->cell.driver = v.StringAt("driver");
-  r->cell.fault_label = v.StringAt("fault_label");
-  r->cell.param_label = v.StringAt("param_label");
-  if (r->cell.os.empty() || r->cell.app.empty() || r->cell.driver.empty()) {
-    return cell_error("is missing os/app/driver");
-  }
-  std::uint64_t events = 0;
-  std::uint64_t above = 0;
-  std::uint64_t fault_point = 0;
-  if (!v.U64At("seed", &r->cell.seed) || !v.U64At("workload_seed", &r->cell.workload_seed) ||
-      !v.U64At("seed_rep", &r->cell.seed_rep) || !v.U64At("fault_point", &fault_point) ||
-      !v.U64At("events", &events) || !v.U64At("above", &above)) {
-    return cell_error("has malformed integer fields");
-  }
-  r->cell.fault_point = static_cast<std::size_t>(fault_point);
-  // Tolerant read: partials written before param sweeps existed merge
-  // with param_point = 0 and an empty label.
-  std::uint64_t param_point = 0;
-  v.U64At("param_point", &param_point);
-  r->cell.param_point = static_cast<std::size_t>(param_point);
-  r->events = static_cast<std::size_t>(events);
-  r->above = static_cast<std::size_t>(above);
-  // Tolerant read: partials written before wall-time telemetry existed
-  // simply merge with wall_s = 0.
-  r->wall_s = v.NumberAt("wall_s");
-  r->elapsed_s = v.NumberAt("elapsed_s");
-  r->cumulative_ms = v.NumberAt("cumulative_ms");
-  r->mean_ms = v.NumberAt("mean_ms");
-  r->p50_ms = v.NumberAt("p50_ms");
-  r->p95_ms = v.NumberAt("p95_ms");
-  r->p99_ms = v.NumberAt("p99_ms");
-  r->max_ms = v.NumberAt("max_ms");
-  r->attempts = static_cast<int>(v.NumberAt("attempts", 1.0));
-
-  const JsonValue* degraded = v.Find("degraded");
-  r->degraded = degraded != nullptr && degraded->kind == JsonValue::Kind::kBool &&
-                degraded->boolean;
-
-  const JsonValue* f = v.Find("fault");
-  if (f == nullptr || !f->is_object()) {
-    return cell_error("is missing its fault report");
-  }
-  auto fault_bool = [&](const char* key) {
-    const JsonValue* b = f->Find(key);
-    return b != nullptr && b->kind == JsonValue::Kind::kBool && b->boolean;
-  };
-  auto fault_u64 = [&](const char* key, std::uint64_t* out) {
-    return f->U64At(key, out);
-  };
-  r->fault.enabled = fault_bool("enabled");
-  r->fault.degraded = fault_bool("degraded");
-  r->fault.disk_permanent = fault_bool("disk_permanent");
-  r->fault.disk_stall_ms = f->NumberAt("disk_stall_ms");
-  if (!fault_u64("disk_transient", &r->fault.disk_transient) ||
-      !fault_u64("disk_stalls", &r->fault.disk_stalls) ||
-      !fault_u64("disk_retries", &r->fault.disk_retries) ||
-      !fault_u64("io_failed", &r->fault.io_failed) ||
-      !fault_u64("mq_dropped", &r->fault.mq_dropped) ||
-      !fault_u64("mq_duplicated", &r->fault.mq_duplicated) ||
-      !fault_u64("mq_reordered", &r->fault.mq_reordered) ||
-      !fault_u64("storm_ticks", &r->fault.storm_ticks) ||
-      !fault_u64("clock_jitter_passes", &r->fault.clock_jitter_passes) ||
-      !fault_u64("input_retries", &r->fault.input_retries) ||
-      !fault_u64("input_abandons", &r->fault.input_abandons)) {
-    return cell_error("has a malformed fault report");
-  }
-  const JsonValue* notes = f->Find("notes");
-  if (notes != nullptr && notes->is_array()) {
-    for (const JsonValue& note : notes->items) {
-      if (note.is_string()) {
-        r->fault.notes.push_back(note.str);
-      }
-    }
-  }
-
-  const JsonValue* latencies = v.Find("latencies_ms");
-  if (latencies == nullptr || !latencies->is_array()) {
-    return cell_error("is missing its latency payload");
-  }
-  r->latencies_ms.reserve(latencies->items.size());
-  for (const JsonValue& lat : latencies->items) {
-    if (!lat.is_number()) {
-      return cell_error("has a non-numeric latency");
-    }
-    r->latencies_ms.push_back(lat.number);
-  }
-  if (r->latencies_ms.size() != r->events) {
-    return cell_error("carries " + std::to_string(r->latencies_ms.size()) +
-                      " latencies for " + std::to_string(r->events) + " events");
-  }
-
-  const JsonValue* metrics = v.Find("metrics");
-  if (metrics == nullptr || !metrics->is_object()) {
-    return cell_error("is missing its metrics snapshot");
-  }
-  // std::map iteration is name-sorted -- the same order the registry's
-  // Snapshot() emits, so the accumulator folds entries identically.
-  r->metrics.values.reserve(metrics->members.size());
-  for (const auto& [name, value] : metrics->members) {
-    if (!value.is_number()) {
-      return cell_error("has a non-numeric metric '" + name + "'");
-    }
-    r->metrics.values.emplace_back(name, value.number);
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -302,7 +37,7 @@ bool PartialWriter::Open(const std::string& path, const CampaignSpec& spec,
   header += ", \"seed\": " + std::to_string(spec.campaign_seed);
   header += ", \"threshold_ms\": " + NumToJson(spec.threshold_ms);
   header += ", \"cells\": " + std::to_string(total_cells);
-  header += ", \"spec_hash\": \"" + HashToHex(spec.SpecHash()) + "\"}";
+  header += ", \"spec_hash\": \"" + SpecHashHex(spec) + "\"}";
   header += ",\n\"shard\": {\"index\": " + std::to_string(shard_index) +
             ", \"count\": " + std::to_string(shard_count) + "}";
   header += ",\n\"cells\": [";
@@ -318,7 +53,7 @@ void PartialWriter::Add(const CellResult& r) {
   }
   std::string row = first_cell_ ? "\n" : ",\n";
   first_cell_ = false;
-  row += CellToJson(r);
+  row += CellToJsonLine(r);
   if (std::fputs(row.c_str(), f_) < 0) {
     write_failed_ = true;
   }
@@ -350,7 +85,7 @@ bool MergePartials(const std::vector<std::string>& paths,
     return false;
   }
 
-  PartialHeader ref;
+  CampaignFileHeader ref;
   std::string ref_path;
   std::vector<std::unique_ptr<CellResult>> slots;
   // Which file contributed each cell / each (index, count) shard id, for
@@ -358,21 +93,28 @@ bool MergePartials(const std::vector<std::string>& paths,
   std::vector<const std::string*> slot_sources;
   std::vector<std::pair<std::uint64_t, std::uint64_t>> seen_shards;
 
-  for (const std::string& path : paths) {
-    std::string text;
-    if (!ReadFileText(path, &text)) {
-      *error = "cannot read partial '" + path + "'";
+  // Place one parsed cell into its campaign-global slot.
+  auto place_cell = [&](const std::string& path, std::unique_ptr<CellResult> r) {
+    const std::size_t index = r->cell.index;
+    if (index >= slots.size()) {
+      *error = path + ": cell " + std::to_string(index) + " is out of range (campaign has " +
+               std::to_string(slots.size()) + " cells)";
       return false;
     }
-    JsonValue root;
-    if (!ParseJson(text, &root, error)) {
-      *error = path + ": " + *error;
+    if (slots[index] != nullptr) {
+      *error = "overlapping shards: cell " + std::to_string(index) + " appears in both " +
+               *slot_sources[index] + " and " + path;
       return false;
     }
-    PartialHeader h;
-    if (!ParseHeader(path, root, &h, error)) {
-      return false;
-    }
+    slots[index] = std::move(r);
+    slot_sources[index] = &path;
+    return true;
+  };
+
+  // Every input -- partial or journal -- must agree on the campaign
+  // identity and carry a shard id no earlier input already claimed.
+  auto check_header = [&](const std::string& path, const CampaignFileHeader& h,
+                          const char* what) {
     if (ref_path.empty()) {
       ref = h;
       ref_path = path;
@@ -381,7 +123,7 @@ bool MergePartials(const std::vector<std::string>& paths,
     } else {
       if (h.spec_hash != ref.spec_hash) {
         *error = path + ": spec hash " + h.spec_hash + " does not match " + ref.spec_hash +
-                 " from " + ref_path + " (partials come from different campaigns)";
+                 " from " + ref_path + " (" + what + "s come from different campaigns)";
         return false;
       }
       if (h.name != ref.name || h.seed != ref.seed ||
@@ -393,11 +135,58 @@ bool MergePartials(const std::vector<std::string>& paths,
     for (const auto& [index, count] : seen_shards) {
       if (index == h.shard_index && count == h.shard_count) {
         *error = "duplicate shard " + std::to_string(h.shard_index) + "/" +
-                 std::to_string(h.shard_count) + ": " + path + " repeats an earlier partial";
+                 std::to_string(h.shard_count) + ": " + path + " repeats an earlier " + what;
         return false;
       }
     }
     seen_shards.emplace_back(h.shard_index, h.shard_count);
+    return true;
+  };
+
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!ReadFileText(path, &text)) {
+      *error = "cannot read partial '" + path + "'";
+      return false;
+    }
+
+    if (LooksLikeJournal(text)) {
+      // A crash-recovery journal (see src/campaign/journal.h) merges like
+      // a partial: same per-cell schema, same identity header.  A torn
+      // final record loads as "that cell is absent", which the coverage
+      // check below then reports -- merge never fabricates cells.
+      JournalData jd;
+      if (!LoadJournal(path, &jd, error)) {
+        return false;
+      }
+      if (!check_header(path, jd.header, "journal")) {
+        return false;
+      }
+      for (auto& [index, cell] : jd.cells) {
+        (void)index;
+        if (!place_cell(path, std::make_unique<CellResult>(std::move(cell)))) {
+          return false;
+        }
+      }
+      if (stats != nullptr) {
+        ++stats->partials;
+      }
+      continue;
+    }
+
+    JsonValue root;
+    if (!ParseJson(text, &root, error)) {
+      *error = path + ": " + *error;
+      return false;
+    }
+    CampaignFileHeader h;
+    if (!ParseCampaignFileHeader(path, root, "ilat_partial", kPartialFormatVersion,
+                                 "partial", &h, error)) {
+      return false;
+    }
+    if (!check_header(path, h, "partial")) {
+      return false;
+    }
 
     const JsonValue* cells = root.Find("cells");
     if (cells == nullptr || !cells->is_array()) {
@@ -406,22 +195,12 @@ bool MergePartials(const std::vector<std::string>& paths,
     }
     for (const JsonValue& row : cells->items) {
       auto r = std::make_unique<CellResult>();
-      if (!ParseCell(path, row, r.get(), error)) {
+      if (!ParseCellJson(path, row, r.get(), error)) {
         return false;
       }
-      const std::size_t index = r->cell.index;
-      if (index >= slots.size()) {
-        *error = path + ": cell " + std::to_string(index) + " is out of range (campaign has " +
-                 std::to_string(slots.size()) + " cells)";
+      if (!place_cell(path, std::move(r))) {
         return false;
       }
-      if (slots[index] != nullptr) {
-        *error = "overlapping shards: cell " + std::to_string(index) + " appears in both " +
-                 *slot_sources[index] + " and " + path;
-        return false;
-      }
-      slots[index] = std::move(r);
-      slot_sources[index] = &path;
     }
     if (stats != nullptr) {
       ++stats->partials;

@@ -314,6 +314,7 @@ std::string CampaignSpec::CanonicalString() const {
   field("threshold_ms", obs::NumToJson(threshold_ms));
   field("packets", std::to_string(params.packets));
   field("frames", std::to_string(params.frames));
+  field("params.typist_wpm", obs::NumToJson(params.typist_wpm));
   field("params.users", std::to_string(params.server.users));
   field("params.pool_size", std::to_string(params.server.pool_size));
   field("params.queue_depth", std::to_string(params.server.queue_depth));
@@ -326,6 +327,7 @@ std::string CampaignSpec::CanonicalString() const {
   field("params.lock_hold_ms", obs::NumToJson(params.server.lock_hold_ms));
   field("params.invalidate_rate", obs::NumToJson(params.server.invalidate_rate));
   field("retries", std::to_string(cell_retries));
+  field("timeout_cell_s", obs::NumToJson(timeout_cell_s));
   field("fault.disk.fail_rate", obs::NumToJson(faults.disk.fail_rate));
   field("fault.disk.fail_after", std::to_string(faults.disk.fail_after));
   field("fault.disk.stall_rate", obs::NumToJson(faults.disk.stall_rate));
@@ -436,6 +438,12 @@ bool ParseCampaignSpec(const std::string& text, CampaignSpec* out, std::string* 
         return bad_number();
       }
       spec.cell_retries = static_cast<int>(v);
+    } else if (key == "timeout_cell_s") {
+      double v = 0.0;
+      if (!ParsePositiveDouble(value, &v) || v > 1e6) {
+        return bad_number();
+      }
+      spec.timeout_cell_s = v;
     } else if (key.rfind("sweep.fault.", 0) == 0) {
       FaultSweepDimension dim;
       dim.key = key.substr(12);

@@ -140,6 +140,14 @@ struct CampaignSpec {
   // uses fault_attempt+1 (a fresh deterministic fault stream) after a
   // small host-side backoff.  The last attempt's result stands either way.
   int cell_retries = 0;
+  // Per-cell wall-clock budget in host seconds (`timeout_cell_s` spec key,
+  // overridable with --cell-timeout); 0 = no watchdog.  An attempt that
+  // overruns is cancelled at its next simulation slice boundary and, once
+  // retries are exhausted, the cell is quarantined: its measurements are
+  // discarded and a structured cell.timeout fault report stands in.
+  // Result-affecting (quarantined cells fold differently), so it is part
+  // of the canonical string / spec hash.
+  double timeout_cell_s = 0.0;
 
   // Check every name against the catalog and the cross-product for
   // emptiness.  Returns false and sets *error on the first problem.

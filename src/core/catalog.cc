@@ -1,6 +1,7 @@
 #include "src/core/catalog.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "src/apps/commands.h"
 #include "src/apps/desktop.h"
@@ -104,7 +105,8 @@ std::string DefaultWorkloadFor(const std::string& app) {
 }
 
 bool KnownWorkloadParamKey(const std::string& key) {
-  return key == "packets" || key == "frames" || server::KnownServerParamKey(key);
+  return key == "packets" || key == "frames" || key == "typist_wpm" ||
+         server::KnownServerParamKey(key);
 }
 
 bool SetWorkloadParamKey(const std::string& key, const std::string& value,
@@ -130,6 +132,17 @@ bool SetWorkloadParamKey(const std::string& key, const std::string& value,
     (key == "packets" ? params->packets : params->frames) = static_cast<int>(v);
     return true;
   }
+  if (key == "typist_wpm") {
+    char* end = nullptr;
+    const double v = value.empty() ? 0.0 : std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() || !(v >= 1.0) ||
+        !(v <= 1200.0)) {
+      *error = "bad value '" + value + "' for param '" + key + "' (wpm 1..1200)";
+      return false;
+    }
+    params->typist_wpm = v;
+    return true;
+  }
   // Everything else is a server-scenario knob.
   if (!server::KnownServerParamKey(key)) {
     *error = "unknown param '" + key + "'";
@@ -153,10 +166,10 @@ bool ParseDriverName(const std::string& name, DriverKind* out) {
 
 Script MakeWorkloadByName(const std::string& name, Random* rng, const WorkloadParams& params) {
   if (name == "notepad") {
-    return NotepadWorkload(rng);
+    return NotepadWorkload(rng, params.typist_wpm);
   }
   if (name == "word") {
-    return WordWorkload(rng);
+    return WordWorkload(rng, params.typist_wpm);
   }
   if (name == "powerpoint") {
     return PowerpointWorkload(rng);
@@ -290,6 +303,7 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
     sopts.collect_trace = spec.collect_trace;
     sopts.faults = spec.faults;
     sopts.fault_attempt = spec.fault_attempt;
+    sopts.cancel = spec.cancel;
     server::ServerScenario scenario(*os, spec.params.server, sopts);
     setup.Stop();
     *out = AdaptServerResult(scenario.Run());
@@ -303,6 +317,7 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
   sopts.collect_trace = spec.collect_trace;
   sopts.faults = spec.faults;
   sopts.fault_attempt = spec.fault_attempt;
+  sopts.cancel = spec.cancel;
   if (workload == "media") {
     sopts.drain_after = SecondsToCycles(12.0);  // playback outlives the script
   }

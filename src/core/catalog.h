@@ -45,6 +45,10 @@ bool ParseDriverName(const std::string& name, DriverKind* out);
 struct WorkloadParams {
   int packets = 200;  // network
   int frames = 300;   // media
+  // Typing pace for the typist-backed workloads (notepad/word), in words
+  // per minute; 0 keeps each workload's calibrated default (notepad 100,
+  // word 80).  Sweepable via `sweep.params.typist_wpm`.
+  double typist_wpm = 0.0;
   // Multi-user server scenario knobs (app = "server").
   server::ServerParams server;
 };
@@ -81,6 +85,9 @@ struct RunSpec {
   fault::FaultPlan faults;
   // Fault-stream attempt index (campaign retry-with-backoff bumps this).
   int fault_attempt = 0;
+  // Cooperative cancellation, forwarded to the session/scenario run loop
+  // (campaign watchdog + graceful shutdown); null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Build the session, run it, and return the result.  On bad names returns

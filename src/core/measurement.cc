@@ -181,10 +181,20 @@ SessionResult MeasurementSession::RunWithDriver(InputDriver* driver) {
   setup.Stop();
   driver->Start();
   const Cycles deadline = system_->sim().now() + opts_.max_run;
+  bool cancelled = false;
   while (!driver->done() && system_->sim().now() < deadline) {
+    // Watchdog / shutdown cancellation is only sampled here, between
+    // 100-sim-ms slices, so a cancelled run still stops at a
+    // deterministic simulated instant for a given host-side decision.
+    if (opts_.cancel != nullptr && opts_.cancel->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      break;
+    }
     system_->sim().RunFor(MillisecondsToCycles(100));
   }
-  system_->sim().RunFor(opts_.drain_after);
+  if (!cancelled) {
+    system_->sim().RunFor(opts_.drain_after);
+  }
 
   return Finalize(driver);
 }

@@ -19,6 +19,7 @@
 #define ILAT_SRC_CORE_MEASUREMENT_H_
 
 #include <array>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -71,6 +72,11 @@ struct SessionOptions {
   // How the human driver reacts to input dropped by a fault (re-issue
   // with backoff, bounded, then abandon).  Only used for DriverKind::kHuman.
   HumanRetryPolicy human_retry;
+  // Cooperative cancellation (campaign watchdog / graceful shutdown):
+  // when non-null and set, the run loop stops at its next 100-sim-ms
+  // slice boundary and skips the drain.  The caller discards the result
+  // -- a cancelled session's outputs are not meaningful measurements.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct SessionResult {

@@ -43,9 +43,9 @@ std::string GenerateProse(Random* rng, int approx_chars, int newline_every_sente
   return out;
 }
 
-Script NotepadWorkload(Random* rng) {
+Script NotepadWorkload(Random* rng, double wpm_override) {
   TypistParams tp;
-  tp.words_per_minute = 100.0;
+  tp.words_per_minute = wpm_override > 0.0 ? wpm_override : 100.0;
   tp.sentence_pause_mean_ms = 900.0;
   Typist typist(tp, rng);
 
@@ -110,9 +110,9 @@ Script PowerpointWorkload(Random* rng) {
   return s;
 }
 
-Script WordWorkload(Random* rng) {
+Script WordWorkload(Random* rng, double wpm_override) {
   TypistParams tp;
-  tp.words_per_minute = 80.0;  // composing, not transcribing
+  tp.words_per_minute = wpm_override > 0.0 ? wpm_override : 80.0;  // composing default
   tp.key_jitter_fraction = 0.35;
   tp.sentence_pause_mean_ms = 5'000.0;
   tp.typo_probability = 0.015;

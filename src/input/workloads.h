@@ -20,8 +20,9 @@ namespace ilat {
 std::string GenerateProse(Random* rng, int approx_chars, int newline_every_sentences = 0);
 
 // §5.1: editing session on a 56 KB text file -- 1300 characters typed at
-// ~100 wpm, plus cursor and page movement.
-Script NotepadWorkload(Random* rng);
+// ~100 wpm, plus cursor and page movement.  `wpm_override` > 0 replaces
+// the calibrated pace (campaign `params.typist_wpm` sweeps).
+Script NotepadWorkload(Random* rng, double wpm_override = 0.0);
 
 // §5.2: start PowerPoint cold, open a 46-page/530 KB presentation, page
 // through it, and find and modify three embedded OLE Excel graph objects,
@@ -29,8 +30,9 @@ Script NotepadWorkload(Random* rng);
 Script PowerpointWorkload(Random* rng);
 
 // §5.4: ~1000-character paragraph in Word with arrow-key movement and
-// backspace corrections, at realistic varied pacing.
-Script WordWorkload(Random* rng);
+// backspace corrections, at realistic varied pacing.  `wpm_override` > 0
+// replaces the calibrated ~80 wpm pace (campaign `params.typist_wpm`).
+Script WordWorkload(Random* rng, double wpm_override = 0.0);
 
 // Fig. 4: one maximize gesture.
 Script MaximizeWorkload();

@@ -171,11 +171,20 @@ ScenarioResult ServerScenario::Run() {
     u->Start();
   }
   const Cycles step = MillisecondsToCycles(100.0);
+  bool cancelled = false;
   while (!AllUsersDone() && sim().now() < opts_.max_run) {
+    // Watchdog / shutdown cancellation, sampled only at slice boundaries
+    // (see SessionOptions::cancel for the contract).
+    if (opts_.cancel != nullptr && opts_.cancel->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      break;
+    }
     sim().RunFor(step);
   }
-  // Short drain so in-flight stale work and trace spans settle.
-  sim().RunFor(MillisecondsToCycles(200.0));
+  if (!cancelled) {
+    // Short drain so in-flight stale work and trace spans settle.
+    sim().RunFor(MillisecondsToCycles(200.0));
+  }
 
   ScenarioResult result;
   result.records = std::move(records_);

@@ -16,6 +16,7 @@
 #ifndef ILAT_SRC_SERVER_SCENARIO_H_
 #define ILAT_SRC_SERVER_SCENARIO_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -46,6 +47,10 @@ struct ScenarioOptions {
   int fault_attempt = 0;
   // Safety cap on simulated time.
   Cycles max_run = SecondsToCycles(3'600.0);
+  // Cooperative cancellation (campaign watchdog / graceful shutdown):
+  // when non-null and set, Run stops at its next 100-sim-ms slice
+  // boundary and skips the drain.  The caller discards the result.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Scenario-level occurrence counts (also mirrored into MetricsRegistry

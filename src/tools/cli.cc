@@ -1,9 +1,11 @@
 #include "src/tools/cli.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -14,6 +16,7 @@
 #include "src/analysis/histogram.h"
 #include "src/analysis/irritation.h"
 #include "src/campaign/gate.h"
+#include "src/campaign/journal.h"
 #include "src/campaign/runner.h"
 #include "src/campaign/shard.h"
 #include "src/core/catalog.h"
@@ -474,6 +477,18 @@ int FinishAggregate(const CliOptions& options, const campaign::CampaignAggregate
   return 0;
 }
 
+// Graceful shutdown: SIGINT/SIGTERM flip the stop flag the campaign
+// runner polls.  File-static so the (async-signal-safe, lock-free) handler
+// can reach it; RunCampaignCli resets the state on entry, so in-process
+// callers (cli_test) can run campaigns back to back.
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_stop_signal{0};
+
+void HandleStopSignal(int signo) {
+  g_stop_signal.store(signo, std::memory_order_relaxed);
+  g_stop.store(true, std::memory_order_release);
+}
+
 int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults,
                    std::FILE* out) {
   std::string error;
@@ -485,6 +500,11 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
   if (cli_faults != nullptr) {
     spec.faults = *cli_faults;  // --faults= overrides any spec-embedded plan
   }
+  if (options.cell_timeout_s > 0.0) {
+    // Like --faults: the flag overrides the spec key *before* the spec
+    // hash is taken, so a journal records the budget the cells ran under.
+    spec.timeout_cell_s = options.cell_timeout_s;
+  }
 
   campaign::GateOptions gate_options;
   if (!BuildGateOptions(options, &gate_options, out)) {
@@ -492,6 +512,43 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
   }
 
   const std::size_t total = spec.ExpandCells().size();
+
+  // Resume: load and validate the journal before anything runs.  All the
+  // identity checks are against the spec *after* command-line overrides,
+  // so resuming under different --faults or --cell-timeout is caught.
+  campaign::JournalData journal_data;
+  bool resuming = false;
+  if (!options.resume_path.empty()) {
+    if (!campaign::LoadJournal(options.resume_path, &journal_data, &error)) {
+      std::fprintf(out, "%s\n", error.c_str());
+      return 2;
+    }
+    const campaign::CampaignFileHeader& h = journal_data.header;
+    const std::string spec_hash = campaign::SpecHashHex(spec);
+    if (h.spec_hash != spec_hash) {
+      std::fprintf(out,
+                   "%s: journal was written by a different spec (journal hash %s, this "
+                   "spec %s; check --faults/--cell-timeout overrides too)\n",
+                   options.resume_path.c_str(), h.spec_hash.c_str(), spec_hash.c_str());
+      return 2;
+    }
+    if (h.name != spec.name || h.seed != spec.campaign_seed ||
+        h.threshold_ms != spec.threshold_ms || h.total_cells != total) {
+      std::fprintf(out, "%s: journal campaign identity does not match spec '%s'\n",
+                   options.resume_path.c_str(), spec.name.c_str());
+      return 2;
+    }
+    if (h.shard_index != static_cast<std::uint64_t>(options.shard_index) ||
+        h.shard_count != static_cast<std::uint64_t>(options.shard_count)) {
+      std::fprintf(out, "%s: journal is for shard %llu/%llu, this run is shard %d/%d\n",
+                   options.resume_path.c_str(),
+                   static_cast<unsigned long long>(h.shard_index),
+                   static_cast<unsigned long long>(h.shard_count), options.shard_index,
+                   options.shard_count);
+      return 2;
+    }
+    resuming = true;
+  }
   if (options.shard_count > 1) {
     std::fprintf(out, "campaign '%s': shard %d/%d of %zu cells, %d job(s), threshold %.3g ms\n",
                  spec.name.c_str(), options.shard_index, options.shard_count, total,
@@ -511,10 +568,23 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
     }
   }
 
+  if (resuming) {
+    std::fprintf(out, "resume: replaying %zu completed cell(s) from %s%s\n",
+                 journal_data.cells.size(), options.resume_path.c_str(),
+                 journal_data.torn_tail_dropped
+                     ? " (dropped a torn final record; that cell re-runs)"
+                     : "");
+  }
+
   campaign::CampaignRunOptions run_options;
   run_options.jobs = options.jobs;
   run_options.shard_index = options.shard_index;
   run_options.shard_count = options.shard_count;
+  if (resuming) {
+    run_options.completed = &journal_data.cells;
+  }
+  campaign::CellWallTracker tracker;
+  run_options.tracker = &tracker;
   obs::HostProfiler profiler;
   if (options.profile) {
     run_options.profiler = &profiler;
@@ -543,12 +613,22 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
       const double rate = elapsed > 0.0 ? static_cast<double>(cells_done) / elapsed : 0.0;
       const double eta =
           rate > 0.0 ? static_cast<double>(my_cells - cells_done) / rate : 0.0;
+      // Cells running far beyond the median get a suffix; the line is
+      // otherwise byte-identical to a run without stragglers, so scripts
+      // parsing the prefix keep working.
+      std::string stalled;
+      for (const campaign::StalledCellInfo& s : tracker.Stalled(3.0)) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%s #%zu(%.1fs)",
+                      stalled.empty() ? " | stalled" : ",", s.index, s.running_s);
+        stalled += buf;
+      }
       std::fprintf(stderr,
                    "progress: %zu/%zu cells (%.0f%%) | %.2f cells/s | eta %.1f s | "
-                   "degraded %zu\n",
+                   "degraded %zu%s\n",
                    cells_done, my_cells,
                    100.0 * static_cast<double>(cells_done) / static_cast<double>(my_cells),
-                   rate, eta, cells_degraded);
+                   rate, eta, cells_degraded, stalled.c_str());
     }
   };
 
@@ -559,14 +639,75 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
       std::fprintf(out, "%s\n", error.c_str());
       return 1;
     }
-    run_options.on_result = [&](const campaign::CellResult& r) { partial.Add(r); };
   }
+
+  campaign::JournalWriter journal;
+  bool journal_failed = false;
+  std::string journal_error;
+  if (!options.journal_path.empty()) {
+    journal.Open(options.journal_path, spec, total, options.shard_index,
+                 options.shard_count);
+    if (resuming) {
+      journal.SeedLines(journal_data.raw_lines);
+    }
+    // Flush the header now so an unwritable path fails before any cell runs.
+    if (!journal.Flush(&error)) {
+      std::fprintf(out, "%s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (!options.campaign_partial.empty() || journal.open()) {
+    run_options.on_result = [&](const campaign::CellResult& r) {
+      if (!options.campaign_partial.empty()) {
+        partial.Add(r);
+      }
+      if (journal.open() && !journal_failed && !journal.Add(r, &journal_error)) {
+        journal_failed = true;  // reported once, after the run
+      }
+    };
+  }
+
+  // Route SIGINT/SIGTERM to the stop flag for the duration of the run.
+  g_stop.store(false, std::memory_order_relaxed);
+  g_stop_signal.store(0, std::memory_order_relaxed);
+  run_options.stop = &g_stop;
+  using SignalHandler = void (*)(int);
+  const SignalHandler prev_int = std::signal(SIGINT, HandleStopSignal);
+  const SignalHandler prev_term = std::signal(SIGTERM, HandleStopSignal);
 
   campaign::CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
   campaign::CampaignRunStats stats;
-  if (!campaign::RunCampaign(spec, run_options, &aggregate, &stats, &error)) {
+  const bool run_ok = campaign::RunCampaign(spec, run_options, &aggregate, &stats, &error);
+
+  std::signal(SIGINT, prev_int == SIG_ERR ? SIG_DFL : prev_int);
+  std::signal(SIGTERM, prev_term == SIG_ERR ? SIG_DFL : prev_term);
+
+  if (!run_ok) {
     std::fprintf(out, "campaign failed: %s\n", error.c_str());
     return 1;
+  }
+  if (journal_failed) {
+    std::fprintf(out, "%s\n", journal_error.c_str());
+    return 1;
+  }
+  if (stats.interrupted) {
+    // The in-order fold stopped early: the aggregate is partial, but every
+    // finished cell is in the journal.  Point the user at --resume and
+    // exit with the conventional 128+signo code.
+    const int raw_signal = g_stop_signal.load(std::memory_order_relaxed);
+    const int signo = raw_signal != 0 ? raw_signal : SIGINT;
+    if (journal.open()) {
+      std::fprintf(out,
+                   "interrupted: %zu cell(s) journaled; resume with: ilat --campaign=%s "
+                   "--resume=%s\n",
+                   journal.cell_count(), options.campaign_path.c_str(),
+                   journal.path().c_str());
+    } else {
+      std::fprintf(out,
+                   "interrupted: completed cells were not journaled (run with "
+                   "--journal=FILE to make campaigns resumable)\n");
+    }
+    return 128 + signo;
   }
   if (!options.campaign_partial.empty()) {
     if (!partial.Finish(&error)) {
@@ -582,6 +723,16 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
   if (spec.faults.Any() || !spec.fault_sweeps.empty()) {
     std::fprintf(out, "fault injection: %zu degraded cell(s), %zu retried cell(s)\n",
                  stats.degraded_cells, stats.retried_cells);
+  }
+  if (journal.open()) {
+    std::fprintf(out, "journal: %zu cell(s) in %s\n", journal.cell_count(),
+                 journal.path().c_str());
+  }
+  if (stats.quarantined_cells > 0) {
+    std::fprintf(out,
+                 "watchdog: quarantined %zu cell(s) that exceeded the %.3g s wall "
+                 "budget (tolerating %d)\n",
+                 stats.quarantined_cells, spec.timeout_cell_s, options.max_quarantined);
   }
   if (options.profile) {
     std::fputs(profiler.RenderTable(stats.wall_seconds, simulated_ms, stats.jobs).c_str(),
@@ -601,6 +752,9 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
   // verdict would be misleading, so sharded runs stop at the partial
   // (ParseCliArgs already rejects --campaign-out/--campaign-baseline).
   if (options.shard_count > 1) {
+    if (stats.quarantined_cells > static_cast<std::size_t>(options.max_quarantined)) {
+      return 1;
+    }
     if (options.fail_degraded && stats.degraded_cells > 0) {
       return 1;
     }
@@ -610,6 +764,9 @@ int RunCampaignCli(const CliOptions& options, const fault::FaultPlan* cli_faults
   const int rc = FinishAggregate(options, aggregate, gate_options, out);
   if (rc != 0) {
     return rc;
+  }
+  if (stats.quarantined_cells > static_cast<std::size_t>(options.max_quarantined)) {
+    return 1;
   }
   if (options.fail_degraded && stats.degraded_cells > 0) {
     return 1;
@@ -738,6 +895,28 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
         *error = "--campaign-partial needs an output file path";
         return false;
       }
+    } else if (StartsWith(arg, "--journal=")) {
+      out->journal_path = arg.substr(10);
+      if (out->journal_path.empty()) {
+        *error = "--journal needs an output file path";
+        return false;
+      }
+    } else if (StartsWith(arg, "--resume=")) {
+      out->resume_path = arg.substr(9);
+      if (out->resume_path.empty()) {
+        *error = "--resume needs a journal file path";
+        return false;
+      }
+    } else if (StartsWith(arg, "--cell-timeout=")) {
+      if (!ParseFlagDouble("--cell-timeout", arg.substr(15), 0.001, 1e6,
+                           &out->cell_timeout_s, error)) {
+        return false;
+      }
+    } else if (StartsWith(arg, "--max-quarantined=")) {
+      if (!ParseFlagInt("--max-quarantined", arg.substr(18), 0, 1'000'000,
+                        &out->max_quarantined, error)) {
+        return false;
+      }
     } else if (StartsWith(arg, "--shard=")) {
       if (!ParseFlagShard(arg.substr(8), &out->shard_index, &out->shard_count, error)) {
         return false;
@@ -797,14 +976,43 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
       *error = "merge takes partial files, not --campaign/--shard/--campaign-partial";
       return false;
     }
+    if (!out->journal_path.empty() || !out->resume_path.empty() ||
+        out->cell_timeout_s > 0.0 || out->max_quarantined != 0) {
+      *error =
+          "merge takes finished journals/partials as inputs, not "
+          "--journal/--resume/--cell-timeout/--max-quarantined";
+      return false;
+    }
+  }
+  if (out->campaign_path.empty() &&
+      (!out->journal_path.empty() || !out->resume_path.empty() ||
+       out->cell_timeout_s > 0.0 || out->max_quarantined != 0)) {
+    *error = "--journal/--resume/--cell-timeout/--max-quarantined need --campaign=SPEC";
+    return false;
+  }
+  if (!out->resume_path.empty()) {
+    if (!out->campaign_partial.empty()) {
+      *error =
+          "--resume continues a journal; pair it with --journal, not --campaign-partial "
+          "(`ilat merge` accepts journals directly)";
+      return false;
+    }
+    if (out->journal_path.empty()) {
+      out->journal_path = out->resume_path;  // keep appending to the same journal
+    } else if (out->journal_path != out->resume_path) {
+      *error = "--journal and --resume must name the same file (resume appends to it)";
+      return false;
+    }
   }
   if (shard_set) {
     if (out->campaign_path.empty()) {
       *error = "--shard only makes sense with --campaign=SPEC";
       return false;
     }
-    if (out->campaign_partial.empty()) {
-      *error = "--shard needs --campaign-partial=OUT (merge the partials with `ilat merge`)";
+    if (out->campaign_partial.empty() && out->journal_path.empty()) {
+      *error =
+          "--shard needs --campaign-partial=OUT or --journal=OUT (recombine with "
+          "`ilat merge`)";
       return false;
     }
     if (out->shard_count > 1 &&
@@ -872,10 +1080,27 @@ std::string CliUsage() {
       "                              still derive from global indices, so any\n"
       "                              partition replays identical sessions\n"
       "  --campaign-partial=OUT      write this shard's cells to a partial file\n"
-      "                              (required with --shard)\n"
-      "  ilat merge PARTIAL...       recombine partials into the aggregate the\n"
-      "                              unsharded run would produce (byte-identical);\n"
-      "                              accepts --campaign-out and --campaign-baseline\n"
+      "                              (--shard needs this or --journal)\n"
+      "  ilat merge FILE...          recombine partials and/or journals into the\n"
+      "                              aggregate the unsharded run would produce\n"
+      "                              (byte-identical); accepts --campaign-out and\n"
+      "                              --campaign-baseline\n"
+      "\n"
+      "crash-safe campaigns (see docs/CAMPAIGN.md, \"Resilience\"):\n"
+      "  --journal=FILE              stream every finished cell to a crash-\n"
+      "                              consistent journal (atomic rename per cell;\n"
+      "                              valid on disk at every instant)\n"
+      "  --resume=FILE               replay a journal's completed cells and run\n"
+      "                              only the missing ones; the final aggregate\n"
+      "                              is byte-identical to an uninterrupted run\n"
+      "  --cell-timeout=S            per-cell wall budget (spec key timeout_cell_s\n"
+      "                              works too); the watchdog cancels overrunning\n"
+      "                              attempts and quarantines the cell with a\n"
+      "                              cell.timeout fault note\n"
+      "  --max-quarantined=N         tolerated quarantined cells before exit 1 (0)\n"
+      "  SIGINT/SIGTERM              finish or abandon in-flight cells at the next\n"
+      "                              slice boundary, flush the journal, print a\n"
+      "                              resume hint, exit 128+signal\n"
       "\n"
       "exit codes: 0 success (degraded faulted runs included unless\n"
       "--fail-degraded), 1 runtime/gate/degradation failure, 2 usage errors\n"
@@ -907,8 +1132,8 @@ int RunCli(const CliOptions& options, std::FILE* out) {
     std::fputs(
         "campaigns: cross-products of the above via --campaign=SPEC "
         "(spec keys: name, os, app, workload, driver, seeds, seed, "
-        "workload_seed, threshold_ms, packets, frames, retries, params.*, "
-        "fault.*, sweep.fault.*, sweep.params.*)\n",
+        "workload_seed, threshold_ms, packets, frames, retries, timeout_cell_s, "
+        "params.*, fault.*, sweep.fault.*, sweep.params.*)\n",
         out);
     return 0;
   }

@@ -22,7 +22,7 @@
 namespace ilat {
 
 // Reported by `ilat --version`.
-inline constexpr const char* kIlatVersion = "0.7.0";
+inline constexpr const char* kIlatVersion = "0.8.0";
 
 struct CliOptions {
   std::string os = "nt40";          // nt351 | nt40 | win95 | all
@@ -71,13 +71,19 @@ struct CliOptions {
   double gate_fault_tolerance_pct = 25.0;  // fault-counter drift tolerance
 
   // Sharded campaign execution (--shard=I/N runs cells with index%N==I and
-  // requires --campaign-partial; `ilat merge` recombines the partials --
-  // see docs/CAMPAIGN.md).
+  // requires --campaign-partial or --journal; `ilat merge` recombines the
+  // partials and/or journals -- see docs/CAMPAIGN.md).
   int shard_index = 0;
   int shard_count = 1;              // 1 = unsharded
   std::string campaign_partial;     // partial-aggregate output file
   bool merge_mode = false;          // `ilat merge PARTIAL...`
-  std::vector<std::string> merge_inputs;  // partial files to merge
+  std::vector<std::string> merge_inputs;  // partial/journal files to merge
+
+  // Crash-safe campaigns (see docs/CAMPAIGN.md "Resilience").
+  std::string journal_path;         // stream completed cells to this journal
+  std::string resume_path;          // replay this journal, run only missing cells
+  double cell_timeout_s = 0.0;      // per-cell wall budget (0 = spec key / none)
+  int max_quarantined = 0;          // tolerated watchdog-quarantined cells
 };
 
 // Parse argv.  On failure returns false and sets *error.

@@ -6,13 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "src/campaign/gate.h"
+#include "src/campaign/journal.h"
 #include "src/campaign/json.h"
 #include "src/campaign/runner.h"
 #include "src/campaign/shard.h"
@@ -998,6 +1002,463 @@ TEST(ShardMergeTest, RejectsEmptyInputList) {
   std::string error;
   EXPECT_FALSE(MergePartials({}, &merged, &stats, &error));
   EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------------
+// The crash-consistent cell journal and --resume replay.
+
+// Run `spec` streaming every cell into a journal at `path`; returns the
+// reference aggregate JSON.
+std::string RunWithJournal(const CampaignSpec& spec, const std::string& path) {
+  JournalWriter writer;
+  writer.Open(path, spec, spec.ExpandCells().size(), 0, 1);
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  std::string error;
+  options.on_result = [&](const CellResult& r) {
+    ASSERT_TRUE(writer.Add(r, &error)) << error;
+  };
+  CampaignRunStats stats;
+  EXPECT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  return aggregate.ToJson();
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void Spit(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(JournalTest, RoundTripsEveryCellAndReplaysByteIdentical) {
+  const CampaignSpec spec = SmallSpec();  // 4 cells
+  const std::string path = ShardTempPath("journal-roundtrip.jsonl");
+  const std::string reference = RunWithJournal(spec, path);
+
+  JournalData data;
+  std::string error;
+  ASSERT_TRUE(LoadJournal(path, &data, &error)) << error;
+  EXPECT_EQ(data.cells.size(), 4u);
+  EXPECT_FALSE(data.torn_tail_dropped);
+  EXPECT_EQ(data.header.name, spec.name);
+  EXPECT_EQ(data.header.seed, spec.campaign_seed);
+  EXPECT_EQ(data.header.total_cells, 4u);
+  EXPECT_EQ(data.header.spec_hash, SpecHashHex(spec));
+
+  // Replaying every journaled cell (running nothing) reproduces the
+  // uninterrupted aggregate byte for byte.
+  CampaignAggregate replayed(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  options.completed = &data.cells;
+  CampaignRunStats stats;
+  ASSERT_TRUE(RunCampaign(spec, options, &replayed, &stats, &error)) << error;
+  EXPECT_EQ(stats.replayed_cells, 4u);
+  EXPECT_EQ(replayed.ToJson(), reference);
+}
+
+TEST(JournalTest, PartialReplayRunsOnlyMissingCellsByteIdentical) {
+  const CampaignSpec spec = SmallSpec();
+  const std::string path = ShardTempPath("journal-partial.jsonl");
+  const std::string reference = RunWithJournal(spec, path);
+
+  JournalData data;
+  std::string error;
+  ASSERT_TRUE(LoadJournal(path, &data, &error)) << error;
+  // Pretend the run died after cells 0 and 2: drop 1 and 3 from the map.
+  data.cells.erase(1);
+  data.cells.erase(3);
+
+  CampaignAggregate resumed(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  options.completed = &data.cells;
+  std::set<std::size_t> ran;
+  options.on_result = [&](const CellResult& r) { ran.insert(r.cell.index); };
+  CampaignRunStats stats;
+  ASSERT_TRUE(RunCampaign(spec, options, &resumed, &stats, &error)) << error;
+  EXPECT_EQ(ran, (std::set<std::size_t>{1, 3}));  // only the missing cells ran
+  EXPECT_EQ(stats.replayed_cells, 2u);
+  EXPECT_EQ(resumed.ToJson(), reference);
+}
+
+TEST(JournalTest, ResumedWriterReEmitsOriginalBytes) {
+  const CampaignSpec spec = SmallSpec();
+  const std::string path = ShardTempPath("journal-reemit.jsonl");
+  RunWithJournal(spec, path);
+  const std::string original = Slurp(path);
+
+  JournalData data;
+  std::string error;
+  ASSERT_TRUE(LoadJournal(path, &data, &error)) << error;
+  const std::string copy = ShardTempPath("journal-reemit-copy.jsonl");
+  JournalWriter writer;
+  writer.Open(copy, spec, spec.ExpandCells().size(), 0, 1);
+  writer.SeedLines(data.raw_lines);
+  ASSERT_TRUE(writer.Flush(&error)) << error;
+  EXPECT_EQ(Slurp(copy), original);
+}
+
+TEST(JournalTest, EveryBytePrefixLoadsCleanlyOrFailsOneLine) {
+  const CampaignSpec spec = SmallSpec();
+  const std::string path = ShardTempPath("journal-fuzz.jsonl");
+  RunWithJournal(spec, path);
+  const std::string text = Slurp(path);
+  const std::size_t header_end = text.find('\n');
+  ASSERT_NE(header_end, std::string::npos);
+
+  // Cut points: every byte through the header, every line boundary +/- 1,
+  // and an even sample of interior offsets (the full file is too large to
+  // cut at every byte).
+  std::set<std::size_t> cuts;
+  for (std::size_t i = 0; i <= header_end + 2 && i <= text.size(); ++i) {
+    cuts.insert(i);
+  }
+  for (std::size_t at = text.find('\n'); at != std::string::npos;
+       at = text.find('\n', at + 1)) {
+    cuts.insert(at);
+    cuts.insert(at + 1);
+    if (at + 2 <= text.size()) {
+      cuts.insert(at + 2);
+    }
+  }
+  for (int i = 0; i < 200; ++i) {
+    cuts.insert(text.size() * static_cast<std::size_t>(i) / 200);
+  }
+  cuts.insert(text.size());
+
+  const std::string cut_path = ShardTempPath("journal-fuzz-cut.jsonl");
+  for (const std::size_t cut : cuts) {
+    Spit(cut_path, text.substr(0, cut));
+    JournalData data;
+    std::string error;
+    const bool ok = LoadJournal(cut_path, &data, &error);
+    if (cut <= header_end) {
+      // The header itself is torn: structurally unusable, one-line error.
+      EXPECT_FALSE(ok) << "cut at " << cut;
+      EXPECT_FALSE(error.empty());
+      EXPECT_EQ(error.find('\n'), std::string::npos) << error;
+    } else {
+      // Any prefix past the header is a valid journal: complete records
+      // replay, a torn final record is dropped.
+      ASSERT_TRUE(ok) << "cut at " << cut << ": " << error;
+      EXPECT_LE(data.cells.size(), 4u);
+      const bool cut_mid_record = cut < text.size() && text[cut - 1] != '\n';
+      EXPECT_EQ(data.torn_tail_dropped, cut_mid_record) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(JournalTest, RejectsStructuralCorruption) {
+  const CampaignSpec spec = SmallSpec();
+  const std::string path = ShardTempPath("journal-corrupt.jsonl");
+  RunWithJournal(spec, path);
+  const std::string text = Slurp(path);
+  const std::string bad = ShardTempPath("journal-corrupt-bad.jsonl");
+
+  auto expect_load_fails = [&](const std::string& contents, const char* needle) {
+    Spit(bad, contents);
+    JournalData data;
+    std::string error;
+    EXPECT_FALSE(LoadJournal(bad, &data, &error)) << needle;
+    EXPECT_NE(error.find(needle), std::string::npos) << error;
+    EXPECT_EQ(error.find('\n'), std::string::npos) << error;
+  };
+
+  // Duplicate cell record (complete, so not recoverable as a torn tail).
+  const std::size_t header_end = text.find('\n');
+  const std::size_t first_cell_end = text.find('\n', header_end + 1);
+  ASSERT_NE(first_cell_end, std::string::npos);
+  const std::string first_cell =
+      text.substr(header_end + 1, first_cell_end - header_end);
+  expect_load_fails(text + first_cell, "duplicate");
+
+  // Bad format version.
+  std::string versioned = text;
+  const std::string marker = "\"ilat_journal\": 1";
+  const auto at = versioned.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  versioned.replace(at, marker.size(), "\"ilat_journal\": 99");
+  expect_load_fails(versioned, "version 99");
+
+  // Not a journal at all / empty.
+  expect_load_fails("{\"groups\": {}}\n", "ilat_journal");
+  expect_load_fails("", "empty");
+
+  // Unreadable path.
+  JournalData data;
+  std::string error;
+  EXPECT_FALSE(LoadJournal(ShardTempPath("journal-nonexistent.jsonl"), &data, &error));
+  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+}
+
+TEST(JournalMergeTest, MergeAcceptsJournalsAlongsidePartials) {
+  const CampaignSpec spec = SmallSpec();  // 4 cells
+  CampaignAggregate reference(spec.name, spec.campaign_seed, spec.threshold_ms);
+  {
+    CampaignRunOptions options;
+    CampaignRunStats stats;
+    std::string error;
+    ASSERT_TRUE(RunCampaign(spec, options, &reference, &stats, &error)) << error;
+  }
+
+  // Shard 0 as a journal, shard 1 as a classic partial.
+  const std::string journal_path = ShardTempPath("mixed-journal-0.jsonl");
+  {
+    JournalWriter writer;
+    writer.Open(journal_path, spec, 4, 0, 2);
+    CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+    CampaignRunOptions options;
+    options.shard_index = 0;
+    options.shard_count = 2;
+    std::string error;
+    options.on_result = [&](const CellResult& r) {
+      ASSERT_TRUE(writer.Add(r, &error)) << error;
+    };
+    CampaignRunStats stats;
+    ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  }
+  const std::string partial_path = ShardTempPath("mixed-partial-1.json");
+  RunShardToFile(spec, 1, 2, 1, partial_path);
+
+  std::unique_ptr<CampaignAggregate> merged;
+  MergeStats stats;
+  std::string error;
+  ASSERT_TRUE(MergePartials({partial_path, journal_path}, &merged, &stats, &error))
+      << error;
+  EXPECT_EQ(stats.cells, 4u);
+  EXPECT_EQ(merged->ToJson(), reference.ToJson());
+  EXPECT_EQ(merged->ToCellsCsv(), reference.ToCellsCsv());
+}
+
+TEST(JournalMergeTest, TornJournalTailSurfacesAsMissingCells) {
+  const CampaignSpec spec = SmallSpec();
+  const std::string path = ShardTempPath("merge-torn.jsonl");
+  RunWithJournal(spec, path);
+  std::string text = Slurp(path);
+  text.resize(text.size() - 10);  // tear the final record
+  Spit(path, text);
+
+  std::unique_ptr<CampaignAggregate> merged;
+  MergeStats stats;
+  std::string error;
+  EXPECT_FALSE(MergePartials({path}, &merged, &stats, &error));
+  // Merge never fabricates cells: the torn cell is simply missing.
+  EXPECT_NE(error.find("missing"), std::string::npos) << error;
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog quarantine and graceful-stop plumbing.
+
+// A 1-cell campaign whose session cannot finish in reasonable host time:
+// a dense interrupt storm starves the simulated CPU for the session's
+// whole lifetime, so only the watchdog can end the cell.
+CampaignSpec HungSpec() {
+  CampaignSpec spec;
+  spec.name = "hung";
+  spec.oses = {"nt40"};
+  spec.apps = {"echo"};
+  spec.seeds_per_cell = 1;
+  spec.campaign_seed = 7;
+  spec.faults.storm.start_ms = 0.0;
+  spec.faults.storm.duration_ms = 3.6e6;  // the whole 3600-s session
+  spec.faults.storm.period_us = 10.0;
+  spec.faults.storm.handler_us = 10.0;
+  return spec;
+}
+
+TEST(WatchdogTest, QuarantinesACellThatExceedsItsWallBudget) {
+  CampaignSpec spec = HungSpec();
+  spec.timeout_cell_s = 0.05;
+
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  std::vector<CellResult> results;
+  options.on_result = [&](const CellResult& r) { results.push_back(r); };
+  CampaignRunStats stats;
+  std::string error;
+  ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+
+  EXPECT_EQ(stats.quarantined_cells, 1u);
+  EXPECT_FALSE(stats.interrupted);
+  ASSERT_EQ(results.size(), 1u);
+  const CellResult& r = results[0];
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_EQ(r.events, 0u);
+  EXPECT_TRUE(r.latencies_ms.empty());
+  bool has_timeout_note = false;
+  for (const std::string& note : r.fault.notes) {
+    has_timeout_note = has_timeout_note || note.find("cell.timeout") == 0;
+  }
+  EXPECT_TRUE(has_timeout_note);
+
+  // The quarantined skeleton survives the journal round trip, flag intact.
+  const std::string path = ShardTempPath("journal-quarantined.jsonl");
+  JournalWriter writer;
+  writer.Open(path, spec, 1, 0, 1);
+  ASSERT_TRUE(writer.Add(r, &error)) << error;
+  JournalData data;
+  ASSERT_TRUE(LoadJournal(path, &data, &error)) << error;
+  ASSERT_EQ(data.cells.size(), 1u);
+  EXPECT_TRUE(data.cells.at(0).timed_out);
+  EXPECT_EQ(CellToJsonLine(data.cells.at(0)), CellToJsonLine(r));
+}
+
+TEST(WatchdogTest, CleanCampaignIgnoresAGenerousBudget) {
+  CampaignSpec spec = SmallSpec();
+  const std::string reference = RunToJson(spec, 1);
+  spec.timeout_cell_s = 1e6;  // effectively unlimited, but arms the watchdog
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  CampaignRunStats stats;
+  std::string error;
+  ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  EXPECT_EQ(stats.quarantined_cells, 0u);
+  EXPECT_EQ(aggregate.ToJson(), reference);
+}
+
+TEST(StopFlagTest, PreSetStopFlagInterruptsBeforeAnyCellRuns) {
+  const CampaignSpec spec = SmallSpec();
+  std::atomic<bool> stop{true};
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  options.stop = &stop;
+  std::size_t streamed = 0;
+  options.on_result = [&](const CellResult&) { ++streamed; };
+  CampaignRunStats stats;
+  std::string error;
+  ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  EXPECT_TRUE(stats.interrupted);
+  EXPECT_EQ(streamed, 0u);
+}
+
+TEST(StopFlagTest, MidRunStopStillYieldsResumableJournalLines) {
+  // Stop after the first streamed cell: the runner must flush completed
+  // work (in order or not) and report the interruption.  Cells must be
+  // slow relative to the fold thread or the lone worker can finish the
+  // whole campaign before the flag lands -- notepad cells take ~100 ms,
+  // the supervisor cancels in-flight work within ~10 ms of the flag.
+  CampaignSpec spec;
+  spec.name = "stoppable";
+  spec.oses = {"nt40"};
+  spec.apps = {"notepad"};
+  spec.seeds_per_cell = 4;
+  spec.campaign_seed = 21;
+  std::atomic<bool> stop{false};
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  options.stop = &stop;
+  std::map<std::size_t, CellResult> streamed;
+  options.on_result = [&](const CellResult& r) {
+    streamed.emplace(r.cell.index, r);
+    stop.store(true);
+  };
+  CampaignRunStats stats;
+  std::string error;
+  ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  EXPECT_TRUE(stats.interrupted);
+  ASSERT_FALSE(streamed.empty());
+  EXPECT_LT(streamed.size(), 4u);
+
+  // Resuming from exactly what was streamed completes the campaign with
+  // the uninterrupted bytes.
+  const std::string reference = RunToJson(spec, 1);
+  CampaignAggregate resumed(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions resume_options;
+  resume_options.completed = &streamed;
+  CampaignRunStats resume_stats;
+  ASSERT_TRUE(RunCampaign(spec, resume_options, &resumed, &resume_stats, &error))
+      << error;
+  EXPECT_FALSE(resume_stats.interrupted);
+  EXPECT_EQ(resumed.ToJson(), reference);
+}
+
+TEST(CellWallTrackerTest, FlagsStragglersOnlyOnceTheMedianExists) {
+  CellWallTracker tracker;
+  tracker.Start(7);
+  // No completed durations yet: nothing is stalled at any factor.
+  EXPECT_TRUE(tracker.Stalled(0.0).empty());
+
+  tracker.Start(1);
+  tracker.Finish(1, 0.001, /*count_duration=*/true);
+  tracker.Start(2);
+  tracker.Finish(2, 0.001, /*count_duration=*/true);
+  // Abandoned cells do not count toward the median population.
+  tracker.Start(3);
+  tracker.Finish(3, 0.001, /*count_duration=*/false);
+  EXPECT_TRUE(tracker.Stalled(0.0).empty());  // still only 2 counted
+
+  tracker.Start(4);
+  tracker.Finish(4, 0.001, /*count_duration=*/true);
+  // Median exists now; factor 0 flags anything in flight, a huge factor
+  // flags nothing.
+  const std::vector<StalledCellInfo> stalled = tracker.Stalled(0.0);
+  ASSERT_EQ(stalled.size(), 1u);
+  EXPECT_EQ(stalled[0].index, 7u);
+  EXPECT_GE(stalled[0].running_s, 0.0);
+  EXPECT_TRUE(tracker.Stalled(1e9).empty());
+
+  tracker.Finish(7, 0.002, /*count_duration=*/true);
+  EXPECT_TRUE(tracker.Stalled(0.0).empty());  // nothing left in flight
+}
+
+// ---------------------------------------------------------------------------
+// timeout_cell_s and params.typist_wpm spec plumbing.
+
+TEST(SpecParseTest, ParsesTimeoutCellSAndHashesIt) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec("name=t\nos=nt40\napp=echo\ntimeout_cell_s = 2.5\n",
+                                    &spec, &error))
+      << error;
+  EXPECT_DOUBLE_EQ(spec.timeout_cell_s, 2.5);
+
+  CampaignSpec plain = spec;
+  plain.timeout_cell_s = 0.0;
+  EXPECT_NE(spec.SpecHash(), plain.SpecHash());  // result-affecting -> hashed
+
+  for (const char* bad : {"timeout_cell_s = abc\n", "timeout_cell_s = -1\n",
+                          "timeout_cell_s = 1e999\n", "timeout_cell_s =\n"}) {
+    CampaignSpec rejected;
+    EXPECT_FALSE(
+        ParseCampaignSpec(std::string("name=t\nos=nt40\napp=echo\n") + bad,
+                              &rejected, &error))
+        << bad;
+  }
+}
+
+TEST(ParamSweepTest, TypistWpmSweepsChangeResults) {
+  CampaignSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignSpec(
+      "name=wpm\nos=nt40\napp=notepad\nseeds=1\nsweep.params.typist_wpm = 40, 400\n",
+      &spec, &error))
+      << error;
+  const std::vector<CampaignCell> cells = spec.ExpandCells();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells[0].params.typist_wpm, 40.0);
+  EXPECT_DOUBLE_EQ(cells[1].params.typist_wpm, 400.0);
+
+  // Pacing is result-affecting: the two cells must not measure alike.
+  CampaignAggregate aggregate(spec.name, spec.campaign_seed, spec.threshold_ms);
+  CampaignRunOptions options;
+  std::vector<CellResult> results;
+  options.on_result = [&](const CellResult& r) { results.push_back(r); };
+  CampaignRunStats stats;
+  ASSERT_TRUE(RunCampaign(spec, options, &aggregate, &stats, &error)) << error;
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].latencies_ms, results[1].latencies_ms);
+
+  // Bad paces are rejected at parse time.
+  CampaignSpec rejected;
+  EXPECT_FALSE(ParseCampaignSpec(
+      "name=wpm\nos=nt40\napp=notepad\nparams.typist_wpm = 0\n", &rejected, &error));
+  EXPECT_FALSE(ParseCampaignSpec(
+      "name=wpm\nos=nt40\napp=notepad\nparams.typist_wpm = fast\n", &rejected, &error));
 }
 
 }  // namespace

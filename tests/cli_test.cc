@@ -454,6 +454,11 @@ std::vector<BadFlagCase> AllBadNumberCases() {
       cases.push_back({flag, value});
     }
   }
+  for (const char* flag : {"--cell-timeout=", "--max-quarantined="}) {
+    for (const char* value : {"abc", "12abc", "", "99999999999999999999999", "1e999"}) {
+      cases.push_back({flag, value});
+    }
+  }
   // A few shapes specific to one flag family.
   cases.push_back({"--seed=", "-1"});
   cases.push_back({"--threshold=", "-5"});
@@ -471,6 +476,9 @@ std::vector<BadFlagCase> AllBadNumberCases() {
   cases.push_back({"--cache-hit=", "1.5"});
   cases.push_back({"--cache-hit=", "-0.1"});
   cases.push_back({"--requests=", "0"});
+  cases.push_back({"--cell-timeout=", "0"});
+  cases.push_back({"--cell-timeout=", "-1"});
+  cases.push_back({"--max-quarantined=", "-1"});
   return cases;
 }
 
@@ -683,6 +691,153 @@ TEST(CliRunTest, CorruptSessionLoadExitsTwo) {
   const auto [rc, out] = Capture(o);
   EXPECT_EQ(rc, 2);
   EXPECT_NE(out.find("cannot load"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe campaign flags: --journal, --resume, --cell-timeout,
+// --max-quarantined.
+
+TEST(CliParseTest, ParsesJournalAndWatchdogFlags) {
+  CliOptions o;
+  std::string error;
+  ASSERT_TRUE(ParseCliArgs({"--campaign=spec.txt", "--journal=camp.jsonl",
+                            "--cell-timeout=2.5", "--max-quarantined=3"},
+                           &o, &error))
+      << error;
+  EXPECT_EQ(o.journal_path, "camp.jsonl");
+  EXPECT_DOUBLE_EQ(o.cell_timeout_s, 2.5);
+  EXPECT_EQ(o.max_quarantined, 3);
+
+  // --resume implies journaling to the same file.
+  o = CliOptions();
+  ASSERT_TRUE(ParseCliArgs({"--campaign=spec.txt", "--resume=camp.jsonl"}, &o, &error))
+      << error;
+  EXPECT_EQ(o.resume_path, "camp.jsonl");
+  EXPECT_EQ(o.journal_path, "camp.jsonl");
+
+  // A --shard satisfied by --journal alone (no partial).
+  o = CliOptions();
+  ASSERT_TRUE(ParseCliArgs({"--campaign=spec.txt", "--shard=0/2", "--journal=s0.jsonl"},
+                           &o, &error))
+      << error;
+}
+
+TEST(CliParseTest, RejectsInconsistentJournalFlagCombinations) {
+  struct BadCombo {
+    std::vector<std::string> args;
+    const char* needle;
+  };
+  const std::vector<BadCombo> combos = {
+      {{"--journal=j.jsonl"}, "--campaign"},
+      {{"--resume=j.jsonl"}, "--campaign"},
+      {{"--cell-timeout=5"}, "--campaign"},
+      {{"--max-quarantined=1"}, "--campaign"},
+      {{"--campaign=s.txt", "--journal="}, "--journal"},
+      {{"--campaign=s.txt", "--resume="}, "--resume"},
+      {{"--campaign=s.txt", "--resume=a.jsonl", "--journal=b.jsonl"}, "same file"},
+      {{"--campaign=s.txt", "--resume=a.jsonl", "--campaign-partial=p.json"},
+       "--campaign-partial"},
+      {{"merge", "a.jsonl", "--journal=j.jsonl"}, "merge"},
+      {{"merge", "a.jsonl", "--resume=j.jsonl"}, "merge"},
+      {{"merge", "a.jsonl", "--cell-timeout=5"}, "merge"},
+      {{"merge", "a.jsonl", "--max-quarantined=1"}, "merge"},
+  };
+  for (const BadCombo& combo : combos) {
+    CliOptions o;
+    std::string error;
+    EXPECT_FALSE(ParseCliArgs(combo.args, &o, &error)) << combo.args[0];
+    EXPECT_NE(error.find(combo.needle), std::string::npos) << error;
+    EXPECT_EQ(error.find('\n'), std::string::npos) << error;
+  }
+}
+
+TEST(CliRunTest, MissingOrForeignResumeJournalExitsTwo) {
+  const std::string spec_path = TempPath("resume-spec.txt");
+  {
+    std::ofstream spec(spec_path);
+    spec << "name = cliresume\nos = nt40\napp = echo\nseeds = 2\nseed = 11\n";
+  }
+  CliOptions o;
+  o.campaign_path = spec_path;
+  o.resume_path = TempPath("no-such-journal.jsonl");
+  o.journal_path = o.resume_path;
+  {
+    const auto [rc, out] = Capture(o);
+    EXPECT_EQ(rc, 2);
+    EXPECT_NE(out.find("cannot read"), std::string::npos);
+  }
+
+  // A journal from a different campaign is refused by spec hash.
+  const std::string other_spec = TempPath("resume-other-spec.txt");
+  {
+    std::ofstream spec(other_spec);
+    spec << "name = cliresume\nos = nt40\napp = echo\nseeds = 2\nseed = 12\n";
+  }
+  CliOptions writer;
+  writer.campaign_path = other_spec;
+  writer.journal_path = TempPath("resume-foreign.jsonl");
+  ASSERT_EQ(Capture(writer).first, 0);
+  o.resume_path = writer.journal_path;
+  o.journal_path = writer.journal_path;
+  {
+    const auto [rc, out] = Capture(o);
+    EXPECT_EQ(rc, 2);
+    EXPECT_NE(out.find("different spec"), std::string::npos) << out;
+  }
+}
+
+// End to end through the CLI: journal a run, then resume from the full
+// journal -- every cell replays, no cell re-runs, artifacts match.
+TEST(CliRunTest, ResumeFromCompleteJournalReplaysByteIdentical) {
+  const std::string spec_path = TempPath("resume-e2e-spec.txt");
+  {
+    std::ofstream spec(spec_path);
+    spec << "name = cliresume2\nos = nt40\napp = echo, desktop\nseeds = 2\nseed = 5\n";
+  }
+  auto slurp = [](const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+
+  CliOptions first;
+  first.campaign_path = spec_path;
+  first.journal_path = TempPath("resume-e2e.jsonl");
+  first.campaign_out = TempPath("resume-e2e-first");
+  {
+    const auto [rc, out] = Capture(first);
+    ASSERT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("journal: 4 cell(s)"), std::string::npos) << out;
+  }
+
+  CliOptions second;
+  second.campaign_path = spec_path;
+  second.resume_path = first.journal_path;
+  second.journal_path = first.journal_path;
+  second.campaign_out = TempPath("resume-e2e-second");
+  {
+    const auto [rc, out] = Capture(second);
+    ASSERT_EQ(rc, 0) << out;
+    EXPECT_NE(out.find("resume: replaying 4 completed cell(s)"), std::string::npos)
+        << out;
+  }
+
+  EXPECT_EQ(slurp(first.campaign_out + "/aggregate.json"),
+            slurp(second.campaign_out + "/aggregate.json"));
+  EXPECT_EQ(slurp(first.campaign_out + "/cells.csv"),
+            slurp(second.campaign_out + "/cells.csv"));
+}
+
+TEST(CliRunTest, UsageDocumentsResilienceFlags) {
+  CliOptions o;
+  o.show_help = true;
+  const auto [rc, out] = Capture(o);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("--journal"), std::string::npos);
+  EXPECT_NE(out.find("--resume"), std::string::npos);
+  EXPECT_NE(out.find("--cell-timeout"), std::string::npos);
+  EXPECT_NE(out.find("--max-quarantined"), std::string::npos);
 }
 
 }  // namespace
