@@ -1,0 +1,136 @@
+// Staged media pipeline bench: underruns vs disk-stall severity as a
+// deadline lane.
+//
+// Runs the pipeline app through RunSpecSession at increasing stall rates
+// on a fixed stream, reports the deadline curve per point (rendered
+// frames, underruns, dropped frames, deadline misses) plus the
+// simulator's own cost (host wall time, simulated frames/sec), and
+// writes bench_out/BENCH_media.json so a perf trajectory can gate both
+// the *model* (do stalls still surface as underruns?) and the
+// *simulator* (did a faulted stream get slower to simulate?).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/catalog.h"
+#include "src/obs/jsonout.h"
+#include "src/obs/profiler.h"
+
+namespace ilat {
+namespace {
+
+constexpr int kFrames = 300;
+
+struct StallPoint {
+  double stall_rate = 0.0;
+  std::size_t rendered = 0;   // slots that showed their frame
+  std::size_t underruns = 0;  // slots that came up empty
+  std::size_t misses = 0;     // rendered, but past the slot deadline
+  double simulated_s = 0.0;   // stream extent in simulated time
+  double wall_s = 0.0;        // host time to simulate it
+  double frames_per_sec = 0.0;  // simulated slots / host second
+};
+
+bool RunPoint(double stall_rate, StallPoint* point) {
+  RunSpec spec;
+  spec.os = "nt40";
+  spec.app = "pipeline";
+  spec.seed = 2026;
+  spec.params.media.frames = kFrames;
+  if (stall_rate > 0.0) {
+    spec.faults.disk.stall_rate = stall_rate;
+    spec.faults.disk.stall_ms = 80.0;
+  }
+
+  SessionResult r;
+  std::string error;
+  const auto start = std::chrono::steady_clock::now();
+  if (!RunSpecSession(spec, &r, &error)) {
+    std::fprintf(stderr, "pipeline session failed: %s\n", error.c_str());
+    return false;
+  }
+  point->wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  point->stall_rate = stall_rate;
+  point->rendered = r.events.size();
+  point->underruns = r.posted.size() - r.events.size();
+  point->misses =
+      static_cast<std::size_t>(r.metrics.Get("media.deadline_misses", 0.0));
+  point->simulated_s = CyclesToSeconds(r.run_end);
+  point->frames_per_sec =
+      point->wall_s > 0.0 ? static_cast<double>(r.posted.size()) / point->wall_s : 0.0;
+  return true;
+}
+
+void Run() {
+  Banner("Media pipeline -- underruns vs disk-stall severity",
+         "300 frames at 30 fps through decode -> buffer -> phase-adjust -> "
+         "render (nt40), under the host-time profiler");
+
+  obs::HostProfiler profiler;
+  obs::HostProfiler::Install(&profiler);
+  std::vector<StallPoint> points;
+  double total_wall_s = 0.0;
+  double total_simulated_ms = 0.0;
+  for (double rate : {0.0, 0.05, 0.1, 0.15}) {
+    StallPoint p;
+    if (!RunPoint(rate, &p)) {
+      obs::HostProfiler::Uninstall();
+      return;
+    }
+    total_wall_s += p.wall_s;
+    total_simulated_ms += p.simulated_s * 1e3;
+    points.push_back(p);
+  }
+  obs::HostProfiler::Uninstall();
+
+  TextTable t({"stall rate", "rendered", "underruns", "misses", "sim (s)",
+               "host (s)", "frames/s (host)"});
+  for (const StallPoint& p : points) {
+    t.AddRow({TextTable::Num(p.stall_rate, 2), std::to_string(p.rendered),
+              std::to_string(p.underruns), std::to_string(p.misses),
+              TextTable::Num(p.simulated_s, 2), TextTable::Num(p.wall_s, 3),
+              TextTable::Num(p.frames_per_sec, 0)});
+  }
+  std::printf("%s", t.ToString().c_str());
+  std::printf("%s", profiler.RenderTable(total_wall_s, total_simulated_ms).c_str());
+
+  const std::string path = BenchOutDir() + "/BENCH_media.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return;
+  }
+  std::string json = "{\"frames\": " + std::to_string(kFrames);
+  json += ", \"stall_ms\": 80";
+  json += ", \"wall_s\": " + obs::NumToJson(total_wall_s);
+  json += ", \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const StallPoint& p = points[i];
+    if (i > 0) {
+      json += ", ";
+    }
+    json += "{\"stall_rate\": " + obs::NumToJson(p.stall_rate);
+    json += ", \"rendered\": " + std::to_string(p.rendered);
+    json += ", \"underruns\": " + std::to_string(p.underruns);
+    json += ", \"deadline_misses\": " + std::to_string(p.misses);
+    json += ", \"simulated_s\": " + obs::NumToJson(p.simulated_s);
+    json += ", \"host_wall_s\": " + obs::NumToJson(p.wall_s);
+    json += ", \"frames_per_sec\": " + obs::NumToJson(p.frames_per_sec);
+    json += "}";
+  }
+  json += "]}\n";
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace ilat
+
+int main() {
+  ilat::Run();
+  return 0;
+}

@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# Smoke-test the staged media pipeline end to end: run the checked-in
+# underrun-vs-stall campaign (campaigns/media_deadlines.spec), demand
+# byte-identical outputs across --jobs and through shard + `ilat merge`,
+# validate the aggregate (rendered frames fall -- underruns rise -- with
+# the stall rate at each frame rate, faulted cells degrade), check a
+# stall-rate sweep's underrun counters are strictly monotone from the
+# metrics JSON, and vet the media CLI flags' usage errors.  Assumes a
+# built tree; pass a different build dir as $1.
+set -euo pipefail
+
+build_dir="${1:-build}"
+ilat="$build_dir/src/tools/ilat"
+if [[ ! -x "$ilat" ]]; then
+  echo "error: $ilat not found -- build the project first" >&2
+  exit 2
+fi
+repo_dir="$(cd "$(dirname "$0")/.." && pwd)"
+spec="$repo_dir/campaigns/media_deadlines.spec"
+
+out_dir="$(mktemp -d)"
+trap 'rm -rf "$out_dir"' EXIT
+
+# The pipeline app and workload list in the catalog.
+"$ilat" --list | grep -q "pipeline"
+
+# Determinism contract: 4 worker threads and 1 produce the same bytes.
+"$ilat" --campaign="$spec" --jobs=4 --campaign-out="$out_dir/j4" >/dev/null
+"$ilat" --campaign="$spec" --jobs=1 --campaign-out="$out_dir/j1" >/dev/null
+cmp "$out_dir/j1/aggregate.json" "$out_dir/j4/aggregate.json"
+cmp "$out_dir/j1/cells.csv" "$out_dir/j4/cells.csv"
+
+# Sharded halves merge back into the unsharded aggregate byte for byte.
+for i in 0 1; do
+  "$ilat" --campaign="$spec" --shard="$i/2" \
+          --campaign-partial="$out_dir/p$i.json" >/dev/null
+done
+"$ilat" merge "$out_dir/p0.json" "$out_dir/p1.json" \
+        --campaign-out="$out_dir/merged" >/dev/null
+cmp "$out_dir/j4/aggregate.json" "$out_dir/merged/aggregate.json"
+cmp "$out_dir/j4/cells.csv" "$out_dir/merged/cells.csv"
+
+# The aggregate is well-formed and the deadline story holds: each cell's
+# events are its *rendered* slots, so at each frame rate the event count
+# must fall (underruns rise) as the stall rate grows, the clean cell must
+# render the full stream undegraded, and every faulted cell must degrade.
+python3 - "$out_dir/j4/aggregate.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    agg = json.load(f)
+cells = agg["cells"]
+assert cells, "no cells in aggregate"
+curves = {}
+for c in cells:
+    plabel, flabel = c.get("param_label", ""), c.get("fault_label", "")
+    assert plabel and flabel, f"cell {c['index']} missing labels"
+    fps = float(dict(p.split("=", 1) for p in plabel.split("|"))["media_fps"])
+    rate = float(flabel.split("=", 1)[1])
+    curves.setdefault(fps, []).append((rate, c["events"], c["degraded"]))
+assert len(curves) >= 2, f"expected >= 2 frame rates, got {sorted(curves)}"
+for fps, points in sorted(curves.items()):
+    points.sort()
+    assert len(points) >= 3, f"fps={fps}: too few stall rates"
+    (r0, clean, deg0), rest = points[0], points[1:]
+    assert r0 == 0.0 and not deg0, f"fps={fps}: clean cell missing or degraded"
+    prev = clean
+    for rate, rendered, degraded in rest:
+        assert degraded, f"fps={fps} stall={rate}: stalls did not degrade the cell"
+        assert rendered < clean, f"fps={fps} stall={rate}: no underruns under stalls"
+        assert rendered <= prev, \
+            f"fps={fps}: rendered frames not monotone in stall rate: {points}"
+        prev = rendered
+print(f"media deadline curves ok: {len(curves)} frame rates x "
+      f"{len(next(iter(curves.values())))} stall rates, all monotone")
+EOF
+
+# Underruns are first-class metrics: sweep the stall rate through single
+# runs and require the media.underruns counter to increase strictly.
+prev=-1
+for rate in 0 0.05 0.15; do
+  printf 'disk.stall_rate = %s\ndisk.stall_ms = 80\n' "$rate" > "$out_dir/stall.plan"
+  "$ilat" --app=pipeline --frames=200 --faults="$out_dir/stall.plan" \
+          --metrics-out="$out_dir/metrics.json" >/dev/null
+  underruns=$(python3 -c "
+import json, sys
+m = json.load(open(sys.argv[1]))
+c = m['counters']
+assert c['media.frames.decoded'] == 200, c
+assert c['media.frames.rendered'] + c['media.underruns'] == 200, c
+print(c['media.underruns'])" "$out_dir/metrics.json")
+  if (( underruns <= prev )); then
+    echo "error: underruns not strictly increasing with stall rate:" \
+         "rate=$rate gave $underruns (prev $prev)" >&2
+    exit 1
+  fi
+  prev=$underruns
+done
+
+# Malformed media flags exit 2 with a one-line diagnostic naming the flag.
+expect_exit2() {
+  local what="$1" flag="$2"
+  shift 2
+  local output rc
+  set +e
+  output="$("$@" 2>&1)"
+  rc=$?
+  set -e
+  if [[ $rc -ne 2 ]]; then
+    echo "error: $what should exit 2 (got $rc)" >&2
+    exit 1
+  fi
+  if [[ "$(printf '%s' "$output" | head -n 1)" != *"$flag"* ]]; then
+    echo "error: $what should lead with a $flag diagnostic:" >&2
+    printf '%s\n' "$output" >&2
+    exit 1
+  fi
+}
+expect_exit2 "--media-fps=0" "--media-fps" "$ilat" --app=pipeline --media-fps=0
+expect_exit2 "--media-fps=abc" "--media-fps" "$ilat" --app=pipeline --media-fps=abc
+expect_exit2 "--media-buffer=0" "--media-buffer" "$ilat" --app=pipeline --media-buffer=0
+expect_exit2 "--media-buffer=4097" "--media-buffer" "$ilat" --app=pipeline --media-buffer=4097
+expect_exit2 "--frames=0" "--frames" "$ilat" --app=pipeline --frames=0
+
+# A bad media param key in a sweep fails the spec parse with a line number.
+bad_spec="$out_dir/bad_spec.txt"
+cat > "$bad_spec" <<'EOF'
+app = pipeline
+sweep.params.media_bogus = 1, 2
+EOF
+set +e
+output="$("$ilat" --campaign="$bad_spec" 2>&1)"
+rc=$?
+set -e
+if [[ $rc -ne 2 ]] || [[ "$output" != *"line 2"* ]]; then
+  echo "error: bad sweep.params key should exit 2 with a line number:" >&2
+  printf '%s\n' "$output" >&2
+  exit 1
+fi
+
+echo "check_media: all good"

@@ -26,11 +26,14 @@ if [[ $asan -eq 1 ]]; then
   cmake -B build-asan -S . -DILAT_SANITIZE=address > /dev/null
   cmake --build build-asan -j "$(nproc)" \
     --target fault_test campaign_test input_test server_test \
-    sim_event_queue_test ilat
+    media_pipeline_test sim_event_queue_test ilat
   ./build-asan/tests/fault_test
   ./build-asan/tests/campaign_test
   ./build-asan/tests/input_test
   ./build-asan/tests/server_test
+  # The media pipeline threads callbacks across three stages, two message
+  # queues, and the shared jitter buffer -- lifetime territory.
+  ./build-asan/tests/media_pipeline_test
   # The event core does manual placement-new callback storage and slot
   # recycling; ASan is the reviewer of record for that code.
   ./build-asan/tests/sim_event_queue_test
@@ -43,6 +46,9 @@ if [[ $asan -eq 1 ]]; then
   # Server smoke against the sanitized binary: workers, users, and the
   # lock/disk callbacks juggle cross-object lifetimes worth sanitizing.
   bash scripts/check_server.sh build-asan
+  # Media smoke against the sanitized binary: stage teardown order (storm
+  # device, fault policies on two queues, trace sink) is easy to get wrong.
+  bash scripts/check_media.sh build-asan
   # Crash-safety smoke against the sanitized binary: the journal writer,
   # resume replay, watchdog cancellation, and signal-driven shutdown all
   # cross thread and object lifetimes ASan should referee.

@@ -24,14 +24,22 @@ DeadlineReport AnalyzeDeadlines(const std::vector<FrameRecord>& frames, Cycles p
     }
     if (i > 0) {
       gaps.Add(CyclesToMilliseconds(frames[i].completed - frames[i - 1].completed));
-      // Boundaries between this frame's slot and the previous one's.
-      const Cycles slots = (frames[i].scheduled - frames[i - 1].scheduled) / period;
+      // Boundaries between this frame's slot and the previous one's,
+      // rounded to the nearest slot: aligned timers drift a little off
+      // the exact grid, so truncation undercounts (a 1.97-period gap is
+      // a dropped frame, not adjacent frames).
+      const Cycles gap = frames[i].scheduled - frames[i - 1].scheduled;
+      const Cycles slots = (gap + period / 2) / period;
       if (slots > 1) {
         out.dropped += static_cast<int>(slots - 1);
       }
     }
   }
-  out.miss_rate = static_cast<double>(out.missed) / static_cast<double>(frames.size());
+  // A dropped frame is a deadline missed by a full period or more; rating
+  // only the frames that completed would score a player that drops every
+  // other frame as flawless.
+  out.miss_rate = static_cast<double>(out.missed + out.dropped) /
+                  static_cast<double>(frames.size() + static_cast<std::size_t>(out.dropped));
   out.jitter_ms = gaps.stddev();
 
   const Cycles span = frames.back().completed - frames.front().scheduled;

@@ -19,9 +19,13 @@ struct DeadlineReport {
   int frames_completed = 0;
   // Frame finished after its period ended (scheduled + period).
   int missed = 0;
+  // (missed + dropped) / (completed + dropped): a dropped frame is a
+  // deadline missed outright, so it counts in both numerator and
+  // denominator.
   double miss_rate = 0.0;
   // Period boundaries skipped between consecutive frames (the player
-  // could not even start a frame).
+  // could not even start a frame), with gaps rounded to the nearest
+  // whole number of periods to tolerate timer drift.
   int dropped = 0;
   // Worst completion lateness beyond the deadline, ms (0 if none missed).
   double max_lateness_ms = 0.0;

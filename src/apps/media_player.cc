@@ -16,15 +16,27 @@ Job MediaPlayerApp::HandleMessage(const Message& m) {
 
   if (m.type == MessageType::kCommand && m.param >= kCmdMediaPlay) {
     // param carries the frame count when > the command id sentinel; the
-    // CLI/scripts pass kCmdMediaPlay and a default length.
-    frames_remaining_ = (m.param > kCmdMediaPlay) ? m.param - kCmdMediaPlay : 300;
+    // CLI/scripts pass kCmdMediaPlay and a default length.  The count is
+    // clamped to the same 1..1e6 range the front ends accept: the param
+    // may arrive from an arbitrary script (or a duplicated/mangled
+    // message), and an unchecked value sizes frames_ below.
+    constexpr int kMaxFrames = 1'000'000;
+    const int requested = m.param - kCmdMediaPlay;
+    frames_remaining_ = (requested >= 1 && requested <= kMaxFrames) ? requested : 300;
     frames_.clear();
     frames_.reserve(static_cast<std::size_t>(frames_remaining_));
-    ArmFrameTimer(&job);
+    // A play command landing mid-playback restarts the stream on the
+    // already-armed timer chain; arming a second chain here would double
+    // the frame rate (two concurrent timers) for the rest of the run.
+    if (!timer_armed_) {
+      timer_armed_ = true;
+      ArmFrameTimer(&job);
+    }
     return job;
   }
 
   if (m.type == MessageType::kTimer && m.param == kCmdMediaPlay) {
+    timer_armed_ = false;
     if (frames_remaining_ <= 0) {
       return job;
     }
@@ -40,6 +52,7 @@ Job MediaPlayerApp::HandleMessage(const Message& m) {
     });
     job = b.Build();
     if (frames_remaining_ > 0) {
+      timer_armed_ = true;
       ArmFrameTimer(&job);
     }
     return job;

@@ -56,6 +56,10 @@ class MediaPlayerApp : public GuiApplication {
   MediaPlayerParams params_;
   Random rng_;
   int frames_remaining_ = 0;
+  // True while a frame timer is in flight.  A play command received
+  // mid-playback must reuse the armed chain instead of arming a second
+  // one (which would run two interleaved timer chains at once).
+  bool timer_armed_ = false;
   std::vector<FrameRecord> frames_;
 };
 

@@ -326,6 +326,9 @@ std::string CampaignSpec::CanonicalString() const {
   field("params.lock_frac", obs::NumToJson(params.server.lock_frac));
   field("params.lock_hold_ms", obs::NumToJson(params.server.lock_hold_ms));
   field("params.invalidate_rate", obs::NumToJson(params.server.invalidate_rate));
+  field("params.media_fps", obs::NumToJson(params.media.fps));
+  field("params.media_buffer_frames", std::to_string(params.media.buffer_frames));
+  field("params.media_frames", std::to_string(params.media.frames));
   field("retries", std::to_string(cell_retries));
   field("timeout_cell_s", obs::NumToJson(timeout_cell_s));
   field("fault.disk.fail_rate", obs::NumToJson(faults.disk.fail_rate));
@@ -432,6 +435,9 @@ bool ParseCampaignSpec(const std::string& text, CampaignSpec* out, std::string* 
         return bad_number();
       }
       spec.params.frames = static_cast<int>(v);
+      // Mirrors SetWorkloadParamKey: one `frames` key sizes both the
+      // timer-paced player and the staged pipeline.
+      spec.params.media.frames = static_cast<int>(v);
     } else if (key == "retries") {
       std::uint64_t v = 0;
       if (!ParseU64(value, &v) || v > 10) {

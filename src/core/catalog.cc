@@ -13,6 +13,7 @@
 #include "src/apps/word.h"
 #include "src/input/network.h"
 #include "src/input/workloads.h"
+#include "src/media/pipeline.h"
 #include "src/obs/profiler.h"
 #include "src/os/personalities.h"
 #include "src/server/scenario.h"
@@ -29,14 +30,15 @@ bool Contains(const std::vector<std::string>& names, const std::string& name) {
 
 const std::vector<std::string>& KnownAppNames() {
   static const std::vector<std::string> names = {
-      "notepad", "word", "powerpoint", "desktop", "echo", "terminal", "media", "server"};
+      "notepad", "word",  "powerpoint", "desktop", "echo",
+      "terminal", "media", "pipeline",   "server"};
   return names;
 }
 
 const std::vector<std::string>& KnownWorkloadNames() {
-  static const std::vector<std::string> names = {"notepad", "word", "powerpoint",
-                                                 "keys",    "clicks", "echo",
-                                                 "media",   "network", "server"};
+  static const std::vector<std::string> names = {
+      "notepad", "word",    "powerpoint", "keys",   "clicks",
+      "echo",    "media",   "pipeline",   "network", "server"};
   return names;
 }
 
@@ -101,12 +103,12 @@ std::string DefaultWorkloadFor(const std::string& app) {
   if (app == "media") {
     return "media";
   }
-  return app;  // notepad/word/powerpoint/server have same-named workloads
+  return app;  // notepad/word/powerpoint/pipeline/server: same-named workloads
 }
 
 bool KnownWorkloadParamKey(const std::string& key) {
   return key == "packets" || key == "frames" || key == "typist_wpm" ||
-         server::KnownServerParamKey(key);
+         media::KnownMediaParamKey(key) || server::KnownServerParamKey(key);
 }
 
 bool SetWorkloadParamKey(const std::string& key, const std::string& value,
@@ -129,7 +131,14 @@ bool SetWorkloadParamKey(const std::string& key, const std::string& value,
       *error = "bad value '" + value + "' for param '" + key + "' (integer 1..1000000)";
       return false;
     }
-    (key == "packets" ? params->packets : params->frames) = static_cast<int>(v);
+    if (key == "packets") {
+      params->packets = static_cast<int>(v);
+    } else {
+      params->frames = static_cast<int>(v);
+      // The staged pipeline streams the same number of frames, so one
+      // `frames` sweep covers both media apps.
+      params->media.frames = static_cast<int>(v);
+    }
     return true;
   }
   if (key == "typist_wpm") {
@@ -142,6 +151,9 @@ bool SetWorkloadParamKey(const std::string& key, const std::string& value,
     }
     params->typist_wpm = v;
     return true;
+  }
+  if (media::KnownMediaParamKey(key)) {
+    return media::SetMediaParamKey(key, value, &params->media, error);
   }
   // Everything else is a server-scenario knob.
   if (!server::KnownServerParamKey(key)) {
@@ -256,6 +268,53 @@ SessionResult AdaptServerResult(server::ScenarioResult&& r) {
   return out;
 }
 
+// Turn a media PipelineResult into the SessionResult shape: one logical
+// event per render slot (the display "request"), completed only when a
+// frame was actually shown -- underrun slots stay posted-but-unfinished,
+// the same shape as abandoned server requests.
+SessionResult AdaptMediaResult(media::PipelineResult&& r) {
+  SessionResult out;
+  out.first_input_at = r.origin;
+  out.last_input_done_at = r.last_done_at;
+  out.run_end = r.run_end;
+  out.counters = r.counters;
+  out.metrics = std::move(r.metrics);
+  out.metrics_json = std::move(r.metrics_json);
+  out.trace_data = std::move(r.trace_data);
+  out.fault = std::move(r.fault);
+
+  out.events.reserve(r.slots.size());
+  out.posted.reserve(r.slots.size());
+  for (const media::SlotRecord& s : r.slots) {
+    const std::string label = "f" + std::to_string(s.frame);
+    PostedEvent p;
+    p.msg_seq = static_cast<std::uint64_t>(s.frame);
+    p.kind = ScriptItem::Kind::kCommand;
+    p.param = s.frame;
+    p.label = label;
+    p.posted_at = s.slot;
+    out.posted.push_back(std::move(p));
+    if (!s.rendered) {
+      continue;  // underrun: the slot's update never happened
+    }
+    EventRecord e;
+    e.msg_seq = static_cast<std::uint64_t>(s.frame);
+    e.type = MessageType::kCommand;
+    e.param = s.frame;
+    e.label = label;
+    e.start = s.slot;
+    e.retrieved = s.slot;
+    e.end = s.completed;
+    e.wall = e.end - e.start;
+    // The viewer perceives the whole slot-to-paint interval as the
+    // system's doing; decode I/O happened off this critical path.
+    e.busy = e.wall;
+    e.io_wait = 0;
+    out.events.push_back(std::move(e));
+  }
+  return out;
+}
+
 }  // namespace
 
 bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error) {
@@ -274,7 +333,7 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
   }
 
   std::unique_ptr<GuiApplication> app;
-  if (spec.app != "server") {
+  if (spec.app != "server" && spec.app != "pipeline") {
     app = MakeAppByName(spec.app);
     if (app == nullptr) {
       *error = "unknown app '" + spec.app + "'";
@@ -289,6 +348,26 @@ bool RunSpecSession(const RunSpec& spec, SessionResult* out, std::string* error)
   if (!ParseDriverName(spec.driver, &driver)) {
     *error = "unknown driver '" + spec.driver + "'";
     return false;
+  }
+
+  if (spec.app == "pipeline") {
+    // The staged media pipeline drives itself off the decode pacing grid;
+    // like the server scenario it is not script-shaped, so the driver name
+    // is accepted but unused.
+    if (workload != "pipeline") {
+      *error = "app 'pipeline' uses workload 'pipeline' (got '" + workload + "')";
+      return false;
+    }
+    media::PipelineOptions popts;
+    popts.seed = spec.seed;
+    popts.collect_trace = spec.collect_trace;
+    popts.faults = spec.faults;
+    popts.fault_attempt = spec.fault_attempt;
+    popts.cancel = spec.cancel;
+    media::MediaPipeline pipeline(*os, spec.params.media, popts);
+    setup.Stop();
+    *out = AdaptMediaResult(pipeline.Run());
+    return true;
   }
 
   if (spec.app == "server") {

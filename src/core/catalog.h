@@ -15,6 +15,7 @@
 
 #include "src/core/measurement.h"
 #include "src/input/script.h"
+#include "src/media/params.h"
 #include "src/server/params.h"
 #include "src/sim/random.h"
 
@@ -51,6 +52,9 @@ struct WorkloadParams {
   double typist_wpm = 0.0;
   // Multi-user server scenario knobs (app = "server").
   server::ServerParams server;
+  // Staged media-pipeline knobs (app = "pipeline"); `frames` above also
+  // sets media.frames so the two media apps sweep with one key.
+  media::MediaParams media;
 };
 
 // Apply one `key = value` pair (key without any prefix, e.g. "users" or

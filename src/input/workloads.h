@@ -3,6 +3,13 @@
 // Each function builds the Script for one of the paper's benchmarks
 // (§5.1 Notepad, §5.2 PowerPoint, §5.4 Word) or microbenchmarks (Figs. 1,
 // 4, 6).  Scripts are deterministic given the PRNG seed.
+//
+// Not every catalog workload lives here: script-shaped one-liners (the
+// network burst, the seed media player's single play command) are built
+// inline in src/core/catalog.cc, and the "server" and "pipeline"
+// workloads are not scripts at all -- they run as self-driving scenarios
+// (src/server/, src/media/) whose results are adapted into the same
+// SessionResult shape.
 
 #ifndef ILAT_SRC_INPUT_WORKLOADS_H_
 #define ILAT_SRC_INPUT_WORKLOADS_H_

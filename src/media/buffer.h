@@ -1,0 +1,84 @@
+// JitterBuffer: the bounded frame store between decode and render.
+//
+// Decode pushes frame indices as they finish; render (via the phase-adjust
+// stage's notifications) consumes them at the period grid.  The bound is
+// the whole point: a stalled consumer backs the buffer up until decode
+// output has nowhere to go and is dropped, and a stalled producer drains
+// it until render slots find nothing to show (underruns).  Occupancy and
+// high-water are the leading indicators of both.
+
+#ifndef ILAT_SRC_MEDIA_BUFFER_H_
+#define ILAT_SRC_MEDIA_BUFFER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+
+namespace ilat {
+namespace media {
+
+class JitterBuffer {
+ public:
+  explicit JitterBuffer(int capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  // False (and the frame is lost) when the buffer is full.
+  bool Push(int frame) {
+    if (static_cast<int>(frames_.size()) >= capacity_) {
+      ++overflow_drops_;
+      return false;
+    }
+    frames_.push_back(frame);
+    ++pushed_;
+    high_water_ = std::max(high_water_, frames_.size());
+    return true;
+  }
+
+  bool Contains(int frame) const {
+    return std::find(frames_.begin(), frames_.end(), frame) != frames_.end();
+  }
+
+  // Remove one frame by index; false if absent.
+  bool Erase(int frame) {
+    auto it = std::find(frames_.begin(), frames_.end(), frame);
+    if (it == frames_.end()) {
+      return false;
+    }
+    frames_.erase(it);
+    return true;
+  }
+
+  // Evict every frame with index <= `frame` that is NOT `keep`.  Returns
+  // how many were evicted.  Render calls this at each slot: frames the
+  // grid has moved past can never be shown and must not pin buffer space.
+  int EvictThrough(int frame, int keep) {
+    int evicted = 0;
+    for (auto it = frames_.begin(); it != frames_.end();) {
+      if (*it <= frame && *it != keep) {
+        it = frames_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+    return evicted;
+  }
+
+  std::size_t size() const { return frames_.size(); }
+  bool Empty() const { return frames_.empty(); }
+  int capacity() const { return capacity_; }
+  std::size_t high_water() const { return high_water_; }
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t overflow_drops() const { return overflow_drops_; }
+
+ private:
+  int capacity_;
+  std::deque<int> frames_;
+  std::size_t high_water_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t overflow_drops_ = 0;
+};
+
+}  // namespace media
+}  // namespace ilat
+
+#endif  // ILAT_SRC_MEDIA_BUFFER_H_

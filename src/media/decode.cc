@@ -1,0 +1,82 @@
+#include "src/media/decode.h"
+
+#include "src/media/pipeline.h"
+
+namespace ilat {
+namespace media {
+
+DecodeThread::DecodeThread(MediaPipeline* pipeline, std::uint64_t seed)
+    : SimThread("media-decode", kPriority), pipeline_(pipeline), rng_(seed) {}
+
+ThreadAction DecodeThread::NextAction() {
+  const MediaParams& p = pipeline_->params();
+  Simulation& sim = pipeline_->sim();
+  if (!started_) {
+    started_ = true;
+    origin_ = sim.now();
+  }
+  for (;;) {
+    switch (phase_) {
+      case Phase::kPace: {
+        if (next_frame_ >= p.frames) {
+          phase_ = Phase::kDone;
+          pipeline_->OnDecodeDone();
+          return ThreadAction::Finish();
+        }
+        // Frame i exists at origin + i*period; after a stall the grid is
+        // already behind `now` and decode catches up back to back.
+        const Cycles target =
+            origin_ + static_cast<Cycles>(next_frame_) * p.period();
+        if (sim.now() < target) {
+          phase_ = Phase::kAwaitPace;
+          sim.queue().ScheduleAt(target, [this] {
+            phase_ = Phase::kRead;
+            pipeline_->sim().scheduler().Wake(this);
+          });
+          return ThreadAction::Block();
+        }
+        phase_ = Phase::kRead;
+        continue;
+      }
+      case Phase::kAwaitPace:
+        return ThreadAction::Block();
+      case Phase::kRead: {
+        phase_ = Phase::kAwaitDisk;
+        // Frames are scattered across the media file; a failed read still
+        // completes (the decoder conceals the error with a garbage frame),
+        // so fault plans degrade playback instead of wedging it.
+        const auto block =
+            static_cast<std::int64_t>(next_frame_) * p.frame_blocks;
+        sim.disk().SubmitRead(block, p.frame_blocks, [this](IoStatus) {
+          phase_ = Phase::kDecode;
+          pipeline_->sim().scheduler().Wake(
+              this, pipeline_->profile().wake_priority_boost);
+        });
+        return ThreadAction::Block();
+      }
+      case Phase::kAwaitDisk:
+        return ThreadAction::Block();
+      case Phase::kDecode: {
+        const double kinstr =
+            rng_.Uniform(p.decode_kinstr_min, p.decode_kinstr_max);
+        phase_ = Phase::kDecodeRun;
+        return ThreadAction::Compute(
+            Work::FromInstructions(kinstr * 1000.0,
+                                   pipeline_->profile().app_code),
+            [this] { phase_ = Phase::kPush; });
+      }
+      case Phase::kDecodeRun:
+        return ThreadAction::Block();
+      case Phase::kPush:
+        pipeline_->OnFrameDecoded(next_frame_);
+        ++next_frame_;
+        phase_ = Phase::kPace;
+        continue;
+      case Phase::kDone:
+        return ThreadAction::Finish();
+    }
+  }
+}
+
+}  // namespace media
+}  // namespace ilat

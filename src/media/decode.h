@@ -1,0 +1,55 @@
+// DecodeThread: the pipeline's source stage.
+//
+// Paces itself on the source grid (frame i becomes available at
+// origin + i * period, with catch-up after stalls), reads each compressed
+// frame from the simulated disk, burns the decode CPU, and hands the
+// frame to the jitter buffer.  A disk stall here shows up downstream as a
+// drained buffer and render underruns; the stage itself never blocks on a
+// full buffer -- like a live source, its output is simply dropped.
+
+#ifndef ILAT_SRC_MEDIA_DECODE_H_
+#define ILAT_SRC_MEDIA_DECODE_H_
+
+#include "src/sim/random.h"
+#include "src/sim/thread.h"
+
+namespace ilat {
+namespace media {
+
+class MediaPipeline;
+
+class DecodeThread : public SimThread {
+ public:
+  // Below the phase/render stages: presentation beats production.
+  static constexpr int kPriority = 4;
+
+  DecodeThread(MediaPipeline* pipeline, std::uint64_t seed);
+
+  ThreadAction NextAction() override;
+
+  int frames_decoded() const { return next_frame_; }
+
+ private:
+  enum class Phase {
+    kPace,       // wait for the source grid slot of the next frame
+    kAwaitPace,  // parked on the pacing timer
+    kRead,       // issue the compressed-frame disk read
+    kAwaitDisk,  // parked on the completion interrupt
+    kDecode,     // read done; burn the decode CPU
+    kDecodeRun,  // decode CPU in flight
+    kPush,       // hand the frame to the jitter buffer
+    kDone,
+  };
+
+  MediaPipeline* pipeline_;
+  Random rng_;
+  Phase phase_ = Phase::kPace;
+  bool started_ = false;
+  Cycles origin_ = 0;  // source grid anchor (first NextAction)
+  int next_frame_ = 0;
+};
+
+}  // namespace media
+}  // namespace ilat
+
+#endif  // ILAT_SRC_MEDIA_DECODE_H_

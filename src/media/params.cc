@@ -1,0 +1,80 @@
+#include "src/media/params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace ilat {
+namespace media {
+
+namespace {
+
+// Digit-only, overflow-checked integer in [lo, hi].
+bool ParseIntIn(const std::string& value, long long lo, long long hi, int* out) {
+  if (value.empty()) {
+    return false;
+  }
+  long long v = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + (c - '0');
+    if (v > hi) {
+      return false;
+    }
+  }
+  if (v < lo) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+// Finite double in [lo, hi]; rejects trailing junk and overflow-to-inf.
+bool ParseDoubleIn(const std::string& value, double lo, double hi, double* out) {
+  if (value.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end != value.c_str() + value.size() || !std::isfinite(v) || v < lo || v > hi) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int MediaParams::preroll() const {
+  return std::max(1, std::min(preroll_frames, std::min(buffer_frames, frames)));
+}
+
+bool KnownMediaParamKey(const std::string& key) {
+  return key == "media_fps" || key == "media_buffer_frames" || key == "media_frames";
+}
+
+bool SetMediaParamKey(const std::string& key, const std::string& value,
+                      MediaParams* params, std::string* error) {
+  auto bad = [&](const char* want) {
+    *error = "bad value '" + value + "' for media param '" + key + "' (" + want + ")";
+    return false;
+  };
+  if (key == "media_fps") {
+    return ParseDoubleIn(value, 1.0, 1000.0, &params->fps) ? true : bad("fps 1..1000");
+  }
+  if (key == "media_buffer_frames") {
+    return ParseIntIn(value, 1, 4096, &params->buffer_frames) ? true
+                                                              : bad("integer 1..4096");
+  }
+  if (key == "media_frames") {
+    return ParseIntIn(value, 1, 1'000'000, &params->frames) ? true
+                                                            : bad("integer 1..1000000");
+  }
+  *error = "unknown media param '" + key + "'";
+  return false;
+}
+
+}  // namespace media
+}  // namespace ilat

@@ -1,0 +1,58 @@
+// MediaParams: sizing and pacing knobs for the staged media pipeline
+// (src/media/pipeline.h).
+//
+// Every knob is a *workload* parameter -- it shapes the system under test,
+// not the fault plan -- so campaigns sweep the headline ones via
+// `sweep.params.media_fps` / `media_buffer_frames` / `media_frames` and
+// the CLI sets them via --media-fps/--media-buffer/--frames.
+
+#ifndef ILAT_SRC_MEDIA_PARAMS_H_
+#define ILAT_SRC_MEDIA_PARAMS_H_
+
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace ilat {
+namespace media {
+
+struct MediaParams {
+  // Presentation rate: one render slot every 1/fps seconds.
+  double fps = 30.0;
+  // Jitter-buffer capacity in decoded frames.  Decode output that finds
+  // the buffer full is dropped (the source keeps producing regardless).
+  int buffer_frames = 8;
+  // Stream length in frames.
+  int frames = 300;
+  // Frames buffered before the render grid starts (bounded by
+  // buffer_frames and by the stream length).
+  int preroll_frames = 3;
+  // Disk blocks fetched per frame (compressed frame read).
+  int frame_blocks = 4;
+  // Decode cost varies per frame (I/P frame mix), in kilo-instructions.
+  double decode_kinstr_min = 500.0;
+  double decode_kinstr_max = 1'400.0;
+  // Phase-adjust bookkeeping cost per frame.
+  double phase_kinstr = 40.0;
+  // Blit to screen.
+  double render_kinstr = 450.0;
+
+  Cycles period() const { return SecondsToCycles(1.0 / fps); }
+  // Effective pre-roll: never more than the buffer holds or the stream has.
+  int preroll() const;
+};
+
+// Apply one `key = value` pair (key without any prefix, e.g. "media_fps")
+// to *params.  Returns false and sets *error for unknown keys or
+// malformed/out-of-range values.  Shared by the campaign spec parser
+// (`params.*` / `sweep.params.*` keys), the CLI, and tests.
+bool SetMediaParamKey(const std::string& key, const std::string& value,
+                      MediaParams* params, std::string* error);
+
+// True if `key` names a media parameter SetMediaParamKey accepts.
+bool KnownMediaParamKey(const std::string& key);
+
+}  // namespace media
+}  // namespace ilat
+
+#endif  // ILAT_SRC_MEDIA_PARAMS_H_

@@ -1,0 +1,47 @@
+#include "src/media/phase.h"
+
+#include "src/media/pipeline.h"
+
+namespace ilat {
+namespace media {
+
+PhaseAdjustThread::PhaseAdjustThread(MediaPipeline* pipeline, EventQueue* clock)
+    : SimThread("media-phase", kPriority), pipeline_(pipeline), mq_(clock) {
+  mq_.SetWakeCallback([this] {
+    pipeline_->sim().scheduler().Wake(this,
+                                      pipeline_->profile().wake_priority_boost);
+  });
+}
+
+ThreadAction PhaseAdjustThread::NextAction() {
+  const MediaParams& p = pipeline_->params();
+  for (;;) {
+    switch (phase_) {
+      case Phase::kIdle: {
+        Message m;
+        if (!mq_.TryPop(&m)) {
+          return ThreadAction::Block();
+        }
+        if (m.type != MessageType::kCommand || m.param < 0 ||
+            m.param >= p.frames) {
+          continue;  // duplicate-mangled or foreign message; ignore
+        }
+        frame_ = m.param;
+        phase_ = Phase::kAdjustRun;
+        return ThreadAction::Compute(
+            Work::FromInstructions(p.phase_kinstr * 1000.0,
+                                   pipeline_->profile().app_code),
+            [this] { phase_ = Phase::kDecide; });
+      }
+      case Phase::kAdjustRun:
+        return ThreadAction::Block();
+      case Phase::kDecide:
+        pipeline_->OnFrameAdjusted(frame_);
+        phase_ = Phase::kIdle;
+        continue;
+    }
+  }
+}
+
+}  // namespace media
+}  // namespace ilat

@@ -1,0 +1,50 @@
+// PhaseAdjustThread: re-aligns decoded frames with the presentation grid.
+//
+// Decode tells this stage a frame is ready by posting a kCommand message
+// to its queue (fault-eligible: `mq.*` plans drop/duplicate/reorder these
+// notifications like any user input).  The stage burns a small
+// bookkeeping cost per frame, measures the frame's phase error against
+// the ready-time grid, starts the render grid once pre-roll is met, and
+// then decides: a frame whose slot has already passed is dropped (render
+// would only show it late); an early frame is *delayed* by forwarding it
+// to render, which holds it in the buffer until its slot.
+
+#ifndef ILAT_SRC_MEDIA_PHASE_H_
+#define ILAT_SRC_MEDIA_PHASE_H_
+
+#include "src/sim/message_queue.h"
+#include "src/sim/thread.h"
+
+namespace ilat {
+namespace media {
+
+class MediaPipeline;
+
+class PhaseAdjustThread : public SimThread {
+ public:
+  // Between decode (production) and render (presentation).
+  static constexpr int kPriority = 6;
+
+  PhaseAdjustThread(MediaPipeline* pipeline, EventQueue* clock);
+
+  ThreadAction NextAction() override;
+
+  MessageQueue& queue() { return mq_; }
+
+ private:
+  enum class Phase {
+    kIdle,       // pop the next ready notification, or block
+    kAdjustRun,  // per-frame bookkeeping CPU in flight
+    kDecide,     // hand the drop/forward decision to the pipeline
+  };
+
+  MediaPipeline* pipeline_;
+  MessageQueue mq_;
+  Phase phase_ = Phase::kIdle;
+  int frame_ = 0;
+};
+
+}  // namespace media
+}  // namespace ilat
+
+#endif  // ILAT_SRC_MEDIA_PHASE_H_

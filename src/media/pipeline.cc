@@ -1,0 +1,306 @@
+#include "src/media/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/obs/profiler.h"
+
+namespace ilat {
+namespace media {
+
+namespace {
+
+// Dedicated PRNG stream index under the scenario seed (workload-side
+// draws; fault draws use the injector's plan-salted derivation).
+constexpr std::uint64_t kDecodeStream = 700;
+
+}  // namespace
+
+std::vector<FrameRecord> PipelineResult::RenderedFrames() const {
+  std::vector<FrameRecord> out;
+  out.reserve(slots.size());
+  for (const SlotRecord& s : slots) {
+    if (s.rendered) {
+      out.push_back(FrameRecord{s.slot, s.completed});
+    }
+  }
+  return out;
+}
+
+MediaPipeline::MediaPipeline(OsProfile profile, MediaParams params,
+                             PipelineOptions opts)
+    : params_(params),
+      opts_(opts),
+      system_(std::make_unique<SystemUnderTest>(std::move(profile), opts.seed)),
+      buffer_(params.buffer_frames) {
+  obs::Tracer& tracer = sim().tracer();
+  if (opts_.collect_trace) {
+    trace_sink_ = std::make_unique<obs::TraceSink>(opts_.trace_event_capacity);
+    tracer.AttachSink(trace_sink_.get());
+  }
+
+  media_track_ = tracer.RegisterTrack("media");
+  // Registered eagerly so the metrics exist, and compare across campaign
+  // cells, even at zero.
+  obs::MetricsRegistry& metrics = tracer.metrics();
+  m_decoded_ = metrics.GetCounter("media.frames.decoded");
+  m_rendered_ = metrics.GetCounter("media.frames.rendered");
+  m_underruns_ = metrics.GetCounter("media.underruns");
+  m_misses_ = metrics.GetCounter("media.deadline_misses");
+  m_drop_overflow_ = metrics.GetCounter("media.dropped.overflow");
+  m_drop_late_ = metrics.GetCounter("media.dropped.late");
+  m_evicted_ = metrics.GetCounter("media.evicted");
+  m_buffer_depth_ = metrics.GetGauge("media.buffer.depth");
+  m_phase_error_ms_ = metrics.GetHistogram("media.phase_error_ms");
+  m_latency_ms_ = metrics.GetHistogram("media.latency_ms");
+
+  decode_ = std::make_unique<DecodeThread>(this, DeriveSeed(opts_.seed, kDecodeStream));
+  phase_ = std::make_unique<PhaseAdjustThread>(this, &sim().queue());
+  render_ = std::make_unique<RenderThread>(this, &sim().queue());
+  phase_->queue().EnableTracing(&tracer, "media-phase");
+  render_->queue().EnableTracing(&tracer, "media-render");
+
+  if (opts_.faults.Any()) {
+    injector_ = std::make_unique<fault::FaultInjector>(opts_.faults, opts_.seed,
+                                                       opts_.fault_attempt);
+    injector_->Attach(&sim().queue(), &tracer);
+    sim().disk().set_fault_policy(injector_.get());
+    injector_->InstallStorm(&sim().queue(), &sim().scheduler());
+    // The inter-stage notifications are ordinary fault-eligible messages:
+    // mq.* plans drop/duplicate/reorder them with no media-specific code.
+    phase_->queue().SetFaultPolicy(injector_.get());
+    render_->queue().SetFaultPolicy(injector_.get());
+  }
+
+  adjusted_seen_.assign(static_cast<std::size_t>(params_.frames), 0);
+  sim().scheduler().AddThread(decode_.get());
+  sim().scheduler().AddThread(phase_.get());
+  sim().scheduler().AddThread(render_.get());
+}
+
+MediaPipeline::~MediaPipeline() {
+  if (trace_sink_ != nullptr) {
+    sim().tracer().DetachSink();
+  }
+}
+
+void MediaPipeline::UpdateBufferDepth() {
+  m_buffer_depth_->Set(static_cast<double>(buffer_.size()));
+}
+
+void MediaPipeline::OnFrameDecoded(int frame) {
+  ++counts_.decoded;
+  m_decoded_->Increment();
+  if (!buffer_.Push(frame)) {
+    // A live source keeps producing: with the buffer full the frame has
+    // nowhere to go.  The slot it would have filled will underrun.
+    m_drop_overflow_->Increment();
+    sim().tracer().Instant(media_track_, "overflow-drop", "media", sim().now(),
+                           "frame", static_cast<double>(frame));
+    return;
+  }
+  UpdateBufferDepth();
+  Message m;
+  m.type = MessageType::kCommand;
+  m.param = frame;
+  phase_->queue().Post(m);
+}
+
+void MediaPipeline::OnDecodeDone() {
+  decode_done_ = true;
+  if (!render_started_) {
+    // Every ready notification was lost before pre-roll (a pathological
+    // fault plan).  Start the grid anyway so the remaining slots underrun
+    // deterministically instead of wedging the run at the time cap.
+    StartRender(sim().now() + params_.period());
+  }
+}
+
+void MediaPipeline::OnFrameAdjusted(int frame) {
+  if (adjusted_seen_[static_cast<std::size_t>(frame)] != 0) {
+    return;  // duplicated notification (mq.dup_rate); already decided
+  }
+  adjusted_seen_[static_cast<std::size_t>(frame)] = 1;
+  ++frames_adjusted_;
+  const Cycles now = sim().now();
+
+  // Phase error: drift of this frame's ready time off the period grid
+  // anchored at the first ready frame.
+  if (!any_ready_) {
+    any_ready_ = true;
+    first_ready_frame_ = frame;
+    first_ready_at_ = now;
+  }
+  const Cycles ideal = first_ready_at_ +
+                       static_cast<Cycles>(frame - first_ready_frame_) * params_.period();
+  const double err_ms = std::abs(CyclesToMilliseconds(now) - CyclesToMilliseconds(ideal));
+  m_phase_error_ms_->Record(err_ms);
+
+  if (!render_started_ && frames_adjusted_ >= params_.preroll()) {
+    StartRender(now);
+  }
+  if (render_started_) {
+    const Cycles slot = render_origin_ + static_cast<Cycles>(frame) * params_.period();
+    if (now > slot) {
+      // The grid has already passed this frame's slot: showing it would
+      // only be wrong twice.  Drop it and free its buffer space.
+      ++counts_.dropped_late;
+      m_drop_late_->Increment();
+      if (buffer_.Erase(frame)) {
+        UpdateBufferDepth();
+      }
+      sim().tracer().Instant(media_track_, "late-drop", "media", now, "frame",
+                             static_cast<double>(frame));
+      return;
+    }
+  }
+  // Early frames are delayed, not shown early: the notification parks in
+  // the render queue and the frame in the buffer until slot time.
+  Message m;
+  m.type = MessageType::kCommand;
+  m.param = frame;
+  render_->queue().Post(m);
+}
+
+void MediaPipeline::StartRender(Cycles origin) {
+  render_started_ = true;
+  render_origin_ = origin;
+  render_->Start(origin);
+  sim().tracer().Instant(media_track_, "render-start", "media", sim().now(),
+                         "origin_s", CyclesToSeconds(origin));
+}
+
+void MediaPipeline::EvictStale(int before_frame) {
+  const int evicted = buffer_.EvictThrough(before_frame - 1, -1);
+  if (evicted > 0) {
+    counts_.evicted += static_cast<std::uint64_t>(evicted);
+    m_evicted_->Increment(static_cast<std::uint64_t>(evicted));
+    UpdateBufferDepth();
+  }
+}
+
+bool MediaPipeline::TakeFrame(int frame) {
+  if (!buffer_.Erase(frame)) {
+    return false;
+  }
+  UpdateBufferDepth();
+  return true;
+}
+
+void MediaPipeline::OnSlotUnderrun(int frame, Cycles slot) {
+  ++counts_.underruns;
+  m_underruns_->Increment();
+  slots_.push_back(SlotRecord{frame, slot, 0, false, false});
+  sim().tracer().Instant(media_track_, "underrun", "media", sim().now(), "slot",
+                         static_cast<double>(frame));
+}
+
+void MediaPipeline::OnFrameRendered(int frame, Cycles slot, Cycles completed) {
+  ++counts_.rendered;
+  m_rendered_->Increment();
+  const Cycles deadline = slot + params_.period();
+  const bool missed = completed > deadline;
+  if (missed) {
+    ++counts_.deadline_misses;
+    m_misses_->Increment();
+  }
+  m_latency_ms_->Record(CyclesToMilliseconds(completed - slot));
+  last_done_at_ = std::max(last_done_at_, completed);
+  slots_.push_back(SlotRecord{frame, slot, completed, true, missed});
+  sim().tracer().CompleteSpan(media_track_, "frame", "media", slot, completed - slot,
+                              "frame", static_cast<double>(frame));
+}
+
+void MediaPipeline::OnRenderDone() { render_done_ = true; }
+
+PipelineResult MediaPipeline::Run() {
+  system_->Boot();
+  counters_at_start_ = sim().counters().Snapshot();
+  const Cycles step = MillisecondsToCycles(100.0);
+  bool cancelled = false;
+  while (!render_done_ && sim().now() < opts_.max_run) {
+    // Watchdog / shutdown cancellation, sampled only at slice boundaries
+    // (see SessionOptions::cancel for the contract).
+    if (opts_.cancel != nullptr && opts_.cancel->load(std::memory_order_relaxed)) {
+      cancelled = true;
+      break;
+    }
+    sim().RunFor(step);
+  }
+  if (!cancelled) {
+    // Short drain so in-flight stale work and trace spans settle.
+    sim().RunFor(MillisecondsToCycles(200.0));
+  }
+
+  PipelineResult result;
+  result.slots = std::move(slots_);
+  result.origin = render_origin_;
+  result.last_done_at = last_done_at_;
+  result.run_end = sim().now();
+  result.finished = render_done_;
+  result.counters = sim().counters().Snapshot() - counters_at_start_;
+
+  counts_.dropped_overflow = buffer_.overflow_drops();
+  counts_.buffer_high_water = buffer_.high_water();
+  result.counts = counts_;
+
+  sim().scheduler().FlushTraceSpans();
+  result.fault = BuildFaultReport();
+  if (!result.finished) {
+    result.fault.degraded = true;
+    result.fault.notes.push_back("render did not reach the end of the stream");
+  }
+
+  obs::Tracer& tracer = sim().tracer();
+  tracer.metrics().GetGauge("session.run_end_s")->Set(CyclesToSeconds(result.run_end));
+  if (result.fault.enabled) {
+    tracer.metrics().GetGauge("session.degraded")->Set(result.fault.degraded ? 1.0 : 0.0);
+  }
+  {
+    PROF_SCOPE(kMetrics);
+    result.metrics = tracer.metrics().Snapshot();
+    result.metrics_json = tracer.metrics().ToJson();
+  }
+  if (trace_sink_ != nullptr) {
+    PROF_SCOPE(kTraceTake);
+    result.trace_data = std::make_shared<obs::TraceData>(tracer.TakeData());
+  }
+  return result;
+}
+
+fault::FaultReport MediaPipeline::BuildFaultReport() {
+  fault::FaultReport rep;
+  if (injector_ != nullptr) {
+    rep = injector_->report();
+  }
+  rep.enabled = opts_.faults.Any();
+  const Disk& disk = sim().disk();
+  rep.io_failed = disk.failed_requests();
+  rep.disk_retries = disk.retried_attempts();
+  rep.disk_permanent = rep.disk_permanent || disk.permanently_failed();
+
+  if (!rep.enabled) {
+    return rep;
+  }
+  if (rep.disk_permanent) {
+    rep.degraded = true;
+    rep.notes.push_back("disk failed permanently mid-stream");
+  }
+  if (rep.io_failed > 0) {
+    rep.degraded = true;
+    rep.notes.push_back("frames decoded from failed disk reads (io_failed=" +
+                        std::to_string(rep.io_failed) + ")");
+  }
+  if (counts_.underruns > 0) {
+    rep.degraded = true;
+    rep.notes.push_back(std::to_string(counts_.underruns) +
+                        " render slot(s) underran");
+  } else if (counts_.dropped_late + counts_.dropped_overflow > 0) {
+    rep.notes.push_back("dropped frames absorbed by the jitter buffer");
+  }
+  return rep;
+}
+
+}  // namespace media
+}  // namespace ilat

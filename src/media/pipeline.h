@@ -1,0 +1,184 @@
+// MediaPipeline: the staged decode -> buffer -> phase-adjust -> render
+// media player, as a scenario on the simulated system.
+//
+// The seed MediaPlayerApp decodes and renders inside one timer handler, so
+// the only possible failure is a late frame.  Real players are staged: a
+// decode thread reads compressed frames from disk at the source rate and
+// fills a bounded jitter buffer; a phase-adjust stage re-aligns decoded
+// frames with the presentation grid, dropping the ones that can no longer
+// make their slot; and a render thread with a hard per-frame deadline
+// shows one frame per period -- or *underruns* when its slot comes up
+// empty.  The stages are separate SimThreads communicating through the
+// existing MessageQueue machinery, so disk stalls, interrupt storms, and
+// `mq.*` fault plans surface as underruns with no media-specific fault
+// code.  Latency here is *missed display updates*, the quantity the OSDI
+// paper explicitly could not measure (see docs/MEDIA.md).
+
+#ifndef ILAT_SRC_MEDIA_PIPELINE_H_
+#define ILAT_SRC_MEDIA_PIPELINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/media_player.h"  // FrameRecord, the deadline-analysis unit
+#include "src/fault/injector.h"
+#include "src/fault/plan.h"
+#include "src/fault/report.h"
+#include "src/media/buffer.h"
+#include "src/media/decode.h"
+#include "src/media/params.h"
+#include "src/media/phase.h"
+#include "src/media/render.h"
+#include "src/obs/trace.h"
+#include "src/os/system.h"
+
+namespace ilat {
+namespace media {
+
+struct PipelineOptions {
+  std::uint64_t seed = 1;
+  bool collect_trace = false;
+  std::size_t trace_event_capacity = obs::TraceSink::kDefaultCapacity;
+  // Deterministic fault injection; an empty plan injects nothing.
+  fault::FaultPlan faults;
+  int fault_attempt = 0;
+  // Safety cap on simulated time.
+  Cycles max_run = SecondsToCycles(3'600.0);
+  // Cooperative cancellation (campaign watchdog / graceful shutdown):
+  // when non-null and set, Run stops at its next 100-sim-ms slice
+  // boundary and skips the drain.  The caller discards the result.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+// Pipeline-level occurrence counts (also mirrored into MetricsRegistry
+// counters under the "media." prefix).
+struct PipelineCounts {
+  std::uint64_t decoded = 0;          // frames that finished decode
+  std::uint64_t rendered = 0;         // frames shown in their slot
+  std::uint64_t underruns = 0;        // render slots with nothing to show
+  std::uint64_t deadline_misses = 0;  // rendered frames finishing past slot+period
+  std::uint64_t dropped_overflow = 0; // decode output lost to a full buffer
+  std::uint64_t dropped_late = 0;     // phase-adjust drops (missed their slot)
+  std::uint64_t evicted = 0;          // buffered frames the grid moved past
+  std::uint64_t buffer_high_water = 0;
+};
+
+// One render slot on the presentation grid.
+struct SlotRecord {
+  int frame = 0;        // frame index == slot index
+  Cycles slot = 0;      // slot boundary (origin + frame * period)
+  Cycles completed = 0; // render finished (0 when not rendered)
+  bool rendered = false;
+  bool missed = false;  // rendered, but past slot + period
+};
+
+struct PipelineResult {
+  std::vector<SlotRecord> slots;  // one per slot, in grid order
+
+  Cycles origin = 0;        // first render slot boundary
+  Cycles last_done_at = 0;  // last render completion
+  Cycles run_end = 0;
+  bool finished = false;    // render reached the end of the stream
+
+  PipelineCounts counts;
+  HwCounts counters;
+  obs::MetricsSnapshot metrics;
+  std::string metrics_json;
+  std::shared_ptr<const obs::TraceData> trace_data;
+  fault::FaultReport fault;
+
+  // The rendered slots as (scheduled, completed) pairs -- the shape
+  // AnalyzeDeadlines consumes.
+  std::vector<FrameRecord> RenderedFrames() const;
+};
+
+class MediaPipeline {
+ public:
+  MediaPipeline(OsProfile profile, MediaParams params, PipelineOptions opts = {});
+  ~MediaPipeline();
+
+  MediaPipeline(const MediaPipeline&) = delete;
+  MediaPipeline& operator=(const MediaPipeline&) = delete;
+
+  // Run the stream to completion (or the safety cap) and extract results.
+  PipelineResult Run();
+
+  // ---- internal API used by the stage threads ----------------------------
+  Simulation& sim() { return system_->sim(); }
+  SystemUnderTest& system() { return *system_; }
+  const MediaParams& params() const { return params_; }
+  const OsProfile& profile() const { return system_->profile(); }
+  JitterBuffer& buffer() { return buffer_; }
+  std::uint32_t media_track() const { return media_track_; }
+
+  // Decode -> buffer.  Pushes the decoded frame and notifies the
+  // phase-adjust stage; a full buffer drops the frame instead.
+  void OnFrameDecoded(int frame);
+  void OnDecodeDone();
+
+  // Phase-adjust decision for one decoded frame: record its phase error
+  // against the ready-time grid, start the render grid once pre-roll is
+  // met, and either forward the frame to render or drop it as late.
+  void OnFrameAdjusted(int frame);
+
+  // Render bookkeeping (all called at slot boundaries / completions).
+  void EvictStale(int before_frame);
+  // Removes `frame` from the buffer for display; false if it is gone
+  // (overflow-dropped, late-dropped, or evicted) -> underrun.
+  bool TakeFrame(int frame);
+  void OnSlotUnderrun(int frame, Cycles slot);
+  void OnFrameRendered(int frame, Cycles slot, Cycles completed);
+  void OnRenderDone();
+
+ private:
+  void StartRender(Cycles origin);
+  void UpdateBufferDepth();
+  fault::FaultReport BuildFaultReport();
+
+  MediaParams params_;
+  PipelineOptions opts_;
+  std::unique_ptr<SystemUnderTest> system_;
+  // Declared after system_ so it is destroyed first (its storm device
+  // unschedules itself from the simulation's event queue).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<obs::TraceSink> trace_sink_;
+
+  JitterBuffer buffer_;
+  std::unique_ptr<DecodeThread> decode_;
+  std::unique_ptr<PhaseAdjustThread> phase_;
+  std::unique_ptr<RenderThread> render_;
+
+  std::vector<char> adjusted_seen_;  // dedups duplicated notifications
+  int frames_adjusted_ = 0;     // toward pre-roll
+  bool render_started_ = false;
+  Cycles render_origin_ = 0;    // slot-0 boundary once render_started_
+  bool decode_done_ = false;
+  bool render_done_ = false;
+  bool any_ready_ = false;
+  int first_ready_frame_ = 0;
+  Cycles first_ready_at_ = 0;   // anchor of the ready-time grid
+  Cycles last_done_at_ = 0;
+  PipelineCounts counts_;
+  std::vector<SlotRecord> slots_;
+  HwCounts counters_at_start_;
+
+  std::uint32_t media_track_ = 0;
+  obs::Counter* m_decoded_ = nullptr;
+  obs::Counter* m_rendered_ = nullptr;
+  obs::Counter* m_underruns_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_drop_overflow_ = nullptr;
+  obs::Counter* m_drop_late_ = nullptr;
+  obs::Counter* m_evicted_ = nullptr;
+  obs::Gauge* m_buffer_depth_ = nullptr;
+  obs::LogHistogram* m_phase_error_ms_ = nullptr;
+  obs::LogHistogram* m_latency_ms_ = nullptr;
+};
+
+}  // namespace media
+}  // namespace ilat
+
+#endif  // ILAT_SRC_MEDIA_PIPELINE_H_

@@ -1,0 +1,87 @@
+#include "src/media/render.h"
+
+#include "src/media/pipeline.h"
+
+namespace ilat {
+namespace media {
+
+RenderThread::RenderThread(MediaPipeline* pipeline, EventQueue* clock)
+    : SimThread("media-render", kPriority), pipeline_(pipeline), mq_(clock) {
+  // No wake callback: render is purely slot-driven and drains the queue at
+  // each tick, so an early notification never wakes it ahead of the grid.
+}
+
+void RenderThread::Start(Cycles origin) {
+  origin_ = origin;
+  ready_.assign(static_cast<std::size_t>(pipeline_->params().frames), 0);
+  pipeline_->sim().queue().ScheduleAt(origin, [this] {
+    if (phase_ == Phase::kWaitStart) {
+      phase_ = Phase::kTick;
+    }
+    pipeline_->sim().scheduler().Wake(this);
+  });
+}
+
+ThreadAction RenderThread::NextAction() {
+  const MediaParams& p = pipeline_->params();
+  Simulation& sim = pipeline_->sim();
+  for (;;) {
+    switch (phase_) {
+      case Phase::kWaitStart:
+        return ThreadAction::Block();
+      case Phase::kTick: {
+        Message m;
+        while (mq_.TryPop(&m)) {
+          if (m.type == MessageType::kCommand && m.param >= 0 &&
+              m.param < p.frames) {
+            ready_[static_cast<std::size_t>(m.param)] = 1;
+          }
+        }
+        if (slot_ >= p.frames) {
+          phase_ = Phase::kDone;
+          pipeline_->OnRenderDone();
+          return ThreadAction::Finish();
+        }
+        slot_time_ = origin_ + static_cast<Cycles>(slot_) * p.period();
+        if (sim.now() < slot_time_) {
+          phase_ = Phase::kAwaitSlot;
+          sim.queue().ScheduleAt(slot_time_, [this] {
+            if (phase_ == Phase::kAwaitSlot) {
+              phase_ = Phase::kTick;
+            }
+            pipeline_->sim().scheduler().Wake(this);
+          });
+          return ThreadAction::Block();
+        }
+        // Slot due.  Frames the grid moved past can never be shown.
+        pipeline_->EvictStale(slot_);
+        const int frame = slot_;
+        if (ready_[static_cast<std::size_t>(frame)] != 0 &&
+            pipeline_->TakeFrame(frame)) {
+          phase_ = Phase::kRenderRun;
+          return ThreadAction::Compute(
+              Work::FromInstructions(p.render_kinstr * 1000.0,
+                                     pipeline_->profile().gui_code),
+              [this, frame] {
+                pipeline_->OnFrameRendered(frame, slot_time_,
+                                           pipeline_->sim().now());
+                ++slot_;
+                phase_ = Phase::kTick;
+              });
+        }
+        pipeline_->OnSlotUnderrun(frame, slot_time_);
+        ++slot_;
+        continue;
+      }
+      case Phase::kAwaitSlot:
+        return ThreadAction::Block();
+      case Phase::kRenderRun:
+        return ThreadAction::Block();
+      case Phase::kDone:
+        return ThreadAction::Finish();
+    }
+  }
+}
+
+}  // namespace media
+}  // namespace ilat

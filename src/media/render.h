@@ -1,0 +1,65 @@
+// RenderThread: the pipeline's presentation stage.
+//
+// Once pre-roll completes the render grid is fixed: slot k is
+// origin + k * period, and frame k must be on screen before slot k+1 --
+// a hard per-frame deadline.  At each slot the thread drains its
+// ready-notification queue (posted by the phase-adjust stage, and subject
+// to `mq.*` fault plans), shows frame k if it is ready and still
+// buffered, and otherwise counts an underrun -- the display repeats the
+// previous frame, which is exactly the artifact a viewer perceives.
+// Frames the grid has moved past are evicted so a stalled pipeline can
+// never wedge the buffer.
+
+#ifndef ILAT_SRC_MEDIA_RENDER_H_
+#define ILAT_SRC_MEDIA_RENDER_H_
+
+#include <vector>
+
+#include "src/sim/message_queue.h"
+#include "src/sim/thread.h"
+
+namespace ilat {
+namespace media {
+
+class MediaPipeline;
+
+class RenderThread : public SimThread {
+ public:
+  // Highest of the three stages: the display never waits on production.
+  static constexpr int kPriority = 7;
+
+  RenderThread(MediaPipeline* pipeline, EventQueue* clock);
+
+  ThreadAction NextAction() override;
+
+  MessageQueue& queue() { return mq_; }
+
+  // Called by the pipeline when pre-roll completes: fixes the grid anchor
+  // and schedules the first slot tick.
+  void Start(Cycles origin);
+
+  bool done() const { return phase_ == Phase::kDone; }
+  int next_slot() const { return slot_; }
+
+ private:
+  enum class Phase {
+    kWaitStart,  // parked until Start() fixes the grid
+    kTick,       // a slot boundary is due (or overdue)
+    kAwaitSlot,  // parked until the next slot boundary
+    kRenderRun,  // render CPU in flight
+    kDone,
+  };
+
+  MediaPipeline* pipeline_;
+  MessageQueue mq_;
+  Phase phase_ = Phase::kWaitStart;
+  Cycles origin_ = 0;
+  int slot_ = 0;
+  Cycles slot_time_ = 0;       // boundary of the slot being rendered
+  std::vector<char> ready_;    // per-frame: notification received
+};
+
+}  // namespace media
+}  // namespace ilat
+
+#endif  // ILAT_SRC_MEDIA_RENDER_H_

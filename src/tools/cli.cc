@@ -220,6 +220,9 @@ int RunOneInner(const std::string& os_name, const CliOptions& options,
   spec.collect_trace = !options.trace_out.empty() || options.explain;
   spec.params.packets = options.packets;
   spec.params.frames = options.frames;
+  spec.params.media.fps = options.media_fps;
+  spec.params.media.buffer_frames = options.media_buffer;
+  spec.params.media.frames = options.frames;
   spec.params.server.users = options.users;
   spec.params.server.pool_size = options.pool;
   spec.params.server.queue_depth = options.queue_depth;
@@ -842,6 +845,16 @@ bool ParseCliArgs(const std::vector<std::string>& args, CliOptions* out, std::st
       if (!ParseFlagInt("--frames", arg.substr(9), 1, 1'000'000, &out->frames, error)) {
         return false;
       }
+    } else if (StartsWith(arg, "--media-fps=")) {
+      if (!ParseFlagDouble("--media-fps", arg.substr(12), 1.0, 1000.0, &out->media_fps,
+                           error)) {
+        return false;
+      }
+    } else if (StartsWith(arg, "--media-buffer=")) {
+      if (!ParseFlagInt("--media-buffer", arg.substr(15), 1, 4096, &out->media_buffer,
+                        error)) {
+        return false;
+      }
     } else if (StartsWith(arg, "--users=")) {
       if (!ParseFlagInt("--users", arg.substr(8), 1, 100'000, &out->users, error)) {
         return false;
@@ -1033,13 +1046,17 @@ std::string CliUsage() {
       "usage: ilat [options]\n"
       "       ilat merge PARTIAL... [output/gate options]\n"
       "  --os=nt351|nt40|win95|all   operating-system personality (nt40)\n"
-      "  --app=notepad|word|powerpoint|desktop|echo|terminal|media|server   app model\n"
+      "  --app=notepad|word|powerpoint|desktop|echo|terminal|media|pipeline|server\n"
+      "                              app model (pipeline = staged media player,\n"
+      "                              docs/MEDIA.md)\n"
       "  --workload=NAME             input script or 'network' (defaults per app)\n"
       "  --driver=test|test-nosync|human   input driver (test)\n"
       "  --seed=N                    workload/machine seed (42)\n"
       "  --threshold=MS              irritation threshold (100); --threshold-ms= works too\n"
       "  --idle-period=MS            idle-loop instrument period (1.0)\n"
-      "  --packets=N --frames=N      sizes for network/media workloads\n"
+      "  --packets=N --frames=N      sizes for network/media/pipeline workloads\n"
+      "  --media-fps=F --media-buffer=N   pipeline frame rate and jitter-buffer\n"
+      "                              capacity in frames (docs/MEDIA.md)\n"
       "  --users=N --pool=N          server scenario: concurrent users, worker pool\n"
       "  --queue-depth=N --cache-hit=P --requests=N   server queue bound, response-\n"
       "                              cache hit rate, requests per user (docs/SERVER.md)\n"

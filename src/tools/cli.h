@@ -22,7 +22,7 @@
 namespace ilat {
 
 // Reported by `ilat --version`.
-inline constexpr const char* kIlatVersion = "0.8.0";
+inline constexpr const char* kIlatVersion = "0.9.0";
 
 struct CliOptions {
   std::string os = "nt40";          // nt351 | nt40 | win95 | all
@@ -33,7 +33,11 @@ struct CliOptions {
   double threshold_ms = 100.0;      // irritation threshold
   double idle_period_ms = 1.0;      // idle-loop instrument period
   int packets = 200;                // for --workload=network
-  int frames = 300;                 // for --workload=media
+  int frames = 300;                 // for --workload=media / --app=pipeline
+
+  // Staged media pipeline knobs (--app=pipeline; see docs/MEDIA.md).
+  double media_fps = 30.0;          // source/presentation frame rate
+  int media_buffer = 8;             // jitter-buffer capacity, frames
 
   // Multi-user server scenario knobs (--app=server; see docs/SERVER.md).
   int users = 8;                    // concurrent simulated users

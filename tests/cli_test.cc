@@ -448,8 +448,9 @@ std::vector<BadFlagCase> AllBadNumberCases() {
   std::vector<BadFlagCase> cases;
   for (const char* flag :
        {"--seed=", "--threshold=", "--threshold-ms=", "--idle-period=", "--packets=",
-        "--frames=", "--jobs=", "--gate-tolerance=", "--progress=", "--users=",
-        "--pool=", "--queue-depth=", "--cache-hit=", "--requests="}) {
+        "--frames=", "--media-fps=", "--media-buffer=", "--jobs=",
+        "--gate-tolerance=", "--progress=", "--users=", "--pool=",
+        "--queue-depth=", "--cache-hit=", "--requests="}) {
     for (const char* value : {"abc", "12abc", "", "99999999999999999999999", "1e999"}) {
       cases.push_back({flag, value});
     }
@@ -476,6 +477,12 @@ std::vector<BadFlagCase> AllBadNumberCases() {
   cases.push_back({"--cache-hit=", "1.5"});
   cases.push_back({"--cache-hit=", "-0.1"});
   cases.push_back({"--requests=", "0"});
+  cases.push_back({"--media-fps=", "0"});
+  cases.push_back({"--media-fps=", "0.5"});
+  cases.push_back({"--media-fps=", "1001"});
+  cases.push_back({"--media-buffer=", "0"});
+  cases.push_back({"--media-buffer=", "-2"});
+  cases.push_back({"--media-buffer=", "4097"});
   cases.push_back({"--cell-timeout=", "0"});
   cases.push_back({"--cell-timeout=", "-1"});
   cases.push_back({"--max-quarantined=", "-1"});

@@ -1,0 +1,185 @@
+// Staged media pipeline: jitter-buffer mechanics, clean-run behaviour,
+// fault plans surfacing as underruns/drops, and the SessionResult
+// adaptation used by campaigns.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/deadlines.h"
+#include "src/core/catalog.h"
+#include "src/media/buffer.h"
+#include "src/media/pipeline.h"
+#include "src/os/personalities.h"
+
+namespace ilat {
+namespace {
+
+media::MediaParams ShortStream(int frames) {
+  media::MediaParams p;
+  p.frames = frames;
+  return p;
+}
+
+TEST(JitterBufferTest, OverflowDropsAtCapacity) {
+  media::JitterBuffer b(3);
+  EXPECT_TRUE(b.Push(0));
+  EXPECT_TRUE(b.Push(1));
+  EXPECT_TRUE(b.Push(2));
+  EXPECT_FALSE(b.Push(3));  // full: the frame is dropped, not queued
+  EXPECT_EQ(b.size(), 3);
+  EXPECT_EQ(b.overflow_drops(), 1u);
+  EXPECT_EQ(b.high_water(), 3u);
+  EXPECT_TRUE(b.Contains(2));
+  EXPECT_FALSE(b.Contains(3));
+}
+
+TEST(JitterBufferTest, EraseAndEvict) {
+  media::JitterBuffer b(8);
+  for (int i = 0; i < 6; ++i) {
+    b.Push(i);
+  }
+  EXPECT_TRUE(b.Erase(3));
+  EXPECT_FALSE(b.Erase(3));  // already gone
+  // The grid moved to frame 4: everything at or before 4 is stale except
+  // the frame about to be shown.
+  EXPECT_EQ(b.EvictThrough(4, 4), 3);  // 0, 1, 2 go; 4 is kept
+  EXPECT_TRUE(b.Contains(4));
+  EXPECT_TRUE(b.Contains(5));
+  EXPECT_EQ(b.size(), 2);
+  EXPECT_EQ(b.high_water(), 6u);
+}
+
+TEST(MediaPipelineTest, CleanRunRendersEveryFrameOnTime) {
+  media::MediaPipeline pipeline(MakeNt40(), ShortStream(90));
+  const media::PipelineResult r = pipeline.Run();
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.counts.decoded, 90u);
+  EXPECT_EQ(r.counts.rendered, 90u);
+  EXPECT_EQ(r.counts.underruns, 0u);
+  EXPECT_EQ(r.counts.deadline_misses, 0u);
+  EXPECT_EQ(r.counts.dropped_overflow + r.counts.dropped_late, 0u);
+  ASSERT_EQ(r.slots.size(), 90u);
+  // Slots land exactly on the grid, in order.
+  const Cycles period = media::MediaParams{}.period();
+  for (std::size_t i = 0; i < r.slots.size(); ++i) {
+    EXPECT_EQ(r.slots[i].frame, static_cast<int>(i));
+    EXPECT_EQ(r.slots[i].slot, r.origin + static_cast<Cycles>(i) * period);
+  }
+  // The rendered stream satisfies the deadline analyser too.
+  const DeadlineReport rep = AnalyzeDeadlines(r.RenderedFrames(), period);
+  EXPECT_EQ(rep.missed, 0);
+  EXPECT_EQ(rep.dropped, 0);
+  EXPECT_FALSE(r.fault.enabled);
+  EXPECT_FALSE(r.fault.degraded);
+}
+
+TEST(MediaPipelineTest, DiskStallsSurfaceAsUnderruns) {
+  media::PipelineOptions opts;
+  opts.faults.disk.stall_rate = 0.15;
+  opts.faults.disk.stall_ms = 80.0;
+  media::MediaPipeline pipeline(MakeNt40(), ShortStream(120), opts);
+  const media::PipelineResult r = pipeline.Run();
+  EXPECT_TRUE(r.finished);
+  EXPECT_GT(r.counts.underruns, 0u);
+  EXPECT_LT(r.counts.rendered, 120u);
+  EXPECT_EQ(r.counts.rendered + r.counts.underruns, 120u);  // one outcome per slot
+  EXPECT_TRUE(r.fault.enabled);
+  EXPECT_TRUE(r.fault.degraded);
+}
+
+TEST(MediaPipelineTest, DroppedNotificationsSurfaceAsUnderruns) {
+  media::PipelineOptions opts;
+  opts.faults.mq.drop_rate = 0.3;
+  media::MediaPipeline pipeline(MakeNt40(), ShortStream(120), opts);
+  const media::PipelineResult r = pipeline.Run();
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.counts.decoded, 120u);  // decode is unaffected
+  EXPECT_GT(r.counts.underruns, 0u);  // delivery is not
+}
+
+// With every inter-stage notification lost, render never learns of any
+// frame: the buffer overflows behind the stalled consumer, the run still
+// terminates (decode-done force-starts the grid), and every slot
+// underruns.
+TEST(MediaPipelineTest, TotalNotificationLossOverflowsBufferAndTerminates) {
+  media::MediaParams p = ShortStream(60);
+  p.buffer_frames = 8;
+  media::PipelineOptions opts;
+  opts.faults.mq.drop_rate = 1.0;
+  media::MediaPipeline pipeline(MakeNt40(), p, opts);
+  const media::PipelineResult r = pipeline.Run();
+  EXPECT_TRUE(r.finished);
+  EXPECT_EQ(r.counts.rendered, 0u);
+  EXPECT_EQ(r.counts.underruns, 60u);
+  // Decode filled the 8-frame buffer and then had nowhere to put the
+  // remaining 52.
+  EXPECT_EQ(r.counts.dropped_overflow, 52u);
+  EXPECT_EQ(r.counts.buffer_high_water, 8u);
+  EXPECT_TRUE(r.fault.degraded);
+}
+
+TEST(MediaPipelineTest, RunSpecSessionAdaptsSlotsToEvents) {
+  RunSpec spec;
+  spec.app = "pipeline";
+  spec.params.media.frames = 45;
+  SessionResult out;
+  std::string error;
+  ASSERT_TRUE(RunSpecSession(spec, &out, &error)) << error;
+  // One posted event per slot; clean runs complete them all.
+  EXPECT_EQ(out.posted.size(), 45u);
+  EXPECT_EQ(out.events.size(), 45u);
+  EXPECT_GT(out.metrics_json.find("media.underruns"), 0u);
+  EXPECT_EQ(out.events.front().label, "f0");
+}
+
+TEST(MediaPipelineTest, RejectsForeignWorkload) {
+  RunSpec spec;
+  spec.app = "pipeline";
+  spec.workload = "keys";
+  SessionResult out;
+  std::string error;
+  EXPECT_FALSE(RunSpecSession(spec, &out, &error));
+  EXPECT_NE(error.find("pipeline"), std::string::npos);
+}
+
+TEST(MediaPipelineTest, SameSeedIsByteIdentical) {
+  auto run = [](std::uint64_t seed) {
+    RunSpec spec;
+    spec.app = "pipeline";
+    spec.seed = seed;
+    spec.params.media.frames = 60;
+    spec.faults.disk.stall_rate = 0.1;
+    spec.faults.disk.stall_ms = 50.0;
+    SessionResult out;
+    std::string error;
+    EXPECT_TRUE(RunSpecSession(spec, &out, &error)) << error;
+    return out.metrics_json;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // the stall stream actually varies by seed
+}
+
+TEST(MediaPipelineTest, MediaParamKeysParseAndValidate) {
+  WorkloadParams p;
+  std::string error;
+  EXPECT_TRUE(SetWorkloadParamKey("media_fps", "24", &p, &error));
+  EXPECT_NEAR(p.media.fps, 24.0, 1e-9);
+  EXPECT_TRUE(SetWorkloadParamKey("media_buffer_frames", "16", &p, &error));
+  EXPECT_EQ(p.media.buffer_frames, 16);
+  EXPECT_TRUE(SetWorkloadParamKey("media_frames", "500", &p, &error));
+  EXPECT_EQ(p.media.frames, 500);
+  // `frames` sizes both media apps.
+  EXPECT_TRUE(SetWorkloadParamKey("frames", "77", &p, &error));
+  EXPECT_EQ(p.frames, 77);
+  EXPECT_EQ(p.media.frames, 77);
+
+  EXPECT_FALSE(SetWorkloadParamKey("media_fps", "0", &p, &error));
+  EXPECT_NE(error.find("media_fps"), std::string::npos);
+  EXPECT_FALSE(SetWorkloadParamKey("media_buffer_frames", "4097", &p, &error));
+  EXPECT_FALSE(SetWorkloadParamKey("media_frames", "abc", &p, &error));
+  EXPECT_TRUE(KnownWorkloadParamKey("media_fps"));
+  EXPECT_TRUE(KnownWorkloadParamKey("media_buffer_frames"));
+  EXPECT_TRUE(KnownWorkloadParamKey("media_frames"));
+}
+
+}  // namespace
+}  // namespace ilat

@@ -61,6 +61,100 @@ TEST(DeadlineAnalysisTest, EmptyInputSafe) {
   EXPECT_EQ(r.miss_rate, 0.0);
 }
 
+TEST(DeadlineAnalysisTest, SingleFrameOnTime) {
+  const Cycles period = MillisecondsToCycles(33.3);
+  const DeadlineReport r =
+      AnalyzeDeadlines({FrameRecord{0, MillisecondsToCycles(10)}}, period);
+  EXPECT_EQ(r.frames_completed, 1);
+  EXPECT_EQ(r.missed, 0);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_EQ(r.miss_rate, 0.0);
+  EXPECT_NEAR(r.jitter_ms, 0.0, 1e-9);  // no gaps to measure
+}
+
+TEST(DeadlineAnalysisTest, SingleFrameLate) {
+  const Cycles period = MillisecondsToCycles(33.3);
+  const DeadlineReport r =
+      AnalyzeDeadlines({FrameRecord{0, period + MillisecondsToCycles(7)}}, period);
+  EXPECT_EQ(r.missed, 1);
+  EXPECT_EQ(r.miss_rate, 1.0);
+  EXPECT_NEAR(r.max_lateness_ms, 7.0, 0.1);
+}
+
+TEST(DeadlineAnalysisTest, NonPositivePeriodSafe) {
+  const std::vector<FrameRecord> frames = {FrameRecord{0, 100}, FrameRecord{200, 300}};
+  for (const Cycles period : {Cycles{0}, Cycles{-5}}) {
+    const DeadlineReport r = AnalyzeDeadlines(frames, period);
+    EXPECT_EQ(r.frames_completed, 2);
+    EXPECT_EQ(r.missed, 0);
+    EXPECT_EQ(r.dropped, 0);
+    EXPECT_EQ(r.miss_rate, 0.0);
+  }
+}
+
+TEST(DeadlineAnalysisTest, AllFramesLate) {
+  std::vector<FrameRecord> frames;
+  const Cycles period = MillisecondsToCycles(33.3);
+  for (int i = 0; i < 10; ++i) {
+    const Cycles t = i * period;
+    frames.push_back(FrameRecord{t, t + 2 * period});
+  }
+  const DeadlineReport r = AnalyzeDeadlines(frames, period);
+  EXPECT_EQ(r.missed, 10);
+  EXPECT_EQ(r.miss_rate, 1.0);
+  EXPECT_NEAR(r.max_lateness_ms, CyclesToMilliseconds(period), 0.1);
+}
+
+TEST(DeadlineAnalysisTest, JitterWithoutMisses) {
+  // Completions wobble inside each period: jitter shows, misses do not.
+  std::vector<FrameRecord> frames;
+  const Cycles period = MillisecondsToCycles(40.0);
+  for (int i = 0; i < 20; ++i) {
+    const Cycles t = i * period;
+    const Cycles wobble = MillisecondsToCycles(i % 2 == 0 ? 5.0 : 15.0);
+    frames.push_back(FrameRecord{t, t + wobble});
+  }
+  const DeadlineReport r = AnalyzeDeadlines(frames, period);
+  EXPECT_EQ(r.missed, 0);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_GT(r.jitter_ms, 5.0);
+}
+
+// Regression: drop counting truncated `gap / period`, so the timer drift
+// of a real dropped slot (gap ~1.97 periods) counted as adjacent frames
+// and the drop vanished.  Gaps now round to the nearest whole slot.
+TEST(DeadlineAnalysisTest, DropCountRoundsGapToNearestSlot) {
+  const Cycles period = MillisecondsToCycles(33.3);
+  auto gap_drops = [&](double periods) {
+    const Cycles second = static_cast<Cycles>(periods * static_cast<double>(period));
+    const std::vector<FrameRecord> frames = {
+        FrameRecord{0, MillisecondsToCycles(5)},
+        FrameRecord{second, second + MillisecondsToCycles(5)}};
+    return AnalyzeDeadlines(frames, period).dropped;
+  };
+  EXPECT_EQ(gap_drops(1.0), 0);
+  EXPECT_EQ(gap_drops(1.03), 0);   // drift, not a drop
+  EXPECT_EQ(gap_drops(1.97), 1);   // a dropped slot with drift (was 0)
+  EXPECT_EQ(gap_drops(2.0), 1);
+  EXPECT_EQ(gap_drops(3.02), 2);
+}
+
+// Regression: miss_rate divided by completed frames only, so a player
+// dropping every other frame (but finishing the rest on time) scored a
+// perfect 0.0.  Dropped frames are deadlines missed outright and belong
+// in both the numerator and the denominator.
+TEST(DeadlineAnalysisTest, MissRateCountsDroppedFrames) {
+  const Cycles period = MillisecondsToCycles(33.3);
+  // Frames at slots 0 and 2, both completing on time; slot 1 dropped.
+  const std::vector<FrameRecord> frames = {
+      FrameRecord{0, MillisecondsToCycles(5)},
+      FrameRecord{2 * period, 2 * period + MillisecondsToCycles(5)}};
+  const DeadlineReport r = AnalyzeDeadlines(frames, period);
+  EXPECT_EQ(r.missed, 0);
+  EXPECT_EQ(r.dropped, 1);
+  EXPECT_NEAR(r.miss_rate, 1.0 / 3.0, 1e-9);
+}
+
 TEST(MediaPlayerTest, PlaysRequestedFramesAtPace) {
   MeasurementSession session(MakeNt40(), LongDrain(5.0));
   auto app = std::make_unique<MediaPlayerApp>();
@@ -88,6 +182,48 @@ TEST(MediaPlayerTest, FramesAlignToPeriodBoundaries) {
     const Cycles phase = f.scheduled % period;
     EXPECT_LT(phase, MillisecondsToCycles(0.5));
   }
+}
+
+// Regression: a play command landing mid-playback armed a second frame
+// timer while the first chain was still live, so two interleaved chains
+// fired and playback ran at double rate.  A restart must reuse the armed
+// chain.
+TEST(MediaPlayerTest, PlayCommandMidPlaybackDoesNotDoubleTimerRate) {
+  MeasurementSession session(MakeNt40(), LongDrain(8.0));
+  auto app = std::make_unique<MediaPlayerApp>();
+  MediaPlayerApp* player = app.get();
+  session.AttachApp(std::move(app));
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdMediaPlay + 120, 100.0, "play"));
+  // Restart one second into playback (~30 frames in).
+  s.push_back(ScriptItem::Command(kCmdMediaPlay + 120, 1000.0, "replay"));
+  session.Run(s);
+  // The restart clears recorded frames and plays 120 more -- at the
+  // period rate.  With the double-armed chain the same 120 frames landed
+  // two per period (~60 fps) with half-period gaps.
+  ASSERT_EQ(player->frames().size(), 120u);
+  const DeadlineReport r =
+      AnalyzeDeadlines(player->frames(), MediaPlayerParams{}.period());
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_NEAR(r.achieved_fps, 30.0, 1.0);
+}
+
+// Regression: the frame count decoded from the command param went into
+// frames_.reserve() unvalidated, so a corrupt or hostile param (e.g. a
+// duplicated message mangled upstream) sized a multi-gigabyte vector.
+// Out-of-range counts now fall back to the default length.
+TEST(MediaPlayerTest, OutOfRangeFrameCountFallsBackToDefault) {
+  MeasurementSession session(MakeNt40(), LongDrain(0.5));
+  auto app = std::make_unique<MediaPlayerApp>();
+  MediaPlayerApp* player = app.get();
+  session.AttachApp(std::move(app));
+  Script s;
+  s.push_back(ScriptItem::Command(kCmdMediaPlay + 900'000'000, 50.0, "play"));
+  session.Run(s);
+  // The 900M request was rejected at the app boundary: capacity reflects
+  // the clamped default (300), not the hostile param.
+  EXPECT_LE(player->frames().capacity(), 1'000'000u);
+  EXPECT_TRUE(player->playing());  // playback still started
 }
 
 TEST(MediaPlayerTest, SaturatingLoadDropsFramesBoostCannotFullyHelp) {
